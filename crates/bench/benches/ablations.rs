@@ -1,0 +1,68 @@
+//! Wall-clock cost of the controller's decision machinery at different
+//! settings — the time side of the ablations whose *quality* side is
+//! produced by `repro ablate`:
+//!
+//! * one full profiling epoch per mechanism (detection + trial intervals);
+//! * exhaustive vs k-means group-level throttling search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmm_core::driver::Driver;
+use cmm_core::policy::{ControllerConfig, Mechanism};
+use cmm_sim::config::SystemConfig;
+use cmm_sim::System;
+use cmm_workloads::build_mixes;
+
+fn managed(mechanism: Mechanism, ctrl: ControllerConfig) -> Driver {
+    let mix = build_mixes(42, 1).remove(1);
+    let cfg = SystemConfig::scaled(mix.num_cores());
+    let mut sys = System::new(cfg.clone(), mix.instantiate(cfg.llc.size_bytes));
+    sys.run(400_000);
+    Driver::new(sys, mechanism, ctrl)
+}
+
+fn profiling_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profiling_epoch");
+    g.sample_size(10);
+    for mech in [Mechanism::Pt, Mechanism::Dunn, Mechanism::PrefCp, Mechanism::CmmA] {
+        g.bench_with_input(BenchmarkId::new("epoch", mech.label()), &mech, |b, &mech| {
+            b.iter_batched(
+                || managed(mech, ControllerConfig::quick()),
+                |mut drv| {
+                    drv.epoch();
+                    drv
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn search_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throttle_search");
+    g.sample_size(10);
+    // Exhaustive search on a small Agg set vs k-means grouping on a large
+    // one: the sampling-interval count (2^k) dominates, so both must stay
+    // bounded — the paper's scalability argument.
+    for &(label, exhaustive_limit) in &[("exhaustive", 8usize), ("kmeans_groups", 3)] {
+        g.bench_with_input(BenchmarkId::new("pt", label), &exhaustive_limit, |b, &lim| {
+            b.iter_batched(
+                || {
+                    let mut ctrl = ControllerConfig::quick();
+                    ctrl.exhaustive_limit = lim;
+                    ctrl.throttle_groups = 3;
+                    managed(Mechanism::Pt, ctrl)
+                },
+                |mut drv| {
+                    drv.epoch();
+                    drv
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, profiling_epoch, search_scaling);
+criterion_main!(benches);

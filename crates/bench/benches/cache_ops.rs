@@ -1,0 +1,62 @@
+//! Hot-path microbenchmarks of the set-associative cache: hits, misses,
+//! masked (CAT) insertion and QBS victim selection.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cmm_sim::cache::Cache;
+use cmm_sim::config::CacheGeometry;
+
+fn llc() -> Cache {
+    Cache::new(CacheGeometry { size_bytes: 2560 << 10, ways: 20, hit_latency: 40 })
+}
+
+fn cache_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_ops");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("hit", |b| {
+        let mut cache = llc();
+        cache.insert(42, false, u64::MAX);
+        b.iter(|| std::hint::black_box(cache.access(42)));
+    });
+
+    g.bench_function("miss", |b| {
+        let mut cache = llc();
+        let mut line = 0u64;
+        b.iter(|| {
+            line = line.wrapping_add(0x9E37_79B9); // never repeats soon
+            std::hint::black_box(cache.access(line))
+        });
+    });
+
+    g.bench_function("insert_full_mask", |b| {
+        let mut cache = llc();
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            std::hint::black_box(cache.insert(line, false, u64::MAX))
+        });
+    });
+
+    g.bench_function("insert_2way_mask", |b| {
+        let mut cache = llc();
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            std::hint::black_box(cache.insert(line, false, 0b11))
+        });
+    });
+
+    g.bench_function("insert_qbs_half_protected", |b| {
+        let mut cache = llc();
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            std::hint::black_box(cache.insert_qbs(line, false, u64::MAX, &|l| l % 2 == 0))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, cache_ops);
+criterion_main!(benches);

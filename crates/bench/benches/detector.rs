@@ -1,0 +1,43 @@
+//! Cost of one front-end pass: Table I metric computation plus the Fig. 5
+//! cascade over 8 cores. The paper measures its kernel module below 0.1%
+//! of machine time; this bench shows the detector itself is microseconds
+//! per epoch, i.e. negligible next to the sampling intervals.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
+use cmm_sim::pmu::Pmu;
+
+fn snapshot(i: u64) -> Pmu {
+    Pmu {
+        cycles: 40_000,
+        instructions: 12_000 + i * 1000,
+        l2_pf_req: 3_000 * (i % 3),
+        l2_pf_miss: 2_500 * (i % 3),
+        l2_dm_req: 900 + i * 17,
+        l2_dm_miss: 700,
+        l3_load_miss: 300,
+        llc_pf_to_mem: 2_000 * (i % 3),
+        stalls_l2_pending: 9_000 + i * 31,
+        ..Pmu::default()
+    }
+}
+
+fn detector(c: &mut Criterion) {
+    let deltas: Vec<Pmu> = (0..8).map(snapshot).collect();
+    let cfg = DetectorConfig::default();
+
+    let mut g = c.benchmark_group("detector");
+    g.throughput(Throughput::Elements(8));
+    g.bench_function("metrics_8_cores", |b| {
+        b.iter(|| {
+            deltas.iter().map(|d| std::hint::black_box(metrics(d)).l2_ptr).sum::<f64>()
+        });
+    });
+    g.bench_function("detect_agg_8_cores", |b| {
+        b.iter(|| std::hint::black_box(detect_agg(&deltas, &cfg)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, detector);
+criterion_main!(benches);

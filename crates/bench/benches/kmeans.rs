@@ -1,0 +1,29 @@
+//! Cost of the 1-D k-means used for group-level throttling (on the `Agg`
+//! set's L2 PTRs) and the Dunn baseline (on per-core stalls) — the paper's
+//! "practical and scalable" claim: clustering keeps the throttling search
+//! at `2^k` settings no matter how many cores the machine has.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cmm_metrics::kmeans_1d;
+
+fn kmeans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmeans_1d");
+    for &n in &[8usize, 64, 512] {
+        // Three traffic levels with jitter, like real PTR distributions.
+        let values: Vec<f64> = (0..n)
+            .map(|i| match i % 3 {
+                0 => 0.001 + (i as f64) * 1e-6,
+                1 => 0.02 + (i as f64) * 1e-5,
+                _ => 0.05 + (i as f64) * 1e-5,
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("k3", n), &values, |b, v| {
+            b.iter(|| std::hint::black_box(kmeans_1d(v, 3)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, kmeans);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Per-access cost of the four prefetch engines under the traffic shapes
+//! that exercise them: a confirmed stream (streamer runs ahead), strided
+//! loads (IP-stride table hits) and random traffic (training churn).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cmm_sim::prefetch::Battery;
+
+fn prefetchers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetchers");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("battery_stream", |b| {
+        let mut bat = Battery::new();
+        let mut out = Vec::with_capacity(32);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            out.clear();
+            bat.l1_access(0x400, addr, false, &mut out);
+            bat.l2_access(0x400, addr, false, &mut out);
+            std::hint::black_box(out.len())
+        });
+    });
+
+    g.bench_function("battery_strided", |b| {
+        let mut bat = Battery::new();
+        let mut out = Vec::with_capacity(32);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 256;
+            out.clear();
+            bat.l1_access(0x400, addr, false, &mut out);
+            std::hint::black_box(out.len())
+        });
+    });
+
+    g.bench_function("battery_random", |b| {
+        let mut bat = Battery::new();
+        let mut out = Vec::with_capacity(32);
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        b.iter(|| {
+            // xorshift for uncorrelated addresses
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.clear();
+            bat.l1_access(0x400, x & 0xFFFF_FFC0, false, &mut out);
+            bat.l2_access(0x400, x & 0xFFFF_FFC0, false, &mut out);
+            std::hint::black_box(out.len())
+        });
+    });
+
+    g.bench_function("battery_disabled", |b| {
+        let mut bat = Battery::new();
+        bat.write_msr(0xF);
+        let mut out = Vec::with_capacity(32);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            out.clear();
+            bat.l1_access(0x400, addr, false, &mut out);
+            bat.l2_access(0x400, addr, false, &mut out);
+            std::hint::black_box(out.len())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, prefetchers);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Substrate performance: simulated cycles per wall-clock second across
+//! core counts. This bounds how long the figure-regeneration suite takes
+//! and documents the cost of the simulation approach itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cmm_sim::config::SystemConfig;
+use cmm_sim::System;
+use cmm_workloads::build_mixes;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for &cores in &[1usize, 4, 8] {
+        let cycles = 200_000u64;
+        g.throughput(Throughput::Elements(cycles * cores as u64));
+        g.bench_with_input(BenchmarkId::new("mixed_workload", cores), &cores, |b, &cores| {
+            let mix = &build_mixes(42, 1)[1];
+            b.iter_batched(
+                || {
+                    let mut cfg = SystemConfig::scaled(cores);
+                    cfg.num_cores = cores;
+                    let ws = mix
+                        .instantiate(cfg.llc.size_bytes)
+                        .into_iter()
+                        .take(cores)
+                        .collect::<Vec<_>>();
+                    System::new(cfg, ws)
+                },
+                |mut sys| {
+                    sys.run(cycles);
+                    sys
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Quality-side ablations of the design choices DESIGN.md calls out:
+//!
+//! * the paper's **1.5× partition-sizing rule** (Sec. III-B3);
+//! * the **epoch : sampling-interval ratio** (Sec. IV-B reports 50:1 and
+//!   claims robustness across 2 B/50 M and 1 B/40 M);
+//! * the substrate's **QBS inclusion-victim mitigation** (what the
+//!   evaluation would look like on a naive pure-LRU inclusive LLC).
+//!
+//! Each ablation runs one Pref Agg and one Pref Unfri mix under CMM-a and
+//! reports HS normalized to that configuration's own baseline.
+
+use cmm_core::experiment::{run_alone_ipcs, run_mix, ExperimentConfig};
+use cmm_core::policy::Mechanism;
+use cmm_metrics::harmonic_speedup;
+use cmm_workloads::{build_mixes, Category, Mix};
+
+/// One ablation observation.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Parameter label, e.g. `"scale=1.5"`.
+    pub setting: String,
+    /// Workload name.
+    pub mix: String,
+    /// CMM-a HS normalized to the same-configuration baseline.
+    pub norm_hs: f64,
+}
+
+fn eval_point(setting: &str, mix: &Mix, cfg: &ExperimentConfig, out: &mut Vec<AblationPoint>) {
+    let alone = run_alone_ipcs(mix, cfg);
+    let base = run_mix(mix, Mechanism::Baseline, cfg);
+    let cmm = run_mix(mix, Mechanism::CmmA, cfg);
+    let norm_hs = harmonic_speedup(&alone, &cmm.ipcs) / harmonic_speedup(&alone, &base.ipcs);
+    out.push(AblationPoint { setting: setting.to_string(), mix: mix.name.clone(), norm_hs });
+}
+
+fn test_mixes() -> Vec<Mix> {
+    let mixes = build_mixes(42, 1);
+    mixes
+        .into_iter()
+        .filter(|m| matches!(m.category, Category::PrefAgg | Category::PrefUnfri))
+        .collect()
+}
+
+/// Sweeps the partition-sizing factor around the paper's 1.5×.
+pub fn ablate_partition_scale(base_cfg: &ExperimentConfig) -> Vec<AblationPoint> {
+    let mut out = Vec::new();
+    for &scale in &[1.0f64, 1.5, 2.0, 3.0] {
+        let mut cfg = base_cfg.clone();
+        cfg.ctrl.partition_scale = scale;
+        for mix in &test_mixes() {
+            eval_point(&format!("scale={scale}"), mix, &cfg, &mut out);
+        }
+    }
+    out
+}
+
+/// Sweeps the execution-epoch : sampling-interval ratio at a fixed
+/// sampling-interval length.
+pub fn ablate_epoch_ratio(base_cfg: &ExperimentConfig) -> Vec<AblationPoint> {
+    let mut out = Vec::new();
+    for &ratio in &[10u64, 50, 125] {
+        let mut cfg = base_cfg.clone();
+        cfg.ctrl.execution_epoch = cfg.ctrl.sampling_interval * ratio;
+        for mix in &test_mixes() {
+            eval_point(&format!("ratio={ratio}:1"), mix, &cfg, &mut out);
+        }
+    }
+    out
+}
+
+/// Compares the evaluation with and without the LLC's QBS
+/// inclusion-victim mitigation.
+pub fn ablate_qbs(base_cfg: &ExperimentConfig) -> Vec<AblationPoint> {
+    let mut out = Vec::new();
+    for &qbs in &[true, false] {
+        let mut cfg = base_cfg.clone();
+        cfg.sys.qbs = qbs;
+        for mix in &test_mixes() {
+            eval_point(&format!("qbs={qbs}"), mix, &cfg, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_scale_sweep_produces_all_points() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.total_cycles = 600_000;
+        let pts = ablate_partition_scale(&cfg);
+        assert_eq!(pts.len(), 4 * 2);
+        assert!(pts.iter().all(|p| p.norm_hs > 0.5 && p.norm_hs < 2.0));
+    }
+
+    #[test]
+    fn qbs_sweep_covers_both_settings() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.total_cycles = 600_000;
+        let pts = ablate_qbs(&cfg);
+        assert!(pts.iter().any(|p| p.setting == "qbs=true"));
+        assert!(pts.iter().any(|p| p.setting == "qbs=false"));
+    }
+}

@@ -1,0 +1,411 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <target> [--quick] [--mixes N] [--seed S]
+//!
+//! targets:
+//!   table1   Table I metrics for every benchmark (run alone)
+//!   fig1     memory bandwidth with/without prefetching
+//!   fig2     IPC speedup from prefetching
+//!   fig3     IPC vs number of LLC ways (prefetchers on)
+//!   fig5     Agg-set detector stages on a sample mix
+//!   fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
+//!   fairness supplementary Gabor-fairness table
+//!   overhead controller overhead accounting (paper: <0.1 %)
+//!   ablate   partition-scale / epoch-ratio / QBS sensitivity studies
+//!   extension  PT vs PT-fine (per-engine throttling beyond the paper)
+//!   all      everything above (except ablate/extension)
+//! ```
+//!
+//! `--quick` shrinks durations and the per-category workload count so the
+//! whole suite finishes in minutes; the default matches the scaled
+//! methodology of DESIGN.md.
+
+use cmm_bench::ablate;
+use cmm_bench::characterize::{
+    prefetch_impact, way_sweep, ways_needed, CharacterizeConfig,
+};
+use cmm_core::experiment::ExperimentConfig;
+use cmm_bench::figures::{self, EvalConfig, Evaluation};
+use cmm_bench::report;
+use cmm_core::backend;
+use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
+use cmm_core::policy::{ControllerConfig, Mechanism};
+use cmm_sim::config::SystemConfig;
+use cmm_sim::System;
+use cmm_workloads::spec::{self, thresholds};
+use cmm_workloads::{build_mixes, Mix};
+
+struct Args {
+    target: String,
+    quick: bool,
+    mixes: Option<usize>,
+    seed: u64,
+    csv: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut target = String::from("all");
+    let mut quick = false;
+    let mut mixes = None;
+    let mut seed = 42;
+    let mut csv = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--csv" => csv = Some(std::path::PathBuf::from(it.next().expect("--csv needs a directory"))),
+            "--mixes" => {
+                mixes = Some(
+                    it.next().and_then(|v| v.parse().ok()).expect("--mixes needs a number"),
+                )
+            }
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs a number")
+            }
+            "--help" | "-h" => {
+                println!("usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|all> [--quick] [--mixes N] [--seed S]");
+                std::process::exit(0);
+            }
+            t if !t.starts_with('-') => target = t.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { target, quick, mixes, seed, csv }
+}
+
+/// Prints a series and, when `--csv DIR` was given, also writes it there.
+fn emit(series: &cmm_bench::figures::FigureSeries, csv: &Option<std::path::PathBuf>) {
+    print!("{}", report::render(series));
+    if let Some(dir) = csv {
+        match cmm_bench::export::write_csv(dir, series) {
+            Ok(path) => eprintln!("[repro] wrote {}", path.display()),
+            Err(e) => eprintln!("[repro] csv export failed: {e}"),
+        }
+    }
+}
+
+fn char_cfg(quick: bool) -> (SystemConfig, CharacterizeConfig) {
+    let sys = SystemConfig::scaled(1);
+    let cfg = if quick { CharacterizeConfig::quick() } else { CharacterizeConfig::default() };
+    (sys, cfg)
+}
+
+fn eval_cfg(args: &Args) -> EvalConfig {
+    let mut cfg = if args.quick { EvalConfig::quick() } else { EvalConfig::default() };
+    if let Some(m) = args.mixes {
+        cfg.mixes_per_category = m;
+    }
+    cfg.seed = args.seed;
+    cfg
+}
+
+fn table1(quick: bool) {
+    let (sys, cfg) = char_cfg(quick);
+    let rows: Vec<Vec<String>> = spec::roster()
+        .iter()
+        .map(|b| {
+            let r = cmm_bench::characterize::run_alone(b, &sys, &cfg, true, None);
+            let m = r.metrics;
+            vec![
+                b.name.to_string(),
+                format!("{:.3}", r.ipc),
+                format!("{}", m.l2_llc_traffic),
+                format!("{:.2}", m.l2_pf_miss_frac),
+                format!("{:.4}", m.l2_ptr),
+                format!("{:.2}", m.pga),
+                format!("{:.2}", m.l2_pmr),
+                format!("{:.2}", m.l2_ppm),
+                format!("{:.3}", m.llc_pt),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(
+            "Table I — per-benchmark metrics (run alone, prefetchers on)",
+            &["benchmark", "IPC", "M-1 L2-LLC", "M-2 frac", "M-3 PTR", "M-4 PGA", "M-5 PMR", "M-6 PPM", "M-7 LLC-PT"],
+            &rows,
+        )
+    );
+}
+
+fn fig1(quick: bool) {
+    let (sys, cfg) = char_cfg(quick);
+    let rows: Vec<Vec<String>> = spec::roster()
+        .iter()
+        .map(|b| {
+            let imp = prefetch_impact(b, &sys, &cfg);
+            let agg = imp.off.demand_bpc > thresholds::DEMAND_INTENSIVE_BPC
+                && imp.bw_increase() > thresholds::AGGRESSIVE_BW_INCREASE;
+            vec![
+                b.name.to_string(),
+                b.spec_alias.to_string(),
+                format!("{:.3}", imp.off.total_bpc()),
+                format!("{:.3}", imp.on.total_bpc()),
+                format!("{:+.0}%", imp.bw_increase() * 100.0),
+                format!("{}", if agg { "yes" } else { "no" }),
+                format!("{}", if b.class.prefetch_aggressive { "yes" } else { "no" }),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(
+            "Fig. 1 — memory bandwidth (bytes/cycle) without/with prefetching",
+            &["benchmark", "SPEC analogue", "BW off", "BW on", "increase", "aggressive?", "intended"],
+            &rows,
+        )
+    );
+}
+
+fn fig2(quick: bool) {
+    let (sys, cfg) = char_cfg(quick);
+    let rows: Vec<Vec<String>> = spec::roster()
+        .iter()
+        .map(|b| {
+            let imp = prefetch_impact(b, &sys, &cfg);
+            let friendly = imp.ipc_speedup() > thresholds::FRIENDLY_IPC_SPEEDUP;
+            vec![
+                b.name.to_string(),
+                format!("{:.3}", imp.off.ipc),
+                format!("{:.3}", imp.on.ipc),
+                format!("{:+.0}%", imp.ipc_speedup() * 100.0),
+                format!("{}", if friendly { "yes" } else { "no" }),
+                format!("{}", if b.class.prefetch_friendly { "yes" } else { "no" }),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(
+            "Fig. 2 — IPC speedup from prefetching",
+            &["benchmark", "IPC off", "IPC on", "speedup", "friendly?", "intended"],
+            &rows,
+        )
+    );
+}
+
+fn fig3(quick: bool) {
+    let (sys, cfg) = char_cfg(quick);
+    let header_ways: Vec<String> = (1..=sys.llc.ways).map(|w| format!("{w}w")).collect();
+    let mut headers: Vec<&str> = vec!["benchmark", "needs", "sensitive?"];
+    headers.extend(header_ways.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = spec::roster()
+        .iter()
+        .map(|b| {
+            let sweep = way_sweep(b, &sys, &cfg);
+            let needs = ways_needed(&sweep, thresholds::LLC_SENSITIVE_PERF);
+            let mut row = vec![
+                b.name.to_string(),
+                format!("{needs}"),
+                format!(
+                    "{}",
+                    if needs >= thresholds::LLC_SENSITIVE_WAYS { "yes" } else { "no" }
+                ),
+            ];
+            let peak = sweep.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+            row.extend(sweep.iter().map(|&i| format!("{:.2}", i / peak)));
+            row
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(
+            "Fig. 3 — IPC (relative to peak) vs LLC way count, prefetchers on",
+            &headers,
+            &rows,
+        )
+    );
+}
+
+fn fig5(quick: bool) {
+    // Demonstrates the detector cascade on one Pref Agg mix.
+    let mix: Mix = build_mixes(42, 1)[1].clone();
+    let mut sys_cfg = SystemConfig::scaled(8);
+    sys_cfg.num_cores = mix.num_cores();
+    let workloads = mix.instantiate(sys_cfg.llc.size_bytes);
+    let mut sys = System::new(sys_cfg, workloads);
+    sys.run(if quick { 300_000 } else { 600_000 });
+    let deltas = backend::sample(&mut sys, if quick { 40_000 } else { 100_000 });
+    let det_cfg = DetectorConfig::default();
+    let agg = detect_agg(&deltas, &det_cfg);
+    let rows: Vec<Vec<String>> = deltas
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let m = metrics(d);
+            vec![
+                format!("core {i}"),
+                mix.benchmarks[i].name.to_string(),
+                format!("{:.2}", m.pga),
+                format!("{:.2}", m.l2_pmr),
+                format!("{:.4}", m.l2_ptr),
+                format!("{}", if agg.contains(&i) { "AGG" } else { "-" }),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(
+            &format!(
+                "Fig. 5 — Agg-set detection on {} (PGA≥{}, PMR≥{}, PTR≥{})",
+                mix.name, det_cfg.pga_floor, det_cfg.pmr_threshold, det_cfg.ptr_threshold
+            ),
+            &["core", "benchmark", "PGA", "PMR", "PTR", "verdict"],
+            &rows,
+        )
+    );
+    let _ = ControllerConfig::default();
+}
+
+fn needed_mechanisms(target: &str) -> Vec<Mechanism> {
+    match target {
+        "fig7" | "fig8" => vec![Mechanism::Pt],
+        "fig9" | "fig10" => vec![Mechanism::Dunn, Mechanism::PrefCp, Mechanism::PrefCp2],
+        "fig11" | "fig12" => vec![Mechanism::CmmA, Mechanism::CmmB, Mechanism::CmmC],
+        _ => Mechanism::all_managed().to_vec(),
+    }
+}
+
+fn print_eval_target(target: &str, eval: &Evaluation, csv: &Option<std::path::PathBuf>) {
+    match target {
+        "fig7" => {
+            let (hs, ws) = figures::fig7(eval);
+            emit(&hs, csv);
+            emit(&ws, csv);
+        }
+        "fig8" => emit(&figures::fig8(eval), csv),
+        "fig9" => {
+            let (hs, ws) = figures::fig9(eval);
+            emit(&hs, csv);
+            emit(&ws, csv);
+        }
+        "fig10" => emit(&figures::fig10(eval), csv),
+        "fig11" => {
+            let (hs, ws) = figures::fig11(eval);
+            emit(&hs, csv);
+            emit(&ws, csv);
+        }
+        "fig12" => emit(&figures::fig12(eval), csv),
+        "fig13" => emit(&figures::fig13(eval), csv),
+        "fig14" => emit(&figures::fig14(eval), csv),
+        "fig15" => emit(&figures::fig15(eval), csv),
+        "fairness" => emit(&figures::fairness(eval), csv),
+        "overhead" => {
+            let mut rows = Vec::new();
+            for w in &eval.workloads {
+                for (&m, r) in &w.managed {
+                    rows.push(vec![
+                        w.mix.name.clone(),
+                        m.label().to_string(),
+                        format!("{:.4}%", r.overhead_ratio * 100.0),
+                    ]);
+                }
+            }
+            rows.sort();
+            print!(
+                "{}",
+                report::table(
+                    "Controller overhead (paper reports <0.1%)",
+                    &["workload", "mechanism", "overhead"],
+                    &rows,
+                )
+            );
+        }
+        other => unreachable!("unhandled eval target {other}"),
+    }
+}
+
+fn run_ablations(args: &Args) {
+    let mut cfg =
+        if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    if args.quick {
+        cfg.total_cycles = 1_000_000;
+    }
+    let dump = |title: &str, pts: &[ablate::AblationPoint]| {
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| vec![p.setting.clone(), p.mix.clone(), format!("{:.3}", p.norm_hs)])
+            .collect();
+        print!("{}", report::table(title, &["setting", "workload", "CMM-a norm. HS"], &rows));
+    };
+    eprintln!("[repro] ablation: partition scale");
+    dump("Ablation — partition sizing factor (paper: 1.5×)", &ablate::ablate_partition_scale(&cfg));
+    eprintln!("[repro] ablation: epoch ratio");
+    dump("Ablation — execution-epoch : sampling-interval ratio (paper: 50:1)", &ablate::ablate_epoch_ratio(&cfg));
+    eprintln!("[repro] ablation: QBS");
+    dump("Ablation — inclusive-LLC QBS victim selection", &ablate::ablate_qbs(&cfg));
+}
+
+fn run_extension(args: &Args) {
+    use cmm_core::experiment::{run_alone_ipcs, run_mix};
+    let cfg = if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let mut rows = Vec::new();
+    for mix in build_mixes(args.seed, 2) {
+        if !matches!(mix.category, cmm_workloads::Category::PrefUnfri | cmm_workloads::Category::PrefAgg) {
+            continue;
+        }
+        eprintln!("[repro] extension: {}", mix.name);
+        let alone = run_alone_ipcs(&mix, &cfg);
+        let base = run_mix(&mix, Mechanism::Baseline, &cfg);
+        let hs_base = cmm_metrics::harmonic_speedup(&alone, &base.ipcs);
+        let mut row = vec![mix.name.clone()];
+        for mech in [Mechanism::Pt, Mechanism::PtFine] {
+            let r = run_mix(&mix, mech, &cfg);
+            let hs = cmm_metrics::harmonic_speedup(&alone, &r.ipcs) / hs_base;
+            let wc = cmm_metrics::worst_case_speedup(&r.ipcs, &base.ipcs);
+            row.push(format!("{hs:.3}"));
+            row.push(format!("{wc:.3}"));
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        report::table(
+            "Extension — binary PT vs per-engine PT-fine (norm. HS / worst case)",
+            &["workload", "PT HS", "PT wc", "PT-fine HS", "PT-fine wc"],
+            &rows,
+        )
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let eval_targets = [
+        "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fairness",
+        "overhead",
+    ];
+    match args.target.as_str() {
+        "ablate" => run_ablations(&args),
+        "extension" => run_extension(&args),
+        "table1" => table1(args.quick),
+        "fig1" => fig1(args.quick),
+        "fig2" => fig2(args.quick),
+        "fig3" => fig3(args.quick),
+        "fig5" => fig5(args.quick),
+        t if eval_targets.contains(&t) => {
+            let eval = figures::evaluate(&needed_mechanisms(t), &eval_cfg(&args), true);
+            print_eval_target(t, &eval, &args.csv);
+        }
+        "all" => {
+            table1(args.quick);
+            fig1(args.quick);
+            fig2(args.quick);
+            fig3(args.quick);
+            fig5(args.quick);
+            let eval =
+                figures::evaluate(&Mechanism::all_managed(), &eval_cfg(&args), true);
+            for t in eval_targets {
+                print_eval_target(t, &eval, &args.csv);
+            }
+        }
+        other => {
+            eprintln!("unknown target {other}; try --help");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! CSV export of figure series, for plotting outside the terminal.
+//!
+//! `repro <target> --csv DIR` writes one file per series next to the text
+//! tables, in a dialect any plotting tool ingests directly:
+//! `workload,<col1>,<col2>,...` rows plus trailing `mean:<category>` rows.
+
+use crate::figures::FigureSeries;
+use std::io::Write;
+use std::path::Path;
+
+/// Sanitises a series title into a file name (`fig7_hs.csv`-style).
+pub fn file_name(title: &str) -> String {
+    let mut out = String::new();
+    for c in title.chars() {
+        match c {
+            'a'..='z' | '0'..='9' => out.push(c),
+            'A'..='Z' => out.push(c.to_ascii_lowercase()),
+            ' ' | '-' | '.' | '—' | ':' | '(' | ')' | '/' => {
+                if !out.ends_with('_') && !out.is_empty() {
+                    out.push('_');
+                }
+            }
+            _ => {}
+        }
+    }
+    let trimmed = out.trim_matches('_');
+    format!("{trimmed}.csv")
+}
+
+/// Renders one series as CSV text.
+pub fn to_csv(series: &FigureSeries) -> String {
+    let mut out = String::new();
+    out.push_str("workload");
+    for c in &series.columns {
+        out.push(',');
+        out.push_str(c);
+    }
+    out.push('\n');
+    for (name, vals) in &series.rows {
+        out.push_str(name);
+        for v in vals {
+            out.push_str(&format!(",{v:.6}"));
+        }
+        out.push('\n');
+    }
+    for (name, vals) in &series.category_means {
+        out.push_str(&format!("mean:{name}"));
+        for v in vals {
+            out.push_str(&format!(",{v:.6}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `series` under `dir` (created if absent). Returns the path.
+pub fn write_csv(dir: &Path, series: &FigureSeries) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(file_name(&series.title));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(to_csv(series).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> FigureSeries {
+        FigureSeries {
+            title: "Fig. 7 — PT: HS normalized to baseline".into(),
+            columns: vec!["PT".into(), "CMM-a".into()],
+            rows: vec![("PrefFri-00".into(), vec![1.05, 1.1])],
+            category_means: vec![("Pref Fri".into(), vec![1.02, 1.07])],
+        }
+    }
+
+    #[test]
+    fn file_names_are_clean() {
+        assert_eq!(file_name(&series().title), "fig_7_pt_hs_normalized_to_baseline.csv");
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = to_csv(&series());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "workload,PT,CMM-a");
+        assert!(lines[1].starts_with("PrefFri-00,1.05"));
+        assert!(lines[2].starts_with("mean:Pref Fri,"));
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let dir = std::env::temp_dir().join("cmm_csv_test");
+        let path = write_csv(&dir, &series()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("PrefFri-00"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,346 @@
+//! The multiprogrammed evaluation: Figs. 7–15.
+//!
+//! [`evaluate`] runs every workload mix under the baseline and a chosen
+//! set of mechanisms once, measuring run-alone IPCs on the side; each
+//! `fig*` function then extracts one figure's series from the shared
+//! [`Evaluation`], so `repro all` pays for each simulation exactly once.
+
+use std::collections::HashMap;
+
+use cmm_core::experiment::{run_alone_ipc, run_mix, ExperimentConfig, MixResult};
+use cmm_core::policy::Mechanism;
+use cmm_metrics as met;
+use cmm_workloads::{build_mixes, Category, Mix};
+
+/// Evaluation-wide settings.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Per-run settings (machine, controller, durations).
+    pub exp: ExperimentConfig,
+    /// Workloads per category (paper: 10).
+    pub mixes_per_category: usize,
+    /// Mix-construction seed.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { exp: ExperimentConfig::default(), mixes_per_category: 10, seed: 42 }
+    }
+}
+
+impl EvalConfig {
+    /// Reduced size/duration for tests and `--quick`.
+    pub fn quick() -> Self {
+        EvalConfig { exp: ExperimentConfig::quick(), mixes_per_category: 2, seed: 42 }
+    }
+}
+
+/// All measurements for one workload mix.
+#[derive(Debug, Clone)]
+pub struct WorkloadEval {
+    /// The mix that ran.
+    pub mix: Mix,
+    /// Run-alone IPC per core (for HS).
+    pub alone: Vec<f64>,
+    /// Baseline result.
+    pub baseline: MixResult,
+    /// Result per managed mechanism.
+    pub managed: HashMap<Mechanism, MixResult>,
+}
+
+impl WorkloadEval {
+    /// Harmonic speedup of a result against the run-alone IPCs.
+    pub fn hs(&self, r: &MixResult) -> f64 {
+        met::harmonic_speedup(&self.alone, &r.ipcs)
+    }
+
+    /// HS of `mech` normalized to the baseline's HS (the paper's Fig. 7/9/
+    /// 11/13 y-axis).
+    pub fn norm_hs(&self, mech: Mechanism) -> f64 {
+        self.hs(&self.managed[&mech]) / self.hs(&self.baseline)
+    }
+
+    /// WS of `mech` normalized by the core count (1.0 = baseline parity).
+    pub fn norm_ws(&self, mech: Mechanism) -> f64 {
+        met::weighted_speedup(&self.managed[&mech].ipcs, &self.baseline.ipcs)
+            / self.mix.num_cores() as f64
+    }
+
+    /// Lowest per-application normalized IPC (Figs. 8/10/12).
+    pub fn worst_case(&self, mech: Mechanism) -> f64 {
+        met::worst_case_speedup(&self.managed[&mech].ipcs, &self.baseline.ipcs)
+    }
+
+    /// Memory traffic normalized to baseline (Fig. 14).
+    pub fn norm_bw(&self, mech: Mechanism) -> f64 {
+        self.managed[&mech].mem_bytes as f64 / self.baseline.mem_bytes.max(1) as f64
+    }
+
+    /// Summed `STALLS_L2_PENDING` normalized to baseline (Fig. 15).
+    pub fn norm_stalls(&self, mech: Mechanism) -> f64 {
+        self.managed[&mech].stalls_l2 as f64 / self.baseline.stalls_l2.max(1) as f64
+    }
+}
+
+/// The full evaluation state shared by all figures.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// One entry per workload, in the paper's plotting order.
+    pub workloads: Vec<WorkloadEval>,
+    /// Which mechanisms were run.
+    pub mechanisms: Vec<Mechanism>,
+}
+
+impl Evaluation {
+    /// Mean of `f` over the workloads of one category (the grey bars in
+    /// the paper's figures).
+    pub fn category_mean(&self, cat: Category, f: impl Fn(&WorkloadEval) -> f64) -> f64 {
+        let vals: Vec<f64> =
+            self.workloads.iter().filter(|w| w.mix.category == cat).map(f).collect();
+        met::mean(&vals)
+    }
+}
+
+/// Runs the evaluation: every mix under the baseline plus `mechanisms`.
+/// `progress` (if true) prints one line per (mix, mechanism) to stderr.
+pub fn evaluate(mechanisms: &[Mechanism], cfg: &EvalConfig, progress: bool) -> Evaluation {
+    let mixes = build_mixes(cfg.seed, cfg.mixes_per_category);
+    let mut alone_cache: HashMap<&str, f64> = HashMap::new();
+    let mut workloads = Vec::with_capacity(mixes.len());
+    for mix in &mixes {
+        let alone: Vec<f64> = mix
+            .benchmarks
+            .iter()
+            .map(|b| {
+                *alone_cache.entry(b.name).or_insert_with(|| run_alone_ipc(b, &cfg.exp))
+            })
+            .collect();
+        if progress {
+            eprintln!("[repro] {}: baseline", mix.name);
+        }
+        let baseline = run_mix(mix, Mechanism::Baseline, &cfg.exp);
+        let mut managed = HashMap::new();
+        for &m in mechanisms {
+            if progress {
+                eprintln!("[repro] {}: {}", mix.name, m.label());
+            }
+            managed.insert(m, run_mix(mix, m, &cfg.exp));
+        }
+        workloads.push(WorkloadEval { mix: mix.clone(), alone, baseline, managed });
+    }
+    Evaluation { workloads, mechanisms: mechanisms.to_vec() }
+}
+
+/// A generic per-workload, per-mechanism series with category means —
+/// the shape every Fig. 7–15 table shares.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Figure identifier, e.g. `"Fig. 7 (HS)"`.
+    pub title: String,
+    /// Mechanism labels, one per column.
+    pub columns: Vec<String>,
+    /// `(workload name, values per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// `(category label, mean per column)`.
+    pub category_means: Vec<(String, Vec<f64>)>,
+}
+
+/// Builds a series by applying `f(workload, mechanism)` over the grid.
+pub fn series(
+    eval: &Evaluation,
+    title: &str,
+    mechanisms: &[Mechanism],
+    f: impl Fn(&WorkloadEval, Mechanism) -> f64,
+) -> FigureSeries {
+    let rows = eval
+        .workloads
+        .iter()
+        .map(|w| (w.mix.name.clone(), mechanisms.iter().map(|&m| f(w, m)).collect()))
+        .collect();
+    let category_means = Category::all()
+        .iter()
+        .map(|&c| {
+            (
+                c.label().to_string(),
+                mechanisms.iter().map(|&m| eval.category_mean(c, |w| f(w, m))).collect(),
+            )
+        })
+        .collect();
+    FigureSeries {
+        title: title.to_string(),
+        columns: mechanisms.iter().map(|m| m.label().to_string()).collect(),
+        rows,
+        category_means,
+    }
+}
+
+/// Fig. 7: PT's normalized HS and WS.
+pub fn fig7(eval: &Evaluation) -> (FigureSeries, FigureSeries) {
+    let m = [Mechanism::Pt];
+    (
+        series(eval, "Fig. 7 — PT: HS normalized to baseline", &m, |w, m| w.norm_hs(m)),
+        series(eval, "Fig. 7 — PT: WS normalized to baseline", &m, |w, m| w.norm_ws(m)),
+    )
+}
+
+/// Fig. 8: PT's lowest per-application normalized IPC per workload.
+pub fn fig8(eval: &Evaluation) -> FigureSeries {
+    series(eval, "Fig. 8 — PT: lowest normalized IPC", &[Mechanism::Pt], |w, m| {
+        w.worst_case(m)
+    })
+}
+
+const CP_MECHS: [Mechanism; 3] = [Mechanism::Dunn, Mechanism::PrefCp, Mechanism::PrefCp2];
+
+/// Fig. 9: CP mechanisms' normalized HS and WS.
+pub fn fig9(eval: &Evaluation) -> (FigureSeries, FigureSeries) {
+    (
+        series(eval, "Fig. 9 — CP: HS normalized to baseline", &CP_MECHS, |w, m| w.norm_hs(m)),
+        series(eval, "Fig. 9 — CP: WS normalized to baseline", &CP_MECHS, |w, m| w.norm_ws(m)),
+    )
+}
+
+/// Fig. 10: CP mechanisms' worst-case speedups.
+pub fn fig10(eval: &Evaluation) -> FigureSeries {
+    series(eval, "Fig. 10 — CP: lowest normalized IPC", &CP_MECHS, |w, m| w.worst_case(m))
+}
+
+const CMM_MECHS: [Mechanism; 3] = [Mechanism::CmmA, Mechanism::CmmB, Mechanism::CmmC];
+
+/// Fig. 11: CMM-a/b/c normalized HS and WS.
+pub fn fig11(eval: &Evaluation) -> (FigureSeries, FigureSeries) {
+    (
+        series(eval, "Fig. 11 — CMM: HS normalized to baseline", &CMM_MECHS, |w, m| {
+            w.norm_hs(m)
+        }),
+        series(eval, "Fig. 11 — CMM: WS normalized to baseline", &CMM_MECHS, |w, m| {
+            w.norm_ws(m)
+        }),
+    )
+}
+
+/// Fig. 12: CMM-a/b/c worst-case speedups.
+pub fn fig12(eval: &Evaluation) -> FigureSeries {
+    series(eval, "Fig. 12 — CMM: lowest normalized IPC", &CMM_MECHS, |w, m| w.worst_case(m))
+}
+
+/// Fig. 13: all seven mechanisms' normalized HS.
+pub fn fig13(eval: &Evaluation) -> FigureSeries {
+    series(
+        eval,
+        "Fig. 13 — all mechanisms: HS normalized to baseline",
+        &Mechanism::all_managed(),
+        |w, m| w.norm_hs(m),
+    )
+}
+
+/// Fig. 14: normalized memory traffic.
+pub fn fig14(eval: &Evaluation) -> FigureSeries {
+    series(
+        eval,
+        "Fig. 14 — normalized memory bandwidth consumption",
+        &Mechanism::all_managed(),
+        |w, m| w.norm_bw(m),
+    )
+}
+
+/// Supplementary fairness table (not a paper figure): Gabor fairness
+/// (min/max slowdown) of the baseline and each mechanism, computed from
+/// the run-alone IPCs. The paper folds fairness into HS; this view makes
+/// the isolation improvement explicit.
+pub fn fairness(eval: &Evaluation) -> FigureSeries {
+    let mechs = eval.mechanisms.clone();
+    let rows = eval
+        .workloads
+        .iter()
+        .map(|w| {
+            let mut vals = vec![met::gabor_fairness(&w.alone, &w.baseline.ipcs)];
+            vals.extend(
+                mechs.iter().map(|m| met::gabor_fairness(&w.alone, &w.managed[&m].ipcs)),
+            );
+            (w.mix.name.clone(), vals)
+        })
+        .collect();
+    let category_means = Category::all()
+        .iter()
+        .map(|&c| {
+            let mut vals =
+                vec![eval.category_mean(c, |w| met::gabor_fairness(&w.alone, &w.baseline.ipcs))];
+            vals.extend(mechs.iter().map(|&m| {
+                eval.category_mean(c, |w| met::gabor_fairness(&w.alone, &w.managed[&m].ipcs))
+            }));
+            (c.label().to_string(), vals)
+        })
+        .collect();
+    let mut columns = vec!["Baseline".to_string()];
+    columns.extend(mechs.iter().map(|m| m.label().to_string()));
+    FigureSeries {
+        title: "Supplementary — Gabor fairness (min/max slowdown)".into(),
+        columns,
+        rows,
+        category_means,
+    }
+}
+
+/// Fig. 15: normalized summed `STALLS_L2_PENDING`.
+pub fn fig15(eval: &Evaluation) -> FigureSeries {
+    series(
+        eval,
+        "Fig. 15 — normalized L2-pending stall cycles",
+        &Mechanism::all_managed(),
+        |w, m| w.norm_stalls(m),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_eval(mechs: &[Mechanism]) -> Evaluation {
+        let mut cfg = EvalConfig::quick();
+        cfg.mixes_per_category = 1;
+        evaluate(mechs, &cfg, false)
+    }
+
+    #[test]
+    fn evaluation_covers_all_categories_in_order() {
+        let eval = tiny_eval(&[Mechanism::Pt]);
+        assert_eq!(eval.workloads.len(), 4);
+        let cats: Vec<Category> = eval.workloads.iter().map(|w| w.mix.category).collect();
+        assert_eq!(cats, Category::all().to_vec());
+    }
+
+    #[test]
+    fn series_shape_matches_grid() {
+        let eval = tiny_eval(&[Mechanism::Pt]);
+        let (hs, ws) = fig7(&eval);
+        assert_eq!(hs.rows.len(), 4);
+        assert_eq!(hs.columns, vec!["PT"]);
+        assert_eq!(hs.category_means.len(), 4);
+        assert_eq!(ws.rows[0].1.len(), 1);
+    }
+
+    #[test]
+    fn norm_metrics_are_positive_and_sane() {
+        let eval = tiny_eval(&[Mechanism::Pt]);
+        for w in &eval.workloads {
+            let hs = w.norm_hs(Mechanism::Pt);
+            let ws = w.norm_ws(Mechanism::Pt);
+            let wc = w.worst_case(Mechanism::Pt);
+            assert!(hs > 0.3 && hs < 3.0, "hs {hs}");
+            assert!(ws > 0.3 && ws < 3.0, "ws {ws}");
+            assert!(wc > 0.0 && wc <= 2.0, "wc {wc}");
+            assert!(w.norm_bw(Mechanism::Pt) > 0.0);
+            assert!(w.norm_stalls(Mechanism::Pt) > 0.0);
+        }
+    }
+
+    #[test]
+    fn category_mean_is_mean_of_members() {
+        let eval = tiny_eval(&[Mechanism::Pt]);
+        let f = |w: &WorkloadEval| w.norm_hs(Mechanism::Pt);
+        let manual = f(&eval.workloads[0]);
+        assert!((eval.category_mean(Category::PrefFri, f) - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! # cmm-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation from the
+//! simulator (see DESIGN.md §4 for the experiment index):
+//!
+//! * [`characterize`] — single-benchmark characterisation: Fig. 1
+//!   (memory bandwidth ± prefetching), Fig. 2 (IPC speedup from
+//!   prefetching), Fig. 3 (IPC vs LLC ways), Table I / Fig. 5 (detector
+//!   metrics).
+//! * [`figures`] — the multiprogrammed evaluation: Figs. 7–15 over the
+//!   four 10-workload categories.
+//! * [`report`] — small fixed-width table printer shared by the `repro`
+//!   binary.
+//!
+//! * [`ablate`] — sensitivity studies of the 1.5× partition rule, the
+//!   epoch:sampling ratio and the substrate's QBS policy.
+//!
+//! The `repro` binary exposes one subcommand per table/figure:
+//! `repro fig7`, `repro table1`, `repro ablate`, `repro all --quick`, …
+
+pub mod ablate;
+pub mod characterize;
+pub mod export;
+pub mod figures;
+pub mod report;

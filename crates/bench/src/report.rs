@@ -1,0 +1,93 @@
+//! Fixed-width table printing for the `repro` binary.
+
+use crate::figures::FigureSeries;
+
+/// Renders a [`FigureSeries`] as an aligned text table, with the paper's
+/// grey category-mean bars as a trailing block.
+pub fn render(series: &FigureSeries) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {}\n", series.title));
+    let name_w = series
+        .rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(series.category_means.iter().map(|(n, _)| n.len()))
+        .chain(std::iter::once("workload".len()))
+        .max()
+        .unwrap_or(10);
+    let col_w = series.columns.iter().map(|c| c.len().max(8)).collect::<Vec<_>>();
+
+    out.push_str(&format!("{:<name_w$}", "workload"));
+    for (c, w) in series.columns.iter().zip(&col_w) {
+        out.push_str(&format!("  {c:>w$}"));
+    }
+    out.push('\n');
+    for (name, vals) in &series.rows {
+        out.push_str(&format!("{name:<name_w$}"));
+        for (v, w) in vals.iter().zip(&col_w) {
+            out.push_str(&format!("  {v:>w$.3}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:-<1$}\n", "", name_w + col_w.iter().map(|w| w + 2).sum::<usize>()));
+    for (name, vals) in &series.category_means {
+        out.push_str(&format!("{name:<name_w$}"));
+        for (v, w) in vals.iter().zip(&col_w) {
+            out.push_str(&format!("  {v:>w$.3}"));
+        }
+        out.push_str("  (mean)\n");
+    }
+    out
+}
+
+/// Renders a plain header + rows table (for Table I / Figs. 1–3).
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!("{h:<w$}  "));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:-<1$}\n", "", widths.iter().map(|w| w + 2).sum::<usize>()));
+    for row in rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!("{cell:<w$}  "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigureSeries;
+
+    #[test]
+    fn render_contains_rows_and_means() {
+        let s = FigureSeries {
+            title: "Test".into(),
+            columns: vec!["PT".into()],
+            rows: vec![("W-00".into(), vec![1.234])],
+            category_means: vec![("Cat".into(), vec![1.111])],
+        };
+        let r = render(&s);
+        assert!(r.contains("W-00"));
+        assert!(r.contains("1.234"));
+        assert!(r.contains("1.111"));
+        assert!(r.contains("(mean)"));
+    }
+
+    #[test]
+    fn table_aligns_headers() {
+        let t = table("T", &["name", "x"], &[vec!["longname".into(), "1".into()]]);
+        assert!(t.contains("longname"));
+        assert!(t.contains("## T"));
+    }
+}

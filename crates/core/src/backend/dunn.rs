@@ -1,0 +1,111 @@
+//! The "Dunn" baseline — Selfa et al., *Application Clustering Policies to
+//! Address System Fairness with Intel's Cache Allocation Technology*,
+//! PACT 2017 — the best prior CP algorithm the paper compares against
+//! (Sec. V-B) and CMM's fallback when the `Agg` set is empty
+//! (Fig. 6 (d)).
+//!
+//! Cores are k-means-clustered by their `STALLS_L2_PENDING` counts; the
+//! partitions are **nested**: every mask starts at way 0, and a cluster
+//! with higher average stalls gets a wider mask (more ways), the top
+//! cluster receiving the whole cache. Prefetching is not considered — the
+//! omission the paper exploits.
+
+use super::PartitionPlan;
+use cmm_sim::msr::contiguous_mask;
+use cmm_sim::pmu::PmuDelta;
+
+/// CLOS ids `1..=k` hold the nested masks; CLOS 0 keeps the full mask but
+/// is unused once every core is assigned a cluster.
+pub fn dunn_plan(deltas: &[PmuDelta], llc_ways: u32, clusters: usize) -> PartitionPlan {
+    let n = deltas.len();
+    assert!(n > 0);
+    let stalls: Vec<f64> = deltas.iter().map(|d| d.stalls_l2_pending as f64).collect();
+    let clustering = cmm_metrics::kmeans_1d(&stalls, clusters);
+    let k = clustering.k();
+
+    let mut plan = PartitionPlan::flat(n, llc_ways);
+    // Nested widths: cluster g (ascending stalls) gets ceil(ways·(g+1)/k),
+    // with a generous floor of 40% of the cache (on an inclusive LLC a
+    // starved low-stall cluster back-invalidates the private caches of
+    // L2-resident applications, which Selfa et al.'s allocations avoid in
+    // practice); the top cluster gets everything.
+    let floor = ((llc_ways as f64 * 0.4).ceil() as u32).max(2);
+    for g in 0..k {
+        let ways = if g + 1 == k {
+            llc_ways
+        } else {
+            (((llc_ways as usize * (g + 1)).div_ceil(k)) as u32).max(floor).min(llc_ways)
+        };
+        plan.masks.push((g + 1, contiguous_mask(0, ways)));
+    }
+    for (core, clos) in plan.assignments.iter_mut() {
+        *clos = clustering.assignments[*core] + 1;
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_sim::pmu::Pmu;
+
+    fn stalled(cycles: u64, stalls: u64) -> PmuDelta {
+        Pmu { cycles, stalls_l2_pending: stalls, ..Pmu::default() }
+    }
+
+    #[test]
+    fn higher_stalls_get_more_ways() {
+        let deltas = vec![
+            stalled(100_000, 100),
+            stalled(100_000, 90_000),
+            stalled(100_000, 200),
+            stalled(100_000, 85_000),
+        ];
+        let plan = dunn_plan(&deltas, 20, 4);
+        let mask_of = |core: usize| {
+            let clos = plan.assignments.iter().find(|(c, _)| *c == core).unwrap().1;
+            plan.masks.iter().find(|(c, _)| *c == clos).unwrap().1
+        };
+        assert!(mask_of(1).count_ones() > mask_of(0).count_ones());
+        assert!(mask_of(3).count_ones() > mask_of(2).count_ones());
+        // The most-stalled cluster owns the whole cache.
+        assert_eq!(mask_of(1), (1 << 20) - 1);
+    }
+
+    #[test]
+    fn masks_are_nested() {
+        let deltas: Vec<PmuDelta> =
+            (0..8).map(|i| stalled(100_000, (i as u64 + 1) * 10_000)).collect();
+        let plan = dunn_plan(&deltas, 20, 4);
+        let mut masks: Vec<u64> =
+            plan.masks.iter().filter(|(c, _)| *c > 0).map(|&(_, m)| m).collect();
+        masks.sort_unstable();
+        for w in masks.windows(2) {
+            assert_eq!(w[0] & w[1], w[0], "partitions must be nested: {w:?}");
+        }
+    }
+
+    #[test]
+    fn every_core_assigned_and_every_mask_valid() {
+        let deltas: Vec<PmuDelta> = (0..8).map(|i| stalled(100_000, i * 7_919)).collect();
+        let plan = dunn_plan(&deltas, 20, 4);
+        assert_eq!(plan.assignments.len(), 8);
+        for &(_, m) in &plan.masks {
+            assert!(cmm_sim::msr::mask_is_contiguous(m));
+            assert!(m.count_ones() >= 2);
+        }
+        for &(_, clos) in &plan.assignments {
+            assert!(plan.masks.iter().any(|(c, _)| *c == clos));
+        }
+    }
+
+    #[test]
+    fn identical_cores_collapse_to_one_cluster() {
+        let deltas = vec![stalled(100_000, 5_000); 4];
+        let plan = dunn_plan(&deltas, 20, 4);
+        // One cluster → it is the "top" cluster → full mask for everyone.
+        let clos = plan.assignments[0].1;
+        assert!(plan.assignments.iter().all(|&(_, c)| c == clos));
+        assert_eq!(plan.masks.iter().find(|(c, _)| *c == clos).unwrap().1, (1 << 20) - 1);
+    }
+}

@@ -1,0 +1,398 @@
+//! CMM back-end: resource allocators.
+//!
+//! Shared plumbing for the four allocator families:
+//!
+//! * [`pt`] — prefetch throttling (Sec. III-B1);
+//! * [`cp`] — Pref-CP / Pref-CP2 cache partitioning (Sec. III-B2);
+//! * [`dunn`] — the Selfa et al. clustering baseline;
+//! * [`cmm`] — the coordinated CMM-a/b/c policies (Sec. III-B3).
+//!
+//! All allocators speak in terms of a [`PartitionPlan`] (CLOS masks +
+//! core→CLOS assignments) and per-core prefetch enable vectors, applied
+//! through [`cmm_sim::System`]'s MSR surface.
+
+pub mod cmm;
+pub mod cp;
+pub mod dunn;
+pub mod pt;
+
+use cmm_sim::msr::contiguous_mask;
+use cmm_sim::pmu::PmuDelta;
+use cmm_sim::System;
+
+/// A complete CAT programming: which mask each CLOS holds and which CLOS
+/// each core belongs to. CLOS 0 is conventionally the full-LLC "neutral"
+/// class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    /// `(clos, way_mask)` pairs to program.
+    pub masks: Vec<(usize, u64)>,
+    /// `(core, clos)` assignments.
+    pub assignments: Vec<(usize, usize)>,
+}
+
+impl PartitionPlan {
+    /// The no-partitioning plan: every core in the full-mask CLOS 0.
+    pub fn flat(num_cores: usize, llc_ways: u32) -> Self {
+        PartitionPlan {
+            masks: vec![(0, contiguous_mask(0, llc_ways))],
+            assignments: (0..num_cores).map(|c| (c, 0)).collect(),
+        }
+    }
+
+    /// Programs the plan into the machine.
+    pub fn apply(&self, sys: &mut System) {
+        for &(clos, mask) in &self.masks {
+            sys.set_clos_mask(clos, mask).expect("invalid partition plan mask");
+        }
+        for &(core, clos) in &self.assignments {
+            sys.assign_clos(core, clos).expect("invalid partition plan assignment");
+        }
+    }
+}
+
+/// The paper's partition-sizing rule (Sec. III-B3): a partition holding
+/// `cores` cores gets `ceil(scale × cores)` ways, clamped so the partition
+/// never swallows the whole cache (at least one way must stay exclusive to
+/// the neutral set for isolation to mean anything) and never goes below
+/// CAT's 1-way minimum.
+///
+/// `min_ways_per_core` is the inclusive-LLC coverage floor: a partition
+/// smaller than the sum of its cores' private L2 capacities makes the
+/// (inclusive) LLC back-invalidate the very lines those L2s are using —
+/// an eviction war real CAT deployments avoid by never sizing masks below
+/// L2 coverage. On the paper's geometry one 1 MiB way covers an entire
+/// 256 KiB L2 (`min = 1`, the rule is purely 1.5×); on the scaled
+/// geometry a way is 128 KiB, so the floor is 2 ways per core.
+pub fn partition_ways(cores: usize, scale: f64, llc_ways: u32, min_ways_per_core: u32) -> u32 {
+    assert!(cores > 0);
+    let want = (scale * cores as f64).ceil() as u32;
+    let floor = cores as u32 * min_ways_per_core.max(1);
+    want.max(floor).clamp(1, llc_ways.saturating_sub(2).max(1))
+}
+
+/// The inclusive-LLC coverage floor for a machine: how many LLC ways it
+/// takes to cover one private L2 (see [`partition_ways`]).
+pub fn min_ways_per_core(cfg: &cmm_sim::config::SystemConfig) -> u32 {
+    let way_bytes = cfg.llc.size_bytes / cfg.llc.ways as u64;
+    (cfg.l2.size_bytes.div_ceil(way_bytes)) as u32
+}
+
+/// One profiling sample: run the machine for `cycles` and return the
+/// per-core PMU deltas.
+pub fn sample(sys: &mut System, cycles: u64) -> Vec<PmuDelta> {
+    let before = sys.pmu_all();
+    sys.run(cycles);
+    sys.pmu_all().iter().zip(before).map(|(&after, b)| after - b).collect()
+}
+
+/// Harmonic-mean IPC of a sample — the paper's configuration-ranking proxy.
+pub fn sample_hm_ipc(deltas: &[PmuDelta]) -> f64 {
+    let ipcs: Vec<f64> = deltas.iter().map(|d| d.ipc()).collect();
+    cmm_metrics::hm_ipc(&ipcs)
+}
+
+/// Sets each core's prefetchers per the enable vector.
+pub fn apply_prefetch(sys: &mut System, enabled: &[bool]) {
+    for (core, &on) in enabled.iter().enumerate() {
+        sys.set_prefetching(core, on);
+    }
+}
+
+/// What the first two sampling intervals establish (Sec. III-B1): the
+/// `Agg` set from an all-prefetchers-on interval, and its friendly /
+/// unfriendly split from an interval with the `Agg` prefetchers disabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Per-core deltas of the all-on interval (used for M-3 clustering and
+    /// by Dunn's stall clustering).
+    pub interval1: Vec<PmuDelta>,
+    /// Prefetch-aggressive cores, ascending.
+    pub agg: Vec<usize>,
+    /// `Agg` cores whose IPC drops ≥ the friendliness threshold without
+    /// prefetching.
+    pub friendly: Vec<usize>,
+    /// `Agg` cores that are not prefetch friendly.
+    pub unfriendly: Vec<usize>,
+    /// Cycles consumed by the detection intervals.
+    pub profiling_cycles: u64,
+}
+
+/// Runs the first one or two sampling intervals: interval 1 with every
+/// prefetcher on (mandatory — cores throttled last epoch would otherwise
+/// never be re-observed), and, if the `Agg` set is non-empty, interval 2
+/// with the `Agg` prefetchers off to probe prefetch friendliness.
+/// Prefetchers are left all-on afterwards.
+pub fn detect(
+    sys: &mut System,
+    ctrl: &crate::policy::ControllerConfig,
+    det: &crate::frontend::DetectorConfig,
+) -> Detection {
+    let n = sys.num_cores();
+    apply_prefetch(sys, &vec![true; n]);
+    let interval1 = sample(sys, ctrl.sampling_interval);
+    let agg = crate::frontend::detect_agg(&interval1, det);
+    if agg.is_empty() {
+        return Detection {
+            interval1,
+            agg,
+            friendly: Vec::new(),
+            unfriendly: Vec::new(),
+            profiling_cycles: ctrl.sampling_interval,
+        };
+    }
+
+    let mut enabled = vec![true; n];
+    for &c in &agg {
+        enabled[c] = false;
+    }
+    apply_prefetch(sys, &enabled);
+    let interval2 = sample(sys, ctrl.sampling_interval);
+    apply_prefetch(sys, &vec![true; n]);
+
+    let mut friendly = Vec::new();
+    let mut unfriendly = Vec::new();
+    for &c in &agg {
+        let with_pf = interval1[c].ipc();
+        let without = interval2[c].ipc();
+        if without > 0.0 && with_pf / without > 1.0 + ctrl.friendly_speedup {
+            friendly.push(c);
+        } else {
+            unfriendly.push(c);
+        }
+    }
+    Detection {
+        interval1,
+        agg,
+        friendly,
+        unfriendly,
+        profiling_cycles: 2 * ctrl.sampling_interval,
+    }
+}
+
+/// Searches the on/off space over `groups` of cores, one sampling interval
+/// per setting, ranking by `hm_ipc` (the paper's "best" criterion — the
+/// reciprocal of ANTT up to the unknown run-alone IPCs). Cores outside the
+/// groups keep their prefetchers on. Applies and returns the winning
+/// enable vector, plus the cycles spent.
+pub fn search_throttle(
+    sys: &mut System,
+    groups: &[Vec<usize>],
+    sampling_interval: u64,
+) -> (Vec<bool>, u64) {
+    let n = sys.num_cores();
+    let all_on = vec![true; n];
+    if groups.is_empty() {
+        apply_prefetch(sys, &all_on);
+        return (all_on, 0);
+    }
+    let mut best = all_on.clone();
+    let mut best_hm = f64::NEG_INFINITY;
+    let mut spent = 0;
+    for combo in 0..(1u32 << groups.len()) {
+        let mut enabled = all_on.clone();
+        for (g, cores) in groups.iter().enumerate() {
+            if combo & (1 << g) == 0 {
+                for &c in cores {
+                    enabled[c] = false;
+                }
+            }
+        }
+        apply_prefetch(sys, &enabled);
+        let deltas = sample(sys, sampling_interval);
+        spent += sampling_interval;
+        let hm = sample_hm_ipc(&deltas);
+        if hm > best_hm {
+            best_hm = hm;
+            best = enabled;
+        }
+    }
+    apply_prefetch(sys, &best);
+    (best, spent)
+}
+
+/// Generalised throttling search over arbitrary per-group MSR 0x1A4
+/// *levels* (used by the PT-fine extension): tries every combination of
+/// `levels` across `groups`, one sampling interval each, ranked by
+/// `hm_ipc`. Cores outside the groups keep all prefetchers on. Applies
+/// and returns the winning per-core MSR image vector plus cycles spent.
+pub fn search_throttle_levels(
+    sys: &mut System,
+    groups: &[Vec<usize>],
+    levels: &[u64],
+    sampling_interval: u64,
+) -> (Vec<u64>, u64) {
+    use cmm_sim::msr::MSR_MISC_FEATURE_CONTROL;
+    let n = sys.num_cores();
+    let all_on = vec![0u64; n];
+    assert!(!levels.is_empty());
+    if groups.is_empty() {
+        for core in 0..n {
+            sys.write_msr(core, MSR_MISC_FEATURE_CONTROL, 0).expect("core in range");
+        }
+        return (all_on, 0);
+    }
+    let combos = levels.len().pow(groups.len() as u32);
+    let mut best = all_on.clone();
+    let mut best_hm = f64::NEG_INFINITY;
+    let mut spent = 0;
+    for combo in 0..combos {
+        let mut image = all_on.clone();
+        let mut c = combo;
+        for cores in groups {
+            let level = levels[c % levels.len()];
+            c /= levels.len();
+            for &core in cores {
+                image[core] = level;
+            }
+        }
+        for (core, &msr) in image.iter().enumerate() {
+            sys.write_msr(core, MSR_MISC_FEATURE_CONTROL, msr).expect("core in range");
+        }
+        let deltas = sample(sys, sampling_interval);
+        spent += sampling_interval;
+        let hm = sample_hm_ipc(&deltas);
+        if hm > best_hm {
+            best_hm = hm;
+            best = image;
+        }
+    }
+    for (core, &msr) in best.iter().enumerate() {
+        sys.write_msr(core, MSR_MISC_FEATURE_CONTROL, msr).expect("core in range");
+    }
+    (best, spent)
+}
+
+/// Groups `agg` cores for throttling: exhaustive (each core its own group)
+/// when the set is small, otherwise k-means on the cores' L2 PTR (M-3) into
+/// at most `groups` clusters (Sec. III-B1's scalability mechanism).
+pub fn throttle_groups(
+    agg: &[usize],
+    deltas: &[PmuDelta],
+    exhaustive_limit: usize,
+    groups: usize,
+) -> Vec<Vec<usize>> {
+    if agg.is_empty() {
+        return Vec::new();
+    }
+    if agg.len() <= exhaustive_limit {
+        return agg.iter().map(|&c| vec![c]).collect();
+    }
+    let ptrs: Vec<f64> =
+        agg.iter().map(|&c| crate::frontend::metrics(&deltas[c]).l2_ptr).collect();
+    let clustering = cmm_metrics::kmeans_1d(&ptrs, groups);
+    (0..clustering.k())
+        .map(|g| clustering.members(g).into_iter().map(|i| agg[i]).collect())
+        .filter(|g: &Vec<usize>| !g.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_sim::config::SystemConfig;
+    use cmm_sim::pmu::Pmu;
+    use cmm_sim::workload::Idle;
+
+    #[test]
+    fn partition_ways_follows_the_1_5x_rule() {
+        assert_eq!(partition_ways(1, 1.5, 20, 1), 2);
+        assert_eq!(partition_ways(2, 1.5, 20, 1), 3);
+        assert_eq!(partition_ways(4, 1.5, 20, 1), 6);
+        assert_eq!(partition_ways(8, 1.5, 20, 1), 12);
+    }
+
+    #[test]
+    fn partition_ways_clamped() {
+        // Never swallow the whole cache...
+        assert_eq!(partition_ways(20, 1.5, 20, 1), 18);
+        // ...and never below one way.
+        assert_eq!(partition_ways(1, 0.1, 20, 1), 1);
+        assert_eq!(partition_ways(1, 1.5, 2, 1), 1);
+    }
+
+    #[test]
+    fn partition_ways_respects_l2_coverage_floor() {
+        // 2 ways per core floor (scaled geometry): a 2-core partition gets
+        // 4 ways even though 1.5× asks for 3.
+        assert_eq!(partition_ways(2, 1.5, 20, 2), 4);
+        assert_eq!(partition_ways(4, 1.5, 20, 2), 8);
+        // Floor still clamped below the whole cache.
+        assert_eq!(partition_ways(12, 1.5, 20, 2), 18);
+    }
+
+    #[test]
+    fn min_ways_per_core_from_geometry() {
+        // Paper geometry: 1 MiB way covers the 256 KiB L2.
+        assert_eq!(min_ways_per_core(&cmm_sim::config::SystemConfig::paper()), 1);
+        // Scaled geometry: 128 KiB way → 2 ways per L2.
+        assert_eq!(min_ways_per_core(&cmm_sim::config::SystemConfig::scaled(8)), 2);
+    }
+
+    #[test]
+    fn flat_plan_applies() {
+        let mut sys = System::new(SystemConfig::tiny(2), vec![Box::new(Idle), Box::new(Idle)]);
+        sys.set_clos_mask(1, 0b1).unwrap();
+        sys.assign_clos(1, 1).unwrap();
+        PartitionPlan::flat(2, sys.llc_ways()).apply(&mut sys);
+        assert_eq!(sys.effective_mask(1), 0b1111);
+    }
+
+    #[test]
+    fn sample_returns_deltas() {
+        let mut sys = System::new(SystemConfig::tiny(1), vec![Box::new(Idle)]);
+        sys.run(1_000);
+        let d = sample(&mut sys, 5_000);
+        assert_eq!(d.len(), 1);
+        // The core clock can sit up to one op ahead of the global clock at
+        // the sampling boundaries, so the delta is approximate.
+        assert!(
+            d[0].cycles >= 4_800 && d[0].cycles < 5_500,
+            "delta, not cumulative: {}",
+            d[0].cycles
+        );
+    }
+
+    #[test]
+    fn apply_prefetch_sets_each_core() {
+        let mut sys = System::new(SystemConfig::tiny(2), vec![Box::new(Idle), Box::new(Idle)]);
+        apply_prefetch(&mut sys, &[true, false]);
+        assert!(sys.prefetching_enabled(0));
+        assert!(!sys.prefetching_enabled(1));
+    }
+
+    fn ptr_delta(pf_miss: u64) -> PmuDelta {
+        Pmu { cycles: 100_000, l2_pf_miss: pf_miss, l2_pf_req: pf_miss + 1, ..Pmu::default() }
+    }
+
+    #[test]
+    fn small_agg_sets_get_exhaustive_groups() {
+        let deltas = vec![ptr_delta(100); 8];
+        let g = throttle_groups(&[1, 5], &deltas, 3, 3);
+        assert_eq!(g, vec![vec![1], vec![5]]);
+    }
+
+    #[test]
+    fn large_agg_sets_get_clustered() {
+        // Six aggressive cores with two distinct traffic levels.
+        let mut deltas = vec![ptr_delta(0); 8];
+        for &c in &[0, 1, 2] {
+            deltas[c] = ptr_delta(100);
+        }
+        for &c in &[3, 4, 5] {
+            deltas[c] = ptr_delta(10_000);
+        }
+        let g = throttle_groups(&[0, 1, 2, 3, 4, 5], &deltas, 3, 3);
+        assert!(g.len() <= 3);
+        // Similar-traffic cores must share a group.
+        let find = |c: usize| g.iter().position(|grp| grp.contains(&c)).unwrap();
+        assert_eq!(find(0), find(1));
+        assert_eq!(find(3), find(4));
+        assert_ne!(find(0), find(3));
+    }
+
+    #[test]
+    fn empty_agg_has_no_groups() {
+        assert!(throttle_groups(&[], &[], 3, 3).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! The epoch/sampling scheduler (Fig. 4) — the analogue of the paper's
+//! loadable kernel module.
+//!
+//! Execution is a sequence of *execution epochs*, each preceded by a
+//! *profiling epoch* of short sampling intervals in which the front-end
+//! detects the `Agg` set and the back-end trials candidate configurations.
+//! The winning configuration is applied for the following execution epoch.
+//!
+//! The controller's own work is charged as
+//! [`ControllerConfig::overhead_cycles`] per invocation and reported by
+//! [`Driver::overhead_ratio`] — the analogue of the paper's PMU-vs-TSC
+//! overhead measurement (<0.1 %).
+
+use crate::backend::{self, cmm, cp, dunn, pt, PartitionPlan};
+use crate::frontend::DetectorConfig;
+use crate::policy::{ControllerConfig, Mechanism};
+use cmm_sim::System;
+
+/// Drives one [`System`] under one [`Mechanism`].
+pub struct Driver {
+    sys: System,
+    mechanism: Mechanism,
+    ctrl: ControllerConfig,
+    det_cfg: DetectorConfig,
+    epochs: u64,
+    overhead_cycles: u64,
+    /// Agg-set size observed at each profiling epoch (diagnostics).
+    agg_history: Vec<usize>,
+}
+
+impl Driver {
+    /// Wraps a machine. The detector thresholds are taken from `ctrl`.
+    pub fn new(sys: System, mechanism: Mechanism, ctrl: ControllerConfig) -> Self {
+        ctrl.validate();
+        let det_cfg = DetectorConfig {
+            pmr_threshold: ctrl.pmr_threshold,
+            ptr_threshold: ctrl.ptr_threshold,
+            pga_floor: ctrl.pga_floor,
+        };
+        Driver { sys, mechanism, ctrl, det_cfg, epochs: 0, overhead_cycles: 0, agg_history: Vec::new() }
+    }
+
+    /// The managed machine.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Mutable access (tests and harnesses).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.sys
+    }
+
+    /// Consumes the driver, returning the machine.
+    pub fn into_system(self) -> System {
+        self.sys
+    }
+
+    /// Profiling epochs completed.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// `Agg`-set sizes per epoch (empty entries mean no profiling ran,
+    /// e.g. for the baseline).
+    pub fn agg_history(&self) -> &[usize] {
+        &self.agg_history
+    }
+
+    /// Fraction of machine time spent in the controller itself.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.sys.now() == 0 {
+            0.0
+        } else {
+            self.overhead_cycles as f64 / self.sys.now() as f64
+        }
+    }
+
+    /// Runs until the machine clock reaches (at least) `total_cycles`,
+    /// alternating profiling and execution epochs.
+    pub fn run_total(&mut self, total_cycles: u64) {
+        let target = self.sys.now() + total_cycles;
+        while self.sys.now() < target {
+            self.epoch();
+            let remaining = target.saturating_sub(self.sys.now());
+            let exec = remaining.min(self.ctrl.execution_epoch);
+            if exec > 0 {
+                self.sys.run(exec);
+            }
+        }
+    }
+
+    /// Runs exactly one profiling epoch (decision + application), without
+    /// the following execution epoch. Exposed for tests and examples.
+    pub fn epoch(&mut self) {
+        self.epochs += 1;
+        if self.mechanism != Mechanism::Baseline {
+            self.overhead_cycles += self.ctrl.overhead_cycles;
+        }
+        let n = self.sys.num_cores();
+        let ways = self.sys.llc_ways();
+        let min_pc = backend::min_ways_per_core(self.sys.config());
+        match self.mechanism {
+            Mechanism::Baseline => {
+                // No control: prefetchers on, flat CAT — enforced once so a
+                // baseline run after a managed run is truly uncontrolled.
+                backend::apply_prefetch(&mut self.sys, &vec![true; n]);
+                self.sys.reset_cat();
+            }
+            Mechanism::Pt => {
+                let out = pt::profile(&mut self.sys, &self.ctrl, &self.det_cfg);
+                self.agg_history.push(out.detection.agg.len());
+            }
+            Mechanism::PtFine => {
+                let out = pt::profile_fine(&mut self.sys, &self.ctrl, &self.det_cfg);
+                self.agg_history.push(out.detection.agg.len());
+            }
+            Mechanism::Dunn => {
+                // Dunn observes one all-on interval and clusters stalls.
+                backend::apply_prefetch(&mut self.sys, &vec![true; n]);
+                PartitionPlan::flat(n, ways).apply(&mut self.sys);
+                let d1 = backend::sample(&mut self.sys, self.ctrl.sampling_interval);
+                dunn::dunn_plan(&d1, ways, self.ctrl.dunn_clusters).apply(&mut self.sys);
+                self.agg_history.push(0);
+            }
+            Mechanism::PrefCp | Mechanism::PrefCp2 => {
+                PartitionPlan::flat(n, ways).apply(&mut self.sys);
+                let det = backend::detect(&mut self.sys, &self.ctrl, &self.det_cfg);
+                let plan = if self.mechanism == Mechanism::PrefCp {
+                    cp::pref_cp_plan(&det, n, ways, self.ctrl.partition_scale, min_pc)
+                } else {
+                    cp::pref_cp2_plan(&det, n, ways, self.ctrl.partition_scale, min_pc)
+                };
+                plan.apply(&mut self.sys);
+                self.agg_history.push(det.agg.len());
+            }
+            Mechanism::CmmA | Mechanism::CmmB | Mechanism::CmmC => {
+                let variant = match self.mechanism {
+                    Mechanism::CmmA => cmm::Variant::A,
+                    Mechanism::CmmB => cmm::Variant::B,
+                    _ => cmm::Variant::C,
+                };
+                PartitionPlan::flat(n, ways).apply(&mut self.sys);
+                let det = backend::detect(&mut self.sys, &self.ctrl, &self.det_cfg);
+                self.agg_history.push(det.agg.len());
+                match cmm::cmm_plan(variant, &det, n, ways, self.ctrl.partition_scale, min_pc) {
+                    Some(plan) => {
+                        // Coordinated order per the paper: partition first,
+                        // then search throttle settings for the unfriendly
+                        // cores inside the partitioned machine.
+                        plan.apply(&mut self.sys);
+                        let groups = backend::throttle_groups(
+                            &det.unfriendly,
+                            &det.interval1,
+                            self.ctrl.exhaustive_limit,
+                            self.ctrl.throttle_groups,
+                        );
+                        backend::search_throttle(
+                            &mut self.sys,
+                            &groups,
+                            self.ctrl.sampling_interval,
+                        );
+                    }
+                    None => {
+                        // Fig. 6 (d): empty Agg set ⇒ Dunn partitioning.
+                        let d1 = &det.interval1;
+                        dunn::dunn_plan(d1, ways, self.ctrl.dunn_clusters).apply(&mut self.sys);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_sim::config::SystemConfig;
+    use cmm_sim::workload::Workload;
+    use cmm_workloads::spec;
+
+    fn system_with(names: &[&str]) -> System {
+        let cfg = SystemConfig::scaled(names.len());
+        let llc = cfg.llc.size_bytes;
+        let ws: Vec<Box<dyn Workload + Send>> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Box::new(spec::by_name(n).unwrap().instantiate(llc, (i as u64 + 1) << 36, 11))
+                    as Box<dyn Workload + Send>
+            })
+            .collect();
+        System::new(cfg, ws)
+    }
+
+    #[test]
+    fn baseline_driver_never_partitions_or_throttles() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::Baseline, ControllerConfig::quick());
+        drv.run_total(500_000);
+        let sys = drv.system();
+        for c in 0..4 {
+            assert!(sys.prefetching_enabled(c));
+            assert_eq!(sys.effective_mask(c), (1 << sys.llc_ways()) - 1);
+        }
+    }
+
+    #[test]
+    fn pref_cp_partitions_the_aggressors() {
+        let sys = system_with(&["bwaves3d", "lbm_fluid", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::PrefCp, ControllerConfig::quick());
+        drv.run_total(800_000);
+        let sys = drv.system();
+        let full = (1u64 << sys.llc_ways()) - 1;
+        // The two streams must sit in a small partition...
+        assert!(sys.effective_mask(0).count_ones() < 20, "{:b}", sys.effective_mask(0));
+        assert_eq!(sys.effective_mask(0), sys.effective_mask(1));
+        // ...while the neutral cores keep the whole cache.
+        assert_eq!(sys.effective_mask(2), full);
+        assert_eq!(sys.effective_mask(3), full);
+        // CP never throttles.
+        assert!((0..4).all(|c| sys.prefetching_enabled(c)));
+    }
+
+    #[test]
+    fn cmm_a_partitions_and_throttles_unfriendly() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::CmmA, ControllerConfig::quick());
+        drv.run_total(1_200_000);
+        let sys = drv.system();
+        // Both aggressors (friendly stream + unfriendly random) partitioned.
+        assert!(sys.effective_mask(0).count_ones() < 20);
+        assert!(sys.effective_mask(1).count_ones() < 20);
+        // The friendly stream's prefetchers must stay on — CMM only ever
+        // throttles unfriendly cores.
+        assert!(sys.prefetching_enabled(0));
+        assert!(drv.agg_history().iter().any(|&a| a >= 2), "{:?}", drv.agg_history());
+    }
+
+    #[test]
+    fn cmm_falls_back_to_dunn_on_empty_agg() {
+        let sys = system_with(&["mcf_refine", "omnet_events", "povray_rt", "gobmk_ai"]);
+        let mut drv = Driver::new(sys, Mechanism::CmmA, ControllerConfig::quick());
+        drv.system_mut().run(400_000); // past the cold streaming phase
+        drv.epoch();
+        // No aggressor: Dunn's nested plan is in force; the most-stalled
+        // core has the full mask, and nobody was throttled.
+        let sys = drv.system();
+        assert!((0..4).all(|c| sys.prefetching_enabled(c)));
+        let full = (1u64 << sys.llc_ways()) - 1;
+        assert!((0..4).any(|c| sys.effective_mask(c) == full));
+    }
+
+    #[test]
+    fn overhead_is_small() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::CmmC, ControllerConfig::quick());
+        drv.run_total(2_000_000);
+        assert!(drv.overhead_ratio() < 0.01, "overhead {:.4}", drv.overhead_ratio());
+        assert!(drv.epochs() >= 2);
+    }
+
+    #[test]
+    fn run_total_reaches_target() {
+        let sys = system_with(&["povray_rt", "gobmk_ai"]);
+        let mut drv = Driver::new(sys, Mechanism::Pt, ControllerConfig::quick());
+        drv.run_total(300_000);
+        assert!(drv.system().now() >= 300_000);
+    }
+}

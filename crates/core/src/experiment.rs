@@ -1,0 +1,211 @@
+//! Experiment harness: runs workload mixes under mechanisms and produces
+//! the per-core numbers behind every figure of the evaluation.
+//!
+//! Methodology mirrors Sec. IV: each workload runs for a fixed simulated
+//! time under the baseline and under each mechanism (benchmarks are
+//! infinite generators, the analogue of the paper restarting finished
+//! programs), and per-core IPC over the whole run feeds the HS/WS/
+//! worst-case metrics. Run-alone IPCs for HS come from single-core runs of
+//! the same machine configuration.
+
+use crate::driver::Driver;
+use crate::policy::{ControllerConfig, Mechanism};
+use cmm_sim::config::SystemConfig;
+use cmm_sim::pmu::Pmu;
+use cmm_sim::System;
+use cmm_workloads::spec::Benchmark;
+use cmm_workloads::Mix;
+
+/// Everything needed to run one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Machine geometry for mix runs (one core per mix benchmark).
+    pub sys: SystemConfig,
+    /// Controller tuning.
+    pub ctrl: ControllerConfig,
+    /// Simulated cycles per mix run (the paper's 2.5 minutes, scaled).
+    pub total_cycles: u64,
+    /// Simulated cycles for run-alone IPC measurements.
+    pub alone_cycles: u64,
+    /// Cycles run before measurement starts (cache warm-up).
+    pub warmup_cycles: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            sys: SystemConfig::scaled(8),
+            ctrl: ControllerConfig::default(),
+            total_cycles: 12_000_000,
+            alone_cycles: 2_000_000,
+            // LLC-sensitive chases take ~2M cycles to populate their
+            // working sets; measuring earlier under-weights the capacity
+            // effects every CP mechanism depends on.
+            warmup_cycles: 2_000_000,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for tests and `--quick` harness runs.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            sys: SystemConfig::scaled(8),
+            ctrl: ControllerConfig::quick(),
+            total_cycles: 2_500_000,
+            alone_cycles: 500_000,
+            warmup_cycles: 1_200_000,
+        }
+    }
+}
+
+/// Outcome of one (mix, mechanism) run.
+#[derive(Debug, Clone)]
+pub struct MixResult {
+    /// The mechanism that ran.
+    pub mechanism: Mechanism,
+    /// The mix name (e.g. `"PrefAgg-03"`).
+    pub mix_name: String,
+    /// Benchmark name per core.
+    pub benchmarks: Vec<String>,
+    /// Whole-run IPC per core (measurement window only).
+    pub ipcs: Vec<f64>,
+    /// Whole-run PMU deltas per core.
+    pub pmu: Vec<Pmu>,
+    /// Total memory traffic (demand + prefetch + writeback bytes), summed
+    /// over cores — the Fig. 14 series.
+    pub mem_bytes: u64,
+    /// Summed `STALLS_L2_PENDING` — the Fig. 15 series.
+    pub stalls_l2: u64,
+    /// Controller overhead fraction (0 for the baseline).
+    pub overhead_ratio: f64,
+}
+
+impl MixResult {
+    /// Memory bandwidth in bytes/cycle over the measurement window.
+    pub fn bandwidth_bpc(&self, cycles: u64) -> f64 {
+        self.mem_bytes as f64 / cycles.max(1) as f64
+    }
+}
+
+fn build_system(mix: &Mix, cfg: &ExperimentConfig) -> System {
+    let mut sys_cfg = cfg.sys.clone();
+    sys_cfg.num_cores = mix.num_cores();
+    let workloads = mix.instantiate(sys_cfg.llc.size_bytes);
+    System::new(sys_cfg, workloads)
+}
+
+/// Runs `mix` under `mechanism` for the configured duration and reports
+/// the measurement-window statistics.
+pub fn run_mix(mix: &Mix, mechanism: Mechanism, cfg: &ExperimentConfig) -> MixResult {
+    let sys = build_system(mix, cfg);
+    let mut driver = Driver::new(sys, mechanism, cfg.ctrl.clone());
+
+    // Warm-up outside the measurement window, uncontrolled.
+    if cfg.warmup_cycles > 0 {
+        driver.system_mut().run(cfg.warmup_cycles);
+    }
+    let before = driver.system().pmu_all();
+    let traffic_before: u64 =
+        (0..mix.num_cores()).map(|c| driver.system().traffic(c).total_bytes()).sum();
+
+    driver.run_total(cfg.total_cycles);
+
+    let after = driver.system().pmu_all();
+    let deltas: Vec<Pmu> = after.iter().zip(before).map(|(&a, b)| a - b).collect();
+    let traffic_after: u64 =
+        (0..mix.num_cores()).map(|c| driver.system().traffic(c).total_bytes()).sum();
+
+    MixResult {
+        mechanism,
+        mix_name: mix.name.clone(),
+        benchmarks: mix.benchmarks.iter().map(|b| b.name.to_string()).collect(),
+        ipcs: deltas.iter().map(|d| d.ipc()).collect(),
+        pmu: deltas.to_vec(),
+        mem_bytes: traffic_after - traffic_before,
+        stalls_l2: deltas.iter().map(|d| d.stalls_l2_pending).sum(),
+        overhead_ratio: driver.overhead_ratio(),
+    }
+}
+
+/// Measures a benchmark's run-alone IPC: a single-core machine with the
+/// same cache/memory configuration, all prefetchers on, no control.
+pub fn run_alone_ipc(bench: &Benchmark, cfg: &ExperimentConfig) -> f64 {
+    let mut sys_cfg = cfg.sys.clone();
+    sys_cfg.num_cores = 1;
+    let w = bench.instantiate(sys_cfg.llc.size_bytes, 1 << 36, 7);
+    let mut sys = System::new(sys_cfg, vec![Box::new(w)]);
+    sys.run(cfg.warmup_cycles.max(1));
+    let before = sys.pmu(0);
+    sys.run(cfg.alone_cycles);
+    (sys.pmu(0) - before).ipc()
+}
+
+/// Run-alone IPCs for every distinct benchmark in `mix`, in core order,
+/// with memoisation across repeated benchmarks.
+pub fn run_alone_ipcs(mix: &Mix, cfg: &ExperimentConfig) -> Vec<f64> {
+    let mut cache: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+    mix.benchmarks
+        .iter()
+        .map(|b| *cache.entry(b.name).or_insert_with(|| run_alone_ipc(b, cfg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_workloads::build_mixes;
+
+    #[test]
+    fn baseline_mix_run_produces_sane_numbers() {
+        let mix = &build_mixes(3, 1)[1]; // a PrefAgg mix
+        let cfg = ExperimentConfig::quick();
+        let r = run_mix(mix, Mechanism::Baseline, &cfg);
+        assert_eq!(r.ipcs.len(), 8);
+        assert!(r.ipcs.iter().all(|&i| i > 0.0 && i <= 4.0), "{:?}", r.ipcs);
+        assert!(r.mem_bytes > 0);
+        assert!(r.stalls_l2 > 0);
+        assert_eq!(r.overhead_ratio, 0.0);
+    }
+
+    #[test]
+    fn run_alone_beats_contended_for_sensitive_benchmark() {
+        let mix = &build_mixes(3, 1)[1];
+        let cfg = ExperimentConfig::quick();
+        let alone = run_alone_ipcs(mix, &cfg);
+        let together = run_mix(mix, Mechanism::Baseline, &cfg);
+        // In aggregate, running together cannot beat running alone.
+        let sum_ratio: f64 = together
+            .ipcs
+            .iter()
+            .zip(&alone)
+            .map(|(&t, &a)| t / a.max(1e-9))
+            .sum::<f64>()
+            / 8.0;
+        assert!(sum_ratio < 1.05, "together/alone ratio {sum_ratio:.3}");
+    }
+
+    #[test]
+    fn memoised_alone_ipcs_consistent() {
+        let mix = &build_mixes(3, 1)[0];
+        let cfg = ExperimentConfig::quick();
+        let a = run_alone_ipcs(mix, &cfg);
+        assert_eq!(a.len(), 8);
+        // Duplicate benchmarks in the mix must get identical alone-IPCs.
+        for i in 0..8 {
+            for j in 0..8 {
+                if mix.benchmarks[i].name == mix.benchmarks[j].name {
+                    assert_eq!(a[i], a[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn managed_run_reports_overhead() {
+        let mix = &build_mixes(3, 1)[1];
+        let cfg = ExperimentConfig::quick();
+        let r = run_mix(mix, Mechanism::CmmA, &cfg);
+        assert!(r.overhead_ratio > 0.0 && r.overhead_ratio < 0.02);
+    }
+}

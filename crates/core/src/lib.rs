@@ -1,0 +1,47 @@
+//! # cmm-core — the CMM controller (the paper's contribution)
+//!
+//! Implements *Coordinated Multi-resource Management* from Sun, Shen &
+//! Veidenbaum, IPDPS 2019: a software controller that treats the hardware
+//! prefetchers and the shared LLC as two separately allocatable resources
+//! and manages them per execution epoch.
+//!
+//! The design mirrors the paper's decoupled structure:
+//!
+//! * [`frontend`] — computes the Table I metrics from PMU deltas and
+//!   detects the **prefetch-aggressive (`Agg`) core set** with the Fig. 5
+//!   cascade (PGA above average → L2 PMR locality filter → L2 PTR
+//!   pressure).
+//! * [`backend`] — the resource allocators:
+//!   [`backend::pt`] (prefetch throttling with exhaustive or k-means
+//!   group-level search), [`backend::cp`] (Pref-CP / Pref-CP2
+//!   partitioning), [`backend::dunn`] (the Selfa et al. PACT'17 baseline)
+//!   and [`backend::cmm`] (the coordinated CMM-a/b/c policies of Fig. 6).
+//! * [`driver`] — the epoch/sampling scheduler of Fig. 4: each execution
+//!   epoch is followed by a profiling epoch of short sampling intervals in
+//!   which candidate configurations are trialled and ranked by `hm_ipc`.
+//! * [`experiment`] — harness utilities that run a workload mix under a
+//!   [`policy::Mechanism`] and produce the per-core IPC / bandwidth /
+//!   stall numbers behind every figure of the evaluation.
+//!
+//! The controller talks to the machine exclusively through
+//! [`cmm_sim::System`]'s PMU/MSR surface — exactly the interface the
+//! paper's kernel module has on real hardware — so the algorithms here
+//! would port to an actual MSR/resctrl backend unchanged.
+
+pub mod backend;
+pub mod driver;
+pub mod experiment;
+pub mod frontend;
+pub mod policy;
+pub mod resctrl;
+
+/// The types most users need.
+pub mod prelude {
+    pub use crate::backend::{partition_ways, PartitionPlan};
+    pub use crate::driver::Driver;
+    pub use crate::experiment::{
+        run_alone_ipc, run_mix, ExperimentConfig, MixResult,
+    };
+    pub use crate::frontend::{detect_agg, metrics, DetectorConfig, Metrics};
+    pub use crate::policy::{ControllerConfig, Mechanism};
+}

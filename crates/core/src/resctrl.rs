@@ -1,0 +1,195 @@
+//! A Linux-`resctrl`-style text interface over the machine's CAT state.
+//!
+//! The paper's mechanism is a kernel module, but an operator deploying CAT
+//! by hand uses the `resctrl` filesystem, whose `schemata` files carry
+//! lines like `L3:0=fffff;1=00003` (per-CLOS way masks in hex) and whose
+//! `cpus_list` files assign cores to groups. This module implements that
+//! text dialect over [`cmm_sim::System`], so the examples — and any
+//! downstream tooling — can drive partitioning exactly the way a sysadmin
+//! would, and the controller's decisions can be *printed* as the schemata
+//! an operator could apply on real hardware.
+
+use cmm_sim::system::MsrError;
+use cmm_sim::System;
+
+/// Errors from parsing or applying a schemata line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResctrlError {
+    /// The line does not start with `L3:`.
+    MissingPrefix,
+    /// A `clos=mask` token is malformed.
+    BadToken(String),
+    /// A CLOS id is not a number or out of range.
+    BadClos(String),
+    /// A mask is not valid hex.
+    BadMask(String),
+    /// The machine rejected the programming (e.g. non-contiguous mask).
+    Msr(String),
+}
+
+impl std::fmt::Display for ResctrlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResctrlError::MissingPrefix => write!(f, "schemata line must start with 'L3:'"),
+            ResctrlError::BadToken(t) => write!(f, "malformed token '{t}' (want clos=mask)"),
+            ResctrlError::BadClos(t) => write!(f, "bad CLOS id '{t}'"),
+            ResctrlError::BadMask(t) => write!(f, "bad way mask '{t}'"),
+            ResctrlError::Msr(e) => write!(f, "rejected by CAT: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResctrlError {}
+
+impl From<MsrError> for ResctrlError {
+    fn from(e: MsrError) -> Self {
+        ResctrlError::Msr(e.to_string())
+    }
+}
+
+/// Parses a schemata line (`L3:0=fffff;1=3`) into `(clos, mask)` pairs.
+pub fn parse_schemata(line: &str) -> Result<Vec<(usize, u64)>, ResctrlError> {
+    let body = line.trim().strip_prefix("L3:").ok_or(ResctrlError::MissingPrefix)?;
+    let mut out = Vec::new();
+    for token in body.split(';') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let (clos_s, mask_s) =
+            token.split_once('=').ok_or_else(|| ResctrlError::BadToken(token.to_string()))?;
+        let clos = clos_s
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| ResctrlError::BadClos(clos_s.to_string()))?;
+        let mask = u64::from_str_radix(mask_s.trim(), 16)
+            .map_err(|_| ResctrlError::BadMask(mask_s.to_string()))?;
+        out.push((clos, mask));
+    }
+    if out.is_empty() {
+        return Err(ResctrlError::BadToken(body.to_string()));
+    }
+    Ok(out)
+}
+
+/// Applies a schemata line to the machine's CAT masks.
+pub fn apply_schemata(sys: &mut System, line: &str) -> Result<(), ResctrlError> {
+    for (clos, mask) in parse_schemata(line)? {
+        sys.set_clos_mask(clos, mask)?;
+    }
+    Ok(())
+}
+
+/// Renders the current CAT masks of CLOS `0..n` as a schemata line.
+pub fn format_schemata(sys: &System, num_clos: usize) -> String {
+    let mut parts = Vec::with_capacity(num_clos);
+    for clos in 0..num_clos {
+        let mask = sys
+            .read_msr(0, cmm_sim::msr::IA32_L3_QOS_MASK_BASE + clos as u32)
+            .expect("clos in range");
+        parts.push(format!("{clos}={mask:x}"));
+    }
+    format!("L3:{}", parts.join(";"))
+}
+
+/// Parses a `cpus_list`-style string (`0,2,4-6`) into core ids.
+pub fn parse_cpus_list(list: &str) -> Result<Vec<usize>, ResctrlError> {
+    let mut out = Vec::new();
+    for token in list.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = token.split_once('-') {
+            let lo: usize =
+                lo.trim().parse().map_err(|_| ResctrlError::BadToken(token.to_string()))?;
+            let hi: usize =
+                hi.trim().parse().map_err(|_| ResctrlError::BadToken(token.to_string()))?;
+            if lo > hi {
+                return Err(ResctrlError::BadToken(token.to_string()));
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(token.parse().map_err(|_| ResctrlError::BadToken(token.to_string()))?);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Assigns the cores of a `cpus_list` string to a CLOS (one resctrl group).
+pub fn assign_group(sys: &mut System, clos: usize, cpus: &str) -> Result<(), ResctrlError> {
+    for core in parse_cpus_list(cpus)? {
+        sys.assign_clos(core, clos)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_sim::config::SystemConfig;
+    use cmm_sim::workload::Idle;
+
+    fn machine(cores: usize) -> System {
+        System::new(
+            SystemConfig::scaled(cores),
+            (0..cores).map(|_| Box::new(Idle) as _).collect(),
+        )
+    }
+
+    #[test]
+    fn parse_basic_schemata() {
+        assert_eq!(parse_schemata("L3:0=fffff;1=3").unwrap(), vec![(0, 0xFFFFF), (1, 0x3)]);
+        assert_eq!(parse_schemata("  L3: 2 = 1f ").unwrap(), vec![(2, 0x1F)]);
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        assert_eq!(parse_schemata("MB:0=10"), Err(ResctrlError::MissingPrefix));
+        assert!(matches!(parse_schemata("L3:zero=3"), Err(ResctrlError::BadClos(_))));
+        assert!(matches!(parse_schemata("L3:0=zz"), Err(ResctrlError::BadMask(_))));
+        assert!(matches!(parse_schemata("L3:"), Err(ResctrlError::BadToken(_))));
+    }
+
+    #[test]
+    fn apply_and_format_roundtrip() {
+        let mut sys = machine(2);
+        apply_schemata(&mut sys, "L3:0=fffff;1=00003").unwrap();
+        let line = format_schemata(&sys, 2);
+        assert_eq!(line, "L3:0=fffff;1=3");
+    }
+
+    #[test]
+    fn invalid_masks_surface_cat_errors() {
+        let mut sys = machine(1);
+        let err = apply_schemata(&mut sys, "L3:0=5").unwrap_err(); // non-contiguous
+        assert!(matches!(err, ResctrlError::Msr(_)), "{err}");
+    }
+
+    #[test]
+    fn cpus_list_parsing() {
+        assert_eq!(parse_cpus_list("0,2,4-6").unwrap(), vec![0, 2, 4, 5, 6]);
+        assert_eq!(parse_cpus_list("3").unwrap(), vec![3]);
+        assert_eq!(parse_cpus_list("1-1,1").unwrap(), vec![1]);
+        assert!(parse_cpus_list("5-2").is_err());
+        assert!(parse_cpus_list("a").is_err());
+    }
+
+    #[test]
+    fn group_assignment_applies() {
+        let mut sys = machine(4);
+        apply_schemata(&mut sys, "L3:1=3").unwrap();
+        assign_group(&mut sys, 1, "1,3").unwrap();
+        assert_eq!(sys.effective_mask(1), 0b11);
+        assert_eq!(sys.effective_mask(3), 0b11);
+        assert_eq!(sys.effective_mask(0), (1 << 20) - 1);
+    }
+
+    #[test]
+    fn out_of_range_core_rejected() {
+        let mut sys = machine(2);
+        assert!(assign_group(&mut sys, 0, "0-5").is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Additional multiprogram fairness metrics from the literature the paper
+//! surveys (Sec. IV-C cites Gabor et al., Luo et al., Vandierendonck &
+//! Seznec, Eyerman & Eeckhout). HS/WS are the paper's reporting choice;
+//! these give downstream users the standard alternatives on the same data.
+
+/// System throughput (STP), a.k.a. weighted speedup against run-alone
+/// IPCs: `Σ IPC_together_i / IPC_alone_i`. Equals the core count under
+/// perfect isolation.
+pub fn stp(alone: &[f64], together: &[f64]) -> f64 {
+    assert_eq!(alone.len(), together.len());
+    assert!(!alone.is_empty());
+    alone
+        .iter()
+        .zip(together)
+        .map(|(&a, &t)| {
+            assert!(a > 0.0, "run-alone IPC must be positive");
+            t / a
+        })
+        .sum()
+}
+
+/// Per-application slowdowns `IPC_alone_i / IPC_together_i` (≥ 1 under
+/// pure interference).
+pub fn slowdowns(alone: &[f64], together: &[f64]) -> Vec<f64> {
+    assert_eq!(alone.len(), together.len());
+    alone
+        .iter()
+        .zip(together)
+        .map(|(&a, &t)| {
+            assert!(a > 0.0 && t > 0.0, "IPCs must be positive");
+            a / t
+        })
+        .collect()
+}
+
+/// Maximum slowdown — the metric minimised by fairness-oriented schedulers.
+pub fn max_slowdown(alone: &[f64], together: &[f64]) -> f64 {
+    slowdowns(alone, together).into_iter().fold(0.0, f64::max)
+}
+
+/// Fairness in the sense of Gabor et al. (min slowdown / max slowdown):
+/// 1.0 when every application suffers equally, → 0 as one application is
+/// singled out.
+pub fn gabor_fairness(alone: &[f64], together: &[f64]) -> f64 {
+    let s = slowdowns(alone, together);
+    let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = s.iter().cloned().fold(0.0f64, f64::max);
+    if max == 0.0 {
+        0.0
+    } else {
+        min / max
+    }
+}
+
+/// Jain's fairness index over the per-application speedups
+/// (`(Σx)² / (n·Σx²)`): 1.0 when uniform, 1/n when one application gets
+/// everything.
+pub fn jain_index(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        0.0
+    } else {
+        (sum * sum) / (values.len() as f64 * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stp_is_core_count_under_isolation() {
+        let a = [1.0, 0.5, 2.0];
+        assert!((stp(&a, &a) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdowns_elementwise() {
+        let s = slowdowns(&[1.0, 2.0], &[0.5, 1.0]);
+        assert_eq!(s, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn max_slowdown_finds_worst_victim() {
+        let m = max_slowdown(&[1.0, 1.0, 1.0], &[0.9, 0.2, 0.8]);
+        assert!((m - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gabor_fairness_bounds() {
+        // Uniform slowdown → 1.0.
+        assert!((gabor_fairness(&[1.0, 2.0], &[0.5, 1.0]) - 1.0).abs() < 1e-12);
+        // One app crushed → small.
+        let f = gabor_fairness(&[1.0, 1.0], &[1.0, 0.1]);
+        assert!((f - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let one_hog = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((one_hog - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_scale_invariant() {
+        let a = jain_index(&[0.2, 0.4, 0.6]);
+        let b = jain_index(&[2.0, 4.0, 6.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ipc_rejected() {
+        slowdowns(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,212 @@
+//! One-dimensional k-means clustering.
+//!
+//! The paper uses k-means (Hartigan & Wong, 1979) in two places:
+//!
+//! * the PT back-end clusters `Agg`-set cores by their L2 prefetch-miss
+//!   traffic rate (M-3) into a handful of throttling groups, shrinking the
+//!   `2^|Agg|` search space to `2^k` (Sec. III-B1);
+//! * the Dunn baseline (Selfa et al.) clusters all cores by
+//!   `STALLS_L2_PENDING` to assign nested cache partitions.
+//!
+//! Values are scalar, so we run Lloyd iterations with deterministic
+//! quantile seeding — no RNG, so controller decisions are reproducible.
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans1d {
+    /// `assignments[i]` is the cluster index of input `i` (in `0..k`).
+    pub assignments: Vec<usize>,
+    /// Cluster centroids, ascending.
+    pub centroids: Vec<f64>,
+}
+
+impl KMeans1d {
+    /// Indices of the inputs belonging to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+
+    /// Number of clusters actually produced.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+/// Clusters `values` into at most `k` groups. The effective `k` is capped
+/// at the number of *distinct* values, so centroids are always distinct and
+/// non-empty. Centroids are returned ascending, and cluster indices are
+/// ordered by centroid (cluster 0 = lowest values).
+///
+/// # Panics
+/// If `values` is empty, `k == 0`, or any value is NaN.
+pub fn kmeans_1d(values: &[f64], k: usize) -> KMeans1d {
+    assert!(!values.is_empty(), "cannot cluster an empty set");
+    assert!(k > 0, "need at least one cluster");
+    assert!(values.iter().all(|v| !v.is_nan()), "NaN in k-means input");
+
+    let mut distinct: Vec<f64> = values.to_vec();
+    distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    distinct.dedup();
+    let k = k.min(distinct.len());
+
+    // Quantile seeding over the distinct values: deterministic and spread.
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| {
+            let idx = (i * (distinct.len() - 1)) / k.max(1).saturating_sub(1).max(1);
+            distinct[idx.min(distinct.len() - 1)]
+        })
+        .collect();
+    if k > 1 {
+        // Ensure the last seed is the max so the spread covers the range.
+        centroids[k - 1] = *distinct.last().unwrap();
+    }
+    centroids.dedup();
+    while centroids.len() < k {
+        // Degenerate seeding (can happen with tiny ranges): pad with
+        // remaining distinct values.
+        let missing = distinct.iter().find(|v| !centroids.contains(v)).copied();
+        match missing {
+            Some(v) => centroids.push(v),
+            None => break,
+        }
+    }
+    centroids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let k = centroids.len();
+
+    let mut assignments = vec![0usize; values.len()];
+    for _iter in 0..64 {
+        // Assignment step.
+        let mut changed = false;
+        for (i, &v) in values.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, &ctr) in centroids.iter().enumerate() {
+                let d = (v - ctr).abs();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (i, &v) in values.iter().enumerate() {
+            sums[assignments[i]] += v;
+            counts[assignments[i]] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centroids[c] = sums[c] / counts[c] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Renumber clusters by ascending centroid and drop empty ones.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| centroids[a].partial_cmp(&centroids[b]).unwrap());
+    let mut used: Vec<usize> = assignments.clone();
+    used.sort_unstable();
+    used.dedup();
+    let mut remap = vec![usize::MAX; k];
+    let mut kept_centroids = Vec::new();
+    for &old in &order {
+        if used.contains(&old) {
+            remap[old] = kept_centroids.len();
+            kept_centroids.push(centroids[old]);
+        }
+    }
+    for a in &mut assignments {
+        *a = remap[*a];
+    }
+
+    KMeans1d { assignments, centroids: kept_centroids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_obvious_groups() {
+        let r = kmeans_1d(&[1.0, 1.1, 0.9, 10.0, 10.2, 9.8], 2);
+        assert_eq!(r.k(), 2);
+        assert_eq!(&r.assignments[..3], &[0, 0, 0]);
+        assert_eq!(&r.assignments[3..], &[1, 1, 1]);
+        assert!(r.centroids[0] < r.centroids[1]);
+    }
+
+    #[test]
+    fn k_capped_by_distinct_values() {
+        let r = kmeans_1d(&[5.0, 5.0, 5.0], 3);
+        assert_eq!(r.k(), 1);
+        assert_eq!(r.assignments, vec![0, 0, 0]);
+        assert!((r.centroids[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        let r = kmeans_1d(&[42.0], 3);
+        assert_eq!(r.k(), 1);
+        assert_eq!(r.assignments, vec![0]);
+    }
+
+    #[test]
+    fn clusters_ordered_by_centroid() {
+        let r = kmeans_1d(&[100.0, 1.0, 50.0, 2.0, 99.0, 51.0], 3);
+        assert_eq!(r.k(), 3);
+        // Input 1 (value 1.0) must be in the lowest cluster.
+        assert_eq!(r.assignments[1], 0);
+        // Input 0 (value 100.0) must be in the highest cluster.
+        assert_eq!(r.assignments[0], r.k() - 1);
+        for w in r.centroids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn members_inverts_assignments() {
+        let r = kmeans_1d(&[1.0, 9.0, 1.2, 9.3], 2);
+        assert_eq!(r.members(0), vec![0, 2]);
+        assert_eq!(r.members(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn three_groups_converge() {
+        let data = [0.1, 0.2, 0.15, 5.0, 5.1, 4.9, 20.0, 19.5, 20.5];
+        let r = kmeans_1d(&data, 3);
+        assert_eq!(r.k(), 3);
+        assert!(r.assignments[..3].iter().all(|&a| a == 0));
+        assert!(r.assignments[3..6].iter().all(|&a| a == 1));
+        assert!(r.assignments[6..].iter().all(|&a| a == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        kmeans_1d(&[], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        kmeans_1d(&[1.0, f64::NAN], 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        assert_eq!(kmeans_1d(&data, 3), kmeans_1d(&data, 3));
+    }
+}

@@ -1,0 +1,32 @@
+//! # cmm-metrics — multiprogram performance and fairness metrics
+//!
+//! Implements the system-level metrics of the paper's Sec. IV-C (following
+//! Eyerman & Eeckhout, *System-Level Performance Metrics for Multiprogram
+//! Workloads*, IEEE Micro 2008):
+//!
+//! * **Harmonic speedup (HS)** — `N / Σ (IPC_alone_i / IPC_together_i)`;
+//!   its reciprocal is the average normalized turnaround time (ANTT).
+//!   HS captures both performance *and* fairness.
+//! * **Weighted speedup (WS)** — `Σ (IPC_x_i / IPC_baseline_i)`, the
+//!   throughput metric the paper normalizes against the no-control
+//!   baseline.
+//! * **hm_ipc** — the harmonic mean of the raw per-core IPCs, the proxy
+//!   the paper's back-end uses to rank sampling configurations when
+//!   run-alone IPCs are unknown (Sec. III-B1).
+//! * **worst-case speedup** — the minimum per-application normalized IPC,
+//!   Figs. 8/10/12.
+//!
+//! Plus the 1-D [k-means](kmeans) used for group-level throttling and the
+//! Dunn baseline, and small statistics helpers.
+
+pub mod fairness;
+pub mod kmeans;
+pub mod speedup;
+pub mod stats;
+
+pub use fairness::{gabor_fairness, jain_index, max_slowdown, slowdowns, stp};
+pub use kmeans::{kmeans_1d, KMeans1d};
+pub use speedup::{
+    antt, harmonic_speedup, hm_ipc, normalized_ipcs, weighted_speedup, worst_case_speedup,
+};
+pub use stats::{geomean, harmonic_mean, mean, median};

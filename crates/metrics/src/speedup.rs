@@ -1,0 +1,153 @@
+//! Multiprogram speedup and fairness metrics (paper Sec. IV-C).
+
+/// Harmonic speedup: `HS = N / Σ_i (IPC_alone_i / IPC_together_i)`.
+///
+/// Higher is better; `1/HS` is the average normalized turnaround time.
+/// Cores with zero together-IPC make the metric 0 (infinite slowdown).
+///
+/// # Panics
+/// If the slices differ in length or are empty.
+pub fn harmonic_speedup(alone: &[f64], together: &[f64]) -> f64 {
+    assert_eq!(alone.len(), together.len(), "need one alone IPC per core");
+    assert!(!alone.is_empty());
+    let mut denom = 0.0;
+    for (&a, &t) in alone.iter().zip(together) {
+        assert!(a > 0.0, "run-alone IPC must be positive");
+        if t <= 0.0 {
+            return 0.0;
+        }
+        denom += a / t;
+    }
+    alone.len() as f64 / denom
+}
+
+/// Average normalized turnaround time: the reciprocal of
+/// [`harmonic_speedup`] (Eyerman & Eeckhout). Lower is better.
+pub fn antt(alone: &[f64], together: &[f64]) -> f64 {
+    let hs = harmonic_speedup(alone, together);
+    if hs == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / hs
+    }
+}
+
+/// Weighted speedup of a mechanism over a baseline:
+/// `WS = Σ_i (IPC_x_i / IPC_baseline_i)`.
+///
+/// A WS of `N` (the core count) means no net change; the paper plots
+/// WS *normalized* by N so 1.0 is parity — use
+/// `weighted_speedup(..)/N` for that view.
+pub fn weighted_speedup(mechanism: &[f64], baseline: &[f64]) -> f64 {
+    assert_eq!(mechanism.len(), baseline.len());
+    assert!(!mechanism.is_empty());
+    mechanism
+        .iter()
+        .zip(baseline)
+        .map(|(&x, &b)| {
+            assert!(b > 0.0, "baseline IPC must be positive");
+            x / b
+        })
+        .sum()
+}
+
+/// Per-application normalized IPC (mechanism / baseline), the series behind
+/// the worst-case plots.
+pub fn normalized_ipcs(mechanism: &[f64], baseline: &[f64]) -> Vec<f64> {
+    assert_eq!(mechanism.len(), baseline.len());
+    mechanism
+        .iter()
+        .zip(baseline)
+        .map(|(&x, &b)| {
+            assert!(b > 0.0, "baseline IPC must be positive");
+            x / b
+        })
+        .collect()
+}
+
+/// The lowest per-application normalized IPC in a workload (Figs. 8/10/12):
+/// how badly the most-hurt application fares under the mechanism.
+pub fn worst_case_speedup(mechanism: &[f64], baseline: &[f64]) -> f64 {
+    normalized_ipcs(mechanism, baseline).into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// Harmonic mean of raw per-core IPCs — the paper's sampling-interval
+/// ranking proxy (`hm_ipc`, Sec. III-B1). Zero if any IPC is zero.
+pub fn hm_ipc(ipcs: &[f64]) -> f64 {
+    crate::stats::harmonic_mean(ipcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hs_is_one_when_nothing_slows_down() {
+        let a = [1.0, 2.0, 0.5];
+        assert!((harmonic_speedup(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hs_penalises_one_badly_hurt_app() {
+        // Two apps: one at full speed, one at 10%.
+        let hs = harmonic_speedup(&[1.0, 1.0], &[1.0, 0.1]);
+        // Arithmetic mean of speedups would be 0.55; HS is much lower.
+        assert!((hs - 2.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hs_zero_on_starved_core() {
+        assert_eq!(harmonic_speedup(&[1.0, 1.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(antt(&[1.0, 1.0], &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn antt_is_reciprocal_of_hs() {
+        let alone = [1.2, 0.8];
+        let together = [0.6, 0.6];
+        let hs = harmonic_speedup(&alone, &together);
+        assert!((antt(&alone, &together) * hs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ws_parity_equals_core_count() {
+        let b = [0.7, 1.4, 2.1];
+        assert!((weighted_speedup(&b, &b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ws_counts_gains_linearly() {
+        let ws = weighted_speedup(&[2.0, 1.0], &[1.0, 1.0]);
+        assert!((ws - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_finds_minimum() {
+        let w = worst_case_speedup(&[1.2, 0.4, 1.0], &[1.0, 1.0, 1.0]);
+        assert!((w - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_ipcs_elementwise() {
+        let v = normalized_ipcs(&[2.0, 0.5], &[1.0, 1.0]);
+        assert_eq!(v, vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn hm_ipc_matches_manual_value() {
+        let v = hm_ipc(&[1.0, 0.5]);
+        assert!((v - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one alone IPC per core")]
+    fn mismatched_lengths_panic() {
+        harmonic_speedup(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline IPC must be positive")]
+    fn zero_baseline_panics() {
+        weighted_speedup(&[1.0], &[0.0]);
+    }
+}

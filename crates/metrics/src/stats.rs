@@ -1,0 +1,105 @@
+//! Small statistics helpers shared by the harness and the controller.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// # Panics
+/// If any value is negative.
+pub fn geomean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    for &x in v {
+        assert!(x >= 0.0, "geomean of negative value");
+        if x == 0.0 {
+            return 0.0;
+        }
+        log_sum += x.ln();
+    }
+    (log_sum / v.len() as f64).exp()
+}
+
+/// Harmonic mean; 0 for an empty slice or if any value is ≤ 0.
+pub fn harmonic_mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut denom = 0.0;
+    for &x in v {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        denom += 1.0 / x;
+    }
+    v.len() as f64 / denom
+}
+
+/// Median (average of the two middle values for even lengths);
+/// 0 for an empty slice. The paper reports the median of three runs.
+pub fn median(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("median of NaN"));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[2.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn geomean_rejects_negative() {
+        geomean(&[-1.0]);
+    }
+
+    #[test]
+    fn harmonic_mean_basic() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 0.5]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn hm_never_exceeds_mean() {
+        let v = [0.3, 1.7, 0.9, 2.4];
+        assert!(harmonic_mean(&v) <= mean(&v));
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

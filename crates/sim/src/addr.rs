@@ -1,0 +1,85 @@
+//! Byte-address ↔ cache-line arithmetic.
+//!
+//! Everything in the memory hierarchy operates on 64-byte cache lines, the
+//! line size of every Intel server part since Nehalem. Addresses are plain
+//! `u64` byte addresses; *line numbers* are byte addresses shifted right by
+//! [`LINE_SHIFT`].
+
+/// Cache line size in bytes (fixed at 64, as on all Intel server parts).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// `log2(CACHE_LINE_BYTES)`.
+pub const LINE_SHIFT: u32 = 6;
+
+/// Size of a small page in bytes; the L2 streamer never crosses this.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Lines per 4 KiB page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / CACHE_LINE_BYTES;
+
+/// Line number containing byte address `addr`.
+#[inline(always)]
+pub fn line_of(addr: u64) -> u64 {
+    addr >> LINE_SHIFT
+}
+
+/// First byte address of line number `line`.
+#[inline(always)]
+pub fn addr_of_line(line: u64) -> u64 {
+    line << LINE_SHIFT
+}
+
+/// 4 KiB page number containing line number `line`.
+#[inline(always)]
+pub fn page_of_line(line: u64) -> u64 {
+    line / LINES_PER_PAGE
+}
+
+/// Offset of `line` within its 4 KiB page, in lines (0..64).
+#[inline(always)]
+pub fn line_offset_in_page(line: u64) -> u64 {
+    line % LINES_PER_PAGE
+}
+
+/// The "buddy" line completing the 128-byte aligned pair that contains
+/// `line` — the line the Intel *adjacent-line* prefetcher fetches.
+#[inline(always)]
+pub fn pair_line(line: u64) -> u64 {
+    line ^ 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_arithmetic_roundtrips() {
+        for addr in [0u64, 1, 63, 64, 65, 4095, 4096, 1 << 30] {
+            let line = line_of(addr);
+            assert!(addr_of_line(line) <= addr);
+            assert!(addr < addr_of_line(line) + CACHE_LINE_BYTES);
+        }
+    }
+
+    #[test]
+    fn adjacent_pair_is_involutive_and_128b_aligned() {
+        for line in [0u64, 1, 2, 3, 100, 101, 1 << 20] {
+            assert_eq!(pair_line(pair_line(line)), line);
+            // The pair {line, pair_line(line)} spans exactly one 128-byte block.
+            assert_eq!(line / 2, pair_line(line) / 2);
+        }
+    }
+
+    #[test]
+    fn page_geometry() {
+        assert_eq!(LINES_PER_PAGE, 64);
+        assert_eq!(page_of_line(line_of(4096)), 1);
+        assert_eq!(line_offset_in_page(line_of(4096 + 128)), 2);
+    }
+
+    #[test]
+    fn consecutive_addresses_in_same_line() {
+        assert_eq!(line_of(128), line_of(191));
+        assert_ne!(line_of(128), line_of(192));
+    }
+}

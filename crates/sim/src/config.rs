@@ -1,0 +1,227 @@
+//! Machine geometry and timing configuration.
+//!
+//! Two presets are provided:
+//!
+//! * [`SystemConfig::paper`] — the Intel Xeon E5-2620 v4 of the paper:
+//!   8 cores, 32 KiB/8-way L1D, 256 KiB/8-way L2, 20 MiB/20-way shared LLC,
+//!   DDR4-2400 with 68.3 GB/s peak (≈32 bytes/cycle at the 2.1 GHz base
+//!   clock).
+//! * [`SystemConfig::scaled`] — the same topology with the LLC scaled down
+//!   to 2.5 MiB (still 20 ways, so CAT masks behave identically) for fast
+//!   simulation; workload footprints in `cmm-workloads` scale with it.
+
+use crate::addr::CACHE_LINE_BYTES;
+
+/// Geometry of one set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes. Must be `ways * sets * 64` with `sets` a
+    /// power of two.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Load-to-use latency of a hit in this cache, in core cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / CACHE_LINE_BYTES / self.ways as u64
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / CACHE_LINE_BYTES
+    }
+
+    /// Panics if the geometry is internally inconsistent.
+    pub fn validate(&self) {
+        assert!(self.ways > 0, "cache must have at least one way");
+        assert_eq!(
+            self.size_bytes % (CACHE_LINE_BYTES * self.ways as u64),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        let sets = self.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+    }
+}
+
+/// Core pipeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Maximum demand misses a core can keep in flight before it stalls.
+    /// This is the *machine* limit; a workload's exploitable MLP
+    /// ([`crate::workload::Workload::mlp`]) may be lower.
+    pub max_mlp: u32,
+    /// Capacity of the per-core MSHR file tracking in-flight fills
+    /// (demand + prefetch).
+    pub mshr_entries: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig { max_mlp: 10, mshr_entries: 32 }
+    }
+}
+
+/// Memory-controller timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryConfig {
+    /// Unloaded round-trip latency of a memory access, in core cycles.
+    pub base_latency: u64,
+    /// Peak sustainable bandwidth in bytes per core cycle, shared by all
+    /// cores, achieved by row-hit traffic. 68.3 GB/s at 2.1 GHz ≈
+    /// 32.5 B/cycle.
+    pub bytes_per_cycle: f64,
+    /// Channel occupancy of a row-buffer *miss*, in cycles per 64-byte
+    /// line. Random-access traffic lands on closed rows and sustains only
+    /// `64/row_miss_service` bytes/cycle — the DDR4 random-access
+    /// efficiency cliff that makes useless prefetch floods expensive.
+    pub row_miss_service: u64,
+    /// Number of interleaved DRAM banks (power of two); concurrent streams
+    /// in different banks keep their rows open independently.
+    pub banks: usize,
+    /// Outstanding-prefetch cap: prefetch requests are dropped (as real
+    /// memory controllers drop or deprioritise them) once the queue is this
+    /// many requests deep. Demand requests always queue.
+    pub prefetch_drop_depth: usize,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            base_latency: 180,
+            bytes_per_cycle: 32.0,
+            // A row miss occupies the (aggregated 4-channel) controller
+            // for 4 cycles per line: random traffic sustains ~16 B/cycle,
+            // roughly DDR4-2400's measured random-access efficiency.
+            row_miss_service: 4,
+            banks: 16,
+            // High enough that speculative traffic is only shed when the
+            // controller is severely backlogged: Broadwell-era controllers
+            // let prefetch floods through, which is precisely the
+            // interference the paper manages in software.
+            prefetch_drop_depth: 512,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of physical cores (the paper uses 8, hyperthreading off).
+    pub num_cores: usize,
+    pub l1: CacheGeometry,
+    pub l2: CacheGeometry,
+    /// The shared, inclusive, CAT-partitionable LLC.
+    pub llc: CacheGeometry,
+    pub core: CoreConfig,
+    pub memory: MemoryConfig,
+    /// Length of one loosely-synchronised simulation quantum, in cycles.
+    pub quantum: u64,
+    /// Number of CAT classes of service (Broadwell-EP exposes 16).
+    pub num_clos: usize,
+    /// Query-Based Selection in the inclusive LLC (Broadwell's
+    /// inclusion-victim mitigation). Disable only for ablation studies.
+    pub qbs: bool,
+}
+
+impl SystemConfig {
+    /// Paper-faithful geometry: the Intel Xeon E5-2620 v4.
+    pub fn paper() -> Self {
+        SystemConfig {
+            num_cores: 8,
+            l1: CacheGeometry { size_bytes: 32 << 10, ways: 8, hit_latency: 4 },
+            l2: CacheGeometry { size_bytes: 256 << 10, ways: 8, hit_latency: 12 },
+            llc: CacheGeometry { size_bytes: 20 * (1 << 20), ways: 20, hit_latency: 40 },
+            core: CoreConfig::default(),
+            memory: MemoryConfig::default(),
+            quantum: 1000,
+            num_clos: 16,
+            qbs: true,
+        }
+    }
+
+    /// Scaled geometry for fast simulation: identical topology and way
+    /// counts, LLC shrunk to 2.5 MiB (20 ways × 2048 sets).
+    ///
+    /// `num_cores` is configurable so unit tests can run tiny systems.
+    pub fn scaled(num_cores: usize) -> Self {
+        SystemConfig {
+            num_cores,
+            l1: CacheGeometry { size_bytes: 32 << 10, ways: 8, hit_latency: 4 },
+            l2: CacheGeometry { size_bytes: 256 << 10, ways: 8, hit_latency: 12 },
+            llc: CacheGeometry { size_bytes: 2560 << 10, ways: 20, hit_latency: 40 },
+            core: CoreConfig::default(),
+            memory: MemoryConfig::default(),
+            quantum: 1000,
+            num_clos: 16,
+            qbs: true,
+        }
+    }
+
+    /// A deliberately tiny machine for unit tests: 2-way 4 KiB L1,
+    /// 8 KiB L2, 4-way 32 KiB LLC.
+    pub fn tiny(num_cores: usize) -> Self {
+        SystemConfig {
+            num_cores,
+            l1: CacheGeometry { size_bytes: 4 << 10, ways: 2, hit_latency: 4 },
+            l2: CacheGeometry { size_bytes: 8 << 10, ways: 4, hit_latency: 12 },
+            llc: CacheGeometry { size_bytes: 32 << 10, ways: 4, hit_latency: 40 },
+            core: CoreConfig::default(),
+            memory: MemoryConfig::default(),
+            quantum: 200,
+            num_clos: 4,
+            qbs: true,
+        }
+    }
+
+    /// Panics if any component geometry is inconsistent.
+    pub fn validate(&self) {
+        assert!(self.num_cores > 0);
+        assert!(self.num_clos >= 1 && self.num_clos <= 64);
+        assert!(self.quantum > 0);
+        self.l1.validate();
+        self.l2.validate();
+        self.llc.validate();
+        assert!(self.llc.ways <= 64, "CAT masks are u64 way bitmaps");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_e5_2620_v4() {
+        let cfg = SystemConfig::paper();
+        cfg.validate();
+        assert_eq!(cfg.num_cores, 8);
+        assert_eq!(cfg.l1.sets(), 64);
+        assert_eq!(cfg.l2.sets(), 512);
+        assert_eq!(cfg.llc.ways, 20);
+        assert_eq!(cfg.llc.sets(), 16384);
+        assert_eq!(cfg.llc.size_bytes, 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn scaled_keeps_llc_way_count() {
+        let cfg = SystemConfig::scaled(8);
+        cfg.validate();
+        assert_eq!(cfg.llc.ways, SystemConfig::paper().llc.ways);
+        assert_eq!(cfg.llc.sets(), 2048);
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        SystemConfig::tiny(2).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_set_count_panics() {
+        CacheGeometry { size_bytes: 3 * 64 * 8, ways: 8, hit_latency: 1 }.validate();
+    }
+}

@@ -1,0 +1,316 @@
+//! Bandwidth-limited memory controller with a banked row-buffer model.
+//!
+//! A single-server queueing model of the DRAM channel group: every 64-byte
+//! transfer occupies the channel, so queueing delay emerges naturally once
+//! aggregate traffic approaches peak bandwidth — the memory-bandwidth
+//! contention at the heart of the paper's motivation (Fig. 1).
+//!
+//! Channel occupancy depends on row-buffer locality: a request to the row
+//! most recently opened in its bank costs `64 / bytes_per_cycle` cycles
+//! (peak bandwidth), while a row miss costs
+//! [`MemoryConfig::row_miss_service`] cycles. Sequential streams keep
+//! their rows open and run at peak; random traffic — including the useless
+//! line floods of a confused streamer prefetcher — pays the random-access
+//! efficiency cliff of real DDR4. This is what makes prefetch-unfriendly
+//! applications measurably *slower* with prefetching on, as the paper's
+//! "Rand Access" micro-benchmark is.
+//!
+//! Prefetch requests are dropped once the queue is deeper than
+//! [`MemoryConfig::prefetch_drop_depth`], mirroring how real controllers
+//! deprioritise speculative traffic under load.
+
+use crate::config::MemoryConfig;
+
+/// Per-core traffic accounting (used for Fig. 1 / Fig. 14 bandwidth plots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreMemTraffic {
+    /// Bytes moved for demand fills.
+    pub demand_bytes: u64,
+    /// Bytes moved for prefetch fills.
+    pub prefetch_bytes: u64,
+    /// Bytes moved for dirty writebacks.
+    pub writeback_bytes: u64,
+}
+
+impl CoreMemTraffic {
+    /// All bytes this core moved through the memory controller.
+    pub fn total_bytes(&self) -> u64 {
+        self.demand_bytes + self.prefetch_bytes + self.writeback_bytes
+    }
+}
+
+/// Fixed-point scale for sub-cycle channel occupancy.
+const SCALE: u64 = 1024;
+const LINE_BYTES: u64 = 64;
+/// DRAM row size in bytes (2 KiB row buffers, as on DDR4 x8 parts).
+const ROW_BYTES: u64 = 2048;
+
+/// The shared memory controller.
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: MemoryConfig,
+    /// Cycle (scaled by `SCALE`) at which the channel next becomes free.
+    next_free_scaled: u64,
+    /// Channel occupancy of a row hit, in `SCALE`ths of a cycle.
+    hit_service_scaled: u64,
+    /// Channel occupancy of a row miss, in `SCALE`ths of a cycle.
+    miss_service_scaled: u64,
+    /// Open row per bank.
+    open_rows: Vec<u64>,
+    bank_mask: u64,
+    /// Per-core traffic counters.
+    traffic: Vec<CoreMemTraffic>,
+    /// Total prefetch requests dropped due to queue pressure.
+    pub prefetches_dropped: u64,
+    /// Row-buffer hits and misses (diagnostics).
+    pub row_hits: u64,
+    /// See [`MemoryController::row_hits`].
+    pub row_misses: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller serving `num_cores` cores.
+    pub fn new(cfg: MemoryConfig, num_cores: usize) -> Self {
+        assert!(cfg.bytes_per_cycle > 0.0);
+        assert!(cfg.banks.is_power_of_two(), "bank count must be a power of two");
+        let hit_service_scaled =
+            (((LINE_BYTES as f64 / cfg.bytes_per_cycle) * SCALE as f64) as u64).max(1);
+        let miss_service_scaled = (cfg.row_miss_service * SCALE).max(hit_service_scaled);
+        MemoryController {
+            next_free_scaled: 0,
+            hit_service_scaled,
+            miss_service_scaled,
+            open_rows: vec![u64::MAX; cfg.banks],
+            bank_mask: cfg.banks as u64 - 1,
+            traffic: vec![CoreMemTraffic::default(); num_cores],
+            prefetches_dropped: 0,
+            row_hits: 0,
+            row_misses: 0,
+            cfg,
+        }
+    }
+
+    /// Current queue depth in requests, as seen at cycle `now`
+    /// (approximated with the row-hit service time).
+    pub fn queue_depth(&self, now: u64) -> usize {
+        let now_scaled = now * SCALE;
+        if self.next_free_scaled <= now_scaled {
+            0
+        } else {
+            ((self.next_free_scaled - now_scaled) / self.miss_service_scaled.max(1)) as usize
+        }
+    }
+
+    fn occupy_channel(&mut self, now: u64, line: u64) -> u64 {
+        let row = (line * LINE_BYTES) / ROW_BYTES;
+        let bank = (row & self.bank_mask) as usize;
+        let service = if self.open_rows[bank] == row {
+            self.row_hits += 1;
+            self.hit_service_scaled
+        } else {
+            self.row_misses += 1;
+            self.open_rows[bank] = row;
+            self.miss_service_scaled
+        };
+        let start = self.next_free_scaled.max(now * SCALE);
+        self.next_free_scaled = start + service;
+        start
+    }
+
+    /// Issues a demand line fill at cycle `now` for `core`.
+    /// Returns the completion cycle.
+    pub fn demand_fill(&mut self, now: u64, core: usize, line: u64) -> u64 {
+        let start = self.occupy_channel(now, line);
+        self.traffic[core].demand_bytes += LINE_BYTES;
+        start / SCALE + self.cfg.base_latency
+    }
+
+    /// Issues a prefetch line fill at cycle `now` for `core`.
+    /// Returns `None` (dropped) when the queue is saturated.
+    pub fn prefetch_fill(&mut self, now: u64, core: usize, line: u64) -> Option<u64> {
+        if self.queue_depth(now) >= self.cfg.prefetch_drop_depth {
+            self.prefetches_dropped += 1;
+            return None;
+        }
+        let start = self.occupy_channel(now, line);
+        self.traffic[core].prefetch_bytes += LINE_BYTES;
+        Some(start / SCALE + self.cfg.base_latency)
+    }
+
+    /// Issues a dirty writeback at cycle `now` for `core`. Writebacks
+    /// consume bandwidth but nothing waits for them.
+    pub fn writeback(&mut self, now: u64, core: usize, line: u64) {
+        self.occupy_channel(now, line);
+        self.traffic[core].writeback_bytes += LINE_BYTES;
+    }
+
+    /// Traffic counters for one core.
+    pub fn traffic(&self, core: usize) -> CoreMemTraffic {
+        self.traffic[core]
+    }
+
+    /// Sum of all cores' traffic.
+    pub fn total_traffic(&self) -> CoreMemTraffic {
+        let mut t = CoreMemTraffic::default();
+        for c in &self.traffic {
+            t.demand_bytes += c.demand_bytes;
+            t.prefetch_bytes += c.prefetch_bytes;
+            t.writeback_bytes += c.writeback_bytes;
+        }
+        t
+    }
+
+    /// Resets traffic counters (PMU-style snapshotting is done by deltas in
+    /// the caller; this is for whole-run resets).
+    pub fn reset_traffic(&mut self) {
+        self.traffic.fill(CoreMemTraffic::default());
+        self.prefetches_dropped = 0;
+        self.row_hits = 0;
+        self.row_misses = 0;
+    }
+
+    /// The configured unloaded latency.
+    pub fn base_latency(&self) -> u64 {
+        self.cfg.base_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(bpc: f64, drop: usize) -> MemoryConfig {
+        MemoryConfig {
+            base_latency: 100,
+            bytes_per_cycle: bpc,
+            row_miss_service: 8,
+            banks: 8,
+            prefetch_drop_depth: drop,
+        }
+    }
+
+    fn ctl(bpc: f64, drop: usize) -> MemoryController {
+        MemoryController::new(cfg(bpc, drop), 2)
+    }
+
+    /// Lines in distinct rows of the same bank (row = 32 lines apart ×
+    /// banks).
+    fn conflict_line(i: u64) -> u64 {
+        i * 32 * 8
+    }
+
+    #[test]
+    fn unloaded_latency_is_base() {
+        let mut m = ctl(32.0, 64);
+        assert_eq!(m.demand_fill(1000, 0, 0), 1000 + 100);
+    }
+
+    #[test]
+    fn sequential_lines_hit_the_open_row() {
+        let mut m = ctl(32.0, 64);
+        for i in 0..31 {
+            m.demand_fill(i, 0, i);
+        }
+        // First access opens the row; the next 31 lines of the 2 KiB row hit.
+        assert_eq!(m.row_misses, 1);
+        assert_eq!(m.row_hits, 30);
+    }
+
+    #[test]
+    fn random_rows_always_miss() {
+        let mut m = ctl(32.0, 64);
+        for i in 0..16 {
+            m.demand_fill(i, 0, conflict_line(i));
+        }
+        assert_eq!(m.row_hits, 0);
+        assert_eq!(m.row_misses, 16);
+    }
+
+    #[test]
+    fn row_misses_occupy_channel_longer() {
+        // Back-to-back row misses in one bank: each occupies 8 cycles.
+        let mut m = ctl(32.0, 1024);
+        let c1 = m.demand_fill(0, 0, conflict_line(0));
+        let c2 = m.demand_fill(0, 0, conflict_line(1));
+        let c3 = m.demand_fill(0, 0, conflict_line(2));
+        assert_eq!(c1, 100);
+        assert_eq!(c2, 108);
+        assert_eq!(c3, 116);
+        // Row hits are cheaper: 64 B at 32 B/cycle = 2 cycles.
+        let c4 = m.demand_fill(0, 0, conflict_line(2) + 1);
+        assert_eq!(c4, 124);
+    }
+
+    #[test]
+    fn interleaved_streams_use_separate_banks() {
+        let mut m = ctl(32.0, 64);
+        // Two streams whose current rows sit in different banks: each
+        // keeps its own row open. (Streams exactly 1 MiB apart would share
+        // a bank phase — rows are interleaved row-number-mod-banks — so
+        // offset the second stream by one row.)
+        let base1 = 0u64;
+        let base2 = (1 << 20) + 2048;
+        for i in 0..32 {
+            m.demand_fill(i, 0, base1 / 64 + i);
+            m.demand_fill(i, 1, base2 / 64 + i);
+        }
+        assert!(m.row_hits > m.row_misses, "hits {} misses {}", m.row_hits, m.row_misses);
+    }
+
+    #[test]
+    fn channel_drains_when_idle() {
+        let mut m = ctl(1.0, 1024);
+        m.demand_fill(0, 0, 0);
+        assert_eq!(m.demand_fill(10_000, 0, 1), 10_000 + 100);
+    }
+
+    #[test]
+    fn queue_depth_reflects_backlog() {
+        let mut m = ctl(1.0, 1024);
+        for i in 0..10 {
+            m.demand_fill(0, 0, conflict_line(i));
+        }
+        assert!(m.queue_depth(0) >= 7);
+        assert_eq!(m.queue_depth(100_000), 0);
+    }
+
+    #[test]
+    fn prefetches_dropped_when_saturated() {
+        let mut m = ctl(1.0, 2);
+        for i in 0..10 {
+            m.demand_fill(0, 0, conflict_line(i));
+        }
+        assert!(m.prefetch_fill(0, 0, 999).is_none());
+        assert_eq!(m.prefetches_dropped, 1);
+        assert!(m.prefetch_fill(100_000, 0, 999).is_some());
+    }
+
+    #[test]
+    fn traffic_attributed_per_core() {
+        let mut m = ctl(32.0, 64);
+        m.demand_fill(0, 0, 0);
+        m.prefetch_fill(0, 1, 1);
+        m.writeback(0, 1, 2);
+        assert_eq!(m.traffic(0).demand_bytes, 64);
+        assert_eq!(m.traffic(1).prefetch_bytes, 64);
+        assert_eq!(m.traffic(1).writeback_bytes, 64);
+        assert_eq!(m.total_traffic().total_bytes(), 192);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut m = ctl(32.0, 64);
+        m.demand_fill(0, 0, 0);
+        m.reset_traffic();
+        assert_eq!(m.total_traffic().total_bytes(), 0);
+        assert_eq!(m.row_misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bank_count_validated() {
+        let mut c = cfg(32.0, 64);
+        c.banks = 3;
+        MemoryController::new(c, 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! MSR-level interface: prefetcher control and Cache Allocation Technology.
+//!
+//! The paper's kernel module programs three architectural interfaces; this
+//! module emulates their *semantics* (not the ring-0 ABI):
+//!
+//! * `MSR_MISC_FEATURE_CONTROL` (`0x1A4`) — per-core prefetcher disable
+//!   bits (handled by [`crate::prefetch::Battery`]; the address constants
+//!   live here).
+//! * `IA32_PQR_ASSOC` (`0xC8F`) — associates a logical CPU with a class of
+//!   service (CLOS).
+//! * `IA32_L3_QOS_MASK_n` (`0xC90 + n`) — the capacity bitmask (way mask)
+//!   of CLOS *n*, with Intel's validity rules: non-zero, **contiguous**,
+//!   and within the LLC's way count. Masks of different CLOS may overlap —
+//!   the paper's mechanisms depend on overlapping partitions.
+
+/// MSR address of the per-core prefetcher disable bits.
+pub const MSR_MISC_FEATURE_CONTROL: u32 = 0x1A4;
+
+/// MSR address of the CLOS association register.
+pub const IA32_PQR_ASSOC: u32 = 0xC8F;
+
+/// Base MSR address of the CAT way masks; CLOS *n* lives at base + *n*.
+pub const IA32_L3_QOS_MASK_BASE: u32 = 0xC90;
+
+/// Errors raised by invalid CAT programming, mirroring the #GP(0) a real
+/// part raises on an invalid WRMSR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatError {
+    /// The CLOS id is out of range.
+    BadClos(usize),
+    /// The way mask is zero.
+    EmptyMask,
+    /// The way mask has non-contiguous set bits.
+    NonContiguousMask(u64),
+    /// The way mask selects ways beyond the LLC associativity.
+    MaskTooWide(u64),
+    /// The core id is out of range.
+    BadCore(usize),
+}
+
+impl std::fmt::Display for CatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatError::BadClos(c) => write!(f, "CLOS {c} out of range"),
+            CatError::EmptyMask => write!(f, "CAT mask must be non-zero"),
+            CatError::NonContiguousMask(m) => {
+                write!(f, "CAT mask {m:#x} has non-contiguous bits")
+            }
+            CatError::MaskTooWide(m) => write!(f, "CAT mask {m:#x} exceeds LLC ways"),
+            CatError::BadCore(c) => write!(f, "core {c} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CatError {}
+
+/// True if the set bits of `mask` form one contiguous run.
+pub fn mask_is_contiguous(mask: u64) -> bool {
+    if mask == 0 {
+        return false;
+    }
+    let shifted = mask >> mask.trailing_zeros();
+    (shifted & shifted.wrapping_add(1)) == 0
+}
+
+/// Builds a contiguous mask of `n` ways starting at bit `lo`.
+pub fn contiguous_mask(lo: u32, n: u32) -> u64 {
+    assert!(n > 0 && lo + n <= 64);
+    (((1u128 << n) - 1) << lo) as u64
+}
+
+/// Cache Allocation Technology state: CLOS way-masks plus the per-core CLOS
+/// association.
+#[derive(Debug, Clone)]
+pub struct CatState {
+    llc_ways: u32,
+    masks: Vec<u64>,
+    assoc: Vec<usize>,
+}
+
+impl CatState {
+    /// Power-on state: every CLOS owns all ways, every core is in CLOS 0.
+    pub fn new(num_clos: usize, llc_ways: u32, num_cores: usize) -> Self {
+        let full = crate::cache::Cache::low_ways_mask(llc_ways as usize);
+        CatState { llc_ways, masks: vec![full; num_clos], assoc: vec![0; num_cores] }
+    }
+
+    /// Number of classes of service.
+    pub fn num_clos(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Programs the way mask of `clos` (WRMSR `IA32_L3_QOS_MASK_clos`).
+    pub fn set_mask(&mut self, clos: usize, mask: u64) -> Result<(), CatError> {
+        if clos >= self.masks.len() {
+            return Err(CatError::BadClos(clos));
+        }
+        if mask == 0 {
+            return Err(CatError::EmptyMask);
+        }
+        if !mask_is_contiguous(mask) {
+            return Err(CatError::NonContiguousMask(mask));
+        }
+        if mask & !crate::cache::Cache::low_ways_mask(self.llc_ways as usize) != 0 {
+            return Err(CatError::MaskTooWide(mask));
+        }
+        self.masks[clos] = mask;
+        Ok(())
+    }
+
+    /// Reads the way mask of `clos`.
+    pub fn mask(&self, clos: usize) -> Result<u64, CatError> {
+        self.masks.get(clos).copied().ok_or(CatError::BadClos(clos))
+    }
+
+    /// Associates `core` with `clos` (WRMSR `IA32_PQR_ASSOC`).
+    pub fn set_assoc(&mut self, core: usize, clos: usize) -> Result<(), CatError> {
+        if core >= self.assoc.len() {
+            return Err(CatError::BadCore(core));
+        }
+        if clos >= self.masks.len() {
+            return Err(CatError::BadClos(clos));
+        }
+        self.assoc[core] = clos;
+        Ok(())
+    }
+
+    /// The CLOS `core` currently belongs to.
+    pub fn assoc(&self, core: usize) -> usize {
+        self.assoc[core]
+    }
+
+    /// The allocation mask in force for `core`'s LLC insertions.
+    pub fn mask_for_core(&self, core: usize) -> u64 {
+        self.masks[self.assoc[core]]
+    }
+
+    /// Resets to the power-on state (all CLOS full-mask, all cores CLOS 0).
+    pub fn reset(&mut self) {
+        let full = crate::cache::Cache::low_ways_mask(self.llc_ways as usize);
+        self.masks.fill(full);
+        self.assoc.fill(0);
+    }
+}
+
+/// Marker trait bundle documenting the MSR surface [`crate::System`]
+/// exposes; see `System::write_msr` / `System::read_msr`.
+pub struct Msr;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguity_checker() {
+        assert!(mask_is_contiguous(0b1));
+        assert!(mask_is_contiguous(0b1110));
+        assert!(mask_is_contiguous(u64::MAX));
+        assert!(!mask_is_contiguous(0));
+        assert!(!mask_is_contiguous(0b101));
+        assert!(!mask_is_contiguous(0b1100_0011));
+    }
+
+    #[test]
+    fn contiguous_mask_builder() {
+        assert_eq!(contiguous_mask(0, 2), 0b11);
+        assert_eq!(contiguous_mask(3, 4), 0b111_1000);
+        assert_eq!(contiguous_mask(0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn power_on_state_is_full_and_clos0() {
+        let cat = CatState::new(4, 20, 8);
+        assert_eq!(cat.mask_for_core(7), (1 << 20) - 1);
+        assert_eq!(cat.assoc(3), 0);
+    }
+
+    #[test]
+    fn invalid_masks_rejected() {
+        let mut cat = CatState::new(4, 20, 8);
+        assert_eq!(cat.set_mask(0, 0), Err(CatError::EmptyMask));
+        assert_eq!(cat.set_mask(0, 0b101), Err(CatError::NonContiguousMask(0b101)));
+        assert_eq!(cat.set_mask(0, 1 << 20), Err(CatError::MaskTooWide(1 << 20)));
+        assert_eq!(cat.set_mask(9, 1), Err(CatError::BadClos(9)));
+    }
+
+    #[test]
+    fn overlapping_masks_allowed() {
+        let mut cat = CatState::new(4, 20, 8);
+        cat.set_mask(0, contiguous_mask(0, 20)).unwrap();
+        cat.set_mask(1, contiguous_mask(0, 3)).unwrap();
+        cat.set_assoc(5, 1).unwrap();
+        assert_eq!(cat.mask_for_core(5), 0b111);
+        assert_eq!(cat.mask_for_core(0), (1 << 20) - 1);
+    }
+
+    #[test]
+    fn assoc_validation() {
+        let mut cat = CatState::new(4, 20, 8);
+        assert_eq!(cat.set_assoc(8, 0), Err(CatError::BadCore(8)));
+        assert_eq!(cat.set_assoc(0, 4), Err(CatError::BadClos(4)));
+    }
+
+    #[test]
+    fn reset_restores_power_on() {
+        let mut cat = CatState::new(4, 20, 8);
+        cat.set_mask(1, 0b11).unwrap();
+        cat.set_assoc(2, 1).unwrap();
+        cat.reset();
+        assert_eq!(cat.mask_for_core(2), (1 << 20) - 1);
+        assert_eq!(cat.assoc(2), 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CatError::NonContiguousMask(0b101);
+        assert!(e.to_string().contains("non-contiguous"));
+    }
+}

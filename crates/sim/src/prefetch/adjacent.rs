@@ -1,0 +1,80 @@
+//! L2 adjacent-cache-line prefetcher (MSR 0x1A4 bit 1).
+//!
+//! Fetches the other half of the 128-byte-aligned line pair on an L2 miss,
+//! so any miss effectively behaves like a 128-byte fetch. Stateless apart
+//! from a tiny last-issue filter that stops a miss burst to the same pair
+//! from re-issuing.
+
+use super::{PrefetchRequest, Prefetcher, PrefetcherKind};
+use crate::addr::{line_of, pair_line};
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct AdjacentLine {
+    last_pair: Option<u64>,
+}
+
+impl Prefetcher for AdjacentLine {
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::L2Adjacent
+    }
+
+    fn on_access(&mut self, _pc: u64, addr: u64, hit: bool, out: &mut Vec<PrefetchRequest>) {
+        if hit {
+            return;
+        }
+        let line = line_of(addr);
+        let pair = line / 2;
+        if self.last_pair == Some(pair) {
+            return;
+        }
+        self.last_pair = Some(pair);
+        out.push(PrefetchRequest { line: pair_line(line), source: PrefetcherKind::L2Adjacent });
+    }
+
+    fn reset(&mut self) {
+        self.last_pair = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::CACHE_LINE_BYTES;
+
+    #[test]
+    fn miss_fetches_buddy_line() {
+        let mut p = AdjacentLine::default();
+        let mut out = Vec::new();
+        p.on_access(0, 4 * CACHE_LINE_BYTES, false, &mut out);
+        assert_eq!(out, vec![PrefetchRequest { line: 5, source: PrefetcherKind::L2Adjacent }]);
+    }
+
+    #[test]
+    fn odd_line_fetches_even_buddy() {
+        let mut p = AdjacentLine::default();
+        let mut out = Vec::new();
+        p.on_access(0, 7 * CACHE_LINE_BYTES, false, &mut out);
+        assert_eq!(out[0].line, 6);
+    }
+
+    #[test]
+    fn hits_do_not_trigger() {
+        let mut p = AdjacentLine::default();
+        let mut out = Vec::new();
+        p.on_access(0, 4 * CACHE_LINE_BYTES, true, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn same_pair_burst_issues_once() {
+        let mut p = AdjacentLine::default();
+        let mut out = Vec::new();
+        p.on_access(0, 4 * CACHE_LINE_BYTES, false, &mut out);
+        p.on_access(0, 5 * CACHE_LINE_BYTES, false, &mut out);
+        assert_eq!(out.len(), 1);
+        // A different pair issues again.
+        p.on_access(0, 8 * CACHE_LINE_BYTES, false, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+}

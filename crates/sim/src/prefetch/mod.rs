@@ -1,0 +1,244 @@
+//! The four hardware data prefetchers of an Intel server core.
+//!
+//! Per the Intel SDM (and Sec. II of the paper), each physical core has:
+//!
+//! | MSR 0x1A4 bit | Prefetcher | Level | Model |
+//! |---|---|---|---|
+//! | 0 | L2 hardware prefetcher ("streamer") | L2 | [`streamer::Streamer`] |
+//! | 1 | L2 adjacent-cache-line prefetcher | L2 | [`adjacent::AdjacentLine`] |
+//! | 2 | DCU prefetcher (next-line) | L1 | [`next_line::NextLine`] |
+//! | 3 | DCU IP prefetcher (stride) | L1 | [`ip_stride::IpStride`] |
+//!
+//! A set bit **disables** the prefetcher, exactly as on hardware.
+//! [`Battery`] bundles all four with their enable state and is owned by
+//! each simulated core.
+
+pub mod adjacent;
+pub mod ip_stride;
+pub mod next_line;
+pub mod streamer;
+
+pub use adjacent::AdjacentLine;
+pub use ip_stride::IpStride;
+pub use next_line::NextLine;
+pub use streamer::Streamer;
+
+/// Identifies which prefetcher generated a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetcherKind {
+    /// L2 streamer (MSR 0x1A4 bit 0).
+    L2Streamer,
+    /// L2 adjacent-line (bit 1).
+    L2Adjacent,
+    /// L1 DCU next-line (bit 2).
+    L1NextLine,
+    /// L1 DCU IP-stride (bit 3).
+    L1IpStride,
+}
+
+impl PrefetcherKind {
+    /// The disable-bit position of this prefetcher in MSR 0x1A4.
+    pub fn msr_bit(self) -> u64 {
+        match self {
+            PrefetcherKind::L2Streamer => 0,
+            PrefetcherKind::L2Adjacent => 1,
+            PrefetcherKind::L1NextLine => 2,
+            PrefetcherKind::L1IpStride => 3,
+        }
+    }
+
+    /// True for the two prefetchers attached to the L2 cache.
+    pub fn is_l2(self) -> bool {
+        matches!(self, PrefetcherKind::L2Streamer | PrefetcherKind::L2Adjacent)
+    }
+
+    /// All four prefetchers.
+    pub fn all() -> [PrefetcherKind; 4] {
+        [
+            PrefetcherKind::L2Streamer,
+            PrefetcherKind::L2Adjacent,
+            PrefetcherKind::L1NextLine,
+            PrefetcherKind::L1IpStride,
+        ]
+    }
+}
+
+/// A line-granular prefetch candidate emitted by a prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// Target line number.
+    pub line: u64,
+    /// Which engine asked for it.
+    pub source: PrefetcherKind,
+}
+
+/// Common interface of the four engines.
+pub trait Prefetcher {
+    /// Which engine this is.
+    fn kind(&self) -> PrefetcherKind;
+
+    /// Observe one access at this engine's cache level and append any
+    /// prefetch candidates to `out`. `hit` is the outcome at that level.
+    fn on_access(&mut self, pc: u64, addr: u64, hit: bool, out: &mut Vec<PrefetchRequest>);
+
+    /// Forget all training state (used when a prefetcher is re-enabled so a
+    /// stale stream does not fire instantly).
+    fn reset(&mut self);
+}
+
+/// The per-core battery of all four prefetchers plus the MSR 0x1A4 disable
+/// bits that gate them.
+pub struct Battery {
+    streamer: Streamer,
+    adjacent: AdjacentLine,
+    next_line: NextLine,
+    ip_stride: IpStride,
+    /// Raw MSR 0x1A4 value; bit set = prefetcher disabled.
+    disable_bits: u64,
+}
+
+impl Battery {
+    /// All prefetchers enabled (hardware power-on default).
+    pub fn new() -> Self {
+        Battery {
+            streamer: Streamer::default(),
+            adjacent: AdjacentLine::default(),
+            next_line: NextLine::default(),
+            ip_stride: IpStride::default(),
+            disable_bits: 0,
+        }
+    }
+
+    /// Writes the MSR 0x1A4 image. Only the low four bits are honoured.
+    /// Re-enabling an engine resets its training state.
+    pub fn write_msr(&mut self, value: u64) {
+        let value = value & 0xF;
+        let reenabled = self.disable_bits & !value;
+        for kind in PrefetcherKind::all() {
+            if reenabled & (1 << kind.msr_bit()) != 0 {
+                match kind {
+                    PrefetcherKind::L2Streamer => self.streamer.reset(),
+                    PrefetcherKind::L2Adjacent => self.adjacent.reset(),
+                    PrefetcherKind::L1NextLine => self.next_line.reset(),
+                    PrefetcherKind::L1IpStride => self.ip_stride.reset(),
+                }
+            }
+        }
+        self.disable_bits = value;
+    }
+
+    /// Current MSR 0x1A4 image.
+    pub fn read_msr(&self) -> u64 {
+        self.disable_bits
+    }
+
+    /// True if the given engine is currently enabled.
+    pub fn enabled(&self, kind: PrefetcherKind) -> bool {
+        self.disable_bits & (1 << kind.msr_bit()) == 0
+    }
+
+    /// Feed one L1 demand access to the two L1 engines.
+    pub fn l1_access(&mut self, pc: u64, addr: u64, hit: bool, out: &mut Vec<PrefetchRequest>) {
+        if self.enabled(PrefetcherKind::L1IpStride) {
+            self.ip_stride.on_access(pc, addr, hit, out);
+        }
+        if self.enabled(PrefetcherKind::L1NextLine) {
+            self.next_line.on_access(pc, addr, hit, out);
+        }
+    }
+
+    /// Feed one request arriving at L2 to the two L2 engines.
+    pub fn l2_access(&mut self, pc: u64, addr: u64, hit: bool, out: &mut Vec<PrefetchRequest>) {
+        if self.enabled(PrefetcherKind::L2Streamer) {
+            self.streamer.on_access(pc, addr, hit, out);
+        }
+        if self.enabled(PrefetcherKind::L2Adjacent) {
+            self.adjacent.on_access(pc, addr, hit, out);
+        }
+    }
+}
+
+impl Default for Battery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::CACHE_LINE_BYTES;
+
+    #[test]
+    fn msr_bits_match_intel_layout() {
+        assert_eq!(PrefetcherKind::L2Streamer.msr_bit(), 0);
+        assert_eq!(PrefetcherKind::L2Adjacent.msr_bit(), 1);
+        assert_eq!(PrefetcherKind::L1NextLine.msr_bit(), 2);
+        assert_eq!(PrefetcherKind::L1IpStride.msr_bit(), 3);
+    }
+
+    #[test]
+    fn battery_defaults_all_enabled() {
+        let b = Battery::new();
+        for k in PrefetcherKind::all() {
+            assert!(b.enabled(k));
+        }
+        assert_eq!(b.read_msr(), 0);
+    }
+
+    #[test]
+    fn disable_bits_gate_emission() {
+        let mut b = Battery::new();
+        b.write_msr(0xF); // all off
+        let mut out = Vec::new();
+        // A long ascending stream would normally trigger everything.
+        for i in 0..64u64 {
+            let a = i * CACHE_LINE_BYTES;
+            b.l1_access(0x400, a, false, &mut out);
+            b.l2_access(0x400, a, false, &mut out);
+        }
+        assert!(out.is_empty(), "disabled battery must emit nothing");
+    }
+
+    #[test]
+    fn enabled_battery_emits_on_stream() {
+        let mut b = Battery::new();
+        let mut out = Vec::new();
+        for i in 0..64u64 {
+            let a = i * CACHE_LINE_BYTES;
+            b.l1_access(0x400, a, false, &mut out);
+            b.l2_access(0x400, a, false, &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(out.iter().any(|r| r.source == PrefetcherKind::L2Streamer));
+        assert!(out.iter().any(|r| r.source == PrefetcherKind::L2Adjacent));
+    }
+
+    #[test]
+    fn write_msr_ignores_high_bits() {
+        let mut b = Battery::new();
+        b.write_msr(0xFFFF_FFF0);
+        assert_eq!(b.read_msr(), 0);
+    }
+
+    #[test]
+    fn selective_disable() {
+        let mut b = Battery::new();
+        b.write_msr(0b0011); // both L2 engines off, L1 on
+        assert!(!b.enabled(PrefetcherKind::L2Streamer));
+        assert!(!b.enabled(PrefetcherKind::L2Adjacent));
+        assert!(b.enabled(PrefetcherKind::L1NextLine));
+        assert!(b.enabled(PrefetcherKind::L1IpStride));
+
+        let mut out = Vec::new();
+        for i in 0..64u64 {
+            b.l2_access(0, i * CACHE_LINE_BYTES, false, &mut out);
+        }
+        assert!(out.is_empty());
+        for i in 0..64u64 {
+            b.l1_access(0, i * CACHE_LINE_BYTES, false, &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|r| !r.source.is_l2()));
+    }
+}

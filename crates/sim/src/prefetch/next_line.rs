@@ -1,0 +1,91 @@
+//! L1 DCU next-line prefetcher (MSR 0x1A4 bit 2).
+//!
+//! The Intel "DCU prefetcher" detects ascending access to recently loaded
+//! data and fetches the following cache line into L1. We model it as: on a
+//! demand access to line `n`, if the *previous* demand access was to line
+//! `n` or `n-1` (an ascending touch pattern), emit a prefetch for `n+1` —
+//! once per target line.
+
+use super::{PrefetchRequest, Prefetcher, PrefetcherKind};
+use crate::addr::line_of;
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct NextLine {
+    last_line: Option<u64>,
+    last_issued: Option<u64>,
+}
+
+impl Prefetcher for NextLine {
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::L1NextLine
+    }
+
+    fn on_access(&mut self, _pc: u64, addr: u64, _hit: bool, out: &mut Vec<PrefetchRequest>) {
+        let line = line_of(addr);
+        let ascending = matches!(self.last_line, Some(prev) if line == prev || line == prev + 1);
+        self.last_line = Some(line);
+        if !ascending {
+            return;
+        }
+        let target = line + 1;
+        if self.last_issued == Some(target) {
+            return;
+        }
+        self.last_issued = Some(target);
+        out.push(PrefetchRequest { line: target, source: PrefetcherKind::L1NextLine });
+    }
+
+    fn reset(&mut self) {
+        self.last_line = None;
+        self.last_issued = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::CACHE_LINE_BYTES;
+
+    #[test]
+    fn ascending_touches_trigger_next_line() {
+        let mut p = NextLine::default();
+        let mut out = Vec::new();
+        p.on_access(0, 0, false, &mut out); // first touch: trains only
+        assert!(out.is_empty());
+        p.on_access(0, CACHE_LINE_BYTES, false, &mut out); // line 1, ascending
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn same_line_retouch_triggers_once() {
+        let mut p = NextLine::default();
+        let mut out = Vec::new();
+        p.on_access(0, 0, false, &mut out);
+        p.on_access(0, 8, false, &mut out); // still line 0 → ascending, issue line 1
+        p.on_access(0, 16, false, &mut out); // line 1 already issued
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn random_jumps_do_not_trigger() {
+        let mut p = NextLine::default();
+        let mut out = Vec::new();
+        p.on_access(0, 0, false, &mut out);
+        p.on_access(0, 100 * CACHE_LINE_BYTES, false, &mut out);
+        p.on_access(0, 5 * CACHE_LINE_BYTES, false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reset_forgets_training() {
+        let mut p = NextLine::default();
+        let mut out = Vec::new();
+        p.on_access(0, 0, false, &mut out);
+        p.reset();
+        p.on_access(0, CACHE_LINE_BYTES, false, &mut out);
+        assert!(out.is_empty(), "first access after reset only trains");
+    }
+}

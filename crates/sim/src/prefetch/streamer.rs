@@ -1,0 +1,236 @@
+//! L2 streamer prefetcher (MSR 0x1A4 bit 0).
+//!
+//! The Intel "L2 hardware prefetcher" monitors request streams within a
+//! 4 KiB page, detects a monotonic direction, and runs ahead of the stream
+//! by an aggressiveness-dependent number of lines (up to 20 on real parts).
+//! We model a 16-entry stream table with LRU replacement, a direction
+//! confirmation threshold, and a degree that ramps with confidence — the
+//! ramping is what makes a *confirmed* stream flood the LLC/memory with
+//! prefetch traffic, which is precisely the interference the paper manages.
+
+use super::{PrefetchRequest, Prefetcher, PrefetcherKind};
+use crate::addr::{line_of, line_offset_in_page, page_of_line, LINES_PER_PAGE};
+
+const TABLE_SIZE: usize = 16;
+/// Monotonic steps needed to confirm a stream.
+const CONFIRM: u8 = 2;
+/// Maximum run-ahead distance in lines (Intel's streamer runs up to 20
+/// lines ahead of the request stream).
+const MAX_DEGREE: u64 = 16;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamEntry {
+    page: u64,
+    last_offset: u64,
+    /// +1 ascending, -1 descending, 0 untrained.
+    direction: i8,
+    confidence: u8,
+    /// Furthest in-page line offset already requested (exclusive cursor),
+    /// so a stable stream does not re-issue the same lines.
+    cursor: i64,
+    lru: u64,
+    valid: bool,
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct Streamer {
+    table: [StreamEntry; TABLE_SIZE],
+    tick: u64,
+}
+
+impl Default for Streamer {
+    fn default() -> Self {
+        Streamer { table: [StreamEntry::default(); TABLE_SIZE], tick: 0 }
+    }
+}
+
+impl Streamer {
+    fn find_or_allocate(&mut self, page: u64) -> &mut StreamEntry {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut victim = 0;
+        let mut victim_lru = u64::MAX;
+        for (i, e) in self.table.iter().enumerate() {
+            if e.valid && e.page == page {
+                let e = &mut self.table[i];
+                e.lru = tick;
+                return e;
+            }
+            if e.lru < victim_lru {
+                victim_lru = e.lru;
+                victim = i;
+            }
+        }
+        self.table[victim] =
+            StreamEntry { page, lru: tick, cursor: -1, valid: true, ..StreamEntry::default() };
+        &mut self.table[victim]
+    }
+
+    /// Degree ramp: freshly confirmed streams fetch 2 ahead; each further
+    /// confirmation doubles the distance up to [`MAX_DEGREE`].
+    fn degree(confidence: u8) -> u64 {
+        (2u64 << (confidence.saturating_sub(CONFIRM)).min(6)).min(MAX_DEGREE)
+    }
+}
+
+impl Prefetcher for Streamer {
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::L2Streamer
+    }
+
+    fn on_access(&mut self, _pc: u64, addr: u64, _hit: bool, out: &mut Vec<PrefetchRequest>) {
+        let line = line_of(addr);
+        let page = page_of_line(line);
+        let offset = line_offset_in_page(line);
+        let e = self.find_or_allocate(page);
+
+        if e.direction == 0 && e.confidence == 0 && e.cursor == -1 && e.last_offset == 0 && offset != 0
+        {
+            // Fresh entry: record the first touch.
+            e.last_offset = offset;
+            e.cursor = offset as i64;
+            return;
+        }
+
+        let step = offset as i64 - e.last_offset as i64;
+        e.last_offset = offset;
+        if step == 0 {
+            return;
+        }
+        let dir: i8 = if step > 0 { 1 } else { -1 };
+        if dir == e.direction {
+            e.confidence = e.confidence.saturating_add(1);
+        } else {
+            e.direction = dir;
+            e.confidence = 1;
+            e.cursor = offset as i64;
+        }
+        if e.confidence < CONFIRM {
+            return;
+        }
+
+        let degree = Self::degree(e.confidence);
+        let page_base = page * LINES_PER_PAGE;
+        if dir > 0 {
+            let start = (offset as i64 + 1).max(e.cursor + 1);
+            let end = (offset + degree).min(LINES_PER_PAGE - 1) as i64;
+            for o in start..=end {
+                out.push(PrefetchRequest {
+                    line: page_base + o as u64,
+                    source: PrefetcherKind::L2Streamer,
+                });
+            }
+            e.cursor = e.cursor.max(end);
+        } else {
+            let start = (offset as i64 - 1).min(e.cursor - 1);
+            let end = offset.saturating_sub(degree) as i64;
+            for o in (end..=start).rev() {
+                if o < 0 {
+                    break;
+                }
+                out.push(PrefetchRequest {
+                    line: page_base + o as u64,
+                    source: PrefetcherKind::L2Streamer,
+                });
+            }
+            e.cursor = e.cursor.min(end);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.table = [StreamEntry::default(); TABLE_SIZE];
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::CACHE_LINE_BYTES;
+
+    fn drive(s: &mut Streamer, lines: impl IntoIterator<Item = u64>) -> Vec<u64> {
+        let mut out = Vec::new();
+        for l in lines {
+            s.on_access(0, l * CACHE_LINE_BYTES, false, &mut out);
+        }
+        out.iter().map(|r| r.line).collect()
+    }
+
+    #[test]
+    fn ascending_stream_runs_ahead() {
+        let mut s = Streamer::default();
+        let issued = drive(&mut s, 0..8);
+        assert!(!issued.is_empty());
+        // Everything issued must be ahead of the last access (line 7).
+        assert!(issued.iter().all(|&l| l > 2), "{issued:?}");
+        // The run-ahead should be covering several lines beyond the stream head.
+        assert!(*issued.iter().max().unwrap() >= 10);
+    }
+
+    #[test]
+    fn no_duplicate_issues_for_stable_stream() {
+        let mut s = Streamer::default();
+        let issued = drive(&mut s, 0..32);
+        let mut sorted = issued.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), issued.len(), "streamer re-issued lines: {issued:?}");
+    }
+
+    #[test]
+    fn descending_stream_supported() {
+        let mut s = Streamer::default();
+        let issued = drive(&mut s, (32..56).rev());
+        assert!(!issued.is_empty());
+        assert!(issued.iter().all(|&l| l < 56));
+    }
+
+    #[test]
+    fn never_crosses_page_boundary() {
+        let mut s = Streamer::default();
+        // Stream right up to the end of page 0 (lines 0..64).
+        let issued = drive(&mut s, 56..64);
+        assert!(issued.iter().all(|&l| l < LINES_PER_PAGE), "{issued:?}");
+    }
+
+    #[test]
+    fn random_accesses_within_page_do_not_confirm() {
+        let mut s = Streamer::default();
+        let issued = drive(&mut s, [5u64, 40, 3, 60, 11, 33, 2, 50]);
+        // Direction flips on almost every access; nothing should confirm
+        // beyond a stray line or two.
+        assert!(issued.len() <= 2, "{issued:?}");
+    }
+
+    #[test]
+    fn degree_ramps_with_confidence() {
+        assert!(Streamer::degree(CONFIRM) < Streamer::degree(CONFIRM + 3));
+        assert!(Streamer::degree(100) <= MAX_DEGREE);
+    }
+
+    #[test]
+    fn multiple_concurrent_pages_tracked() {
+        let mut s = Streamer::default();
+        let mut out = Vec::new();
+        // Interleave ascending streams in two distinct pages.
+        for i in 0..8u64 {
+            s.on_access(0, i * CACHE_LINE_BYTES, false, &mut out);
+            s.on_access(0, (10 * LINES_PER_PAGE + i) * CACHE_LINE_BYTES, false, &mut out);
+        }
+        let pages: std::collections::HashSet<u64> =
+            out.iter().map(|r| page_of_line(r.line)).collect();
+        assert!(pages.contains(&0));
+        assert!(pages.contains(&10));
+    }
+
+    #[test]
+    fn reset_clears_streams() {
+        let mut s = Streamer::default();
+        drive(&mut s, 0..8);
+        s.reset();
+        let mut out = Vec::new();
+        s.on_access(0, 8 * CACHE_LINE_BYTES, false, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! The whole machine: N cores, a shared CAT-partitionable LLC, and the
+//! memory controller, stepped in loosely-synchronised quanta.
+//!
+//! Cores advance their private clocks independently within one quantum
+//! (default 1000 cycles) and re-synchronise at quantum boundaries, where
+//! deferred inclusive back-invalidations are applied to the other cores'
+//! private caches. This is the standard relaxed-synchronisation scheme of
+//! fast multicore simulators; at 1000-cycle quanta the skew is far below
+//! the epoch lengths the CMM controller operates on.
+
+use crate::cache::Cache;
+use crate::config::SystemConfig;
+use crate::core_model::Core;
+use crate::memory::{CoreMemTraffic, MemoryController};
+use crate::msr::{
+    CatError, CatState, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL,
+};
+use crate::pmu::Pmu;
+use crate::presence::Presence;
+use crate::workload::Workload;
+
+/// Errors from the WRMSR/RDMSR emulation surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsrError {
+    /// The MSR address is not emulated.
+    UnknownMsr(u32),
+    /// CAT programming fault (would be #GP(0) on hardware).
+    Cat(CatError),
+    /// Core index out of range.
+    BadCore(usize),
+}
+
+impl std::fmt::Display for MsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsrError::UnknownMsr(a) => write!(f, "unknown MSR {a:#x}"),
+            MsrError::Cat(e) => write!(f, "CAT error: {e}"),
+            MsrError::BadCore(c) => write!(f, "core {c} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for MsrError {}
+
+impl From<CatError> for MsrError {
+    fn from(e: CatError) -> Self {
+        MsrError::Cat(e)
+    }
+}
+
+/// The simulated machine.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    llc: Cache,
+    cat: CatState,
+    mem: MemoryController,
+    presence: Presence,
+    now: u64,
+    inval: Vec<u64>,
+}
+
+impl System {
+    /// Builds a machine running one workload per core.
+    /// `workloads.len()` must equal `cfg.num_cores`.
+    pub fn new(cfg: SystemConfig, workloads: Vec<Box<dyn Workload + Send>>) -> Self {
+        cfg.validate();
+        assert_eq!(
+            workloads.len(),
+            cfg.num_cores,
+            "one workload per core ({} cores, {} workloads)",
+            cfg.num_cores,
+            workloads.len()
+        );
+        let cores: Vec<Core> =
+            workloads.into_iter().enumerate().map(|(i, w)| Core::new(i, &cfg, w)).collect();
+        let llc = Cache::new(cfg.llc);
+        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, cfg.num_cores);
+        let mem = MemoryController::new(cfg.memory, cfg.num_cores);
+        System { cfg, cores, llc, cat, mem, presence: Presence::new(), now: 0, inval: Vec::new() }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// LLC associativity (CAT mask width).
+    pub fn llc_ways(&self) -> u32 {
+        self.cfg.llc.ways
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Global cycle count (quantum-granular).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the whole machine by `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        let target = self.now + cycles;
+        while self.now < target {
+            let qend = (self.now + self.cfg.quantum).min(target);
+            let System { cores, llc, cat, mem, presence, inval, .. } = self;
+            for core in cores.iter_mut() {
+                core.run_until(qend, llc, cat, mem, presence, inval);
+            }
+            // Inclusive back-invalidation of LLC victims in all cores.
+            if !inval.is_empty() {
+                for line in inval.drain(..) {
+                    for core in cores.iter_mut() {
+                        core.back_invalidate(line, mem, presence);
+                    }
+                }
+            }
+            self.now = qend;
+        }
+    }
+
+    /// Reads core `i`'s PMU snapshot (valid as of the last quantum
+    /// boundary).
+    pub fn pmu(&self, core: usize) -> Pmu {
+        self.cores[core].pmu
+    }
+
+    /// Snapshots all cores' PMUs at once (the controller reads these at
+    /// epoch boundaries, like the paper's PMI handler).
+    pub fn pmu_all(&self) -> Vec<Pmu> {
+        self.cores.iter().map(|c| c.pmu).collect()
+    }
+
+    /// Per-core memory traffic counters.
+    pub fn traffic(&self, core: usize) -> CoreMemTraffic {
+        self.mem.traffic(core)
+    }
+
+    /// Total prefetch requests the memory controller dropped.
+    pub fn prefetches_dropped(&self) -> u64 {
+        self.mem.prefetches_dropped
+    }
+
+    /// Name of the benchmark on core `i`.
+    pub fn workload_name(&self, core: usize) -> &str {
+        self.cores[core].workload.name()
+    }
+
+    /// WRMSR emulation. Supported MSRs: `MSR_MISC_FEATURE_CONTROL`
+    /// (per-core prefetcher disable bits), `IA32_PQR_ASSOC` (CLOS
+    /// association; low bits = CLOS id) and `IA32_L3_QOS_MASK_BASE + n`
+    /// (way mask of CLOS *n*).
+    pub fn write_msr(&mut self, core: usize, msr: u32, value: u64) -> Result<(), MsrError> {
+        if core >= self.cores.len() {
+            return Err(MsrError::BadCore(core));
+        }
+        match msr {
+            MSR_MISC_FEATURE_CONTROL => {
+                self.cores[core].battery.write_msr(value);
+                Ok(())
+            }
+            IA32_PQR_ASSOC => {
+                self.cat.set_assoc(core, value as usize)?;
+                Ok(())
+            }
+            m if m >= IA32_L3_QOS_MASK_BASE
+                && m < IA32_L3_QOS_MASK_BASE + self.cat.num_clos() as u32 =>
+            {
+                self.cat.set_mask((m - IA32_L3_QOS_MASK_BASE) as usize, value)?;
+                Ok(())
+            }
+            other => Err(MsrError::UnknownMsr(other)),
+        }
+    }
+
+    /// RDMSR emulation; see [`System::write_msr`] for the supported set.
+    pub fn read_msr(&self, core: usize, msr: u32) -> Result<u64, MsrError> {
+        if core >= self.cores.len() {
+            return Err(MsrError::BadCore(core));
+        }
+        match msr {
+            MSR_MISC_FEATURE_CONTROL => Ok(self.cores[core].battery.read_msr()),
+            IA32_PQR_ASSOC => Ok(self.cat.assoc(core) as u64),
+            m if m >= IA32_L3_QOS_MASK_BASE
+                && m < IA32_L3_QOS_MASK_BASE + self.cat.num_clos() as u32 =>
+            {
+                Ok(self.cat.mask((m - IA32_L3_QOS_MASK_BASE) as usize)?)
+            }
+            other => Err(MsrError::UnknownMsr(other)),
+        }
+    }
+
+    // ----- convenience wrappers used by the controller ------------------
+
+    /// Enables (`true`) or disables (`false`) all four prefetchers of one
+    /// core, the granularity the paper's mechanisms use.
+    pub fn set_prefetching(&mut self, core: usize, enabled: bool) {
+        self.cores[core].battery.write_msr(if enabled { 0x0 } else { 0xF });
+    }
+
+    /// True if any prefetcher of `core` is enabled.
+    pub fn prefetching_enabled(&self, core: usize) -> bool {
+        self.cores[core].battery.read_msr() != 0xF
+    }
+
+    /// Programs the way mask of a CLOS.
+    pub fn set_clos_mask(&mut self, clos: usize, mask: u64) -> Result<(), MsrError> {
+        self.cat.set_mask(clos, mask)?;
+        Ok(())
+    }
+
+    /// Moves a core into a CLOS.
+    pub fn assign_clos(&mut self, core: usize, clos: usize) -> Result<(), MsrError> {
+        self.cat.set_assoc(core, clos)?;
+        Ok(())
+    }
+
+    /// Restores power-on CAT state (all cores share the whole LLC).
+    pub fn reset_cat(&mut self) {
+        self.cat.reset();
+    }
+
+    /// Current allocation mask in force for a core.
+    pub fn effective_mask(&self, core: usize) -> u64 {
+        self.cat.mask_for_core(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Idle, Op};
+
+    struct Seq {
+        pos: u64,
+        span: u64,
+        mlp: u32,
+    }
+    impl Workload for Seq {
+        fn next(&mut self) -> Op {
+            let a = self.pos;
+            self.pos = (self.pos + 8) % self.span;
+            Op::Load { addr: a, pc: 0x400 }
+        }
+        fn mlp(&self) -> u32 {
+            self.mlp
+        }
+        fn reset(&mut self) {
+            self.pos = 0;
+        }
+        fn name(&self) -> &str {
+            "seq"
+        }
+    }
+
+    fn seq(span: u64) -> Box<dyn Workload + Send> {
+        Box::new(Seq { pos: 0, span, mlp: 4 })
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload per core")]
+    fn workload_count_must_match() {
+        System::new(SystemConfig::tiny(2), vec![Box::new(Idle)]);
+    }
+
+    #[test]
+    fn runs_all_cores_to_time() {
+        let mut sys = System::new(SystemConfig::tiny(2), vec![Box::new(Idle), seq(1 << 20)]);
+        sys.run(10_000);
+        assert_eq!(sys.now(), 10_000);
+        for i in 0..2 {
+            assert!(sys.pmu(i).cycles >= 10_000);
+            assert!(sys.pmu(i).instructions > 0);
+        }
+    }
+
+    #[test]
+    fn msr_prefetch_roundtrip() {
+        let mut sys = System::new(SystemConfig::tiny(1), vec![Box::new(Idle)]);
+        sys.write_msr(0, MSR_MISC_FEATURE_CONTROL, 0xF).unwrap();
+        assert_eq!(sys.read_msr(0, MSR_MISC_FEATURE_CONTROL).unwrap(), 0xF);
+        assert!(!sys.prefetching_enabled(0));
+        sys.set_prefetching(0, true);
+        assert!(sys.prefetching_enabled(0));
+    }
+
+    #[test]
+    fn msr_cat_roundtrip() {
+        let mut sys = System::new(SystemConfig::tiny(1), vec![Box::new(Idle)]);
+        sys.write_msr(0, IA32_L3_QOS_MASK_BASE + 1, 0b11).unwrap();
+        assert_eq!(sys.read_msr(0, IA32_L3_QOS_MASK_BASE + 1).unwrap(), 0b11);
+        sys.write_msr(0, IA32_PQR_ASSOC, 1).unwrap();
+        assert_eq!(sys.effective_mask(0), 0b11);
+        sys.reset_cat();
+        assert_eq!(sys.effective_mask(0), 0b1111); // tiny() LLC has 4 ways
+    }
+
+    #[test]
+    fn unknown_msr_rejected() {
+        let mut sys = System::new(SystemConfig::tiny(1), vec![Box::new(Idle)]);
+        assert!(matches!(sys.write_msr(0, 0xDEAD, 1), Err(MsrError::UnknownMsr(0xDEAD))));
+        assert!(matches!(sys.read_msr(0, 0xDEAD), Err(MsrError::UnknownMsr(0xDEAD))));
+        assert!(matches!(sys.write_msr(9, 0x1A4, 0), Err(MsrError::BadCore(9))));
+    }
+
+    #[test]
+    fn invalid_cat_mask_surfaces_error() {
+        let mut sys = System::new(SystemConfig::tiny(1), vec![Box::new(Idle)]);
+        assert!(matches!(
+            sys.write_msr(0, IA32_L3_QOS_MASK_BASE, 0b101),
+            Err(MsrError::Cat(CatError::NonContiguousMask(0b101)))
+        ));
+    }
+
+    #[test]
+    fn contention_slows_down_a_stream() {
+        // One stream alone vs. the same stream sharing memory with three
+        // other streams: contention must cost IPC.
+        let alone = {
+            let mut cfg = SystemConfig::tiny(1);
+            cfg.memory.bytes_per_cycle = 4.0;
+            let mut sys = System::new(cfg, vec![seq(1 << 22)]);
+            sys.run(200_000);
+            sys.pmu(0).ipc()
+        };
+        let contended = {
+            // Keep memory bandwidth tight so four streams saturate it.
+            let mut cfg = SystemConfig::tiny(4);
+            cfg.memory.bytes_per_cycle = 4.0;
+            let mut sys = System::new(cfg, (0..4).map(|_| seq(1 << 22)).collect());
+            sys.run(200_000);
+            sys.pmu(0).ipc()
+        };
+        assert!(
+            contended < alone,
+            "contended IPC {contended:.3} must be below alone IPC {alone:.3}"
+        );
+    }
+
+    #[test]
+    fn cache_partitioning_protects_a_small_working_set() {
+        // Core 0 loops over an LLC-resident set; core 1 streams and thrashes
+        // the LLC. Giving core 1 a tiny partition must help core 0.
+        let run = |partitioned: bool| {
+            let cfg = SystemConfig::tiny(2);
+            let resident = cfg.llc.size_bytes / 2;
+            let mut sys = System::new(
+                cfg,
+                vec![
+                    Box::new(Seq { pos: 0, span: resident, mlp: 1 }),
+                    Box::new(Seq { pos: 0, span: 1 << 24, mlp: 4 }),
+                ],
+            );
+            if partitioned {
+                // CLOS1 = 1 way for the streamer; core 0 keeps everything.
+                sys.set_clos_mask(1, 0b1).unwrap();
+                sys.assign_clos(1, 1).unwrap();
+            }
+            sys.run(400_000);
+            sys.pmu(0).ipc()
+        };
+        let unprotected = run(false);
+        let protected = run(true);
+        assert!(
+            protected > unprotected,
+            "partitioning must protect the resident core: {protected:.3} vs {unprotected:.3}"
+        );
+    }
+
+    #[test]
+    fn traffic_accounted_per_core() {
+        let mut sys = System::new(SystemConfig::tiny(2), vec![Box::new(Idle), seq(1 << 22)]);
+        sys.run(100_000);
+        assert_eq!(sys.traffic(0).total_bytes(), 0);
+        assert!(sys.traffic(1).total_bytes() > 0);
+    }
+
+    #[test]
+    fn pmu_all_matches_individual_reads() {
+        let mut sys = System::new(SystemConfig::tiny(2), vec![seq(1 << 20), seq(1 << 20)]);
+        sys.run(50_000);
+        let all = sys.pmu_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], sys.pmu(0));
+        assert_eq!(all[1], sys.pmu(1));
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end hierarchy invariants on randomised workloads: PMU counter
+//! consistency, CAT semantics under the full machine, and conservation
+//! relations between levels.
+
+use cmm_sim::config::SystemConfig;
+use cmm_sim::msr::contiguous_mask;
+use cmm_sim::workload::{Op, Workload};
+use cmm_sim::System;
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random workload parameterised by seed.
+struct RandomWalk {
+    state: u64,
+    span_lines: u64,
+    burst: u32,
+    left: u32,
+    line: u64,
+    compute: u32,
+    phase: bool,
+}
+
+impl RandomWalk {
+    fn new(seed: u64, span_lines: u64, burst: u32, compute: u32) -> Self {
+        RandomWalk { state: seed | 1, span_lines, burst, left: 0, line: 0, compute, phase: false }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+}
+
+impl Workload for RandomWalk {
+    fn next(&mut self) -> Op {
+        if self.phase && self.compute > 0 {
+            self.phase = false;
+            return Op::Compute { cycles: self.compute };
+        }
+        self.phase = true;
+        if self.left == 0 {
+            self.line = self.next_u64() % self.span_lines;
+            self.left = self.burst;
+        }
+        self.left -= 1;
+        let addr = self.line * 64;
+        self.line = (self.line + 1) % self.span_lines;
+        if self.next_u64().is_multiple_of(5) {
+            Op::Store { addr, pc: 0x500 }
+        } else {
+            Op::Load { addr, pc: 0x400 + (self.next_u64() % 4) * 4 }
+        }
+    }
+
+    fn mlp(&self) -> u32 {
+        4
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &str {
+        "random-walk"
+    }
+}
+
+fn machine(seed: u64, cores: usize) -> System {
+    let cfg = SystemConfig::tiny(cores);
+    let ws = (0..cores)
+        .map(|i| {
+            Box::new(RandomWalk::new(
+                seed.wrapping_mul(31).wrapping_add(i as u64),
+                1 << 12,
+                (seed % 4) as u32 + 1,
+                (seed % 7) as u32,
+            )) as Box<dyn Workload + Send>
+        })
+        .collect();
+    System::new(cfg, ws)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PMU counters obey their structural relations for any workload.
+    #[test]
+    fn pmu_counters_consistent(seed in 0u64..1000, cores in 1usize..4) {
+        let mut sys = machine(seed, cores);
+        sys.run(60_000);
+        for c in 0..cores {
+            let p = sys.pmu(c);
+            prop_assert!(p.l1d_misses <= p.l1d_accesses);
+            prop_assert!(p.l2_dm_miss <= p.l2_dm_req);
+            prop_assert!(p.l2_pf_miss <= p.l2_pf_req);
+            prop_assert!(p.llc_pf_to_mem <= p.l2_pf_miss + p.l1_pf_req);
+            prop_assert!(p.stalls_l2_pending <= p.stall_cycles);
+            prop_assert!(p.stall_cycles <= p.cycles);
+            prop_assert!(p.instructions > 0);
+            // A demand line can only arrive at L2 after missing L1.
+            prop_assert!(p.l2_dm_req <= p.l1d_misses);
+        }
+    }
+
+    /// Memory traffic attributed to cores equals the controller's total.
+    #[test]
+    fn traffic_conservation(seed in 0u64..1000) {
+        let mut sys = machine(seed, 2);
+        sys.run(50_000);
+        for c in 0..2 {
+            let pmu = sys.pmu(c);
+            let t = sys.traffic(c);
+            prop_assert_eq!(pmu.mem_demand_bytes, t.demand_bytes);
+            prop_assert_eq!(pmu.mem_prefetch_bytes, t.prefetch_bytes);
+            prop_assert_eq!(pmu.mem_writeback_bytes, t.writeback_bytes);
+        }
+    }
+
+    /// Changing one core's CAT mask never perturbs a different machine's
+    /// determinism, and the restricted core keeps making progress.
+    #[test]
+    fn cat_restriction_is_safe(seed in 0u64..1000, width in 1u32..4) {
+        let mut sys = machine(seed, 2);
+        sys.set_clos_mask(1, contiguous_mask(0, width)).unwrap();
+        sys.assign_clos(0, 1).unwrap();
+        sys.run(50_000);
+        prop_assert!(sys.pmu(0).instructions > 0);
+        prop_assert!(sys.pmu(1).instructions > 0);
+        prop_assert_eq!(sys.effective_mask(0), contiguous_mask(0, width));
+    }
+
+    /// Prefetcher disable bits eliminate all prefetch-side PMU activity.
+    #[test]
+    fn disabled_prefetchers_stay_silent(seed in 0u64..1000) {
+        let mut sys = machine(seed, 2);
+        sys.set_prefetching(0, false);
+        sys.run(50_000);
+        let p = sys.pmu(0);
+        prop_assert_eq!(p.l2_pf_req, 0);
+        prop_assert_eq!(p.l1_pf_req, 0);
+        prop_assert_eq!(p.mem_prefetch_bytes, 0);
+        // The other core still prefetches.
+        prop_assert!(sys.pmu(1).l2_pf_req + sys.pmu(1).l1_pf_req > 0);
+    }
+
+    /// Runs decompose: run(a); run(b) ≡ run(a+b) for the PMU state.
+    #[test]
+    fn run_is_compositional(seed in 0u64..500, split in 1u64..40) {
+        let mut one = machine(seed, 2);
+        one.run(50_000);
+        let mut two = machine(seed, 2);
+        two.run(split * 1000);
+        two.run(50_000 - split * 1000);
+        prop_assert_eq!(one.pmu_all(), two.pmu_all());
+    }
+}

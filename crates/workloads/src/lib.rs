@@ -1,0 +1,31 @@
+//! # cmm-workloads — synthetic SPEC-CPU2006-class benchmarks and mixes
+//!
+//! The paper evaluates CMM on SPEC CPU2006 plus a hand-written
+//! "Rand Access" micro-benchmark. SPEC binaries (and 2.5 minutes of real
+//! Xeon time per run) are not available to this reproduction, so this crate
+//! provides *parameterised synthetic generators* that reproduce the
+//! behavioural classes the evaluation depends on (Sec. IV-B):
+//!
+//! * **prefetch aggressive** — demand bandwidth above the intensity
+//!   threshold *and* ≥50 % extra bandwidth from prefetching (Fig. 1);
+//! * **prefetch friendly** — ≥30 % IPC speedup from prefetching (Fig. 2);
+//! * **prefetch unfriendly** — aggressive but useless prefetching
+//!   (the "Rand Access" class: slower *with* prefetching);
+//! * **LLC sensitive** — needs ≥8 of 20 ways for 80 % of peak IPC (Fig. 3);
+//! * **non demand intensive** — compute-bound, cache-resident.
+//!
+//! [`spec`] declares a named roster with each benchmark's intended class
+//! (verified against measurement by the Fig. 1–3 harness and the
+//! integration tests); [`mix`] builds the paper's four 10-workload
+//! categories (Pref Fri / Pref Agg / Pref Unfri / Pref No Agg).
+
+pub mod mix;
+pub mod pattern;
+pub mod phased;
+pub mod rng;
+pub mod spec;
+
+pub use mix::{build_mixes, Category, Mix};
+pub use phased::Phased;
+pub use pattern::{AccessPattern, Synthetic, SyntheticConfig};
+pub use spec::{roster, Benchmark, Class};

@@ -1,0 +1,273 @@
+//! Multiprogrammed workload-mix construction (paper Sec. IV-B).
+//!
+//! Four categories of 8-benchmark mixes, 10 workloads each by default:
+//!
+//! * **Pref Fri** — 4 prefetch-friendly + 4 non-aggressive;
+//! * **Pref Agg** — 2 friendly + 2 unfriendly + 4 non-aggressive;
+//! * **Pref Unfri** — 4 unfriendly + 4 non-aggressive;
+//! * **Pref No Agg** — 8 non-aggressive.
+//!
+//! Per the paper, the non-aggressive picks always include at least two
+//! LLC-sensitive benchmarks. Benchmarks are drawn randomly (seeded) from
+//! their class, and core placement is shuffled.
+
+use crate::rng::SplitMix64;
+use crate::spec::{self, Benchmark};
+use cmm_sim::workload::Workload;
+
+/// The four workload categories of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// 4 prefetch-friendly + 4 non-aggressive.
+    PrefFri,
+    /// 2 friendly + 2 unfriendly + 4 non-aggressive.
+    PrefAgg,
+    /// 4 unfriendly + 4 non-aggressive.
+    PrefUnfri,
+    /// 8 non-aggressive.
+    PrefNoAgg,
+}
+
+impl Category {
+    /// All four, in the order the paper's figures plot them.
+    pub fn all() -> [Category; 4] {
+        [Category::PrefFri, Category::PrefAgg, Category::PrefUnfri, Category::PrefNoAgg]
+    }
+
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::PrefFri => "Pref Fri",
+            Category::PrefAgg => "Pref Agg",
+            Category::PrefUnfri => "Pref Unfri",
+            Category::PrefNoAgg => "Pref No Agg",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One 8-benchmark multiprogrammed workload.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// e.g. `"PrefAgg-03"`.
+    pub name: String,
+    /// The category it was built for.
+    pub category: Category,
+    /// One entry per core, in placement order.
+    pub benchmarks: Vec<&'static Benchmark>,
+    /// Seed used for per-instance perturbation.
+    pub seed: u64,
+}
+
+impl Mix {
+    /// Number of cores this mix occupies.
+    pub fn num_cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Builds the runnable workloads, one per core, each in a disjoint
+    /// 64 GiB address window.
+    pub fn instantiate(&self, llc_bytes: u64) -> Vec<Box<dyn Workload + Send>> {
+        self.benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let base = (i as u64 + 1) << 36;
+                let w = b.instantiate(llc_bytes, base, self.seed ^ (i as u64).wrapping_mul(0x9E37));
+                Box::new(w) as Box<dyn Workload + Send>
+            })
+            .collect()
+    }
+}
+
+/// Draws `k` entries from `pool` without immediate repetition: the pool is
+/// shuffled and consumed in order, reshuffling when exhausted, so every
+/// class member appears before any repeats.
+fn draw(pool: &[&'static Benchmark], k: usize, rng: &mut SplitMix64) -> Vec<&'static Benchmark> {
+    assert!(!pool.is_empty());
+    let mut out = Vec::with_capacity(k);
+    let mut bag: Vec<&'static Benchmark> = Vec::new();
+    while out.len() < k {
+        if bag.is_empty() {
+            bag = pool.to_vec();
+            // Fisher–Yates.
+            for i in (1..bag.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                bag.swap(i, j);
+            }
+        }
+        out.push(bag.pop().expect("refilled above"));
+    }
+    out
+}
+
+/// Builds one mix of the given category.
+pub fn build_mix(category: Category, index: usize, rng: &mut SplitMix64) -> Mix {
+    let friendly = spec::friendly();
+    let unfriendly = spec::unfriendly();
+    let non_agg = spec::non_aggressive();
+    let sensitive = spec::llc_sensitive();
+    let insensitive_non_agg: Vec<&'static Benchmark> =
+        non_agg.iter().copied().filter(|b| !b.class.llc_sensitive).collect();
+
+    // Non-aggressive slots always include ≥2 LLC-sensitive benchmarks.
+    let pick_non_agg = |n: usize, rng: &mut SplitMix64| -> Vec<&'static Benchmark> {
+        let mut v = draw(&sensitive, 2, rng);
+        v.extend(draw(&insensitive_non_agg, n - 2, rng));
+        v
+    };
+
+    let mut benchmarks = match category {
+        Category::PrefFri => {
+            let mut v = draw(&friendly, 4, rng);
+            v.extend(pick_non_agg(4, rng));
+            v
+        }
+        Category::PrefAgg => {
+            let mut v = draw(&friendly, 2, rng);
+            v.extend(draw(&unfriendly, 2, rng));
+            v.extend(pick_non_agg(4, rng));
+            v
+        }
+        Category::PrefUnfri => {
+            let mut v = draw(&unfriendly, 4, rng);
+            v.extend(pick_non_agg(4, rng));
+            v
+        }
+        Category::PrefNoAgg => pick_non_agg(8, rng),
+    };
+
+    // Shuffle core placement.
+    for i in (1..benchmarks.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        benchmarks.swap(i, j);
+    }
+
+    let label = match category {
+        Category::PrefFri => "PrefFri",
+        Category::PrefAgg => "PrefAgg",
+        Category::PrefUnfri => "PrefUnfri",
+        Category::PrefNoAgg => "PrefNoAgg",
+    };
+    Mix {
+        name: format!("{label}-{index:02}"),
+        category,
+        benchmarks,
+        seed: rng.next_u64(),
+    }
+}
+
+/// Builds the evaluation's full workload set: `per_category` mixes for each
+/// of the four categories, in the paper's plotting order
+/// (Pref Fri, Pref Agg, Pref Unfri, Pref No Agg).
+pub fn build_mixes(seed: u64, per_category: usize) -> Vec<Mix> {
+    let mut rng = SplitMix64::new(seed);
+    let mut mixes = Vec::with_capacity(4 * per_category);
+    for cat in Category::all() {
+        for i in 0..per_category {
+            mixes.push(build_mix(cat, i, &mut rng));
+        }
+    }
+    mixes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_class(m: &Mix, f: impl Fn(&Benchmark) -> bool) -> usize {
+        m.benchmarks.iter().filter(|b| f(b)).count()
+    }
+
+    #[test]
+    fn category_composition_rules() {
+        let mixes = build_mixes(1, 10);
+        assert_eq!(mixes.len(), 40);
+        for m in &mixes {
+            assert_eq!(m.num_cores(), 8, "{}", m.name);
+            let fri = count_class(m, |b| b.class.prefetch_friendly);
+            let unf =
+                count_class(m, |b| b.class.prefetch_aggressive && !b.class.prefetch_friendly);
+            let non = count_class(m, |b| !b.class.prefetch_aggressive);
+            let sens = count_class(m, |b| b.class.llc_sensitive);
+            match m.category {
+                Category::PrefFri => {
+                    assert_eq!((fri, unf, non), (4, 0, 4), "{}", m.name);
+                }
+                Category::PrefAgg => {
+                    assert_eq!((fri, unf, non), (2, 2, 4), "{}", m.name);
+                }
+                Category::PrefUnfri => {
+                    assert_eq!((fri, unf, non), (0, 4, 4), "{}", m.name);
+                }
+                Category::PrefNoAgg => {
+                    assert_eq!((fri, unf, non), (0, 0, 8), "{}", m.name);
+                }
+            }
+            assert!(sens >= 2, "{}: needs ≥2 LLC-sensitive, got {sens}", m.name);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper_plots() {
+        let mixes = build_mixes(7, 10);
+        let cats: Vec<Category> = mixes.iter().map(|m| m.category).collect();
+        for (i, c) in cats.iter().enumerate() {
+            assert_eq!(*c, Category::all()[i / 10]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build_mixes(99, 2);
+        let b = build_mixes(99, 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            let xn: Vec<&str> = x.benchmarks.iter().map(|b| b.name).collect();
+            let yn: Vec<&str> = y.benchmarks.iter().map(|b| b.name).collect();
+            assert_eq!(xn, yn);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build_mixes(1, 10);
+        let b = build_mixes(2, 10);
+        let same = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| {
+                x.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
+                    == y.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
+            })
+            .count();
+        assert!(same < a.len(), "seeds must shuffle mixes");
+    }
+
+    #[test]
+    fn instantiate_places_cores_in_disjoint_windows() {
+        let m = &build_mixes(5, 1)[0];
+        let ws = m.instantiate(2560 << 10);
+        assert_eq!(ws.len(), 8);
+        let names: Vec<&str> = ws.iter().map(|w| w.name()).collect();
+        for (i, b) in m.benchmarks.iter().enumerate() {
+            assert_eq!(names[i], b.name);
+        }
+    }
+
+    #[test]
+    fn draw_avoids_repeats_until_pool_exhausted() {
+        let pool = spec::friendly();
+        let mut rng = SplitMix64::new(3);
+        let picks = draw(&pool, pool.len(), &mut rng);
+        let mut names: Vec<&str> = picks.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), pool.len(), "first |pool| draws must be distinct");
+    }
+}

@@ -1,0 +1,396 @@
+//! The synthetic access-pattern engine.
+//!
+//! A [`Synthetic`] workload is an infinite loop of
+//! `compute_per_access` compute cycles followed by one memory access whose
+//! address comes from an [`AccessPattern`]. The pattern determines how the
+//! hardware prefetchers react, which is what places a benchmark into the
+//! paper's behavioural classes:
+//!
+//! | pattern | prefetcher reaction | SPEC analogue |
+//! |---|---|---|
+//! | `Stream` | streamer locks on, near-perfect coverage | 410.bwaves, 462.libquantum |
+//! | `MultiStream` | several concurrent streams | 459.GemsFDTD |
+//! | `PointerChase` | nothing trains (hot-skewed random node walk) | 429.mcf, 471.omnetpp |
+//! | `BurstRandom` | streamer confirms on each burst then overshoots — aggressive *and useless* | the paper's "Rand Access" |
+//! | `Random` | only the adjacent-line prefetcher fires (one wasted line per miss) | — |
+
+use crate::rng::SplitMix64;
+use cmm_sim::workload::{Op, Workload};
+
+/// How addresses are generated within the working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Sequential walk with a fixed byte stride.
+    Stream {
+        /// Byte distance between consecutive accesses.
+        stride: u64,
+    },
+    /// `streams` interleaved sequential walks, each in its own region of
+    /// the working set.
+    MultiStream {
+        /// Number of concurrent streams (≥1).
+        streams: u32,
+        /// Byte stride within each stream.
+        stride: u64,
+    },
+    /// Hot-skewed random walk over 128-byte nodes; untrainable by any of
+    /// the four prefetchers (see the `next_addr` internals for why the
+    /// node layout and skew match real chases).
+    PointerChase,
+    /// Jump to a random line, then touch `burst` consecutive lines —
+    /// trains the streamer just enough to make it flood useless lines.
+    /// With `hot_period > 0`, every `hot_period`-th access touches a small
+    /// (32 KiB) hot region in chase order: the prefetch flood evicts those
+    /// hot lines from L2, which is what makes the paper's "Rand Access"
+    /// micro-benchmark *slower* with prefetching enabled.
+    BurstRandom {
+        /// Lines touched sequentially after each jump (≥3 to confirm the
+        /// streamer).
+        burst: u32,
+        /// Period of hot-region accesses (0 = none).
+        hot_period: u32,
+    },
+    /// Uniformly random lines.
+    Random,
+}
+
+/// Full description of one synthetic benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticConfig {
+    /// Benchmark name (e.g. `"stream3d"`).
+    pub name: String,
+    /// Address generator.
+    pub pattern: AccessPattern,
+    /// Working-set size in bytes (rounded up to a power-of-two line count).
+    pub working_set: u64,
+    /// Compute cycles between consecutive memory accesses.
+    pub compute_per_access: u32,
+    /// Every `store_period`-th access is a store (0 = loads only).
+    pub store_period: u32,
+    /// Memory-level parallelism the pattern exposes to the core.
+    pub mlp: u32,
+    /// Base address of the working set (keeps cores in distinct address
+    /// ranges; the simulator caches are physically indexed).
+    pub base: u64,
+    /// PRNG seed for the random patterns.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    fn lines(&self) -> u64 {
+        (self.working_set / 64).next_power_of_two().max(2)
+    }
+}
+
+/// A running instance of a [`SyntheticConfig`].
+pub struct Synthetic {
+    cfg: SyntheticConfig,
+    lines: u64,
+    rng: SplitMix64,
+    /// Byte cursor for `Stream`; per-stream byte cursors for `MultiStream`.
+    cursors: Vec<u64>,
+    next_stream: usize,
+    /// Current line index for `PointerChase` / `BurstRandom`.
+    line: u64,
+    /// Hot-region cursor for `BurstRandom`.
+    hot_line: u64,
+    burst_left: u32,
+    compute_left: u32,
+    access_count: u64,
+}
+
+impl Synthetic {
+    /// Instantiates the benchmark with cold state.
+    pub fn new(cfg: SyntheticConfig) -> Self {
+        let lines = cfg.lines();
+        let cursors = match cfg.pattern {
+            AccessPattern::MultiStream { streams, .. } => {
+                assert!(streams >= 1);
+                (0..streams as u64).map(|s| s * (lines / streams as u64) * 64).collect()
+            }
+            _ => vec![0],
+        };
+        let rng = SplitMix64::new(cfg.seed);
+        Synthetic {
+            lines,
+            rng,
+            cursors,
+            next_stream: 0,
+            line: 0,
+            hot_line: 0,
+            burst_left: 0,
+            compute_left: 0,
+            access_count: 0,
+            cfg,
+        }
+    }
+
+    /// The benchmark's configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.cfg
+    }
+
+    fn next_addr(&mut self) -> u64 {
+        let span = self.lines * 64;
+        let addr = match self.cfg.pattern {
+            AccessPattern::Stream { stride } => {
+                let a = self.cursors[0];
+                self.cursors[0] = (a + stride) % span;
+                a
+            }
+            AccessPattern::MultiStream { streams, stride } => {
+                let s = self.next_stream;
+                self.next_stream = (self.next_stream + 1) % streams as usize;
+                let a = self.cursors[s];
+                self.cursors[s] = (a + stride) % span;
+                a
+            }
+            AccessPattern::PointerChase => {
+                // Random walk over 128-byte *nodes*: chasing real list/tree
+                // nodes touches ~100 bytes per hop, i.e. both lines of an
+                // aligned pair. Random (rather than cyclic) node order
+                // matters: a fixed-cycle permutation is LRU's worst case
+                // and would make hit rate — and hence way sensitivity —
+                // collapse to zero the moment the working set exceeds the
+                // allocation. Random reuse gives the smooth
+                // hit-rate ∝ allocated-capacity curve real chases show in
+                // Fig. 3. The high line is touched first so the L1
+                // next-line prefetcher sees a descending step and stays
+                // quiet; the adjacent-line prefetcher's pair fetch is
+                // *useful* here, exactly as on hardware.
+                // Reuse is skewed: half the hops stay in a hot quarter of
+                // the working set (real chases have strongly non-uniform
+                // stack-distance profiles). The hot subset is what makes
+                // hit rate grow smoothly with allocated ways while the
+                // cold tail keeps demand bandwidth up.
+                if self.burst_left == 0 {
+                    let nodes = (self.lines / 2).max(2);
+                    let hot_nodes = (nodes / 4).max(1);
+                    self.line = if self.rng.next_u64() & 1 == 0 {
+                        self.rng.below(hot_nodes)
+                    } else {
+                        self.rng.below(nodes)
+                    };
+                    self.burst_left = 1;
+                    (self.line * 2 + 1) * 64
+                } else {
+                    self.burst_left = 0;
+                    (self.line * 2) * 64
+                }
+            }
+            AccessPattern::BurstRandom { burst, hot_period } => {
+                if hot_period > 0 && self.access_count.is_multiple_of(hot_period as u64) {
+                    let hot_lines = (self.lines / 4).clamp(2, 512);
+                    self.hot_line =
+                        (self.hot_line.wrapping_mul(5).wrapping_add(0x9E37_79B9)) & (hot_lines - 1);
+                    return self.cfg.base + self.hot_line * 64;
+                }
+                // Bursts walk 128-byte elements (two lines apart): the
+                // monotonic steps still confirm the streamer, but neither
+                // the adjacent-line nor the next-line prefetcher ever
+                // fetches anything the burst itself will touch — the flood
+                // is pure pollution, as in the paper's micro-benchmark.
+                if self.burst_left == 0 {
+                    self.line = self.rng.below(self.lines);
+                    self.burst_left = burst.max(1);
+                }
+                self.burst_left -= 1;
+                let a = self.line * 64;
+                self.line = (self.line + 2) & (self.lines - 1);
+                a
+            }
+            AccessPattern::Random => self.rng.below(self.lines) * 64,
+        };
+        self.cfg.base + addr
+    }
+}
+
+impl Workload for Synthetic {
+    fn next(&mut self) -> Op {
+        if self.compute_left > 0 {
+            let c = self.compute_left;
+            self.compute_left = 0;
+            return Op::Compute { cycles: c };
+        }
+        self.compute_left = self.cfg.compute_per_access;
+        self.access_count += 1;
+        let addr = self.next_addr();
+        // Distinct PCs per pattern stream so the IP-stride prefetcher can
+        // train on strided loops the way it does on real loop bodies.
+        let pc = 0x40_0000 + (self.next_stream as u64) * 4;
+        if self.cfg.store_period > 0 && self.access_count.is_multiple_of(self.cfg.store_period as u64) {
+            Op::Store { addr, pc }
+        } else {
+            Op::Load { addr, pc }
+        }
+    }
+
+    fn mlp(&self) -> u32 {
+        self.cfg.mlp
+    }
+
+    fn reset(&mut self) {
+        *self = Synthetic::new(self.cfg.clone());
+    }
+
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pattern: AccessPattern) -> SyntheticConfig {
+        SyntheticConfig {
+            name: "t".into(),
+            pattern,
+            working_set: 1 << 20,
+            compute_per_access: 0,
+            store_period: 0,
+            mlp: 4,
+            base: 0,
+            seed: 42,
+        }
+    }
+
+    fn addrs(w: &mut Synthetic, n: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        while out.len() < n {
+            if let Op::Load { addr, .. } | Op::Store { addr, .. } = w.next() {
+                out.push(addr);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stream_is_sequential_and_wraps() {
+        let mut w = Synthetic::new(cfg(AccessPattern::Stream { stride: 64 }));
+        let a = addrs(&mut w, 5);
+        assert_eq!(a, vec![0, 64, 128, 192, 256]);
+        // Wraps at the working set.
+        let span = 1u64 << 20;
+        for _ in 0..(span / 64) {
+            w.next();
+        }
+        assert!(addrs(&mut w, 1)[0] < span);
+    }
+
+    #[test]
+    fn multistream_interleaves_regions() {
+        let mut w = Synthetic::new(cfg(AccessPattern::MultiStream { streams: 2, stride: 64 }));
+        let a = addrs(&mut w, 4);
+        assert_eq!(a[0], 0);
+        assert_eq!(a[1], 1 << 19); // second half of the working set
+        assert_eq!(a[2], 64);
+        assert_eq!(a[3], (1 << 19) + 64);
+    }
+
+    #[test]
+    fn pointer_chase_covers_the_working_set_broadly() {
+        let mut c = cfg(AccessPattern::PointerChase);
+        c.working_set = 64 * 256; // 256 lines = 128 nodes
+        let mut w = Synthetic::new(c);
+        let a = addrs(&mut w, 1024);
+        let mut lines: Vec<u64> = a.iter().map(|x| x / 64).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        // Random hot-skewed node selection: after 4× the node count, well
+        // over half the lines must have been touched (the cold half of the
+        // draws alone covers 1 - e^-2 ≈ 86% of nodes).
+        assert!(lines.len() > 160, "only {} of 256 lines touched", lines.len());
+    }
+
+    #[test]
+    fn pointer_chase_touches_both_node_lines() {
+        let mut w = Synthetic::new(cfg(AccessPattern::PointerChase));
+        let a = addrs(&mut w, 100);
+        for pair in a.chunks(2) {
+            if pair.len() == 2 {
+                // High line first, then the low line of the 128 B node.
+                assert_eq!(pair[0] / 64, pair[1] / 64 + 1, "{pair:?}");
+                assert_eq!(pair[1] % 128, 0, "nodes are 128-byte aligned: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_jumpy() {
+        let mut w = Synthetic::new(cfg(AccessPattern::PointerChase));
+        let a = addrs(&mut w, 100);
+        let ascending_steps =
+            a.windows(2).filter(|p| p[1] / 64 == p[0] / 64 + 1).count();
+        assert!(ascending_steps < 5, "chase must never look like an ascending stream");
+    }
+
+    #[test]
+    fn burst_random_bursts_then_jumps() {
+        let mut w = Synthetic::new(cfg(AccessPattern::BurstRandom { burst: 3, hot_period: 0 }));
+        let a = addrs(&mut w, 30);
+        let lines: Vec<u64> = a.iter().map(|x| x / 64).collect();
+        // Within each triple, lines ascend by two (128-byte elements).
+        for chunk in lines.chunks(3) {
+            if chunk.len() == 3 {
+                assert!(
+                    chunk[1] == (chunk[0] + 2) % (1 << 14) && chunk[2] == (chunk[1] + 2) % (1 << 14),
+                    "burst not a stride-2 run: {chunk:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compute_ratio_respected() {
+        let mut c = cfg(AccessPattern::Stream { stride: 64 });
+        c.compute_per_access = 7;
+        let mut w = Synthetic::new(c);
+        // Ops alternate Load, Compute(7), Load, Compute(7), ...
+        assert!(matches!(w.next(), Op::Load { .. }));
+        assert!(matches!(w.next(), Op::Compute { cycles: 7 }));
+        assert!(matches!(w.next(), Op::Load { .. }));
+        assert!(matches!(w.next(), Op::Compute { cycles: 7 }));
+    }
+
+    #[test]
+    fn store_period_emits_stores() {
+        let mut c = cfg(AccessPattern::Stream { stride: 64 });
+        c.store_period = 2;
+        let mut w = Synthetic::new(c);
+        let mut stores = 0;
+        let mut loads = 0;
+        for _ in 0..100 {
+            match w.next() {
+                Op::Store { .. } => stores += 1,
+                Op::Load { .. } => loads += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(stores, loads, "every second access must be a store");
+    }
+
+    #[test]
+    fn reset_restores_initial_stream() {
+        let mut w = Synthetic::new(cfg(AccessPattern::BurstRandom { burst: 3, hot_period: 0 }));
+        let first = addrs(&mut w, 20);
+        w.reset();
+        let again = addrs(&mut w, 20);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn base_offsets_the_region() {
+        let mut c = cfg(AccessPattern::Stream { stride: 64 });
+        c.base = 1 << 30;
+        let mut w = Synthetic::new(c);
+        assert!(addrs(&mut w, 1)[0] >= 1 << 30);
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let a = addrs(&mut Synthetic::new(cfg(AccessPattern::Random)), 50);
+        let b = addrs(&mut Synthetic::new(cfg(AccessPattern::Random)), 50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! Phase-alternating workloads.
+//!
+//! Real programs move through phases — the paper's footnote to Sec. IV-B
+//! notes that even "Pref No Agg" mixes can have phases where the `Agg` set
+//! is non-empty, which is why CMM re-detects every execution epoch instead
+//! of classifying once. [`Phased`] composes two [`Synthetic`] behaviours
+//! with a switch period so controller adaptivity can be exercised and
+//! tested.
+
+use crate::pattern::{Synthetic, SyntheticConfig};
+use cmm_sim::workload::{Op, Workload};
+
+/// A workload alternating between two synthetic behaviours.
+pub struct Phased {
+    name: String,
+    a: Synthetic,
+    b: Synthetic,
+    /// Memory accesses spent in phase A before switching.
+    period_a: u64,
+    /// Memory accesses spent in phase B before switching.
+    period_b: u64,
+    in_a: bool,
+    left: u64,
+    mlp: u32,
+}
+
+impl Phased {
+    /// Builds a phased workload. Periods are counted in *operations*
+    /// (compute + memory), so a phase lasts roughly `period` ops.
+    pub fn new(name: impl Into<String>, a: SyntheticConfig, b: SyntheticConfig, period_a: u64, period_b: u64) -> Self {
+        assert!(period_a > 0 && period_b > 0, "phases must be non-empty");
+        let mlp = a.mlp.max(b.mlp);
+        Phased {
+            name: name.into(),
+            a: Synthetic::new(a),
+            b: Synthetic::new(b),
+            period_a,
+            period_b,
+            in_a: true,
+            left: period_a,
+            mlp,
+        }
+    }
+
+    /// True while phase A is active.
+    pub fn in_phase_a(&self) -> bool {
+        self.in_a
+    }
+}
+
+impl Workload for Phased {
+    fn next(&mut self) -> Op {
+        if self.left == 0 {
+            self.in_a = !self.in_a;
+            self.left = if self.in_a { self.period_a } else { self.period_b };
+        }
+        self.left -= 1;
+        if self.in_a {
+            self.a.next()
+        } else {
+            self.b.next()
+        }
+    }
+
+    fn mlp(&self) -> u32 {
+        self.mlp
+    }
+
+    fn reset(&mut self) {
+        self.a.reset();
+        self.b.reset();
+        self.in_a = true;
+        self.left = self.period_a;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A ready-made phased benchmark: a prefetch-friendly streaming phase
+/// alternating with a cache-resident compute phase — the "403.gcc"-style
+/// behaviour that makes one epoch's `Agg` set differ from the next's.
+pub fn stream_compute_phases(llc_bytes: u64, base: u64, seed: u64, period: u64) -> Phased {
+    use crate::pattern::AccessPattern;
+    let stream = SyntheticConfig {
+        name: "phase-stream".into(),
+        pattern: AccessPattern::Stream { stride: 8 },
+        working_set: llc_bytes * 4,
+        compute_per_access: 0,
+        store_period: 0,
+        mlp: 6,
+        base,
+        seed,
+    };
+    let compute = SyntheticConfig {
+        name: "phase-compute".into(),
+        pattern: AccessPattern::Stream { stride: 8 },
+        working_set: 16 << 10,
+        compute_per_access: 8,
+        store_period: 0,
+        mlp: 2,
+        base: base + (1 << 32),
+        seed,
+    };
+    Phased::new("gcc_phases", stream, compute, period, period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AccessPattern;
+
+    fn cfg(stride: u64, base: u64) -> SyntheticConfig {
+        SyntheticConfig {
+            name: "p".into(),
+            pattern: AccessPattern::Stream { stride },
+            working_set: 1 << 16,
+            compute_per_access: 0,
+            store_period: 0,
+            mlp: 4,
+            base,
+            seed: 1,
+        }
+    }
+
+    fn addr_of(op: Op) -> Option<u64> {
+        match op {
+            Op::Load { addr, .. } | Op::Store { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn phases_alternate_at_the_period() {
+        let mut w = Phased::new("t", cfg(64, 0), cfg(64, 1 << 30), 10, 5);
+        let mut regions = Vec::new();
+        for _ in 0..30 {
+            if let Some(a) = addr_of(w.next()) {
+                regions.push(a >= (1 << 30));
+            }
+        }
+        // First 10 ops from region A, next 5 from region B, then A again.
+        assert!(!regions[0] && !regions[9]);
+        assert!(regions[10] && regions[14]);
+        assert!(!regions[15]);
+    }
+
+    #[test]
+    fn asymmetric_periods_respected() {
+        let mut w = Phased::new("t", cfg(64, 0), cfg(64, 1 << 30), 3, 7);
+        let mut b_count = 0;
+        for _ in 0..100 {
+            if let Some(a) = addr_of(w.next()) {
+                if a >= 1 << 30 {
+                    b_count += 1;
+                }
+            }
+        }
+        // 7 of every 10 ops are phase B.
+        assert!((60..=80).contains(&b_count), "{b_count}");
+    }
+
+    #[test]
+    fn reset_restarts_in_phase_a() {
+        let mut w = Phased::new("t", cfg(64, 0), cfg(64, 1 << 30), 4, 4);
+        for _ in 0..6 {
+            w.next();
+        }
+        assert!(!w.in_phase_a());
+        w.reset();
+        assert!(w.in_phase_a());
+        assert_eq!(addr_of(w.next()), Some(0));
+    }
+
+    #[test]
+    fn mlp_is_max_of_phases() {
+        let mut a = cfg(64, 0);
+        a.mlp = 2;
+        let mut b = cfg(64, 1 << 30);
+        b.mlp = 6;
+        assert_eq!(Phased::new("t", a, b, 5, 5).mlp(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_period_rejected() {
+        Phased::new("t", cfg(64, 0), cfg(64, 1 << 30), 0, 5);
+    }
+
+    #[test]
+    fn ready_made_gcc_phases_streams_then_computes() {
+        let mut w = stream_compute_phases(2560 << 10, 1 << 36, 3, 1000);
+        assert_eq!(w.name(), "gcc_phases");
+        let first = addr_of(w.next()).unwrap();
+        assert!(first >= 1 << 36);
+    }
+}

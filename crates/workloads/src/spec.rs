@@ -1,0 +1,544 @@
+//! The benchmark roster: named synthetic analogues of the SPEC CPU2006
+//! programs the paper characterises, plus its "Rand Access"
+//! micro-benchmark.
+//!
+//! Each entry declares the *intended* behavioural class
+//! (Sec. IV-B of the paper); the Fig. 1–3 harness measures the actual
+//! behaviour, and the integration tests assert that measurement and
+//! declaration agree. Working sets are expressed relative to the LLC so the
+//! roster works under both the paper-faithful and the scaled geometry.
+
+use crate::pattern::{AccessPattern, Synthetic, SyntheticConfig};
+
+/// Classification thresholds mirroring the paper's Sec. IV-B rules,
+/// re-expressed for the simulator (bandwidths in bytes/cycle rather than
+/// MB/s — the paper's 1500 MB/s at 2.1 GHz is ≈0.7 B/cycle).
+pub mod thresholds {
+    /// Demand bandwidth above this ⇒ *demand intensive* (paper: 1500 MB/s).
+    pub const DEMAND_INTENSIVE_BPC: f64 = 0.5;
+    /// Bandwidth increase from prefetching above this ⇒ *prefetch
+    /// aggressive* (paper: +50 %).
+    pub const AGGRESSIVE_BW_INCREASE: f64 = 0.5;
+    /// IPC speedup from prefetching above this ⇒ *prefetch friendly*
+    /// (paper Sec. IV-B: +30 %).
+    pub const FRIENDLY_IPC_SPEEDUP: f64 = 0.3;
+    /// Needing at least this many ways (of 20) for
+    /// [`LLC_SENSITIVE_PERF`]×peak ⇒ *LLC sensitive* (paper: 8 ways, 80 %).
+    pub const LLC_SENSITIVE_WAYS: u32 = 8;
+    /// See [`LLC_SENSITIVE_WAYS`].
+    pub const LLC_SENSITIVE_PERF: f64 = 0.8;
+}
+
+/// Intended behavioural class of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Class {
+    /// Large working set, high demand bandwidth.
+    pub demand_intensive: bool,
+    /// High ratio of prefetch to demand requests (Fig. 1's +50 % BW rule).
+    pub prefetch_aggressive: bool,
+    /// ≥30 % IPC speedup from prefetching (implies aggressive in the
+    /// paper's terminology).
+    pub prefetch_friendly: bool,
+    /// Needs ≥8 of 20 LLC ways for 80 % of peak IPC.
+    pub llc_sensitive: bool,
+}
+
+impl Class {
+    /// Prefetch friendly: aggressive and useful.
+    pub const FRIENDLY: Class = Class {
+        demand_intensive: true,
+        prefetch_aggressive: true,
+        prefetch_friendly: true,
+        llc_sensitive: false,
+    };
+    /// Prefetch unfriendly: aggressive but useless (or harmful).
+    pub const UNFRIENDLY: Class = Class {
+        demand_intensive: true,
+        prefetch_aggressive: true,
+        prefetch_friendly: false,
+        llc_sensitive: false,
+    };
+    /// Demand intensive, LLC sensitive, not prefetch aggressive.
+    pub const LLC_SENSITIVE: Class = Class {
+        demand_intensive: true,
+        prefetch_aggressive: false,
+        prefetch_friendly: false,
+        llc_sensitive: true,
+    };
+    /// Cache-resident / compute bound.
+    pub const COMPUTE: Class = Class {
+        demand_intensive: false,
+        prefetch_aggressive: false,
+        prefetch_friendly: false,
+        llc_sensitive: false,
+    };
+}
+
+/// Working-set size, absolute or LLC-relative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkingSet {
+    /// Fixed size in bytes (cache-resident benchmarks).
+    Bytes(u64),
+    /// Multiple of the LLC capacity (streaming / LLC-pressure benchmarks).
+    LlcTimes(f64),
+}
+
+impl WorkingSet {
+    /// Resolve against a concrete LLC size.
+    pub fn bytes(&self, llc_bytes: u64) -> u64 {
+        match *self {
+            WorkingSet::Bytes(b) => b,
+            WorkingSet::LlcTimes(f) => (llc_bytes as f64 * f) as u64,
+        }
+    }
+}
+
+/// One roster entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Benchmark {
+    /// Short name used in reports.
+    pub name: &'static str,
+    /// The SPEC CPU2006 program whose behaviour this generator mimics
+    /// ("—" for the paper's hand-written micro-benchmark class).
+    pub spec_alias: &'static str,
+    /// Intended class.
+    pub class: Class,
+    /// Address generator.
+    pub pattern: AccessPattern,
+    /// Working-set size.
+    pub working_set: WorkingSet,
+    /// Compute cycles between memory accesses.
+    pub compute_per_access: u32,
+    /// Every n-th access is a store (0 = never).
+    pub store_period: u32,
+    /// Exposed memory-level parallelism.
+    pub mlp: u32,
+}
+
+impl Benchmark {
+    /// Instantiates a runnable copy. `base` separates address spaces of
+    /// co-running benchmarks; `seed` perturbs the random patterns so two
+    /// copies of one benchmark do not run in lockstep.
+    pub fn instantiate(&self, llc_bytes: u64, base: u64, seed: u64) -> Synthetic {
+        Synthetic::new(SyntheticConfig {
+            name: self.name.to_string(),
+            pattern: self.pattern,
+            working_set: self.working_set.bytes(llc_bytes),
+            compute_per_access: self.compute_per_access,
+            store_period: self.store_period,
+            mlp: self.mlp,
+            base,
+            seed,
+        })
+    }
+}
+
+/// The full roster.
+pub const ROSTER: &[Benchmark] = &[
+    // ---- prefetch friendly (aggressive AND useful) ---------------------
+    Benchmark {
+        name: "bwaves3d",
+        spec_alias: "410.bwaves",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::Stream { stride: 8 },
+        working_set: WorkingSet::LlcTimes(6.0),
+        compute_per_access: 0,
+        store_period: 0,
+        mlp: 6,
+    },
+    Benchmark {
+        name: "libq_stream",
+        spec_alias: "462.libquantum",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::Stream { stride: 16 },
+        working_set: WorkingSet::LlcTimes(4.0),
+        compute_per_access: 1,
+        store_period: 4,
+        mlp: 6,
+    },
+    Benchmark {
+        name: "leslie_grid",
+        spec_alias: "437.leslie3d",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::Stream { stride: 128 },
+        working_set: WorkingSet::LlcTimes(6.0),
+        compute_per_access: 1,
+        store_period: 0,
+        mlp: 4,
+    },
+    Benchmark {
+        name: "gems_fdtd",
+        spec_alias: "459.GemsFDTD",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::MultiStream { streams: 3, stride: 8 },
+        working_set: WorkingSet::LlcTimes(6.0),
+        compute_per_access: 0,
+        store_period: 5,
+        mlp: 6,
+    },
+    Benchmark {
+        name: "wrf_phys",
+        spec_alias: "481.wrf",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::MultiStream { streams: 2, stride: 64 },
+        working_set: WorkingSet::LlcTimes(3.0),
+        compute_per_access: 2,
+        store_period: 0,
+        mlp: 4,
+    },
+    Benchmark {
+        name: "milc_lattice",
+        spec_alias: "433.milc",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::Stream { stride: 32 },
+        working_set: WorkingSet::LlcTimes(4.0),
+        compute_per_access: 2,
+        store_period: 6,
+        mlp: 4,
+    },
+    Benchmark {
+        name: "lbm_fluid",
+        spec_alias: "470.lbm",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::Stream { stride: 8 },
+        working_set: WorkingSet::LlcTimes(6.0),
+        compute_per_access: 0,
+        store_period: 3,
+        mlp: 6,
+    },
+    Benchmark {
+        name: "zeus_mhd",
+        spec_alias: "434.zeusmp",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::MultiStream { streams: 2, stride: 8 },
+        working_set: WorkingSet::LlcTimes(3.0),
+        compute_per_access: 1,
+        store_period: 0,
+        mlp: 5,
+    },
+    Benchmark {
+        name: "cactus_grid",
+        spec_alias: "436.cactusADM",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::MultiStream { streams: 4, stride: 16 },
+        working_set: WorkingSet::LlcTimes(5.0),
+        compute_per_access: 1,
+        store_period: 7,
+        mlp: 5,
+    },
+    Benchmark {
+        name: "sphinx_speech",
+        spec_alias: "482.sphinx3",
+        class: Class::FRIENDLY,
+        pattern: AccessPattern::Stream { stride: 48 },
+        working_set: WorkingSet::LlcTimes(3.0),
+        compute_per_access: 2,
+        store_period: 0,
+        mlp: 4,
+    },
+    // ---- prefetch unfriendly (aggressive but useless) ------------------
+    Benchmark {
+        name: "rand_access",
+        spec_alias: "— (paper's micro-benchmark)",
+        class: Class::UNFRIENDLY,
+        pattern: AccessPattern::BurstRandom { burst: 3, hot_period: 4 },
+        working_set: WorkingSet::LlcTimes(6.0),
+        compute_per_access: 0,
+        store_period: 0,
+        mlp: 6,
+    },
+    Benchmark {
+        name: "rand_access2",
+        spec_alias: "— (micro-benchmark variant)",
+        class: Class::UNFRIENDLY,
+        pattern: AccessPattern::BurstRandom { burst: 3, hot_period: 5 },
+        working_set: WorkingSet::LlcTimes(4.0),
+        compute_per_access: 1,
+        store_period: 0,
+        mlp: 6,
+    },
+    Benchmark {
+        name: "scatter_gather",
+        spec_alias: "— (micro-benchmark variant)",
+        class: Class::UNFRIENDLY,
+        pattern: AccessPattern::BurstRandom { burst: 4, hot_period: 0 },
+        working_set: WorkingSet::LlcTimes(8.0),
+        compute_per_access: 0,
+        store_period: 7,
+        mlp: 8,
+    },
+    Benchmark {
+        name: "hash_probe",
+        spec_alias: "— (micro-benchmark variant)",
+        class: Class::UNFRIENDLY,
+        pattern: AccessPattern::BurstRandom { burst: 3, hot_period: 3 },
+        working_set: WorkingSet::LlcTimes(8.0),
+        compute_per_access: 2,
+        store_period: 0,
+        mlp: 6,
+    },
+    // ---- LLC sensitive, not prefetch aggressive ------------------------
+    Benchmark {
+        name: "mcf_refine",
+        spec_alias: "429.mcf",
+        class: Class::LLC_SENSITIVE,
+        pattern: AccessPattern::PointerChase,
+        working_set: WorkingSet::LlcTimes(1.5),
+        compute_per_access: 8,
+        store_period: 0,
+        mlp: 4,
+    },
+    Benchmark {
+        name: "omnet_events",
+        spec_alias: "471.omnetpp",
+        class: Class::LLC_SENSITIVE,
+        pattern: AccessPattern::PointerChase,
+        working_set: WorkingSet::LlcTimes(1.2),
+        compute_per_access: 10,
+        store_period: 6,
+        mlp: 4,
+    },
+    Benchmark {
+        name: "xalan_dom",
+        spec_alias: "483.xalancbmk",
+        class: Class::LLC_SENSITIVE,
+        pattern: AccessPattern::PointerChase,
+        working_set: WorkingSet::LlcTimes(1.05),
+        compute_per_access: 6,
+        store_period: 0,
+        mlp: 4,
+    },
+    Benchmark {
+        name: "astar_path",
+        spec_alias: "473.astar",
+        class: Class::LLC_SENSITIVE,
+        pattern: AccessPattern::PointerChase,
+        working_set: WorkingSet::LlcTimes(1.1),
+        compute_per_access: 12,
+        store_period: 0,
+        mlp: 2,
+    },
+    Benchmark {
+        name: "soplex_lp",
+        spec_alias: "450.soplex",
+        class: Class::LLC_SENSITIVE,
+        pattern: AccessPattern::PointerChase,
+        working_set: WorkingSet::LlcTimes(1.3),
+        compute_per_access: 6,
+        store_period: 8,
+        mlp: 4,
+    },
+    Benchmark {
+        name: "gcc_opt",
+        spec_alias: "403.gcc",
+        class: Class::LLC_SENSITIVE,
+        pattern: AccessPattern::PointerChase,
+        working_set: WorkingSet::LlcTimes(1.15),
+        compute_per_access: 7,
+        store_period: 9,
+        mlp: 3,
+    },
+    Benchmark {
+        name: "dealii_fem",
+        spec_alias: "447.dealII",
+        class: Class::LLC_SENSITIVE,
+        pattern: AccessPattern::PointerChase,
+        working_set: WorkingSet::LlcTimes(1.25),
+        compute_per_access: 9,
+        store_period: 0,
+        mlp: 3,
+    },
+    // ---- non demand intensive (cache resident / compute bound) ---------
+    Benchmark {
+        name: "povray_rt",
+        spec_alias: "453.povray",
+        class: Class::COMPUTE,
+        pattern: AccessPattern::Stream { stride: 8 },
+        working_set: WorkingSet::Bytes(16 << 10),
+        compute_per_access: 8,
+        store_period: 0,
+        mlp: 2,
+    },
+    Benchmark {
+        name: "namd_md",
+        spec_alias: "444.namd",
+        class: Class::COMPUTE,
+        pattern: AccessPattern::Stream { stride: 16 },
+        working_set: WorkingSet::Bytes(128 << 10),
+        compute_per_access: 6,
+        store_period: 9,
+        mlp: 2,
+    },
+    Benchmark {
+        name: "gobmk_ai",
+        spec_alias: "445.gobmk",
+        class: Class::COMPUTE,
+        pattern: AccessPattern::PointerChase,
+        working_set: WorkingSet::Bytes(64 << 10),
+        compute_per_access: 10,
+        store_period: 0,
+        mlp: 1,
+    },
+    Benchmark {
+        name: "hmmer_search",
+        spec_alias: "456.hmmer",
+        class: Class::COMPUTE,
+        pattern: AccessPattern::Stream { stride: 8 },
+        working_set: WorkingSet::Bytes(192 << 10),
+        compute_per_access: 4,
+        store_period: 5,
+        mlp: 2,
+    },
+    Benchmark {
+        name: "h264_enc",
+        spec_alias: "464.h264ref",
+        class: Class::COMPUTE,
+        pattern: AccessPattern::MultiStream { streams: 2, stride: 32 },
+        working_set: WorkingSet::Bytes(96 << 10),
+        compute_per_access: 6,
+        store_period: 4,
+        mlp: 2,
+    },
+    Benchmark {
+        name: "sjeng_chess",
+        spec_alias: "458.sjeng",
+        class: Class::COMPUTE,
+        pattern: AccessPattern::PointerChase,
+        working_set: WorkingSet::Bytes(32 << 10),
+        compute_per_access: 12,
+        store_period: 0,
+        mlp: 1,
+    },
+    Benchmark {
+        name: "perl_interp",
+        spec_alias: "400.perlbench",
+        class: Class::COMPUTE,
+        pattern: AccessPattern::MultiStream { streams: 2, stride: 24 },
+        working_set: WorkingSet::Bytes(64 << 10),
+        compute_per_access: 8,
+        store_period: 6,
+        mlp: 2,
+    },
+    Benchmark {
+        name: "tonto_chem",
+        spec_alias: "465.tonto",
+        class: Class::COMPUTE,
+        pattern: AccessPattern::Stream { stride: 8 },
+        working_set: WorkingSet::Bytes(48 << 10),
+        compute_per_access: 10,
+        store_period: 0,
+        mlp: 2,
+    },
+    Benchmark {
+        name: "gromacs_md",
+        spec_alias: "435.gromacs",
+        class: Class::COMPUTE,
+        pattern: AccessPattern::Stream { stride: 32 },
+        working_set: WorkingSet::Bytes(160 << 10),
+        compute_per_access: 5,
+        store_period: 8,
+        mlp: 2,
+    },
+];
+
+/// The full roster (function form, for symmetry with the other crates).
+pub fn roster() -> &'static [Benchmark] {
+    ROSTER
+}
+
+/// Benchmarks in the prefetch-friendly class.
+pub fn friendly() -> Vec<&'static Benchmark> {
+    ROSTER.iter().filter(|b| b.class.prefetch_friendly).collect()
+}
+
+/// Benchmarks in the prefetch-unfriendly class (aggressive, not friendly).
+pub fn unfriendly() -> Vec<&'static Benchmark> {
+    ROSTER.iter().filter(|b| b.class.prefetch_aggressive && !b.class.prefetch_friendly).collect()
+}
+
+/// Benchmarks that are not prefetch aggressive.
+pub fn non_aggressive() -> Vec<&'static Benchmark> {
+    ROSTER.iter().filter(|b| !b.class.prefetch_aggressive).collect()
+}
+
+/// LLC-sensitive benchmarks.
+pub fn llc_sensitive() -> Vec<&'static Benchmark> {
+    ROSTER.iter().filter(|b| b.class.llc_sensitive).collect()
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    ROSTER.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_all_four_classes() {
+        assert!(friendly().len() >= 4, "need ≥4 friendly benchmarks for Pref Fri mixes");
+        assert!(unfriendly().len() >= 4, "need ≥4 unfriendly benchmarks for Pref Unfri mixes");
+        assert!(llc_sensitive().len() >= 2, "mixes need ≥2 LLC-sensitive benchmarks");
+        assert!(non_aggressive().len() >= 8, "Pref No Agg mixes need 8 non-aggressive");
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = ROSTER.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(n, names.len());
+    }
+
+    #[test]
+    fn class_flags_consistent() {
+        for b in ROSTER {
+            if b.class.prefetch_friendly {
+                assert!(
+                    b.class.prefetch_aggressive,
+                    "{}: the paper's 'friendly' implies aggressive",
+                    b.name
+                );
+            }
+            if b.class.llc_sensitive {
+                assert!(b.class.demand_intensive, "{}: sensitivity implies demand", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn working_sets_resolve() {
+        let llc = 2560 << 10;
+        for b in ROSTER {
+            let ws = b.working_set.bytes(llc);
+            assert!(ws >= 4096, "{}: degenerate working set", b.name);
+            if b.class.demand_intensive && !b.class.llc_sensitive {
+                assert!(ws >= 2 * llc, "{}: intensive benchmarks must exceed the LLC", b.name);
+            }
+            if !b.class.demand_intensive {
+                assert!(ws <= 256 << 10, "{}: compute benchmarks must be cache resident", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn instantiation_uses_base_and_name() {
+        let b = by_name("bwaves3d").unwrap();
+        let w = b.instantiate(2560 << 10, 1 << 40, 1);
+        assert_eq!(cmm_sim::workload::Workload::name(&w), "bwaves3d");
+        assert_eq!(w.config().base, 1 << 40);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("rand_access").is_some());
+        assert!(by_name("no_such_benchmark").is_none());
+    }
+
+    #[test]
+    fn unfriendly_contains_the_papers_microbenchmark() {
+        assert!(unfriendly().iter().any(|b| b.name == "rand_access"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests over the synthetic workload generators: address-range
+//! containment, determinism, and class-structural invariants for every
+//! roster benchmark under arbitrary seeds.
+
+use cmm_sim::workload::{Op, Workload};
+use cmm_workloads::pattern::{AccessPattern, Synthetic, SyntheticConfig};
+use cmm_workloads::{build_mixes, spec};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        (1u64..512).prop_map(|stride| AccessPattern::Stream { stride }),
+        ((1u32..5), (1u64..256))
+            .prop_map(|(streams, stride)| AccessPattern::MultiStream { streams, stride }),
+        Just(AccessPattern::PointerChase),
+        ((2u32..6), (0u32..8))
+            .prop_map(|(burst, hot_period)| AccessPattern::BurstRandom { burst, hot_period }),
+        Just(AccessPattern::Random),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (arb_pattern(), 12u32..22, 0u32..8, 0u32..6, 1u32..8, any::<u64>()).prop_map(
+        |(pattern, ws_log2, compute, store_period, mlp, seed)| SyntheticConfig {
+            name: "prop".into(),
+            pattern,
+            working_set: 1 << ws_log2,
+            compute_per_access: compute,
+            store_period,
+            mlp,
+            base: 1 << 36,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    /// Every generated address stays inside the benchmark's window.
+    #[test]
+    fn addresses_stay_in_window(cfg in arb_config()) {
+        let span = (cfg.working_set / 64).next_power_of_two().max(2) * 64;
+        let base = cfg.base;
+        let mut w = Synthetic::new(cfg);
+        let mut seen_mem = 0;
+        for _ in 0..2000 {
+            match w.next() {
+                Op::Load { addr, .. } | Op::Store { addr, .. } => {
+                    prop_assert!(addr >= base, "{addr:#x} below base");
+                    prop_assert!(addr < base + span, "{addr:#x} beyond window");
+                    seen_mem += 1;
+                }
+                Op::Compute { cycles } => prop_assert!(cycles >= 1),
+            }
+        }
+        prop_assert!(seen_mem > 0);
+    }
+
+    /// Two instances from the same config produce identical streams, and
+    /// reset returns to the start.
+    #[test]
+    fn deterministic_and_resettable(cfg in arb_config()) {
+        let mut a = Synthetic::new(cfg.clone());
+        let mut b = Synthetic::new(cfg);
+        let s1: Vec<Op> = (0..200).map(|_| a.next()).collect();
+        let s2: Vec<Op> = (0..200).map(|_| b.next()).collect();
+        prop_assert_eq!(&s1, &s2);
+        a.reset();
+        let s3: Vec<Op> = (0..200).map(|_| a.next()).collect();
+        prop_assert_eq!(&s1, &s3);
+    }
+
+    /// Store periods produce exactly the configured store fraction.
+    #[test]
+    fn store_period_respected(mut cfg in arb_config(), period in 2u32..6) {
+        cfg.store_period = period;
+        let mut w = Synthetic::new(cfg);
+        let mut loads = 0u32;
+        let mut stores = 0u32;
+        while loads + stores < 600 {
+            match w.next() {
+                Op::Load { .. } => loads += 1,
+                Op::Store { .. } => stores += 1,
+                _ => {}
+            }
+        }
+        let expect = 600 / period;
+        prop_assert!(stores.abs_diff(expect) <= 2, "period {period}: {stores} stores");
+    }
+
+    /// Mix construction invariants hold for any seed.
+    #[test]
+    fn mixes_valid_for_any_seed(seed in any::<u64>()) {
+        for mix in build_mixes(seed, 2) {
+            prop_assert_eq!(mix.num_cores(), 8);
+            let sensitive = mix.benchmarks.iter().filter(|b| b.class.llc_sensitive).count();
+            prop_assert!(sensitive >= 2, "{}: {sensitive}", mix.name);
+            // Instantiation must not panic and must preserve names.
+            let ws = mix.instantiate(2560 << 10);
+            for (w, b) in ws.iter().zip(&mix.benchmarks) {
+                prop_assert_eq!(w.name(), b.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_roster_benchmark_generates_sane_streams() {
+    for b in spec::roster() {
+        let mut w = b.instantiate(2560 << 10, 1 << 36, 9);
+        let mut mem = 0;
+        for _ in 0..1000 {
+            match w.next() {
+                Op::Load { addr, .. } | Op::Store { addr, .. } => {
+                    assert!(addr >= 1 << 36, "{}: address below base", b.name);
+                    mem += 1;
+                }
+                Op::Compute { cycles } => assert!(cycles >= 1),
+            }
+        }
+        assert!(mem > 100, "{}: too few memory ops", b.name);
+        assert!(w.mlp() >= 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! A tour of the CMM front-end: watch the Table I metrics and the Fig. 5
+//! detector cascade classify a live system, then probe prefetch
+//! friendliness the way the back-end does.
+//!
+//! ```sh
+//! cargo run --release --example detector_tour
+//! ```
+
+use cmm::core::backend;
+use cmm::core::frontend::{detect_agg, metrics, DetectorConfig};
+use cmm::core::policy::ControllerConfig;
+use cmm::sim::config::SystemConfig;
+use cmm::sim::System;
+use cmm::workloads::spec;
+
+fn main() {
+    // One representative of each class.
+    let names = ["bwaves3d", "rand_access", "omnet_events", "povray_rt"];
+    let cfg = SystemConfig::scaled(names.len());
+    let llc = cfg.llc.size_bytes;
+    let workloads = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            Box::new(spec::by_name(n).unwrap().instantiate(llc, (i as u64 + 1) << 36, 3)) as _
+        })
+        .collect();
+    let mut sys = System::new(cfg, workloads);
+
+    println!("warming up 600k cycles ...");
+    sys.run(600_000);
+
+    // Sampling interval 1: all prefetchers on.
+    let ctrl = ControllerConfig::default();
+    let det_cfg = DetectorConfig::default();
+    let d1 = backend::sample(&mut sys, ctrl.sampling_interval);
+    println!("\nTable I metrics over one {}-cycle interval:", ctrl.sampling_interval);
+    println!("core  benchmark      IPC     PGA    PMR     PTR    LLC-PT");
+    for (i, d) in d1.iter().enumerate() {
+        let m = metrics(d);
+        println!(
+            "{i:>4}  {:<12} {:>5.3}  {:>6.2}  {:>5.2}  {:>6.4}  {:>7.3}",
+            names[i],
+            d.ipc(),
+            m.pga,
+            m.l2_pmr,
+            m.l2_ptr,
+            m.llc_pt
+        );
+    }
+
+    let agg = detect_agg(&d1, &det_cfg);
+    println!(
+        "\nFig. 5 cascade (PGA ≥ {}, PMR ≥ {}, PTR ≥ {}):",
+        det_cfg.pga_floor, det_cfg.pmr_threshold, det_cfg.ptr_threshold
+    );
+    println!("Agg set = {:?}  ({:?})", agg, agg.iter().map(|&c| names[c]).collect::<Vec<_>>());
+
+    // Full detection incl. the friendliness probe (interval 2 with the
+    // Agg prefetchers off).
+    let det = backend::detect(&mut sys, &ctrl, &det_cfg);
+    println!("\nfriendliness probe (interval 2, Agg prefetchers off):");
+    println!(
+        "friendly   = {:?}",
+        det.friendly.iter().map(|&c| names[c]).collect::<Vec<_>>()
+    );
+    println!(
+        "unfriendly = {:?}",
+        det.unfriendly.iter().map(|&c| names[c]).collect::<Vec<_>>()
+    );
+    println!("\nExpected: the stream is aggressive+friendly, Rand Access is");
+    println!("aggressive+unfriendly, and the chase/compute cores are neutral.");
+}

@@ -1,0 +1,84 @@
+//! Quickstart: build a machine, run a mixed workload under CMM, and read
+//! the performance/fairness metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cmm::core::driver::Driver;
+use cmm::core::policy::{ControllerConfig, Mechanism};
+use cmm::metrics;
+use cmm::sim::config::SystemConfig;
+use cmm::sim::System;
+use cmm::workloads::spec;
+
+fn main() {
+    // 1. A machine: 4 cores, private L1/L2, shared 20-way LLC (scaled
+    //    geometry — same topology as the paper's Xeon E5-2620 v4).
+    let cfg = SystemConfig::scaled(4);
+    let llc_bytes = cfg.llc.size_bytes;
+
+    // 2. A multiprogrammed workload: a prefetch-friendly stream, the
+    //    paper's prefetch-unfriendly "Rand Access" micro-benchmark, an
+    //    LLC-sensitive pointer chase, and a compute-bound filler.
+    let names = ["bwaves3d", "rand_access", "mcf_refine", "povray_rt"];
+    let workloads = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let b = spec::by_name(n).expect("roster benchmark");
+            Box::new(b.instantiate(llc_bytes, (i as u64 + 1) << 36, 1)) as _
+        })
+        .collect();
+
+    // 3. Baseline run: all prefetchers on, no partitioning, no control.
+    let mut baseline = System::new(cfg.clone(), mk(&names, llc_bytes));
+    baseline.run(4_000_000);
+    let base_ipcs: Vec<f64> = (0..4).map(|c| baseline.pmu(c).ipc()).collect();
+
+    // 4. The same workload managed by CMM-a (coordinated partitioning +
+    //    throttling).
+    let sys = System::new(cfg, workloads);
+    let mut driver = Driver::new(sys, Mechanism::CmmA, ControllerConfig::default());
+    driver.run_total(4_000_000);
+    let cmm_ipcs: Vec<f64> = (0..4).map(|c| driver.system().pmu(c).ipc()).collect();
+
+    // 5. Compare.
+    println!("core  benchmark     baseline IPC   CMM-a IPC   speedup");
+    for i in 0..4 {
+        println!(
+            "{i:>4}  {:<12}  {:>12.3}  {:>10.3}  {:>+7.1}%",
+            names[i],
+            base_ipcs[i],
+            cmm_ipcs[i],
+            (cmm_ipcs[i] / base_ipcs[i] - 1.0) * 100.0
+        );
+    }
+    let ws = metrics::weighted_speedup(&cmm_ipcs, &base_ipcs) / 4.0;
+    let wc = metrics::worst_case_speedup(&cmm_ipcs, &base_ipcs);
+    println!("\nweighted speedup vs baseline: {ws:.3}  (1.0 = parity)");
+    println!("worst-case per-app speedup:   {wc:.3}");
+    println!("controller overhead:          {:.4}%", driver.overhead_ratio() * 100.0);
+    println!(
+        "final CAT masks: {:?}",
+        (0..4).map(|c| format!("{:020b}", driver.system().effective_mask(c))).collect::<Vec<_>>()
+    );
+    println!(
+        "prefetchers on:  {:?}",
+        (0..4).map(|c| driver.system().prefetching_enabled(c)).collect::<Vec<_>>()
+    );
+}
+
+fn mk(
+    names: &[&str],
+    llc_bytes: u64,
+) -> Vec<Box<dyn cmm::sim::workload::Workload + Send>> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let b = spec::by_name(n).expect("roster benchmark");
+            Box::new(b.instantiate(llc_bytes, (i as u64 + 1) << 36, 1)) as _
+        })
+        .collect()
+}

@@ -1,0 +1,46 @@
+//! The paper's central question, live: prefetch throttling or cache
+//! partitioning — and is the coordinated combination better than either?
+//!
+//! Runs one prefetch-aggressive workload mix under the baseline, PT,
+//! Pref-CP, Dunn, and CMM-a/b/c, then prints the harmonic-speedup /
+//! weighted-speedup / worst-case table (the Fig. 13 comparison for a
+//! single workload).
+//!
+//! ```sh
+//! cargo run --release --example throttling_vs_partitioning
+//! ```
+
+use cmm::core::experiment::{run_alone_ipcs, run_mix, ExperimentConfig};
+use cmm::core::policy::Mechanism;
+use cmm::metrics;
+use cmm::workloads::{build_mixes, Category};
+
+fn main() {
+    // A Pref Agg mix: 2 friendly + 2 unfriendly + 4 non-aggressive.
+    let mix = build_mixes(7, 1)
+        .into_iter()
+        .find(|m| m.category == Category::PrefAgg)
+        .expect("categories always built");
+    println!("workload {}: {:?}\n", mix.name, mix.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>());
+
+    let cfg = ExperimentConfig::default();
+    eprintln!("measuring run-alone IPCs ...");
+    let alone = run_alone_ipcs(&mix, &cfg);
+    eprintln!("running baseline ...");
+    let base = run_mix(&mix, Mechanism::Baseline, &cfg);
+    let base_hs = metrics::harmonic_speedup(&alone, &base.ipcs);
+
+    println!("mechanism   norm.HS   norm.WS   worst-case   mem traffic");
+    println!("baseline      1.000     1.000        1.000        1.000");
+    for mech in Mechanism::all_managed() {
+        eprintln!("running {} ...", mech.label());
+        let r = run_mix(&mix, mech, &cfg);
+        let hs = metrics::harmonic_speedup(&alone, &r.ipcs) / base_hs;
+        let ws = metrics::weighted_speedup(&r.ipcs, &base.ipcs) / mix.num_cores() as f64;
+        let wc = metrics::worst_case_speedup(&r.ipcs, &base.ipcs);
+        let bw = r.mem_bytes as f64 / base.mem_bytes.max(1) as f64;
+        println!("{:<10} {:>8.3}  {:>8.3}  {:>11.3}  {:>11.3}", mech.label(), hs, ws, wc, bw);
+    }
+    println!("\nHigher HS/WS/worst-case is better; PT should show the lowest");
+    println!("memory traffic and CMM-a/c the best HS — the paper's Fig. 13/14 shape.");
+}

@@ -1,0 +1,10 @@
+import re, sys
+text = open('repro_output.txt').read()
+blocks = re.split(r'(?=## )', text)
+for b in blocks:
+    title = b.splitlines()[0] if b.strip() else ''
+    means = re.findall(r'^(Pref [\w ]+?)\s{2,}([\d. ]+)\s+\(mean\)', b, re.M)
+    if means and title.startswith('## Fig'):
+        print(title)
+        for cat, vals in means:
+            print(f"  {cat:12} {vals.strip()}")

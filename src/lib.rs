@@ -1,0 +1,32 @@
+//! # cmm — Coordinated Multi-resource Management
+//!
+//! Umbrella crate for the reproduction of Sun, Shen & Veidenbaum,
+//! *Combining Prefetch Control and Cache Partitioning to Improve Multicore
+//! Performance* (IPDPS 2019). It re-exports the workspace crates:
+//!
+//! * [`sim`] — the machine substrate: multicore cache hierarchy, the four
+//!   Intel-style hardware prefetchers, CAT way-partitioning, PMU and MSR
+//!   emulation ([`cmm_sim`]).
+//! * [`workloads`] — synthetic SPEC-CPU2006-class benchmarks and the
+//!   paper's four workload-mix categories ([`cmm_workloads`]).
+//! * [`metrics`] — harmonic/weighted speedup, ANTT, `hm_ipc`, worst-case
+//!   speedup and 1-D k-means ([`cmm_metrics`]).
+//! * [`core`] — the paper's contribution: the CMM controller with its
+//!   Agg-set front-end and the PT / CP / Dunn / CMM-a/b/c back-ends
+//!   ([`cmm_core`]).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the system inventory.
+
+pub use cmm_core as core;
+pub use cmm_metrics as metrics;
+pub use cmm_sim as sim;
+pub use cmm_workloads as workloads;
+
+/// One-stop import for examples and downstream users.
+pub mod prelude {
+    pub use cmm_core::prelude::*;
+    pub use cmm_metrics::{harmonic_speedup, hm_ipc, weighted_speedup, worst_case_speedup};
+    pub use cmm_sim::prelude::*;
+    pub use cmm_workloads::{build_mixes, roster, Category, Mix};
+}

@@ -1,0 +1,100 @@
+//! Cross-crate integration: every roster benchmark's *measured* behaviour
+//! (via `cmm-bench`'s Fig. 1–3 characterisation on the `cmm-sim` machine)
+//! must match the class `cmm-workloads` declares for it. This is the
+//! contract the whole evaluation rests on.
+
+use cmm_bench::characterize::{prefetch_impact, run_alone, CharacterizeConfig};
+use cmm_sim::config::SystemConfig;
+use cmm_workloads::spec::{self, thresholds};
+
+fn cfgs() -> (SystemConfig, CharacterizeConfig) {
+    (SystemConfig::scaled(1), CharacterizeConfig::quick())
+}
+
+#[test]
+fn fig1_aggressiveness_matches_declared_class() {
+    let (sys, cfg) = cfgs();
+    for b in spec::roster() {
+        let imp = prefetch_impact(b, &sys, &cfg);
+        let measured = imp.off.demand_bpc > thresholds::DEMAND_INTENSIVE_BPC
+            && imp.bw_increase() > thresholds::AGGRESSIVE_BW_INCREASE;
+        assert_eq!(
+            measured,
+            b.class.prefetch_aggressive,
+            "{}: demand {:.2} B/c, BW increase {:+.0}%",
+            b.name,
+            imp.off.demand_bpc,
+            imp.bw_increase() * 100.0
+        );
+    }
+}
+
+#[test]
+fn fig2_friendliness_matches_declared_class() {
+    let (sys, cfg) = cfgs();
+    for b in spec::roster() {
+        let imp = prefetch_impact(b, &sys, &cfg);
+        let measured = imp.ipc_speedup() > thresholds::FRIENDLY_IPC_SPEEDUP;
+        assert_eq!(
+            measured,
+            b.class.prefetch_friendly,
+            "{}: IPC speedup {:+.0}%",
+            b.name,
+            imp.ipc_speedup() * 100.0
+        );
+    }
+}
+
+#[test]
+fn fig3_way_sensitivity_matches_declared_class() {
+    let (sys, cfg) = cfgs();
+    // Full 20-point sweeps are done by `repro fig3`; the invariant needs
+    // only the two interesting operating points.
+    for b in spec::roster() {
+        let narrow = run_alone(b, &sys, &cfg, true, Some(4)).ipc;
+        let wide = run_alone(b, &sys, &cfg, true, Some(20)).ipc;
+        if b.class.llc_sensitive {
+            assert!(
+                wide > narrow * 1.2,
+                "{}: should be way-sensitive (4w {narrow:.3}, 20w {wide:.3})",
+                b.name
+            );
+        } else {
+            assert!(
+                wide < narrow * 1.2,
+                "{}: should be way-insensitive (4w {narrow:.3}, 20w {wide:.3})",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn demand_intensity_matches_declared_class() {
+    let (sys, cfg) = cfgs();
+    for b in spec::roster() {
+        let r = run_alone(b, &sys, &cfg, false, None);
+        let measured = r.demand_bpc > thresholds::DEMAND_INTENSIVE_BPC;
+        assert_eq!(
+            measured,
+            b.class.demand_intensive,
+            "{}: demand BW {:.3} B/cycle",
+            b.name,
+            r.demand_bpc
+        );
+    }
+}
+
+#[test]
+fn friendly_benchmarks_lose_heavily_without_prefetch() {
+    // The paper: disabling prefetching can cost friendly applications >50%.
+    let (sys, cfg) = cfgs();
+    let worst = spec::friendly()
+        .iter()
+        .map(|b| {
+            let imp = prefetch_impact(b, &sys, &cfg);
+            imp.off.ipc / imp.on.ipc
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(worst < 0.67, "some friendly benchmark should lose >33% (kept {worst:.2})");
+}

@@ -1,0 +1,64 @@
+//! Reproducibility: identical seeds and configurations must give
+//! bit-identical results across the whole stack — workload generation,
+//! simulation, detection, and the full managed run. Without this, the
+//! baseline and mechanism runs would not see the same instruction streams
+//! and every figure would be noise.
+
+use cmm_core::experiment::{run_mix, ExperimentConfig};
+use cmm_core::policy::Mechanism;
+use cmm_sim::config::SystemConfig;
+use cmm_sim::System;
+use cmm_workloads::{build_mixes, spec};
+
+#[test]
+fn identical_systems_produce_identical_pmu_streams() {
+    let run = || {
+        let cfg = SystemConfig::scaled(2);
+        let llc = cfg.llc.size_bytes;
+        let ws = vec![
+            Box::new(spec::by_name("bwaves3d").unwrap().instantiate(llc, 1 << 36, 3)) as _,
+            Box::new(spec::by_name("rand_access").unwrap().instantiate(llc, 2 << 36, 4)) as _,
+        ];
+        let mut sys = System::new(cfg, ws);
+        sys.run(500_000);
+        sys.pmu_all()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn full_managed_runs_are_deterministic() {
+    let mix = build_mixes(11, 1).remove(1);
+    let cfg = ExperimentConfig::quick();
+    let a = run_mix(&mix, Mechanism::CmmA, &cfg);
+    let b = run_mix(&mix, Mechanism::CmmA, &cfg);
+    assert_eq!(a.ipcs, b.ipcs);
+    assert_eq!(a.mem_bytes, b.mem_bytes);
+    assert_eq!(a.stalls_l2, b.stalls_l2);
+}
+
+#[test]
+fn different_mix_seeds_change_results() {
+    let cfg = ExperimentConfig::quick();
+    let a = run_mix(&build_mixes(1, 1)[1], Mechanism::Baseline, &cfg);
+    let b = run_mix(&build_mixes(2, 1)[1], Mechanism::Baseline, &cfg);
+    assert_ne!(a.ipcs, b.ipcs, "distinct seeds should produce distinct mixes");
+}
+
+#[test]
+fn workload_instances_do_not_alias_address_spaces() {
+    // Two cores running the same benchmark must see disjoint addresses;
+    // otherwise they would share cache lines and the isolation results
+    // would be meaningless.
+    let mix = build_mixes(3, 1).remove(2); // Pref Unfri often repeats benchmarks
+    let ws = mix.instantiate(2560 << 10);
+    assert_eq!(ws.len(), 8);
+    // Bases are (i+1) << 36, far beyond any working set.
+    // Indirect check: run and confirm per-core traffic is attributed.
+    let cfg = SystemConfig::scaled(8);
+    let mut sys = System::new(cfg, ws);
+    sys.run(300_000);
+    for c in 0..8 {
+        assert!(sys.pmu(c).instructions > 0, "core {c} ran");
+    }
+}

@@ -1,0 +1,97 @@
+//! The controller ↔ machine contract: everything the CMM driver does must
+//! go through (and stay consistent with) the emulated MSR/CAT surface, the
+//! same surface the paper's kernel module uses on hardware.
+
+use cmm_core::driver::Driver;
+use cmm_core::policy::{ControllerConfig, Mechanism};
+use cmm_sim::config::SystemConfig;
+use cmm_sim::msr::{mask_is_contiguous, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL};
+use cmm_sim::System;
+use cmm_workloads::build_mixes;
+
+fn managed_system(mechanism: Mechanism, cycles: u64) -> Driver {
+    let mix = build_mixes(42, 1).remove(1); // PrefAgg
+    let cfg = SystemConfig::scaled(mix.num_cores());
+    let sys = System::new(cfg.clone(), mix.instantiate(cfg.llc.size_bytes));
+    let mut drv = Driver::new(sys, mechanism, ControllerConfig::quick());
+    drv.run_total(cycles);
+    drv
+}
+
+#[test]
+fn driver_only_ever_programs_valid_cat_state() {
+    for mech in Mechanism::all_managed() {
+        let drv = managed_system(mech, 600_000);
+        let sys = drv.system();
+        for clos in 0..4 {
+            let mask = sys.read_msr(0, IA32_L3_QOS_MASK_BASE + clos).unwrap();
+            assert!(mask != 0, "{}: CLOS {clos} mask empty", mech.label());
+            assert!(
+                mask_is_contiguous(mask),
+                "{}: CLOS {clos} mask {mask:#x} not contiguous",
+                mech.label()
+            );
+            assert!(mask < 1 << sys.llc_ways());
+        }
+        for core in 0..sys.num_cores() {
+            let clos = sys.read_msr(core, IA32_PQR_ASSOC).unwrap() as usize;
+            assert!(clos < sys.config().num_clos);
+        }
+    }
+}
+
+#[test]
+fn prefetch_msr_reflects_throttling_decisions() {
+    for mech in Mechanism::all_managed() {
+        let drv = managed_system(mech, 600_000);
+        let sys = drv.system();
+        for core in 0..sys.num_cores() {
+            let msr = sys.read_msr(core, MSR_MISC_FEATURE_CONTROL).unwrap();
+            // The controller throttles all four engines together: the MSR
+            // image is either all-enabled or all-disabled.
+            assert!(msr == 0x0 || msr == 0xF, "{}: core {core} MSR {msr:#x}", mech.label());
+            assert_eq!(sys.prefetching_enabled(core), msr == 0x0);
+        }
+    }
+}
+
+#[test]
+fn cp_mechanisms_never_throttle() {
+    for mech in [Mechanism::Dunn, Mechanism::PrefCp, Mechanism::PrefCp2] {
+        let drv = managed_system(mech, 600_000);
+        let sys = drv.system();
+        for core in 0..sys.num_cores() {
+            assert!(
+                sys.prefetching_enabled(core),
+                "{}: CP-only mechanism disabled prefetchers on core {core}",
+                mech.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn pt_never_partitions() {
+    let drv = managed_system(Mechanism::Pt, 600_000);
+    let sys = drv.system();
+    let full = (1u64 << sys.llc_ways()) - 1;
+    for core in 0..sys.num_cores() {
+        assert_eq!(sys.effective_mask(core), full, "PT must not touch CAT");
+    }
+}
+
+#[test]
+fn overlapping_partitions_preserve_hit_semantics() {
+    // A line inserted by a restricted core must still be hittable by it
+    // after the neutral cores overwrite other ways — end-to-end CAT check.
+    let cfg = SystemConfig::scaled(2);
+    let mix = build_mixes(5, 1).remove(0);
+    let workloads = mix.instantiate(cfg.llc.size_bytes);
+    let mut sys = System::new(SystemConfig::scaled(8), workloads);
+    sys.write_msr(0, IA32_L3_QOS_MASK_BASE + 1, 0b11).unwrap();
+    sys.write_msr(0, IA32_PQR_ASSOC, 1).unwrap();
+    sys.run(300_000);
+    // The restricted core still makes forward progress.
+    assert!(sys.pmu(0).instructions > 0);
+    assert_eq!(sys.effective_mask(0), 0b11);
+}
