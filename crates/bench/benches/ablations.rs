@@ -5,12 +5,12 @@
 //! * one full profiling epoch per mechanism (detection + trial intervals);
 //! * exhaustive vs k-means group-level throttling search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cmm_core::driver::Driver;
 use cmm_core::policy::{ControllerConfig, Mechanism};
 use cmm_sim::config::SystemConfig;
 use cmm_sim::System;
 use cmm_workloads::build_mixes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn managed(mechanism: Mechanism, ctrl: ControllerConfig) -> Driver {
     let mix = build_mixes(42, 1).remove(1);

@@ -1,9 +1,9 @@
 //! Hot-path microbenchmarks of the set-associative cache: hits, misses,
 //! masked (CAT) insertion and QBS victim selection.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cmm_sim::cache::Cache;
 use cmm_sim::config::CacheGeometry;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn llc() -> Cache {
     Cache::new(CacheGeometry { size_bytes: 2560 << 10, ways: 20, hit_latency: 40 })

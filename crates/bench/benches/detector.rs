@@ -3,9 +3,9 @@
 //! of machine time; this bench shows the detector itself is microseconds
 //! per epoch, i.e. negligible next to the sampling intervals.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
 use cmm_sim::pmu::Pmu;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn snapshot(i: u64) -> Pmu {
     Pmu {
@@ -29,9 +29,7 @@ fn detector(c: &mut Criterion) {
     let mut g = c.benchmark_group("detector");
     g.throughput(Throughput::Elements(8));
     g.bench_function("metrics_8_cores", |b| {
-        b.iter(|| {
-            deltas.iter().map(|d| std::hint::black_box(metrics(d)).l2_ptr).sum::<f64>()
-        });
+        b.iter(|| deltas.iter().map(|d| std::hint::black_box(metrics(d)).l2_ptr).sum::<f64>());
     });
     g.bench_function("detect_agg_8_cores", |b| {
         b.iter(|| std::hint::black_box(detect_agg(&deltas, &cfg)));

@@ -3,8 +3,8 @@
 //! "practical and scalable" claim: clustering keeps the throttling search
 //! at `2^k` settings no matter how many cores the machine has.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cmm_metrics::kmeans_1d;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn kmeans(c: &mut Criterion) {
     let mut g = c.benchmark_group("kmeans_1d");

@@ -2,8 +2,8 @@
 //! that exercise them: a confirmed stream (streamer runs ahead), strided
 //! loads (IP-stride table hits) and random traffic (training churn).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cmm_sim::prefetch::Battery;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn prefetchers(c: &mut Criterion) {
     let mut g = c.benchmark_group("prefetchers");

@@ -2,10 +2,10 @@
 //! core counts. This bounds how long the figure-regeneration suite takes
 //! and documents the cost of the simulation approach itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cmm_sim::config::SystemConfig;
 use cmm_sim::System;
 use cmm_workloads::build_mixes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn sim_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_throughput");

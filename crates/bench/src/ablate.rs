@@ -14,6 +14,8 @@ use cmm_core::policy::Mechanism;
 use cmm_metrics::harmonic_speedup;
 use cmm_workloads::{build_mixes, Category, Mix};
 
+use crate::runner::parallel_map;
+
 /// One ablation observation.
 #[derive(Debug, Clone)]
 pub struct AblationPoint {
@@ -25,12 +27,12 @@ pub struct AblationPoint {
     pub norm_hs: f64,
 }
 
-fn eval_point(setting: &str, mix: &Mix, cfg: &ExperimentConfig, out: &mut Vec<AblationPoint>) {
+fn eval_point(setting: &str, mix: &Mix, cfg: &ExperimentConfig) -> AblationPoint {
     let alone = run_alone_ipcs(mix, cfg);
     let base = run_mix(mix, Mechanism::Baseline, cfg);
     let cmm = run_mix(mix, Mechanism::CmmA, cfg);
     let norm_hs = harmonic_speedup(&alone, &cmm.ipcs) / harmonic_speedup(&alone, &base.ipcs);
-    out.push(AblationPoint { setting: setting.to_string(), mix: mix.name.clone(), norm_hs });
+    AblationPoint { setting: setting.to_string(), mix: mix.name.clone(), norm_hs }
 }
 
 fn test_mixes() -> Vec<Mix> {
@@ -41,45 +43,52 @@ fn test_mixes() -> Vec<Mix> {
         .collect()
 }
 
+/// Runs the (setting × mix) grid across `jobs` threads; points come back
+/// in grid order, so the table a caller prints is identical to a serial
+/// sweep.
+fn sweep(points: Vec<(String, ExperimentConfig, Mix)>, jobs: usize) -> Vec<AblationPoint> {
+    parallel_map(&points, jobs, |_, (setting, cfg, mix)| eval_point(setting, mix, cfg))
+}
+
 /// Sweeps the partition-sizing factor around the paper's 1.5×.
-pub fn ablate_partition_scale(base_cfg: &ExperimentConfig) -> Vec<AblationPoint> {
-    let mut out = Vec::new();
+pub fn ablate_partition_scale(base_cfg: &ExperimentConfig, jobs: usize) -> Vec<AblationPoint> {
+    let mut points = Vec::new();
     for &scale in &[1.0f64, 1.5, 2.0, 3.0] {
         let mut cfg = base_cfg.clone();
         cfg.ctrl.partition_scale = scale;
-        for mix in &test_mixes() {
-            eval_point(&format!("scale={scale}"), mix, &cfg, &mut out);
+        for mix in test_mixes() {
+            points.push((format!("scale={scale}"), cfg.clone(), mix));
         }
     }
-    out
+    sweep(points, jobs)
 }
 
 /// Sweeps the execution-epoch : sampling-interval ratio at a fixed
 /// sampling-interval length.
-pub fn ablate_epoch_ratio(base_cfg: &ExperimentConfig) -> Vec<AblationPoint> {
-    let mut out = Vec::new();
+pub fn ablate_epoch_ratio(base_cfg: &ExperimentConfig, jobs: usize) -> Vec<AblationPoint> {
+    let mut points = Vec::new();
     for &ratio in &[10u64, 50, 125] {
         let mut cfg = base_cfg.clone();
         cfg.ctrl.execution_epoch = cfg.ctrl.sampling_interval * ratio;
-        for mix in &test_mixes() {
-            eval_point(&format!("ratio={ratio}:1"), mix, &cfg, &mut out);
+        for mix in test_mixes() {
+            points.push((format!("ratio={ratio}:1"), cfg.clone(), mix));
         }
     }
-    out
+    sweep(points, jobs)
 }
 
 /// Compares the evaluation with and without the LLC's QBS
 /// inclusion-victim mitigation.
-pub fn ablate_qbs(base_cfg: &ExperimentConfig) -> Vec<AblationPoint> {
-    let mut out = Vec::new();
+pub fn ablate_qbs(base_cfg: &ExperimentConfig, jobs: usize) -> Vec<AblationPoint> {
+    let mut points = Vec::new();
     for &qbs in &[true, false] {
         let mut cfg = base_cfg.clone();
         cfg.sys.qbs = qbs;
-        for mix in &test_mixes() {
-            eval_point(&format!("qbs={qbs}"), mix, &cfg, &mut out);
+        for mix in test_mixes() {
+            points.push((format!("qbs={qbs}"), cfg.clone(), mix));
         }
     }
-    out
+    sweep(points, jobs)
 }
 
 #[cfg(test)]
@@ -90,7 +99,7 @@ mod tests {
     fn partition_scale_sweep_produces_all_points() {
         let mut cfg = ExperimentConfig::quick();
         cfg.total_cycles = 600_000;
-        let pts = ablate_partition_scale(&cfg);
+        let pts = ablate_partition_scale(&cfg, 1);
         assert_eq!(pts.len(), 4 * 2);
         assert!(pts.iter().all(|p| p.norm_hs > 0.5 && p.norm_hs < 2.0));
     }
@@ -99,8 +108,22 @@ mod tests {
     fn qbs_sweep_covers_both_settings() {
         let mut cfg = ExperimentConfig::quick();
         cfg.total_cycles = 600_000;
-        let pts = ablate_qbs(&cfg);
+        let pts = ablate_qbs(&cfg, 1);
         assert!(pts.iter().any(|p| p.setting == "qbs=true"));
         assert!(pts.iter().any(|p| p.setting == "qbs=false"));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bitwise() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.total_cycles = 600_000;
+        let serial = ablate_qbs(&cfg, 1);
+        let parallel = ablate_qbs(&cfg, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.setting, p.setting);
+            assert_eq!(s.mix, p.mix);
+            assert_eq!(s.norm_hs.to_bits(), p.norm_hs.to_bits(), "{}: {}", s.setting, s.mix);
+        }
     }
 }

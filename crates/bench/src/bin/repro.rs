@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <target> [--quick] [--mixes N] [--seed S]
+//! repro <target> [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR]
+//!       [--bench-json PATH]
 //!
 //! targets:
 //!   table1   Table I metrics for every benchmark (run alone)
@@ -20,20 +21,28 @@
 //! `--quick` shrinks durations and the per-category workload count so the
 //! whole suite finishes in minutes; the default matches the scaled
 //! methodology of DESIGN.md.
+//!
+//! `--jobs N` fans independent simulations (the (mix × mechanism) matrix,
+//! the characterisation roster, ablation points) across N threads; the
+//! default is the host core count and `--jobs 1` is the serial fallback.
+//! Table/figure output is bit-identical for every N.
+//!
+//! Every run writes a machine-readable perf log (wall-clock, cells/sec,
+//! sim-cycles/sec per target) to `BENCH_sim.json` (see `--bench-json`).
 
 use cmm_bench::ablate;
-use cmm_bench::characterize::{
-    prefetch_impact, way_sweep, ways_needed, CharacterizeConfig,
-};
-use cmm_core::experiment::ExperimentConfig;
+use cmm_bench::characterize::{prefetch_impact, way_sweep, ways_needed, CharacterizeConfig};
 use cmm_bench::figures::{self, EvalConfig, Evaluation};
+use cmm_bench::perf::BenchLog;
 use cmm_bench::report;
+use cmm_bench::runner::{default_jobs, parallel_map, Progress};
 use cmm_core::backend;
+use cmm_core::experiment::ExperimentConfig;
 use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
 use cmm_core::policy::{ControllerConfig, Mechanism};
 use cmm_sim::config::SystemConfig;
 use cmm_sim::System;
-use cmm_workloads::spec::{self, thresholds};
+use cmm_workloads::spec::{self, thresholds, Benchmark};
 use cmm_workloads::{build_mixes, Mix};
 
 struct Args {
@@ -41,7 +50,9 @@ struct Args {
     quick: bool,
     mixes: Option<usize>,
     seed: u64,
+    jobs: usize,
     csv: Option<std::path::PathBuf>,
+    bench_json: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
@@ -49,22 +60,34 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut mixes = None;
     let mut seed = 42;
+    let mut jobs = default_jobs();
     let mut csv = None;
+    let mut bench_json = std::path::PathBuf::from("BENCH_sim.json");
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--csv" => csv = Some(std::path::PathBuf::from(it.next().expect("--csv needs a directory"))),
+            "--csv" => {
+                csv = Some(std::path::PathBuf::from(it.next().expect("--csv needs a directory")))
+            }
+            "--bench-json" => {
+                bench_json = std::path::PathBuf::from(it.next().expect("--bench-json needs a path"))
+            }
             "--mixes" => {
-                mixes = Some(
-                    it.next().and_then(|v| v.parse().ok()).expect("--mixes needs a number"),
-                )
+                mixes =
+                    Some(it.next().and_then(|v| v.parse().ok()).expect("--mixes needs a number"))
             }
             "--seed" => {
                 seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs a number")
             }
+            "--jobs" => {
+                jobs = it.next().and_then(|v| v.parse().ok()).expect("--jobs needs a number");
+                if jobs == 0 {
+                    jobs = default_jobs();
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|all> [--quick] [--mixes N] [--seed S]");
+                println!("usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|all> [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR] [--bench-json PATH]");
                 std::process::exit(0);
             }
             t if !t.starts_with('-') => target = t.to_string(),
@@ -74,7 +97,7 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { target, quick, mixes, seed, csv }
+    Args { target, quick, mixes, seed, jobs, csv, bench_json }
 }
 
 /// Prints a series and, when `--csv DIR` was given, also writes it there.
@@ -100,14 +123,38 @@ fn eval_cfg(args: &Args) -> EvalConfig {
         cfg.mixes_per_category = m;
     }
     cfg.seed = args.seed;
+    cfg.jobs = args.jobs;
     cfg
 }
 
-fn table1(quick: bool) {
+/// Simulated core-cycles of one characterisation run.
+fn char_cycles(cfg: &CharacterizeConfig) -> u64 {
+    cfg.warmup + cfg.measure
+}
+
+/// Work volume (cells, simulated core-cycles) of one full evaluation.
+fn eval_volume(cfg: &EvalConfig, mechanisms: &[Mechanism]) -> (u64, u64) {
+    let mixes = build_mixes(cfg.seed, cfg.mixes_per_category);
+    let mut distinct: Vec<&str> = Vec::new();
+    for mix in &mixes {
+        for b in &mix.benchmarks {
+            if !distinct.contains(&b.name) {
+                distinct.push(b.name);
+            }
+        }
+    }
+    let per_mix = (cfg.exp.warmup_cycles + cfg.exp.total_cycles) * 8;
+    let per_alone = cfg.exp.warmup_cycles + cfg.exp.alone_cycles;
+    let mix_cells = (mixes.len() * (1 + mechanisms.len())) as u64;
+    let cells = mix_cells + distinct.len() as u64;
+    let cycles = mix_cells * per_mix + distinct.len() as u64 * per_alone;
+    (cells, cycles)
+}
+
+fn table1(quick: bool, jobs: usize, log: &Progress) {
     let (sys, cfg) = char_cfg(quick);
-    let rows: Vec<Vec<String>> = spec::roster()
-        .iter()
-        .map(|b| {
+    let rows: Vec<Vec<String>> = parallel_map(spec::roster(), jobs, |_, b: &Benchmark| {
+        log.cell(&format!("table1: {}", b.name), || {
             let r = cmm_bench::characterize::run_alone(b, &sys, &cfg, true, None);
             let m = r.metrics;
             vec![
@@ -122,22 +169,31 @@ fn table1(quick: bool) {
                 format!("{:.3}", m.llc_pt),
             ]
         })
-        .collect();
+    });
     print!(
         "{}",
         report::table(
             "Table I — per-benchmark metrics (run alone, prefetchers on)",
-            &["benchmark", "IPC", "M-1 L2-LLC", "M-2 frac", "M-3 PTR", "M-4 PGA", "M-5 PMR", "M-6 PPM", "M-7 LLC-PT"],
+            &[
+                "benchmark",
+                "IPC",
+                "M-1 L2-LLC",
+                "M-2 frac",
+                "M-3 PTR",
+                "M-4 PGA",
+                "M-5 PMR",
+                "M-6 PPM",
+                "M-7 LLC-PT"
+            ],
             &rows,
         )
     );
 }
 
-fn fig1(quick: bool) {
+fn fig1(quick: bool, jobs: usize, log: &Progress) {
     let (sys, cfg) = char_cfg(quick);
-    let rows: Vec<Vec<String>> = spec::roster()
-        .iter()
-        .map(|b| {
+    let rows: Vec<Vec<String>> = parallel_map(spec::roster(), jobs, |_, b: &Benchmark| {
+        log.cell(&format!("fig1: {}", b.name), || {
             let imp = prefetch_impact(b, &sys, &cfg);
             let agg = imp.off.demand_bpc > thresholds::DEMAND_INTENSIVE_BPC
                 && imp.bw_increase() > thresholds::AGGRESSIVE_BW_INCREASE;
@@ -151,22 +207,29 @@ fn fig1(quick: bool) {
                 format!("{}", if b.class.prefetch_aggressive { "yes" } else { "no" }),
             ]
         })
-        .collect();
+    });
     print!(
         "{}",
         report::table(
             "Fig. 1 — memory bandwidth (bytes/cycle) without/with prefetching",
-            &["benchmark", "SPEC analogue", "BW off", "BW on", "increase", "aggressive?", "intended"],
+            &[
+                "benchmark",
+                "SPEC analogue",
+                "BW off",
+                "BW on",
+                "increase",
+                "aggressive?",
+                "intended"
+            ],
             &rows,
         )
     );
 }
 
-fn fig2(quick: bool) {
+fn fig2(quick: bool, jobs: usize, log: &Progress) {
     let (sys, cfg) = char_cfg(quick);
-    let rows: Vec<Vec<String>> = spec::roster()
-        .iter()
-        .map(|b| {
+    let rows: Vec<Vec<String>> = parallel_map(spec::roster(), jobs, |_, b: &Benchmark| {
+        log.cell(&format!("fig2: {}", b.name), || {
             let imp = prefetch_impact(b, &sys, &cfg);
             let friendly = imp.ipc_speedup() > thresholds::FRIENDLY_IPC_SPEEDUP;
             vec![
@@ -178,7 +241,7 @@ fn fig2(quick: bool) {
                 format!("{}", if b.class.prefetch_friendly { "yes" } else { "no" }),
             ]
         })
-        .collect();
+    });
     print!(
         "{}",
         report::table(
@@ -189,29 +252,27 @@ fn fig2(quick: bool) {
     );
 }
 
-fn fig3(quick: bool) {
+fn fig3(quick: bool, jobs: usize, log: &Progress) {
     let (sys, cfg) = char_cfg(quick);
     let header_ways: Vec<String> = (1..=sys.llc.ways).map(|w| format!("{w}w")).collect();
     let mut headers: Vec<&str> = vec!["benchmark", "needs", "sensitive?"];
     headers.extend(header_ways.iter().map(|s| s.as_str()));
-    let rows: Vec<Vec<String>> = spec::roster()
-        .iter()
-        .map(|b| {
-            let sweep = way_sweep(b, &sys, &cfg);
+    let rows: Vec<Vec<String>> = parallel_map(spec::roster(), jobs, |_, b: &Benchmark| {
+        log.cell(&format!("fig3: {}", b.name), || {
+            // The roster is already fanned out across `jobs`; the sweep's
+            // inner way loop stays serial to avoid oversubscription.
+            let sweep = way_sweep(b, &sys, &cfg, 1);
             let needs = ways_needed(&sweep, thresholds::LLC_SENSITIVE_PERF);
             let mut row = vec![
                 b.name.to_string(),
                 format!("{needs}"),
-                format!(
-                    "{}",
-                    if needs >= thresholds::LLC_SENSITIVE_WAYS { "yes" } else { "no" }
-                ),
+                format!("{}", if needs >= thresholds::LLC_SENSITIVE_WAYS { "yes" } else { "no" }),
             ];
             let peak = sweep.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
             row.extend(sweep.iter().map(|&i| format!("{:.2}", i / peak)));
             row
         })
-        .collect();
+    });
     print!(
         "{}",
         report::table(
@@ -320,9 +381,8 @@ fn print_eval_target(target: &str, eval: &Evaluation, csv: &Option<std::path::Pa
     }
 }
 
-fn run_ablations(args: &Args) {
-    let mut cfg =
-        if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+fn run_ablations(args: &Args, log: &Progress) {
+    let mut cfg = if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
     if args.quick {
         cfg.total_cycles = 1_000_000;
     }
@@ -333,36 +393,48 @@ fn run_ablations(args: &Args) {
             .collect();
         print!("{}", report::table(title, &["setting", "workload", "CMM-a norm. HS"], &rows));
     };
-    eprintln!("[repro] ablation: partition scale");
-    dump("Ablation — partition sizing factor (paper: 1.5×)", &ablate::ablate_partition_scale(&cfg));
-    eprintln!("[repro] ablation: epoch ratio");
-    dump("Ablation — execution-epoch : sampling-interval ratio (paper: 50:1)", &ablate::ablate_epoch_ratio(&cfg));
-    eprintln!("[repro] ablation: QBS");
-    dump("Ablation — inclusive-LLC QBS victim selection", &ablate::ablate_qbs(&cfg));
+    log.note("ablation: partition scale");
+    dump(
+        "Ablation — partition sizing factor (paper: 1.5×)",
+        &ablate::ablate_partition_scale(&cfg, args.jobs),
+    );
+    log.note("ablation: epoch ratio");
+    dump(
+        "Ablation — execution-epoch : sampling-interval ratio (paper: 50:1)",
+        &ablate::ablate_epoch_ratio(&cfg, args.jobs),
+    );
+    log.note("ablation: QBS");
+    dump("Ablation — inclusive-LLC QBS victim selection", &ablate::ablate_qbs(&cfg, args.jobs));
 }
 
-fn run_extension(args: &Args) {
+fn run_extension(args: &Args, log: &Progress) {
     use cmm_core::experiment::{run_alone_ipcs, run_mix};
     let cfg = if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
-    let mut rows = Vec::new();
-    for mix in build_mixes(args.seed, 2) {
-        if !matches!(mix.category, cmm_workloads::Category::PrefUnfri | cmm_workloads::Category::PrefAgg) {
-            continue;
-        }
-        eprintln!("[repro] extension: {}", mix.name);
-        let alone = run_alone_ipcs(&mix, &cfg);
-        let base = run_mix(&mix, Mechanism::Baseline, &cfg);
-        let hs_base = cmm_metrics::harmonic_speedup(&alone, &base.ipcs);
-        let mut row = vec![mix.name.clone()];
-        for mech in [Mechanism::Pt, Mechanism::PtFine] {
-            let r = run_mix(&mix, mech, &cfg);
-            let hs = cmm_metrics::harmonic_speedup(&alone, &r.ipcs) / hs_base;
-            let wc = cmm_metrics::worst_case_speedup(&r.ipcs, &base.ipcs);
-            row.push(format!("{hs:.3}"));
-            row.push(format!("{wc:.3}"));
-        }
-        rows.push(row);
-    }
+    let mixes: Vec<Mix> = build_mixes(args.seed, 2)
+        .into_iter()
+        .filter(|m| {
+            matches!(
+                m.category,
+                cmm_workloads::Category::PrefUnfri | cmm_workloads::Category::PrefAgg
+            )
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = parallel_map(&mixes, args.jobs, |_, mix| {
+        log.cell(&format!("extension: {}", mix.name), || {
+            let alone = run_alone_ipcs(mix, &cfg);
+            let base = run_mix(mix, Mechanism::Baseline, &cfg);
+            let hs_base = cmm_metrics::harmonic_speedup(&alone, &base.ipcs);
+            let mut row = vec![mix.name.clone()];
+            for mech in [Mechanism::Pt, Mechanism::PtFine] {
+                let r = run_mix(mix, mech, &cfg);
+                let hs = cmm_metrics::harmonic_speedup(&alone, &r.ipcs) / hs_base;
+                let wc = cmm_metrics::worst_case_speedup(&r.ipcs, &base.ipcs);
+                row.push(format!("{hs:.3}"));
+                row.push(format!("{wc:.3}"));
+            }
+            row
+        })
+    });
     print!(
         "{}",
         report::table(
@@ -375,30 +447,82 @@ fn run_extension(args: &Args) {
 
 fn main() {
     let args = parse_args();
+    let log = Progress::new(true);
+    let mut bench = BenchLog::new(args.jobs, args.quick);
+    let roster_n = spec::roster().len() as u64;
+    let (_, ccfg) = char_cfg(args.quick);
+    let c1 = char_cycles(&ccfg);
     let eval_targets = [
         "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fairness",
         "overhead",
     ];
     match args.target.as_str() {
-        "ablate" => run_ablations(&args),
-        "extension" => run_extension(&args),
-        "table1" => table1(args.quick),
-        "fig1" => fig1(args.quick),
-        "fig2" => fig2(args.quick),
-        "fig3" => fig3(args.quick),
-        "fig5" => fig5(args.quick),
+        "ablate" => {
+            // 18 grid points, each ≈ one mix of alone runs + 2 mix runs.
+            let e =
+                if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+            let per_point =
+                8 * (e.warmup_cycles + e.alone_cycles) + 2 * (e.warmup_cycles + e.total_cycles) * 8;
+            bench.measure("ablate", 18 * 10, 18 * per_point, || run_ablations(&args, &log));
+        }
+        "extension" => {
+            let e =
+                if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+            let per_mix =
+                8 * (e.warmup_cycles + e.alone_cycles) + 3 * (e.warmup_cycles + e.total_cycles) * 8;
+            bench.measure("extension", 4 * 11, 4 * per_mix, || run_extension(&args, &log));
+        }
+        "table1" => {
+            bench
+                .measure("table1", roster_n, roster_n * c1, || table1(args.quick, args.jobs, &log));
+        }
+        "fig1" => {
+            bench.measure("fig1", 2 * roster_n, 2 * roster_n * c1, || {
+                fig1(args.quick, args.jobs, &log)
+            });
+        }
+        "fig2" => {
+            bench.measure("fig2", 2 * roster_n, 2 * roster_n * c1, || {
+                fig2(args.quick, args.jobs, &log)
+            });
+        }
+        "fig3" => {
+            let ways = SystemConfig::scaled(1).llc.ways as u64;
+            bench.measure("fig3", ways * roster_n, ways * roster_n * c1, || {
+                fig3(args.quick, args.jobs, &log)
+            });
+        }
+        "fig5" => {
+            let cycles = if args.quick { 340_000u64 } else { 700_000 } * 8;
+            bench.measure("fig5", 1, cycles, || fig5(args.quick));
+        }
         t if eval_targets.contains(&t) => {
-            let eval = figures::evaluate(&needed_mechanisms(t), &eval_cfg(&args), true);
+            let cfg = eval_cfg(&args);
+            let mechs = needed_mechanisms(t);
+            let (cells, cycles) = eval_volume(&cfg, &mechs);
+            let eval = bench.measure(t, cells, cycles, || figures::evaluate(&mechs, &cfg, true));
             print_eval_target(t, &eval, &args.csv);
         }
         "all" => {
-            table1(args.quick);
-            fig1(args.quick);
-            fig2(args.quick);
-            fig3(args.quick);
-            fig5(args.quick);
+            bench
+                .measure("table1", roster_n, roster_n * c1, || table1(args.quick, args.jobs, &log));
+            bench.measure("fig1", 2 * roster_n, 2 * roster_n * c1, || {
+                fig1(args.quick, args.jobs, &log)
+            });
+            bench.measure("fig2", 2 * roster_n, 2 * roster_n * c1, || {
+                fig2(args.quick, args.jobs, &log)
+            });
+            let ways = SystemConfig::scaled(1).llc.ways as u64;
+            bench.measure("fig3", ways * roster_n, ways * roster_n * c1, || {
+                fig3(args.quick, args.jobs, &log)
+            });
+            let f5_cycles = if args.quick { 340_000u64 } else { 700_000 } * 8;
+            bench.measure("fig5", 1, f5_cycles, || fig5(args.quick));
+            let cfg = eval_cfg(&args);
+            let mechs = Mechanism::all_managed().to_vec();
+            let (cells, cycles) = eval_volume(&cfg, &mechs);
             let eval =
-                figures::evaluate(&Mechanism::all_managed(), &eval_cfg(&args), true);
+                bench.measure("evaluate", cells, cycles, || figures::evaluate(&mechs, &cfg, true));
             for t in eval_targets {
                 print_eval_target(t, &eval, &args.csv);
             }
@@ -407,5 +531,9 @@ fn main() {
             eprintln!("unknown target {other}; try --help");
             std::process::exit(2);
         }
+    }
+    match bench.write(&args.bench_json) {
+        Ok(()) => eprintln!("[repro] wrote {}", args.bench_json.display()),
+        Err(e) => eprintln!("[repro] bench log failed: {e}"),
     }
 }

@@ -146,12 +146,20 @@ pub fn prefetch_impact(
 }
 
 /// Fig. 3 row: IPC at each way count (prefetchers on), 1..=llc_ways.
+///
+/// The per-way runs are independent simulations, so they fan out across
+/// `jobs` threads; results come back in way order, making the sweep
+/// bit-identical for every job count.
 pub fn way_sweep(
     bench: &Benchmark,
     sys_cfg: &SystemConfig,
     cfg: &CharacterizeConfig,
+    jobs: usize,
 ) -> Vec<f64> {
-    (1..=sys_cfg.llc.ways).map(|w| run_alone(bench, sys_cfg, cfg, true, Some(w)).ipc).collect()
+    let ways: Vec<u32> = (1..=sys_cfg.llc.ways).collect();
+    crate::runner::parallel_map(&ways, jobs, |_, &w| {
+        run_alone(bench, sys_cfg, cfg, true, Some(w)).ipc
+    })
 }
 
 /// The smallest way count reaching `frac` of the peak IPC in a sweep
@@ -203,6 +211,21 @@ mod tests {
     fn ways_needed_finds_threshold() {
         assert_eq!(ways_needed(&[0.1, 0.5, 0.79, 0.9, 1.0], 0.8), 4);
         assert_eq!(ways_needed(&[1.0, 1.0, 1.0], 0.8), 1);
+    }
+
+    #[test]
+    fn way_sweep_is_identical_across_job_counts() {
+        let sys = SystemConfig::scaled(1);
+        // Short windows: we compare the sweep against itself, not against
+        // a steady-state classification.
+        let cfg = CharacterizeConfig { warmup: 150_000, measure: 80_000 };
+        let b = spec::by_name("astar_path").unwrap();
+        let serial = way_sweep(b, &sys, &cfg, 1);
+        let parallel = way_sweep(b, &sys, &cfg, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
     }
 
     #[test]

@@ -15,10 +15,10 @@ pub fn file_name(title: &str) -> String {
         match c {
             'a'..='z' | '0'..='9' => out.push(c),
             'A'..='Z' => out.push(c.to_ascii_lowercase()),
-            ' ' | '-' | '.' | '—' | ':' | '(' | ')' | '/' => {
-                if !out.ends_with('_') && !out.is_empty() {
-                    out.push('_');
-                }
+            ' ' | '-' | '.' | '—' | ':' | '(' | ')' | '/'
+                if !out.ends_with('_') && !out.is_empty() =>
+            {
+                out.push('_');
             }
             _ => {}
         }

@@ -12,6 +12,8 @@ use cmm_core::policy::Mechanism;
 use cmm_metrics as met;
 use cmm_workloads::{build_mixes, Category, Mix};
 
+use crate::runner::{parallel_map, Progress};
+
 /// Evaluation-wide settings.
 #[derive(Debug, Clone)]
 pub struct EvalConfig {
@@ -21,18 +23,21 @@ pub struct EvalConfig {
     pub mixes_per_category: usize,
     /// Mix-construction seed.
     pub seed: u64,
+    /// Worker threads for the (mix × mechanism) matrix; `1` = serial.
+    /// Output is bit-identical regardless of the value.
+    pub jobs: usize,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { exp: ExperimentConfig::default(), mixes_per_category: 10, seed: 42 }
+        EvalConfig { exp: ExperimentConfig::default(), mixes_per_category: 10, seed: 42, jobs: 1 }
     }
 }
 
 impl EvalConfig {
     /// Reduced size/duration for tests and `--quick`.
     pub fn quick() -> Self {
-        EvalConfig { exp: ExperimentConfig::quick(), mixes_per_category: 2, seed: 42 }
+        EvalConfig { exp: ExperimentConfig::quick(), mixes_per_category: 2, seed: 42, jobs: 1 }
     }
 }
 
@@ -103,32 +108,62 @@ impl Evaluation {
 }
 
 /// Runs the evaluation: every mix under the baseline plus `mechanisms`.
-/// `progress` (if true) prints one line per (mix, mechanism) to stderr.
+/// `progress` (if true) prints one timestamped line per completed cell to
+/// stderr.
+///
+/// The (mix × mechanism) matrix fans out across `cfg.jobs` threads; every
+/// cell owns its `System`, and results are reassembled in mix-then-
+/// mechanism order, so the returned `Evaluation` — and any table printed
+/// from it — is bit-identical to a serial (`jobs = 1`) run.
 pub fn evaluate(mechanisms: &[Mechanism], cfg: &EvalConfig, progress: bool) -> Evaluation {
     let mixes = build_mixes(cfg.seed, cfg.mixes_per_category);
-    let mut alone_cache: HashMap<&str, f64> = HashMap::new();
-    let mut workloads = Vec::with_capacity(mixes.len());
+    let log = Progress::new(progress);
+
+    // Stage 1: run-alone IPCs of the distinct benchmarks (each is one
+    // independent single-core simulation — the serial code memoised them
+    // lazily; here the deduplicated set fans out up front).
+    let mut distinct: Vec<&'static cmm_workloads::spec::Benchmark> = Vec::new();
     for mix in &mixes {
-        let alone: Vec<f64> = mix
-            .benchmarks
-            .iter()
-            .map(|b| {
-                *alone_cache.entry(b.name).or_insert_with(|| run_alone_ipc(b, &cfg.exp))
-            })
-            .collect();
-        if progress {
-            eprintln!("[repro] {}: baseline", mix.name);
-        }
-        let baseline = run_mix(mix, Mechanism::Baseline, &cfg.exp);
-        let mut managed = HashMap::new();
-        for &m in mechanisms {
-            if progress {
-                eprintln!("[repro] {}: {}", mix.name, m.label());
+        for &b in &mix.benchmarks {
+            if !distinct.iter().any(|d| d.name == b.name) {
+                distinct.push(b);
             }
-            managed.insert(m, run_mix(mix, m, &cfg.exp));
         }
+    }
+    let alone_vals = parallel_map(&distinct, cfg.jobs, |_, b| {
+        log.cell(&format!("alone: {}", b.name), || run_alone_ipc(b, &cfg.exp))
+    });
+    let alone_cache: HashMap<&str, f64> =
+        distinct.iter().zip(&alone_vals).map(|(b, &v)| (b.name, v)).collect();
+
+    // Stage 2: the (mix × mechanism) matrix, mix-major so the reassembly
+    // below is simple index arithmetic.
+    let mut cells: Vec<(usize, Mechanism)> =
+        Vec::with_capacity(mixes.len() * (1 + mechanisms.len()));
+    for mi in 0..mixes.len() {
+        cells.push((mi, Mechanism::Baseline));
+        for &m in mechanisms {
+            cells.push((mi, m));
+        }
+    }
+    let mut results = parallel_map(&cells, cfg.jobs, |_, &(mi, m)| {
+        let mix = &mixes[mi];
+        log.cell(&format!("{}: {}", mix.name, m.label()), || run_mix(mix, m, &cfg.exp))
+    });
+
+    // Reassemble in mix order: baseline first, then `mechanisms` order —
+    // exactly what the serial loop produced.
+    let stride = 1 + mechanisms.len();
+    let mut workloads = Vec::with_capacity(mixes.len());
+    for (mi, mix) in mixes.iter().enumerate().rev() {
+        let mut chunk = results.split_off(mi * stride);
+        let baseline = chunk.remove(0);
+        let managed: HashMap<Mechanism, MixResult> =
+            mechanisms.iter().copied().zip(chunk).collect();
+        let alone: Vec<f64> = mix.benchmarks.iter().map(|b| alone_cache[b.name]).collect();
         workloads.push(WorkloadEval { mix: mix.clone(), alone, baseline, managed });
     }
+    workloads.reverse();
     Evaluation { workloads, mechanisms: mechanisms.to_vec() }
 }
 
@@ -186,9 +221,7 @@ pub fn fig7(eval: &Evaluation) -> (FigureSeries, FigureSeries) {
 
 /// Fig. 8: PT's lowest per-application normalized IPC per workload.
 pub fn fig8(eval: &Evaluation) -> FigureSeries {
-    series(eval, "Fig. 8 — PT: lowest normalized IPC", &[Mechanism::Pt], |w, m| {
-        w.worst_case(m)
-    })
+    series(eval, "Fig. 8 — PT: lowest normalized IPC", &[Mechanism::Pt], |w, m| w.worst_case(m))
 }
 
 const CP_MECHS: [Mechanism; 3] = [Mechanism::Dunn, Mechanism::PrefCp, Mechanism::PrefCp2];
@@ -211,12 +244,8 @@ const CMM_MECHS: [Mechanism; 3] = [Mechanism::CmmA, Mechanism::CmmB, Mechanism::
 /// Fig. 11: CMM-a/b/c normalized HS and WS.
 pub fn fig11(eval: &Evaluation) -> (FigureSeries, FigureSeries) {
     (
-        series(eval, "Fig. 11 — CMM: HS normalized to baseline", &CMM_MECHS, |w, m| {
-            w.norm_hs(m)
-        }),
-        series(eval, "Fig. 11 — CMM: WS normalized to baseline", &CMM_MECHS, |w, m| {
-            w.norm_ws(m)
-        }),
+        series(eval, "Fig. 11 — CMM: HS normalized to baseline", &CMM_MECHS, |w, m| w.norm_hs(m)),
+        series(eval, "Fig. 11 — CMM: WS normalized to baseline", &CMM_MECHS, |w, m| w.norm_ws(m)),
     )
 }
 
@@ -256,9 +285,7 @@ pub fn fairness(eval: &Evaluation) -> FigureSeries {
         .iter()
         .map(|w| {
             let mut vals = vec![met::gabor_fairness(&w.alone, &w.baseline.ipcs)];
-            vals.extend(
-                mechs.iter().map(|m| met::gabor_fairness(&w.alone, &w.managed[&m].ipcs)),
-            );
+            vals.extend(mechs.iter().map(|m| met::gabor_fairness(&w.alone, &w.managed[m].ipcs)));
             (w.mix.name.clone(), vals)
         })
         .collect();

@@ -22,4 +22,6 @@ pub mod ablate;
 pub mod characterize;
 pub mod export;
 pub mod figures;
+pub mod perf;
 pub mod report;
+pub mod runner;

@@ -1,0 +1,188 @@
+//! Machine-readable harness performance log (`BENCH_sim.json`).
+//!
+//! The `repro` binary wraps every table/figure target in
+//! [`BenchLog::measure`] and writes one JSON document at exit, so each
+//! future change to the simulator or harness has a perf trajectory to
+//! defend: wall-clock per target, evaluation cells per second, and
+//! simulated core-cycles per second.
+//!
+//! The JSON is hand-rolled (the build environment has no serde); the
+//! schema is intentionally flat:
+//!
+//! ```json
+//! {
+//!   "schema": "cmm-bench-sim/1",
+//!   "jobs": 4,
+//!   "quick": false,
+//!   "total_wall_s": 123.4,
+//!   "targets": [
+//!     {
+//!       "name": "fig7",
+//!       "wall_s": 41.2,
+//!       "cells": 88,
+//!       "sim_cycles": 9856000000,
+//!       "cells_per_s": 2.14,
+//!       "sim_cycles_per_s": 239223300.9
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `cells` counts independent simulation runs (one `System` each);
+//! `sim_cycles` counts simulated core-cycles (machine cycles × cores,
+//! including warm-up), so `sim_cycles_per_s` is comparable across targets
+//! with different machine widths.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// Timing and volume of one completed repro target.
+#[derive(Debug, Clone)]
+pub struct TargetStats {
+    /// Target name as passed on the CLI (`"table1"`, `"fig7"`, …).
+    pub name: String,
+    /// Wall-clock seconds spent producing the target.
+    pub wall_s: f64,
+    /// Independent simulation runs executed.
+    pub cells: u64,
+    /// Simulated core-cycles across those runs (including warm-up).
+    pub sim_cycles: u64,
+}
+
+/// Collects [`TargetStats`] across one `repro` invocation.
+#[derive(Debug)]
+pub struct BenchLog {
+    start: Instant,
+    jobs: usize,
+    quick: bool,
+    targets: Vec<TargetStats>,
+}
+
+impl BenchLog {
+    /// An empty log annotated with the run's parallelism and size mode.
+    pub fn new(jobs: usize, quick: bool) -> Self {
+        BenchLog { start: Instant::now(), jobs, quick, targets: Vec::new() }
+    }
+
+    /// Runs `work` and records it as target `name` with the given work
+    /// volume. Returns `work`'s result.
+    pub fn measure<R>(
+        &mut self,
+        name: &str,
+        cells: u64,
+        sim_cycles: u64,
+        work: impl FnOnce() -> R,
+    ) -> R {
+        let t0 = Instant::now();
+        let r = work();
+        self.targets.push(TargetStats {
+            name: name.to_string(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            cells,
+            sim_cycles,
+        });
+        r
+    }
+
+    /// Renders the log as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"cmm-bench-sim/1\",\n");
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!(
+            "  \"total_wall_s\": {},\n",
+            json_f64(self.start.elapsed().as_secs_f64())
+        ));
+        s.push_str("  \"targets\": [");
+        for (i, t) in self.targets.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", escape(&t.name)));
+            s.push_str(&format!("      \"wall_s\": {},\n", json_f64(t.wall_s)));
+            s.push_str(&format!("      \"cells\": {},\n", t.cells));
+            s.push_str(&format!("      \"sim_cycles\": {},\n", t.sim_cycles));
+            let wall = t.wall_s.max(1e-9);
+            s.push_str(&format!("      \"cells_per_s\": {},\n", json_f64(t.cells as f64 / wall)));
+            s.push_str(&format!(
+                "      \"sim_cycles_per_s\": {}\n",
+                json_f64(t.sim_cycles as f64 / wall)
+            ));
+            s.push_str("    }");
+        }
+        if !self.targets.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Writes the JSON to `path` (atomically enough for a log: full
+    /// buffered write, single file handle).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// JSON-safe float formatting: finite values print with enough digits to
+/// round-trip; anything non-finite degrades to 0 (JSON has no NaN).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_contains_measured_targets() {
+        let mut log = BenchLog::new(4, true);
+        let out = log.measure("table1", 14, 70_000_000, || 99u32);
+        assert_eq!(out, 99);
+        let j = log.to_json();
+        assert!(j.contains("\"schema\": \"cmm-bench-sim/1\""));
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"quick\": true"));
+        assert!(j.contains("\"name\": \"table1\""));
+        assert!(j.contains("\"cells\": 14"));
+        assert!(j.contains("\"sim_cycles\": 70000000"));
+        assert!(j.contains("\"cells_per_s\""));
+    }
+
+    #[test]
+    fn empty_log_is_valid_shape() {
+        let log = BenchLog::new(1, false);
+        let j = log.to_json();
+        assert!(j.contains("\"targets\": []"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn non_finite_floats_degrade() {
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert!(json_f64(1.5).starts_with("1.5"));
+    }
+}

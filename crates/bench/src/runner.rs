@@ -1,0 +1,152 @@
+//! Ordered parallel execution of experiment work-lists.
+//!
+//! The evaluation matrix (mix × mechanism) is embarrassingly parallel:
+//! every cell owns its `System`, so cells only share read-only inputs.
+//! [`parallel_map`] fans a work-list across `jobs` scoped threads pulling
+//! indices from a shared atomic counter, and returns results **in input
+//! order**, so callers produce output bit-identical to a serial run no
+//! matter how the cells were scheduled. With `jobs <= 1` the closure runs
+//! inline on the caller's thread — the serial fallback, with no thread
+//! overhead at all.
+//!
+//! [`Progress`] is the matching thread-safe `[repro]` logger: each cell
+//! emits exactly one timestamped line (elapsed since start, plus the
+//! cell's own wall-clock) built as a single `String` and written with one
+//! locked stderr write, so concurrent cells can never interleave halves of
+//! a line.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Degree of parallelism to use when the user does not pass `--jobs`:
+/// every available host core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` with `jobs` worker threads, returning results in
+/// input order. `f` receives `(index, &item)`.
+///
+/// Work is distributed dynamically (an atomic next-index counter), so a
+/// slow cell does not stall the queue behind it. `jobs <= 1` — or a
+/// single-item list — runs serially inline.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let workers = jobs.min(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                slots.lock().expect("runner slots poisoned")[i] = Some(r);
+            });
+        }
+    });
+    let results = slots.into_inner().expect("runner slots poisoned");
+    results.into_iter().map(|r| r.expect("every index was processed")).collect()
+}
+
+/// Thread-safe timestamped `[repro]` progress logger.
+///
+/// Cloneable by shared reference: cells call [`Progress::cell`] around
+/// their work and one line per cell reaches stderr on completion, e.g.
+///
+/// ```text
+/// [repro +12.4s] PrefAgg-00: CMM-a (3.21s)
+/// ```
+#[derive(Debug)]
+pub struct Progress {
+    enabled: bool,
+    start: Instant,
+}
+
+impl Progress {
+    /// A logger; when `enabled` is false every call is a no-op.
+    pub fn new(enabled: bool) -> Self {
+        Progress { enabled, start: Instant::now() }
+    }
+
+    /// Runs `work`, then logs `label` with the elapsed-since-start stamp
+    /// and the cell's own wall-clock. Returns `work`'s result.
+    pub fn cell<R>(&self, label: &str, work: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return work();
+        }
+        let t0 = Instant::now();
+        let r = work();
+        let line = format!(
+            "[repro +{:.1}s] {} ({:.2}s)",
+            self.start.elapsed().as_secs_f64(),
+            label,
+            t0.elapsed().as_secs_f64()
+        );
+        // One write per line: eprintln! takes the stderr lock once, so
+        // parallel cells cannot interleave within a line.
+        eprintln!("{line}");
+        r
+    }
+
+    /// Logs a bare annotation line (no per-cell timing).
+    pub fn note(&self, msg: &str) {
+        if self.enabled {
+            eprintln!("[repro +{:.1}s] {}", self.start.elapsed().as_secs_f64(), msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map(&items, 1, |i, &x| (i, x * x));
+        let parallel = parallel_map(&items, 8, |i, &x| (i, x * x));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[17], (17, 17 * 17));
+    }
+
+    #[test]
+    fn empty_and_single_items() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_exceeding_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |_, &x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn progress_disabled_is_silent_passthrough() {
+        let p = Progress::new(false);
+        assert_eq!(p.cell("x", || 41 + 1), 42);
+        p.note("nothing");
+    }
+
+    #[test]
+    fn work_observes_every_index_once() {
+        let hits = Mutex::new(vec![0u32; 50]);
+        let items: Vec<usize> = (0..50).collect();
+        parallel_map(&items, 6, |i, _| {
+            hits.lock().unwrap()[i] += 1;
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&h| h == 1));
+    }
+}

@@ -1,0 +1,65 @@
+//! The parallel runner must be invisible in the output: `--jobs N` and
+//! `--jobs 1` produce byte-identical tables, because every cell owns its
+//! own `System` and results are reassembled in grid order.
+
+use cmm_bench::figures::{self, EvalConfig};
+use cmm_bench::report;
+use cmm_bench::runner::parallel_map;
+use cmm_core::experiment::ExperimentConfig;
+use cmm_core::policy::Mechanism;
+use cmm_sim::config::SystemConfig;
+use cmm_workloads::spec;
+
+/// A deliberately tiny evaluation config so the test runs in seconds.
+fn tiny_eval(jobs: usize) -> EvalConfig {
+    let mut exp = ExperimentConfig::quick();
+    exp.total_cycles = 400_000;
+    exp.alone_cycles = 150_000;
+    exp.warmup_cycles = 150_000;
+    EvalConfig { exp, mixes_per_category: 1, seed: 42, jobs }
+}
+
+/// Fig. 7 (normalised HS and worst-case slowdown under PT) renders to the
+/// same bytes whether the (mix × mechanism) matrix ran serially or on
+/// four threads.
+#[test]
+fn fig7_is_byte_identical_across_job_counts() {
+    let mechs = [Mechanism::Pt];
+    let serial = figures::evaluate(&mechs, &tiny_eval(1), false);
+    let parallel = figures::evaluate(&mechs, &tiny_eval(4), false);
+
+    let (s_hs, s_ws) = figures::fig7(&serial);
+    let (p_hs, p_ws) = figures::fig7(&parallel);
+    assert_eq!(report::render(&s_hs), report::render(&p_hs), "Fig. 7 HS rows diverged");
+    assert_eq!(report::render(&s_ws), report::render(&p_ws), "Fig. 7 worst-case rows diverged");
+}
+
+/// Table I rows (per-benchmark characterisation) are byte-identical too:
+/// each benchmark simulates in its own `System` regardless of scheduling.
+#[test]
+fn table1_rows_are_byte_identical_across_job_counts() {
+    let sys = SystemConfig::scaled(1);
+    let cfg = {
+        let mut c = cmm_bench::characterize::CharacterizeConfig::quick();
+        c.warmup = 300_000;
+        c.measure = 150_000;
+        c
+    };
+    let roster = &spec::roster()[..6];
+    let row = |b: &spec::Benchmark| {
+        let r = cmm_bench::characterize::run_alone(b, &sys, &cfg, true, None);
+        format!(
+            "{} {:.3} {} {:.4} {:.2} {:.2} {:.3}",
+            b.name,
+            r.ipc,
+            r.metrics.l2_llc_traffic,
+            r.metrics.l2_ptr,
+            r.metrics.pga,
+            r.metrics.l2_pmr,
+            r.metrics.llc_pt
+        )
+    };
+    let serial: Vec<String> = parallel_map(roster, 1, |_, b| row(b));
+    let parallel: Vec<String> = parallel_map(roster, 4, |_, b| row(b));
+    assert_eq!(serial, parallel, "Table I rows diverged between --jobs 1 and --jobs 4");
+}

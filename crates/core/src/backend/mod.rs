@@ -161,13 +161,7 @@ pub fn detect(
             unfriendly.push(c);
         }
     }
-    Detection {
-        interval1,
-        agg,
-        friendly,
-        unfriendly,
-        profiling_cycles: 2 * ctrl.sampling_interval,
-    }
+    Detection { interval1, agg, friendly, unfriendly, profiling_cycles: 2 * ctrl.sampling_interval }
 }
 
 /// Searches the on/off space over `groups` of cores, one sampling interval
@@ -278,8 +272,7 @@ pub fn throttle_groups(
     if agg.len() <= exhaustive_limit {
         return agg.iter().map(|&c| vec![c]).collect();
     }
-    let ptrs: Vec<f64> =
-        agg.iter().map(|&c| crate::frontend::metrics(&deltas[c]).l2_ptr).collect();
+    let ptrs: Vec<f64> = agg.iter().map(|&c| crate::frontend::metrics(&deltas[c]).l2_ptr).collect();
     let clustering = cmm_metrics::kmeans_1d(&ptrs, groups);
     (0..clustering.k())
         .map(|g| clustering.members(g).into_iter().map(|i| agg[i]).collect())

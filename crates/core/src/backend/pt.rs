@@ -43,11 +43,7 @@ pub fn profile_fine(
     let (msrs, search_cycles) =
         search_throttle_levels(sys, &groups, &FINE_LEVELS, ctrl.sampling_interval);
     let profiling_cycles = detection.profiling_cycles + search_cycles;
-    PtOutcome {
-        detection,
-        prefetch_on: msrs.iter().map(|&m| m != 0xF).collect(),
-        profiling_cycles,
-    }
+    PtOutcome { detection, prefetch_on: msrs.iter().map(|&m| m != 0xF).collect(), profiling_cycles }
 }
 
 /// Runs PT's full profiling epoch and applies the winner.

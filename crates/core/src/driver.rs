@@ -37,7 +37,15 @@ impl Driver {
             ptr_threshold: ctrl.ptr_threshold,
             pga_floor: ctrl.pga_floor,
         };
-        Driver { sys, mechanism, ctrl, det_cfg, epochs: 0, overhead_cycles: 0, agg_history: Vec::new() }
+        Driver {
+            sys,
+            mechanism,
+            ctrl,
+            det_cfg,
+            epochs: 0,
+            overhead_cycles: 0,
+            agg_history: Vec::new(),
+        }
     }
 
     /// The managed machine.

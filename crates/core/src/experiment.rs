@@ -175,13 +175,8 @@ mod tests {
         let alone = run_alone_ipcs(mix, &cfg);
         let together = run_mix(mix, Mechanism::Baseline, &cfg);
         // In aggregate, running together cannot beat running alone.
-        let sum_ratio: f64 = together
-            .ipcs
-            .iter()
-            .zip(&alone)
-            .map(|(&t, &a)| t / a.max(1e-9))
-            .sum::<f64>()
-            / 8.0;
+        let sum_ratio: f64 =
+            together.ipcs.iter().zip(&alone).map(|(&t, &a)| t / a.max(1e-9)).sum::<f64>() / 8.0;
         assert!(sum_ratio < 1.05, "together/alone ratio {sum_ratio:.3}");
     }
 

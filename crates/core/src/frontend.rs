@@ -119,9 +119,7 @@ pub fn detect_agg(deltas: &[PmuDelta], cfg: &DetectorConfig) -> Vec<usize> {
     ms.iter()
         .enumerate()
         .filter(|(_, m)| {
-            m.pga >= cfg.pga_floor
-                && m.l2_pmr >= cfg.pmr_threshold
-                && m.l2_ptr >= cfg.ptr_threshold
+            m.pga >= cfg.pga_floor && m.l2_pmr >= cfg.pmr_threshold && m.l2_ptr >= cfg.ptr_threshold
         })
         .map(|(i, _)| i)
         .collect()
@@ -189,10 +187,7 @@ mod tests {
     #[test]
     fn low_traffic_core_filtered_by_ptr() {
         // High PGA and PMR but only a trickle of traffic.
-        let deltas = vec![
-            delta(1_000_000, 50, 45, 10, 8),
-            delta(1_000_000, 0, 0, 1_000, 100),
-        ];
+        let deltas = vec![delta(1_000_000, 50, 45, 10, 8), delta(1_000_000, 0, 0, 1_000, 100)];
         let agg = detect_agg(&deltas, &DetectorConfig::default());
         assert!(agg.is_empty(), "a 45-miss trickle is not aggressive: {agg:?}");
     }

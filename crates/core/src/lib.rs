@@ -39,9 +39,7 @@ pub mod resctrl;
 pub mod prelude {
     pub use crate::backend::{partition_ways, PartitionPlan};
     pub use crate::driver::Driver;
-    pub use crate::experiment::{
-        run_alone_ipc, run_mix, ExperimentConfig, MixResult,
-    };
+    pub use crate::experiment::{run_alone_ipc, run_mix, ExperimentConfig, MixResult};
     pub use crate::frontend::{detect_agg, metrics, DetectorConfig, Metrics};
     pub use crate::policy::{ControllerConfig, Mechanism};
 }

@@ -133,10 +133,7 @@ mod tests {
     use cmm_sim::workload::Idle;
 
     fn machine(cores: usize) -> System {
-        System::new(
-            SystemConfig::scaled(cores),
-            (0..cores).map(|_| Box::new(Idle) as _).collect(),
-        )
+        System::new(SystemConfig::scaled(cores), (0..cores).map(|_| Box::new(Idle) as _).collect())
     }
 
     #[test]

@@ -23,11 +23,7 @@ pub struct KMeans1d {
 impl KMeans1d {
     /// Indices of the inputs belonging to cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| (a == c).then_some(i))
-            .collect()
+        self.assignments.iter().enumerate().filter_map(|(i, &a)| (a == c).then_some(i)).collect()
     }
 
     /// Number of clusters actually produced.

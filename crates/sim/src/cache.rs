@@ -108,10 +108,15 @@ impl Cache {
     #[inline(always)]
     fn find(&self, line: u64) -> Option<usize> {
         let base = self.set_base(line);
-        self.tags[base..base + self.ways]
-            .iter()
-            .position(|&t| t == line)
-            .map(|w| base + w)
+        // One slice reborrow, one pass: the compiler hoists the bounds
+        // check and vectorises the tag compare.
+        let tags = &self.tags[base..base + self.ways];
+        for (w, &t) in tags.iter().enumerate() {
+            if t == line {
+                return Some(base + w);
+            }
+        }
+        None
     }
 
     /// True if the line is resident. Does not disturb LRU or statistics.
@@ -202,46 +207,66 @@ impl Cache {
         protected: &dyn Fn(u64) -> bool,
     ) -> Option<Eviction> {
         self.tick += 1;
-        if let Some(idx) = self.find(line) {
-            // Already present (e.g. demand fill racing a prefetch fill):
-            // refresh recency; never *set* the prefetched bit on a line that
-            // a demand already claimed.
-            self.stamps[idx] = self.tick;
-            if !prefetched {
-                self.flags[idx] &= !FLAG_PREFETCHED;
-            }
-            return None;
-        }
-
         let base = self.set_base(line);
         let usable = alloc_mask & Self::low_ways_mask(self.ways);
         debug_assert!(usable != 0, "allocation mask selects no way");
 
-        // Prefer an invalid way inside the mask, else the LRU way among
-        // unprotected lines, else (all protected) the plain LRU way.
-        let mut victim: Option<usize> = None;
-        let mut victim_stamp = u64::MAX;
-        let mut fallback: Option<usize> = None;
-        let mut fallback_stamp = u64::MAX;
-        for w in 0..self.ways {
-            if usable & (1 << w) == 0 {
-                continue;
+        // Single packed pass over the set: detect a hit on `line` and note
+        // the first usable invalid way at the same time, instead of one
+        // `find` pass followed by a victim-selection pass.
+        let mut invalid_way: Option<usize> = None;
+        let tags = &self.tags[base..base + self.ways];
+        for (w, &t) in tags.iter().enumerate() {
+            if t == line {
+                // Already present (e.g. demand fill racing a prefetch
+                // fill): refresh recency; never *set* the prefetched bit on
+                // a line that a demand already claimed.
+                let idx = base + w;
+                self.stamps[idx] = self.tick;
+                if !prefetched {
+                    self.flags[idx] &= !FLAG_PREFETCHED;
+                }
+                return None;
             }
-            let idx = base + w;
-            if self.tags[idx] == INVALID_TAG {
-                victim = Some(idx);
-                break;
-            }
-            if self.stamps[idx] < fallback_stamp {
-                fallback_stamp = self.stamps[idx];
-                fallback = Some(idx);
-            }
-            if self.stamps[idx] < victim_stamp && !protected(self.tags[idx]) {
-                victim_stamp = self.stamps[idx];
-                victim = Some(idx);
+            if t == INVALID_TAG && invalid_way.is_none() && usable & (1 << w) != 0 {
+                invalid_way = Some(w);
             }
         }
-        let idx = victim.or(fallback).expect("non-empty allocation mask");
+
+        // Prefer an invalid way inside the mask, else the LRU way among
+        // unprotected lines, else (all usable ways protected) the plain LRU
+        // way. Candidates are probed in LRU order so `protected` — a
+        // presence-table lookup — runs once for the common case of an
+        // unprotected LRU victim rather than once per way.
+        let idx = if let Some(w) = invalid_way {
+            base + w
+        } else {
+            let mut tried: u64 = 0;
+            let mut fallback: Option<usize> = None;
+            let victim = loop {
+                let mut best: Option<usize> = None;
+                let mut best_stamp = u64::MAX;
+                for w in 0..self.ways {
+                    if usable & (1 << w) == 0 || tried & (1 << w) != 0 {
+                        continue;
+                    }
+                    let s = self.stamps[base + w];
+                    if s < best_stamp {
+                        best_stamp = s;
+                        best = Some(w);
+                    }
+                }
+                match best {
+                    None => break fallback.expect("non-empty allocation mask"),
+                    Some(w) if !protected(self.tags[base + w]) => break w,
+                    Some(w) => {
+                        fallback.get_or_insert(w);
+                        tried |= 1 << w;
+                    }
+                }
+            };
+            base + victim
+        };
 
         let evicted = if self.tags[idx] != INVALID_TAG {
             let unused_prefetch = self.flags[idx] & FLAG_PREFETCHED != 0;
@@ -355,7 +380,7 @@ mod tests {
     fn hits_allowed_outside_alloc_mask() {
         let mut c = small();
         c.insert(set0_line(0), false, 0b1000); // way 3
-        // A core restricted to way 0 still hits.
+                                               // A core restricted to way 0 still hits.
         assert!(c.access(set0_line(0)).is_some());
     }
 

@@ -25,8 +25,8 @@ use crate::config::SystemConfig;
 use crate::memory::MemoryController;
 use crate::msr::CatState;
 use crate::pmu::Pmu;
-use crate::presence::Presence;
 use crate::prefetch::{Battery, PrefetchRequest, PrefetcherKind};
+use crate::presence::Presence;
 use crate::workload::{Op, Workload};
 
 /// An in-flight prefetch fill.
@@ -160,7 +160,7 @@ impl Core {
             dirty |= ev.dirty;
         }
         if let Some(ev) = self.l2.invalidate_line(line) {
-            presence.dec(line);
+            presence.dec(line, self.id);
             dirty |= ev.dirty;
         }
         if dirty {
@@ -200,8 +200,7 @@ impl Core {
         self.pmu.l1d_misses += 1;
 
         // Merge with an in-flight prefetch: pay only the remaining latency.
-        let (completion, beyond_l2) = if let Some(p) =
-            self.mshr.iter_mut().find(|p| p.line == line)
+        let (completion, beyond_l2) = if let Some(p) = self.mshr.iter_mut().find(|p| p.line == line)
         {
             if p.prefetched {
                 p.prefetched = false;
@@ -236,8 +235,7 @@ impl Core {
         }
         if !self.window.iter().any(|&(_, _, l)| l == line) {
             if self.window.len() == self.window_capacity {
-                let (c, blocked_beyond_l2, _) =
-                    self.window.pop_front().expect("window non-empty");
+                let (c, blocked_beyond_l2, _) = self.window.pop_front().expect("window non-empty");
                 if c > self.time {
                     let dt = c - self.time;
                     self.time = c;
@@ -483,9 +481,9 @@ impl Core {
             self.l2.insert(line, prefetched, u64::MAX);
             return;
         }
-        presence.inc(line);
+        presence.inc(line, self.id);
         if let Some(ev) = self.l2.insert(line, prefetched, u64::MAX) {
-            presence.dec(ev.line);
+            presence.dec(ev.line, self.id);
             // L1 must not outlive L2 if we keep the hierarchy inclusive.
             self.l1.invalidate_line(ev.line);
             if ev.dirty {
@@ -522,7 +520,7 @@ impl Core {
             // Our own copies go now; other cores' at the quantum boundary.
             self.l1.invalidate_line(ev.line);
             if self.l2.invalidate_line(ev.line).is_some() {
-                presence.dec(ev.line);
+                presence.dec(ev.line, self.id);
             }
             inval.push(ev.line);
         }
@@ -666,7 +664,16 @@ mod tests {
     fn back_invalidate_writes_back_dirty_lines() {
         let (mut core, mut llc, cat, mut mem, mut presence, mut inval) = rig();
         // Install a line and dirty it in L1 via a store.
-        core.demand_access(0x1000, 0x400, false, &mut llc, &cat, &mut mem, &mut presence, &mut inval);
+        core.demand_access(
+            0x1000,
+            0x400,
+            false,
+            &mut llc,
+            &cat,
+            &mut mem,
+            &mut presence,
+            &mut inval,
+        );
         let before = core.pmu.mem_writeback_bytes;
         core.back_invalidate(crate::addr::line_of(0x1000), &mut mem, &mut presence);
         assert_eq!(core.pmu.mem_writeback_bytes, before + 64);

@@ -77,9 +77,7 @@ pub mod workload;
 pub mod prelude {
     pub use crate::addr::{line_of, CACHE_LINE_BYTES, LINE_SHIFT};
     pub use crate::config::{CacheGeometry, CoreConfig, MemoryConfig, SystemConfig};
-    pub use crate::msr::{
-        Msr, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL,
-    };
+    pub use crate::msr::{Msr, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL};
     pub use crate::pmu::{Pmu, PmuDelta};
     pub use crate::prefetch::PrefetcherKind;
     pub use crate::system::System;

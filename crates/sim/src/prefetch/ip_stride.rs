@@ -151,8 +151,10 @@ mod tests {
             p.on_access(0x400100, i * 128, false, &mut out);
             p.on_access(0x400104, 1 << 20 | (i * 320), false, &mut out);
         }
-        let lines_a: Vec<u64> = out.iter().map(|r| r.line).filter(|&l| l < line_of(1 << 20)).collect();
-        let lines_b: Vec<u64> = out.iter().map(|r| r.line).filter(|&l| l >= line_of(1 << 20)).collect();
+        let lines_a: Vec<u64> =
+            out.iter().map(|r| r.line).filter(|&l| l < line_of(1 << 20)).collect();
+        let lines_b: Vec<u64> =
+            out.iter().map(|r| r.line).filter(|&l| l >= line_of(1 << 20)).collect();
         assert!(!lines_a.is_empty());
         assert!(!lines_b.is_empty());
     }

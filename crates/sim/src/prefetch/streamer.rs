@@ -85,7 +85,11 @@ impl Prefetcher for Streamer {
         let offset = line_offset_in_page(line);
         let e = self.find_or_allocate(page);
 
-        if e.direction == 0 && e.confidence == 0 && e.cursor == -1 && e.last_offset == 0 && offset != 0
+        if e.direction == 0
+            && e.confidence == 0
+            && e.cursor == -1
+            && e.last_offset == 0
+            && offset != 0
         {
             // Fresh entry: record the first touch.
             e.last_offset = offset;

@@ -26,6 +26,6 @@ pub mod rng;
 pub mod spec;
 
 pub use mix::{build_mixes, Category, Mix};
-pub use phased::Phased;
 pub use pattern::{AccessPattern, Synthetic, SyntheticConfig};
+pub use phased::Phased;
 pub use spec::{roster, Benchmark, Class};

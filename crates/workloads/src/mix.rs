@@ -154,12 +154,7 @@ pub fn build_mix(category: Category, index: usize, rng: &mut SplitMix64) -> Mix 
         Category::PrefUnfri => "PrefUnfri",
         Category::PrefNoAgg => "PrefNoAgg",
     };
-    Mix {
-        name: format!("{label}-{index:02}"),
-        category,
-        benchmarks,
-        seed: rng.next_u64(),
-    }
+    Mix { name: format!("{label}-{index:02}"), category, benchmarks, seed: rng.next_u64() }
 }
 
 /// Builds the evaluation's full workload set: `per_category` mixes for each
@@ -191,8 +186,7 @@ mod tests {
         for m in &mixes {
             assert_eq!(m.num_cores(), 8, "{}", m.name);
             let fri = count_class(m, |b| b.class.prefetch_friendly);
-            let unf =
-                count_class(m, |b| b.class.prefetch_aggressive && !b.class.prefetch_friendly);
+            let unf = count_class(m, |b| b.class.prefetch_aggressive && !b.class.prefetch_friendly);
             let non = count_class(m, |b| !b.class.prefetch_aggressive);
             let sens = count_class(m, |b| b.class.llc_sensitive);
             match m.category {

@@ -218,7 +218,9 @@ impl Workload for Synthetic {
         // Distinct PCs per pattern stream so the IP-stride prefetcher can
         // train on strided loops the way it does on real loop bodies.
         let pc = 0x40_0000 + (self.next_stream as u64) * 4;
-        if self.cfg.store_period > 0 && self.access_count.is_multiple_of(self.cfg.store_period as u64) {
+        if self.cfg.store_period > 0
+            && self.access_count.is_multiple_of(self.cfg.store_period as u64)
+        {
             Op::Store { addr, pc }
         } else {
             Op::Load { addr, pc }
@@ -320,8 +322,7 @@ mod tests {
     fn pointer_chase_is_jumpy() {
         let mut w = Synthetic::new(cfg(AccessPattern::PointerChase));
         let a = addrs(&mut w, 100);
-        let ascending_steps =
-            a.windows(2).filter(|p| p[1] / 64 == p[0] / 64 + 1).count();
+        let ascending_steps = a.windows(2).filter(|p| p[1] / 64 == p[0] / 64 + 1).count();
         assert!(ascending_steps < 5, "chase must never look like an ascending stream");
     }
 
@@ -334,7 +335,8 @@ mod tests {
         for chunk in lines.chunks(3) {
             if chunk.len() == 3 {
                 assert!(
-                    chunk[1] == (chunk[0] + 2) % (1 << 14) && chunk[2] == (chunk[1] + 2) % (1 << 14),
+                    chunk[1] == (chunk[0] + 2) % (1 << 14)
+                        && chunk[2] == (chunk[1] + 2) % (1 << 14),
                     "burst not a stride-2 run: {chunk:?}"
                 );
             }

@@ -27,7 +27,13 @@ pub struct Phased {
 impl Phased {
     /// Builds a phased workload. Periods are counted in *operations*
     /// (compute + memory), so a phase lasts roughly `period` ops.
-    pub fn new(name: impl Into<String>, a: SyntheticConfig, b: SyntheticConfig, period_a: u64, period_b: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        a: SyntheticConfig,
+        b: SyntheticConfig,
+        period_a: u64,
+        period_b: u64,
+    ) -> Self {
         assert!(period_a > 0 && period_b > 0, "phases must be non-empty");
         let mlp = a.mlp.max(b.mlp);
         Phased {

@@ -60,14 +60,8 @@ fn main() {
     // Agg prefetchers off).
     let det = backend::detect(&mut sys, &ctrl, &det_cfg);
     println!("\nfriendliness probe (interval 2, Agg prefetchers off):");
-    println!(
-        "friendly   = {:?}",
-        det.friendly.iter().map(|&c| names[c]).collect::<Vec<_>>()
-    );
-    println!(
-        "unfriendly = {:?}",
-        det.unfriendly.iter().map(|&c| names[c]).collect::<Vec<_>>()
-    );
+    println!("friendly   = {:?}", det.friendly.iter().map(|&c| names[c]).collect::<Vec<_>>());
+    println!("unfriendly = {:?}", det.unfriendly.iter().map(|&c| names[c]).collect::<Vec<_>>());
     println!("\nExpected: the stream is aggressive+friendly, Rand Access is");
     println!("aggressive+unfriendly, and the chase/compute cores are neutral.");
 }

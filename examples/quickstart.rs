@@ -69,10 +69,7 @@ fn main() {
     );
 }
 
-fn mk(
-    names: &[&str],
-    llc_bytes: u64,
-) -> Vec<Box<dyn cmm::sim::workload::Workload + Send>> {
+fn mk(names: &[&str], llc_bytes: u64) -> Vec<Box<dyn cmm::sim::workload::Workload + Send>> {
     names
         .iter()
         .enumerate()

@@ -21,7 +21,11 @@ fn main() {
         .into_iter()
         .find(|m| m.category == Category::PrefAgg)
         .expect("categories always built");
-    println!("workload {}: {:?}\n", mix.name, mix.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>());
+    println!(
+        "workload {}: {:?}\n",
+        mix.name,
+        mix.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
+    );
 
     let cfg = ExperimentConfig::default();
     eprintln!("measuring run-alone IPCs ...");

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, release build, tests, and a smoke run
+# of the parallel repro harness on a tiny configuration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== repro smoke (table1, 2 jobs, tiny config)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/repro table1 --quick --jobs 2 \
+    --bench-json "$tmp/BENCH_sim.json" > "$tmp/table1.jobs2.txt"
+./target/release/repro table1 --quick --jobs 1 \
+    --bench-json "$tmp/BENCH_sim.1.json" > "$tmp/table1.jobs1.txt"
+cmp "$tmp/table1.jobs1.txt" "$tmp/table1.jobs2.txt"
+grep -q '"schema": "cmm-bench-sim/1"' "$tmp/BENCH_sim.json"
+grep -q '"cells_per_s"' "$tmp/BENCH_sim.json"
+
+echo "CI OK"

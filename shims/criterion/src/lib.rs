@@ -1,0 +1,367 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! implements the subset of the criterion API the workspace's benches use:
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::{iter, iter_batched}`, `Throughput`, `BenchmarkId`,
+//! `BatchSize` and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Statistics are deliberately simple: after a short warm-up it reports the
+//! mean wall-clock time per iteration over a bounded number of samples (no
+//! outlier analysis, no HTML reports). When invoked with `--test` (as
+//! `cargo test` does for bench targets) or with `CMM_BENCH_FAST=1` set,
+//! every routine runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark id.
+const MEASURE_BUDGET: Duration = Duration::from_secs(2);
+/// Warm-up budget per benchmark id.
+const WARMUP_BUDGET: Duration = Duration::from_millis(200);
+
+/// How throughput is derived from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim times every
+/// batch individually, so this only documents intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark's display identity.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identity.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identity from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `&str` works where ids do.
+pub trait IntoBenchmarkId {
+    /// The id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Collects timing samples for one benchmark routine.
+pub struct Bencher {
+    /// Run each routine exactly once (smoke mode).
+    test_mode: bool,
+    /// Total measured time and iteration count.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(test_mode: bool) -> Self {
+        Bencher { test_mode, elapsed: Duration::ZERO, iters: 0 }
+    }
+
+    fn budget_left(&self) -> bool {
+        !self.test_mode && self.elapsed < MEASURE_BUDGET
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up, then adaptively sized measurement batches.
+        let mut warm = Duration::ZERO;
+        while !self.test_mode && warm < WARMUP_BUDGET {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            warm += t0.elapsed();
+        }
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if !self.budget_left() || self.test_mode {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if !self.test_mode {
+            // One warm-up batch.
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if !self.budget_left() || self.test_mode {
+                break;
+            }
+        }
+    }
+
+    /// Like `iter_batched`, timing batches of references.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        loop {
+            let mut input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if !self.budget_left() || self.test_mode {
+                break;
+            }
+        }
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    if bencher.test_mode {
+        println!("{name:<48} ok (smoke, 1 iter)");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    let mut line = format!(
+        "{name:<48} time: {:>12}/iter  ({} iters)",
+        format_time(ns_per_iter),
+        bencher.iters
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 * 1e9 / ns_per_iter;
+        line.push_str(&format!("  thrpt: {}", format_rate(per_sec, unit)));
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode =
+            std::env::args().any(|a| a == "--test") || std::env::var_os("CMM_BENCH_FAST").is_some();
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// No-op for CLI compatibility with real criterion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = name.into_benchmark_id();
+        let mut b = Bencher::new(self.test_mode);
+        f(&mut b);
+        report(&id.id, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (time budgets are fixed).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used for rate reporting of following benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(self.criterion.test_mode);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(self.criterion.test_mode);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export of `std::hint::black_box` for API compatibility.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::new(true);
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(b.iters, 1, "test mode runs exactly once");
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn batched_setup_excluded_from_iters() {
+        let mut b = Bencher::new(true);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(10.0), "10.0 ns");
+        assert_eq!(format_time(1500.0), "1.50 µs");
+        assert_eq!(format_time(2_500_000.0), "2.50 ms");
+    }
+}

@@ -50,18 +50,14 @@ fn cmm_driver_tracks_phase_changes() {
     // The Agg-set history across epochs must change as the phases flip —
     // a static one-shot classification would hold one value forever.
     let sys = phased_machine(600_000);
-    let mut ctrl = ControllerConfig::default();
-    ctrl.execution_epoch = 500_000;
+    let ctrl = ControllerConfig { execution_epoch: 500_000, ..ControllerConfig::default() };
     let mut drv = Driver::new(sys, Mechanism::CmmA, ctrl);
     drv.system_mut().run(300_000);
     drv.run_total(8_000_000);
     let history = drv.agg_history();
     assert!(history.len() >= 8, "{history:?}");
     let distinct: std::collections::HashSet<usize> = history.iter().copied().collect();
-    assert!(
-        distinct.len() >= 2,
-        "Agg-set size must vary across phases: {history:?}"
-    );
+    assert!(distinct.len() >= 2, "Agg-set size must vary across phases: {history:?}");
 }
 
 #[test]
@@ -70,8 +66,7 @@ fn partition_follows_the_aggressor_phase() {
     // compute phase it should not. Sample the mask right after epochs in
     // each phase.
     let sys = phased_machine(1_500_000);
-    let mut ctrl = ControllerConfig::default();
-    ctrl.execution_epoch = 400_000;
+    let ctrl = ControllerConfig { execution_epoch: 400_000, ..ControllerConfig::default() };
     let mut drv = Driver::new(sys, Mechanism::PrefCp, ctrl);
     drv.system_mut().run(200_000);
     let full = (1u64 << drv.system().llc_ways()) - 1;
@@ -82,5 +77,5 @@ fn partition_follows_the_aggressor_phase() {
         drv.system_mut().run(400_000);
     }
     assert!(masks.iter().any(|&m| m != full), "stream phase should partition core 0: {masks:?}");
-    assert!(masks.iter().any(|&m| m == full), "compute phase should free core 0: {masks:?}");
+    assert!(masks.contains(&full), "compute phase should free core 0: {masks:?}");
 }

@@ -76,11 +76,9 @@ fn demand_intensity_matches_declared_class() {
         let r = run_alone(b, &sys, &cfg, false, None);
         let measured = r.demand_bpc > thresholds::DEMAND_INTENSIVE_BPC;
         assert_eq!(
-            measured,
-            b.class.demand_intensive,
+            measured, b.class.demand_intensive,
             "{}: demand BW {:.3} B/cycle",
-            b.name,
-            r.demand_bpc
+            b.name, r.demand_bpc
         );
     }
 }

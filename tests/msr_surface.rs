@@ -5,7 +5,9 @@
 use cmm_core::driver::Driver;
 use cmm_core::policy::{ControllerConfig, Mechanism};
 use cmm_sim::config::SystemConfig;
-use cmm_sim::msr::{mask_is_contiguous, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL};
+use cmm_sim::msr::{
+    mask_is_contiguous, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL,
+};
 use cmm_sim::System;
 use cmm_workloads::build_mixes;
 

@@ -9,13 +9,7 @@ use cmm_sim::pmu::Pmu;
 use proptest::prelude::*;
 
 fn arb_pmu() -> impl Strategy<Value = Pmu> {
-    (
-        1_000u64..10_000_000,
-        0u64..1_000_000,
-        0u64..1_000_000,
-        0u64..1_000_000,
-        0u64..1_000_000,
-    )
+    (1_000u64..10_000_000, 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000)
         .prop_map(|(cycles, pf_req, pf_miss, dm_req, dm_miss)| Pmu {
             cycles,
             instructions: cycles / 2,
