@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <target> [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR]
-//!       [--bench-json PATH]
+//!       [--bench-json PATH] [--journal PATH]
 //!
 //! targets:
 //!   table1   Table I metrics for every benchmark (run alone)
@@ -16,6 +16,12 @@
 //!   ablate   partition-scale / epoch-ratio / QBS sensitivity studies
 //!   extension  PT vs PT-fine (per-engine throttling beyond the paper)
 //!   all      everything above (except ablate/extension)
+//!
+//! CI subcommands (no simulation):
+//!   bench-compare <baseline.json> <current.json> [--noise F]
+//!            diff two BENCH_sim.json perf logs; exit 1 on regression
+//!   journal-summary <journal.jsonl>
+//!            pretty-print a cmm-journal/1 run journal
 //! ```
 //!
 //! `--quick` shrinks durations and the per-category workload count so the
@@ -25,21 +31,28 @@
 //! `--jobs N` fans independent simulations (the (mix × mechanism) matrix,
 //! the characterisation roster, ablation points) across N threads; the
 //! default is the host core count and `--jobs 1` is the serial fallback.
-//! Table/figure output is bit-identical for every N.
+//! Table/figure output — and the run journal — is bit-identical for
+//! every N.
 //!
 //! Every run writes a machine-readable perf log (wall-clock, cells/sec,
-//! sim-cycles/sec per target) to `BENCH_sim.json` (see `--bench-json`).
+//! sim-cycles/sec per target) to `BENCH_sim.json` (see `--bench-json`)
+//! and a `cmm-journal/1` JSONL decision journal (per profiling epoch:
+//! metric cascade, Agg set, trialed configs with hm_ipc, applied winner)
+//! to `JOURNAL_sim.jsonl` (see `--journal`).
 
 use cmm_bench::ablate;
-use cmm_bench::characterize::{prefetch_impact, way_sweep, ways_needed, CharacterizeConfig};
+use cmm_bench::characterize::{
+    prefetch_impact, profile_alone, way_sweep, ways_needed, CharacterizeConfig,
+};
 use cmm_bench::figures::{self, EvalConfig, Evaluation};
 use cmm_bench::perf::BenchLog;
-use cmm_bench::report;
 use cmm_bench::runner::{default_jobs, parallel_map, Progress};
+use cmm_bench::{compare, journal, report};
 use cmm_core::backend;
 use cmm_core::experiment::ExperimentConfig;
 use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
 use cmm_core::policy::{ControllerConfig, Mechanism};
+use cmm_core::telemetry::EpochRecord;
 use cmm_sim::config::SystemConfig;
 use cmm_sim::System;
 use cmm_workloads::spec::{self, thresholds, Benchmark};
@@ -47,22 +60,29 @@ use cmm_workloads::{build_mixes, Mix};
 
 struct Args {
     target: String,
+    /// Positional operands after the target (subcommand file paths).
+    operands: Vec<String>,
     quick: bool,
     mixes: Option<usize>,
     seed: u64,
     jobs: usize,
     csv: Option<std::path::PathBuf>,
     bench_json: std::path::PathBuf,
+    journal: std::path::PathBuf,
+    noise: f64,
 }
 
 fn parse_args() -> Args {
-    let mut target = String::from("all");
+    let mut target: Option<String> = None;
+    let mut operands = Vec::new();
     let mut quick = false;
     let mut mixes = None;
     let mut seed = 42;
     let mut jobs = default_jobs();
     let mut csv = None;
     let mut bench_json = std::path::PathBuf::from("BENCH_sim.json");
+    let mut journal = std::path::PathBuf::from("JOURNAL_sim.jsonl");
+    let mut noise = compare::DEFAULT_NOISE;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -72,6 +92,12 @@ fn parse_args() -> Args {
             }
             "--bench-json" => {
                 bench_json = std::path::PathBuf::from(it.next().expect("--bench-json needs a path"))
+            }
+            "--journal" => {
+                journal = std::path::PathBuf::from(it.next().expect("--journal needs a path"))
+            }
+            "--noise" => {
+                noise = it.next().and_then(|v| v.parse().ok()).expect("--noise needs a fraction")
             }
             "--mixes" => {
                 mixes =
@@ -87,17 +113,102 @@ fn parse_args() -> Args {
                 }
             }
             "--help" | "-h" => {
-                println!("usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|all> [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR] [--bench-json PATH]");
+                println!(
+                    "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|all> \
+                     [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR] \
+                     [--bench-json PATH] [--journal PATH]\n       \
+                     repro bench-compare <baseline.json> <current.json> [--noise F]\n       \
+                     repro journal-summary <journal.jsonl>"
+                );
                 std::process::exit(0);
             }
-            t if !t.starts_with('-') => target = t.to_string(),
+            t if !t.starts_with('-') => {
+                if target.is_none() {
+                    target = Some(t.to_string());
+                } else {
+                    operands.push(t.to_string());
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
             }
         }
     }
-    Args { target, quick, mixes, seed, jobs, csv, bench_json }
+    Args {
+        target: target.unwrap_or_else(|| "all".into()),
+        operands,
+        quick,
+        mixes,
+        seed,
+        jobs,
+        csv,
+        bench_json,
+        journal,
+        noise,
+    }
+}
+
+/// `repro bench-compare <baseline> <current>`: exit 0 when within noise,
+/// 1 on any regression (or missing target), 2 on usage/parse errors.
+fn run_bench_compare(args: &Args) -> i32 {
+    let [base_path, cur_path] = match args.operands.as_slice() {
+        [b, c] => [b, c],
+        _ => {
+            eprintln!("usage: repro bench-compare <baseline.json> <current.json> [--noise F]");
+            return 2;
+        }
+    };
+    let load = |p: &str| compare::load_doc(std::path::Path::new(p));
+    let (base, cur) = match (load(base_path), load(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-compare: {e}");
+            return 2;
+        }
+    };
+    if base.quick != cur.quick {
+        eprintln!(
+            "bench-compare: warning: comparing quick={} against quick={}",
+            base.quick, cur.quick
+        );
+    }
+    let deltas = compare::compare(&base, &cur, args.noise);
+    print!("{}", compare::render(&deltas, args.noise));
+    if compare::any_regression(&deltas) {
+        eprintln!("bench-compare: REGRESSION over {base_path}");
+        1
+    } else {
+        0
+    }
+}
+
+/// `repro journal-summary <journal.jsonl>`: exit 0 on success, 2 on error.
+fn run_journal_summary(args: &Args) -> i32 {
+    let [path] = match args.operands.as_slice() {
+        [p] => [p],
+        _ => {
+            eprintln!("usage: repro journal-summary <journal.jsonl>");
+            return 2;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("journal-summary: read {path}: {e}");
+            return 2;
+        }
+    };
+    match journal::summarize(&text) {
+        Ok(summary) => {
+            print!("{summary}");
+            0
+        }
+        Err(e) => {
+            eprintln!("journal-summary: {path}: {e}");
+            2
+        }
+    }
 }
 
 /// Prints a series and, when `--csv DIR` was given, also writes it there.
@@ -151,25 +262,37 @@ fn eval_volume(cfg: &EvalConfig, mechanisms: &[Mechanism]) -> (u64, u64) {
     (cells, cycles)
 }
 
-fn table1(quick: bool, jobs: usize, log: &Progress) {
+/// One journal cell: a run label (`"table1: bwaves3d"`, `"PrefAgg-00:
+/// CMM-a"`) and its recorded controller epochs.
+type JournalCell = (String, Vec<EpochRecord>);
+
+/// Table I. Besides printing the metric table, every benchmark's run ends
+/// with one real PT profiling epoch on the still-warm machine, so the
+/// target journals genuine controller decisions (cascade, Agg verdict,
+/// throttle trials, applied winner) without changing the printed numbers.
+fn table1(quick: bool, jobs: usize, log: &Progress) -> Vec<JournalCell> {
     let (sys, cfg) = char_cfg(quick);
-    let rows: Vec<Vec<String>> = parallel_map(spec::roster(), jobs, |_, b: &Benchmark| {
-        log.cell(&format!("table1: {}", b.name), || {
-            let r = cmm_bench::characterize::run_alone(b, &sys, &cfg, true, None);
-            let m = r.metrics;
-            vec![
-                b.name.to_string(),
-                format!("{:.3}", r.ipc),
-                format!("{}", m.l2_llc_traffic),
-                format!("{:.2}", m.l2_pf_miss_frac),
-                format!("{:.4}", m.l2_ptr),
-                format!("{:.2}", m.pga),
-                format!("{:.2}", m.l2_pmr),
-                format!("{:.2}", m.l2_ppm),
-                format!("{:.3}", m.llc_pt),
-            ]
-        })
-    });
+    let ctrl = if quick { ControllerConfig::quick() } else { ControllerConfig::default() };
+    let results: Vec<(Vec<String>, JournalCell)> =
+        parallel_map(spec::roster(), jobs, |_, b: &Benchmark| {
+            log.cell(&format!("table1: {}", b.name), || {
+                let (r, epochs) = profile_alone(b, &sys, &cfg, &ctrl);
+                let m = r.metrics;
+                let row = vec![
+                    b.name.to_string(),
+                    format!("{:.3}", r.ipc),
+                    format!("{}", m.l2_llc_traffic),
+                    format!("{:.2}", m.l2_pf_miss_frac),
+                    format!("{:.4}", m.l2_ptr),
+                    format!("{:.2}", m.pga),
+                    format!("{:.2}", m.l2_pmr),
+                    format!("{:.2}", m.l2_ppm),
+                    format!("{:.3}", m.llc_pt),
+                ];
+                (row, (format!("table1: {}", b.name), epochs))
+            })
+        });
+    let (rows, cells): (Vec<Vec<String>>, Vec<JournalCell>) = results.into_iter().unzip();
     print!(
         "{}",
         report::table(
@@ -188,6 +311,7 @@ fn table1(quick: bool, jobs: usize, log: &Progress) {
             &rows,
         )
     );
+    cells
 }
 
 fn fig1(quick: bool, jobs: usize, log: &Progress) {
@@ -447,11 +571,20 @@ fn run_extension(args: &Args, log: &Progress) {
 
 fn main() {
     let args = parse_args();
+    // CI subcommands: pure file processing, no simulation, no perf log.
+    match args.target.as_str() {
+        "bench-compare" => std::process::exit(run_bench_compare(&args)),
+        "journal-summary" => std::process::exit(run_journal_summary(&args)),
+        _ => {}
+    }
     let log = Progress::new(true);
     let mut bench = BenchLog::new(args.jobs, args.quick);
     let roster_n = spec::roster().len() as u64;
     let (_, ccfg) = char_cfg(args.quick);
     let c1 = char_cycles(&ccfg);
+    // Controller decision telemetry, per (run × mechanism) cell; becomes
+    // the JSONL run journal after the target finishes.
+    let mut cells: Vec<JournalCell> = Vec::new();
     let eval_targets = [
         "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fairness",
         "overhead",
@@ -473,7 +606,7 @@ fn main() {
             bench.measure("extension", 4 * 11, 4 * per_mix, || run_extension(&args, &log));
         }
         "table1" => {
-            bench
+            cells = bench
                 .measure("table1", roster_n, roster_n * c1, || table1(args.quick, args.jobs, &log));
         }
         "fig1" => {
@@ -499,12 +632,13 @@ fn main() {
         t if eval_targets.contains(&t) => {
             let cfg = eval_cfg(&args);
             let mechs = needed_mechanisms(t);
-            let (cells, cycles) = eval_volume(&cfg, &mechs);
-            let eval = bench.measure(t, cells, cycles, || figures::evaluate(&mechs, &cfg, true));
+            let (n_cells, cycles) = eval_volume(&cfg, &mechs);
+            let eval = bench.measure(t, n_cells, cycles, || figures::evaluate(&mechs, &cfg, true));
             print_eval_target(t, &eval, &args.csv);
+            cells = journal::eval_cells(&eval);
         }
         "all" => {
-            bench
+            cells = bench
                 .measure("table1", roster_n, roster_n * c1, || table1(args.quick, args.jobs, &log));
             bench.measure("fig1", 2 * roster_n, 2 * roster_n * c1, || {
                 fig1(args.quick, args.jobs, &log)
@@ -520,12 +654,13 @@ fn main() {
             bench.measure("fig5", 1, f5_cycles, || fig5(args.quick));
             let cfg = eval_cfg(&args);
             let mechs = Mechanism::all_managed().to_vec();
-            let (cells, cycles) = eval_volume(&cfg, &mechs);
-            let eval =
-                bench.measure("evaluate", cells, cycles, || figures::evaluate(&mechs, &cfg, true));
+            let (n_cells, cycles) = eval_volume(&cfg, &mechs);
+            let eval = bench
+                .measure("evaluate", n_cells, cycles, || figures::evaluate(&mechs, &cfg, true));
             for t in eval_targets {
                 print_eval_target(t, &eval, &args.csv);
             }
+            cells.extend(journal::eval_cells(&eval));
         }
         other => {
             eprintln!("unknown target {other}; try --help");
@@ -535,5 +670,27 @@ fn main() {
     match bench.write(&args.bench_json) {
         Ok(()) => eprintln!("[repro] wrote {}", args.bench_json.display()),
         Err(e) => eprintln!("[repro] bench log failed: {e}"),
+    }
+    // The run journal: manifest + every recorded controller epoch. Targets
+    // without a control loop (fig1–fig5, ablate, extension) still get the
+    // manifest line, so downstream tooling can always read the file.
+    let meta = journal::JournalMeta {
+        target: args.target.clone(),
+        quick: args.quick,
+        seed: args.seed,
+        config_debug: format!(
+            "target={};quick={};seed={};mixes={:?};exp={:?};char={:?};ctrl={:?}",
+            args.target,
+            args.quick,
+            args.seed,
+            args.mixes,
+            if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() },
+            ccfg,
+            if args.quick { ControllerConfig::quick() } else { ControllerConfig::default() },
+        ),
+    };
+    match journal::write(&args.journal, &journal::manifest(&meta), &cells) {
+        Ok(n) => eprintln!("[repro] wrote {} ({n} epochs)", args.journal.display()),
+        Err(e) => eprintln!("[repro] journal failed: {e}"),
     }
 }

@@ -4,7 +4,10 @@
 //! hierarchy (the paper's characterisation methodology), once with all
 //! prefetchers on and once with them off, plus a CAT way sweep for Fig. 3.
 
+use cmm_core::driver::Driver;
 use cmm_core::frontend::{self, Metrics};
+use cmm_core::policy::{ControllerConfig, Mechanism};
+use cmm_core::telemetry::EpochRecord;
 use cmm_sim::config::SystemConfig;
 use cmm_sim::msr::contiguous_mask;
 use cmm_sim::workload::Workload;
@@ -75,6 +78,18 @@ pub fn run_alone(
     prefetch_on: bool,
     ways: Option<u32>,
 ) -> AloneRun {
+    run_alone_keep(bench, sys_cfg, cfg, prefetch_on, ways).0
+}
+
+/// [`run_alone`], also returning the still-warm machine so callers can
+/// keep measuring it (e.g. [`profile_alone`]'s journal epoch).
+pub fn run_alone_keep(
+    bench: &Benchmark,
+    sys_cfg: &SystemConfig,
+    cfg: &CharacterizeConfig,
+    prefetch_on: bool,
+    ways: Option<u32>,
+) -> (AloneRun, System) {
     let mut sys = one_core_system(bench, sys_cfg, 7);
     sys.set_prefetching(0, prefetch_on);
     if let Some(w) = ways {
@@ -88,13 +103,32 @@ pub fn run_alone(
     let d = sys.pmu(0) - before_pmu;
     let tr = sys.traffic(0);
     let cycles = d.cycles.max(1) as f64;
-    AloneRun {
+    let run = AloneRun {
         ipc: d.ipc(),
         demand_bpc: (tr.demand_bytes - before_tr.demand_bytes) as f64 / cycles,
         prefetch_bpc: (tr.prefetch_bytes - before_tr.prefetch_bytes) as f64 / cycles,
         writeback_bpc: (tr.writeback_bytes - before_tr.writeback_bytes) as f64 / cycles,
         metrics: frontend::metrics(&d),
-    }
+    };
+    (run, sys)
+}
+
+/// Measures `bench` like [`run_alone`] (prefetchers on, no way cap), then
+/// runs one real PT profiling epoch on the still-warm machine so the
+/// measurement also yields journal telemetry (detected `Agg` set, trialed
+/// configurations with `hm_ipc`, applied winner). The measured numbers are
+/// identical to [`run_alone`]'s — the controller only touches the machine
+/// after the measurement window closes.
+pub fn profile_alone(
+    bench: &Benchmark,
+    sys_cfg: &SystemConfig,
+    cfg: &CharacterizeConfig,
+    ctrl: &ControllerConfig,
+) -> (AloneRun, Vec<EpochRecord>) {
+    let (run, sys) = run_alone_keep(bench, sys_cfg, cfg, true, None);
+    let mut driver = Driver::new(sys, Mechanism::Pt, ctrl.clone());
+    driver.epoch();
+    (run, driver.take_records())
 }
 
 /// Fig. 1 / Fig. 2 row: bandwidth and IPC with and without prefetching.

@@ -1,0 +1,373 @@
+//! Assembles the `cmm-journal/1` run journal (see [`cmm_core::telemetry`])
+//! and pretty-prints it back (`repro journal-summary`).
+//!
+//! The journal is JSONL: one manifest line (schema, target, seed, git SHA,
+//! host, config digest) followed by one line per controller profiling
+//! epoch. Rendering delegates to [`cmm_core::telemetry`]; this module adds
+//! the run-level context (git SHA discovery, host info), the deterministic
+//! cell ordering for `evaluate` results, and the summary view.
+
+use std::path::{Path, PathBuf};
+
+use cmm_core::telemetry::{config_digest, EpochRecord, Manifest};
+
+use crate::figures::Evaluation;
+use crate::json::{parse, Json};
+
+/// What a harness knows about the run it is journaling.
+#[derive(Debug, Clone)]
+pub struct JournalMeta {
+    /// Repro target (`"table1"`, `"fig7"`, `"all"`, …).
+    pub target: String,
+    /// Whether the `--quick` durations were used.
+    pub quick: bool,
+    /// Mix-construction seed.
+    pub seed: u64,
+    /// Canonical (Debug) rendering of the run's configuration; only its
+    /// digest lands in the journal.
+    pub config_debug: String,
+}
+
+/// Builds the manifest line's data from the meta plus the environment.
+pub fn manifest(meta: &JournalMeta) -> Manifest {
+    Manifest {
+        target: meta.target.clone(),
+        quick: meta.quick,
+        seed: meta.seed,
+        git_sha: git_sha().unwrap_or_else(|| "unknown".into()),
+        host_os: std::env::consts::OS.to_string(),
+        host_arch: std::env::consts::ARCH.to_string(),
+        host_cpus: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        config_digest: config_digest(&meta.config_debug),
+    }
+}
+
+/// The commit SHA of the working tree, read straight from `.git` (no git
+/// binary dependency): follows `HEAD` through one level of symref, falling
+/// back to `packed-refs`. `None` when not in a git checkout.
+pub fn git_sha() -> Option<String> {
+    let mut dir: PathBuf = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git/HEAD");
+        if head.is_file() {
+            return resolve_head(&dir.join(".git"), &head);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn resolve_head(git_dir: &Path, head: &Path) -> Option<String> {
+    let content = std::fs::read_to_string(head).ok()?;
+    let content = content.trim();
+    if let Some(refname) = content.strip_prefix("ref: ") {
+        if let Ok(sha) = std::fs::read_to_string(git_dir.join(refname)) {
+            return Some(sha.trim().to_string());
+        }
+        // Ref not loose — look it up in packed-refs.
+        let packed = std::fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(sha) = line.strip_suffix(refname) {
+                return Some(sha.trim().to_string());
+            }
+        }
+        None
+    } else {
+        // Detached HEAD: the SHA itself.
+        Some(content.to_string())
+    }
+}
+
+/// Renders a complete journal: manifest first, then every cell's epochs in
+/// the order given. Each `(run, epochs)` cell labels its records with the
+/// run string (e.g. `"PrefAgg-00: CMM-a"`).
+pub fn render(man: &Manifest, cells: &[(String, Vec<EpochRecord>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&man.to_json_line());
+    out.push('\n');
+    for (run, epochs) in cells {
+        for r in epochs {
+            out.push_str(&r.to_json_line(run));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes the journal to `path` (truncating). Returns the epoch-line count.
+pub fn write(
+    path: &Path,
+    man: &Manifest,
+    cells: &[(String, Vec<EpochRecord>)],
+) -> std::io::Result<usize> {
+    std::fs::write(path, render(man, cells))?;
+    Ok(cells.iter().map(|(_, e)| e.len()).sum())
+}
+
+/// Extracts the journal cells from an [`Evaluation`], in the harness's
+/// canonical order: per mix, the baseline first, then the evaluation's
+/// mechanism order — the same order `evaluate` ran (and prints) them, and
+/// independent of `--jobs`.
+pub fn eval_cells(eval: &Evaluation) -> Vec<(String, Vec<EpochRecord>)> {
+    let mut cells = Vec::new();
+    for w in &eval.workloads {
+        cells.push((
+            format!("{}: {}", w.mix.name, w.baseline.mechanism.label()),
+            w.baseline.epochs.clone(),
+        ));
+        for m in &eval.mechanisms {
+            cells.push((format!("{}: {}", w.mix.name, m.label()), w.managed[m].epochs.clone()));
+        }
+    }
+    cells
+}
+
+/// Per-run accumulator for [`summarize`].
+struct RunStats {
+    run: String,
+    mechanism: String,
+    epochs: u64,
+    agg_epochs: u64,
+    agg_core_sum: u64,
+    trials: u64,
+    winners: u64,
+    last_throttled: usize,
+    last_partitioned: usize,
+}
+
+/// Parses a journal and renders the human-readable summary: manifest
+/// context plus one row per run (epoch count, how often aggressors were
+/// detected, trials searched, final applied state).
+pub fn summarize(text: &str) -> Result<String, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty journal")?;
+    let man = parse(first).map_err(|e| format!("line 1: {e}"))?;
+    let schema = man.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "cmm-journal/1" {
+        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1)"));
+    }
+    let mut runs: Vec<RunStats> = Vec::new();
+    for (i, line) in lines {
+        let rec = parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if rec.get("kind").and_then(Json::as_str) != Some("epoch") {
+            continue;
+        }
+        let run = rec.get("run").and_then(Json::as_str).unwrap_or("?").to_string();
+        let stats = match runs.iter_mut().find(|r| r.run == run) {
+            Some(s) => s,
+            None => {
+                runs.push(RunStats {
+                    run: run.clone(),
+                    mechanism: rec
+                        .get("mechanism")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    epochs: 0,
+                    agg_epochs: 0,
+                    agg_core_sum: 0,
+                    trials: 0,
+                    winners: 0,
+                    last_throttled: 0,
+                    last_partitioned: 0,
+                });
+                runs.last_mut().unwrap()
+            }
+        };
+        stats.epochs += 1;
+        let agg_len = rec.get("agg").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0);
+        if agg_len > 0 {
+            stats.agg_epochs += 1;
+            stats.agg_core_sum += agg_len as u64;
+        }
+        stats.trials +=
+            rec.get("trials").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0) as u64;
+        if rec.get("winner").and_then(Json::as_u64).is_some() {
+            stats.winners += 1;
+        }
+        if let Some(applied) = rec.get("applied") {
+            stats.last_throttled = applied
+                .get("prefetch")
+                .and_then(Json::as_array)
+                .map(|v| v.iter().filter(|p| p.as_bool() == Some(false)).count())
+                .unwrap_or(0);
+            // "Partitioned" = not every core shares one identical mask.
+            stats.last_partitioned = applied
+                .get("way_mask")
+                .and_then(Json::as_array)
+                .map(|v| {
+                    let first = v.first().and_then(Json::as_u64);
+                    if v.iter().all(|m| m.as_u64() == first) {
+                        0
+                    } else {
+                        v.len()
+                    }
+                })
+                .unwrap_or(0);
+        }
+    }
+
+    let mut out = String::new();
+    let field = |k: &str| man.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+    let target = field("target");
+    let quick = man.get("quick").and_then(Json::as_bool).unwrap_or(false);
+    let seed = man.get("seed").and_then(Json::as_u64).unwrap_or(0);
+    let host = man.get("host");
+    out.push_str(&format!(
+        "journal: target={target} quick={quick} seed={seed} git={} host={}/{} cpus={} {}\n",
+        field("git_sha"),
+        host.and_then(|h| h.get("os")).and_then(Json::as_str).unwrap_or("?"),
+        host.and_then(|h| h.get("arch")).and_then(Json::as_str).unwrap_or("?"),
+        host.and_then(|h| h.get("cpus")).and_then(Json::as_u64).unwrap_or(0),
+        field("config_digest"),
+    ));
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let mean_agg = if r.agg_epochs > 0 {
+                format!("{:.1}", r.agg_core_sum as f64 / r.agg_epochs as f64)
+            } else {
+                "-".into()
+            };
+            vec![
+                r.run.clone(),
+                r.mechanism.clone(),
+                r.epochs.to_string(),
+                format!("{}/{}", r.agg_epochs, r.epochs),
+                mean_agg,
+                r.trials.to_string(),
+                r.winners.to_string(),
+                r.last_throttled.to_string(),
+                if r.last_partitioned > 0 { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    out.push_str(&crate::report::table(
+        &format!("journal-summary — {} runs, {} epochs", runs.len(), {
+            runs.iter().map(|r| r.epochs).sum::<u64>()
+        }),
+        &[
+            "run",
+            "mechanism",
+            "epochs",
+            "agg-epochs",
+            "mean|Agg|",
+            "trials",
+            "winners",
+            "throttled",
+            "partitioned",
+        ],
+        &rows,
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_core::frontend::Metrics;
+    use cmm_core::telemetry::{CoreSample, Trial};
+    use cmm_sim::system::CoreControl;
+
+    fn record(epoch: u64, trials: usize) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            cycle: epoch * 100_000,
+            mechanism: "CMM-a",
+            cores: vec![CoreSample {
+                ipc: 1.0,
+                metrics: Metrics {
+                    l2_llc_traffic: 10,
+                    l2_pf_miss_frac: 0.5,
+                    l2_ptr: 0.01,
+                    pga: 2.0,
+                    l2_pmr: 0.7,
+                    l2_ppm: 3.0,
+                    llc_pt: 1.0,
+                },
+            }],
+            agg: vec![0],
+            friendly: vec![],
+            unfriendly: vec![0],
+            trials: (0..trials)
+                .map(|i| Trial { msr_1a4: vec![0xF * (i as u64 % 2)], hm_ipc: 1.0 + i as f64 })
+                .collect(),
+            winner: if trials > 0 { Some(trials - 1) } else { None },
+            applied: vec![
+                CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF },
+                CoreControl { clos: 0, way_mask: 0xFFFFF, msr_1a4: 0x0 },
+            ],
+        }
+    }
+
+    fn meta() -> JournalMeta {
+        JournalMeta { target: "test".into(), quick: true, seed: 3, config_debug: "cfg".into() }
+    }
+
+    #[test]
+    fn rendered_journal_round_trips_through_summarize() {
+        let man = manifest(&meta());
+        let cells = vec![
+            ("Mix-00: Baseline".to_string(), vec![record(1, 0)]),
+            ("Mix-00: CMM-a".to_string(), vec![record(1, 2), record(2, 3)]),
+        ];
+        let text = render(&man, &cells);
+        assert_eq!(text.lines().count(), 4);
+        let summary = summarize(&text).expect("summary");
+        assert!(summary.contains("target=test"), "{summary}");
+        assert!(summary.contains("Mix-00: CMM-a"), "{summary}");
+        assert!(summary.contains("2 runs, 3 epochs"), "{summary}");
+        // CMM row: 2 epochs, 5 trials, 2 winners, 1 throttled core,
+        // partitioned.
+        assert!(summary.contains('5'), "{summary}");
+        assert!(summary.contains("yes"), "{summary}");
+    }
+
+    #[test]
+    fn every_journal_line_is_valid_json() {
+        let man = manifest(&meta());
+        let text = render(&man, &[("r".to_string(), vec![record(1, 1)])]);
+        for line in text.lines() {
+            parse(line).unwrap_or_else(|e| panic!("invalid line {line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn manifest_reflects_environment() {
+        let man = manifest(&meta());
+        assert_eq!(man.host_os, std::env::consts::OS);
+        assert!(man.host_cpus >= 1);
+        assert!(man.config_digest.starts_with("fnv1a:"));
+        // Running inside the repo's checkout, the SHA must resolve.
+        assert_ne!(man.git_sha, "");
+    }
+
+    #[test]
+    fn git_sha_resolves_in_this_checkout() {
+        let sha = git_sha().expect("repo checkout");
+        assert!(sha.len() >= 7, "sha {sha}");
+        assert!(sha.chars().all(|c| c.is_ascii_hexdigit()), "sha {sha}");
+    }
+
+    #[test]
+    fn summarize_rejects_garbage() {
+        assert!(summarize("").is_err());
+        assert!(summarize("{\"schema\":\"other\"}").is_err());
+        assert!(summarize("not json").is_err());
+    }
+
+    #[test]
+    fn write_reports_epoch_count() {
+        let dir = std::env::temp_dir().join("cmm_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let man = manifest(&meta());
+        let n = write(&path, &man, &[("r".to_string(), vec![record(1, 0), record(2, 1)])])
+            .expect("write");
+        assert_eq!(n, 2);
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back.lines().count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

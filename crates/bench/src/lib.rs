@@ -14,14 +14,24 @@
 //!
 //! * [`ablate`] — sensitivity studies of the 1.5× partition rule, the
 //!   epoch:sampling ratio and the substrate's QBS policy.
+//! * [`journal`] — assembles the `cmm-journal/1` JSONL run journal from
+//!   the controller's per-epoch telemetry, and summarizes it back.
+//! * [`compare`] — the `bench-compare` perf regression gate over
+//!   `BENCH_sim.json` logs.
+//! * [`json`] — minimal JSON reader for the harness's own artifacts (the
+//!   build environment has no serde).
 //!
-//! The `repro` binary exposes one subcommand per table/figure:
-//! `repro fig7`, `repro table1`, `repro ablate`, `repro all --quick`, …
+//! The `repro` binary exposes one subcommand per table/figure plus the CI
+//! entry points: `repro fig7`, `repro table1`, `repro all --quick`,
+//! `repro bench-compare base.json cur.json`, `repro journal-summary …`
 
 pub mod ablate;
 pub mod characterize;
+pub mod compare;
 pub mod export;
 pub mod figures;
+pub mod journal;
+pub mod json;
 pub mod perf;
 pub mod report;
 pub mod runner;

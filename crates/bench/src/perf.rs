@@ -185,4 +185,20 @@ mod tests {
         assert_eq!(json_f64(f64::NAN), "0.0");
         assert!(json_f64(1.5).starts_with("1.5"));
     }
+
+    #[test]
+    fn log_round_trips_through_the_json_reader() {
+        // The written document must stay readable by crate::json — the
+        // same path `repro bench-compare` takes.
+        let mut log = BenchLog::new(2, true);
+        log.measure("fig\"odd\"", 7, 1_000_000, || ());
+        let doc = crate::json::parse(&log.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("schema").and_then(crate::json::Json::as_str), Some("cmm-bench-sim/1"));
+        assert_eq!(doc.get("jobs").and_then(crate::json::Json::as_u64), Some(2));
+        let targets = doc.get("targets").and_then(crate::json::Json::as_array).unwrap();
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].get("name").and_then(crate::json::Json::as_str), Some("fig\"odd\""));
+        assert_eq!(targets[0].get("cells").and_then(crate::json::Json::as_u64), Some(7));
+        assert!(targets[0].get("wall_s").and_then(crate::json::Json::as_f64).unwrap() >= 0.0);
+    }
 }

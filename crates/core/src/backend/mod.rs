@@ -164,25 +164,41 @@ pub fn detect(
     Detection { interval1, agg, friendly, unfriendly, profiling_cycles: 2 * ctrl.sampling_interval }
 }
 
+/// Outcome of a throttling search: the applied winner plus the full trial
+/// log the telemetry journal records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThrottleSearch {
+    /// The winning per-core prefetch enable vector (already applied).
+    pub best: Vec<bool>,
+    /// Cycles spent on trial intervals.
+    pub cycles: u64,
+    /// Every trialed configuration with its `hm_ipc`, in trial order.
+    pub trials: Vec<crate::telemetry::Trial>,
+    /// Index of the winner in `trials`; `None` when no trial ran.
+    pub winner: Option<usize>,
+}
+
 /// Searches the on/off space over `groups` of cores, one sampling interval
 /// per setting, ranking by `hm_ipc` (the paper's "best" criterion — the
 /// reciprocal of ANTT up to the unknown run-alone IPCs). Cores outside the
-/// groups keep their prefetchers on. Applies and returns the winning
-/// enable vector, plus the cycles spent.
+/// groups keep their prefetchers on. Applies the winning enable vector and
+/// returns it together with the per-trial log.
 pub fn search_throttle(
     sys: &mut System,
     groups: &[Vec<usize>],
     sampling_interval: u64,
-) -> (Vec<bool>, u64) {
+) -> ThrottleSearch {
     let n = sys.num_cores();
     let all_on = vec![true; n];
     if groups.is_empty() {
         apply_prefetch(sys, &all_on);
-        return (all_on, 0);
+        return ThrottleSearch { best: all_on, cycles: 0, trials: Vec::new(), winner: None };
     }
     let mut best = all_on.clone();
     let mut best_hm = f64::NEG_INFINITY;
+    let mut winner = 0;
     let mut spent = 0;
+    let mut trials = Vec::with_capacity(1 << groups.len());
     for combo in 0..(1u32 << groups.len()) {
         let mut enabled = all_on.clone();
         for (g, cores) in groups.iter().enumerate() {
@@ -196,26 +212,44 @@ pub fn search_throttle(
         let deltas = sample(sys, sampling_interval);
         spent += sampling_interval;
         let hm = sample_hm_ipc(&deltas);
+        trials.push(crate::telemetry::Trial {
+            msr_1a4: enabled.iter().map(|&on| if on { 0x0 } else { 0xF }).collect(),
+            hm_ipc: hm,
+        });
         if hm > best_hm {
             best_hm = hm;
+            winner = trials.len() - 1;
             best = enabled;
         }
     }
     apply_prefetch(sys, &best);
-    (best, spent)
+    ThrottleSearch { best, cycles: spent, trials, winner: Some(winner) }
+}
+
+/// Outcome of a level-granular throttling search (the PT-fine extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSearch {
+    /// The winning per-core MSR 0x1A4 image (already applied).
+    pub best: Vec<u64>,
+    /// Cycles spent on trial intervals.
+    pub cycles: u64,
+    /// Every trialed configuration with its `hm_ipc`, in trial order.
+    pub trials: Vec<crate::telemetry::Trial>,
+    /// Index of the winner in `trials`; `None` when no trial ran.
+    pub winner: Option<usize>,
 }
 
 /// Generalised throttling search over arbitrary per-group MSR 0x1A4
 /// *levels* (used by the PT-fine extension): tries every combination of
 /// `levels` across `groups`, one sampling interval each, ranked by
 /// `hm_ipc`. Cores outside the groups keep all prefetchers on. Applies
-/// and returns the winning per-core MSR image vector plus cycles spent.
+/// the winning per-core MSR image and returns it with the trial log.
 pub fn search_throttle_levels(
     sys: &mut System,
     groups: &[Vec<usize>],
     levels: &[u64],
     sampling_interval: u64,
-) -> (Vec<u64>, u64) {
+) -> LevelSearch {
     use cmm_sim::msr::MSR_MISC_FEATURE_CONTROL;
     let n = sys.num_cores();
     let all_on = vec![0u64; n];
@@ -224,12 +258,14 @@ pub fn search_throttle_levels(
         for core in 0..n {
             sys.write_msr(core, MSR_MISC_FEATURE_CONTROL, 0).expect("core in range");
         }
-        return (all_on, 0);
+        return LevelSearch { best: all_on, cycles: 0, trials: Vec::new(), winner: None };
     }
     let combos = levels.len().pow(groups.len() as u32);
     let mut best = all_on.clone();
     let mut best_hm = f64::NEG_INFINITY;
+    let mut winner = 0;
     let mut spent = 0;
+    let mut trials = Vec::with_capacity(combos);
     for combo in 0..combos {
         let mut image = all_on.clone();
         let mut c = combo;
@@ -246,15 +282,17 @@ pub fn search_throttle_levels(
         let deltas = sample(sys, sampling_interval);
         spent += sampling_interval;
         let hm = sample_hm_ipc(&deltas);
+        trials.push(crate::telemetry::Trial { msr_1a4: image.clone(), hm_ipc: hm });
         if hm > best_hm {
             best_hm = hm;
+            winner = trials.len() - 1;
             best = image;
         }
     }
     for (core, &msr) in best.iter().enumerate() {
         sys.write_msr(core, MSR_MISC_FEATURE_CONTROL, msr).expect("core in range");
     }
-    (best, spent)
+    LevelSearch { best, cycles: spent, trials, winner: Some(winner) }
 }
 
 /// Groups `agg` cores for throttling: exhaustive (each core its own group)

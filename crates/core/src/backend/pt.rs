@@ -23,6 +23,10 @@ pub struct PtOutcome {
     pub prefetch_on: Vec<bool>,
     /// Cycles spent profiling (detection + search intervals).
     pub profiling_cycles: u64,
+    /// Every trialed configuration with its `hm_ipc` (telemetry).
+    pub trials: Vec<crate::telemetry::Trial>,
+    /// Index of the applied winner in `trials`; `None` when no search ran.
+    pub winner: Option<usize>,
 }
 
 /// PT-fine (extension): like [`profile`], but each throttle group is
@@ -40,10 +44,15 @@ pub fn profile_fine(
         2, // exhaustive limit: per-core groups only up to 2 cores
         2,
     );
-    let (msrs, search_cycles) =
-        search_throttle_levels(sys, &groups, &FINE_LEVELS, ctrl.sampling_interval);
-    let profiling_cycles = detection.profiling_cycles + search_cycles;
-    PtOutcome { detection, prefetch_on: msrs.iter().map(|&m| m != 0xF).collect(), profiling_cycles }
+    let search = search_throttle_levels(sys, &groups, &FINE_LEVELS, ctrl.sampling_interval);
+    let profiling_cycles = detection.profiling_cycles + search.cycles;
+    PtOutcome {
+        detection,
+        prefetch_on: search.best.iter().map(|&m| m != 0xF).collect(),
+        profiling_cycles,
+        trials: search.trials,
+        winner: search.winner,
+    }
 }
 
 /// Runs PT's full profiling epoch and applies the winner.
@@ -59,9 +68,15 @@ pub fn profile(
         ctrl.exhaustive_limit,
         ctrl.throttle_groups,
     );
-    let (prefetch_on, search_cycles) = search_throttle(sys, &groups, ctrl.sampling_interval);
-    let profiling_cycles = detection.profiling_cycles + search_cycles;
-    PtOutcome { detection, prefetch_on, profiling_cycles }
+    let search = search_throttle(sys, &groups, ctrl.sampling_interval);
+    let profiling_cycles = detection.profiling_cycles + search.cycles;
+    PtOutcome {
+        detection,
+        prefetch_on: search.best,
+        profiling_cycles,
+        trials: search.trials,
+        winner: search.winner,
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 use crate::backend::{self, cmm, cp, dunn, pt, PartitionPlan};
 use crate::frontend::DetectorConfig;
 use crate::policy::{ControllerConfig, Mechanism};
+use crate::telemetry::{CoreSample, EpochRecord, Trial};
+use cmm_sim::pmu::PmuDelta;
 use cmm_sim::System;
 
 /// Drives one [`System`] under one [`Mechanism`].
@@ -26,6 +28,8 @@ pub struct Driver {
     overhead_cycles: u64,
     /// Agg-set size observed at each profiling epoch (diagnostics).
     agg_history: Vec<usize>,
+    /// Full per-epoch decision telemetry (see [`crate::telemetry`]).
+    records: Vec<EpochRecord>,
 }
 
 impl Driver {
@@ -45,6 +49,7 @@ impl Driver {
             epochs: 0,
             overhead_cycles: 0,
             agg_history: Vec::new(),
+            records: Vec::new(),
         }
     }
 
@@ -74,6 +79,17 @@ impl Driver {
         &self.agg_history
     }
 
+    /// Per-epoch decision telemetry recorded so far, in epoch order.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Drains the recorded telemetry (harnesses call this once per run to
+    /// move the records into the run journal).
+    pub fn take_records(&mut self) -> Vec<EpochRecord> {
+        std::mem::take(&mut self.records)
+    }
+
     /// Fraction of machine time spent in the controller itself.
     pub fn overhead_ratio(&self) -> f64 {
         if self.sys.now() == 0 {
@@ -99,14 +115,23 @@ impl Driver {
 
     /// Runs exactly one profiling epoch (decision + application), without
     /// the following execution epoch. Exposed for tests and examples.
+    /// Every epoch appends one [`EpochRecord`] to [`Driver::records`].
     pub fn epoch(&mut self) {
         self.epochs += 1;
+        let epoch_start = self.sys.now();
         if self.mechanism != Mechanism::Baseline {
             self.overhead_cycles += self.ctrl.overhead_cycles;
         }
         let n = self.sys.num_cores();
         let ways = self.sys.llc_ways();
         let min_pc = backend::min_ways_per_core(self.sys.config());
+        // Per-branch decision data, folded into one record at the end.
+        let mut cores: Vec<CoreSample> = Vec::new();
+        let mut agg: Vec<usize> = Vec::new();
+        let mut friendly: Vec<usize> = Vec::new();
+        let mut unfriendly: Vec<usize> = Vec::new();
+        let mut trials: Vec<Trial> = Vec::new();
+        let mut winner: Option<usize> = None;
         match self.mechanism {
             Mechanism::Baseline => {
                 // No control: prefetchers on, flat CAT — enforced once so a
@@ -117,10 +142,22 @@ impl Driver {
             Mechanism::Pt => {
                 let out = pt::profile(&mut self.sys, &self.ctrl, &self.det_cfg);
                 self.agg_history.push(out.detection.agg.len());
+                cores = samples_of(&out.detection.interval1);
+                agg = out.detection.agg;
+                friendly = out.detection.friendly;
+                unfriendly = out.detection.unfriendly;
+                trials = out.trials;
+                winner = out.winner;
             }
             Mechanism::PtFine => {
                 let out = pt::profile_fine(&mut self.sys, &self.ctrl, &self.det_cfg);
                 self.agg_history.push(out.detection.agg.len());
+                cores = samples_of(&out.detection.interval1);
+                agg = out.detection.agg;
+                friendly = out.detection.friendly;
+                unfriendly = out.detection.unfriendly;
+                trials = out.trials;
+                winner = out.winner;
             }
             Mechanism::Dunn => {
                 // Dunn observes one all-on interval and clusters stalls.
@@ -129,6 +166,7 @@ impl Driver {
                 let d1 = backend::sample(&mut self.sys, self.ctrl.sampling_interval);
                 dunn::dunn_plan(&d1, ways, self.ctrl.dunn_clusters).apply(&mut self.sys);
                 self.agg_history.push(0);
+                cores = samples_of(&d1);
             }
             Mechanism::PrefCp | Mechanism::PrefCp2 => {
                 PartitionPlan::flat(n, ways).apply(&mut self.sys);
@@ -140,6 +178,10 @@ impl Driver {
                 };
                 plan.apply(&mut self.sys);
                 self.agg_history.push(det.agg.len());
+                cores = samples_of(&det.interval1);
+                agg = det.agg;
+                friendly = det.friendly;
+                unfriendly = det.unfriendly;
             }
             Mechanism::CmmA | Mechanism::CmmB | Mechanism::CmmC => {
                 let variant = match self.mechanism {
@@ -150,6 +192,7 @@ impl Driver {
                 PartitionPlan::flat(n, ways).apply(&mut self.sys);
                 let det = backend::detect(&mut self.sys, &self.ctrl, &self.det_cfg);
                 self.agg_history.push(det.agg.len());
+                cores = samples_of(&det.interval1);
                 match cmm::cmm_plan(variant, &det, n, ways, self.ctrl.partition_scale, min_pc) {
                     Some(plan) => {
                         // Coordinated order per the paper: partition first,
@@ -162,11 +205,13 @@ impl Driver {
                             self.ctrl.exhaustive_limit,
                             self.ctrl.throttle_groups,
                         );
-                        backend::search_throttle(
+                        let search = backend::search_throttle(
                             &mut self.sys,
                             &groups,
                             self.ctrl.sampling_interval,
                         );
+                        trials = search.trials;
+                        winner = search.winner;
                     }
                     None => {
                         // Fig. 6 (d): empty Agg set ⇒ Dunn partitioning.
@@ -174,9 +219,32 @@ impl Driver {
                         dunn::dunn_plan(d1, ways, self.ctrl.dunn_clusters).apply(&mut self.sys);
                     }
                 }
+                agg = det.agg;
+                friendly = det.friendly;
+                unfriendly = det.unfriendly;
             }
         }
+        self.records.push(EpochRecord {
+            epoch: self.epochs,
+            cycle: epoch_start,
+            mechanism: self.mechanism.label(),
+            cores,
+            agg,
+            friendly,
+            unfriendly,
+            trials,
+            winner,
+            applied: self.sys.control_state(),
+        });
     }
+}
+
+/// Per-core [`CoreSample`]s (IPC + metric cascade) of one interval.
+fn samples_of(deltas: &[PmuDelta]) -> Vec<CoreSample> {
+    deltas
+        .iter()
+        .map(|d| CoreSample { ipc: d.ipc(), metrics: crate::frontend::metrics(d) })
+        .collect()
 }
 
 #[cfg(test)]
@@ -273,5 +341,68 @@ mod tests {
         let mut drv = Driver::new(sys, Mechanism::Pt, ControllerConfig::quick());
         drv.run_total(300_000);
         assert!(drv.system().now() >= 300_000);
+    }
+
+    #[test]
+    fn cmm_records_trials_and_winner() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::CmmA, ControllerConfig::quick());
+        drv.run_total(1_200_000);
+        let recs = drv.records();
+        assert_eq!(recs.len() as u64, drv.epochs());
+        // Some epoch detected aggressors and searched throttle settings.
+        let searched = recs.iter().find(|r| !r.trials.is_empty()).expect("no trials recorded");
+        assert_eq!(searched.mechanism, "CMM-a");
+        assert!(!searched.agg.is_empty());
+        let w = searched.winner.expect("search must pick a winner");
+        let best = searched.trials[w].hm_ipc;
+        assert!(searched.trials.iter().all(|t| t.hm_ipc <= best), "winner must rank first");
+        // Cascade samples cover every core, and the applied state matches
+        // the machine.
+        assert_eq!(searched.cores.len(), 4);
+        let last = recs.last().unwrap();
+        assert_eq!(last.applied.len(), 4);
+        for c in 0..4 {
+            assert_eq!(last.applied[c].way_mask, drv.system().effective_mask(c));
+            assert_eq!(last.applied[c].prefetching(), drv.system().prefetching_enabled(c));
+        }
+    }
+
+    #[test]
+    fn baseline_records_epochs_without_decisions() {
+        let sys = system_with(&["povray_rt", "gobmk_ai"]);
+        let mut drv = Driver::new(sys, Mechanism::Baseline, ControllerConfig::quick());
+        drv.run_total(500_000);
+        assert!(!drv.records().is_empty());
+        for r in drv.records() {
+            assert!(r.cores.is_empty() && r.agg.is_empty() && r.trials.is_empty());
+            assert_eq!(r.winner, None);
+            assert_eq!(r.applied.len(), 2);
+        }
+    }
+
+    #[test]
+    fn take_records_drains() {
+        let sys = system_with(&["povray_rt", "gobmk_ai"]);
+        let mut drv = Driver::new(sys, Mechanism::Pt, ControllerConfig::quick());
+        drv.epoch();
+        let taken = drv.take_records();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].epoch, 1);
+        assert!(drv.records().is_empty());
+    }
+
+    #[test]
+    fn epoch_records_are_ordered_and_cycle_stamped() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::PrefCp, ControllerConfig::quick());
+        drv.run_total(900_000);
+        let recs = drv.records();
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.epoch, i as u64 + 1);
+        }
+        for pair in recs.windows(2) {
+            assert!(pair[0].cycle < pair[1].cycle, "cycles must advance");
+        }
     }
 }

@@ -79,6 +79,9 @@ pub struct MixResult {
     pub stalls_l2: u64,
     /// Controller overhead fraction (0 for the baseline).
     pub overhead_ratio: f64,
+    /// Per-epoch decision telemetry of the measurement window (see
+    /// [`crate::telemetry`]); feeds the `cmm-journal/1` run journal.
+    pub epochs: Vec<crate::telemetry::EpochRecord>,
 }
 
 impl MixResult {
@@ -125,6 +128,7 @@ pub fn run_mix(mix: &Mix, mechanism: Mechanism, cfg: &ExperimentConfig) -> MixRe
         mem_bytes: traffic_after - traffic_before,
         stalls_l2: deltas.iter().map(|d| d.stalls_l2_pending).sum(),
         overhead_ratio: driver.overhead_ratio(),
+        epochs: driver.take_records(),
     }
 }
 

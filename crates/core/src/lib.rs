@@ -34,6 +34,7 @@ pub mod experiment;
 pub mod frontend;
 pub mod policy;
 pub mod resctrl;
+pub mod telemetry;
 
 /// The types most users need.
 pub mod prelude {
@@ -42,4 +43,5 @@ pub mod prelude {
     pub use crate::experiment::{run_alone_ipc, run_mix, ExperimentConfig, MixResult};
     pub use crate::frontend::{detect_agg, metrics, DetectorConfig, Metrics};
     pub use crate::policy::{ControllerConfig, Mechanism};
+    pub use crate::telemetry::{CoreSample, EpochRecord, Manifest, Trial};
 }

@@ -1,0 +1,343 @@
+//! Per-epoch controller telemetry — the `cmm-journal/1` run journal.
+//!
+//! CMM's value is its control loop: every profiling epoch the front-end
+//! computes the metric cascade (M-1..M-7, Fig. 5), detects the `Agg` set,
+//! and the back-end trials candidate configurations ranked by `hm_ipc`.
+//! Before this module the only window into those decisions was scraping
+//! `println!` output. Now the [`crate::driver::Driver`] records one
+//! [`EpochRecord`] per profiling epoch — the cascade values per core, the
+//! detected sets, every trialed configuration with its `hm_ipc`, the
+//! winner, and the CAT/throttle state actually applied (read back from the
+//! machine, not inferred) — and harnesses serialize them as a JSONL
+//! journal:
+//!
+//! ```text
+//! {"schema":"cmm-journal/1","kind":"manifest","target":"table1",...}
+//! {"kind":"epoch","run":"PrefAgg-00: CMM-a","epoch":1,"cycle":...,...}
+//! ```
+//!
+//! One JSON object per line; the first line is the run manifest (git SHA,
+//! host info, config digest), every further line one epoch. The rendering
+//! is hand-rolled (the build environment has no serde) and deliberately
+//! timestamp-free: a journal is a pure function of (workload, seed,
+//! configuration), so the same run produces a byte-identical journal at
+//! any `--jobs` — which is exactly what makes it usable as a regression
+//! fixture.
+
+use crate::frontend::Metrics;
+use cmm_sim::system::CoreControl;
+
+/// One trialed back-end configuration and its rank.
+///
+/// The configuration is the per-core `MSR 0x1A4` image the trial ran with
+/// (`0x0` = all engines on, `0xF` = all off, `0x3` = the two L2 engines
+/// off) — binary throttling and the PT-fine levels share this encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Per-core prefetcher MSR image during the trial interval.
+    pub msr_1a4: Vec<u64>,
+    /// Harmonic-mean IPC observed over the trial interval (the paper's
+    /// ranking criterion).
+    pub hm_ipc: f64,
+}
+
+/// One core's sampled metrics over the detection interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreSample {
+    /// IPC over the interval.
+    pub ipc: f64,
+    /// The Table I metric cascade (M-1..M-7).
+    pub metrics: Metrics,
+}
+
+/// Everything one profiling epoch decided and applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// 1-based profiling-epoch index within the run.
+    pub epoch: u64,
+    /// Machine clock when the profiling epoch began.
+    pub cycle: u64,
+    /// Mechanism label (`"PT"`, `"CMM-a"`, …).
+    pub mechanism: &'static str,
+    /// Per-core cascade samples from the detection interval. Empty when
+    /// the mechanism does not profile (the baseline).
+    pub cores: Vec<CoreSample>,
+    /// Detected prefetch-aggressive cores, ascending.
+    pub agg: Vec<usize>,
+    /// Prefetch-friendly subset of `agg`.
+    pub friendly: Vec<usize>,
+    /// Prefetch-unfriendly subset of `agg`.
+    pub unfriendly: Vec<usize>,
+    /// Back-end trials in the order they ran. Empty for mechanisms that
+    /// never search (CP variants, Dunn, baseline).
+    pub trials: Vec<Trial>,
+    /// Index into `trials` of the applied winner; `None` when no search
+    /// ran.
+    pub winner: Option<usize>,
+    /// CAT/throttle state in force after the epoch's decision was applied,
+    /// read back from the machine.
+    pub applied: Vec<CoreControl>,
+}
+
+impl EpochRecord {
+    /// Renders the record as one JSONL line (no trailing newline).
+    /// `run` labels which (mix × mechanism) cell the epoch belongs to.
+    pub fn to_json_line(&self, run: &str) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"kind\":\"epoch\"");
+        s.push_str(&format!(",\"run\":\"{}\"", escape(run)));
+        s.push_str(&format!(",\"mechanism\":\"{}\"", escape(self.mechanism)));
+        s.push_str(&format!(",\"epoch\":{}", self.epoch));
+        s.push_str(&format!(",\"cycle\":{}", self.cycle));
+        s.push_str(",\"cores\":[");
+        for (i, c) in self.cores.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let m = &c.metrics;
+            s.push_str(&format!(
+                "{{\"ipc\":{},\"m1_l2_llc\":{},\"m2_pf_frac\":{},\"m3_ptr\":{},\
+                 \"m4_pga\":{},\"m5_pmr\":{},\"m6_ppm\":{},\"m7_llc_pt\":{}}}",
+                num(c.ipc),
+                m.l2_llc_traffic,
+                num(m.l2_pf_miss_frac),
+                num(m.l2_ptr),
+                num(m.pga),
+                num(m.l2_pmr),
+                num(m.l2_ppm),
+                num(m.llc_pt),
+            ));
+        }
+        s.push(']');
+        s.push_str(&format!(",\"agg\":{}", idx_list(&self.agg)));
+        s.push_str(&format!(",\"friendly\":{}", idx_list(&self.friendly)));
+        s.push_str(&format!(",\"unfriendly\":{}", idx_list(&self.unfriendly)));
+        s.push_str(",\"trials\":[");
+        for (i, t) in self.trials.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"msr_1a4\":{},\"hm_ipc\":{}}}",
+                u64_list(&t.msr_1a4),
+                num(t.hm_ipc)
+            ));
+        }
+        s.push(']');
+        match self.winner {
+            Some(w) => s.push_str(&format!(",\"winner\":{w}")),
+            None => s.push_str(",\"winner\":null"),
+        }
+        s.push_str(",\"applied\":{\"clos\":[");
+        push_joined(&mut s, self.applied.iter().map(|a| a.clos.to_string()));
+        s.push_str("],\"way_mask\":[");
+        push_joined(&mut s, self.applied.iter().map(|a| a.way_mask.to_string()));
+        s.push_str("],\"msr_1a4\":[");
+        push_joined(&mut s, self.applied.iter().map(|a| a.msr_1a4.to_string()));
+        s.push_str("],\"prefetch\":[");
+        push_joined(&mut s, self.applied.iter().map(|a| a.prefetching().to_string()));
+        s.push_str("]}}");
+        s
+    }
+}
+
+/// Run-level context for the journal's manifest line.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// The repro target this journal belongs to (`"table1"`, `"fig7"`, …).
+    pub target: String,
+    /// Whether the run used the `--quick` durations.
+    pub quick: bool,
+    /// Mix-construction seed.
+    pub seed: u64,
+    /// Git commit of the tree that produced the journal (or `"unknown"`).
+    pub git_sha: String,
+    /// Host operating system (`std::env::consts::OS`).
+    pub host_os: String,
+    /// Host architecture (`std::env::consts::ARCH`).
+    pub host_arch: String,
+    /// Host logical CPU count.
+    pub host_cpus: usize,
+    /// FNV-1a digest of the run's configuration (see [`config_digest`]).
+    pub config_digest: String,
+}
+
+impl Manifest {
+    /// Renders the manifest as the journal's first JSONL line (no trailing
+    /// newline). Deliberately excludes `--jobs` and wall-clock time: the
+    /// journal must be byte-identical across thread counts and runs.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"schema\":\"cmm-journal/1\",\"kind\":\"manifest\",\"target\":\"{}\",\
+             \"quick\":{},\"seed\":{},\"git_sha\":\"{}\",\
+             \"host\":{{\"os\":\"{}\",\"arch\":\"{}\",\"cpus\":{}}},\
+             \"config_digest\":\"{}\"}}",
+            escape(&self.target),
+            self.quick,
+            self.seed,
+            escape(&self.git_sha),
+            escape(&self.host_os),
+            escape(&self.host_arch),
+            self.host_cpus,
+            escape(&self.config_digest),
+        )
+    }
+}
+
+/// FNV-1a digest of a configuration's canonical (Debug) rendering —
+/// enough to tell "same config?" apart across journal files without a
+/// hash dependency.
+pub fn config_digest(canonical: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a:{h:016x}")
+}
+
+/// JSON float: finite values round-trip at 6 decimals (the journal is a
+/// decision log, not a bit-exact PMU dump); non-finite degrades to 0.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn idx_list(v: &[usize]) -> String {
+    let mut s = String::from("[");
+    push_joined(&mut s, v.iter().map(|i| i.to_string()));
+    s.push(']');
+    s
+}
+
+fn u64_list(v: &[u64]) -> String {
+    let mut s = String::from("[");
+    push_joined(&mut s, v.iter().map(|i| i.to_string()));
+    s.push(']');
+    s
+}
+
+fn push_joined(s: &mut String, items: impl Iterator<Item = String>) {
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&item);
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> EpochRecord {
+        EpochRecord {
+            epoch: 3,
+            cycle: 1_200_000,
+            mechanism: "CMM-a",
+            cores: vec![CoreSample {
+                ipc: 1.25,
+                metrics: Metrics {
+                    l2_llc_traffic: 1000,
+                    l2_pf_miss_frac: 0.9,
+                    l2_ptr: 0.01,
+                    pga: 2.5,
+                    l2_pmr: 0.8,
+                    l2_ppm: 4.0,
+                    llc_pt: 1.5,
+                },
+            }],
+            agg: vec![0],
+            friendly: vec![0],
+            unfriendly: vec![],
+            trials: vec![
+                Trial { msr_1a4: vec![0x0], hm_ipc: 1.2 },
+                Trial { msr_1a4: vec![0xF], hm_ipc: 0.9 },
+            ],
+            winner: Some(0),
+            applied: vec![CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0x0 }],
+        }
+    }
+
+    #[test]
+    fn epoch_line_contains_all_sections() {
+        let line = sample_record().to_json_line("PrefAgg-00: CMM-a");
+        assert!(line.starts_with("{\"kind\":\"epoch\""));
+        assert!(line.ends_with("}"));
+        assert!(!line.contains('\n'));
+        for key in [
+            "\"run\":\"PrefAgg-00: CMM-a\"",
+            "\"mechanism\":\"CMM-a\"",
+            "\"epoch\":3",
+            "\"cycle\":1200000",
+            "\"m4_pga\":2.500000",
+            "\"agg\":[0]",
+            "\"friendly\":[0]",
+            "\"unfriendly\":[]",
+            "\"msr_1a4\":[0]",
+            "\"hm_ipc\":1.200000",
+            "\"winner\":0",
+            "\"way_mask\":[3]",
+            "\"prefetch\":[true]",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+
+    #[test]
+    fn no_winner_serializes_as_null() {
+        let mut r = sample_record();
+        r.trials.clear();
+        r.winner = None;
+        assert!(r.to_json_line("x").contains("\"winner\":null"));
+        assert!(r.to_json_line("x").contains("\"trials\":[]"));
+    }
+
+    #[test]
+    fn manifest_line_shape() {
+        let m = Manifest {
+            target: "table1".into(),
+            quick: true,
+            seed: 42,
+            git_sha: "abc123".into(),
+            host_os: "linux".into(),
+            host_arch: "x86_64".into(),
+            host_cpus: 8,
+            config_digest: config_digest("cfg"),
+        };
+        let line = m.to_json_line();
+        assert!(line.starts_with("{\"schema\":\"cmm-journal/1\",\"kind\":\"manifest\""));
+        assert!(line.contains("\"target\":\"table1\""));
+        assert!(line.contains("\"cpus\":8"));
+        assert!(line.contains("\"config_digest\":\"fnv1a:"));
+        // No --jobs and no wall-clock: journals must not depend on either.
+        assert!(!line.contains("jobs"));
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        assert_eq!(config_digest("a"), config_digest("a"));
+        assert_ne!(config_digest("a"), config_digest("b"));
+        assert_eq!(config_digest(""), "fnv1a:cbf29ce484222325");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("a\nb"), "a\\u000ab");
+    }
+}

@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::msr::{Msr, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL};
     pub use crate::pmu::{Pmu, PmuDelta};
     pub use crate::prefetch::PrefetcherKind;
-    pub use crate::system::System;
+    pub use crate::system::{CoreControl, System};
     pub use crate::workload::{Op, Workload};
 }
 

@@ -262,6 +262,39 @@ impl System {
     pub fn effective_mask(&self, core: usize) -> u64 {
         self.cat.mask_for_core(core)
     }
+
+    /// Snapshot of the control state applied to every core — the
+    /// CAT class and way mask in force plus the raw prefetcher MSR image.
+    /// This is the "what did the controller actually program" half of the
+    /// telemetry journal; the PMU snapshots ([`System::pmu_all`]) are the
+    /// "what did the machine do" half.
+    pub fn control_state(&self) -> Vec<CoreControl> {
+        (0..self.cores.len())
+            .map(|c| CoreControl {
+                clos: self.cat.assoc(c),
+                way_mask: self.cat.mask_for_core(c),
+                msr_1a4: self.cores[c].battery.read_msr(),
+            })
+            .collect()
+    }
+}
+
+/// Applied per-core control state (see [`System::control_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreControl {
+    /// CAT class of service the core is associated with.
+    pub clos: usize,
+    /// Effective LLC way mask (the mask of `clos`).
+    pub way_mask: u64,
+    /// Raw `MSR_MISC_FEATURE_CONTROL` image (bit set = engine disabled).
+    pub msr_1a4: u64,
+}
+
+impl CoreControl {
+    /// True if any prefetch engine of the core is still enabled.
+    pub fn prefetching(&self) -> bool {
+        self.msr_1a4 != 0xF
+    }
 }
 
 #[cfg(test)]

@@ -1,33 +1,95 @@
 #!/usr/bin/env bash
-# Full CI gate: formatting, lints, release build, tests, and a smoke run
-# of the parallel repro harness on a tiny configuration.
+# Full CI gate: formatting, lints, release build, tests, and smoke runs of
+# the repro harness's three CI surfaces — tables, the run journal, and the
+# bench-compare regression gate. Prints a per-step timing summary at exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
-cargo fmt --check
+# Per-step timing: step NAME cmd... runs the command, records its wall
+# time, and the EXIT trap prints the summary even on failure.
+STEP_NAMES=()
+STEP_SECS=()
+step() {
+    local name="$1"
+    shift
+    echo "== $name"
+    local t0 t1
+    t0=$(date +%s)
+    "$@"
+    t1=$(date +%s)
+    STEP_NAMES+=("$name")
+    STEP_SECS+=($((t1 - t0)))
+}
+summary() {
+    echo "-- step timing --"
+    local i
+    for i in "${!STEP_NAMES[@]}"; do
+        printf '%6ss  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+    done
+}
 
-echo "== cargo clippy (all targets, warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "== cargo build --release"
-cargo build --release --workspace
-
-echo "== cargo test -q"
-cargo test -q
-
-echo "== cargo test -q --workspace"
-cargo test -q --workspace
-
-echo "== repro smoke (table1, 2 jobs, tiny config)"
 tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
-./target/release/repro table1 --quick --jobs 2 \
-    --bench-json "$tmp/BENCH_sim.json" > "$tmp/table1.jobs2.txt"
-./target/release/repro table1 --quick --jobs 1 \
-    --bench-json "$tmp/BENCH_sim.1.json" > "$tmp/table1.jobs1.txt"
-cmp "$tmp/table1.jobs1.txt" "$tmp/table1.jobs2.txt"
-grep -q '"schema": "cmm-bench-sim/1"' "$tmp/BENCH_sim.json"
-grep -q '"cells_per_s"' "$tmp/BENCH_sim.json"
+trap 'summary; rm -rf "$tmp"' EXIT
+
+# Single-CPU runners (small CI boxes) still exercise the parallel paths,
+# but with a matching job count so the smoke stays fast.
+CPUS="$(nproc 2>/dev/null || echo 1)"
+if [ "$CPUS" -ge 2 ]; then
+    SMOKE_JOBS=2
+else
+    SMOKE_JOBS=1
+    echo "note: single-CPU host, degrading smoke runs to --jobs 1"
+fi
+
+step "cargo fmt --check" cargo fmt --check
+step "cargo clippy (all targets, warnings are errors)" \
+    cargo clippy --workspace --all-targets -- -D warnings
+step "cargo build --release" cargo build --release --workspace
+step "cargo test" cargo test -q
+step "cargo test --workspace" cargo test -q --workspace
+
+smoke_repro() {
+    # Determinism gate: tables AND journals must be byte-identical across
+    # job counts.
+    ./target/release/repro table1 --quick --jobs "$SMOKE_JOBS" \
+        --bench-json "$tmp/BENCH_sim.json" \
+        --journal "$tmp/journal.jobsN.jsonl" > "$tmp/table1.jobsN.txt"
+    ./target/release/repro table1 --quick --jobs 1 \
+        --bench-json "$tmp/BENCH_sim.1.json" \
+        --journal "$tmp/journal.jobs1.jsonl" > "$tmp/table1.jobs1.txt"
+    cmp "$tmp/table1.jobs1.txt" "$tmp/table1.jobsN.txt"
+    cmp "$tmp/journal.jobs1.jsonl" "$tmp/journal.jobsN.jsonl"
+    grep -q '"schema": "cmm-bench-sim/1"' "$tmp/BENCH_sim.json"
+    grep -q '"cells_per_s"' "$tmp/BENCH_sim.json"
+    # The journal carries real controller decisions.
+    head -1 "$tmp/journal.jobs1.jsonl" | grep -q '"schema":"cmm-journal/1"'
+    grep -q '"kind":"epoch"' "$tmp/journal.jobs1.jsonl"
+    grep -q '"hm_ipc"' "$tmp/journal.jobs1.jsonl"
+    grep -q '"winner"' "$tmp/journal.jobs1.jsonl"
+}
+step "repro smoke (table1, $SMOKE_JOBS jobs, journal determinism)" smoke_repro
+
+smoke_journal_summary() {
+    ./target/release/repro journal-summary "$tmp/journal.jobs1.jsonl" \
+        > "$tmp/journal-summary.txt"
+    grep -q 'journal-summary' "$tmp/journal-summary.txt"
+    grep -q 'table1: ' "$tmp/journal-summary.txt"
+}
+step "repro journal-summary smoke" smoke_journal_summary
+
+smoke_bench_compare() {
+    # Identical inputs: clean pass.
+    ./target/release/repro bench-compare \
+        "$tmp/BENCH_sim.json" "$tmp/BENCH_sim.json" > /dev/null
+    # Committed 2x-slowdown fixture: the gate must fail (exit 1), even at
+    # the lenient noise threshold the noisy-runner gate uses.
+    if ./target/release/repro bench-compare \
+        benchmarks/fixtures/compare_base.json \
+        benchmarks/fixtures/compare_slow.json --noise 0.5 > /dev/null; then
+        echo "bench-compare failed to flag a 2x slowdown" >&2
+        return 1
+    fi
+}
+step "repro bench-compare smoke (pass + injected 2x regression)" smoke_bench_compare
 
 echo "CI OK"
