@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <target> [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR]
-//!       [--bench-json PATH] [--journal PATH]
+//!       [--bench-json PATH] [--journal PATH] [--fault-seed S]
 //!
 //! targets:
 //!   table1   Table I metrics for every benchmark (run alone)
@@ -15,13 +15,18 @@
 //!   overhead controller overhead accounting (paper: <0.1 %)
 //!   ablate   partition-scale / epoch-ratio / QBS sensitivity studies
 //!   extension  PT vs PT-fine (per-engine throttling beyond the paper)
-//!   all      everything above (except ablate/extension)
+//!   faults   fault-injection resilience sweep (hm_ipc vs fault rate;
+//!            exit 1 if degradation cliffs below the smoothness floor)
+//!   all      everything above (except ablate/extension/faults)
 //!
 //! CI subcommands (no simulation):
 //!   bench-compare <baseline.json> <current.json> [--noise F]
 //!            diff two BENCH_sim.json perf logs; exit 1 on regression
 //!   journal-summary <journal.jsonl>
-//!            pretty-print a cmm-journal/1 run journal
+//!            pretty-print a cmm-journal/1 or /2 run journal
+//!   journal-diff <a.jsonl> <b.jsonl>
+//!            compare two journals' per-epoch decision sequences;
+//!            exit 1 on divergence, 2 on read/parse errors
 //! ```
 //!
 //! `--quick` shrinks durations and the per-category workload count so the
@@ -36,9 +41,11 @@
 //!
 //! Every run writes a machine-readable perf log (wall-clock, cells/sec,
 //! sim-cycles/sec per target) to `BENCH_sim.json` (see `--bench-json`)
-//! and a `cmm-journal/1` JSONL decision journal (per profiling epoch:
-//! metric cascade, Agg set, trialed configs with hm_ipc, applied winner)
-//! to `JOURNAL_sim.jsonl` (see `--journal`).
+//! and a `cmm-journal/2` JSONL decision journal (per profiling epoch:
+//! metric cascade, Agg set, trialed configs with hm_ipc, applied winner,
+//! observed substrate faults and degradations) to `JOURNAL_sim.jsonl`
+//! (see `--journal`). `--fault-seed` seeds the `faults` target's injected
+//! fault schedule.
 
 use cmm_bench::ablate;
 use cmm_bench::characterize::{
@@ -47,7 +54,7 @@ use cmm_bench::characterize::{
 use cmm_bench::figures::{self, EvalConfig, Evaluation};
 use cmm_bench::perf::BenchLog;
 use cmm_bench::runner::{default_jobs, parallel_map, Progress};
-use cmm_bench::{compare, journal, report};
+use cmm_bench::{compare, diff, faults, journal, report};
 use cmm_core::backend;
 use cmm_core::experiment::ExperimentConfig;
 use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
@@ -65,6 +72,7 @@ struct Args {
     quick: bool,
     mixes: Option<usize>,
     seed: u64,
+    fault_seed: u64,
     jobs: usize,
     csv: Option<std::path::PathBuf>,
     bench_json: std::path::PathBuf,
@@ -78,6 +86,7 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut mixes = None;
     let mut seed = 42;
+    let mut fault_seed = 7;
     let mut jobs = default_jobs();
     let mut csv = None;
     let mut bench_json = std::path::PathBuf::from("BENCH_sim.json");
@@ -106,6 +115,10 @@ fn parse_args() -> Args {
             "--seed" => {
                 seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs a number")
             }
+            "--fault-seed" => {
+                fault_seed =
+                    it.next().and_then(|v| v.parse().ok()).expect("--fault-seed needs a number")
+            }
             "--jobs" => {
                 jobs = it.next().and_then(|v| v.parse().ok()).expect("--jobs needs a number");
                 if jobs == 0 {
@@ -114,11 +127,12 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|all> \
-                     [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR] \
+                    "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|faults|all> \
+                     [--quick] [--mixes N] [--seed S] [--fault-seed S] [--jobs N] [--csv DIR] \
                      [--bench-json PATH] [--journal PATH]\n       \
                      repro bench-compare <baseline.json> <current.json> [--noise F]\n       \
-                     repro journal-summary <journal.jsonl>"
+                     repro journal-summary <journal.jsonl>\n       \
+                     repro journal-diff <a.jsonl> <b.jsonl>"
                 );
                 std::process::exit(0);
             }
@@ -141,6 +155,7 @@ fn parse_args() -> Args {
         quick,
         mixes,
         seed,
+        fault_seed,
         jobs,
         csv,
         bench_json,
@@ -208,6 +223,36 @@ fn run_journal_summary(args: &Args) -> i32 {
             eprintln!("journal-summary: {path}: {e}");
             2
         }
+    }
+}
+
+/// `repro journal-diff <a> <b>`: exit 0 when the decision sequences are
+/// identical, 1 on divergence, 2 on read/parse errors.
+fn run_journal_diff(args: &Args) -> i32 {
+    let [a_path, b_path] = match args.operands.as_slice() {
+        [a, b] => [a, b],
+        _ => {
+            eprintln!("usage: repro journal-diff <a.jsonl> <b.jsonl>");
+            return 2;
+        }
+    };
+    let load = |p: &str| -> Result<diff::Decisions, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"))?;
+        diff::parse_decisions(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("journal-diff: {e}");
+            return 2;
+        }
+    };
+    let rep = diff::diff(&a, &b);
+    print!("{}", rep.render(a_path, b_path));
+    if rep.identical() {
+        0
+    } else {
+        1
     }
 }
 
@@ -575,6 +620,7 @@ fn main() {
     match args.target.as_str() {
         "bench-compare" => std::process::exit(run_bench_compare(&args)),
         "journal-summary" => std::process::exit(run_journal_summary(&args)),
+        "journal-diff" => std::process::exit(run_journal_diff(&args)),
         _ => {}
     }
     let log = Progress::new(true);
@@ -585,6 +631,9 @@ fn main() {
     // Controller decision telemetry, per (run × mechanism) cell; becomes
     // the JSONL run journal after the target finishes.
     let mut cells: Vec<JournalCell> = Vec::new();
+    // Deferred failure (the faults smoothness gate): the perf log and
+    // journal are still written before the non-zero exit.
+    let mut exit_code = 0;
     let eval_targets = [
         "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fairness",
         "overhead",
@@ -604,6 +653,32 @@ fn main() {
             let per_mix =
                 8 * (e.warmup_cycles + e.alone_cycles) + 3 * (e.warmup_cycles + e.total_cycles) * 8;
             bench.measure("extension", 4 * 11, 4 * per_mix, || run_extension(&args, &log));
+        }
+        "faults" => {
+            let e =
+                if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+            let n = faults::RATES.len() as u64;
+            let per_rate = (e.warmup_cycles + e.total_cycles) * 8;
+            let sweep = bench.measure("faults", n, n * per_rate, || {
+                faults::sweep(args.quick, args.seed, args.fault_seed, args.jobs, &log)
+            });
+            print!(
+                "{}",
+                report::table(
+                    &format!(
+                        "Fault-injection sweep — CMM-a, hm_ipc vs injected fault rate \
+                         (floor {:.2}× fault-free)",
+                        faults::SMOOTHNESS_FLOOR
+                    ),
+                    &["rate", "hm_ipc", "rel", "faults", "degraded epochs", "verdict"],
+                    &faults::rows(&sweep),
+                )
+            );
+            if !faults::passes(&sweep) {
+                eprintln!("[repro] faults: hm_ipc cliffed below the smoothness floor");
+                exit_code = 1;
+            }
+            cells = faults::journal_cells(sweep);
         }
         "table1" => {
             cells = bench
@@ -679,10 +754,11 @@ fn main() {
         quick: args.quick,
         seed: args.seed,
         config_debug: format!(
-            "target={};quick={};seed={};mixes={:?};exp={:?};char={:?};ctrl={:?}",
+            "target={};quick={};seed={};fault_seed={};mixes={:?};exp={:?};char={:?};ctrl={:?}",
             args.target,
             args.quick,
             args.seed,
+            args.fault_seed,
             args.mixes,
             if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() },
             ccfg,
@@ -692,5 +768,8 @@ fn main() {
     match journal::write(&args.journal, &journal::manifest(&meta), &cells) {
         Ok(n) => eprintln!("[repro] wrote {} ({n} epochs)", args.journal.display()),
         Err(e) => eprintln!("[repro] journal failed: {e}"),
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }

@@ -1,0 +1,140 @@
+//! `repro faults` — fault-injection resilience sweep.
+//!
+//! Runs one prefetch-aggressive mix under CMM-a while a
+//! [`cmm_core::fault::FaultySubstrate`] injects MSR write rejections, CLOS
+//! exhaustion and PMU corruption at increasing rates, and checks that
+//! harmonic-mean IPC *degrades smoothly* instead of cliffing: a controller
+//! that panics, wedges on a rejected WRMSR, or trusts a garbage PMU
+//! snapshot shows up here as a collapse relative to the fault-free run.
+//!
+//! The sweep is deterministic — fault schedules come from a seeded
+//! splitmix64 stream — so the journal cells it emits are byte-identical
+//! across `--jobs`, and CI runs it twice to prove exactly that.
+
+use crate::runner::{parallel_map, Progress};
+use cmm_core::experiment::{run_mix_with_faults, ExperimentConfig};
+use cmm_core::fault::FaultConfig;
+use cmm_core::policy::Mechanism;
+use cmm_core::telemetry::EpochRecord;
+use cmm_workloads::build_mixes;
+
+/// Fault rates swept, fault-free first (the normalisation baseline).
+pub const RATES: [f64; 5] = [0.0, 0.01, 0.05, 0.1, 0.25];
+
+/// Minimum allowed hm_ipc relative to the fault-free run at any swept
+/// rate. Transient rejections are retried and corrupt samples discarded,
+/// so even the heaviest rate must keep a large fraction of the fault-free
+/// throughput — a cliff below this is a degradation bug, not noise.
+pub const SMOOTHNESS_FLOOR: f64 = 0.5;
+
+/// One swept rate's outcome.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// Injected per-operation fault rate.
+    pub rate: f64,
+    /// Harmonic-mean IPC over the measurement window.
+    pub hm_ipc: f64,
+    /// Total substrate faults the controller observed and journaled.
+    pub faults: u64,
+    /// Profiling epochs that retreated to a fallback mechanism.
+    pub degraded_epochs: u64,
+    /// The run's controller telemetry (journal cell payload).
+    pub epochs: Vec<EpochRecord>,
+}
+
+/// Runs the sweep. `fault_seed` seeds the fault schedule (workload
+/// construction stays on `seed`, so the same mix runs at every rate).
+pub fn sweep(
+    quick: bool,
+    seed: u64,
+    fault_seed: u64,
+    jobs: usize,
+    log: &Progress,
+) -> Vec<FaultCell> {
+    let mix = build_mixes(seed, 1).remove(1); // a PrefAgg mix
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    parallel_map(&RATES, jobs, |_, &rate| {
+        log.cell(&format!("faults: rate {rate:.2}"), || {
+            let r = run_mix_with_faults(
+                &mix,
+                Mechanism::CmmA,
+                &cfg,
+                &FaultConfig::uniform(fault_seed, rate),
+            );
+            FaultCell {
+                rate,
+                hm_ipc: cmm_metrics::hm_ipc(&r.ipcs),
+                faults: r.epochs.iter().map(|e| e.faults.len() as u64).sum(),
+                degraded_epochs: r.epochs.iter().filter(|e| e.degraded.is_some()).count() as u64,
+                epochs: r.epochs,
+            }
+        })
+    })
+}
+
+/// Table rows (rate, hm_ipc, relative-to-fault-free, faults, degraded
+/// epochs) and the smoothness verdict per rate.
+pub fn rows(cells: &[FaultCell]) -> Vec<Vec<String>> {
+    let base = cells.first().map(|c| c.hm_ipc).unwrap_or(0.0).max(1e-12);
+    cells
+        .iter()
+        .map(|c| {
+            let rel = c.hm_ipc / base;
+            vec![
+                format!("{:.2}", c.rate),
+                format!("{:.3}", c.hm_ipc),
+                format!("{rel:.3}"),
+                c.faults.to_string(),
+                c.degraded_epochs.to_string(),
+                if rel >= SMOOTHNESS_FLOOR { "ok".into() } else { "CLIFF".into() },
+            ]
+        })
+        .collect()
+}
+
+/// True when every swept rate kept at least [`SMOOTHNESS_FLOOR`] of the
+/// fault-free hm_ipc.
+pub fn passes(cells: &[FaultCell]) -> bool {
+    let base = cells.first().map(|c| c.hm_ipc).unwrap_or(0.0);
+    base > 0.0 && cells.iter().all(|c| c.hm_ipc / base >= SMOOTHNESS_FLOOR)
+}
+
+/// Journal cells for the sweep, one per rate, in sweep order.
+pub fn journal_cells(cells: Vec<FaultCell>) -> Vec<(String, Vec<EpochRecord>)> {
+    cells.into_iter().map(|c| (format!("faults rate={:.2}: CMM-a", c.rate), c.epochs)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(rate: f64, hm: f64) -> FaultCell {
+        FaultCell { rate, hm_ipc: hm, faults: 0, degraded_epochs: 0, epochs: vec![] }
+    }
+
+    #[test]
+    fn smooth_degradation_passes_and_cliff_fails() {
+        let smooth = vec![cell(0.0, 1.0), cell(0.1, 0.8), cell(0.25, 0.6)];
+        assert!(passes(&smooth));
+        let cliff = vec![cell(0.0, 1.0), cell(0.1, 0.2)];
+        assert!(!passes(&cliff));
+        assert!(!passes(&[cell(0.0, 0.0)]), "dead baseline must not pass");
+    }
+
+    #[test]
+    fn rows_are_normalised_to_the_fault_free_run() {
+        let rows = rows(&[cell(0.0, 2.0), cell(0.1, 1.0)]);
+        assert_eq!(rows[0][2], "1.000");
+        assert_eq!(rows[1][2], "0.500");
+        assert_eq!(rows[1][5], "ok");
+        let bad = super::rows(&[cell(0.0, 2.0), cell(0.25, 0.5)]);
+        assert_eq!(bad[1][5], "CLIFF");
+    }
+
+    #[test]
+    fn journal_labels_are_stable() {
+        let cells = vec![cell(0.0, 1.0), cell(0.05, 0.9)];
+        let labels: Vec<String> = journal_cells(cells).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["faults rate=0.00: CMM-a", "faults rate=0.05: CMM-a"]);
+    }
+}

@@ -1,5 +1,6 @@
-//! Assembles the `cmm-journal/1` run journal (see [`cmm_core::telemetry`])
-//! and pretty-prints it back (`repro journal-summary`).
+//! Assembles the `cmm-journal/2` run journal (see [`cmm_core::telemetry`])
+//! and pretty-prints it back (`repro journal-summary`). The summary reader
+//! accepts both `cmm-journal/1` and `/2` journals — `/2` only adds keys.
 //!
 //! The journal is JSONL: one manifest line (schema, target, seed, git SHA,
 //! host, config digest) followed by one line per controller profiling
@@ -132,6 +133,8 @@ struct RunStats {
     agg_core_sum: u64,
     trials: u64,
     winners: u64,
+    faults: u64,
+    degraded_epochs: u64,
     last_throttled: usize,
     last_partitioned: usize,
 }
@@ -144,8 +147,8 @@ pub fn summarize(text: &str) -> Result<String, String> {
     let (_, first) = lines.next().ok_or("empty journal")?;
     let man = parse(first).map_err(|e| format!("line 1: {e}"))?;
     let schema = man.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != "cmm-journal/1" {
-        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1)"));
+    if !matches!(schema, "cmm-journal/1" | "cmm-journal/2") {
+        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1 or /2)"));
     }
     let mut runs: Vec<RunStats> = Vec::new();
     for (i, line) in lines {
@@ -169,6 +172,8 @@ pub fn summarize(text: &str) -> Result<String, String> {
                     agg_core_sum: 0,
                     trials: 0,
                     winners: 0,
+                    faults: 0,
+                    degraded_epochs: 0,
                     last_throttled: 0,
                     last_partitioned: 0,
                 });
@@ -185,6 +190,12 @@ pub fn summarize(text: &str) -> Result<String, String> {
             rec.get("trials").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0) as u64;
         if rec.get("winner").and_then(Json::as_u64).is_some() {
             stats.winners += 1;
+        }
+        // /2-only keys; absent (0) on /1 journals.
+        stats.faults +=
+            rec.get("faults").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0) as u64;
+        if rec.get("degraded").and_then(Json::as_str).is_some() {
+            stats.degraded_epochs += 1;
         }
         if let Some(applied) = rec.get("applied") {
             stats.last_throttled = applied
@@ -238,6 +249,8 @@ pub fn summarize(text: &str) -> Result<String, String> {
                 mean_agg,
                 r.trials.to_string(),
                 r.winners.to_string(),
+                r.faults.to_string(),
+                r.degraded_epochs.to_string(),
                 r.last_throttled.to_string(),
                 if r.last_partitioned > 0 { "yes".into() } else { "no".into() },
             ]
@@ -255,6 +268,8 @@ pub fn summarize(text: &str) -> Result<String, String> {
             "mean|Agg|",
             "trials",
             "winners",
+            "faults",
+            "degraded",
             "throttled",
             "partitioned",
         ],
@@ -294,6 +309,10 @@ mod tests {
                 .map(|i| Trial { msr_1a4: vec![0xF * (i as u64 % 2)], hm_ipc: 1.0 + i as f64 })
                 .collect(),
             winner: if trials > 0 { Some(trials - 1) } else { None },
+            exec_hm_ipc: if epoch > 1 { Some(1.0) } else { None },
+            exec_ipc_delta: None,
+            faults: Vec::new(),
+            degraded: None,
             applied: vec![
                 CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF },
                 CoreControl { clos: 0, way_mask: 0xFFFFF, msr_1a4: 0x0 },

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no serde, and the harness needs to read back
 //! the two documents it writes itself — `BENCH_sim.json` (perf log, for
-//! `repro bench-compare`) and the `cmm-journal/1` JSONL journal (for
-//! `repro journal-summary`). This is a small recursive-descent parser for
+//! `repro bench-compare`) and the `cmm-journal/2` JSONL journal (for
+//! `repro journal-summary` and `journal-diff`). This is a small
+//! recursive-descent parser for
 //! exactly that: full JSON value grammar, no streaming, numbers as `f64`,
 //! object keys kept in document order.
 

@@ -14,21 +14,28 @@
 //!
 //! * [`ablate`] — sensitivity studies of the 1.5× partition rule, the
 //!   epoch:sampling ratio and the substrate's QBS policy.
-//! * [`journal`] — assembles the `cmm-journal/1` JSONL run journal from
+//! * [`faults`] — the fault-injection resilience sweep behind
+//!   `repro faults` (hm_ipc vs injected substrate fault rate).
+//! * [`journal`] — assembles the `cmm-journal/2` JSONL run journal from
 //!   the controller's per-epoch telemetry, and summarizes it back.
+//! * [`diff`] — `journal-diff`: structural comparison of two journals'
+//!   per-epoch decision sequences.
 //! * [`compare`] — the `bench-compare` perf regression gate over
 //!   `BENCH_sim.json` logs.
 //! * [`json`] — minimal JSON reader for the harness's own artifacts (the
 //!   build environment has no serde).
 //!
 //! The `repro` binary exposes one subcommand per table/figure plus the CI
-//! entry points: `repro fig7`, `repro table1`, `repro all --quick`,
-//! `repro bench-compare base.json cur.json`, `repro journal-summary …`
+//! entry points: `repro fig7`, `repro table1`, `repro faults`,
+//! `repro all --quick`, `repro bench-compare base.json cur.json`,
+//! `repro journal-summary …`, `repro journal-diff a.jsonl b.jsonl`
 
 pub mod ablate;
 pub mod characterize;
 pub mod compare;
+pub mod diff;
 pub mod export;
+pub mod faults;
 pub mod figures;
 pub mod journal;
 pub mod json;

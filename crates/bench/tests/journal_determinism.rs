@@ -33,7 +33,7 @@ fn journal_is_byte_identical_across_job_counts() {
     // And it is substantive: a manifest plus real epoch records with
     // decisions in them.
     assert!(serial.lines().count() > 8, "{} lines", serial.lines().count());
-    assert!(serial.starts_with("{\"schema\":\"cmm-journal/1\",\"kind\":\"manifest\""));
+    assert!(serial.starts_with("{\"schema\":\"cmm-journal/2\",\"kind\":\"manifest\""));
     assert!(serial.contains("\"mechanism\":\"CMM-a\""));
     assert!(serial.contains("\"hm_ipc\":"), "CMM runs must journal throttle trials");
 }

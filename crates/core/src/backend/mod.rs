@@ -9,16 +9,112 @@
 //!
 //! All allocators speak in terms of a [`PartitionPlan`] (CLOS masks +
 //! core→CLOS assignments) and per-core prefetch enable vectors, applied
-//! through [`cmm_sim::System`]'s MSR surface.
+//! through the [`Substrate`] MSR surface.
+//!
+//! Every actuator path here is *fault-aware*: MSR writes go through
+//! [`write_msr_logged`] (bounded retry of transient rejections), PMU reads
+//! through [`pmu_read_stable`] (re-read until two snapshots agree), and
+//! each operation that observes a fault appends a
+//! [`crate::telemetry::FaultRecord`] to the caller's log so the journal
+//! can show what the hardware did and how the controller degraded.
 
 pub mod cmm;
 pub mod cp;
 pub mod dunn;
 pub mod pt;
 
-use cmm_sim::msr::contiguous_mask;
+use crate::substrate::Substrate;
+use crate::telemetry::FaultRecord;
+use cmm_sim::msr::{contiguous_mask, CatError, MSR_MISC_FEATURE_CONTROL};
 use cmm_sim::pmu::PmuDelta;
-use cmm_sim::System;
+use cmm_sim::system::MsrError;
+
+/// How many times a transiently rejected WRMSR is retried before the
+/// controller gives up on the write and degrades.
+pub const MSR_WRITE_RETRIES: usize = 3;
+
+/// How many extra PMU snapshots [`pmu_read_stable`] takes chasing two
+/// consecutive reads that agree.
+pub const PMU_READ_RETRIES: usize = 3;
+
+/// Classifies an [`MsrError`] into the journal's fault taxonomy.
+fn fault_kind(e: &MsrError) -> &'static str {
+    match e {
+        MsrError::Rejected(_) => "msr_rejected",
+        MsrError::Cat(CatError::BadClos(_)) => "clos_exhausted",
+        _ => "msr_error",
+    }
+}
+
+/// WRMSR with bounded retry of transient rejections. A rejection that a
+/// retry clears is logged with action `retry_ok`; a write that still fails
+/// after [`MSR_WRITE_RETRIES`] retries (or fails permanently, e.g. CLOS
+/// exhaustion) is logged with `gave_up` and returned to the caller, whose
+/// job is to pick a degradation.
+pub fn write_msr_logged<S: Substrate>(
+    sys: &mut S,
+    core: usize,
+    msr: u32,
+    value: u64,
+    log: &mut Vec<FaultRecord>,
+) -> Result<(), MsrError> {
+    let mut attempts = 0;
+    loop {
+        match sys.write_msr(core, msr, value) {
+            Ok(()) => {
+                if attempts > 0 {
+                    log.push(FaultRecord {
+                        cycle: sys.now(),
+                        kind: "msr_rejected",
+                        core: Some(core),
+                        msr: Some(msr),
+                        action: "retry_ok",
+                    });
+                }
+                return Ok(());
+            }
+            Err(MsrError::Rejected(_)) if attempts < MSR_WRITE_RETRIES => attempts += 1,
+            Err(e) => {
+                log.push(FaultRecord {
+                    cycle: sys.now(),
+                    kind: fault_kind(&e),
+                    core: Some(core),
+                    msr: Some(msr),
+                    action: "gave_up",
+                });
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Snapshots the PMUs until two consecutive reads agree. Reading does not
+/// advance the machine clock, so clean reads always agree; a transiently
+/// corrupted read (bus garbage, mid-overflow) differs from its neighbour
+/// and is logged with action `reread`. After [`PMU_READ_RETRIES`]
+/// disagreements the last snapshot is returned — the sampling backstop in
+/// [`sample_logged`] then discards anything still implausible.
+pub fn pmu_read_stable<S: Substrate>(
+    sys: &mut S,
+    log: &mut Vec<FaultRecord>,
+) -> Vec<cmm_sim::pmu::Pmu> {
+    let mut prev = sys.pmu_all();
+    for _ in 0..PMU_READ_RETRIES {
+        let next = sys.pmu_all();
+        if next == prev {
+            return next;
+        }
+        log.push(FaultRecord {
+            cycle: sys.now(),
+            kind: "pmu_anomaly",
+            core: None,
+            msr: None,
+            action: "reread",
+        });
+        prev = next;
+    }
+    prev
+}
 
 /// A complete CAT programming: which mask each CLOS holds and which CLOS
 /// each core belongs to. CLOS 0 is conventionally the full-LLC "neutral"
@@ -40,14 +136,24 @@ impl PartitionPlan {
         }
     }
 
-    /// Programs the plan into the machine.
-    pub fn apply(&self, sys: &mut System) {
+    /// Programs the plan into the machine, retrying transient rejections.
+    ///
+    /// Fails fast on the first unrecoverable write: CAT state is then
+    /// partially programmed and the caller must fall back to a safe
+    /// configuration ([`Substrate::reset_cat`]) before continuing —
+    /// exactly what [`crate::driver::Driver`] does.
+    pub fn apply<S: Substrate>(
+        &self,
+        sys: &mut S,
+        log: &mut Vec<FaultRecord>,
+    ) -> Result<(), MsrError> {
         for &(clos, mask) in &self.masks {
-            sys.set_clos_mask(clos, mask).expect("invalid partition plan mask");
+            write_msr_logged(sys, 0, cmm_sim::msr::IA32_L3_QOS_MASK_BASE + clos as u32, mask, log)?;
         }
         for &(core, clos) in &self.assignments {
-            sys.assign_clos(core, clos).expect("invalid partition plan assignment");
+            write_msr_logged(sys, core, cmm_sim::msr::IA32_PQR_ASSOC, clos as u64, log)?;
         }
+        Ok(())
     }
 }
 
@@ -79,11 +185,43 @@ pub fn min_ways_per_core(cfg: &cmm_sim::config::SystemConfig) -> u32 {
 }
 
 /// One profiling sample: run the machine for `cycles` and return the
-/// per-core PMU deltas.
-pub fn sample(sys: &mut System, cycles: u64) -> Vec<PmuDelta> {
-    let before = sys.pmu_all();
+/// per-core PMU deltas, logging any PMU anomalies encountered.
+///
+/// Both boundary snapshots go through [`pmu_read_stable`]; as a backstop,
+/// a per-core delta whose cycle count is zero (wrapped counter — the
+/// saturating subtraction clamped it) or implausibly large (garbage that
+/// survived the stability check) is zeroed and logged with action
+/// `zeroed_sample`. A zeroed core gives the sample an `hm_ipc` of 0, so a
+/// corrupted trial ranks last instead of poisoning the search.
+pub fn sample_logged<S: Substrate>(
+    sys: &mut S,
+    cycles: u64,
+    log: &mut Vec<FaultRecord>,
+) -> Vec<PmuDelta> {
+    let before = pmu_read_stable(sys, log);
     sys.run(cycles);
-    sys.pmu_all().iter().zip(before).map(|(&after, b)| after - b).collect()
+    let after = pmu_read_stable(sys, log);
+    let mut deltas: Vec<PmuDelta> = after.iter().zip(before).map(|(&after, b)| after - b).collect();
+    let bound = cycles.saturating_mul(4).saturating_add(10_000);
+    for (core, d) in deltas.iter_mut().enumerate() {
+        if (d.cycles == 0 || d.cycles > bound) && *d != PmuDelta::default() {
+            *d = PmuDelta::default();
+            log.push(FaultRecord {
+                cycle: sys.now(),
+                kind: "pmu_anomaly",
+                core: Some(core),
+                msr: None,
+                action: "zeroed_sample",
+            });
+        }
+    }
+    deltas
+}
+
+/// [`sample_logged`] without a fault log — the convenience harnesses and
+/// examples use on a clean substrate.
+pub fn sample<S: Substrate>(sys: &mut S, cycles: u64) -> Vec<PmuDelta> {
+    sample_logged(sys, cycles, &mut Vec::new())
 }
 
 /// Harmonic-mean IPC of a sample — the paper's configuration-ranking proxy.
@@ -92,11 +230,24 @@ pub fn sample_hm_ipc(deltas: &[PmuDelta]) -> f64 {
     cmm_metrics::hm_ipc(&ipcs)
 }
 
-/// Sets each core's prefetchers per the enable vector.
-pub fn apply_prefetch(sys: &mut System, enabled: &[bool]) {
+/// Sets each core's prefetchers per the enable vector, retrying transient
+/// rejections. A core whose write still fails keeps its previous setting —
+/// throttling is an optimisation, not a correctness requirement, so
+/// per-core failures are logged and tolerated rather than propagated.
+pub fn apply_prefetch_logged<S: Substrate>(
+    sys: &mut S,
+    enabled: &[bool],
+    log: &mut Vec<FaultRecord>,
+) {
     for (core, &on) in enabled.iter().enumerate() {
-        sys.set_prefetching(core, on);
+        let value = if on { 0x0 } else { 0xF };
+        let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, value, log);
     }
+}
+
+/// [`apply_prefetch_logged`] without a fault log.
+pub fn apply_prefetch<S: Substrate>(sys: &mut S, enabled: &[bool]) {
+    apply_prefetch_logged(sys, enabled, &mut Vec::new())
 }
 
 /// What the first two sampling intervals establish (Sec. III-B1): the
@@ -123,14 +274,15 @@ pub struct Detection {
 /// never be re-observed), and, if the `Agg` set is non-empty, interval 2
 /// with the `Agg` prefetchers off to probe prefetch friendliness.
 /// Prefetchers are left all-on afterwards.
-pub fn detect(
-    sys: &mut System,
+pub fn detect_logged<S: Substrate>(
+    sys: &mut S,
     ctrl: &crate::policy::ControllerConfig,
     det: &crate::frontend::DetectorConfig,
+    log: &mut Vec<FaultRecord>,
 ) -> Detection {
     let n = sys.num_cores();
-    apply_prefetch(sys, &vec![true; n]);
-    let interval1 = sample(sys, ctrl.sampling_interval);
+    apply_prefetch_logged(sys, &vec![true; n], log);
+    let interval1 = sample_logged(sys, ctrl.sampling_interval, log);
     let agg = crate::frontend::detect_agg(&interval1, det);
     if agg.is_empty() {
         return Detection {
@@ -146,9 +298,9 @@ pub fn detect(
     for &c in &agg {
         enabled[c] = false;
     }
-    apply_prefetch(sys, &enabled);
-    let interval2 = sample(sys, ctrl.sampling_interval);
-    apply_prefetch(sys, &vec![true; n]);
+    apply_prefetch_logged(sys, &enabled, log);
+    let interval2 = sample_logged(sys, ctrl.sampling_interval, log);
+    apply_prefetch_logged(sys, &vec![true; n], log);
 
     let mut friendly = Vec::new();
     let mut unfriendly = Vec::new();
@@ -162,6 +314,15 @@ pub fn detect(
         }
     }
     Detection { interval1, agg, friendly, unfriendly, profiling_cycles: 2 * ctrl.sampling_interval }
+}
+
+/// [`detect_logged`] without a fault log — the convenience examples use.
+pub fn detect<S: Substrate>(
+    sys: &mut S,
+    ctrl: &crate::policy::ControllerConfig,
+    det: &crate::frontend::DetectorConfig,
+) -> Detection {
+    detect_logged(sys, ctrl, det, &mut Vec::new())
 }
 
 /// Outcome of a throttling search: the applied winner plus the full trial
@@ -183,15 +344,21 @@ pub struct ThrottleSearch {
 /// reciprocal of ANTT up to the unknown run-alone IPCs). Cores outside the
 /// groups keep their prefetchers on. Applies the winning enable vector and
 /// returns it together with the per-trial log.
-pub fn search_throttle(
-    sys: &mut System,
+///
+/// Trial-interval write failures are tolerated (the trial ranks whatever
+/// configuration actually took hold). If applying the *winner* fails, the
+/// search reverts to the all-on entry state — the last configuration known
+/// to be fully programmed — and logs `kept_last_good`.
+pub fn search_throttle<S: Substrate>(
+    sys: &mut S,
     groups: &[Vec<usize>],
     sampling_interval: u64,
+    log: &mut Vec<FaultRecord>,
 ) -> ThrottleSearch {
     let n = sys.num_cores();
     let all_on = vec![true; n];
     if groups.is_empty() {
-        apply_prefetch(sys, &all_on);
+        apply_prefetch_logged(sys, &all_on, log);
         return ThrottleSearch { best: all_on, cycles: 0, trials: Vec::new(), winner: None };
     }
     let mut best = all_on.clone();
@@ -208,8 +375,8 @@ pub fn search_throttle(
                 }
             }
         }
-        apply_prefetch(sys, &enabled);
-        let deltas = sample(sys, sampling_interval);
+        apply_prefetch_logged(sys, &enabled, log);
+        let deltas = sample_logged(sys, sampling_interval, log);
         spent += sampling_interval;
         let hm = sample_hm_ipc(&deltas);
         trials.push(crate::telemetry::Trial {
@@ -222,7 +389,22 @@ pub fn search_throttle(
             best = enabled;
         }
     }
-    apply_prefetch(sys, &best);
+    let before = log.len();
+    apply_prefetch_logged(sys, &best, log);
+    if log.iter().skip(before).any(|f| f.action == "gave_up") {
+        // The winner could not be fully programmed: revert to the all-on
+        // entry state (best effort — prefetch-on is also the power-on
+        // default) rather than run an unknown mixture.
+        apply_prefetch_logged(sys, &all_on, log);
+        log.push(FaultRecord {
+            cycle: sys.now(),
+            kind: "degraded",
+            core: None,
+            msr: None,
+            action: "kept_last_good",
+        });
+        return ThrottleSearch { best: all_on, cycles: spent, trials, winner: Some(winner) };
+    }
     ThrottleSearch { best, cycles: spent, trials, winner: Some(winner) }
 }
 
@@ -244,19 +426,19 @@ pub struct LevelSearch {
 /// `levels` across `groups`, one sampling interval each, ranked by
 /// `hm_ipc`. Cores outside the groups keep all prefetchers on. Applies
 /// the winning per-core MSR image and returns it with the trial log.
-pub fn search_throttle_levels(
-    sys: &mut System,
+pub fn search_throttle_levels<S: Substrate>(
+    sys: &mut S,
     groups: &[Vec<usize>],
     levels: &[u64],
     sampling_interval: u64,
+    log: &mut Vec<FaultRecord>,
 ) -> LevelSearch {
-    use cmm_sim::msr::MSR_MISC_FEATURE_CONTROL;
     let n = sys.num_cores();
     let all_on = vec![0u64; n];
     assert!(!levels.is_empty());
     if groups.is_empty() {
         for core in 0..n {
-            sys.write_msr(core, MSR_MISC_FEATURE_CONTROL, 0).expect("core in range");
+            let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, 0, log);
         }
         return LevelSearch { best: all_on, cycles: 0, trials: Vec::new(), winner: None };
     }
@@ -277,9 +459,9 @@ pub fn search_throttle_levels(
             }
         }
         for (core, &msr) in image.iter().enumerate() {
-            sys.write_msr(core, MSR_MISC_FEATURE_CONTROL, msr).expect("core in range");
+            let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, msr, log);
         }
-        let deltas = sample(sys, sampling_interval);
+        let deltas = sample_logged(sys, sampling_interval, log);
         spent += sampling_interval;
         let hm = sample_hm_ipc(&deltas);
         trials.push(crate::telemetry::Trial { msr_1a4: image.clone(), hm_ipc: hm });
@@ -289,8 +471,24 @@ pub fn search_throttle_levels(
             best = image;
         }
     }
+    let before = log.len();
     for (core, &msr) in best.iter().enumerate() {
-        sys.write_msr(core, MSR_MISC_FEATURE_CONTROL, msr).expect("core in range");
+        let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, msr, log);
+    }
+    if log.iter().skip(before).any(|f| f.action == "gave_up") {
+        // Same last-known-good retreat as the binary search: all-engines-on
+        // is the state every trial started from.
+        for core in 0..n {
+            let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, 0, log);
+        }
+        log.push(FaultRecord {
+            cycle: sys.now(),
+            kind: "degraded",
+            core: None,
+            msr: None,
+            action: "kept_last_good",
+        });
+        return LevelSearch { best: all_on, cycles: spent, trials, winner: Some(winner) };
     }
     LevelSearch { best, cycles: spent, trials, winner: Some(winner) }
 }
@@ -324,6 +522,7 @@ mod tests {
     use cmm_sim::config::SystemConfig;
     use cmm_sim::pmu::Pmu;
     use cmm_sim::workload::Idle;
+    use cmm_sim::System;
 
     #[test]
     fn partition_ways_follows_the_1_5x_rule() {
@@ -365,8 +564,66 @@ mod tests {
         let mut sys = System::new(SystemConfig::tiny(2), vec![Box::new(Idle), Box::new(Idle)]);
         sys.set_clos_mask(1, 0b1).unwrap();
         sys.assign_clos(1, 1).unwrap();
-        PartitionPlan::flat(2, sys.llc_ways()).apply(&mut sys);
+        let mut log = Vec::new();
+        PartitionPlan::flat(2, sys.llc_ways()).apply(&mut sys, &mut log).unwrap();
         assert_eq!(sys.effective_mask(1), 0b1111);
+        assert!(log.is_empty(), "clean machine, no faults: {log:?}");
+    }
+
+    #[test]
+    fn bad_plan_fails_instead_of_panicking() {
+        let mut sys = System::new(SystemConfig::tiny(2), vec![Box::new(Idle), Box::new(Idle)]);
+        let plan = PartitionPlan {
+            masks: vec![(0, 0b1111), (99, 0b11)], // CLOS 99 does not exist
+            assignments: vec![(0, 0)],
+        };
+        let mut log = Vec::new();
+        let err = plan.apply(&mut sys, &mut log).unwrap_err();
+        // CLOS 99's mask register is beyond the machine's MSR map entirely.
+        assert!(matches!(err, MsrError::UnknownMsr(_)), "{err:?}");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, "msr_error");
+        assert_eq!(log[0].action, "gave_up");
+    }
+
+    #[test]
+    fn write_msr_logged_retries_transient_rejections() {
+        use crate::fault::{FaultConfig, FaultySubstrate};
+        let sys = System::new(SystemConfig::tiny(1), vec![Box::new(Idle)]);
+        // Rejection rate low enough that MSR_WRITE_RETRIES almost surely
+        // clears at least one rejected write across many attempts.
+        let mut faulty = FaultySubstrate::new(sys, FaultConfig::uniform(11, 0.4));
+        let mut log = Vec::new();
+        let mut oks = 0;
+        for _ in 0..32 {
+            if write_msr_logged(&mut faulty, 0, MSR_MISC_FEATURE_CONTROL, 0xF, &mut log).is_ok() {
+                oks += 1;
+            }
+        }
+        assert_eq!(oks, 32, "rate 0.4 with 3 retries should always clear");
+        assert!(log.iter().any(|f| f.kind == "msr_rejected" && f.action == "retry_ok"));
+        assert!(faulty.injected().msr_rejections > 0);
+    }
+
+    #[test]
+    fn stable_read_filters_transient_garbage() {
+        use crate::fault::{FaultConfig, FaultySubstrate};
+        let sys = System::new(SystemConfig::tiny(2), vec![Box::new(Idle), Box::new(Idle)]);
+        let mut cfg = FaultConfig::none();
+        cfg.seed = 5;
+        cfg.pmu_garbage_rate = 0.5;
+        let mut faulty = FaultySubstrate::new(sys, cfg);
+        faulty.run(20_000);
+        let mut log = Vec::new();
+        let deltas = sample_logged(&mut faulty, 10_000, &mut log);
+        // Whatever the schedule injected, the deltas must be plausible:
+        // either a clean interval or a zeroed (discarded) core.
+        for d in &deltas {
+            assert!(d.cycles <= 10_000 * 4 + 10_000, "implausible delta {}", d.cycles);
+        }
+        if faulty.injected().pmu_garbage > 0 {
+            assert!(log.iter().any(|f| f.kind == "pmu_anomaly"), "{log:?}");
+        }
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! — one sampling interval per setting, ranked by `hm_ipc`. The winning
 //! setting runs for the next execution epoch. PT never touches CAT.
 
-use super::{detect, search_throttle, search_throttle_levels, throttle_groups, Detection};
+use super::{detect_logged, search_throttle, search_throttle_levels, throttle_groups, Detection};
 use crate::policy::ControllerConfig;
-use cmm_sim::System;
+use crate::substrate::Substrate;
+use crate::telemetry::FaultRecord;
 
 /// The three MSR 0x1A4 levels the PT-fine extension searches: all engines
 /// on, only the two L2 engines (streamer + adjacent) off, and all off.
@@ -32,19 +33,20 @@ pub struct PtOutcome {
 /// PT-fine (extension): like [`profile`], but each throttle group is
 /// searched over the three [`FINE_LEVELS`] instead of binary on/off.
 /// Groups are capped at 2 so the search stays within 9 sampling intervals.
-pub fn profile_fine(
-    sys: &mut System,
+pub fn profile_fine<S: Substrate>(
+    sys: &mut S,
     ctrl: &ControllerConfig,
     det_cfg: &crate::frontend::DetectorConfig,
+    log: &mut Vec<FaultRecord>,
 ) -> PtOutcome {
-    let detection = detect(sys, ctrl, det_cfg);
+    let detection = detect_logged(sys, ctrl, det_cfg, log);
     let groups = throttle_groups(
         &detection.agg,
         &detection.interval1,
         2, // exhaustive limit: per-core groups only up to 2 cores
         2,
     );
-    let search = search_throttle_levels(sys, &groups, &FINE_LEVELS, ctrl.sampling_interval);
+    let search = search_throttle_levels(sys, &groups, &FINE_LEVELS, ctrl.sampling_interval, log);
     let profiling_cycles = detection.profiling_cycles + search.cycles;
     PtOutcome {
         detection,
@@ -56,19 +58,20 @@ pub fn profile_fine(
 }
 
 /// Runs PT's full profiling epoch and applies the winner.
-pub fn profile(
-    sys: &mut System,
+pub fn profile<S: Substrate>(
+    sys: &mut S,
     ctrl: &ControllerConfig,
     det_cfg: &crate::frontend::DetectorConfig,
+    log: &mut Vec<FaultRecord>,
 ) -> PtOutcome {
-    let detection = detect(sys, ctrl, det_cfg);
+    let detection = detect_logged(sys, ctrl, det_cfg, log);
     let groups = throttle_groups(
         &detection.agg,
         &detection.interval1,
         ctrl.exhaustive_limit,
         ctrl.throttle_groups,
     );
-    let search = search_throttle(sys, &groups, ctrl.sampling_interval);
+    let search = search_throttle(sys, &groups, ctrl.sampling_interval, log);
     let profiling_cycles = detection.profiling_cycles + search.cycles;
     PtOutcome {
         detection,
@@ -85,6 +88,7 @@ mod tests {
     use crate::frontend::DetectorConfig;
     use cmm_sim::config::SystemConfig;
     use cmm_sim::workload::Workload;
+    use cmm_sim::System;
     use cmm_workloads::spec;
 
     fn system_with(names: &[&str]) -> System {
@@ -106,7 +110,7 @@ mod tests {
         let mut sys = system_with(&["bwaves3d", "povray_rt", "gobmk_ai", "namd_md"]);
         sys.run(600_000); // warm past the cache-resident benchmarks' cold phase
         let ctrl = ControllerConfig::quick();
-        let out = profile(&mut sys, &ctrl, &DetectorConfig::default());
+        let out = profile(&mut sys, &ctrl, &DetectorConfig::default(), &mut Vec::new());
         assert_eq!(out.detection.agg, vec![0], "only the stream is aggressive");
         assert_eq!(out.detection.friendly, vec![0], "the stream profits from prefetching");
         assert!(out.detection.unfriendly.is_empty());
@@ -120,7 +124,7 @@ mod tests {
         let mut sys = system_with(&["rand_access", "mcf_refine", "povray_rt", "omnet_events"]);
         sys.run(600_000);
         let ctrl = ControllerConfig::quick();
-        let out = profile(&mut sys, &ctrl, &DetectorConfig::default());
+        let out = profile(&mut sys, &ctrl, &DetectorConfig::default(), &mut Vec::new());
         assert!(
             out.detection.agg.contains(&0),
             "burst-random must be detected as aggressive: {:?}",
@@ -140,7 +144,7 @@ mod tests {
         let mut sys = system_with(&["povray_rt", "gobmk_ai", "namd_md", "hmmer_search"]);
         sys.run(600_000);
         let ctrl = ControllerConfig::quick();
-        let out = profile(&mut sys, &ctrl, &DetectorConfig::default());
+        let out = profile(&mut sys, &ctrl, &DetectorConfig::default(), &mut Vec::new());
         assert!(out.detection.agg.is_empty());
         assert!(out.prefetch_on.iter().all(|&on| on));
         // Only the mandatory all-on interval was needed.
@@ -155,7 +159,7 @@ mod tests {
         let mut sys = system_with(&["rand_access", "mcf_refine", "povray_rt", "omnet_events"]);
         sys.run(600_000);
         let ctrl = ControllerConfig::quick();
-        let out = profile_fine(&mut sys, &ctrl, &DetectorConfig::default());
+        let out = profile_fine(&mut sys, &ctrl, &DetectorConfig::default(), &mut Vec::new());
         for core in 0..4 {
             let msr = sys.read_msr(core, cmm_sim::msr::MSR_MISC_FEATURE_CONTROL).unwrap();
             assert!(FINE_LEVELS.contains(&msr), "core {core} msr {msr:#x}");
@@ -169,7 +173,7 @@ mod tests {
         sys.run(100_000);
         let ctrl = ControllerConfig::quick();
         let before = sys.now();
-        let out = profile(&mut sys, &ctrl, &DetectorConfig::default());
+        let out = profile(&mut sys, &ctrl, &DetectorConfig::default(), &mut Vec::new());
         assert_eq!(sys.now() - before, out.profiling_cycles);
     }
 }

@@ -10,17 +10,26 @@
 //! [`ControllerConfig::overhead_cycles`] per invocation and reported by
 //! [`Driver::overhead_ratio`] — the analogue of the paper's PMU-vs-TSC
 //! overhead measurement (<0.1 %).
+//!
+//! The driver is generic over the [`Substrate`] it manages and **degrades
+//! gracefully** when the substrate misbehaves: transiently rejected MSR
+//! writes are retried (see [`backend::write_msr_logged`]), a CAT plan that
+//! cannot be programmed makes the epoch retreat CMM → Dunn → no-op
+//! (always via the infallible [`Substrate::reset_cat`] safe state first),
+//! and every observed fault plus the chosen degradation lands in the
+//! epoch's [`EpochRecord::faults`] / [`EpochRecord::degraded`] telemetry.
 
 use crate::backend::{self, cmm, cp, dunn, pt, PartitionPlan};
 use crate::frontend::DetectorConfig;
 use crate::policy::{ControllerConfig, Mechanism};
-use crate::telemetry::{CoreSample, EpochRecord, Trial};
-use cmm_sim::pmu::PmuDelta;
+use crate::substrate::Substrate;
+use crate::telemetry::{CoreSample, EpochRecord, FaultRecord, Trial};
+use cmm_sim::pmu::{Pmu, PmuDelta};
 use cmm_sim::System;
 
-/// Drives one [`System`] under one [`Mechanism`].
-pub struct Driver {
-    sys: System,
+/// Drives one [`Substrate`] under one [`Mechanism`].
+pub struct Driver<S: Substrate = System> {
+    sys: S,
     mechanism: Mechanism,
     ctrl: ControllerConfig,
     det_cfg: DetectorConfig,
@@ -30,11 +39,16 @@ pub struct Driver {
     agg_history: Vec<usize>,
     /// Full per-epoch decision telemetry (see [`crate::telemetry`]).
     records: Vec<EpochRecord>,
+    /// `(cycle, pmus)` at the end of the previous `epoch()` call — the
+    /// baseline the next epoch measures its execution-epoch IPC against.
+    exec_anchor: Option<(u64, Vec<Pmu>)>,
+    /// `exec_hm_ipc` of the previous epoch's record, for the delta.
+    prev_exec_hm: Option<f64>,
 }
 
-impl Driver {
+impl<S: Substrate> Driver<S> {
     /// Wraps a machine. The detector thresholds are taken from `ctrl`.
-    pub fn new(sys: System, mechanism: Mechanism, ctrl: ControllerConfig) -> Self {
+    pub fn new(sys: S, mechanism: Mechanism, ctrl: ControllerConfig) -> Self {
         ctrl.validate();
         let det_cfg = DetectorConfig {
             pmr_threshold: ctrl.pmr_threshold,
@@ -50,21 +64,23 @@ impl Driver {
             overhead_cycles: 0,
             agg_history: Vec::new(),
             records: Vec::new(),
+            exec_anchor: None,
+            prev_exec_hm: None,
         }
     }
 
     /// The managed machine.
-    pub fn system(&self) -> &System {
+    pub fn system(&self) -> &S {
         &self.sys
     }
 
     /// Mutable access (tests and harnesses).
-    pub fn system_mut(&mut self) -> &mut System {
+    pub fn system_mut(&mut self) -> &mut S {
         &mut self.sys
     }
 
     /// Consumes the driver, returning the machine.
-    pub fn into_system(self) -> System {
+    pub fn into_system(self) -> S {
         self.sys
     }
 
@@ -116,9 +132,31 @@ impl Driver {
     /// Runs exactly one profiling epoch (decision + application), without
     /// the following execution epoch. Exposed for tests and examples.
     /// Every epoch appends one [`EpochRecord`] to [`Driver::records`].
+    ///
+    /// Never panics on substrate faults: unrecoverable CAT failures make
+    /// the epoch retreat CMM → Dunn → no-op (flat CAT via `reset_cat`),
+    /// recording the chosen degradation in the epoch's telemetry.
     pub fn epoch(&mut self) {
         self.epochs += 1;
         let epoch_start = self.sys.now();
+        let mut log: Vec<FaultRecord> = Vec::new();
+        // How did the execution epoch we just finished actually perform?
+        let exec_hm_ipc = match self.exec_anchor.take() {
+            Some((anchor_cycle, anchor)) if self.sys.now() > anchor_cycle => {
+                let current = backend::pmu_read_stable(&mut self.sys, &mut log);
+                let deltas: Vec<PmuDelta> =
+                    current.iter().zip(anchor).map(|(&c, a)| c - a).collect();
+                Some(backend::sample_hm_ipc(&deltas))
+            }
+            _ => None,
+        };
+        let exec_ipc_delta = match (exec_hm_ipc, self.prev_exec_hm) {
+            (Some(cur), Some(prev)) => Some(cur - prev),
+            _ => None,
+        };
+        if exec_hm_ipc.is_some() {
+            self.prev_exec_hm = exec_hm_ipc;
+        }
         if self.mechanism != Mechanism::Baseline {
             self.overhead_cycles += self.ctrl.overhead_cycles;
         }
@@ -132,15 +170,16 @@ impl Driver {
         let mut unfriendly: Vec<usize> = Vec::new();
         let mut trials: Vec<Trial> = Vec::new();
         let mut winner: Option<usize> = None;
+        let mut degraded: Option<&'static str> = None;
         match self.mechanism {
             Mechanism::Baseline => {
                 // No control: prefetchers on, flat CAT — enforced once so a
                 // baseline run after a managed run is truly uncontrolled.
-                backend::apply_prefetch(&mut self.sys, &vec![true; n]);
+                backend::apply_prefetch_logged(&mut self.sys, &vec![true; n], &mut log);
                 self.sys.reset_cat();
             }
             Mechanism::Pt => {
-                let out = pt::profile(&mut self.sys, &self.ctrl, &self.det_cfg);
+                let out = pt::profile(&mut self.sys, &self.ctrl, &self.det_cfg, &mut log);
                 self.agg_history.push(out.detection.agg.len());
                 cores = samples_of(&out.detection.interval1);
                 agg = out.detection.agg;
@@ -150,7 +189,7 @@ impl Driver {
                 winner = out.winner;
             }
             Mechanism::PtFine => {
-                let out = pt::profile_fine(&mut self.sys, &self.ctrl, &self.det_cfg);
+                let out = pt::profile_fine(&mut self.sys, &self.ctrl, &self.det_cfg, &mut log);
                 self.agg_history.push(out.detection.agg.len());
                 cores = samples_of(&out.detection.interval1);
                 agg = out.detection.agg;
@@ -161,22 +200,35 @@ impl Driver {
             }
             Mechanism::Dunn => {
                 // Dunn observes one all-on interval and clusters stalls.
-                backend::apply_prefetch(&mut self.sys, &vec![true; n]);
-                PartitionPlan::flat(n, ways).apply(&mut self.sys);
-                let d1 = backend::sample(&mut self.sys, self.ctrl.sampling_interval);
-                dunn::dunn_plan(&d1, ways, self.ctrl.dunn_clusters).apply(&mut self.sys);
+                backend::apply_prefetch_logged(&mut self.sys, &vec![true; n], &mut log);
+                if PartitionPlan::flat(n, ways).apply(&mut self.sys, &mut log).is_err() {
+                    self.sys.reset_cat();
+                }
+                let d1 =
+                    backend::sample_logged(&mut self.sys, self.ctrl.sampling_interval, &mut log);
+                let plan = dunn::dunn_plan(&d1, ways, self.ctrl.dunn_clusters);
+                if plan.apply(&mut self.sys, &mut log).is_err() {
+                    self.sys.reset_cat();
+                    degraded = Some(degrade(&mut log, self.sys.now(), "fallback_noop"));
+                }
                 self.agg_history.push(0);
                 cores = samples_of(&d1);
             }
             Mechanism::PrefCp | Mechanism::PrefCp2 => {
-                PartitionPlan::flat(n, ways).apply(&mut self.sys);
-                let det = backend::detect(&mut self.sys, &self.ctrl, &self.det_cfg);
+                if PartitionPlan::flat(n, ways).apply(&mut self.sys, &mut log).is_err() {
+                    self.sys.reset_cat();
+                }
+                let det =
+                    backend::detect_logged(&mut self.sys, &self.ctrl, &self.det_cfg, &mut log);
                 let plan = if self.mechanism == Mechanism::PrefCp {
                     cp::pref_cp_plan(&det, n, ways, self.ctrl.partition_scale, min_pc)
                 } else {
                     cp::pref_cp2_plan(&det, n, ways, self.ctrl.partition_scale, min_pc)
                 };
-                plan.apply(&mut self.sys);
+                if plan.apply(&mut self.sys, &mut log).is_err() {
+                    self.sys.reset_cat();
+                    degraded = Some(degrade(&mut log, self.sys.now(), "fallback_noop"));
+                }
                 self.agg_history.push(det.agg.len());
                 cores = samples_of(&det.interval1);
                 agg = det.agg;
@@ -189,8 +241,11 @@ impl Driver {
                     Mechanism::CmmB => cmm::Variant::B,
                     _ => cmm::Variant::C,
                 };
-                PartitionPlan::flat(n, ways).apply(&mut self.sys);
-                let det = backend::detect(&mut self.sys, &self.ctrl, &self.det_cfg);
+                if PartitionPlan::flat(n, ways).apply(&mut self.sys, &mut log).is_err() {
+                    self.sys.reset_cat();
+                }
+                let det =
+                    backend::detect_logged(&mut self.sys, &self.ctrl, &self.det_cfg, &mut log);
                 self.agg_history.push(det.agg.len());
                 cores = samples_of(&det.interval1);
                 match cmm::cmm_plan(variant, &det, n, ways, self.ctrl.partition_scale, min_pc) {
@@ -198,25 +253,47 @@ impl Driver {
                         // Coordinated order per the paper: partition first,
                         // then search throttle settings for the unfriendly
                         // cores inside the partitioned machine.
-                        plan.apply(&mut self.sys);
-                        let groups = backend::throttle_groups(
-                            &det.unfriendly,
-                            &det.interval1,
-                            self.ctrl.exhaustive_limit,
-                            self.ctrl.throttle_groups,
-                        );
-                        let search = backend::search_throttle(
-                            &mut self.sys,
-                            &groups,
-                            self.ctrl.sampling_interval,
-                        );
-                        trials = search.trials;
-                        winner = search.winner;
+                        if plan.apply(&mut self.sys, &mut log).is_ok() {
+                            let groups = backend::throttle_groups(
+                                &det.unfriendly,
+                                &det.interval1,
+                                self.ctrl.exhaustive_limit,
+                                self.ctrl.throttle_groups,
+                            );
+                            let search = backend::search_throttle(
+                                &mut self.sys,
+                                &groups,
+                                self.ctrl.sampling_interval,
+                                &mut log,
+                            );
+                            trials = search.trials;
+                            winner = search.winner;
+                        } else {
+                            // The coordinated plan could not be programmed
+                            // (e.g. CLOS exhaustion). Back out to the safe
+                            // state, then retreat down the chain: try the
+                            // less CLOS-hungry Dunn plan; if even that
+                            // fails, stay flat (no-op). Throttle search is
+                            // skipped — coordinated throttling without its
+                            // partition is not the mechanism the paper
+                            // evaluates.
+                            self.sys.reset_cat();
+                            degraded = Some(degrade(&mut log, self.sys.now(), "fallback_dunn"));
+                            let plan =
+                                dunn::dunn_plan(&det.interval1, ways, self.ctrl.dunn_clusters);
+                            if plan.apply(&mut self.sys, &mut log).is_err() {
+                                self.sys.reset_cat();
+                                degraded = Some(degrade(&mut log, self.sys.now(), "fallback_noop"));
+                            }
+                        }
                     }
                     None => {
                         // Fig. 6 (d): empty Agg set ⇒ Dunn partitioning.
-                        let d1 = &det.interval1;
-                        dunn::dunn_plan(d1, ways, self.ctrl.dunn_clusters).apply(&mut self.sys);
+                        let plan = dunn::dunn_plan(&det.interval1, ways, self.ctrl.dunn_clusters);
+                        if plan.apply(&mut self.sys, &mut log).is_err() {
+                            self.sys.reset_cat();
+                            degraded = Some(degrade(&mut log, self.sys.now(), "fallback_noop"));
+                        }
                     }
                 }
                 agg = det.agg;
@@ -224,6 +301,9 @@ impl Driver {
                 unfriendly = det.unfriendly;
             }
         }
+        // Anchor for the next epoch's execution-IPC measurement.
+        let anchor = backend::pmu_read_stable(&mut self.sys, &mut log);
+        self.exec_anchor = Some((self.sys.now(), anchor));
         self.records.push(EpochRecord {
             epoch: self.epochs,
             cycle: epoch_start,
@@ -234,8 +314,22 @@ impl Driver {
             unfriendly,
             trials,
             winner,
+            exec_hm_ipc,
+            exec_ipc_delta,
+            faults: log,
+            degraded,
             applied: self.sys.control_state(),
         });
+    }
+}
+
+/// Records an epoch-level degradation decision and returns its label for
+/// [`EpochRecord::degraded`].
+fn degrade(log: &mut Vec<FaultRecord>, cycle: u64, action: &'static str) -> &'static str {
+    log.push(FaultRecord { cycle, kind: "degraded", core: None, msr: None, action });
+    match action {
+        "fallback_dunn" => "Dunn",
+        _ => "no-op",
     }
 }
 
@@ -390,6 +484,59 @@ mod tests {
         assert_eq!(taken.len(), 1);
         assert_eq!(taken[0].epoch, 1);
         assert!(drv.records().is_empty());
+    }
+
+    #[test]
+    fn exec_ipc_is_tracked_across_epochs() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::CmmA, ControllerConfig::quick());
+        drv.run_total(1_000_000);
+        let recs = drv.records();
+        assert!(recs.len() >= 3, "need several epochs: {}", recs.len());
+        // First epoch has no completed execution epoch behind it.
+        assert_eq!(recs[0].exec_hm_ipc, None);
+        assert_eq!(recs[0].exec_ipc_delta, None);
+        // From the second epoch on, the preceding execution epoch is
+        // measured; from the third, the delta exists and is consistent.
+        assert!(recs[1].exec_hm_ipc.unwrap() > 0.0);
+        let (prev, cur) = (recs[1].exec_hm_ipc.unwrap(), recs[2].exec_hm_ipc.unwrap());
+        let delta = recs[2].exec_ipc_delta.unwrap();
+        assert!((delta - (cur - prev)).abs() < 1e-9);
+        // A clean substrate records no faults and no degradation.
+        for r in recs {
+            assert!(r.faults.is_empty(), "{:?}", r.faults);
+            assert_eq!(r.degraded, None);
+        }
+    }
+
+    #[test]
+    fn clos_exhaustion_walks_the_fallback_chain() {
+        use crate::fault::{FaultConfig, FaultySubstrate};
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        // Only CLOS 0 exists: every partitioning plan (CMM and Dunn both
+        // start at CLOS 1) is unprogrammable.
+        let mut cfg = FaultConfig::none();
+        cfg.clos_limit = Some(1);
+        let faulty = FaultySubstrate::new(sys, cfg);
+        let mut drv = Driver::new(faulty, Mechanism::CmmA, ControllerConfig::quick());
+        drv.system_mut().run(600_000); // past the cold phase → nonempty Agg
+        drv.epoch();
+        let rec = drv.records().last().unwrap();
+        assert!(!rec.agg.is_empty(), "mix must trigger the CMM plan: {rec:?}");
+        let actions: Vec<&str> = rec.faults.iter().map(|f| f.action).collect();
+        assert!(actions.contains(&"fallback_dunn"), "{actions:?}");
+        assert!(actions.contains(&"fallback_noop"), "{actions:?}");
+        assert_eq!(rec.degraded, Some("no-op"));
+        assert!(rec.faults.iter().any(|f| f.kind == "clos_exhausted"));
+        // The machine ends in the safe flat state, prefetchers on.
+        let sys = drv.system();
+        let full = (1u64 << sys.inner().llc_ways()) - 1;
+        for c in 0..4 {
+            assert_eq!(sys.inner().effective_mask(c), full);
+        }
+        // No throttle search ran without the partition.
+        assert!(rec.trials.is_empty());
+        assert_eq!(rec.winner, None);
     }
 
     #[test]

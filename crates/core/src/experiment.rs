@@ -9,7 +9,9 @@
 //! the same machine configuration.
 
 use crate::driver::Driver;
+use crate::fault::{FaultConfig, FaultySubstrate};
 use crate::policy::{ControllerConfig, Mechanism};
+use crate::substrate::Substrate;
 use cmm_sim::config::SystemConfig;
 use cmm_sim::pmu::Pmu;
 use cmm_sim::System;
@@ -80,7 +82,7 @@ pub struct MixResult {
     /// Controller overhead fraction (0 for the baseline).
     pub overhead_ratio: f64,
     /// Per-epoch decision telemetry of the measurement window (see
-    /// [`crate::telemetry`]); feeds the `cmm-journal/1` run journal.
+    /// [`crate::telemetry`]); feeds the `cmm-journal/2` run journal.
     pub epochs: Vec<crate::telemetry::EpochRecord>,
 }
 
@@ -98,23 +100,34 @@ fn build_system(mix: &Mix, cfg: &ExperimentConfig) -> System {
     System::new(sys_cfg, workloads)
 }
 
-/// Runs `mix` under `mechanism` for the configured duration and reports
-/// the measurement-window statistics.
-pub fn run_mix(mix: &Mix, mechanism: Mechanism, cfg: &ExperimentConfig) -> MixResult {
-    let sys = build_system(mix, cfg);
+/// Runs `mix` on an already-built substrate under `mechanism` and reports
+/// the measurement-window statistics. The substrate must host the mix's
+/// workloads (see [`run_mix`] / [`run_mix_with_faults`] for the usual
+/// entry points).
+///
+/// Measurement-window PMU reads go through the stable-read path, so a
+/// transiently corrupted boundary snapshot on a faulty substrate degrades
+/// to a re-read instead of poisoning the whole run's IPCs.
+pub fn run_mix_on<S: Substrate>(
+    sys: S,
+    mix: &Mix,
+    mechanism: Mechanism,
+    cfg: &ExperimentConfig,
+) -> MixResult {
     let mut driver = Driver::new(sys, mechanism, cfg.ctrl.clone());
 
     // Warm-up outside the measurement window, uncontrolled.
     if cfg.warmup_cycles > 0 {
         driver.system_mut().run(cfg.warmup_cycles);
     }
-    let before = driver.system().pmu_all();
+    let mut window_log = Vec::new();
+    let before = crate::backend::pmu_read_stable(driver.system_mut(), &mut window_log);
     let traffic_before: u64 =
         (0..mix.num_cores()).map(|c| driver.system().traffic(c).total_bytes()).sum();
 
     driver.run_total(cfg.total_cycles);
 
-    let after = driver.system().pmu_all();
+    let after = crate::backend::pmu_read_stable(driver.system_mut(), &mut window_log);
     let deltas: Vec<Pmu> = after.iter().zip(before).map(|(&a, b)| a - b).collect();
     let traffic_after: u64 =
         (0..mix.num_cores()).map(|c| driver.system().traffic(c).total_bytes()).sum();
@@ -130,6 +143,25 @@ pub fn run_mix(mix: &Mix, mechanism: Mechanism, cfg: &ExperimentConfig) -> MixRe
         overhead_ratio: driver.overhead_ratio(),
         epochs: driver.take_records(),
     }
+}
+
+/// Runs `mix` under `mechanism` for the configured duration and reports
+/// the measurement-window statistics.
+pub fn run_mix(mix: &Mix, mechanism: Mechanism, cfg: &ExperimentConfig) -> MixResult {
+    run_mix_on(build_system(mix, cfg), mix, mechanism, cfg)
+}
+
+/// Like [`run_mix`], but over a [`FaultySubstrate`] injecting the given
+/// fault schedule — the `repro faults` sweep and the fault-injection
+/// integration tests run through this.
+pub fn run_mix_with_faults(
+    mix: &Mix,
+    mechanism: Mechanism,
+    cfg: &ExperimentConfig,
+    faults: &FaultConfig,
+) -> MixResult {
+    let sys = FaultySubstrate::new(build_system(mix, cfg), faults.clone());
+    run_mix_on(sys, mix, mechanism, cfg)
 }
 
 /// Measures a benchmark's run-alone IPC: a single-core machine with the

@@ -1,0 +1,329 @@
+//! Fault injection over any [`Substrate`] — the error surface real
+//! hardware throws at the paper's kernel module.
+//!
+//! [`FaultySubstrate`] wraps an inner substrate and injects, on a
+//! deterministic seeded schedule:
+//!
+//! * **MSR write rejection** ([`MsrError::Rejected`]) — the transient #GP
+//!   a WRMSR can raise; a bounded retry usually clears it.
+//! * **CLOS exhaustion** — parts ship with few CLOS; masks at or above
+//!   `clos_limit` (and associations to them) fail like the register does
+//!   not exist, which is how CAT unavailability presents in practice.
+//! * **PMU overflow** — a counter wraps, so a snapshot reads far below its
+//!   predecessor.
+//! * **Transient read garbage** — one core's snapshot comes back as junk
+//!   for a single read.
+//!
+//! The schedule is a pure function of `(seed, call sequence)`: the same
+//! run replays the same faults, which is what makes fault-injection runs
+//! journalable and byte-identical in CI. With every rate at zero the
+//! decorator consumes no entropy and is an exact passthrough — a
+//! zero-fault run over `FaultySubstrate` is indistinguishable, journal
+//! byte for journal byte, from a run over the bare inner substrate.
+
+use crate::substrate::Substrate;
+use cmm_sim::config::SystemConfig;
+use cmm_sim::memory::CoreMemTraffic;
+use cmm_sim::msr::{CatError, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC};
+use cmm_sim::pmu::Pmu;
+use cmm_sim::system::{CoreControl, MsrError};
+
+/// Fault schedule parameters. All rates are per-call probabilities in
+/// `[0, 1]`; a rate of zero disables that fault class entirely (and draws
+/// no entropy for it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability that a WRMSR is transiently rejected.
+    pub msr_reject_rate: f64,
+    /// When set, CLOS ids `>= clos_limit` do not exist: their mask MSRs
+    /// and associations fail permanently (CLOS exhaustion). `Some(1)`
+    /// leaves only the default CLOS 0 — CAT effectively unavailable.
+    pub clos_limit: Option<usize>,
+    /// Probability that one core's counters in a PMU snapshot have
+    /// wrapped (read far below the previous snapshot).
+    pub pmu_overflow_rate: f64,
+    /// Probability that one core's PMU snapshot is transient garbage.
+    pub pmu_garbage_rate: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all: the decorator is an exact passthrough.
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            msr_reject_rate: 0.0,
+            clos_limit: None,
+            pmu_overflow_rate: 0.0,
+            pmu_garbage_rate: 0.0,
+        }
+    }
+
+    /// A uniform schedule: MSR rejections and PMU overflows at `rate`,
+    /// garbage reads at half of it (they are rarer in practice), no CLOS
+    /// exhaustion.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            msr_reject_rate: rate,
+            clos_limit: None,
+            pmu_overflow_rate: rate,
+            pmu_garbage_rate: rate / 2.0,
+        }
+    }
+}
+
+/// Injection counters (ground truth for tests: what the schedule actually
+/// fired, independent of what the controller noticed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Transient WRMSR rejections injected.
+    pub msr_rejections: u64,
+    /// Writes refused because the CLOS does not exist.
+    pub clos_rejections: u64,
+    /// PMU snapshots with a wrapped core.
+    pub pmu_overflows: u64,
+    /// PMU snapshots with a garbage core.
+    pub pmu_garbage: u64,
+}
+
+impl InjectedFaults {
+    /// Total injections across all classes.
+    pub fn total(&self) -> u64 {
+        self.msr_rejections + self.clos_rejections + self.pmu_overflows + self.pmu_garbage
+    }
+}
+
+/// splitmix64 — tiny, seedable, and good enough for a fault schedule.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `p`. Draws no entropy when `p <= 0`, so
+    /// zero-rate configurations leave the stream untouched.
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// A [`Substrate`] decorator injecting the [`FaultConfig`] schedule.
+#[derive(Debug)]
+pub struct FaultySubstrate<S> {
+    inner: S,
+    cfg: FaultConfig,
+    rng: Rng,
+    injected: InjectedFaults,
+}
+
+impl<S: Substrate> FaultySubstrate<S> {
+    /// Wraps `inner` under the given fault schedule.
+    pub fn new(inner: S, cfg: FaultConfig) -> Self {
+        let rng = Rng(cfg.seed);
+        FaultySubstrate { inner, cfg, rng, injected: InjectedFaults::default() }
+    }
+
+    /// The wrapped substrate.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the decorator, returning the wrapped substrate.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// What the schedule has injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        self.injected
+    }
+
+    /// True if `msr` addresses a CLOS (mask register or an association
+    /// value) at or beyond the configured CLOS limit.
+    fn clos_exhausted(&self, msr: u32, value: u64) -> Option<usize> {
+        let limit = self.cfg.clos_limit?;
+        if msr >= IA32_L3_QOS_MASK_BASE {
+            let clos = (msr - IA32_L3_QOS_MASK_BASE) as usize;
+            if clos >= limit && clos < self.inner.config().num_clos {
+                return Some(clos);
+            }
+        }
+        if msr == IA32_PQR_ASSOC && (value as usize) >= limit {
+            return Some(value as usize);
+        }
+        None
+    }
+}
+
+impl<S: Substrate> Substrate for FaultySubstrate<S> {
+    fn num_cores(&self) -> usize {
+        self.inner.num_cores()
+    }
+
+    fn llc_ways(&self) -> u32 {
+        self.inner.llc_ways()
+    }
+
+    fn config(&self) -> &SystemConfig {
+        self.inner.config()
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+
+    fn run(&mut self, cycles: u64) {
+        self.inner.run(cycles)
+    }
+
+    fn pmu_all(&mut self) -> Vec<Pmu> {
+        let mut pmus = self.inner.pmu_all();
+        if pmus.is_empty() {
+            return pmus;
+        }
+        if self.rng.chance(self.cfg.pmu_overflow_rate) {
+            // One core's counters wrapped: the snapshot reads as if the
+            // counters restarted recently. Transient — the next read sees
+            // the true (monotone) values again.
+            let core = (self.rng.next() as usize) % pmus.len();
+            self.injected.pmu_overflows += 1;
+            let p = &mut pmus[core];
+            p.cycles &= 0xFFFF;
+            p.instructions &= 0xFFFF;
+            p.stalls_l2_pending &= 0xFFFF;
+            p.stall_cycles &= 0xFFFF;
+        }
+        if self.rng.chance(self.cfg.pmu_garbage_rate) {
+            // One core's snapshot is bus garbage for this read only.
+            let core = (self.rng.next() as usize) % pmus.len();
+            self.injected.pmu_garbage += 1;
+            let p = &mut pmus[core];
+            p.cycles = self.rng.next() | (1 << 62);
+            p.instructions = self.rng.next() | (1 << 62);
+            p.l2_pf_req = self.rng.next();
+            p.l2_dm_req = self.rng.next();
+        }
+        pmus
+    }
+
+    fn traffic(&self, core: usize) -> CoreMemTraffic {
+        self.inner.traffic(core)
+    }
+
+    fn write_msr(&mut self, core: usize, msr: u32, value: u64) -> Result<(), MsrError> {
+        if let Some(clos) = self.clos_exhausted(msr, value) {
+            self.injected.clos_rejections += 1;
+            return Err(MsrError::Cat(CatError::BadClos(clos)));
+        }
+        if self.rng.chance(self.cfg.msr_reject_rate) {
+            self.injected.msr_rejections += 1;
+            return Err(MsrError::Rejected(msr));
+        }
+        self.inner.write_msr(core, msr, value)
+    }
+
+    fn read_msr(&self, core: usize, msr: u32) -> Result<u64, MsrError> {
+        self.inner.read_msr(core, msr)
+    }
+
+    fn reset_cat(&mut self) {
+        // The safe state is always reachable — this models unloading the
+        // module / rebooting CAT to its power-on default, which cannot
+        // meaningfully "fail".
+        self.inner.reset_cat()
+    }
+
+    fn control_state(&self) -> Vec<CoreControl> {
+        self.inner.control_state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_sim::config::SystemConfig;
+    use cmm_sim::msr::MSR_MISC_FEATURE_CONTROL;
+    use cmm_sim::workload::Idle;
+    use cmm_sim::System;
+
+    fn machine(cores: usize) -> System {
+        System::new(SystemConfig::tiny(cores), (0..cores).map(|_| Box::new(Idle) as _).collect())
+    }
+
+    #[test]
+    fn zero_rates_are_exact_passthrough() {
+        let mut plain = machine(2);
+        let mut faulty = FaultySubstrate::new(machine(2), FaultConfig::none());
+        plain.run(10_000);
+        faulty.run(10_000);
+        assert_eq!(Substrate::pmu_all(&mut plain), faulty.pmu_all());
+        assert_eq!(faulty.write_msr(0, MSR_MISC_FEATURE_CONTROL, 0xF), Ok(()));
+        assert_eq!(faulty.read_msr(0, MSR_MISC_FEATURE_CONTROL), Ok(0xF));
+        assert_eq!(faulty.injected().total(), 0);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = FaultySubstrate::new(machine(2), FaultConfig::uniform(seed, 0.5));
+            let outcomes: Vec<bool> =
+                (0..64).map(|_| s.write_msr(0, MSR_MISC_FEATURE_CONTROL, 0).is_ok()).collect();
+            (outcomes, s.injected())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seeds must differ somewhere");
+        let (_, injected) = run(7);
+        assert!(injected.msr_rejections > 10, "{injected:?}");
+    }
+
+    #[test]
+    fn rejections_are_transient() {
+        // At rate 0.5, some write in a short retry burst must succeed.
+        let mut s = FaultySubstrate::new(machine(1), FaultConfig::uniform(3, 0.5));
+        let ok = (0..8).any(|_| s.write_msr(0, MSR_MISC_FEATURE_CONTROL, 0xF).is_ok());
+        assert!(ok);
+        assert_eq!(s.read_msr(0, MSR_MISC_FEATURE_CONTROL), Ok(0xF));
+    }
+
+    #[test]
+    fn clos_limit_exhausts_cat() {
+        let mut cfg = FaultConfig::none();
+        cfg.clos_limit = Some(1);
+        let mut s = FaultySubstrate::new(machine(2), cfg);
+        // CLOS 0 still works; CLOS 1 mask and association both fail.
+        assert!(Substrate::set_clos_mask(&mut s, 0, 0b11).is_ok());
+        assert_eq!(
+            Substrate::set_clos_mask(&mut s, 1, 0b11),
+            Err(MsrError::Cat(CatError::BadClos(1)))
+        );
+        assert_eq!(Substrate::assign_clos(&mut s, 0, 1), Err(MsrError::Cat(CatError::BadClos(1))));
+        assert_eq!(s.injected().clos_rejections, 2);
+        // The safe-state escape hatch still works.
+        s.reset_cat();
+        assert_eq!(Substrate::effective_mask(&s, 0), 0b1111);
+    }
+
+    #[test]
+    fn pmu_faults_are_per_read_and_detectable() {
+        let mut s = FaultySubstrate::new(machine(2), FaultConfig::uniform(9, 1.0));
+        s.run(50_000);
+        let a = s.pmu_all();
+        let b = s.pmu_all();
+        // With overflow at rate 1.0 every read corrupts some core, and two
+        // corrupted reads of an unchanged machine disagree — which is
+        // exactly the signal the controller's stable-read loop keys on.
+        assert_ne!(a, b);
+        assert!(s.injected().pmu_overflows >= 2);
+    }
+}

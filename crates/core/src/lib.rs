@@ -23,17 +23,23 @@
 //!   [`policy::Mechanism`] and produce the per-core IPC / bandwidth /
 //!   stall numbers behind every figure of the evaluation.
 //!
-//! The controller talks to the machine exclusively through
-//! [`cmm_sim::System`]'s PMU/MSR surface — exactly the interface the
-//! paper's kernel module has on real hardware — so the algorithms here
-//! would port to an actual MSR/resctrl backend unchanged.
+//! The controller talks to the machine exclusively through the
+//! [`substrate::Substrate`] trait — PMU reads, MSR 0x1A4 throttle writes,
+//! CAT mask/CLOS programming, cycle advance; exactly the interface the
+//! paper's kernel module has on real hardware. [`cmm_sim::System`] is the
+//! canonical implementation and [`fault::FaultySubstrate`] decorates any
+//! substrate with a deterministic fault schedule, so the algorithms here
+//! would port to an actual MSR/resctrl backend unchanged — and are tested
+//! against the error surface that backend would throw.
 
 pub mod backend;
 pub mod driver;
 pub mod experiment;
+pub mod fault;
 pub mod frontend;
 pub mod policy;
 pub mod resctrl;
+pub mod substrate;
 pub mod telemetry;
 
 /// The types most users need.
@@ -41,7 +47,9 @@ pub mod prelude {
     pub use crate::backend::{partition_ways, PartitionPlan};
     pub use crate::driver::Driver;
     pub use crate::experiment::{run_alone_ipc, run_mix, ExperimentConfig, MixResult};
+    pub use crate::fault::{FaultConfig, FaultySubstrate};
     pub use crate::frontend::{detect_agg, metrics, DetectorConfig, Metrics};
     pub use crate::policy::{ControllerConfig, Mechanism};
-    pub use crate::telemetry::{CoreSample, EpochRecord, Manifest, Trial};
+    pub use crate::substrate::Substrate;
+    pub use crate::telemetry::{CoreSample, EpochRecord, FaultRecord, Manifest, Trial};
 }

@@ -4,13 +4,18 @@
 //! by hand uses the `resctrl` filesystem, whose `schemata` files carry
 //! lines like `L3:0=fffff;1=00003` (per-CLOS way masks in hex) and whose
 //! `cpus_list` files assign cores to groups. This module implements that
-//! text dialect over [`cmm_sim::System`], so the examples — and any
+//! text dialect over any [`Substrate`], so the examples — and any
 //! downstream tooling — can drive partitioning exactly the way a sysadmin
 //! would, and the controller's decisions can be *printed* as the schemata
 //! an operator could apply on real hardware.
+//!
+//! Application is **atomic per line**: a schemata line is fully parsed
+//! before any MSR is touched, so a malformed line never leaves the machine
+//! half-programmed. MSR failures mid-application are still possible on a
+//! faulty substrate and surface as [`ResctrlError::Msr`].
 
+use crate::substrate::Substrate;
 use cmm_sim::system::MsrError;
-use cmm_sim::System;
 
 /// Errors from parsing or applying a schemata line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,8 +77,9 @@ pub fn parse_schemata(line: &str) -> Result<Vec<(usize, u64)>, ResctrlError> {
     Ok(out)
 }
 
-/// Applies a schemata line to the machine's CAT masks.
-pub fn apply_schemata(sys: &mut System, line: &str) -> Result<(), ResctrlError> {
+/// Applies a schemata line to the machine's CAT masks. The line is fully
+/// parsed first, so a syntax error never touches the machine.
+pub fn apply_schemata<S: Substrate>(sys: &mut S, line: &str) -> Result<(), ResctrlError> {
     for (clos, mask) in parse_schemata(line)? {
         sys.set_clos_mask(clos, mask)?;
     }
@@ -81,13 +87,15 @@ pub fn apply_schemata(sys: &mut System, line: &str) -> Result<(), ResctrlError> 
 }
 
 /// Renders the current CAT masks of CLOS `0..n` as a schemata line.
-pub fn format_schemata(sys: &System, num_clos: usize) -> String {
+/// An unreadable mask register renders as `?` (a real resctrl would show
+/// the file read failing; a text dump must not panic).
+pub fn format_schemata<S: Substrate>(sys: &S, num_clos: usize) -> String {
     let mut parts = Vec::with_capacity(num_clos);
     for clos in 0..num_clos {
-        let mask = sys
-            .read_msr(0, cmm_sim::msr::IA32_L3_QOS_MASK_BASE + clos as u32)
-            .expect("clos in range");
-        parts.push(format!("{clos}={mask:x}"));
+        match sys.read_msr(0, cmm_sim::msr::IA32_L3_QOS_MASK_BASE + clos as u32) {
+            Ok(mask) => parts.push(format!("{clos}={mask:x}")),
+            Err(_) => parts.push(format!("{clos}=?")),
+        }
     }
     format!("L3:{}", parts.join(";"))
 }
@@ -119,7 +127,11 @@ pub fn parse_cpus_list(list: &str) -> Result<Vec<usize>, ResctrlError> {
 }
 
 /// Assigns the cores of a `cpus_list` string to a CLOS (one resctrl group).
-pub fn assign_group(sys: &mut System, clos: usize, cpus: &str) -> Result<(), ResctrlError> {
+pub fn assign_group<S: Substrate>(
+    sys: &mut S,
+    clos: usize,
+    cpus: &str,
+) -> Result<(), ResctrlError> {
     for core in parse_cpus_list(cpus)? {
         sys.assign_clos(core, clos)?;
     }
@@ -131,6 +143,7 @@ mod tests {
     use super::*;
     use cmm_sim::config::SystemConfig;
     use cmm_sim::workload::Idle;
+    use cmm_sim::System;
 
     fn machine(cores: usize) -> System {
         System::new(SystemConfig::scaled(cores), (0..cores).map(|_| Box::new(Idle) as _).collect())
@@ -188,5 +201,57 @@ mod tests {
     fn out_of_range_core_rejected() {
         let mut sys = machine(2);
         assert!(assign_group(&mut sys, 0, "0-5").is_err());
+    }
+
+    #[test]
+    fn malformed_schemata_leaves_machine_untouched() {
+        let mut sys = machine(2);
+        apply_schemata(&mut sys, "L3:1=3").unwrap();
+        let before = format_schemata(&sys, 4);
+        // A valid first token followed by a malformed one: the parse-then-
+        // apply contract means nothing may have been written.
+        for bad in ["L3:2=1;x=3", "L3:2=1;3=zz", "L3:2=1;nonsense", "MB:2=1"] {
+            assert!(apply_schemata(&mut sys, bad).is_err(), "{bad} should not parse");
+            assert_eq!(format_schemata(&sys, 4), before, "{bad} must not touch the machine");
+        }
+        // Round-trip of the untouched state still works.
+        let line = format_schemata(&sys, 2);
+        let mut other = machine(2);
+        apply_schemata(&mut other, &line).unwrap();
+        assert_eq!(format_schemata(&other, 2), line);
+    }
+
+    #[test]
+    fn msr_rejection_propagates_as_resctrl_msr_error() {
+        use crate::fault::{FaultConfig, FaultySubstrate};
+        // Every WRMSR rejected: the error must surface as ResctrlError::Msr
+        // through the trait, not a panic.
+        let mut faulty = FaultySubstrate::new(machine(2), FaultConfig::uniform(1, 1.0));
+        let err = apply_schemata(&mut faulty, "L3:1=3").unwrap_err();
+        match &err {
+            ResctrlError::Msr(msg) => assert!(msg.contains("rejected"), "{msg}"),
+            other => panic!("want Msr, got {other:?}"),
+        }
+        let err = assign_group(&mut faulty, 0, "0").unwrap_err();
+        assert!(matches!(err, ResctrlError::Msr(_)), "{err:?}");
+    }
+
+    #[test]
+    fn clos_exhaustion_propagates_and_format_degrades() {
+        use crate::fault::{FaultConfig, FaultySubstrate};
+        let mut cfg = FaultConfig::none();
+        cfg.clos_limit = Some(2);
+        let mut faulty = FaultySubstrate::new(machine(2), cfg);
+        // CLOS 0/1 fine, CLOS 2 exhausted mid-line: the machine is left
+        // partially programmed and the caller learns why.
+        let err = apply_schemata(&mut faulty, "L3:1=3;2=3").unwrap_err();
+        match &err {
+            ResctrlError::Msr(msg) => assert!(msg.contains("CLOS"), "{msg}"),
+            other => panic!("want Msr, got {other:?}"),
+        }
+        // CLOS 1 did land before the failure (per-line atomicity covers
+        // parsing, not the substrate), and formatting the readable CLOS
+        // still works.
+        assert!(format_schemata(&faulty, 2).contains("1=3"));
     }
 }

@@ -1,0 +1,206 @@
+//! The hardware surface the controller is written against.
+//!
+//! The paper's mechanism is a kernel module whose entire view of the
+//! machine is PMU reads, `MSR 0x1A4` throttle writes, CAT mask/CLOS
+//! programming, and the passage of time. [`Substrate`] captures exactly
+//! that surface as a trait, so the whole controller stack — the
+//! [`crate::driver::Driver`], the [`crate::backend`] allocators and the
+//! [`crate::resctrl`] text interface — is generic over *what machine it
+//! runs on*: the canonical [`cmm_sim::System`], a fault-injecting
+//! decorator ([`crate::fault::FaultySubstrate`]), or, later, a
+//! multi-socket composite.
+//!
+//! The trait's required methods are the raw architectural surface
+//! (RDMSR/WRMSR, PMU snapshot, cycle advance); the convenience methods the
+//! controller actually calls (`set_prefetching`, `set_clos_mask`, …) are
+//! provided defaults built strictly on top of that surface, so a decorator
+//! that intercepts `write_msr`/`read_msr` automatically intercepts every
+//! higher-level operation too.
+
+use cmm_sim::config::SystemConfig;
+use cmm_sim::memory::CoreMemTraffic;
+use cmm_sim::msr::{IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL};
+use cmm_sim::pmu::Pmu;
+use cmm_sim::system::{CoreControl, MsrError};
+use cmm_sim::System;
+
+/// The machine surface the controller programs and observes.
+///
+/// Everything the CMM control loop does goes through this trait; nothing
+/// in `cmm_core` names [`cmm_sim::System`] concretely except the blanket
+/// impl below and the convenience re-exports.
+pub trait Substrate {
+    /// Number of logical cores.
+    fn num_cores(&self) -> usize;
+
+    /// LLC associativity (CAT mask width).
+    fn llc_ways(&self) -> u32;
+
+    /// The machine geometry the controller sizes partitions against.
+    fn config(&self) -> &SystemConfig;
+
+    /// Global cycle count.
+    fn now(&self) -> u64;
+
+    /// Advances the machine by `cycles` cycles.
+    fn run(&mut self, cycles: u64);
+
+    /// Snapshots every core's PMU at once (the paper's PMI-handler read).
+    /// Takes `&mut self` because a faulty substrate consumes entropy per
+    /// read; reading does not advance the machine clock.
+    fn pmu_all(&mut self) -> Vec<Pmu>;
+
+    /// Per-core memory traffic counters (uncore counters on real parts).
+    fn traffic(&self, core: usize) -> CoreMemTraffic;
+
+    /// WRMSR. The controller writes `MSR_MISC_FEATURE_CONTROL` (0x1A4),
+    /// `IA32_PQR_ASSOC` and `IA32_L3_QOS_MASK_BASE + n`.
+    fn write_msr(&mut self, core: usize, msr: u32, value: u64) -> Result<(), MsrError>;
+
+    /// RDMSR over the same register set.
+    fn read_msr(&self, core: usize, msr: u32) -> Result<u64, MsrError>;
+
+    /// Restores power-on CAT state (every core sees the whole LLC). This
+    /// is the controller's infallible escape hatch: when CAT programming
+    /// fails mid-plan the machine must still have a safe configuration to
+    /// fall back to, exactly as unloading the kernel module would.
+    fn reset_cat(&mut self);
+
+    /// Read-back of the control state in force per core (CLOS, effective
+    /// way mask, raw prefetcher MSR image) — the telemetry journal's
+    /// "what was actually programmed" half.
+    fn control_state(&self) -> Vec<CoreControl>;
+
+    // ----- conveniences, all routed through the raw MSR surface ---------
+
+    /// Enables (`true`) or disables (`false`) all prefetch engines of one
+    /// core — the granularity the paper's binary mechanisms use.
+    fn set_prefetching(&mut self, core: usize, enabled: bool) -> Result<(), MsrError> {
+        self.write_msr(core, MSR_MISC_FEATURE_CONTROL, if enabled { 0x0 } else { 0xF })
+    }
+
+    /// True if any prefetch engine of `core` is enabled. Unreadable MSRs
+    /// report `true` (the power-on state).
+    fn prefetching_enabled(&self, core: usize) -> bool {
+        self.read_msr(core, MSR_MISC_FEATURE_CONTROL).map(|v| v != 0xF).unwrap_or(true)
+    }
+
+    /// Programs the way mask of a CLOS.
+    fn set_clos_mask(&mut self, clos: usize, mask: u64) -> Result<(), MsrError> {
+        self.write_msr(0, IA32_L3_QOS_MASK_BASE + clos as u32, mask)
+    }
+
+    /// Moves a core into a CLOS.
+    fn assign_clos(&mut self, core: usize, clos: usize) -> Result<(), MsrError> {
+        self.write_msr(core, IA32_PQR_ASSOC, clos as u64)
+    }
+
+    /// Current allocation mask in force for a core; the full mask when the
+    /// CAT registers cannot be read.
+    fn effective_mask(&self, core: usize) -> u64 {
+        let full = (1u64 << self.llc_ways()) - 1;
+        let clos = match self.read_msr(core, IA32_PQR_ASSOC) {
+            Ok(c) => c as u32,
+            Err(_) => return full,
+        };
+        self.read_msr(core, IA32_L3_QOS_MASK_BASE + clos).unwrap_or(full)
+    }
+}
+
+/// The simulator is the canonical substrate; every method forwards to the
+/// inherent [`System`] API unchanged, so a `Driver<System>` behaves
+/// bit-for-bit like the pre-trait controller did.
+impl Substrate for System {
+    fn num_cores(&self) -> usize {
+        System::num_cores(self)
+    }
+
+    fn llc_ways(&self) -> u32 {
+        System::llc_ways(self)
+    }
+
+    fn config(&self) -> &SystemConfig {
+        System::config(self)
+    }
+
+    fn now(&self) -> u64 {
+        System::now(self)
+    }
+
+    fn run(&mut self, cycles: u64) {
+        System::run(self, cycles)
+    }
+
+    fn pmu_all(&mut self) -> Vec<Pmu> {
+        System::pmu_all(self)
+    }
+
+    fn traffic(&self, core: usize) -> CoreMemTraffic {
+        System::traffic(self, core)
+    }
+
+    fn write_msr(&mut self, core: usize, msr: u32, value: u64) -> Result<(), MsrError> {
+        System::write_msr(self, core, msr, value)
+    }
+
+    fn read_msr(&self, core: usize, msr: u32) -> Result<u64, MsrError> {
+        System::read_msr(self, core, msr)
+    }
+
+    fn reset_cat(&mut self) {
+        System::reset_cat(self)
+    }
+
+    fn control_state(&self) -> Vec<CoreControl> {
+        System::control_state(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_sim::config::SystemConfig;
+    use cmm_sim::workload::Idle;
+
+    fn machine(cores: usize) -> System {
+        System::new(SystemConfig::tiny(cores), (0..cores).map(|_| Box::new(Idle) as _).collect())
+    }
+
+    /// Exercises the trait surface through a generic function, proving the
+    /// defaults compose over `write_msr`/`read_msr` only.
+    fn drive<S: Substrate>(sys: &mut S) {
+        sys.set_prefetching(0, false).unwrap();
+        assert!(!sys.prefetching_enabled(0));
+        sys.set_clos_mask(1, 0b11).unwrap();
+        sys.assign_clos(1, 1).unwrap();
+        assert_eq!(sys.effective_mask(1), 0b11);
+        sys.reset_cat();
+        assert_eq!(sys.effective_mask(1), (1 << sys.llc_ways()) - 1);
+        sys.set_prefetching(0, true).unwrap();
+    }
+
+    #[test]
+    fn system_satisfies_the_surface_generically() {
+        let mut sys = machine(2);
+        drive(&mut sys);
+        // Trait defaults and inherent System methods agree.
+        assert!(System::prefetching_enabled(&sys, 0));
+        assert_eq!(Substrate::effective_mask(&sys, 0), System::effective_mask(&sys, 0));
+    }
+
+    #[test]
+    fn trait_and_inherent_control_state_agree() {
+        let mut sys = machine(2);
+        Substrate::set_prefetching(&mut sys, 1, false).unwrap();
+        let via_trait = Substrate::control_state(&sys);
+        assert_eq!(via_trait, System::control_state(&sys));
+        assert_eq!(via_trait[1].msr_1a4, 0xF);
+    }
+
+    #[test]
+    fn effective_mask_degrades_to_full_on_unreadable_cat() {
+        // Core index out of range: the convenience must not panic.
+        let sys = machine(1);
+        assert_eq!(Substrate::effective_mask(&sys, 7), (1 << sys.llc_ways()) - 1);
+    }
+}

@@ -1,4 +1,4 @@
-//! Per-epoch controller telemetry — the `cmm-journal/1` run journal.
+//! Per-epoch controller telemetry — the `cmm-journal/2` run journal.
 //!
 //! CMM's value is its control loop: every profiling epoch the front-end
 //! computes the metric cascade (M-1..M-7, Fig. 5), detects the `Agg` set,
@@ -12,9 +12,18 @@
 //! journal:
 //!
 //! ```text
-//! {"schema":"cmm-journal/1","kind":"manifest","target":"table1",...}
+//! {"schema":"cmm-journal/2","kind":"manifest","target":"table1",...}
 //! {"kind":"epoch","run":"PrefAgg-00: CMM-a","epoch":1,"cycle":...,...}
 //! ```
+//!
+//! Schema `/2` extends `/1` with the fault/degradation story: per-epoch
+//! `faults` (every substrate fault the controller observed and what it did
+//! about it — see [`FaultRecord`]), `degraded` (the fallback mechanism the
+//! epoch retreated to, if any), and `exec_hm_ipc` / `exec_ipc_delta`
+//! (harmonic-mean IPC over the preceding execution epoch and its change
+//! versus the one before — "did the applied winner actually help?").
+//! Readers that accept `/1` journals can read `/2` journals by ignoring
+//! the new keys; nothing was removed or reordered.
 //!
 //! One JSON object per line; the first line is the run manifest (git SHA,
 //! host info, config digest), every further line one epoch. The rendering
@@ -26,6 +35,48 @@
 
 use crate::frontend::Metrics;
 use cmm_sim::system::CoreControl;
+
+/// One substrate fault the controller observed, and what it did about it.
+///
+/// `kind` names the fault class, `action` the controller's response:
+///
+/// | kind             | meaning                                   | actions                     |
+/// |------------------|-------------------------------------------|-----------------------------|
+/// | `msr_rejected`   | transient WRMSR rejection                 | `retry_ok`, `gave_up`       |
+/// | `clos_exhausted` | CAT write to a CLOS the part doesn't have | `gave_up`                   |
+/// | `msr_error`      | any other WRMSR failure                   | `retry_ok`, `gave_up`       |
+/// | `pmu_anomaly`    | unstable / implausible PMU snapshot       | `reread`, `zeroed_sample`   |
+/// | `degraded`       | epoch-level fallback decision             | `fallback_dunn`, `fallback_noop`, `kept_last_good` |
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Machine clock when the fault was observed.
+    pub cycle: u64,
+    /// Fault class (see table above).
+    pub kind: &'static str,
+    /// Core the operation targeted, when core-specific.
+    pub core: Option<usize>,
+    /// MSR address involved, for MSR-class faults.
+    pub msr: Option<u32>,
+    /// What the controller did in response (see table above).
+    pub action: &'static str,
+}
+
+impl FaultRecord {
+    fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str(&format!("{{\"cycle\":{},\"kind\":\"{}\"", self.cycle, escape(self.kind)));
+        match self.core {
+            Some(c) => s.push_str(&format!(",\"core\":{c}")),
+            None => s.push_str(",\"core\":null"),
+        }
+        match self.msr {
+            Some(m) => s.push_str(&format!(",\"msr\":{m}")),
+            None => s.push_str(",\"msr\":null"),
+        }
+        s.push_str(&format!(",\"action\":\"{}\"}}", escape(self.action)));
+        s
+    }
+}
 
 /// One trialed back-end configuration and its rank.
 ///
@@ -74,6 +125,21 @@ pub struct EpochRecord {
     /// Index into `trials` of the applied winner; `None` when no search
     /// ran.
     pub winner: Option<usize>,
+    /// Harmonic-mean IPC over the execution epoch that preceded this
+    /// profiling epoch. `None` for the first epoch (no execution epoch has
+    /// completed yet).
+    pub exec_hm_ipc: Option<f64>,
+    /// Change in `exec_hm_ipc` versus the previous execution epoch — the
+    /// journal's direct answer to "did the applied winner actually help?".
+    /// `None` until two execution epochs have completed.
+    pub exec_ipc_delta: Option<f64>,
+    /// Every substrate fault observed during this epoch and the
+    /// controller's response, in observation order.
+    pub faults: Vec<FaultRecord>,
+    /// Fallback mechanism this epoch retreated to when its own allocator
+    /// could not be applied (`"Dunn"` or `"no-op"`); `None` when the
+    /// epoch's own decision was applied.
+    pub degraded: Option<&'static str>,
     /// CAT/throttle state in force after the epoch's decision was applied,
     /// read back from the machine.
     pub applied: Vec<CoreControl>,
@@ -128,6 +194,26 @@ impl EpochRecord {
             Some(w) => s.push_str(&format!(",\"winner\":{w}")),
             None => s.push_str(",\"winner\":null"),
         }
+        match self.exec_hm_ipc {
+            Some(v) => s.push_str(&format!(",\"exec_hm_ipc\":{}", num(v))),
+            None => s.push_str(",\"exec_hm_ipc\":null"),
+        }
+        match self.exec_ipc_delta {
+            Some(v) => s.push_str(&format!(",\"exec_ipc_delta\":{}", num(v))),
+            None => s.push_str(",\"exec_ipc_delta\":null"),
+        }
+        s.push_str(",\"faults\":[");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&f.to_json());
+        }
+        s.push(']');
+        match self.degraded {
+            Some(d) => s.push_str(&format!(",\"degraded\":\"{}\"", escape(d))),
+            None => s.push_str(",\"degraded\":null"),
+        }
         s.push_str(",\"applied\":{\"clos\":[");
         push_joined(&mut s, self.applied.iter().map(|a| a.clos.to_string()));
         s.push_str("],\"way_mask\":[");
@@ -168,7 +254,7 @@ impl Manifest {
     /// journal must be byte-identical across thread counts and runs.
     pub fn to_json_line(&self) -> String {
         format!(
-            "{{\"schema\":\"cmm-journal/1\",\"kind\":\"manifest\",\"target\":\"{}\",\
+            "{{\"schema\":\"cmm-journal/2\",\"kind\":\"manifest\",\"target\":\"{}\",\
              \"quick\":{},\"seed\":{},\"git_sha\":\"{}\",\
              \"host\":{{\"os\":\"{}\",\"arch\":\"{}\",\"cpus\":{}}},\
              \"config_digest\":\"{}\"}}",
@@ -269,6 +355,16 @@ mod tests {
                 Trial { msr_1a4: vec![0xF], hm_ipc: 0.9 },
             ],
             winner: Some(0),
+            exec_hm_ipc: Some(1.1),
+            exec_ipc_delta: Some(-0.05),
+            faults: vec![FaultRecord {
+                cycle: 1_200_100,
+                kind: "msr_rejected",
+                core: Some(0),
+                msr: Some(0x1A4),
+                action: "retry_ok",
+            }],
+            degraded: None,
             applied: vec![CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0x0 }],
         }
     }
@@ -291,6 +387,10 @@ mod tests {
             "\"msr_1a4\":[0]",
             "\"hm_ipc\":1.200000",
             "\"winner\":0",
+            "\"exec_hm_ipc\":1.100000",
+            "\"exec_ipc_delta\":-0.050000",
+            "\"faults\":[{\"cycle\":1200100,\"kind\":\"msr_rejected\",\"core\":0,\"msr\":420,\"action\":\"retry_ok\"}]",
+            "\"degraded\":null",
             "\"way_mask\":[3]",
             "\"prefetch\":[true]",
         ] {
@@ -303,8 +403,33 @@ mod tests {
         let mut r = sample_record();
         r.trials.clear();
         r.winner = None;
+        r.exec_hm_ipc = None;
+        r.exec_ipc_delta = None;
+        r.faults.clear();
         assert!(r.to_json_line("x").contains("\"winner\":null"));
         assert!(r.to_json_line("x").contains("\"trials\":[]"));
+        assert!(r.to_json_line("x").contains("\"exec_hm_ipc\":null"));
+        assert!(r.to_json_line("x").contains("\"exec_ipc_delta\":null"));
+        assert!(r.to_json_line("x").contains("\"faults\":[]"));
+    }
+
+    #[test]
+    fn degradation_serializes_with_its_faults() {
+        let mut r = sample_record();
+        r.degraded = Some("no-op");
+        r.faults.push(FaultRecord {
+            cycle: 1_200_200,
+            kind: "degraded",
+            core: None,
+            msr: None,
+            action: "fallback_noop",
+        });
+        let line = r.to_json_line("x");
+        assert!(line.contains("\"degraded\":\"no-op\""));
+        assert!(line.contains(
+            "{\"cycle\":1200200,\"kind\":\"degraded\",\"core\":null,\"msr\":null,\
+             \"action\":\"fallback_noop\"}"
+        ));
     }
 
     #[test]
@@ -320,7 +445,7 @@ mod tests {
             config_digest: config_digest("cfg"),
         };
         let line = m.to_json_line();
-        assert!(line.starts_with("{\"schema\":\"cmm-journal/1\",\"kind\":\"manifest\""));
+        assert!(line.starts_with("{\"schema\":\"cmm-journal/2\",\"kind\":\"manifest\""));
         assert!(line.contains("\"target\":\"table1\""));
         assert!(line.contains("\"cpus\":8"));
         assert!(line.contains("\"config_digest\":\"fnv1a:"));

@@ -28,6 +28,11 @@ pub enum MsrError {
     Cat(CatError),
     /// Core index out of range.
     BadCore(usize),
+    /// Transient WRMSR rejection (a spurious #GP a retry may clear). The
+    /// base [`System`] never raises this; fault-injecting substrates do,
+    /// and the controller's bounded-retry path depends on distinguishing
+    /// it from the permanent errors above.
+    Rejected(u32),
 }
 
 impl std::fmt::Display for MsrError {
@@ -36,6 +41,7 @@ impl std::fmt::Display for MsrError {
             MsrError::UnknownMsr(a) => write!(f, "unknown MSR {a:#x}"),
             MsrError::Cat(e) => write!(f, "CAT error: {e}"),
             MsrError::BadCore(c) => write!(f, "core {c} out of range"),
+            MsrError::Rejected(a) => write!(f, "WRMSR {a:#x} transiently rejected"),
         }
     }
 }

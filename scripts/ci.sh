@@ -62,7 +62,7 @@ smoke_repro() {
     grep -q '"schema": "cmm-bench-sim/1"' "$tmp/BENCH_sim.json"
     grep -q '"cells_per_s"' "$tmp/BENCH_sim.json"
     # The journal carries real controller decisions.
-    head -1 "$tmp/journal.jobs1.jsonl" | grep -q '"schema":"cmm-journal/1"'
+    head -1 "$tmp/journal.jobs1.jsonl" | grep -q '"schema":"cmm-journal/2"'
     grep -q '"kind":"epoch"' "$tmp/journal.jobs1.jsonl"
     grep -q '"hm_ipc"' "$tmp/journal.jobs1.jsonl"
     grep -q '"winner"' "$tmp/journal.jobs1.jsonl"
@@ -91,5 +91,37 @@ smoke_bench_compare() {
     fi
 }
 step "repro bench-compare smoke (pass + injected 2x regression)" smoke_bench_compare
+
+smoke_faults() {
+    # Fault-injection smoke: fixed seeds, nonzero fault rate. The sweep
+    # must exit cleanly (the smoothness gate holds) and its stdout AND
+    # journal must be byte-identical across job counts — injected fault
+    # schedules are part of the deterministic surface.
+    ./target/release/repro faults --quick --seed 42 --fault-seed 7 \
+        --jobs "$SMOKE_JOBS" --bench-json "$tmp/BENCH_faults.json" \
+        --journal "$tmp/faults.jobsN.jsonl" > "$tmp/faults.jobsN.txt"
+    ./target/release/repro faults --quick --seed 42 --fault-seed 7 \
+        --jobs 1 --bench-json "$tmp/BENCH_faults.1.json" \
+        --journal "$tmp/faults.jobs1.jsonl" > "$tmp/faults.jobs1.txt"
+    cmp "$tmp/faults.jobs1.txt" "$tmp/faults.jobsN.txt"
+    cmp "$tmp/faults.jobs1.jsonl" "$tmp/faults.jobsN.jsonl"
+    head -1 "$tmp/faults.jobs1.jsonl" | grep -q '"schema":"cmm-journal/2"'
+    # Nonzero rates really injected and journaled faults.
+    grep -q '"faults":\[{' "$tmp/faults.jobs1.jsonl"
+}
+step "repro faults smoke (determinism + journaled faults)" smoke_faults
+
+smoke_journal_diff() {
+    # Identical decision sequences: exit 0.
+    ./target/release/repro journal-diff \
+        "$tmp/faults.jobs1.jsonl" "$tmp/faults.jobsN.jsonl" > /dev/null
+    # Different targets (table1 vs faults): runs differ, must exit 1.
+    if ./target/release/repro journal-diff \
+        "$tmp/journal.jobs1.jsonl" "$tmp/faults.jobs1.jsonl" > /dev/null; then
+        echo "journal-diff failed to flag divergent journals" >&2
+        return 1
+    fi
+}
+step "repro journal-diff smoke (identical pass + divergence fails)" smoke_journal_diff
 
 echo "CI OK"

@@ -1,0 +1,81 @@
+//! Fault-injection resilience: the controller stack must survive a faulty
+//! substrate — transient WRMSR rejections, exhausted CLOS, corrupt PMU
+//! snapshots — without panicking, while degrading performance boundedly
+//! and journaling every fault and fallback it took. And the decorator must
+//! be invisible at rate zero: a `FaultySubstrate` with no faults scheduled
+//! produces byte-identical journals to the bare machine.
+
+use cmm_core::experiment::{run_mix, run_mix_with_faults, ExperimentConfig};
+use cmm_core::fault::FaultConfig;
+use cmm_core::policy::Mechanism;
+use cmm_metrics::hm_ipc;
+use cmm_workloads::build_mixes;
+
+#[test]
+fn fault_storm_degrades_boundedly() {
+    let mix = build_mixes(11, 1).remove(1); // a PrefAgg mix
+    let cfg = ExperimentConfig::quick();
+    let clean = run_mix(&mix, Mechanism::CmmA, &cfg);
+    let stormy = run_mix_with_faults(&mix, Mechanism::CmmA, &cfg, &FaultConfig::uniform(7, 0.2));
+
+    let clean_hm = hm_ipc(&clean.ipcs);
+    let storm_hm = hm_ipc(&stormy.ipcs);
+    assert!(clean_hm > 0.0);
+    assert!(
+        storm_hm >= 0.4 * clean_hm,
+        "20% fault rate cliffed hm_ipc: {storm_hm:.3} vs clean {clean_hm:.3}"
+    );
+
+    // The storm was real and the controller journaled it.
+    let faults: usize = stormy.epochs.iter().map(|e| e.faults.len()).sum();
+    assert!(faults > 0, "no faults recorded at 20% rate");
+    let recovered = stormy
+        .epochs
+        .iter()
+        .flat_map(|e| &e.faults)
+        .any(|f| f.action == "retry_ok" || f.action == "reread" || f.action == "zeroed_sample");
+    assert!(recovered, "expected at least one recovery action in the journal");
+}
+
+#[test]
+fn exhausted_cat_walks_the_fallback_chain() {
+    let mix = build_mixes(11, 1).remove(1);
+    let cfg = ExperimentConfig::quick();
+    // Only CLOS 0 exists: CMM-a's partition cannot be programmed, and
+    // neither can Dunn's (CLOS 1..), so every partitioning epoch must
+    // retreat CMM → Dunn → no-op and say so in the journal.
+    let mut faults = FaultConfig::none();
+    faults.clos_limit = Some(1);
+    let r = run_mix_with_faults(&mix, Mechanism::CmmA, &cfg, &faults);
+
+    let degraded: Vec<_> = r.epochs.iter().filter_map(|e| e.degraded).collect();
+    assert!(degraded.contains(&"no-op"), "no epoch reached the no-op fallback: {degraded:?}");
+    let actions: Vec<&str> = r.epochs.iter().flat_map(|e| &e.faults).map(|f| f.action).collect();
+    assert!(actions.contains(&"fallback_dunn"), "missing fallback_dunn in {actions:?}");
+    assert!(actions.contains(&"fallback_noop"), "missing fallback_noop in {actions:?}");
+    assert!(
+        r.epochs.iter().flat_map(|e| &e.faults).any(|f| f.kind == "clos_exhausted"),
+        "CLOS exhaustion never journaled"
+    );
+    // The run still produced sane throughput (prefetch throttling needs no
+    // CAT, and the no-op fallback keeps the machine unpartitioned).
+    assert!(hm_ipc(&r.ipcs) > 0.0);
+}
+
+#[test]
+fn zero_fault_decorator_is_byte_invisible() {
+    let mix = build_mixes(11, 1).remove(1);
+    let cfg = ExperimentConfig::quick();
+    let bare = run_mix(&mix, Mechanism::CmmA, &cfg);
+    let wrapped = run_mix_with_faults(&mix, Mechanism::CmmA, &cfg, &FaultConfig::none());
+
+    assert_eq!(bare.ipcs, wrapped.ipcs);
+    assert_eq!(bare.mem_bytes, wrapped.mem_bytes);
+    assert_eq!(bare.epochs, wrapped.epochs);
+    // Journal byte-identity, the property CI's fault smoke leans on.
+    let render = |epochs: &[cmm_core::telemetry::EpochRecord]| -> String {
+        epochs.iter().map(|e| e.to_json_line("mix: CMM-a")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(render(&bare.epochs), render(&wrapped.epochs));
+    assert!(bare.epochs.iter().all(|e| e.faults.is_empty() && e.degraded.is_none()));
+}
