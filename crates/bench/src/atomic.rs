@@ -1,0 +1,186 @@
+//! Crash-safe artifact IO.
+//!
+//! Every file the harness writes falls into one of two shapes, and each
+//! gets a crash-safety discipline here:
+//!
+//! * **Whole documents** (`BENCH_sim.json`, the final run journal): written
+//!   via [`write_atomic`] — the bytes land in a temp file in the same
+//!   directory, are synced, and are renamed over the destination. A crash
+//!   at any point leaves either the old complete file or the new complete
+//!   file, never a torn mix.
+//! * **Append-only JSONL** (the `cmm-ckpt/1` resume sidecar): written via
+//!   [`JsonlAppender`] — one `write` + flush + fsync per record, so after a
+//!   crash at most the *final* line is partial. [`salvage_jsonl`] is the
+//!   matching reader: it drops an unterminated (or unparseable) tail line
+//!   and reports how many records survived, instead of refusing the file.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json;
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename. Readers never observe a partially written file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact");
+    let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the original error is what matters.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Thread-safe append-only JSONL writer: each [`append`](Self::append)
+/// writes `line + "\n"` as one buffer, flushes, and fsyncs, so a crash can
+/// tear at most the record being written — never an earlier one.
+#[derive(Debug)]
+pub struct JsonlAppender {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl JsonlAppender {
+    /// Opens `path` for appending (creating it if absent).
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlAppender { path: path.to_path_buf(), file: Mutex::new(file) })
+    }
+
+    /// Appends one record (no trailing newline in `line`) durably.
+    pub fn append(&self, line: &str) -> std::io::Result<()> {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        let f = self.file.lock().expect("appender lock poisoned");
+        let mut f = &*f;
+        f.write_all(buf.as_bytes())?;
+        f.flush()?;
+        f.sync_data()
+    }
+
+    /// The file being appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Outcome of reading a possibly-torn JSONL file.
+#[derive(Debug, Clone)]
+pub struct Salvage {
+    /// The complete, parseable records, in file order.
+    pub lines: Vec<String>,
+    /// Trailing partial/unparseable lines dropped (0 or 1 for files
+    /// written by [`JsonlAppender`]).
+    pub dropped: usize,
+}
+
+impl Salvage {
+    /// True when a torn tail was truncated.
+    pub fn torn(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
+/// Recovers the complete records of a JSONL file whose final line may have
+/// been torn by a crash mid-append. A trailing line is dropped when it is
+/// unterminated *and* not valid JSON (a legacy file without a final
+/// newline still keeps its last record); a terminated final line that
+/// fails to parse is also dropped, covering filesystems that persisted the
+/// newline before the payload.
+pub fn salvage_jsonl(text: &str) -> Salvage {
+    let mut lines: Vec<String> =
+        text.split_inclusive('\n').map(|l| l.trim_end_matches(['\n', '\r']).to_string()).collect();
+    let mut dropped = 0;
+    let unterminated = !text.is_empty() && !text.ends_with('\n');
+    if let Some(last) = lines.last() {
+        let last_ok = json::parse(last).is_ok();
+        if !last_ok && (unterminated || !last.trim().is_empty()) {
+            lines.pop();
+            dropped = 1;
+        }
+    }
+    // Blank lines are separators, not records.
+    lines.retain(|l| !l.trim().is_empty());
+    Salvage { lines, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cmm_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn write_atomic_replaces_content_and_leaves_no_temp() {
+        let path = tmp("doc.json");
+        write_atomic(&path, b"{\"v\":1}\n").unwrap();
+        write_atomic(&path, b"{\"v\":2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}\n");
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appender_writes_one_line_per_record() {
+        let path = tmp("app.jsonl");
+        std::fs::remove_file(&path).ok();
+        let app = JsonlAppender::open(&path).unwrap();
+        app.append("{\"a\":1}").unwrap();
+        app.append("{\"a\":2}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"a\":2}\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_drops_torn_tail_and_counts_survivors() {
+        let s = salvage_jsonl("{\"a\":1}\n{\"a\":2}\n{\"a\":3");
+        assert_eq!(s.lines, vec!["{\"a\":1}", "{\"a\":2}"]);
+        assert_eq!(s.dropped, 1);
+        assert!(s.torn());
+    }
+
+    #[test]
+    fn salvage_keeps_clean_files_intact() {
+        let s = salvage_jsonl("{\"a\":1}\n{\"a\":2}\n");
+        assert_eq!(s.lines.len(), 2);
+        assert_eq!(s.dropped, 0);
+        // Legacy file without a final newline but with a complete record.
+        let s = salvage_jsonl("{\"a\":1}\n{\"a\":2}");
+        assert_eq!(s.lines.len(), 2);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn salvage_drops_terminated_garbage_tail() {
+        let s = salvage_jsonl("{\"a\":1}\n{\"a\":2xx\n");
+        assert_eq!(s.lines, vec!["{\"a\":1}"]);
+        assert_eq!(s.dropped, 1);
+    }
+
+    #[test]
+    fn salvage_of_empty_input_is_empty() {
+        let s = salvage_jsonl("");
+        assert!(s.lines.is_empty());
+        assert_eq!(s.dropped, 0);
+    }
+}

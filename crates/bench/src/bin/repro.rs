@@ -3,6 +3,7 @@
 //! ```text
 //! repro <target> [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR]
 //!       [--bench-json PATH] [--journal PATH] [--fault-seed S]
+//!       [--resume PATH] [--attempts N]
 //!
 //! targets:
 //!   table1   Table I metrics for every benchmark (run alone)
@@ -22,12 +23,28 @@
 //! CI subcommands (no simulation):
 //!   bench-compare <baseline.json> <current.json> [--noise F]
 //!            diff two BENCH_sim.json perf logs; exit 1 on regression
-//!   journal-summary <journal.jsonl>
-//!            pretty-print a cmm-journal/1 or /2 run journal
+//!   journal-summary <journal.jsonl> [--csv PATH]
+//!            pretty-print a cmm-journal/1 or /2 run journal; --csv also
+//!            exports the per-epoch telemetry as a plottable CSV
 //!   journal-diff <a.jsonl> <b.jsonl>
 //!            compare two journals' per-epoch decision sequences;
 //!            exit 1 on divergence, 2 on read/parse errors
+//!   soak     kill-and-resume chaos gate: clean run, transient-chaos run,
+//!            persistent-chaos failure + resume, hard-kill + resume; exit 1
+//!            unless every converged output is byte-identical
 //! ```
+//!
+//! **Crash safety & resume.** Evaluation cells run panic-isolated with a
+//! bounded retry budget (`--attempts`, default 3): a panicking cell never
+//! aborts its siblings, and a cell that exhausts the budget surfaces in a
+//! per-cell failure report (exit 1) after the rest of the sweep completed.
+//! `--resume PATH` maintains a `cmm-ckpt/1` sidecar of completed cells:
+//! an interrupted run re-invoked with the same `--resume` splices the
+//! cached results and produces byte-identical stdout/journal output to an
+//! uninterrupted run at any `--jobs`. The chaos flags (`--chaos-seed`,
+//! `--chaos-rate`, `--chaos-mode`, `--chaos-kill`) inject seeded panics /
+//! a hard process kill into the harness itself; `repro soak` drives them
+//! end-to-end.
 //!
 //! `--quick` shrinks durations and the per-category workload count so the
 //! whole suite finishes in minutes; the default matches the scaled
@@ -48,13 +65,15 @@
 //! fault schedule.
 
 use cmm_bench::ablate;
+use cmm_bench::chaos::{self, ChaosMode};
 use cmm_bench::characterize::{
     prefetch_impact, profile_alone, way_sweep, ways_needed, CharacterizeConfig,
 };
+use cmm_bench::checkpoint::Checkpoint;
 use cmm_bench::figures::{self, EvalConfig, Evaluation};
 use cmm_bench::perf::BenchLog;
-use cmm_bench::runner::{default_jobs, parallel_map, Progress};
-use cmm_bench::{compare, diff, faults, journal, report};
+use cmm_bench::runner::{default_jobs, parallel_map, CellFailure, Progress, DEFAULT_ATTEMPTS};
+use cmm_bench::{compare, diff, faults, journal, report, soak};
 use cmm_core::backend;
 use cmm_core::experiment::ExperimentConfig;
 use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
@@ -78,6 +97,12 @@ struct Args {
     bench_json: std::path::PathBuf,
     journal: std::path::PathBuf,
     noise: f64,
+    resume: Option<std::path::PathBuf>,
+    attempts: u32,
+    chaos_seed: u64,
+    chaos_rate: f64,
+    chaos_mode: ChaosMode,
+    chaos_kill: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -92,6 +117,12 @@ fn parse_args() -> Args {
     let mut bench_json = std::path::PathBuf::from("BENCH_sim.json");
     let mut journal = std::path::PathBuf::from("JOURNAL_sim.jsonl");
     let mut noise = compare::DEFAULT_NOISE;
+    let mut resume = None;
+    let mut attempts = DEFAULT_ATTEMPTS;
+    let mut chaos_seed = soak::SOAK_CHAOS_SEED;
+    let mut chaos_rate = 0.0;
+    let mut chaos_mode = ChaosMode::Transient;
+    let mut chaos_kill = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -125,14 +156,54 @@ fn parse_args() -> Args {
                     jobs = default_jobs();
                 }
             }
+            "--resume" => {
+                resume = Some(std::path::PathBuf::from(
+                    it.next().expect("--resume needs a checkpoint path"),
+                ))
+            }
+            "--attempts" => {
+                attempts =
+                    it.next().and_then(|v| v.parse().ok()).expect("--attempts needs a number");
+                if attempts == 0 {
+                    attempts = 1;
+                }
+            }
+            "--chaos-seed" => {
+                chaos_seed =
+                    it.next().and_then(|v| v.parse().ok()).expect("--chaos-seed needs a number")
+            }
+            "--chaos-rate" => {
+                chaos_rate =
+                    it.next().and_then(|v| v.parse().ok()).expect("--chaos-rate needs a fraction")
+            }
+            "--chaos-mode" => {
+                chaos_mode = match it.next().as_deref() {
+                    Some("transient") => ChaosMode::Transient,
+                    Some("persistent") => ChaosMode::Persistent,
+                    other => {
+                        eprintln!("--chaos-mode needs 'transient' or 'persistent' (got {other:?})");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--chaos-kill" => {
+                chaos_kill = Some(
+                    it.next().and_then(|v| v.parse().ok()).expect("--chaos-kill needs a number"),
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|faults|all> \
                      [--quick] [--mixes N] [--seed S] [--fault-seed S] [--jobs N] [--csv DIR] \
-                     [--bench-json PATH] [--journal PATH]\n       \
+                     [--bench-json PATH] [--journal PATH] [--resume CKPT] [--attempts N]\n       \
+                     repro soak [--jobs N]\n       \
                      repro bench-compare <baseline.json> <current.json> [--noise F]\n       \
-                     repro journal-summary <journal.jsonl>\n       \
-                     repro journal-diff <a.jsonl> <b.jsonl>"
+                     repro journal-summary <journal.jsonl> [--csv PATH]\n       \
+                     repro journal-diff <a.jsonl> <b.jsonl>\n\n\
+                     crash safety: --resume CKPT keeps a cmm-ckpt/1 sidecar of completed\n\
+                     cells and splices them on re-run (byte-identical output); --attempts\n\
+                     bounds per-cell retries after a panic. --chaos-seed/--chaos-rate/\n\
+                     --chaos-mode/--chaos-kill inject harness faults (used by 'repro soak')."
                 );
                 std::process::exit(0);
             }
@@ -161,6 +232,12 @@ fn parse_args() -> Args {
         bench_json,
         journal,
         noise,
+        resume,
+        attempts,
+        chaos_seed,
+        chaos_rate,
+        chaos_mode,
+        chaos_kill,
     }
 }
 
@@ -198,12 +275,15 @@ fn run_bench_compare(args: &Args) -> i32 {
     }
 }
 
-/// `repro journal-summary <journal.jsonl>`: exit 0 on success, 2 on error.
+/// `repro journal-summary <journal.jsonl> [--csv PATH]`: exit 0 on
+/// success, 2 on read/parse errors. With `--csv`, also exports the
+/// journal's per-epoch telemetry (epoch, mechanism, exec hm_ipc and delta,
+/// fault count, degraded flag) as a plottable CSV.
 fn run_journal_summary(args: &Args) -> i32 {
     let [path] = match args.operands.as_slice() {
         [p] => [p],
         _ => {
-            eprintln!("usage: repro journal-summary <journal.jsonl>");
+            eprintln!("usage: repro journal-summary <journal.jsonl> [--csv PATH]");
             return 2;
         }
     };
@@ -214,16 +294,29 @@ fn run_journal_summary(args: &Args) -> i32 {
             return 2;
         }
     };
-    match journal::summarize(&text) {
-        Ok(summary) => {
-            print!("{summary}");
-            0
-        }
+    let summary = match journal::summarize(&text) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("journal-summary: {path}: {e}");
-            2
+            return 2;
         }
+    };
+    print!("{summary}");
+    if let Some(csv_path) = &args.csv {
+        let csv = match journal::epochs_csv(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("journal-summary: {path}: {e}");
+                return 2;
+            }
+        };
+        if let Err(e) = cmm_bench::atomic::write_atomic(csv_path, csv.as_bytes()) {
+            eprintln!("journal-summary: write {}: {e}", csv_path.display());
+            return 2;
+        }
+        eprintln!("[repro] wrote {} ({} epoch rows)", csv_path.display(), csv.lines().count() - 1);
     }
+    0
 }
 
 /// `repro journal-diff <a> <b>`: exit 0 when the decision sequences are
@@ -280,6 +373,7 @@ fn eval_cfg(args: &Args) -> EvalConfig {
     }
     cfg.seed = args.seed;
     cfg.jobs = args.jobs;
+    cfg.attempts = args.attempts;
     cfg
 }
 
@@ -614,25 +708,104 @@ fn run_extension(args: &Args, log: &Progress) {
     );
 }
 
+/// Reports cells that exhausted their attempt budget; the run continues to
+/// write its perf log and (manifest-only) journal before exiting 1.
+fn report_cell_failures(target: &str, failures: &[CellFailure]) {
+    eprintln!("[repro] {target}: {} cell(s) exhausted the retry budget:", failures.len());
+    for f in failures {
+        eprintln!(
+            "[repro]   cell '{}' failed after {} attempt(s): {}",
+            f.key, f.attempts, f.panic_msg
+        );
+    }
+    eprintln!(
+        "[repro] every sibling cell completed; re-run with --resume to retry only the \
+         failed cells"
+    );
+}
+
 fn main() {
     let args = parse_args();
     // CI subcommands: pure file processing, no simulation, no perf log.
+    // `soak` re-invokes this binary against a scratch dir and gates on
+    // byte identity of the converged artifacts.
     match args.target.as_str() {
         "bench-compare" => std::process::exit(run_bench_compare(&args)),
         "journal-summary" => std::process::exit(run_journal_summary(&args)),
         "journal-diff" => std::process::exit(run_journal_diff(&args)),
+        "soak" => std::process::exit(soak::run(args.jobs)),
         _ => {}
+    }
+    if args.chaos_rate > 0.0 || args.chaos_kill.is_some() {
+        chaos::arm(chaos::ChaosConfig {
+            seed: args.chaos_seed,
+            rate: args.chaos_rate,
+            mode: args.chaos_mode,
+            kill_after: args.chaos_kill,
+        });
+        eprintln!(
+            "[repro] chaos armed: seed={} rate={} mode={:?} kill_after={:?}",
+            args.chaos_seed, args.chaos_rate, args.chaos_mode, args.chaos_kill
+        );
     }
     let log = Progress::new(true);
     let mut bench = BenchLog::new(args.jobs, args.quick);
     let roster_n = spec::roster().len() as u64;
     let (_, ccfg) = char_cfg(args.quick);
     let c1 = char_cycles(&ccfg);
+    // Run identity, shared by the journal manifest and the resume
+    // checkpoint. Deliberately excludes --jobs, --attempts and the chaos
+    // flags: none of them can change a deterministic run's results, so an
+    // interrupted run may legitimately resume at a different parallelism.
+    let meta = journal::JournalMeta {
+        target: args.target.clone(),
+        quick: args.quick,
+        seed: args.seed,
+        config_debug: format!(
+            "target={};quick={};seed={};fault_seed={};mixes={:?};exp={:?};char={:?};ctrl={:?}",
+            args.target,
+            args.quick,
+            args.seed,
+            args.fault_seed,
+            args.mixes,
+            if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() },
+            ccfg,
+            if args.quick { ControllerConfig::quick() } else { ControllerConfig::default() },
+        ),
+    };
+    let digest = cmm_core::telemetry::config_digest(&meta.config_debug);
+    let ckpt: Option<Checkpoint> = match &args.resume {
+        None => None,
+        Some(path) => match Checkpoint::open(path, &args.target, &digest) {
+            Ok((ck, info)) => {
+                if info.fresh {
+                    eprintln!("[repro] checkpointing to {} (new sidecar)", path.display());
+                } else {
+                    eprintln!(
+                        "[repro] resuming from {}: {} completed cell(s){}",
+                        path.display(),
+                        info.cached,
+                        if info.dropped > 0 {
+                            format!(", dropped {} torn line(s)", info.dropped)
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
+                Some(ck)
+            }
+            Err(e) => {
+                eprintln!("[repro] --resume: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
     // Controller decision telemetry, per (run × mechanism) cell; becomes
     // the JSONL run journal after the target finishes.
     let mut cells: Vec<JournalCell> = Vec::new();
-    // Deferred failure (the faults smoothness gate): the perf log and
-    // journal are still written before the non-zero exit.
+    // Deferred failure (the faults smoothness gate, cells that exhausted
+    // their retry budget): the perf log and journal are still written
+    // before the non-zero exit.
     let mut exit_code = 0;
     let eval_targets = [
         "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fairness",
@@ -660,25 +833,41 @@ fn main() {
             let n = faults::RATES.len() as u64;
             let per_rate = (e.warmup_cycles + e.total_cycles) * 8;
             let sweep = bench.measure("faults", n, n * per_rate, || {
-                faults::sweep(args.quick, args.seed, args.fault_seed, args.jobs, &log)
-            });
-            print!(
-                "{}",
-                report::table(
-                    &format!(
-                        "Fault-injection sweep — CMM-a, hm_ipc vs injected fault rate \
-                         (floor {:.2}× fault-free)",
-                        faults::SMOOTHNESS_FLOOR
-                    ),
-                    &["rate", "hm_ipc", "rel", "faults", "degraded epochs", "verdict"],
-                    &faults::rows(&sweep),
+                faults::sweep_resumable(
+                    args.quick,
+                    args.seed,
+                    args.fault_seed,
+                    args.jobs,
+                    args.attempts,
+                    &log,
+                    ckpt.as_ref(),
                 )
-            );
-            if !faults::passes(&sweep) {
-                eprintln!("[repro] faults: hm_ipc cliffed below the smoothness floor");
-                exit_code = 1;
+            });
+            match sweep {
+                Ok(sweep) => {
+                    print!(
+                        "{}",
+                        report::table(
+                            &format!(
+                                "Fault-injection sweep — CMM-a, hm_ipc vs injected fault rate \
+                                 (floor {:.2}× fault-free)",
+                                faults::SMOOTHNESS_FLOOR
+                            ),
+                            &["rate", "hm_ipc", "rel", "faults", "degraded epochs", "verdict"],
+                            &faults::rows(&sweep),
+                        )
+                    );
+                    if !faults::passes(&sweep) {
+                        eprintln!("[repro] faults: hm_ipc cliffed below the smoothness floor");
+                        exit_code = 1;
+                    }
+                    cells = faults::journal_cells(sweep);
+                }
+                Err(failures) => {
+                    report_cell_failures("faults", &failures);
+                    exit_code = 1;
+                }
             }
-            cells = faults::journal_cells(sweep);
         }
         "table1" => {
             cells = bench
@@ -708,9 +897,19 @@ fn main() {
             let cfg = eval_cfg(&args);
             let mechs = needed_mechanisms(t);
             let (n_cells, cycles) = eval_volume(&cfg, &mechs);
-            let eval = bench.measure(t, n_cells, cycles, || figures::evaluate(&mechs, &cfg, true));
-            print_eval_target(t, &eval, &args.csv);
-            cells = journal::eval_cells(&eval);
+            let eval = bench.measure(t, n_cells, cycles, || {
+                figures::evaluate_resumable(&mechs, &cfg, true, ckpt.as_ref())
+            });
+            match eval {
+                Ok(eval) => {
+                    print_eval_target(t, &eval, &args.csv);
+                    cells = journal::eval_cells(&eval);
+                }
+                Err(failures) => {
+                    report_cell_failures(t, &failures);
+                    exit_code = 1;
+                }
+            }
         }
         "all" => {
             cells = bench
@@ -730,12 +929,21 @@ fn main() {
             let cfg = eval_cfg(&args);
             let mechs = Mechanism::all_managed().to_vec();
             let (n_cells, cycles) = eval_volume(&cfg, &mechs);
-            let eval = bench
-                .measure("evaluate", n_cells, cycles, || figures::evaluate(&mechs, &cfg, true));
-            for t in eval_targets {
-                print_eval_target(t, &eval, &args.csv);
+            let eval = bench.measure("evaluate", n_cells, cycles, || {
+                figures::evaluate_resumable(&mechs, &cfg, true, ckpt.as_ref())
+            });
+            match eval {
+                Ok(eval) => {
+                    for t in eval_targets {
+                        print_eval_target(t, &eval, &args.csv);
+                    }
+                    cells.extend(journal::eval_cells(&eval));
+                }
+                Err(failures) => {
+                    report_cell_failures("all", &failures);
+                    exit_code = 1;
+                }
             }
-            cells.extend(journal::eval_cells(&eval));
         }
         other => {
             eprintln!("unknown target {other}; try --help");
@@ -749,22 +957,6 @@ fn main() {
     // The run journal: manifest + every recorded controller epoch. Targets
     // without a control loop (fig1–fig5, ablate, extension) still get the
     // manifest line, so downstream tooling can always read the file.
-    let meta = journal::JournalMeta {
-        target: args.target.clone(),
-        quick: args.quick,
-        seed: args.seed,
-        config_debug: format!(
-            "target={};quick={};seed={};fault_seed={};mixes={:?};exp={:?};char={:?};ctrl={:?}",
-            args.target,
-            args.quick,
-            args.seed,
-            args.fault_seed,
-            args.mixes,
-            if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() },
-            ccfg,
-            if args.quick { ControllerConfig::quick() } else { ControllerConfig::default() },
-        ),
-    };
     match journal::write(&args.journal, &journal::manifest(&meta), &cells) {
         Ok(n) => eprintln!("[repro] wrote {} ({n} epochs)", args.journal.display()),
         Err(e) => eprintln!("[repro] journal failed: {e}"),

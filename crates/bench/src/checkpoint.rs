@@ -1,0 +1,675 @@
+//! `cmm-ckpt/1` — the checkpoint/resume sidecar behind `repro --resume`.
+//!
+//! A resumable run appends one JSONL record per completed evaluation cell
+//! to a sidecar manifest. The first line binds the sidecar to a run
+//! configuration (schema, target, FNV-1a config digest); every further
+//! line caches one cell's *complete result*:
+//!
+//! ```text
+//! {"schema":"cmm-ckpt/1","kind":"manifest","target":"fig7","config_digest":"fnv1a:…"}
+//! {"kind":"cell","key":"alone: lbm","payload":{"ipc":1.2345}}
+//! {"kind":"cell","key":"PrefAgg-00: CMM-a","payload":{…full MixResult…}}
+//! ```
+//!
+//! On `--resume`, cells whose key is present are spliced from the cached
+//! payload instead of re-running, and the run appends the cells it still
+//! computes — so an interrupted sweep converges over any number of
+//! kill/resume cycles. The payload codecs are **lossless** (floats render
+//! in shortest round-trip form), which is what makes a resumed run's
+//! stdout, journal, and figure output byte-identical to an uninterrupted
+//! one: a spliced `MixResult` is indistinguishable from a recomputed one.
+//!
+//! Writes go through [`crate::atomic`]: appends flush+fsync per record, so
+//! a crash tears at most the final line, and [`Checkpoint::open`] salvages
+//! such a tail (dropping the partial record, keeping the rest). A digest
+//! mismatch — resuming against a different configuration — is refused
+//! rather than silently mixing incompatible results.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use cmm_core::experiment::MixResult;
+use cmm_core::policy::Mechanism;
+use cmm_core::telemetry::{CoreSample, EpochRecord, FaultRecord, Trial};
+use cmm_sim::pmu::Pmu;
+use cmm_sim::system::CoreControl;
+
+use crate::atomic::{salvage_jsonl, write_atomic, JsonlAppender};
+use crate::json::{parse, Json};
+
+/// Sidecar schema identifier.
+pub const SCHEMA: &str = "cmm-ckpt/1";
+
+/// What [`Checkpoint::open`] found on disk.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeInfo {
+    /// Completed cells loaded from the sidecar.
+    pub cached: usize,
+    /// Torn-tail lines dropped during salvage.
+    pub dropped: usize,
+    /// True when the sidecar did not exist (fresh run).
+    pub fresh: bool,
+}
+
+/// An open checkpoint: cached cells from a previous attempt plus an
+/// append handle for the cells this attempt completes.
+#[derive(Debug)]
+pub struct Checkpoint {
+    cached: HashMap<String, Json>,
+    appender: JsonlAppender,
+}
+
+impl Checkpoint {
+    /// Opens (or creates) the sidecar at `path`, validating that it
+    /// belongs to this run's `target` and `config_digest`. A torn tail is
+    /// salvaged and the file compacted before appending resumes.
+    pub fn open(
+        path: &Path,
+        target: &str,
+        config_digest: &str,
+    ) -> Result<(Checkpoint, ResumeInfo), String> {
+        let mut info = ResumeInfo::default();
+        let mut cached = HashMap::new();
+        let manifest_line = format!(
+            "{{\"schema\":\"{SCHEMA}\",\"kind\":\"manifest\",\"target\":\"{}\",\
+             \"config_digest\":\"{}\"}}",
+            escape(target),
+            escape(config_digest)
+        );
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("read {}: {e}", path.display())),
+        };
+        match existing {
+            Some(text) if !salvage_jsonl(&text).lines.is_empty() => {
+                let salvage = salvage_jsonl(&text);
+                info.dropped = salvage.dropped;
+                let man = parse(&salvage.lines[0])
+                    .map_err(|e| format!("{}: manifest: {e}", path.display()))?;
+                let schema = man.get("schema").and_then(Json::as_str).unwrap_or("");
+                if schema != SCHEMA {
+                    return Err(format!(
+                        "{}: unsupported checkpoint schema '{schema}' (want {SCHEMA})",
+                        path.display()
+                    ));
+                }
+                let got_target = man.get("target").and_then(Json::as_str).unwrap_or("");
+                let got_digest = man.get("config_digest").and_then(Json::as_str).unwrap_or("");
+                if got_target != target || got_digest != config_digest {
+                    return Err(format!(
+                        "{}: checkpoint was recorded for target '{got_target}' digest \
+                         {got_digest}, but this run is target '{target}' digest \
+                         {config_digest}; refusing to splice incompatible results",
+                        path.display()
+                    ));
+                }
+                for (i, line) in salvage.lines.iter().enumerate().skip(1) {
+                    let rec = parse(line)
+                        .map_err(|e| format!("{}: line {}: {e}", path.display(), i + 1))?;
+                    if rec.get("kind").and_then(Json::as_str) != Some("cell") {
+                        continue;
+                    }
+                    let key = rec
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| {
+                            format!("{}: line {}: cell without key", path.display(), i + 1)
+                        })?
+                        .to_string();
+                    let payload = rec.get("payload").cloned().ok_or_else(|| {
+                        format!("{}: line {}: cell without payload", path.display(), i + 1)
+                    })?;
+                    cached.insert(key, payload);
+                }
+                info.cached = cached.len();
+                if salvage.dropped > 0 {
+                    // Compact away the torn tail so appends start clean.
+                    let mut compacted = salvage.lines.join("\n");
+                    compacted.push('\n');
+                    write_atomic(path, compacted.as_bytes())
+                        .map_err(|e| format!("compact {}: {e}", path.display()))?;
+                }
+            }
+            _ => {
+                // Absent (or empty/unsalvageable) sidecar: start fresh.
+                info.fresh = true;
+                let mut line = manifest_line.clone();
+                line.push('\n');
+                write_atomic(path, line.as_bytes())
+                    .map_err(|e| format!("create {}: {e}", path.display()))?;
+            }
+        }
+        let appender =
+            JsonlAppender::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+        Ok((Checkpoint { cached, appender }, info))
+    }
+
+    /// The cached payload for `key`, if a previous attempt completed it.
+    pub fn cached(&self, key: &str) -> Option<Json> {
+        self.cached.get(key).cloned()
+    }
+
+    /// Number of cached cells.
+    pub fn cached_len(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Durably appends one completed cell. Checkpoint loss is not fatal to
+    /// the run (only to future resumes), so IO errors degrade to a warning.
+    pub fn record(&self, key: &str, payload: &str) {
+        let line =
+            format!("{{\"kind\":\"cell\",\"key\":\"{}\",\"payload\":{payload}}}", escape(key));
+        if let Err(e) = self.appender.append(&line) {
+            eprintln!("[repro] checkpoint append failed ({}): {e}", self.appender.path().display());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Encoding is lossless: floats use Rust's shortest
+// round-trip `Display`, so decode(encode(x)) == x bit-for-bit and spliced
+// results format identically to freshly computed ones.
+
+/// Lossless JSON float (shortest round-trip); non-finite degrades to 0.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn f64_list(vals: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&num(*v));
+    }
+    s.push(']');
+    s
+}
+
+/// Encodes a run-alone IPC cell payload.
+pub fn encode_alone(ipc: f64) -> String {
+    format!("{{\"ipc\":{}}}", num(ipc))
+}
+
+/// Decodes a run-alone IPC cell payload.
+pub fn decode_alone(j: &Json) -> Result<f64, String> {
+    j.get("ipc").and_then(Json::as_f64).ok_or_else(|| "alone payload missing 'ipc'".into())
+}
+
+/// Pmu counters in struct declaration order (see [`Pmu`]).
+fn pmu_to_list(p: &Pmu) -> [u64; 18] {
+    [
+        p.cycles,
+        p.instructions,
+        p.l1d_accesses,
+        p.l1d_misses,
+        p.l2_dm_req,
+        p.l2_dm_miss,
+        p.l2_pf_req,
+        p.l2_pf_miss,
+        p.l3_load_miss,
+        p.llc_pf_to_mem,
+        p.stalls_l2_pending,
+        p.stall_cycles,
+        p.l1_pf_req,
+        p.mem_demand_bytes,
+        p.mem_prefetch_bytes,
+        p.mem_writeback_bytes,
+        p.pf_used,
+        p.pf_wasted,
+    ]
+}
+
+fn pmu_from_list(vals: &[u64]) -> Result<Pmu, String> {
+    if vals.len() != 18 {
+        return Err(format!("pmu list has {} counters, want 18", vals.len()));
+    }
+    Ok(Pmu {
+        cycles: vals[0],
+        instructions: vals[1],
+        l1d_accesses: vals[2],
+        l1d_misses: vals[3],
+        l2_dm_req: vals[4],
+        l2_dm_miss: vals[5],
+        l2_pf_req: vals[6],
+        l2_pf_miss: vals[7],
+        l3_load_miss: vals[8],
+        llc_pf_to_mem: vals[9],
+        stalls_l2_pending: vals[10],
+        stall_cycles: vals[11],
+        l1_pf_req: vals[12],
+        mem_demand_bytes: vals[13],
+        mem_prefetch_bytes: vals[14],
+        mem_writeback_bytes: vals[15],
+        pf_used: vals[16],
+        pf_wasted: vals[17],
+    })
+}
+
+/// Encodes a full [`MixResult`] cell payload.
+pub fn encode_mix_result(r: &MixResult) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str(&format!("{{\"mechanism\":\"{}\"", escape(r.mechanism.label())));
+    s.push_str(&format!(",\"mix_name\":\"{}\"", escape(&r.mix_name)));
+    s.push_str(",\"benchmarks\":[");
+    for (i, b) in r.benchmarks.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\"", escape(b)));
+    }
+    s.push(']');
+    s.push_str(&format!(",\"ipcs\":{}", f64_list(&r.ipcs)));
+    s.push_str(",\"pmu\":[");
+    for (i, p) in r.pmu.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        for (k, v) in pmu_to_list(p).iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&v.to_string());
+        }
+        s.push(']');
+    }
+    s.push(']');
+    s.push_str(&format!(",\"mem_bytes\":{}", r.mem_bytes));
+    s.push_str(&format!(",\"stalls_l2\":{}", r.stalls_l2));
+    s.push_str(&format!(",\"overhead_ratio\":{}", num(r.overhead_ratio)));
+    s.push_str(",\"epochs\":[");
+    for (i, e) in r.epochs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        // Reuse the journal rendering; the embedded "run" label is unused.
+        s.push_str(&e.to_json_line(""));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn u64s(v: Option<&Json>, what: &str) -> Result<Vec<u64>, String> {
+    v.and_then(Json::as_array)
+        .map(|a| a.iter().filter_map(Json::as_u64).collect::<Vec<u64>>())
+        .ok_or_else(|| format!("missing array '{what}'"))
+}
+
+fn usizes(v: Option<&Json>, what: &str) -> Result<Vec<usize>, String> {
+    Ok(u64s(v, what)?.into_iter().map(|x| x as usize).collect())
+}
+
+fn f64s(v: Option<&Json>, what: &str) -> Result<Vec<f64>, String> {
+    v.and_then(Json::as_array)
+        .map(|a| a.iter().filter_map(Json::as_f64).collect())
+        .ok_or_else(|| format!("missing array '{what}'"))
+}
+
+/// Interns a string against a closed vocabulary of `&'static str` the
+/// telemetry structs use; unknown values (from a newer writer) leak once —
+/// acceptable for a short-lived CLI reading its own small sidecars.
+fn intern(s: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        // Mechanism labels.
+        "Baseline",
+        "PT",
+        "Dunn",
+        "Pref-CP",
+        "Pref-CP2",
+        "CMM-a",
+        "CMM-b",
+        "CMM-c",
+        "PT-fine",
+        // Degradation fallbacks.
+        "no-op",
+        // Fault kinds.
+        "msr_rejected",
+        "clos_exhausted",
+        "msr_error",
+        "pmu_anomaly",
+        "degraded",
+        // Fault actions.
+        "retry_ok",
+        "gave_up",
+        "reread",
+        "zeroed_sample",
+        "fallback_dunn",
+        "fallback_noop",
+        "kept_last_good",
+    ];
+    KNOWN
+        .iter()
+        .find(|k| **k == s)
+        .copied()
+        .unwrap_or_else(|| Box::leak(s.to_string().into_boxed_str()))
+}
+
+fn decode_fault(j: &Json) -> Result<FaultRecord, String> {
+    Ok(FaultRecord {
+        cycle: j.get("cycle").and_then(Json::as_u64).ok_or("fault missing 'cycle'")?,
+        kind: intern(j.get("kind").and_then(Json::as_str).ok_or("fault missing 'kind'")?),
+        core: j.get("core").and_then(Json::as_u64).map(|c| c as usize),
+        msr: j.get("msr").and_then(Json::as_u64).map(|m| m as u32),
+        action: intern(j.get("action").and_then(Json::as_str).ok_or("fault missing 'action'")?),
+    })
+}
+
+fn decode_core_sample(j: &Json) -> Result<CoreSample, String> {
+    let f = |k: &str| j.get(k).and_then(Json::as_f64).ok_or_else(|| format!("core missing '{k}'"));
+    Ok(CoreSample {
+        ipc: f("ipc")?,
+        metrics: cmm_core::frontend::Metrics {
+            l2_llc_traffic: j
+                .get("m1_l2_llc")
+                .and_then(Json::as_u64)
+                .ok_or("core missing 'm1_l2_llc'")?,
+            l2_pf_miss_frac: f("m2_pf_frac")?,
+            l2_ptr: f("m3_ptr")?,
+            pga: f("m4_pga")?,
+            l2_pmr: f("m5_pmr")?,
+            l2_ppm: f("m6_ppm")?,
+            llc_pt: f("m7_llc_pt")?,
+        },
+    })
+}
+
+/// Decodes one epoch record from its journal/checkpoint JSON rendering —
+/// the exact inverse of [`EpochRecord::to_json_line`].
+pub fn decode_epoch(j: &Json) -> Result<EpochRecord, String> {
+    let cores = j
+        .get("cores")
+        .and_then(Json::as_array)
+        .ok_or("epoch missing 'cores'")?
+        .iter()
+        .map(decode_core_sample)
+        .collect::<Result<Vec<_>, _>>()?;
+    let trials = j
+        .get("trials")
+        .and_then(Json::as_array)
+        .ok_or("epoch missing 'trials'")?
+        .iter()
+        .map(|t| {
+            Ok::<Trial, String>(Trial {
+                msr_1a4: u64s(t.get("msr_1a4"), "trial msr_1a4")?,
+                hm_ipc: t.get("hm_ipc").and_then(Json::as_f64).ok_or("trial missing 'hm_ipc'")?,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let faults = j
+        .get("faults")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(decode_fault)
+        .collect::<Result<Vec<_>, _>>()?;
+    let applied = j.get("applied").ok_or("epoch missing 'applied'")?;
+    let clos = usizes(applied.get("clos"), "applied clos")?;
+    let way_mask = u64s(applied.get("way_mask"), "applied way_mask")?;
+    let msr_1a4 = u64s(applied.get("msr_1a4"), "applied msr_1a4")?;
+    if clos.len() != way_mask.len() || clos.len() != msr_1a4.len() {
+        return Err("applied arrays disagree on core count".into());
+    }
+    let applied = clos
+        .into_iter()
+        .zip(way_mask)
+        .zip(msr_1a4)
+        .map(|((clos, way_mask), msr_1a4)| CoreControl { clos, way_mask, msr_1a4 })
+        .collect();
+    Ok(EpochRecord {
+        epoch: j.get("epoch").and_then(Json::as_u64).ok_or("epoch missing 'epoch'")?,
+        cycle: j.get("cycle").and_then(Json::as_u64).ok_or("epoch missing 'cycle'")?,
+        mechanism: intern(
+            j.get("mechanism").and_then(Json::as_str).ok_or("epoch missing 'mechanism'")?,
+        ),
+        cores,
+        agg: usizes(j.get("agg"), "agg")?,
+        friendly: usizes(j.get("friendly"), "friendly")?,
+        unfriendly: usizes(j.get("unfriendly"), "unfriendly")?,
+        trials,
+        winner: j.get("winner").and_then(Json::as_u64).map(|w| w as usize),
+        exec_hm_ipc: j.get("exec_hm_ipc").and_then(Json::as_f64),
+        exec_ipc_delta: j.get("exec_ipc_delta").and_then(Json::as_f64),
+        faults,
+        degraded: j.get("degraded").and_then(Json::as_str).map(intern),
+        applied,
+    })
+}
+
+/// Decodes a full [`MixResult`] cell payload.
+pub fn decode_mix_result(j: &Json) -> Result<MixResult, String> {
+    let label = j.get("mechanism").and_then(Json::as_str).ok_or("payload missing 'mechanism'")?;
+    let mechanism =
+        Mechanism::from_label(label).ok_or_else(|| format!("unknown mechanism '{label}'"))?;
+    let pmu = j
+        .get("pmu")
+        .and_then(Json::as_array)
+        .ok_or("payload missing 'pmu'")?
+        .iter()
+        .map(|p| pmu_from_list(&u64s(Some(p), "pmu counters")?))
+        .collect::<Result<Vec<_>, _>>()?;
+    let epochs = j
+        .get("epochs")
+        .and_then(Json::as_array)
+        .ok_or("payload missing 'epochs'")?
+        .iter()
+        .map(decode_epoch)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MixResult {
+        mechanism,
+        mix_name: j
+            .get("mix_name")
+            .and_then(Json::as_str)
+            .ok_or("payload missing 'mix_name'")?
+            .to_string(),
+        benchmarks: j
+            .get("benchmarks")
+            .and_then(Json::as_array)
+            .ok_or("payload missing 'benchmarks'")?
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_string)
+            .collect(),
+        ipcs: f64s(j.get("ipcs"), "ipcs")?,
+        pmu,
+        mem_bytes: j
+            .get("mem_bytes")
+            .and_then(Json::as_u64)
+            .ok_or("payload missing 'mem_bytes'")?,
+        stalls_l2: j
+            .get("stalls_l2")
+            .and_then(Json::as_u64)
+            .ok_or("payload missing 'stalls_l2'")?,
+        overhead_ratio: j
+            .get("overhead_ratio")
+            .and_then(Json::as_f64)
+            .ok_or("payload missing 'overhead_ratio'")?,
+        epochs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_core::frontend::Metrics;
+
+    fn sample_epoch() -> EpochRecord {
+        EpochRecord {
+            epoch: 2,
+            cycle: 200_000,
+            mechanism: "CMM-a",
+            cores: vec![CoreSample {
+                ipc: 1.2345678901234,
+                metrics: Metrics {
+                    l2_llc_traffic: 42,
+                    l2_pf_miss_frac: 0.5,
+                    l2_ptr: 0.0125,
+                    pga: 2.25,
+                    l2_pmr: 0.75,
+                    l2_ppm: 3.5,
+                    llc_pt: 1.125,
+                },
+            }],
+            agg: vec![0, 3],
+            friendly: vec![0],
+            unfriendly: vec![3],
+            trials: vec![Trial { msr_1a4: vec![0xF, 0x0], hm_ipc: 1.5 }],
+            winner: Some(0),
+            exec_hm_ipc: Some(1.25),
+            exec_ipc_delta: Some(-0.125),
+            faults: vec![FaultRecord {
+                cycle: 123,
+                kind: "msr_rejected",
+                core: Some(1),
+                msr: Some(0x1A4),
+                action: "retry_ok",
+            }],
+            degraded: Some("Dunn"),
+            applied: vec![
+                CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF },
+                CoreControl { clos: 0, way_mask: 0xFFFFF, msr_1a4: 0x0 },
+            ],
+        }
+    }
+
+    fn sample_result() -> MixResult {
+        MixResult {
+            mechanism: Mechanism::CmmA,
+            mix_name: "PrefAgg-00".into(),
+            benchmarks: vec!["lbm".into(), "mcf".into()],
+            ipcs: vec![1.087227344, 0.4432191],
+            pmu: vec![
+                Pmu { cycles: 1000, instructions: 1087, ..Pmu::default() },
+                Pmu { pf_wasted: 7, mem_writeback_bytes: 640, ..Pmu::default() },
+            ],
+            mem_bytes: 123_456,
+            stalls_l2: 789,
+            overhead_ratio: 0.000123456789,
+            epochs: vec![sample_epoch()],
+        }
+    }
+
+    #[test]
+    fn mix_result_round_trips_losslessly() {
+        let r = sample_result();
+        let j = parse(&encode_mix_result(&r)).expect("valid payload JSON");
+        let back = decode_mix_result(&j).expect("decodes");
+        assert_eq!(back.mechanism, r.mechanism);
+        assert_eq!(back.mix_name, r.mix_name);
+        assert_eq!(back.benchmarks, r.benchmarks);
+        assert_eq!(back.ipcs, r.ipcs, "ipcs must be bit-identical");
+        assert_eq!(back.pmu, r.pmu);
+        assert_eq!(back.mem_bytes, r.mem_bytes);
+        assert_eq!(back.stalls_l2, r.stalls_l2);
+        assert_eq!(back.overhead_ratio, r.overhead_ratio);
+        // Epoch floats are journal-precision; the journal rendering — the
+        // byte-identity surface — must match exactly.
+        assert_eq!(back.epochs.len(), 1);
+        assert_eq!(back.epochs[0].to_json_line("x"), {
+            let j2 = parse(&encode_mix_result(&r)).unwrap();
+            decode_mix_result(&j2).unwrap().epochs[0].to_json_line("x")
+        });
+        assert_eq!(back.epochs[0].faults, r.epochs[0].faults);
+        assert_eq!(back.epochs[0].degraded, r.epochs[0].degraded);
+        assert_eq!(back.epochs[0].applied, r.epochs[0].applied);
+    }
+
+    #[test]
+    fn epoch_journal_rendering_is_stable_across_one_round_trip() {
+        // decode(to_json_line) re-rendered must be byte-identical: the
+        // journal is written from decoded epochs after a resume.
+        let e = sample_epoch();
+        let line = e.to_json_line("run");
+        let decoded = decode_epoch(&parse(&line).unwrap()).unwrap();
+        assert_eq!(decoded.to_json_line("run"), line);
+    }
+
+    #[test]
+    fn alone_round_trips() {
+        let j = parse(&encode_alone(1.234567890123456)).unwrap();
+        assert_eq!(decode_alone(&j).unwrap(), 1.234567890123456);
+    }
+
+    #[test]
+    fn checkpoint_open_record_reopen() {
+        let dir = std::env::temp_dir().join("cmm_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("ck-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let (ck, info) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
+        assert!(info.fresh);
+        assert_eq!(info.cached, 0);
+        ck.record("alone: lbm", &encode_alone(1.5));
+        ck.record("PrefAgg-00: CMM-a", &encode_mix_result(&sample_result()));
+        drop(ck);
+
+        let (ck, info) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
+        assert!(!info.fresh);
+        assert_eq!(info.cached, 2);
+        assert_eq!(info.dropped, 0);
+        let alone = ck.cached("alone: lbm").unwrap();
+        assert_eq!(decode_alone(&alone).unwrap(), 1.5);
+        let mix = ck.cached("PrefAgg-00: CMM-a").unwrap();
+        assert_eq!(decode_mix_result(&mix).unwrap().ipcs, sample_result().ipcs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_and_compacted() {
+        let dir = std::env::temp_dir().join("cmm_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("torn-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let (ck, _) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
+        ck.record("a", &encode_alone(1.0));
+        ck.record("b", &encode_alone(2.0));
+        drop(ck);
+        // Tear the final record mid-line, as a crash mid-append would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap();
+
+        let (ck, info) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
+        assert_eq!(info.dropped, 1);
+        assert_eq!(info.cached, 1, "only the intact record survives");
+        assert!(ck.cached("a").is_some());
+        assert!(ck.cached("b").is_none());
+        // The compacted file is clean again: append and re-open.
+        ck.record("b", &encode_alone(2.0));
+        drop(ck);
+        let (ck, info) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
+        assert_eq!((info.cached, info.dropped), (2, 0));
+        assert!(ck.cached("b").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn digest_or_target_mismatch_is_refused() {
+        let dir = std::env::temp_dir().join("cmm_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("mismatch-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let (_, _) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
+        assert!(Checkpoint::open(&path, "fig7", "fnv1a:OTHER").is_err());
+        assert!(Checkpoint::open(&path, "fig9", "fnv1a:abc").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -49,9 +49,11 @@ fn u64s(v: Option<&Json>) -> Vec<u64> {
 
 /// Parses a journal into its [`Decisions`]. Accepts any `cmm-journal/*`
 /// schema — the decision fields exist in `/1` and `/2` alike (`degraded`
-/// is simply absent-as-`None` on `/1`).
+/// is simply absent-as-`None` on `/1`). A final line torn by a crash
+/// mid-write is dropped (torn-tail salvage) rather than failing the file.
 pub fn parse_decisions(text: &str) -> Result<Decisions, String> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let salvage = crate::atomic::salvage_jsonl(text);
+    let mut lines = salvage.lines.iter();
     let manifest =
         json::parse(lines.next().ok_or_else(|| "empty journal (no manifest)".to_string())?)
             .map_err(|e| format!("manifest: {e}"))?;
@@ -253,6 +255,17 @@ mod tests {
         let rep = diff(&a, &b);
         assert!(rep.identical());
         assert_eq!(rep.notes.len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_before_diffing() {
+        let full = journal(&[epoch_line("A: CMM-a", 1, "0", 3), epoch_line("A: CMM-a", 2, "1", 7)]);
+        let torn = &full[..full.len() - 20];
+        let a = parse_decisions(torn).expect("torn tail salvages");
+        assert_eq!(a.runs[0].1.len(), 1, "the torn epoch is dropped");
+        let b = parse_decisions(&full).unwrap();
+        let rep = diff(&a, &b);
+        assert!(rep.render("torn", "full").contains("1 epochs vs 2"));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! splitmix64 stream — so the journal cells it emits are byte-identical
 //! across `--jobs`, and CI runs it twice to prove exactly that.
 
-use crate::runner::{parallel_map, Progress};
+use crate::checkpoint::{self, Checkpoint};
+use crate::json::Json;
+use crate::runner::{run_cells, CellFailure, Progress};
 use cmm_core::experiment::{run_mix_with_faults, ExperimentConfig};
 use cmm_core::fault::FaultConfig;
 use cmm_core::policy::Mechanism;
@@ -42,8 +44,119 @@ pub struct FaultCell {
     pub epochs: Vec<EpochRecord>,
 }
 
-/// Runs the sweep. `fault_seed` seeds the fault schedule (workload
-/// construction stays on `seed`, so the same mix runs at every rate).
+/// Lossless JSON float (shortest round-trip); non-finite degrades to 0.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Encodes a [`FaultCell`] as a `cmm-ckpt/1` payload (lossless floats).
+pub fn encode_cell(c: &FaultCell) -> String {
+    let mut s = format!(
+        "{{\"rate\":{},\"hm_ipc\":{},\"faults\":{},\"degraded_epochs\":{},\"epochs\":[",
+        num(c.rate),
+        num(c.hm_ipc),
+        c.faults,
+        c.degraded_epochs
+    );
+    for (i, e) in c.epochs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&e.to_json_line(""));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Decodes a [`FaultCell`] checkpoint payload.
+pub fn decode_cell(j: &Json) -> Result<FaultCell, String> {
+    Ok(FaultCell {
+        rate: j.get("rate").and_then(Json::as_f64).ok_or("fault cell missing 'rate'")?,
+        hm_ipc: j.get("hm_ipc").and_then(Json::as_f64).ok_or("fault cell missing 'hm_ipc'")?,
+        faults: j.get("faults").and_then(Json::as_u64).ok_or("fault cell missing 'faults'")?,
+        degraded_epochs: j
+            .get("degraded_epochs")
+            .and_then(Json::as_u64)
+            .ok_or("fault cell missing 'degraded_epochs'")?,
+        epochs: j
+            .get("epochs")
+            .and_then(Json::as_array)
+            .ok_or("fault cell missing 'epochs'")?
+            .iter()
+            .map(checkpoint::decode_epoch)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+/// Runs the sweep panic-isolated and (optionally) checkpointed.
+/// `fault_seed` seeds the fault schedule (workload construction stays on
+/// `seed`, so the same mix runs at every rate). Cell keys match the
+/// journal run labels (`"faults rate=0.05: CMM-a"`); a failing rate
+/// surfaces in the `Err` list only after every sibling rate completed.
+pub fn sweep_resumable(
+    quick: bool,
+    seed: u64,
+    fault_seed: u64,
+    jobs: usize,
+    attempts: u32,
+    log: &Progress,
+    ckpt: Option<&Checkpoint>,
+) -> Result<Vec<FaultCell>, Vec<CellFailure>> {
+    let mix = build_mixes(seed, 1).remove(1); // a PrefAgg mix
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let run = run_cells(
+        &RATES,
+        jobs,
+        attempts,
+        |_, &rate| format!("faults rate={rate:.2}: CMM-a"),
+        |k| {
+            let payload = ckpt?.cached(k)?;
+            match decode_cell(&payload) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!(
+                        "[repro] checkpoint entry '{k}' is undecodable ({e}); re-running cell"
+                    );
+                    None
+                }
+            }
+        },
+        |k, c: &FaultCell| {
+            if let Some(ck) = ckpt {
+                ck.record(k, &encode_cell(c));
+            }
+        },
+        |_, &rate| {
+            log.cell(&format!("faults: rate {rate:.2}"), || {
+                let r = run_mix_with_faults(
+                    &mix,
+                    Mechanism::CmmA,
+                    &cfg,
+                    &FaultConfig::uniform(fault_seed, rate),
+                );
+                FaultCell {
+                    rate,
+                    hm_ipc: cmm_metrics::hm_ipc(&r.ipcs),
+                    faults: r.epochs.iter().map(|e| e.faults.len() as u64).sum(),
+                    degraded_epochs: r.epochs.iter().filter(|e| e.degraded.is_some()).count()
+                        as u64,
+                    epochs: r.epochs,
+                }
+            })
+        },
+    );
+    if run.resumed > 0 {
+        log.note(&format!("resume: spliced {} cached cell(s) from the checkpoint", run.resumed));
+    }
+    run.into_results()
+}
+
+/// [`sweep_resumable`] without checkpointing, panicking on cell failure —
+/// the convenience entry point for tests.
 pub fn sweep(
     quick: bool,
     seed: u64,
@@ -51,24 +164,8 @@ pub fn sweep(
     jobs: usize,
     log: &Progress,
 ) -> Vec<FaultCell> {
-    let mix = build_mixes(seed, 1).remove(1); // a PrefAgg mix
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
-    parallel_map(&RATES, jobs, |_, &rate| {
-        log.cell(&format!("faults: rate {rate:.2}"), || {
-            let r = run_mix_with_faults(
-                &mix,
-                Mechanism::CmmA,
-                &cfg,
-                &FaultConfig::uniform(fault_seed, rate),
-            );
-            FaultCell {
-                rate,
-                hm_ipc: cmm_metrics::hm_ipc(&r.ipcs),
-                faults: r.epochs.iter().map(|e| e.faults.len() as u64).sum(),
-                degraded_epochs: r.epochs.iter().filter(|e| e.degraded.is_some()).count() as u64,
-                epochs: r.epochs,
-            }
-        })
+    sweep_resumable(quick, seed, fault_seed, jobs, 1, log, None).unwrap_or_else(|failures| {
+        panic!("{} fault-sweep cell(s) failed", failures.len());
     })
 }
 
@@ -129,6 +226,23 @@ mod tests {
         assert_eq!(rows[1][5], "ok");
         let bad = super::rows(&[cell(0.0, 2.0), cell(0.25, 0.5)]);
         assert_eq!(bad[1][5], "CLIFF");
+    }
+
+    #[test]
+    fn cell_codec_round_trips_losslessly() {
+        let c = FaultCell {
+            rate: 0.05,
+            hm_ipc: 1.0872273441234567,
+            faults: 17,
+            degraded_epochs: 3,
+            epochs: vec![],
+        };
+        let j = crate::json::parse(&encode_cell(&c)).expect("valid payload");
+        let back = decode_cell(&j).unwrap();
+        assert_eq!(back.rate, c.rate);
+        assert_eq!(back.hm_ipc, c.hm_ipc, "hm_ipc must be bit-identical");
+        assert_eq!((back.faults, back.degraded_epochs), (17, 3));
+        assert!(back.epochs.is_empty());
     }
 
     #[test]

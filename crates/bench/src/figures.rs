@@ -12,7 +12,8 @@ use cmm_core::policy::Mechanism;
 use cmm_metrics as met;
 use cmm_workloads::{build_mixes, Category, Mix};
 
-use crate::runner::{parallel_map, Progress};
+use crate::checkpoint::{self, Checkpoint};
+use crate::runner::{run_cells, CellFailure, Progress, DEFAULT_ATTEMPTS};
 
 /// Evaluation-wide settings.
 #[derive(Debug, Clone)]
@@ -26,18 +27,32 @@ pub struct EvalConfig {
     /// Worker threads for the (mix × mechanism) matrix; `1` = serial.
     /// Output is bit-identical regardless of the value.
     pub jobs: usize,
+    /// Per-cell attempt budget for panic isolation (`1` = no retries).
+    /// Like `jobs`, never part of the config digest: retrying cannot
+    /// change a deterministic cell's result.
+    pub attempts: u32,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { exp: ExperimentConfig::default(), mixes_per_category: 10, seed: 42, jobs: 1 }
+        EvalConfig {
+            exp: ExperimentConfig::default(),
+            mixes_per_category: 10,
+            seed: 42,
+            jobs: 1,
+            attempts: DEFAULT_ATTEMPTS,
+        }
     }
 }
 
 impl EvalConfig {
     /// Reduced size/duration for tests and `--quick`.
     pub fn quick() -> Self {
-        EvalConfig { exp: ExperimentConfig::quick(), mixes_per_category: 2, seed: 42, jobs: 1 }
+        EvalConfig {
+            exp: ExperimentConfig::quick(),
+            mixes_per_category: 2,
+            ..EvalConfig::default()
+        }
     }
 }
 
@@ -107,6 +122,23 @@ impl Evaluation {
     }
 }
 
+/// Answers a cell from the resume sidecar, treating an undecodable cached
+/// payload as a miss (with a warning) rather than poisoning the run.
+fn splice<R>(
+    ckpt: Option<&Checkpoint>,
+    key: &str,
+    decode: impl Fn(&crate::json::Json) -> Result<R, String>,
+) -> Option<R> {
+    let payload = ckpt?.cached(key)?;
+    match decode(&payload) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("[repro] checkpoint entry '{key}' is undecodable ({e}); re-running cell");
+            None
+        }
+    }
+}
+
 /// Runs the evaluation: every mix under the baseline plus `mechanisms`.
 /// `progress` (if true) prints one timestamped line per completed cell to
 /// stderr.
@@ -115,7 +147,19 @@ impl Evaluation {
 /// cell owns its `System`, and results are reassembled in mix-then-
 /// mechanism order, so the returned `Evaluation` — and any table printed
 /// from it — is bit-identical to a serial (`jobs = 1`) run.
-pub fn evaluate(mechanisms: &[Mechanism], cfg: &EvalConfig, progress: bool) -> Evaluation {
+///
+/// Every cell runs panic-isolated under `cfg.attempts`; cells that exhaust
+/// the budget surface in the `Err` list after **all** sibling cells have
+/// completed (and, with a checkpoint, been persisted), so a partial sweep
+/// is never lost. With `ckpt`, completed cells are spliced from the
+/// `cmm-ckpt/1` sidecar and fresh results appended to it; the lossless
+/// codecs make a resumed `Evaluation` bit-identical to a fresh one.
+pub fn evaluate_resumable(
+    mechanisms: &[Mechanism],
+    cfg: &EvalConfig,
+    progress: bool,
+    ckpt: Option<&Checkpoint>,
+) -> Result<Evaluation, Vec<CellFailure>> {
     let mixes = build_mixes(cfg.seed, cfg.mixes_per_category);
     let log = Progress::new(progress);
 
@@ -130,9 +174,21 @@ pub fn evaluate(mechanisms: &[Mechanism], cfg: &EvalConfig, progress: bool) -> E
             }
         }
     }
-    let alone_vals = parallel_map(&distinct, cfg.jobs, |_, b| {
-        log.cell(&format!("alone: {}", b.name), || run_alone_ipc(b, &cfg.exp))
-    });
+    let alone_run = run_cells(
+        &distinct,
+        cfg.jobs,
+        cfg.attempts,
+        |_, b| format!("alone: {}", b.name),
+        |k| splice(ckpt, k, checkpoint::decode_alone),
+        |k, v: &f64| {
+            if let Some(ck) = ckpt {
+                ck.record(k, &checkpoint::encode_alone(*v));
+            }
+        },
+        |_, b| log.cell(&format!("alone: {}", b.name), || run_alone_ipc(b, &cfg.exp)),
+    );
+    let alone_resumed = alone_run.resumed;
+    let alone_vals = alone_run.into_results()?;
     let alone_cache: HashMap<&str, f64> =
         distinct.iter().zip(&alone_vals).map(|(b, &v)| (b.name, v)).collect();
 
@@ -146,10 +202,29 @@ pub fn evaluate(mechanisms: &[Mechanism], cfg: &EvalConfig, progress: bool) -> E
             cells.push((mi, m));
         }
     }
-    let mut results = parallel_map(&cells, cfg.jobs, |_, &(mi, m)| {
-        let mix = &mixes[mi];
-        log.cell(&format!("{}: {}", mix.name, m.label()), || run_mix(mix, m, &cfg.exp))
-    });
+    let matrix_run = run_cells(
+        &cells,
+        cfg.jobs,
+        cfg.attempts,
+        |_, &(mi, m)| format!("{}: {}", mixes[mi].name, m.label()),
+        |k| splice(ckpt, k, checkpoint::decode_mix_result),
+        |k, r: &MixResult| {
+            if let Some(ck) = ckpt {
+                ck.record(k, &checkpoint::encode_mix_result(r));
+            }
+        },
+        |_, &(mi, m)| {
+            let mix = &mixes[mi];
+            log.cell(&format!("{}: {}", mix.name, m.label()), || run_mix(mix, m, &cfg.exp))
+        },
+    );
+    if matrix_run.resumed + alone_resumed > 0 {
+        log.note(&format!(
+            "resume: spliced {} cached cell(s) from the checkpoint",
+            matrix_run.resumed + alone_resumed
+        ));
+    }
+    let mut results = matrix_run.into_results()?;
 
     // Reassemble in mix order: baseline first, then `mechanisms` order —
     // exactly what the serial loop produced.
@@ -164,7 +239,17 @@ pub fn evaluate(mechanisms: &[Mechanism], cfg: &EvalConfig, progress: bool) -> E
         workloads.push(WorkloadEval { mix: mix.clone(), alone, baseline, managed });
     }
     workloads.reverse();
-    Evaluation { workloads, mechanisms: mechanisms.to_vec() }
+    Ok(Evaluation { workloads, mechanisms: mechanisms.to_vec() })
+}
+
+/// [`evaluate_resumable`] without checkpointing, panicking if any cell
+/// exhausts its attempt budget — the convenience entry point for tests and
+/// callers that have no failure-report path.
+pub fn evaluate(mechanisms: &[Mechanism], cfg: &EvalConfig, progress: bool) -> Evaluation {
+    evaluate_resumable(mechanisms, cfg, progress, None).unwrap_or_else(|failures| {
+        let keys: Vec<&str> = failures.iter().map(|f| f.key.as_str()).collect();
+        panic!("{} evaluation cell(s) failed: {}", failures.len(), keys.join(", "));
+    })
 }
 
 /// A generic per-workload, per-mechanism series with category means —

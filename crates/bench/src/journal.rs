@@ -12,6 +12,7 @@ use std::path::{Path, PathBuf};
 
 use cmm_core::telemetry::{config_digest, EpochRecord, Manifest};
 
+use crate::atomic::{salvage_jsonl, write_atomic};
 use crate::figures::Evaluation;
 use crate::json::{parse, Json};
 
@@ -96,14 +97,50 @@ pub fn render(man: &Manifest, cells: &[(String, Vec<EpochRecord>)]) -> String {
     out
 }
 
-/// Writes the journal to `path` (truncating). Returns the epoch-line count.
+/// Writes the journal to `path` atomically (temp-then-rename, so a crash
+/// mid-write can never leave a torn journal). Returns the epoch-line count.
 pub fn write(
     path: &Path,
     man: &Manifest,
     cells: &[(String, Vec<EpochRecord>)],
 ) -> std::io::Result<usize> {
-    std::fs::write(path, render(man, cells))?;
+    write_atomic(path, render(man, cells).as_bytes())?;
     Ok(cells.iter().map(|(_, e)| e.len()).sum())
+}
+
+/// A loaded journal: parsed manifest plus parsed epoch records, with the
+/// torn-tail salvage accounting every reader shares.
+#[derive(Debug)]
+pub struct JournalDoc {
+    /// The manifest line, parsed.
+    pub manifest: Json,
+    /// Every `kind == "epoch"` record, parsed, in file order.
+    pub epochs: Vec<Json>,
+    /// Trailing partial lines dropped by torn-tail salvage (0 or 1).
+    pub dropped: usize,
+}
+
+/// Parses a journal with torn-tail recovery: a final line torn by a crash
+/// mid-write is dropped (and counted in [`JournalDoc::dropped`]) instead
+/// of failing the whole file; mid-file garbage is still a proper error —
+/// that is corruption, not an interrupted append.
+pub fn load(text: &str) -> Result<JournalDoc, String> {
+    let salvage = salvage_jsonl(text);
+    let mut lines = salvage.lines.iter();
+    let first = lines.next().ok_or("empty journal")?;
+    let manifest = parse(first).map_err(|e| format!("line 1: {e}"))?;
+    let schema = manifest.get("schema").and_then(Json::as_str).unwrap_or("");
+    if !matches!(schema, "cmm-journal/1" | "cmm-journal/2") {
+        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1 or /2)"));
+    }
+    let mut epochs = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let rec = parse(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+        if rec.get("kind").and_then(Json::as_str) == Some("epoch") {
+            epochs.push(rec);
+        }
+    }
+    Ok(JournalDoc { manifest, epochs, dropped: salvage.dropped })
 }
 
 /// Extracts the journal cells from an [`Evaluation`], in the harness's
@@ -143,19 +180,10 @@ struct RunStats {
 /// context plus one row per run (epoch count, how often aggressors were
 /// detected, trials searched, final applied state).
 pub fn summarize(text: &str) -> Result<String, String> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (_, first) = lines.next().ok_or("empty journal")?;
-    let man = parse(first).map_err(|e| format!("line 1: {e}"))?;
-    let schema = man.get("schema").and_then(Json::as_str).unwrap_or("");
-    if !matches!(schema, "cmm-journal/1" | "cmm-journal/2") {
-        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1 or /2)"));
-    }
+    let doc = load(text)?;
+    let man = doc.manifest;
     let mut runs: Vec<RunStats> = Vec::new();
-    for (i, line) in lines {
-        let rec = parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        if rec.get("kind").and_then(Json::as_str) != Some("epoch") {
-            continue;
-        }
+    for rec in &doc.epochs {
         let run = rec.get("run").and_then(Json::as_str).unwrap_or("?").to_string();
         let stats = match runs.iter_mut().find(|r| r.run == run) {
             Some(s) => s,
@@ -233,6 +261,13 @@ pub fn summarize(text: &str) -> Result<String, String> {
         host.and_then(|h| h.get("cpus")).and_then(Json::as_u64).unwrap_or(0),
         field("config_digest"),
     ));
+    if doc.dropped > 0 {
+        out.push_str(&format!(
+            "note: torn tail — dropped {} partial line(s), salvaged {} epoch record(s)\n",
+            doc.dropped,
+            doc.epochs.len()
+        ));
+    }
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
@@ -276,6 +311,53 @@ pub fn summarize(text: &str) -> Result<String, String> {
         &rows,
     ));
     Ok(out)
+}
+
+/// Renders the journal's per-epoch telemetry as a plottable CSV
+/// (`journal-summary --csv`): one row per epoch record, with the
+/// execution-epoch outcome fields the control loop is judged by. Empty
+/// cells mean "not available this epoch" (e.g. `exec_hm_ipc` before the
+/// first execution epoch completes).
+pub fn epochs_csv(text: &str) -> Result<String, String> {
+    let doc = load(text)?;
+    let mut out = String::from("run,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded\n");
+    for rec in &doc.epochs {
+        let run = rec.get("run").and_then(Json::as_str).unwrap_or("?");
+        let epoch = rec.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+        let mech = rec.get("mechanism").and_then(Json::as_str).unwrap_or("?");
+        let hm = rec
+            .get("exec_hm_ipc")
+            .and_then(Json::as_f64)
+            .map(|v| format!("{v:.6}"))
+            .unwrap_or_default();
+        let delta = rec
+            .get("exec_ipc_delta")
+            .and_then(Json::as_f64)
+            .map(|v| format!("{v:.6}"))
+            .unwrap_or_default();
+        let faults = rec.get("faults").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0);
+        let degraded = rec.get("degraded").and_then(Json::as_str).unwrap_or("");
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            csv_field(run),
+            epoch,
+            csv_field(mech),
+            hm,
+            delta,
+            faults,
+            csv_field(degraded)
+        ));
+    }
+    Ok(out)
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
 }
 
 #[cfg(test)]
@@ -348,8 +430,66 @@ mod tests {
         let man = manifest(&meta());
         let text = render(&man, &[("r".to_string(), vec![record(1, 1)])]);
         for line in text.lines() {
-            parse(line).unwrap_or_else(|e| panic!("invalid line {line}: {e}"));
+            assert!(parse(line).is_ok(), "invalid journal line: {line}");
         }
+    }
+
+    #[test]
+    fn load_recovers_a_torn_tail() {
+        let man = manifest(&meta());
+        let text = render(&man, &[("r".to_string(), vec![record(1, 1), record(2, 2)])]);
+        // Tear the final epoch line as a crash mid-write would.
+        let torn = &text[..text.len() - 25];
+        let doc = load(torn).expect("torn tail must salvage, not error");
+        assert_eq!(doc.dropped, 1);
+        assert_eq!(doc.epochs.len(), 1, "only the intact epoch survives");
+        let summary = summarize(torn).expect("summary of salvaged journal");
+        assert!(summary.contains("torn tail"), "{summary}");
+        assert!(summary.contains("1 runs, 1 epochs"), "{summary}");
+    }
+
+    #[test]
+    fn load_still_rejects_mid_file_corruption() {
+        let man = manifest(&meta());
+        let text = render(&man, &[("r".to_string(), vec![record(1, 1), record(2, 2)])]);
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{definitely not json";
+        let corrupted = format!("{}\n", lines.join("\n"));
+        let err = load(&corrupted).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(summarize(&corrupted).is_err());
+    }
+
+    #[test]
+    fn torn_manifest_is_an_error_not_a_panic() {
+        // A journal whose only line is a torn manifest salvages to empty.
+        let err = load("{\"schema\":\"cmm-jour").unwrap_err();
+        assert!(err.contains("empty journal"), "{err}");
+    }
+
+    #[test]
+    fn epochs_csv_exports_one_row_per_epoch() {
+        let man = manifest(&meta());
+        let cells = vec![
+            ("Mix-00: Baseline".to_string(), vec![record(1, 0)]),
+            ("Mix-00: CMM-a".to_string(), vec![record(1, 2), record(2, 3)]),
+        ];
+        let csv = epochs_csv(&render(&man, &cells)).expect("csv");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "run,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded");
+        assert_eq!(lines.len(), 4, "{csv}");
+        assert!(lines[1].starts_with("Mix-00: Baseline,1,CMM-a,"), "{csv}");
+        // Epoch 1 has no completed execution epoch: empty exec fields.
+        assert!(lines[2].ends_with(",,,0,"), "{csv}");
+        // Epoch 2 reports exec_hm_ipc at journal precision.
+        assert!(lines[3].contains(",1.000000,"), "{csv}");
+    }
+
+    #[test]
+    fn csv_fields_with_delimiters_are_quoted() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
     }
 
     #[test]

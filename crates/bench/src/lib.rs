@@ -25,13 +25,29 @@
 //! * [`json`] — minimal JSON reader for the harness's own artifacts (the
 //!   build environment has no serde).
 //!
+//! The harness itself is fault tolerant (DESIGN.md §"Crash safety"):
+//!
+//! * [`runner`] — panic-isolated cell execution with a bounded retry
+//!   budget; a panicking cell never aborts its siblings.
+//! * [`atomic`] — crash-safe artifact IO (write-temp-then-rename for whole
+//!   documents, fsync-per-record JSONL appends, torn-tail salvage).
+//! * [`checkpoint`] — the `cmm-ckpt/1` resume sidecar behind
+//!   `repro … --resume`: completed cells are spliced from cache so a
+//!   resumed run's output is byte-identical to an uninterrupted one.
+//! * [`chaos`] — seeded panic/kill injection for `repro soak` and CI.
+//! * [`soak`] — the kill-and-resume chaos gate (`repro soak`).
+//!
 //! The `repro` binary exposes one subcommand per table/figure plus the CI
 //! entry points: `repro fig7`, `repro table1`, `repro faults`,
-//! `repro all --quick`, `repro bench-compare base.json cur.json`,
+//! `repro all --quick`, `repro soak`,
+//! `repro bench-compare base.json cur.json`,
 //! `repro journal-summary …`, `repro journal-diff a.jsonl b.jsonl`
 
 pub mod ablate;
+pub mod atomic;
+pub mod chaos;
 pub mod characterize;
+pub mod checkpoint;
 pub mod compare;
 pub mod diff;
 pub mod export;
@@ -42,3 +58,4 @@ pub mod json;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod soak;

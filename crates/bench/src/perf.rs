@@ -33,7 +33,6 @@
 //! including warm-up), so `sim_cycles_per_s` is comparable across targets
 //! with different machine widths.
 
-use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
@@ -120,11 +119,10 @@ impl BenchLog {
         s
     }
 
-    /// Writes the JSON to `path` (atomically enough for a log: full
-    /// buffered write, single file handle).
+    /// Writes the JSON to `path` atomically (temp-then-rename): a crash
+    /// mid-write leaves the previous complete log, never a torn one.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_json().as_bytes())
+        crate::atomic::write_atomic(path, self.to_json().as_bytes())
     }
 }
 

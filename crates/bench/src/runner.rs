@@ -1,13 +1,22 @@
-//! Ordered parallel execution of experiment work-lists.
+//! Ordered, panic-isolated parallel execution of experiment work-lists.
 //!
 //! The evaluation matrix (mix × mechanism) is embarrassingly parallel:
 //! every cell owns its `System`, so cells only share read-only inputs.
-//! [`parallel_map`] fans a work-list across `jobs` scoped threads pulling
-//! indices from a shared atomic counter, and returns results **in input
+//! [`run_cells`] fans a work-list across `jobs` scoped threads pulling
+//! indices from a shared atomic counter and returns results **in input
 //! order**, so callers produce output bit-identical to a serial run no
 //! matter how the cells were scheduled. With `jobs <= 1` the closure runs
 //! inline on the caller's thread — the serial fallback, with no thread
 //! overhead at all.
+//!
+//! Every cell executes under `catch_unwind`: a panicking cell is retried
+//! up to a bounded attempt budget and, if it keeps failing, becomes an
+//! explicit [`CellOutcome::Failed`] with its panic payload captured —
+//! sibling cells always run to completion and the caller decides how to
+//! report the loss, instead of one bad cell aborting a multi-hour run.
+//! [`run_cells`] additionally supports checkpoint splicing: cells whose
+//! key is found in a resume sidecar are answered from cache without
+//! running (or re-panicking) at all.
 //!
 //! [`Progress`] is the matching thread-safe `[repro]` logger: each cell
 //! emits exactly one timestamped line (elapsed since start, plus the
@@ -15,9 +24,15 @@
 //! locked stderr write, so concurrent cells can never interleave halves of
 //! a line.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+use crate::chaos;
+
+/// Default per-cell attempt budget: one run plus two retries.
+pub const DEFAULT_ATTEMPTS: u32 = 3;
 
 /// Degree of parallelism to use when the user does not pass `--jobs`:
 /// every available host core.
@@ -25,23 +40,150 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Maps `f` over `items` with `jobs` worker threads, returning results in
-/// input order. `f` receives `(index, &item)`.
+/// A cell that exhausted its attempt budget.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Input-order index of the cell.
+    pub index: usize,
+    /// The cell's stable key (run label).
+    pub key: String,
+    /// Attempts consumed (== the budget).
+    pub attempts: u32,
+    /// Payload of the final panic, stringified.
+    pub panic_msg: String,
+}
+
+/// Per-cell result of an isolated run.
+#[derive(Debug)]
+pub enum CellOutcome<R> {
+    /// The cell completed (possibly after retries, possibly from cache).
+    Ok(R),
+    /// The cell panicked on every attempt.
+    Failed(CellFailure),
+}
+
+/// Outcome of a [`run_cells`] sweep.
+#[derive(Debug)]
+pub struct CellRun<R> {
+    /// One outcome per input item, in input order.
+    pub outcomes: Vec<CellOutcome<R>>,
+    /// Cells answered from the resume cache without running.
+    pub resumed: usize,
+}
+
+impl<R> CellRun<R> {
+    /// Splits into results (all cells ok) or the failure list.
+    pub fn into_results(self) -> Result<Vec<R>, Vec<CellFailure>> {
+        let mut results = Vec::with_capacity(self.outcomes.len());
+        let mut failures = Vec::new();
+        for o in self.outcomes {
+            match o {
+                CellOutcome::Ok(r) => results.push(r),
+                CellOutcome::Failed(f) => failures.push(f),
+            }
+        }
+        if failures.is_empty() {
+            Ok(results)
+        } else {
+            Err(failures)
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one cell under the attempt budget, consulting the chaos schedule
+/// inside the unwind scope so injected panics exercise the real path.
+fn run_one<T, R>(
+    index: usize,
+    item: &T,
+    key: &str,
+    attempts: u32,
+    f: &(impl Fn(usize, &T) -> R + Sync),
+) -> CellOutcome<R> {
+    let budget = attempts.max(1);
+    let mut last_msg = String::new();
+    for attempt in 1..=budget {
+        match catch_unwind(AssertUnwindSafe(|| {
+            chaos::maybe_panic(key, attempt);
+            f(index, item)
+        })) {
+            Ok(r) => return CellOutcome::Ok(r),
+            Err(payload) => {
+                last_msg = panic_message(payload);
+                eprintln!(
+                    "[runner] cell '{key}' panicked (attempt {attempt}/{budget}): {last_msg}"
+                );
+            }
+        }
+    }
+    CellOutcome::Failed(CellFailure {
+        index,
+        key: key.to_string(),
+        attempts: budget,
+        panic_msg: last_msg,
+    })
+}
+
+/// Maps `f` over `items` with `jobs` worker threads, panic-isolated and
+/// resume-aware, returning per-cell outcomes in input order.
+///
+/// * `key` names each cell stably (the journal run label); keys drive
+///   checkpoint lookups and the seeded chaos schedule, so they must be
+///   independent of scheduling.
+/// * `cached` answers a cell from the resume sidecar; a `Some` result is
+///   spliced in without running `f` (counted in [`CellRun::resumed`]).
+/// * `record` persists a freshly computed result (checkpoint append); it
+///   runs before the cell counts as complete, so a kill directly after it
+///   resumes without losing the cell.
 ///
 /// Work is distributed dynamically (an atomic next-index counter), so a
 /// slow cell does not stall the queue behind it. `jobs <= 1` — or a
 /// single-item list — runs serially inline.
-pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+pub fn run_cells<T, R>(
+    items: &[T],
+    jobs: usize,
+    attempts: u32,
+    key: impl Fn(usize, &T) -> String + Sync,
+    cached: impl Fn(&str) -> Option<R> + Sync,
+    record: impl Fn(&str, &R) + Sync,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> CellRun<R>
 where
     T: Sync,
     R: Send,
-    F: Fn(usize, &T) -> R + Sync,
 {
+    let resumed = AtomicUsize::new(0);
+    let cell = |i: usize| -> CellOutcome<R> {
+        let k = key(i, &items[i]);
+        if let Some(r) = cached(&k) {
+            resumed.fetch_add(1, Ordering::Relaxed);
+            return CellOutcome::Ok(r);
+        }
+        let outcome = run_one(i, &items[i], &k, attempts, &f);
+        if let CellOutcome::Ok(r) = &outcome {
+            record(&k, r);
+            chaos::on_cell_complete();
+        }
+        outcome
+    };
+
     if jobs <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let outcomes = (0..items.len()).map(cell).collect();
+        return CellRun { outcomes, resumed: resumed.into_inner() };
     }
+
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<CellOutcome<R>>>> =
+        Mutex::new((0..items.len()).map(|_| None).collect());
     let workers = jobs.min(items.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -50,13 +192,61 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f(i, &items[i]);
-                slots.lock().expect("runner slots poisoned")[i] = Some(r);
+                let outcome = cell(i);
+                slots.lock().expect("runner slots poisoned")[i] = Some(outcome);
             });
         }
     });
-    let results = slots.into_inner().expect("runner slots poisoned");
-    results.into_iter().map(|r| r.expect("every index was processed")).collect()
+    let outcomes = slots
+        .into_inner()
+        .expect("runner slots poisoned")
+        .into_iter()
+        .map(|o| o.expect("every index was processed"))
+        .collect();
+    CellRun { outcomes, resumed: resumed.into_inner() }
+}
+
+/// Panic-isolated map without checkpointing: every cell runs (or fails)
+/// under the attempt budget, keyed `cell-<index>`.
+pub fn try_parallel_map<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    attempts: u32,
+    f: F,
+) -> Vec<CellOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_cells(items, jobs, attempts, |i, _| format!("cell-{i}"), |_| None, |_, _| (), f).outcomes
+}
+
+/// Maps `f` over `items` with `jobs` worker threads, returning results in
+/// input order. `f` receives `(index, &item)`.
+///
+/// Cells are panic-isolated: a panicking cell no longer aborts its
+/// siblings mid-flight — every cell runs to completion and the collected
+/// failures surface as one panic afterwards. Callers that want to survive
+/// failures use [`run_cells`] and handle [`CellOutcome::Failed`] instead.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut results = Vec::with_capacity(items.len());
+    let mut failed = Vec::new();
+    for o in try_parallel_map(items, jobs, 1, f) {
+        match o {
+            CellOutcome::Ok(r) => results.push(r),
+            CellOutcome::Failed(fail) => {
+                failed.push(format!("#{}: {}", fail.index, fail.panic_msg))
+            }
+        }
+    }
+    assert!(failed.is_empty(), "{} cell(s) panicked: {}", failed.len(), failed.join("; "));
+    results
 }
 
 /// Thread-safe timestamped `[repro]` progress logger.
@@ -148,5 +338,114 @@ mod tests {
             hits.lock().unwrap()[i] += 1;
         });
         assert!(hits.into_inner().unwrap().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn panicking_cell_never_aborts_siblings() {
+        let items: Vec<u32> = (0..20).collect();
+        let outcomes = try_parallel_map(&items, 4, 2, |_, &x| {
+            assert!(x != 7, "cell 7 exploded");
+            x * 2
+        });
+        let (mut ok, mut failed) = (0, 0);
+        for (i, o) in outcomes.iter().enumerate() {
+            match o {
+                CellOutcome::Ok(v) => {
+                    ok += 1;
+                    assert_eq!(*v, items[i] * 2);
+                }
+                CellOutcome::Failed(f) => {
+                    failed += 1;
+                    assert_eq!(f.index, 7);
+                    assert_eq!(f.attempts, 2);
+                    assert!(f.panic_msg.contains("cell 7 exploded"), "{}", f.panic_msg);
+                }
+            }
+        }
+        assert_eq!((ok, failed), (19, 1));
+    }
+
+    #[test]
+    fn transient_panic_heals_within_the_attempt_budget() {
+        let tries = Mutex::new(vec![0u32; 8]);
+        let items: Vec<usize> = (0..8).collect();
+        let run = run_cells(
+            &items,
+            3,
+            3,
+            |i, _| format!("k{i}"),
+            |_| None,
+            |_, _| (),
+            |i, _| {
+                let mut t = tries.lock().unwrap();
+                t[i] += 1;
+                let attempt = t[i];
+                drop(t);
+                assert!(i != 5 || attempt >= 3, "transient failure in cell 5");
+                i * 10
+            },
+        );
+        let results = run.into_results().expect("budget heals transient panics");
+        assert_eq!(results[5], 50);
+        assert_eq!(tries.into_inner().unwrap()[5], 3);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_the_failure() {
+        let run = run_cells(
+            &[1u32],
+            1,
+            4,
+            |_, _| "doomed".to_string(),
+            |_| None,
+            |_, _| (),
+            |_, _| -> u32 { panic!("always fails") },
+        );
+        let failures = run.into_results().unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].attempts, 4);
+        assert_eq!(failures[0].key, "doomed");
+        assert!(failures[0].panic_msg.contains("always fails"));
+    }
+
+    #[test]
+    fn cached_cells_are_spliced_without_running() {
+        let ran = Mutex::new(Vec::new());
+        let recorded = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..6).collect();
+        let run = run_cells(
+            &items,
+            2,
+            1,
+            |i, _| format!("k{i}"),
+            |k| if k == "k2" || k == "k4" { Some(999usize) } else { None },
+            |k, r: &usize| recorded.lock().unwrap().push((k.to_string(), *r)),
+            |i, _| {
+                ran.lock().unwrap().push(i);
+                i
+            },
+        );
+        assert_eq!(run.resumed, 2);
+        let results = run.into_results().unwrap();
+        assert_eq!(results, vec![0, 1, 999, 3, 999, 5]);
+        let mut ran = ran.into_inner().unwrap();
+        ran.sort_unstable();
+        assert_eq!(ran, vec![0, 1, 3, 5], "cached cells must not run");
+        let mut rec = recorded.into_inner().unwrap();
+        rec.sort();
+        // Only freshly computed cells are re-recorded.
+        assert_eq!(
+            rec.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["k0", "k1", "k3", "k5"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cell(s) panicked")]
+    fn parallel_map_still_fails_loudly_after_isolation() {
+        parallel_map(&[1u32, 2, 3], 2, |_, &x| {
+            assert!(x != 2, "boom");
+            x
+        });
     }
 }

@@ -1,0 +1,233 @@
+//! `repro soak` — the kill-and-resume chaos gate.
+//!
+//! Proves the fault-tolerance claims end-to-end by re-invoking the `repro`
+//! binary itself against a small evaluation target under injected chaos
+//! (see [`crate::chaos`]) and gating on **byte identity** of the converged
+//! artifacts:
+//!
+//! 1. **Clean run** — the reference stdout + journal.
+//! 2. **Transient chaos** — seeded panics that fail each selected cell's
+//!    first attempt. The run must succeed in one invocation (the retry
+//!    budget heals every injected panic) and match the reference bytes.
+//! 3. **Persistent chaos** — the selected cells fail every attempt. The
+//!    run must *fail* (exit 1) with a per-cell failure report while the
+//!    sibling cells complete and reach the checkpoint.
+//! 4. **Resume after failure** — re-running with `--resume` over the
+//!    partial checkpoint (chaos disarmed) must converge to the reference
+//!    bytes.
+//! 5. **Kill + resume** — a run that hard-exits after N checkpointed
+//!    cells (emulating `kill -9`), then a resume, must also converge.
+//!
+//! Stdout and the journal are the identity surface; stderr (progress,
+//! retry noise) and the wall-clock fields of `BENCH_sim.json` are
+//! intentionally excluded. The work dir is kept on failure for forensics.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Chaos schedule used by the soak: seed/rate chosen so that at least one
+/// cell of the `fig7 --quick --mixes 1` target is selected (asserted by a
+/// unit test below, so a hash change cannot silently neuter the gate).
+pub const SOAK_CHAOS_SEED: u64 = 5;
+/// See [`SOAK_CHAOS_SEED`].
+pub const SOAK_CHAOS_RATE: f64 = 0.35;
+
+struct Step {
+    name: &'static str,
+    args: Vec<String>,
+}
+
+fn run_step(exe: &Path, step: &Step) -> Result<Output, String> {
+    let out = Command::new(exe)
+        .args(&step.args)
+        .output()
+        .map_err(|e| format!("soak: spawning '{}' failed: {e}", step.name))?;
+    Ok(out)
+}
+
+fn expect_code(step: &str, out: &Output, want: i32) -> Result<(), String> {
+    let got = out.status.code();
+    if got == Some(want) {
+        return Ok(());
+    }
+    Err(format!(
+        "soak: step '{step}' exited with {:?}, expected {want}; stderr tail:\n{}",
+        got,
+        tail(&String::from_utf8_lossy(&out.stderr), 15)
+    ))
+}
+
+fn tail(text: &str, n: usize) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let start = lines.len().saturating_sub(n);
+    lines[start..].join("\n")
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("soak: read {}: {e}", path.display()))
+}
+
+fn expect_identical(what: &str, reference: &str, candidate: &str) -> Result<(), String> {
+    if reference == candidate {
+        return Ok(());
+    }
+    let diverge = reference
+        .lines()
+        .zip(candidate.lines())
+        .position(|(a, b)| a != b)
+        .map(|i| format!("first divergent line: {}", i + 1))
+        .unwrap_or_else(|| {
+            format!(
+                "line counts differ: {} vs {}",
+                reference.lines().count(),
+                candidate.lines().count()
+            )
+        });
+    Err(format!("soak: {what} is NOT byte-identical to the clean run ({diverge})"))
+}
+
+/// Runs the full soak sequence; returns the process exit code (0 = every
+/// gate held, 1 = a gate failed). `jobs` is forwarded to every child run.
+pub fn run(jobs: usize) -> i32 {
+    match run_inner(jobs) {
+        Ok(dir) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            println!("soak: PASS — transient chaos healed, persistent chaos isolated,");
+            println!("soak: kill-and-resume converged; stdout and journal byte-identical.");
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn run_inner(jobs: usize) -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("soak: current_exe: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("cmm_soak_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("soak: mkdir {}: {e}", dir.display()))?;
+    eprintln!("soak: work dir {} (kept on failure)", dir.display());
+
+    let base = |journal: &str, bench: &str| -> Vec<String> {
+        [
+            "fig7",
+            "--quick",
+            "--mixes",
+            "1",
+            "--jobs",
+            &jobs.to_string(),
+            "--journal",
+            &dir.join(journal).display().to_string(),
+            "--bench-json",
+            &dir.join(bench).display().to_string(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    };
+    let chaos = |mode: &str| -> Vec<String> {
+        [
+            "--chaos-seed",
+            &SOAK_CHAOS_SEED.to_string(),
+            "--chaos-rate",
+            &SOAK_CHAOS_RATE.to_string(),
+            "--chaos-mode",
+            mode,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    };
+    let resume = |name: &str| -> Vec<String> {
+        vec!["--resume".to_string(), dir.join(name).display().to_string()]
+    };
+
+    // 1. Clean reference run.
+    eprintln!("soak: [1/5] clean reference run");
+    let clean = Step { name: "clean", args: base("clean.jsonl", "clean.json") };
+    let out = run_step(&exe, &clean)?;
+    expect_code("clean", &out, 0)?;
+    let ref_stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let ref_journal = read(&dir.join("clean.jsonl"))?;
+
+    // 2. Transient chaos: every injected panic must heal within the retry
+    //    budget, in one invocation, with identical output.
+    eprintln!("soak: [2/5] transient chaos (panics heal via retry)");
+    let mut args = base("transient.jsonl", "transient.json");
+    args.extend(chaos("transient"));
+    let out = run_step(&exe, &Step { name: "transient", args })?;
+    expect_code("transient", &out, 0)?;
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    if !stderr.contains("chaos: injected panic") {
+        return Err(format!(
+            "soak: transient run injected no panics — chaos schedule selected zero cells \
+             (seed {SOAK_CHAOS_SEED}, rate {SOAK_CHAOS_RATE}); the gate proved nothing"
+        ));
+    }
+    expect_identical("transient-chaos stdout", &ref_stdout, &String::from_utf8_lossy(&out.stdout))?;
+    expect_identical(
+        "transient-chaos journal",
+        &ref_journal,
+        &read(&dir.join("transient.jsonl"))?,
+    )?;
+
+    // 3. Persistent chaos: selected cells exhaust the budget; the run must
+    //    fail loudly while sibling cells complete into the checkpoint.
+    eprintln!("soak: [3/5] persistent chaos (failure report, siblings survive)");
+    let mut args = base("persist.jsonl", "persist.json");
+    args.extend(chaos("persistent"));
+    args.extend(resume("persist.ckpt"));
+    let out = run_step(&exe, &Step { name: "persistent", args })?;
+    expect_code("persistent", &out, 1)?;
+    let ckpt = read(&dir.join("persist.ckpt"))?;
+    if !ckpt.contains("\"kind\":\"cell\"") {
+        return Err("soak: persistent-chaos checkpoint recorded no completed cells — \
+                    a failing cell took its siblings down with it"
+            .to_string());
+    }
+
+    // 4. Resume over the partial checkpoint with chaos disarmed.
+    eprintln!("soak: [4/5] resume after failure");
+    let mut args = base("persist.jsonl", "persist.json");
+    args.extend(resume("persist.ckpt"));
+    let out = run_step(&exe, &Step { name: "resume-after-failure", args })?;
+    expect_code("resume-after-failure", &out, 0)?;
+    expect_identical("resumed stdout", &ref_stdout, &String::from_utf8_lossy(&out.stdout))?;
+    expect_identical("resumed journal", &ref_journal, &read(&dir.join("persist.jsonl"))?)?;
+
+    // 5. Hard kill after 2 checkpointed cells, then resume.
+    eprintln!("soak: [5/5] kill -9 after 2 cells, then resume");
+    let mut args = base("kill.jsonl", "kill.json");
+    args.extend(resume("kill.ckpt"));
+    args.extend(["--chaos-kill".to_string(), "2".to_string()]);
+    let out = run_step(&exe, &Step { name: "kill", args })?;
+    expect_code("kill", &out, crate::chaos::KILL_EXIT_CODE)?;
+    let mut args = base("kill.jsonl", "kill.json");
+    args.extend(resume("kill.ckpt"));
+    let out = run_step(&exe, &Step { name: "resume-after-kill", args })?;
+    expect_code("resume-after-kill", &out, 0)?;
+    expect_identical("post-kill stdout", &ref_stdout, &String::from_utf8_lossy(&out.stdout))?;
+    expect_identical("post-kill journal", &ref_journal, &read(&dir.join("kill.jsonl"))?)?;
+
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_returns_last_lines() {
+        assert_eq!(tail("a\nb\nc\nd", 2), "c\nd");
+        assert_eq!(tail("a", 5), "a");
+    }
+
+    #[test]
+    fn identical_passes_divergent_fails() {
+        assert!(expect_identical("x", "a\nb", "a\nb").is_ok());
+        let err = expect_identical("x", "a\nb", "a\nc").unwrap_err();
+        assert!(err.contains("line: 2"), "{err}");
+        assert!(expect_identical("x", "a\nb", "a\nb\nc").is_err());
+    }
+}

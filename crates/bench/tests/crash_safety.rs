@@ -1,0 +1,140 @@
+//! Crash-safety integration tests: an interrupted evaluation resumed from
+//! its `cmm-ckpt/1` sidecar must produce byte-identical reports and
+//! journal content to an uninterrupted run, and a torn checkpoint tail
+//! must salvage rather than poison the resume.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cmm_bench::checkpoint::Checkpoint;
+use cmm_bench::figures::{self, EvalConfig};
+use cmm_bench::{journal, report};
+use cmm_core::experiment::ExperimentConfig;
+use cmm_core::policy::Mechanism;
+use cmm_core::telemetry::config_digest;
+
+/// A deliberately tiny evaluation so the test runs in seconds.
+fn tiny_eval() -> EvalConfig {
+    let mut exp = ExperimentConfig::quick();
+    exp.total_cycles = 400_000;
+    exp.alone_cycles = 150_000;
+    exp.warmup_cycles = 150_000;
+    EvalConfig { exp, mixes_per_category: 1, seed: 42, jobs: 2, attempts: 1 }
+}
+
+/// Unique scratch path per test (no tempfile crate in the image).
+fn scratch(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("cmm_crash_safety_{}_{name}", std::process::id()));
+    let _ = fs::remove_file(&p);
+    p
+}
+
+/// Renders an evaluation to the full comparison surface: every Fig. 7
+/// table plus the journal epoch lines (the bytes `repro` would emit).
+fn surface(eval: &figures::Evaluation) -> String {
+    let (hs, ws) = figures::fig7(eval);
+    let man = journal::manifest(&journal::JournalMeta {
+        target: "fig7".into(),
+        quick: true,
+        seed: 42,
+        config_debug: "crash-safety-test".into(),
+    });
+    format!(
+        "{}{}{}",
+        report::render(&hs),
+        report::render(&ws),
+        journal::render(&man, &journal::eval_cells(eval))
+    )
+}
+
+#[test]
+fn resume_is_byte_identical_to_a_fresh_run() {
+    let cfg = tiny_eval();
+    let mechs = [Mechanism::Pt];
+    let digest = config_digest("crash-safety-test");
+
+    // Reference: uncheckpointed, uninterrupted run.
+    let fresh = figures::evaluate_resumable(&mechs, &cfg, false, None).expect("fresh run");
+    let want = surface(&fresh);
+
+    // First run populates the sidecar.
+    let path = scratch("resume.ckpt");
+    let (ckpt, info) = Checkpoint::open(&path, "fig7", &digest).expect("new checkpoint");
+    assert!(info.fresh);
+    let populated =
+        figures::evaluate_resumable(&mechs, &cfg, false, Some(&ckpt)).expect("populating run");
+    assert_eq!(surface(&populated), want, "checkpointing must not change the output");
+    drop(ckpt);
+
+    // Simulate an interruption: keep the manifest plus the first two cell
+    // records, as if the process died mid-sweep.
+    let text = fs::read_to_string(&path).expect("sidecar exists");
+    let keep: Vec<&str> = text.lines().take(3).collect();
+    assert!(keep.len() == 3, "expected a manifest and at least two cells, got {}", text.len());
+    fs::write(&path, format!("{}\n", keep.join("\n"))).unwrap();
+
+    // Resume: two cells splice from cache, the rest re-run.
+    let (ckpt, info) = Checkpoint::open(&path, "fig7", &digest).expect("reopen");
+    assert!(!info.fresh);
+    assert_eq!(info.cached, 2, "exactly the two kept cells are cached");
+    let resumed =
+        figures::evaluate_resumable(&mechs, &cfg, false, Some(&ckpt)).expect("resumed run");
+    assert_eq!(surface(&resumed), want, "resumed output must be byte-identical");
+
+    // And at a different parallelism, still byte-identical.
+    let serial = EvalConfig { jobs: 1, ..tiny_eval() };
+    let (ckpt, _) = Checkpoint::open(&path, "fig7", &digest).expect("reopen serial");
+    let resumed_serial =
+        figures::evaluate_resumable(&mechs, &serial, false, Some(&ckpt)).expect("serial resume");
+    assert_eq!(surface(&resumed_serial), want, "resume must be --jobs invariant");
+
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn torn_checkpoint_tail_salvages_and_resume_still_matches() {
+    let cfg = tiny_eval();
+    let mechs = [Mechanism::Pt];
+    let digest = config_digest("crash-safety-test");
+
+    let fresh = figures::evaluate_resumable(&mechs, &cfg, false, None).expect("fresh run");
+    let want = surface(&fresh);
+
+    let path = scratch("torn.ckpt");
+    let (ckpt, _) = Checkpoint::open(&path, "fig7", &digest).expect("new checkpoint");
+    figures::evaluate_resumable(&mechs, &cfg, false, Some(&ckpt)).expect("populating run");
+    drop(ckpt);
+
+    // Tear the final record mid-line, the signature of a crash mid-append.
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &text[..text.len() - 25]).unwrap();
+
+    let (ckpt, info) = Checkpoint::open(&path, "fig7", &digest).expect("torn tail salvages");
+    assert_eq!(info.dropped, 1, "exactly the torn record is dropped");
+    assert!(info.cached >= 1, "intact records survive the salvage");
+    let resumed =
+        figures::evaluate_resumable(&mechs, &cfg, false, Some(&ckpt)).expect("resumed run");
+    assert_eq!(surface(&resumed), want, "salvaged resume must be byte-identical");
+
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn mismatched_checkpoint_is_refused() {
+    let path = scratch("mismatch.ckpt");
+    let digest = config_digest("crash-safety-test");
+    let (ckpt, _) = Checkpoint::open(&path, "fig7", &digest).expect("new checkpoint");
+    ckpt.record("alone: x", "{\"ipc\":1.0}");
+    drop(ckpt);
+
+    // Same file, different target → refused (a resume must never splice
+    // another run's cells).
+    let err = Checkpoint::open(&path, "fig8", &digest).expect_err("target mismatch");
+    assert!(err.contains("fig7"), "error names the checkpoint's target: {err}");
+    // Same target, different config digest → refused too.
+    let err = Checkpoint::open(&path, "fig7", &config_digest("other-config"))
+        .expect_err("digest mismatch");
+    assert!(err.contains("digest"), "error names the digest mismatch: {err}");
+
+    let _ = fs::remove_file(&path);
+}

@@ -63,6 +63,23 @@ impl Mechanism {
             Mechanism::PtFine => "PT-fine",
         }
     }
+
+    /// Inverse of [`label`](Self::label) — used when decoding checkpointed
+    /// results back into typed form.
+    pub fn from_label(label: &str) -> Option<Mechanism> {
+        let all = [
+            Mechanism::Baseline,
+            Mechanism::Pt,
+            Mechanism::Dunn,
+            Mechanism::PrefCp,
+            Mechanism::PrefCp2,
+            Mechanism::CmmA,
+            Mechanism::CmmB,
+            Mechanism::CmmC,
+            Mechanism::PtFine,
+        ];
+        all.into_iter().find(|m| m.label() == label)
+    }
 }
 
 impl std::fmt::Display for Mechanism {
@@ -173,6 +190,16 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(Mechanism::PrefCp.label(), "Pref-CP");
         assert_eq!(Mechanism::CmmA.to_string(), "CMM-a");
+    }
+
+    #[test]
+    fn from_label_inverts_label() {
+        for m in Mechanism::all_managed() {
+            assert_eq!(Mechanism::from_label(m.label()), Some(m));
+        }
+        assert_eq!(Mechanism::from_label("Baseline"), Some(Mechanism::Baseline));
+        assert_eq!(Mechanism::from_label("PT-fine"), Some(Mechanism::PtFine));
+        assert_eq!(Mechanism::from_label("bogus"), None);
     }
 
     #[test]

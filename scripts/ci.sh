@@ -124,4 +124,55 @@ smoke_journal_diff() {
 }
 step "repro journal-diff smoke (identical pass + divergence fails)" smoke_journal_diff
 
+smoke_journal_csv() {
+    # --csv exports one row per journal epoch, with the summary untouched.
+    ./target/release/repro journal-summary "$tmp/journal.jobs1.jsonl" \
+        --csv "$tmp/epochs.csv" > "$tmp/journal-summary-csv.txt"
+    cmp "$tmp/journal-summary.txt" "$tmp/journal-summary-csv.txt"
+    head -1 "$tmp/epochs.csv" \
+        | grep -q '^run,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded$'
+    # Row count matches the journal's epoch-record count.
+    rows=$(($(wc -l < "$tmp/epochs.csv") - 1))
+    epochs=$(grep -c '"kind":"epoch"' "$tmp/journal.jobs1.jsonl")
+    if [ "$rows" -ne "$epochs" ]; then
+        echo "epochs.csv has $rows rows but the journal has $epochs epochs" >&2
+        return 1
+    fi
+}
+step "repro journal-summary --csv smoke" smoke_journal_csv
+
+smoke_kill_resume() {
+    # Crash-safety gate: a run hard-killed mid-sweep must resume from its
+    # cmm-ckpt/1 sidecar and converge to byte-identical stdout + journal.
+    local t="fig7" common=(--quick --mixes 1 --jobs "$SMOKE_JOBS")
+    ./target/release/repro "$t" "${common[@]}" \
+        --bench-json "$tmp/BENCH_clean.json" --journal "$tmp/clean.jsonl" \
+        > "$tmp/clean.txt"
+    # Kill after 2 completed cells: the harness exits 137 by design.
+    if ./target/release/repro "$t" "${common[@]}" --chaos-kill 2 \
+        --resume "$tmp/kill.ckpt" \
+        --bench-json "$tmp/BENCH_killed.json" --journal "$tmp/killed.jsonl" \
+        > "$tmp/killed.txt" 2> "$tmp/killed.err"; then
+        echo "chaos-kill run unexpectedly survived" >&2
+        return 1
+    fi
+    grep -q '"kind":"cell"' "$tmp/kill.ckpt" || {
+        echo "checkpoint recorded no cells before the kill" >&2
+        return 1
+    }
+    ./target/release/repro "$t" "${common[@]}" --resume "$tmp/kill.ckpt" \
+        --bench-json "$tmp/BENCH_resumed.json" --journal "$tmp/resumed.jsonl" \
+        > "$tmp/resumed.txt" 2> "$tmp/resumed.err"
+    grep -q 'resuming from' "$tmp/resumed.err" || {
+        echo "resume run did not splice the checkpoint" >&2
+        return 1
+    }
+    cmp "$tmp/clean.txt" "$tmp/resumed.txt"
+    cmp "$tmp/clean.jsonl" "$tmp/resumed.jsonl"
+}
+step "repro kill-and-resume smoke (byte-identical convergence)" smoke_kill_resume
+
+step "repro soak (chaos: panic retry, failure isolation, kill + resume)" \
+    ./target/release/repro soak --jobs "$SMOKE_JOBS"
+
 echo "CI OK"
