@@ -35,7 +35,10 @@ fn eval_point(setting: &str, mix: &Mix, cfg: &ExperimentConfig) -> AblationPoint
     AblationPoint { setting: setting.to_string(), mix: mix.name.clone(), norm_hs }
 }
 
-fn test_mixes() -> Vec<Mix> {
+/// The default ablation workloads: one Pref Agg and one Pref Unfri mix.
+/// `--trace-dir` runs substitute trace mixes via the `mixes` parameter of
+/// the `ablate_*` functions instead.
+pub fn default_mixes() -> Vec<Mix> {
     let mixes = build_mixes(42, 1);
     mixes
         .into_iter()
@@ -50,14 +53,19 @@ fn sweep(points: Vec<(String, ExperimentConfig, Mix)>, jobs: usize) -> Vec<Ablat
     parallel_map(&points, jobs, |_, (setting, cfg, mix)| eval_point(setting, mix, cfg))
 }
 
-/// Sweeps the partition-sizing factor around the paper's 1.5×.
-pub fn ablate_partition_scale(base_cfg: &ExperimentConfig, jobs: usize) -> Vec<AblationPoint> {
+/// Sweeps the partition-sizing factor around the paper's 1.5× over the
+/// given workloads.
+pub fn ablate_partition_scale(
+    base_cfg: &ExperimentConfig,
+    mixes: &[Mix],
+    jobs: usize,
+) -> Vec<AblationPoint> {
     let mut points = Vec::new();
     for &scale in &[1.0f64, 1.5, 2.0, 3.0] {
         let mut cfg = base_cfg.clone();
         cfg.ctrl.partition_scale = scale;
-        for mix in test_mixes() {
-            points.push((format!("scale={scale}"), cfg.clone(), mix));
+        for mix in mixes {
+            points.push((format!("scale={scale}"), cfg.clone(), mix.clone()));
         }
     }
     sweep(points, jobs)
@@ -65,13 +73,17 @@ pub fn ablate_partition_scale(base_cfg: &ExperimentConfig, jobs: usize) -> Vec<A
 
 /// Sweeps the execution-epoch : sampling-interval ratio at a fixed
 /// sampling-interval length.
-pub fn ablate_epoch_ratio(base_cfg: &ExperimentConfig, jobs: usize) -> Vec<AblationPoint> {
+pub fn ablate_epoch_ratio(
+    base_cfg: &ExperimentConfig,
+    mixes: &[Mix],
+    jobs: usize,
+) -> Vec<AblationPoint> {
     let mut points = Vec::new();
     for &ratio in &[10u64, 50, 125] {
         let mut cfg = base_cfg.clone();
         cfg.ctrl.execution_epoch = cfg.ctrl.sampling_interval * ratio;
-        for mix in test_mixes() {
-            points.push((format!("ratio={ratio}:1"), cfg.clone(), mix));
+        for mix in mixes {
+            points.push((format!("ratio={ratio}:1"), cfg.clone(), mix.clone()));
         }
     }
     sweep(points, jobs)
@@ -79,13 +91,13 @@ pub fn ablate_epoch_ratio(base_cfg: &ExperimentConfig, jobs: usize) -> Vec<Ablat
 
 /// Compares the evaluation with and without the LLC's QBS
 /// inclusion-victim mitigation.
-pub fn ablate_qbs(base_cfg: &ExperimentConfig, jobs: usize) -> Vec<AblationPoint> {
+pub fn ablate_qbs(base_cfg: &ExperimentConfig, mixes: &[Mix], jobs: usize) -> Vec<AblationPoint> {
     let mut points = Vec::new();
     for &qbs in &[true, false] {
         let mut cfg = base_cfg.clone();
         cfg.sys.qbs = qbs;
-        for mix in test_mixes() {
-            points.push((format!("qbs={qbs}"), cfg.clone(), mix));
+        for mix in mixes {
+            points.push((format!("qbs={qbs}"), cfg.clone(), mix.clone()));
         }
     }
     sweep(points, jobs)
@@ -99,7 +111,7 @@ mod tests {
     fn partition_scale_sweep_produces_all_points() {
         let mut cfg = ExperimentConfig::quick();
         cfg.total_cycles = 600_000;
-        let pts = ablate_partition_scale(&cfg, 1);
+        let pts = ablate_partition_scale(&cfg, &default_mixes(), 1);
         assert_eq!(pts.len(), 4 * 2);
         assert!(pts.iter().all(|p| p.norm_hs > 0.5 && p.norm_hs < 2.0));
     }
@@ -108,7 +120,7 @@ mod tests {
     fn qbs_sweep_covers_both_settings() {
         let mut cfg = ExperimentConfig::quick();
         cfg.total_cycles = 600_000;
-        let pts = ablate_qbs(&cfg, 1);
+        let pts = ablate_qbs(&cfg, &default_mixes(), 1);
         assert!(pts.iter().any(|p| p.setting == "qbs=true"));
         assert!(pts.iter().any(|p| p.setting == "qbs=false"));
     }
@@ -117,8 +129,8 @@ mod tests {
     fn parallel_sweep_matches_serial_bitwise() {
         let mut cfg = ExperimentConfig::quick();
         cfg.total_cycles = 600_000;
-        let serial = ablate_qbs(&cfg, 1);
-        let parallel = ablate_qbs(&cfg, 4);
+        let serial = ablate_qbs(&cfg, &default_mixes(), 1);
+        let parallel = ablate_qbs(&cfg, &default_mixes(), 4);
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.setting, p.setting);

@@ -3,7 +3,7 @@
 //! ```text
 //! repro <target> [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR]
 //!       [--bench-json PATH] [--journal PATH] [--fault-seed S]
-//!       [--resume PATH] [--attempts N]
+//!       [--resume PATH] [--attempts N] [--trace-dir DIR]
 //!
 //! targets:
 //!   table1   Table I metrics for every benchmark (run alone)
@@ -19,6 +19,21 @@
 //!   faults   fault-injection resilience sweep (hm_ipc vs fault rate;
 //!            exit 1 if degradation cliffs below the smoothness floor)
 //!   all      everything above (except ablate/extension/faults)
+//!
+//! Trace subcommands (see DESIGN.md "Trace subsystem"):
+//!   trace record <dir> [mix-name] [--ops N] [--seed S]
+//!            record every core of a synthetic mix (default PrefAgg-00)
+//!            into cmm-trace/1 binary files under <dir>
+//!   trace convert <in> <out>
+//!            transcode text <-> binary (input sniffed, output by extension)
+//!   trace stat <file>...
+//!            op counts, footprint and derived-MLP summary per file
+//!
+//! `--trace-dir DIR` on the fig7..fig15/fairness/overhead/ablate/all
+//! targets replaces the synthetic mixes with the traces in DIR (grouped
+//! 8 per mix, wrapping round-robin); the trace-set checksums join the
+//! checkpoint config digest, so `--resume` refuses to splice cells from a
+//! different trace set.
 //!
 //! CI subcommands (no simulation):
 //!   bench-compare <baseline.json> <current.json> [--noise F]
@@ -82,7 +97,7 @@ use cmm_core::telemetry::EpochRecord;
 use cmm_sim::config::SystemConfig;
 use cmm_sim::System;
 use cmm_workloads::spec::{self, thresholds, Benchmark};
-use cmm_workloads::{build_mixes, Mix};
+use cmm_workloads::{build_mixes, Mix, TraceSet};
 
 struct Args {
     target: String,
@@ -99,6 +114,9 @@ struct Args {
     noise: f64,
     resume: Option<std::path::PathBuf>,
     attempts: u32,
+    trace_dir: Option<std::path::PathBuf>,
+    /// `repro trace record`: ops captured per core.
+    ops: usize,
     chaos_seed: u64,
     chaos_rate: f64,
     chaos_mode: ChaosMode,
@@ -119,6 +137,8 @@ fn parse_args() -> Args {
     let mut noise = compare::DEFAULT_NOISE;
     let mut resume = None;
     let mut attempts = DEFAULT_ATTEMPTS;
+    let mut trace_dir = None;
+    let mut ops = 50_000;
     let mut chaos_seed = soak::SOAK_CHAOS_SEED;
     let mut chaos_rate = 0.0;
     let mut chaos_mode = ChaosMode::Transient;
@@ -168,6 +188,17 @@ fn parse_args() -> Args {
                     attempts = 1;
                 }
             }
+            "--trace-dir" => {
+                trace_dir = Some(std::path::PathBuf::from(
+                    it.next().expect("--trace-dir needs a directory"),
+                ))
+            }
+            "--ops" => {
+                ops = it.next().and_then(|v| v.parse().ok()).expect("--ops needs a number");
+                if ops == 0 {
+                    ops = 1;
+                }
+            }
             "--chaos-seed" => {
                 chaos_seed =
                     it.next().and_then(|v| v.parse().ok()).expect("--chaos-seed needs a number")
@@ -196,6 +227,10 @@ fn parse_args() -> Args {
                     "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|faults|all> \
                      [--quick] [--mixes N] [--seed S] [--fault-seed S] [--jobs N] [--csv DIR] \
                      [--bench-json PATH] [--journal PATH] [--resume CKPT] [--attempts N]\n       \
+                     repro <fig7..fig15|fairness|overhead|ablate|all> --trace-dir DIR …\n       \
+                     repro trace record <dir> [mix-name] [--ops N] [--seed S]\n       \
+                     repro trace convert <in> <out>\n       \
+                     repro trace stat <file>...\n       \
                      repro soak [--jobs N]\n       \
                      repro bench-compare <baseline.json> <current.json> [--noise F]\n       \
                      repro journal-summary <journal.jsonl> [--csv PATH]\n       \
@@ -234,6 +269,8 @@ fn parse_args() -> Args {
         noise,
         resume,
         attempts,
+        trace_dir,
+        ops,
         chaos_seed,
         chaos_rate,
         chaos_mode,
@@ -384,12 +421,15 @@ fn char_cycles(cfg: &CharacterizeConfig) -> u64 {
 
 /// Work volume (cells, simulated core-cycles) of one full evaluation.
 fn eval_volume(cfg: &EvalConfig, mechanisms: &[Mechanism]) -> (u64, u64) {
-    let mixes = build_mixes(cfg.seed, cfg.mixes_per_category);
-    let mut distinct: Vec<&str> = Vec::new();
+    let mixes = match &cfg.trace_mixes {
+        Some(m) => m.clone(),
+        None => build_mixes(cfg.seed, cfg.mixes_per_category),
+    };
+    let mut distinct: Vec<String> = Vec::new();
     for mix in &mixes {
-        for b in &mix.benchmarks {
-            if !distinct.contains(&b.name) {
-                distinct.push(b.name);
+        for s in &mix.slots {
+            if !distinct.iter().any(|n| n == s.name()) {
+                distinct.push(s.name().to_string());
             }
         }
     }
@@ -564,7 +604,7 @@ fn fig5(quick: bool) {
             let m = metrics(d);
             vec![
                 format!("core {i}"),
-                mix.benchmarks[i].name.to_string(),
+                mix.slots[i].name().to_string(),
                 format!("{:.2}", m.pga),
                 format!("{:.2}", m.l2_pmr),
                 format!("{:.4}", m.l2_ptr),
@@ -644,11 +684,15 @@ fn print_eval_target(target: &str, eval: &Evaluation, csv: &Option<std::path::Pa
     }
 }
 
-fn run_ablations(args: &Args, log: &Progress) {
+fn run_ablations(args: &Args, trace_set: Option<&TraceSet>, log: &Progress) {
     let mut cfg = if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
     if args.quick {
         cfg.total_cycles = 1_000_000;
     }
+    let mixes = match trace_set {
+        Some(set) => set.build_mixes(8),
+        None => ablate::default_mixes(),
+    };
     let dump = |title: &str, pts: &[ablate::AblationPoint]| {
         let rows: Vec<Vec<String>> = pts
             .iter()
@@ -659,15 +703,18 @@ fn run_ablations(args: &Args, log: &Progress) {
     log.note("ablation: partition scale");
     dump(
         "Ablation — partition sizing factor (paper: 1.5×)",
-        &ablate::ablate_partition_scale(&cfg, args.jobs),
+        &ablate::ablate_partition_scale(&cfg, &mixes, args.jobs),
     );
     log.note("ablation: epoch ratio");
     dump(
         "Ablation — execution-epoch : sampling-interval ratio (paper: 50:1)",
-        &ablate::ablate_epoch_ratio(&cfg, args.jobs),
+        &ablate::ablate_epoch_ratio(&cfg, &mixes, args.jobs),
     );
     log.note("ablation: QBS");
-    dump("Ablation — inclusive-LLC QBS victim selection", &ablate::ablate_qbs(&cfg, args.jobs));
+    dump(
+        "Ablation — inclusive-LLC QBS victim selection",
+        &ablate::ablate_qbs(&cfg, &mixes, args.jobs),
+    );
 }
 
 fn run_extension(args: &Args, log: &Progress) {
@@ -733,9 +780,31 @@ fn main() {
         "bench-compare" => std::process::exit(run_bench_compare(&args)),
         "journal-summary" => std::process::exit(run_journal_summary(&args)),
         "journal-diff" => std::process::exit(run_journal_diff(&args)),
+        "trace" => {
+            std::process::exit(cmm_bench::tracecmd::run(&args.operands, args.seed, args.ops))
+        }
         "soak" => std::process::exit(soak::run(args.jobs)),
         _ => {}
     }
+    // Trace-driven runs: the trace set replaces the synthetic mixes and
+    // its checksums join the config digest below, so `--resume` refuses
+    // to splice cells recorded against a different trace set.
+    let trace_set: Option<TraceSet> =
+        args.trace_dir.as_ref().map(|dir| match TraceSet::load_dir(dir) {
+            Ok(set) => {
+                eprintln!(
+                    "[repro] trace-dir {}: {} trace(s) -> {} mix(es)",
+                    dir.display(),
+                    set.files.len(),
+                    set.build_mixes(8).len()
+                );
+                set
+            }
+            Err(e) => {
+                eprintln!("[repro] --trace-dir: {e}");
+                std::process::exit(2);
+            }
+        });
     if args.chaos_rate > 0.0 || args.chaos_kill.is_some() {
         chaos::arm(chaos::ChaosConfig {
             seed: args.chaos_seed,
@@ -757,21 +826,27 @@ fn main() {
     // checkpoint. Deliberately excludes --jobs, --attempts and the chaos
     // flags: none of them can change a deterministic run's results, so an
     // interrupted run may legitimately resume at a different parallelism.
+    let mut config_debug = format!(
+        "target={};quick={};seed={};fault_seed={};mixes={:?};exp={:?};char={:?};ctrl={:?}",
+        args.target,
+        args.quick,
+        args.seed,
+        args.fault_seed,
+        args.mixes,
+        if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() },
+        ccfg,
+        if args.quick { ControllerConfig::quick() } else { ControllerConfig::default() },
+    );
+    // Appended only for --trace-dir runs, so synthetic runs keep their
+    // historical digests (old checkpoints stay resumable).
+    if let Some(set) = &trace_set {
+        config_debug.push_str(&format!(";traces={}", set.digest()));
+    }
     let meta = journal::JournalMeta {
         target: args.target.clone(),
         quick: args.quick,
         seed: args.seed,
-        config_debug: format!(
-            "target={};quick={};seed={};fault_seed={};mixes={:?};exp={:?};char={:?};ctrl={:?}",
-            args.target,
-            args.quick,
-            args.seed,
-            args.fault_seed,
-            args.mixes,
-            if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() },
-            ccfg,
-            if args.quick { ControllerConfig::quick() } else { ControllerConfig::default() },
-        ),
+        config_debug,
     };
     let digest = cmm_core::telemetry::config_digest(&meta.config_debug);
     let ckpt: Option<Checkpoint> = match &args.resume {
@@ -818,7 +893,9 @@ fn main() {
                 if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
             let per_point =
                 8 * (e.warmup_cycles + e.alone_cycles) + 2 * (e.warmup_cycles + e.total_cycles) * 8;
-            bench.measure("ablate", 18 * 10, 18 * per_point, || run_ablations(&args, &log));
+            bench.measure("ablate", 18 * 10, 18 * per_point, || {
+                run_ablations(&args, trace_set.as_ref(), &log)
+            });
         }
         "extension" => {
             let e =
@@ -894,7 +971,10 @@ fn main() {
             bench.measure("fig5", 1, cycles, || fig5(args.quick));
         }
         t if eval_targets.contains(&t) => {
-            let cfg = eval_cfg(&args);
+            let mut cfg = eval_cfg(&args);
+            if let Some(set) = &trace_set {
+                cfg.trace_mixes = Some(set.build_mixes(8));
+            }
             let mechs = needed_mechanisms(t);
             let (n_cells, cycles) = eval_volume(&cfg, &mechs);
             let eval = bench.measure(t, n_cells, cycles, || {
@@ -926,7 +1006,10 @@ fn main() {
             });
             let f5_cycles = if args.quick { 340_000u64 } else { 700_000 } * 8;
             bench.measure("fig5", 1, f5_cycles, || fig5(args.quick));
-            let cfg = eval_cfg(&args);
+            let mut cfg = eval_cfg(&args);
+            if let Some(set) = &trace_set {
+                cfg.trace_mixes = Some(set.build_mixes(8));
+            }
             let mechs = Mechanism::all_managed().to_vec();
             let (n_cells, cycles) = eval_volume(&cfg, &mechs);
             let eval = bench.measure("evaluate", n_cells, cycles, || {

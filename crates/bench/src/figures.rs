@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use cmm_core::experiment::{run_alone_ipc, run_mix, ExperimentConfig, MixResult};
 use cmm_core::policy::Mechanism;
 use cmm_metrics as met;
-use cmm_workloads::{build_mixes, Category, Mix};
+use cmm_workloads::{build_mixes, Category, Mix, Slot};
 
 use crate::checkpoint::{self, Checkpoint};
 use crate::runner::{run_cells, CellFailure, Progress, DEFAULT_ATTEMPTS};
@@ -31,6 +31,10 @@ pub struct EvalConfig {
     /// Like `jobs`, never part of the config digest: retrying cannot
     /// change a deterministic cell's result.
     pub attempts: u32,
+    /// When set, these mixes replace the synthetic `build_mixes` grid —
+    /// the `--trace-dir` path. The trace-set digest (not the mixes) must
+    /// then be folded into the checkpoint config digest by the caller.
+    pub trace_mixes: Option<Vec<Mix>>,
 }
 
 impl Default for EvalConfig {
@@ -41,6 +45,7 @@ impl Default for EvalConfig {
             seed: 42,
             jobs: 1,
             attempts: DEFAULT_ATTEMPTS,
+            trace_mixes: None,
         }
     }
 }
@@ -160,17 +165,20 @@ pub fn evaluate_resumable(
     progress: bool,
     ckpt: Option<&Checkpoint>,
 ) -> Result<Evaluation, Vec<CellFailure>> {
-    let mixes = build_mixes(cfg.seed, cfg.mixes_per_category);
+    let mixes = match &cfg.trace_mixes {
+        Some(m) => m.clone(),
+        None => build_mixes(cfg.seed, cfg.mixes_per_category),
+    };
     let log = Progress::new(progress);
 
-    // Stage 1: run-alone IPCs of the distinct benchmarks (each is one
+    // Stage 1: run-alone IPCs of the distinct slots (each is one
     // independent single-core simulation — the serial code memoised them
     // lazily; here the deduplicated set fans out up front).
-    let mut distinct: Vec<&'static cmm_workloads::spec::Benchmark> = Vec::new();
+    let mut distinct: Vec<&Slot> = Vec::new();
     for mix in &mixes {
-        for &b in &mix.benchmarks {
-            if !distinct.iter().any(|d| d.name == b.name) {
-                distinct.push(b);
+        for s in &mix.slots {
+            if !distinct.iter().any(|d| d.name() == s.name()) {
+                distinct.push(s);
             }
         }
     }
@@ -178,19 +186,19 @@ pub fn evaluate_resumable(
         &distinct,
         cfg.jobs,
         cfg.attempts,
-        |_, b| format!("alone: {}", b.name),
+        |_, s| format!("alone: {}", s.name()),
         |k| splice(ckpt, k, checkpoint::decode_alone),
         |k, v: &f64| {
             if let Some(ck) = ckpt {
                 ck.record(k, &checkpoint::encode_alone(*v));
             }
         },
-        |_, b| log.cell(&format!("alone: {}", b.name), || run_alone_ipc(b, &cfg.exp)),
+        |_, s| log.cell(&format!("alone: {}", s.name()), || run_alone_ipc(s, &cfg.exp)),
     );
     let alone_resumed = alone_run.resumed;
     let alone_vals = alone_run.into_results()?;
     let alone_cache: HashMap<&str, f64> =
-        distinct.iter().zip(&alone_vals).map(|(b, &v)| (b.name, v)).collect();
+        distinct.iter().zip(&alone_vals).map(|(s, &v)| (s.name(), v)).collect();
 
     // Stage 2: the (mix × mechanism) matrix, mix-major so the reassembly
     // below is simple index arithmetic.
@@ -235,7 +243,7 @@ pub fn evaluate_resumable(
         let baseline = chunk.remove(0);
         let managed: HashMap<Mechanism, MixResult> =
             mechanisms.iter().copied().zip(chunk).collect();
-        let alone: Vec<f64> = mix.benchmarks.iter().map(|b| alone_cache[b.name]).collect();
+        let alone: Vec<f64> = mix.slots.iter().map(|s| alone_cache[s.name()]).collect();
         workloads.push(WorkloadEval { mix: mix.clone(), alone, baseline, managed });
     }
     workloads.reverse();
@@ -266,6 +274,19 @@ pub struct FigureSeries {
     pub category_means: Vec<(String, Vec<f64>)>,
 }
 
+/// The categories present in an evaluation, in first-appearance order.
+/// Synthetic evaluations yield the paper's four categories in plotting
+/// order; trace-driven evaluations yield `[Category::Trace]`.
+fn categories_of(eval: &Evaluation) -> Vec<Category> {
+    let mut cats = Vec::new();
+    for w in &eval.workloads {
+        if !cats.contains(&w.mix.category) {
+            cats.push(w.mix.category);
+        }
+    }
+    cats
+}
+
 /// Builds a series by applying `f(workload, mechanism)` over the grid.
 pub fn series(
     eval: &Evaluation,
@@ -278,9 +299,9 @@ pub fn series(
         .iter()
         .map(|w| (w.mix.name.clone(), mechanisms.iter().map(|&m| f(w, m)).collect()))
         .collect();
-    let category_means = Category::all()
-        .iter()
-        .map(|&c| {
+    let category_means = categories_of(eval)
+        .into_iter()
+        .map(|c| {
             (
                 c.label().to_string(),
                 mechanisms.iter().map(|&m| eval.category_mean(c, |w| f(w, m))).collect(),
@@ -374,9 +395,9 @@ pub fn fairness(eval: &Evaluation) -> FigureSeries {
             (w.mix.name.clone(), vals)
         })
         .collect();
-    let category_means = Category::all()
-        .iter()
-        .map(|&c| {
+    let category_means = categories_of(eval)
+        .into_iter()
+        .map(|c| {
             let mut vals =
                 vec![eval.category_mean(c, |w| met::gabor_fairness(&w.alone, &w.baseline.ipcs))];
             vals.extend(mechs.iter().map(|&m| {

@@ -18,6 +18,8 @@
 //!   `repro faults` (hm_ipc vs injected substrate fault rate).
 //! * [`journal`] — assembles the `cmm-journal/2` JSONL run journal from
 //!   the controller's per-epoch telemetry, and summarizes it back.
+//! * [`tracecmd`] — the `repro trace record/convert/stat` subcommands over
+//!   `cmm-trace/1` trace files (recorded mixes feed `--trace-dir` runs).
 //! * [`diff`] — `journal-diff`: structural comparison of two journals'
 //!   per-epoch decision sequences.
 //! * [`compare`] — the `bench-compare` perf regression gate over
@@ -59,3 +61,4 @@ pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod soak;
+pub mod tracecmd;

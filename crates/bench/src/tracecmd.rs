@@ -1,0 +1,252 @@
+//! The `repro trace` subcommand family: record / convert / stat.
+//!
+//! * `repro trace record <dir> [mix-name]` — snapshots every core of a
+//!   synthetic mix (default `PrefAgg-00`) through [`cmm_trace::Recorder`]
+//!   into one `cmm-trace/1` binary file per core, ready for `--trace-dir`.
+//! * `repro trace convert <in> <out>` — transcodes text ↔ binary; the
+//!   input format is sniffed by magic, the output format follows the
+//!   output extension (`.trc`/`.bin` → binary, anything else → text).
+//! * `repro trace stat <file>...` — op counts, footprint, and the derived
+//!   MLP estimate for any trace file.
+
+use std::path::Path;
+
+use cmm_sim::config::SystemConfig;
+use cmm_trace::{Recorder, Trace, Workload};
+use cmm_workloads::build_mixes;
+
+use crate::atomic::write_atomic;
+use crate::report;
+
+const USAGE: &str = "usage: repro trace record <dir> [mix-name] [--ops N] [--seed S]\n       \
+     repro trace convert <in> <out>\n       \
+     repro trace stat <file>...";
+
+/// Entry point for `repro trace …`. Returns the process exit code:
+/// 0 on success, 2 on usage or IO/format errors.
+pub fn run(operands: &[String], seed: u64, ops: usize) -> i32 {
+    match operands.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "record" => record(rest, seed, ops),
+            "convert" => convert(rest),
+            "stat" => stat(rest),
+            other => {
+                eprintln!("trace: unknown subcommand {other}\n{USAGE}");
+                2
+            }
+        },
+        None => {
+            eprintln!("{USAGE}");
+            2
+        }
+    }
+}
+
+/// One stat-table row for a named trace.
+fn stat_row(name: &str, t: &Trace) -> Vec<String> {
+    let s = t.stats();
+    vec![
+        name.to_string(),
+        format!("{}", s.ops),
+        format!("{}", s.loads),
+        format!("{}", s.stores),
+        format!("{}", s.computes),
+        format!("{} KiB", s.footprint_bytes() / 1024),
+        format!("{:.2}", s.stride_score),
+        format!("{:.1}", s.mean_burst),
+        format!("{}", s.est_mlp),
+    ]
+}
+
+const STAT_HEADERS: [&str; 9] =
+    ["trace", "ops", "loads", "stores", "computes", "footprint", "stride", "burst", "est MLP"];
+
+fn record(rest: &[String], seed: u64, ops: usize) -> i32 {
+    let (dir, mix_name) = match rest {
+        [d] => (Path::new(d), "PrefAgg-00"),
+        [d, m] => (Path::new(d), m.as_str()),
+        _ => {
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+    let mixes = build_mixes(seed, 10);
+    let Some(mix) = mixes.iter().find(|m| m.name == mix_name) else {
+        let names: Vec<&str> = mixes.iter().map(|m| m.name.as_str()).collect();
+        eprintln!("trace record: no mix named {mix_name:?}; have: {}", names.join(", "));
+        return 2;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("trace record: create {}: {e}", dir.display());
+        return 2;
+    }
+    let llc = SystemConfig::scaled(mix.num_cores()).llc.size_bytes;
+    let mut rows = Vec::new();
+    for (i, w) in mix.instantiate(llc).into_iter().enumerate() {
+        let slot_name = mix.slots[i].name().to_string();
+        let mut rec = Recorder::new(w, ops);
+        for _ in 0..ops {
+            rec.next();
+        }
+        let trace = rec.into_trace();
+        let file = dir.join(format!("{i:02}-{slot_name}.trc"));
+        if let Err(e) = write_atomic(&file, &trace.to_binary()) {
+            eprintln!("trace record: write {}: {e}", file.display());
+            return 2;
+        }
+        rows.push(stat_row(&format!("{i:02}-{slot_name}"), &trace));
+    }
+    print!(
+        "{}",
+        report::table(
+            &format!(
+                "Recorded {} ({} ops/core, seed {seed}) into {}",
+                mix.name,
+                ops,
+                dir.display()
+            ),
+            &STAT_HEADERS,
+            &rows,
+        )
+    );
+    0
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    Trace::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn convert(rest: &[String]) -> i32 {
+    let [input, output] = match rest {
+        [i, o] => [i, o],
+        _ => {
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+    let trace = match load(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace convert: {e}");
+            return 2;
+        }
+    };
+    let out_path = Path::new(output);
+    let binary_out =
+        out_path.extension().and_then(|x| x.to_str()).is_some_and(|x| x == "trc" || x == "bin");
+    let bytes = if binary_out { trace.to_binary() } else { trace.to_text().into_bytes() };
+    if let Err(e) = write_atomic(out_path, &bytes) {
+        eprintln!("trace convert: write {output}: {e}");
+        return 2;
+    }
+    eprintln!(
+        "[repro] converted {input} -> {output} ({} ops, {})",
+        trace.len(),
+        if binary_out { "binary" } else { "text" }
+    );
+    0
+}
+
+fn stat(rest: &[String]) -> i32 {
+    if rest.is_empty() {
+        eprintln!("{USAGE}");
+        return 2;
+    }
+    let mut rows = Vec::new();
+    for path in rest {
+        match load(path) {
+            Ok(t) => {
+                let name =
+                    Path::new(path).file_name().and_then(|n| n.to_str()).unwrap_or(path.as_str());
+                rows.push(stat_row(name, &t));
+            }
+            Err(e) => {
+                eprintln!("trace stat: {e}");
+                return 2;
+            }
+        }
+    }
+    print!("{}", report::table("Trace statistics", &STAT_HEADERS, &rows));
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cmm_tracecmd_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn record_writes_one_valid_trace_per_core() {
+        let dir = tmp_dir("record");
+        let out = dir.join("traces");
+        let code = run(&["record".into(), out.display().to_string(), "PrefAgg-00".into()], 42, 500);
+        assert_eq!(code, 0);
+        let set = cmm_workloads::TraceSet::load_dir(&out).unwrap();
+        assert_eq!(set.files.len(), 8);
+        assert!(set.files.iter().all(|f| f.trace.len() == 500));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_is_deterministic_for_a_seed() {
+        let dir = tmp_dir("det");
+        let (a, b) = (dir.join("a"), dir.join("b"));
+        for out in [&a, &b] {
+            assert_eq!(run(&["record".into(), out.display().to_string()], 7, 200), 0);
+        }
+        let (sa, sb) = (
+            cmm_workloads::TraceSet::load_dir(&a).unwrap(),
+            cmm_workloads::TraceSet::load_dir(&b).unwrap(),
+        );
+        assert_eq!(sa.digest(), sb.digest(), "same seed must record identical traces");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_roundtrips_between_formats() {
+        let dir = tmp_dir("convert");
+        let mut t = Trace::new();
+        for i in 0..100u64 {
+            t.push(cmm_trace::Op::Load { addr: i * 64, pc: 0x400 });
+        }
+        let bin_a = dir.join("a.trc");
+        std::fs::write(&bin_a, t.to_binary()).unwrap();
+        let txt = dir.join("a.txt");
+        let bin_b = dir.join("b.trc");
+        assert_eq!(
+            run(&["convert".into(), bin_a.display().to_string(), txt.display().to_string()], 0, 0),
+            0
+        );
+        assert_eq!(
+            run(&["convert".into(), txt.display().to_string(), bin_b.display().to_string()], 0, 0),
+            0
+        );
+        assert_eq!(
+            std::fs::read(&bin_a).unwrap(),
+            std::fs::read(&bin_b).unwrap(),
+            "binary -> text -> binary must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_usage_and_bad_files_exit_2() {
+        assert_eq!(run(&[], 0, 0), 2);
+        assert_eq!(run(&["bogus".into()], 0, 0), 2);
+        assert_eq!(run(&["stat".into(), "/nonexistent/x.trc".into()], 0, 0), 2);
+        assert_eq!(run(&["record".into()], 0, 0), 2);
+        let dir = tmp_dir("badmix");
+        assert_eq!(
+            run(&["record".into(), dir.display().to_string(), "NoSuchMix-99".into()], 0, 10),
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

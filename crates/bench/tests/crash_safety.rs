@@ -19,7 +19,7 @@ fn tiny_eval() -> EvalConfig {
     exp.total_cycles = 400_000;
     exp.alone_cycles = 150_000;
     exp.warmup_cycles = 150_000;
-    EvalConfig { exp, mixes_per_category: 1, seed: 42, jobs: 2, attempts: 1 }
+    EvalConfig { exp, mixes_per_category: 1, seed: 42, jobs: 2, attempts: 1, trace_mixes: None }
 }
 
 /// Unique scratch path per test (no tempfile crate in the image).

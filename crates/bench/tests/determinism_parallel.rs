@@ -16,7 +16,7 @@ fn tiny_eval(jobs: usize) -> EvalConfig {
     exp.total_cycles = 400_000;
     exp.alone_cycles = 150_000;
     exp.warmup_cycles = 150_000;
-    EvalConfig { exp, mixes_per_category: 1, seed: 42, jobs, attempts: 1 }
+    EvalConfig { exp, mixes_per_category: 1, seed: 42, jobs, attempts: 1, trace_mixes: None }
 }
 
 /// Fig. 7 (normalised HS and worst-case slowdown under PT) renders to the

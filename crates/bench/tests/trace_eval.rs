@@ -1,0 +1,79 @@
+//! Trace-driven evaluation end to end: record a mix to `cmm-trace/1`
+//! files, load them back as a [`TraceSet`], and drive the evaluation
+//! matrix from the trace mixes. The journal must be byte-identical
+//! across `--jobs` values — the determinism contract of ISSUE/DESIGN
+//! extends unchanged to trace workloads.
+
+use cmm_bench::figures::{evaluate, EvalConfig};
+use cmm_bench::journal::{self, JournalMeta};
+use cmm_core::policy::Mechanism;
+use cmm_workloads::TraceSet;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmm_trace_eval_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Records the default synthetic mix into `dir` and loads it back.
+fn recorded_set(dir: &std::path::Path) -> TraceSet {
+    let code = cmm_bench::tracecmd::run(
+        &["record".into(), dir.display().to_string(), "PrefAgg-00".into()],
+        42,
+        4_000,
+    );
+    assert_eq!(code, 0, "trace record must succeed");
+    TraceSet::load_dir(dir).expect("recorded traces must load")
+}
+
+fn tiny_cfg(set: &TraceSet, jobs: usize) -> EvalConfig {
+    let mut cfg = EvalConfig::quick();
+    cfg.mixes_per_category = 1;
+    cfg.exp.total_cycles = 1_200_000;
+    cfg.jobs = jobs;
+    cfg.trace_mixes = Some(set.build_mixes(8));
+    cfg
+}
+
+fn journal_text(set: &TraceSet, jobs: usize) -> String {
+    let eval = evaluate(&[Mechanism::CmmA], &tiny_cfg(set, jobs), false);
+    let meta = JournalMeta {
+        target: "trace-test".into(),
+        quick: true,
+        seed: 42,
+        config_debug: format!("trace-determinism-test;traces={}", set.digest()),
+    };
+    journal::render(&journal::manifest(&meta), &journal::eval_cells(&eval))
+}
+
+#[test]
+fn trace_driven_journal_is_byte_identical_across_job_counts() {
+    let dir = tmp_dir("jobs");
+    let set = recorded_set(&dir);
+    assert_eq!(set.files.len(), 8);
+
+    let serial = journal_text(&set, 1);
+    let threaded = journal_text(&set, 4);
+    assert_eq!(serial, threaded, "trace-driven journal must not depend on --jobs");
+    // Substantive journal: manifest + real controller epochs over the
+    // trace mix.
+    assert!(serial.starts_with("{\"schema\":\"cmm-journal/2\",\"kind\":\"manifest\""));
+    assert!(serial.contains("\"run\":\"Trace-00: CMM-a\""), "trace mixes must be journalled");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_mixes_flow_through_the_evaluation() {
+    let dir = tmp_dir("flow");
+    let set = recorded_set(&dir);
+    let eval = evaluate(&[Mechanism::Pt], &tiny_cfg(&set, 2), false);
+    assert_eq!(eval.workloads.len(), 1, "8 traces -> one 8-core mix");
+    let w = &eval.workloads[0];
+    assert_eq!(w.mix.name, "Trace-00");
+    assert_eq!(w.alone.len(), 8);
+    assert!(w.alone.iter().all(|&i| i > 0.0), "replayed traces must execute");
+    assert!(w.baseline.ipcs.iter().all(|&i| i > 0.0));
+    assert!(w.managed.contains_key(&Mechanism::Pt));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,46 @@
+//! Format-stability gate for `cmm-trace/1`: the committed fixture
+//! `benchmarks/fixtures/trace_sample.trc` must keep decoding, and
+//! re-encoding it must reproduce the committed bytes exactly. A failure
+//! here means the binary format changed — which requires a version bump,
+//! not a silent re-encode.
+
+use cmm_trace::{binary, Trace, TraceError};
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../benchmarks/fixtures/trace_sample.trc")
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    std::fs::read(fixture_path()).expect("fixture benchmarks/fixtures/trace_sample.trc must exist")
+}
+
+#[test]
+fn fixture_decodes_and_reencodes_byte_identically() {
+    let bytes = fixture_bytes();
+    assert!(binary::is_binary(&bytes), "fixture must be a cmm-trace/1 binary file");
+    let t = Trace::from_bytes(&bytes).expect("committed fixture must decode");
+    assert_eq!(t.len(), 512, "fixture was recorded with --ops 512");
+    assert_eq!(t.to_binary(), bytes, "re-encoding must reproduce the committed bytes");
+    // And the text round trip preserves the stream too.
+    let back = Trace::from_text(&t.to_text()).unwrap();
+    assert_eq!(back, t);
+}
+
+#[test]
+fn fixture_stats_are_stable() {
+    let t = Trace::from_bytes(&fixture_bytes()).unwrap();
+    let s = t.stats();
+    assert_eq!((s.ops, s.loads, s.stores, s.computes), (512, 192, 64, 256));
+    assert!(s.est_mlp >= 2, "libq_stream-style trace must look memory-parallel");
+}
+
+#[test]
+fn truncated_fixture_is_rejected() {
+    let bytes = fixture_bytes();
+    let cut = &bytes[..bytes.len() - 7];
+    assert!(
+        matches!(Trace::from_bytes(cut), Err(TraceError::Truncated)),
+        "a torn fixture must be rejected, not half-read"
+    );
+}

@@ -15,8 +15,7 @@ use crate::substrate::Substrate;
 use cmm_sim::config::SystemConfig;
 use cmm_sim::pmu::Pmu;
 use cmm_sim::System;
-use cmm_workloads::spec::Benchmark;
-use cmm_workloads::Mix;
+use cmm_workloads::{Mix, Slot};
 
 /// Everything needed to run one experiment.
 #[derive(Debug, Clone)]
@@ -68,7 +67,7 @@ pub struct MixResult {
     pub mechanism: Mechanism,
     /// The mix name (e.g. `"PrefAgg-03"`).
     pub mix_name: String,
-    /// Benchmark name per core.
+    /// Workload name per core (benchmark or trace label).
     pub benchmarks: Vec<String>,
     /// Whole-run IPC per core (measurement window only).
     pub ipcs: Vec<f64>,
@@ -135,7 +134,7 @@ pub fn run_mix_on<S: Substrate>(
     MixResult {
         mechanism,
         mix_name: mix.name.clone(),
-        benchmarks: mix.benchmarks.iter().map(|b| b.name.to_string()).collect(),
+        benchmarks: mix.slots.iter().map(|s| s.name().to_string()).collect(),
         ipcs: deltas.iter().map(|d| d.ipc()).collect(),
         pmu: deltas.to_vec(),
         mem_bytes: traffic_after - traffic_before,
@@ -164,26 +163,28 @@ pub fn run_mix_with_faults(
     run_mix_on(sys, mix, mechanism, cfg)
 }
 
-/// Measures a benchmark's run-alone IPC: a single-core machine with the
+/// Measures a workload's run-alone IPC: a single-core machine with the
 /// same cache/memory configuration, all prefetchers on, no control.
-pub fn run_alone_ipc(bench: &Benchmark, cfg: &ExperimentConfig) -> f64 {
+/// Accepts any [`Slot`], so trace-driven cores get alone-IPCs from the
+/// same machine as synthetic ones.
+pub fn run_alone_ipc(slot: &Slot, cfg: &ExperimentConfig) -> f64 {
     let mut sys_cfg = cfg.sys.clone();
     sys_cfg.num_cores = 1;
-    let w = bench.instantiate(sys_cfg.llc.size_bytes, 1 << 36, 7);
-    let mut sys = System::new(sys_cfg, vec![Box::new(w)]);
+    let w = slot.instantiate(sys_cfg.llc.size_bytes, 1 << 36, 7);
+    let mut sys = System::new(sys_cfg, vec![w]);
     sys.run(cfg.warmup_cycles.max(1));
     let before = sys.pmu(0);
     sys.run(cfg.alone_cycles);
     (sys.pmu(0) - before).ipc()
 }
 
-/// Run-alone IPCs for every distinct benchmark in `mix`, in core order,
-/// with memoisation across repeated benchmarks.
+/// Run-alone IPCs for every distinct workload in `mix`, in core order,
+/// with memoisation across repeated slots (keyed by slot name).
 pub fn run_alone_ipcs(mix: &Mix, cfg: &ExperimentConfig) -> Vec<f64> {
-    let mut cache: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
-    mix.benchmarks
+    let mut cache: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    mix.slots
         .iter()
-        .map(|b| *cache.entry(b.name).or_insert_with(|| run_alone_ipc(b, cfg)))
+        .map(|s| *cache.entry(s.name().to_string()).or_insert_with(|| run_alone_ipc(s, cfg)))
         .collect()
 }
 
@@ -225,7 +226,7 @@ mod tests {
         // Duplicate benchmarks in the mix must get identical alone-IPCs.
         for i in 0..8 {
             for j in 0..8 {
-                if mix.benchmarks[i].name == mix.benchmarks[j].name {
+                if mix.slots[i].name() == mix.slots[j].name() {
                     assert_eq!(a[i], a[j]);
                 }
             }

@@ -1,269 +1,34 @@
-//! Address-trace recording and replay.
+//! Address-trace recording and replay (re-exported from `cmm-trace`).
 //!
-//! Downstream users of a simulator substrate usually want to (a) capture
-//! the access stream a synthetic generator produced and (b) replay a trace
-//! captured elsewhere (e.g. converted from a `pin`/DynamoRIO tool) through
-//! the machine. [`Recorder`] wraps any [`Workload`] and logs its
-//! operations; [`TraceWorkload`] replays a recorded [`Trace`] in a loop
-//! (matching the evaluation's restart-on-finish methodology). Traces have
-//! a line-oriented text form for interchange.
+//! [`Recorder`] wraps any [`Workload`] and logs its operations;
+//! [`TraceWorkload`] replays a recorded [`Trace`] in a loop (matching the
+//! evaluation's restart-on-finish methodology). Traces have a
+//! line-oriented text form and a compact `cmm-trace/1` binary form; the
+//! single parser/codec implementation lives in the `cmm-trace` crate —
+//! this module keeps the historical `cmm_sim::trace` paths working.
 
-use crate::workload::{Op, Workload};
+pub use cmm_trace::{Recorder, Trace, TraceError, TraceReader, TraceWorkload};
 
-/// A recorded operation sequence.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Trace {
-    ops: Vec<Op>,
-}
-
-impl Trace {
-    /// An empty trace.
-    pub fn new() -> Self {
-        Trace::default()
-    }
-
-    /// The recorded operations.
-    pub fn ops(&self) -> &[Op] {
-        &self.ops
-    }
-
-    /// Number of recorded operations.
-    pub fn len(&self) -> usize {
-        self.ops.len()
-    }
-
-    /// True if nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
-    }
-
-    /// Appends one operation.
-    pub fn push(&mut self, op: Op) {
-        self.ops.push(op);
-    }
-
-    /// Serialises to the text form: one op per line,
-    /// `C <cycles>` / `L <addr> <pc>` / `S <addr> <pc>` (hex addresses).
-    pub fn to_text(&self) -> String {
-        let mut out = String::with_capacity(self.ops.len() * 16);
-        for op in &self.ops {
-            match *op {
-                Op::Compute { cycles } => out.push_str(&format!("C {cycles}\n")),
-                Op::Load { addr, pc } => out.push_str(&format!("L {addr:x} {pc:x}\n")),
-                Op::Store { addr, pc } => out.push_str(&format!("S {addr:x} {pc:x}\n")),
-            }
-        }
-        out
-    }
-
-    /// Parses the text form produced by [`Trace::to_text`]. Blank lines and
-    /// `#` comments are ignored.
-    pub fn from_text(text: &str) -> Result<Trace, TraceParseError> {
-        let mut ops = Vec::new();
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let mut parts = line.split_whitespace();
-            let kind = parts.next().ok_or(TraceParseError { line: lineno + 1 })?;
-            let op = match kind {
-                "C" => {
-                    let cycles = parts
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or(TraceParseError { line: lineno + 1 })?;
-                    Op::Compute { cycles }
-                }
-                "L" | "S" => {
-                    let addr = parts
-                        .next()
-                        .and_then(|v| u64::from_str_radix(v, 16).ok())
-                        .ok_or(TraceParseError { line: lineno + 1 })?;
-                    let pc = parts
-                        .next()
-                        .and_then(|v| u64::from_str_radix(v, 16).ok())
-                        .ok_or(TraceParseError { line: lineno + 1 })?;
-                    if kind == "L" {
-                        Op::Load { addr, pc }
-                    } else {
-                        Op::Store { addr, pc }
-                    }
-                }
-                _ => return Err(TraceParseError { line: lineno + 1 }),
-            };
-            if parts.next().is_some() {
-                return Err(TraceParseError { line: lineno + 1 });
-            }
-            ops.push(op);
-        }
-        Ok(Trace { ops })
-    }
-}
-
-/// Parse failure with the 1-based offending line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceParseError {
-    /// 1-based line number.
-    pub line: usize,
-}
-
-impl std::fmt::Display for TraceParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "malformed trace at line {}", self.line)
-    }
-}
-
-impl std::error::Error for TraceParseError {}
-
-/// Wraps a workload, recording every operation it emits.
-pub struct Recorder<W> {
-    inner: W,
-    trace: Trace,
-    limit: usize,
-}
-
-impl<W: Workload> Recorder<W> {
-    /// Records up to `limit` operations (the stream is infinite).
-    pub fn new(inner: W, limit: usize) -> Self {
-        Recorder { inner, trace: Trace::new(), limit }
-    }
-
-    /// The trace recorded so far.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
-    }
-
-    /// Stops recording and returns the trace.
-    pub fn into_trace(self) -> Trace {
-        self.trace
-    }
-}
-
-impl<W: Workload> Workload for Recorder<W> {
-    fn next(&mut self) -> Op {
-        let op = self.inner.next();
-        if self.trace.len() < self.limit {
-            self.trace.push(op);
-        }
-        op
-    }
-
-    fn mlp(&self) -> u32 {
-        self.inner.mlp()
-    }
-
-    fn reset(&mut self) {
-        self.inner.reset();
-    }
-
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-}
-
-/// Replays a [`Trace`] in an endless loop (restart-on-finish, as the
-/// paper's methodology restarts completed benchmarks).
-pub struct TraceWorkload {
-    name: String,
-    trace: Trace,
-    pos: usize,
-    mlp: u32,
-}
-
-impl TraceWorkload {
-    /// Builds a replayer. `mlp` declares the trace's exploitable
-    /// memory-level parallelism (a recorded trace cannot carry it).
-    ///
-    /// # Panics
-    /// If the trace is empty.
-    pub fn new(name: impl Into<String>, trace: Trace, mlp: u32) -> Self {
-        assert!(!trace.is_empty(), "cannot replay an empty trace");
-        TraceWorkload { name: name.into(), trace, pos: 0, mlp }
-    }
-}
-
-impl Workload for TraceWorkload {
-    fn next(&mut self) -> Op {
-        let op = self.trace.ops[self.pos];
-        self.pos = (self.pos + 1) % self.trace.len();
-        op
-    }
-
-    fn mlp(&self) -> u32 {
-        self.mlp
-    }
-
-    fn reset(&mut self) {
-        self.pos = 0;
-    }
-
-    fn name(&self) -> &str {
-        &self.name
-    }
-}
+/// Historical name for the parse-failure error. Since the shared parser
+/// moved to `cmm-trace`, parse failures are one variant of the richer
+/// [`TraceError`]; use [`TraceError::line`] to recover the offending line.
+pub use cmm_trace::TraceError as TraceParseError;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::Idle;
+    use crate::workload::{Op, Workload};
 
-    fn sample_trace() -> Trace {
-        let mut t = Trace::new();
-        t.push(Op::Load { addr: 0x1000, pc: 0x400 });
-        t.push(Op::Compute { cycles: 3 });
-        t.push(Op::Store { addr: 0x2040, pc: 0x404 });
-        t
-    }
-
+    /// The compatibility surface downstream code relied on: parser with
+    /// line numbers, `std::error::Error`, recording, looping replay.
     #[test]
-    fn text_roundtrip() {
-        let t = sample_trace();
-        let parsed = Trace::from_text(&t.to_text()).unwrap();
-        assert_eq!(t, parsed);
-    }
-
-    #[test]
-    fn parser_accepts_comments_and_blanks() {
+    fn reexports_preserve_parser_contract() {
         let t = Trace::from_text("# header\n\nL 10 4\nC 2\n").unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.ops()[0], Op::Load { addr: 0x10, pc: 0x4 });
-    }
-
-    #[test]
-    fn parser_rejects_garbage() {
-        assert_eq!(Trace::from_text("X 1 2").unwrap_err().line, 1);
-        assert_eq!(Trace::from_text("L 10 4\nL zz 4").unwrap_err().line, 2);
-        assert_eq!(Trace::from_text("C").unwrap_err().line, 1);
-        assert_eq!(Trace::from_text("L 10 4 extra").unwrap_err().line, 1);
-    }
-
-    #[test]
-    fn recorder_captures_up_to_limit() {
-        let mut r = Recorder::new(Idle, 5);
-        for _ in 0..10 {
-            r.next();
-        }
-        assert_eq!(r.trace().len(), 5);
-        assert_eq!(r.name(), "idle");
-    }
-
-    #[test]
-    fn replay_loops_and_resets() {
-        let mut w = TraceWorkload::new("replay", sample_trace(), 4);
-        let first: Vec<Op> = (0..3).map(|_| w.next()).collect();
-        let second: Vec<Op> = (0..3).map(|_| w.next()).collect();
-        assert_eq!(first, second, "replay must loop");
-        w.next();
-        w.reset();
-        assert_eq!(w.next(), first[0]);
-        assert_eq!(w.mlp(), 4);
-    }
-
-    #[test]
-    #[should_panic(expected = "empty trace")]
-    fn empty_trace_rejected() {
-        TraceWorkload::new("x", Trace::new(), 1);
+        let err: TraceParseError = Trace::from_text("L 10 4\nL zz 4").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        let _dyn_err: &dyn std::error::Error = &err;
     }
 
     #[test]
@@ -271,7 +36,7 @@ mod tests {
         use crate::config::SystemConfig;
         use crate::system::System;
 
-        // Record a short window of an idle-ish workload, then verify the
+        // Record a short window of a strided workload, then verify the
         // machine sees identical PMU behaviour from the replay.
         struct Seq(u64);
         impl Workload for Seq {
@@ -303,9 +68,21 @@ mod tests {
             sys.pmu(0)
         };
         let a = run(Box::new(Seq(0)));
-        let b = run(Box::new(TraceWorkload::new("seq-replay", trace, 4)));
+        let b = run(Box::new(TraceWorkload::with_mlp("seq-replay", trace, 4)));
         assert_eq!(a.l1d_accesses, b.l1d_accesses);
         assert_eq!(a.l2_dm_req, b.l2_dm_req);
         assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn binary_form_replays_like_the_text_form() {
+        let mut t = Trace::new();
+        for i in 0..64u64 {
+            t.push(Op::Load { addr: 0x1000 + i * 64, pc: 0x400 });
+            t.push(Op::Compute { cycles: 2 });
+        }
+        let via_bin = Trace::from_binary(&t.to_binary()).unwrap();
+        let via_text = Trace::from_text(&t.to_text()).unwrap();
+        assert_eq!(via_bin, via_text);
     }
 }

@@ -1,71 +1,14 @@
 //! The interface between benchmark generators and the simulator.
 //!
 //! Workloads produce an infinite instruction stream: the simulator asks for
-//! the next [`Op`] and executes it. `cmm-workloads` provides the synthetic
-//! SPEC-CPU2006-class generators; anything implementing [`Workload`] runs.
+//! the next [`Op`] and executes it. The vocabulary itself lives in
+//! `cmm-trace` (the bottom of the dependency stack) so trace files and the
+//! simulator share one definition; this module re-exports it under the
+//! historical `cmm_sim::workload` path. `cmm-workloads` provides the
+//! synthetic SPEC-CPU2006-class generators; anything implementing
+//! [`Workload`] runs.
 
-/// One architectural operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Op {
-    /// `cycles` back-to-back non-memory instructions (1 instruction/cycle).
-    Compute {
-        /// Number of instructions ≡ cycles consumed.
-        cycles: u32,
-    },
-    /// A demand load from byte address `addr`, issued by the static load
-    /// instruction at `pc` (the IP-stride prefetcher trains on `pc`).
-    Load {
-        /// Byte address.
-        addr: u64,
-        /// Program counter of the load.
-        pc: u64,
-    },
-    /// A demand store (write-allocate; does not block the core).
-    Store {
-        /// Byte address.
-        addr: u64,
-        /// Program counter of the store.
-        pc: u64,
-    },
-}
-
-/// An infinite benchmark. Implementations must be deterministic given their
-/// construction parameters (mixes are seeded), so baseline and managed runs
-/// see identical instruction streams.
-pub trait Workload {
-    /// Produce the next operation.
-    fn next(&mut self) -> Op;
-
-    /// The memory-level parallelism the access pattern exposes: how many
-    /// independent demand misses an out-of-order window could overlap.
-    /// Pointer chasing ⇒ 1; array streaming ⇒ 4–8.
-    fn mlp(&self) -> u32 {
-        1
-    }
-
-    /// Restart from the beginning (the paper restarts benchmarks that
-    /// finish before the 2.5-minute workload window).
-    fn reset(&mut self);
-
-    /// Human-readable benchmark name.
-    fn name(&self) -> &str;
-}
-
-/// A workload that only computes — used for idle/filler cores and tests.
-#[derive(Debug, Default, Clone)]
-pub struct Idle;
-
-impl Workload for Idle {
-    fn next(&mut self) -> Op {
-        Op::Compute { cycles: 64 }
-    }
-
-    fn reset(&mut self) {}
-
-    fn name(&self) -> &str {
-        "idle"
-    }
-}
+pub use cmm_trace::{Idle, Op, Workload};
 
 #[cfg(test)]
 mod tests {

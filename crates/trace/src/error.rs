@@ -1,0 +1,88 @@
+//! Error type shared by the text parser and the binary codec.
+
+use std::fmt;
+
+/// Everything that can go wrong reading a trace, in either format.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A malformed line in the text form (1-based line number).
+    Parse { line: usize },
+    /// An underlying I/O failure while streaming.
+    Io(std::io::Error),
+    /// The file does not start with the `CMMT` magic.
+    BadMagic,
+    /// The header's version field is not one this build understands.
+    BadVersion(u32),
+    /// The stream ended before the header's op count was satisfied —
+    /// the torn-tail analogue of a partial JSONL record, except a trace
+    /// cell is all-or-nothing so the whole file is rejected.
+    Truncated,
+    /// An op tag byte outside the defined set.
+    BadTag(u8),
+    /// A varint ran past its maximum width.
+    BadVarint,
+    /// The payload's FNV-1a checksum does not match the header.
+    BadChecksum { expected: u64, actual: u64 },
+}
+
+impl TraceError {
+    /// The 1-based line number for text-parse errors, if applicable.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            TraceError::Parse { line } => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line } => write!(f, "trace parse error at line {line}"),
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::BadMagic => write!(f, "not a cmm trace: bad magic"),
+            TraceError::BadVersion(v) => write!(f, "unsupported cmm-trace version {v}"),
+            TraceError::Truncated => write!(f, "trace truncated before declared op count"),
+            TraceError::BadTag(t) => write!(f, "invalid op tag byte 0x{t:02x}"),
+            TraceError::BadVarint => write!(f, "varint overruns maximum width"),
+            TraceError::BadChecksum { expected, actual } => {
+                write!(f, "trace checksum mismatch: header {expected:016x}, payload {actual:016x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_std_error_with_source() {
+        let e: Box<dyn std::error::Error> = Box::new(TraceError::Parse { line: 3 });
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.source().is_none());
+        let io = TraceError::Io(std::io::Error::other("boom"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+
+    #[test]
+    fn line_accessor_only_for_parse_errors() {
+        assert_eq!(TraceError::Parse { line: 7 }.line(), Some(7));
+        assert_eq!(TraceError::BadMagic.line(), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! Trace capture, interchange, and looping replay.
+//!
+//! This crate is the bottom of the workspace dependency stack: it owns the
+//! [`Op`]/[`Workload`] vocabulary that `cmm-sim` re-exports, plus everything
+//! needed to move recorded access streams between processes:
+//!
+//! * a line-oriented **text form** (`C <cycles>` / `L <addr> <pc>` /
+//!   `S <addr> <pc>`, ChampSim-style) parsed by [`Trace::from_text`] — the
+//!   single parser in the workspace,
+//! * a compact **binary form**, `cmm-trace/1`: a 24-byte header (magic,
+//!   version, op count, FNV-1a checksum) followed by tag bytes and
+//!   varint/delta-encoded operands (see [`binary`]),
+//! * a buffered, zero-allocation-per-op streaming [`TraceReader`],
+//! * a looping [`TraceWorkload`] whose `mlp()` and footprint are *derived
+//!   from the recorded stream* (see [`stats`]), so trace-driven cores
+//!   classify correctly in the M-1..M-7 cascade, and
+//! * a [`Recorder`] that taps any live workload so synthetic mixes can be
+//!   snapshotted into portable trace files.
+
+pub mod binary;
+mod error;
+pub mod reader;
+pub mod stats;
+mod trace;
+mod workload;
+
+pub use error::TraceError;
+pub use reader::TraceReader;
+pub use stats::{stats, TraceStats};
+pub use trace::{Recorder, Trace, TraceWorkload};
+pub use workload::{Idle, Op, Workload};

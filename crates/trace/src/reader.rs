@@ -1,0 +1,226 @@
+//! Buffered streaming decoder for `cmm-trace/1` files.
+//!
+//! The replay hot path allocates nothing per op: the only heap allocation
+//! is the fixed 64 KiB block buffer made in [`TraceReader::new`]. Each
+//! [`next`](TraceReader::next) call reads tag and varint bytes out of that
+//! buffer, refilling it with block reads when drained, and folds every
+//! consumed payload byte into a running FNV-1a so the checksum is verified
+//! exactly once, when the declared op count has been decoded.
+
+use std::io::Read;
+
+use crate::binary::{self, Fnv1a64, Header, HEADER_LEN, TAG_COMPUTE, TAG_LOAD, TAG_STORE};
+use crate::{Op, TraceError};
+
+const BUF_LEN: usize = 64 * 1024;
+
+/// Streaming reader over any byte source containing a binary trace.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    src: R,
+    buf: Box<[u8]>,
+    /// Valid bytes in `buf` are `pos..len`.
+    pos: usize,
+    len: usize,
+    header: Header,
+    decoded: u64,
+    hash: Fnv1a64,
+    prev_addr: u64,
+    prev_pc: u64,
+    /// Set once the checksum has been verified (or an error was returned),
+    /// so `next` is a fused iterator.
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the 24-byte header, then prepares for streaming
+    /// decode. Fails fast on bad magic, unknown version, or a source too
+    /// short to hold a header.
+    pub fn new(mut src: R) -> Result<Self, TraceError> {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        let mut filled = 0;
+        while filled < HEADER_LEN {
+            let n = src.read(&mut header_bytes[filled..])?;
+            if n == 0 {
+                return Err(match binary::parse_header(&header_bytes[..filled]) {
+                    Err(e) => e,
+                    Ok(_) => TraceError::Truncated,
+                });
+            }
+            filled += n;
+        }
+        let header = binary::parse_header(&header_bytes)?;
+        Ok(TraceReader {
+            src,
+            buf: vec![0u8; BUF_LEN].into_boxed_slice(),
+            pos: 0,
+            len: 0,
+            header,
+            decoded: 0,
+            hash: Fnv1a64::default(),
+            prev_addr: 0,
+            prev_pc: 0,
+            done: false,
+        })
+    }
+
+    /// The number of ops the header declares.
+    pub fn op_count(&self) -> u64 {
+        self.header.op_count
+    }
+
+    /// Pulls one payload byte, refilling the block buffer as needed.
+    /// Returns `Truncated` if the source ends mid-payload.
+    fn next_byte(&mut self) -> Result<u8, TraceError> {
+        if self.pos == self.len {
+            self.len = self.src.read(&mut self.buf)?;
+            self.pos = 0;
+            if self.len == 0 {
+                return Err(TraceError::Truncated);
+            }
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        self.hash.update(std::slice::from_ref(&b));
+        Ok(b)
+    }
+
+    fn read_varint(&mut self) -> Result<u64, TraceError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.next_byte()?;
+            if shift == 63 && b > 1 {
+                return Err(TraceError::BadVarint);
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(TraceError::BadVarint);
+            }
+        }
+    }
+
+    /// Decodes the next op, or `Ok(None)` once the declared count has been
+    /// read and the checksum verified. After any error (or the clean end)
+    /// the reader is fused and keeps returning `Ok(None)`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Op>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.decoded == self.header.op_count {
+            self.done = true;
+            let actual = self.hash.finish();
+            if actual != self.header.checksum {
+                return Err(TraceError::BadChecksum { expected: self.header.checksum, actual });
+            }
+            return Ok(None);
+        }
+        let result = self.decode_one();
+        if result.is_err() {
+            self.done = true;
+        }
+        result.map(Some)
+    }
+
+    fn decode_one(&mut self) -> Result<Op, TraceError> {
+        let tag = self.next_byte()?;
+        let op = match tag {
+            TAG_COMPUTE => {
+                let cycles = self.read_varint()?;
+                if cycles > u32::MAX as u64 {
+                    return Err(TraceError::BadVarint);
+                }
+                Op::Compute { cycles: cycles as u32 }
+            }
+            TAG_LOAD | TAG_STORE => {
+                let addr =
+                    self.prev_addr.wrapping_add(binary::unzigzag(self.read_varint()?) as u64);
+                let pc = self.prev_pc.wrapping_add(binary::unzigzag(self.read_varint()?) as u64);
+                self.prev_addr = addr;
+                self.prev_pc = pc;
+                if tag == TAG_LOAD {
+                    Op::Load { addr, pc }
+                } else {
+                    Op::Store { addr, pc }
+                }
+            }
+            other => return Err(TraceError::BadTag(other)),
+        };
+        self.decoded += 1;
+        Ok(op)
+    }
+
+    /// Drains the remaining ops into a vector (checksum still enforced).
+    pub fn collect_ops(mut self) -> Result<Vec<Op>, TraceError> {
+        let mut ops = Vec::with_capacity(self.header.op_count.min(1 << 20) as usize);
+        while let Some(op) = self.next()? {
+            ops.push(op);
+        }
+        Ok(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::to_binary;
+    use std::io::Cursor;
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::Compute { cycles: 10 },
+            Op::Load { addr: 0x1000, pc: 0x400 },
+            Op::Store { addr: 0x1040, pc: 0x404 },
+            Op::Compute { cycles: 1 },
+            Op::Load { addr: 0x1080, pc: 0x400 },
+        ]
+    }
+
+    #[test]
+    fn decodes_what_to_binary_encodes() {
+        let ops = sample_ops();
+        let reader = TraceReader::new(Cursor::new(to_binary(&ops))).unwrap();
+        assert_eq!(reader.op_count(), ops.len() as u64);
+        assert_eq!(reader.collect_ops().unwrap(), ops);
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let bin = to_binary(&sample_ops());
+        for cut in HEADER_LEN..bin.len() {
+            let r =
+                TraceReader::new(Cursor::new(bin[..cut].to_vec())).and_then(|r| r.collect_ops());
+            assert!(matches!(r, Err(TraceError::Truncated)), "cut at {cut} gave {r:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum_or_decode() {
+        let bin = to_binary(&sample_ops());
+        for i in HEADER_LEN..bin.len() {
+            let mut corrupt = bin.clone();
+            corrupt[i] ^= 0x01;
+            let r = TraceReader::new(Cursor::new(corrupt)).and_then(|r| r.collect_ops());
+            assert!(r.is_err(), "flip at {i} not detected");
+        }
+    }
+
+    #[test]
+    fn reader_is_fused_after_end() {
+        let mut r = TraceReader::new(Cursor::new(to_binary(&sample_ops()))).unwrap();
+        while r.next().unwrap().is_some() {}
+        assert!(r.next().unwrap().is_none());
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_trace_decodes_to_nothing() {
+        let r = TraceReader::new(Cursor::new(to_binary(&[]))).unwrap();
+        assert!(r.collect_ops().unwrap().is_empty());
+    }
+}

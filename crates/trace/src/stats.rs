@@ -1,0 +1,222 @@
+//! Stream-derived summary statistics for recorded traces.
+//!
+//! A raw address trace carries no dependence information, so the *true*
+//! memory-level parallelism of the recorded program is unrecoverable. What
+//! replay needs is weaker: cores running streaming/strided recordings must
+//! present a wide demand window (so the M-1..M-7 cascade classifies them
+//! as prefetch-friendly aggressors) while pointer-chase-like recordings
+//! must present a narrow one. [`stats`] estimates that from two signals
+//! that survive recording: stride regularity and memory-op burst length.
+
+use std::collections::HashSet;
+
+use crate::Op;
+
+const LINE_SHIFT: u32 = 6;
+const NUM_TRACKERS: usize = 16;
+/// Two lines within this many lines of a tracker retrain it instead of
+/// missing — tolerates interleaved streams jittering around each other.
+const NEAR_LINES: u64 = 64;
+
+/// Summary of a recorded op stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Total ops in the recording.
+    pub ops: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub computes: u64,
+    /// Total cycles across `Compute` ops.
+    pub compute_cycles: u64,
+    /// Distinct 64-byte cache lines touched.
+    pub footprint_lines: u64,
+    /// Fraction of memory ops that hit or retrained a stride tracker.
+    pub stride_score: f64,
+    /// Mean run length of consecutive memory ops (no intervening compute).
+    pub mean_burst: f64,
+    /// Estimated overlappable accesses, clamped to 1..=8 — suitable for
+    /// [`Workload::mlp`](crate::Workload::mlp).
+    pub est_mlp: u32,
+}
+
+impl TraceStats {
+    /// Footprint in bytes (lines × 64).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_lines << LINE_SHIFT
+    }
+}
+
+struct Tracker {
+    last_line: u64,
+    delta: i64,
+    valid: bool,
+}
+
+/// Scans `ops` once and derives the summary. O(n) time, O(footprint)
+/// space (the line set); the stride table is fixed-size.
+pub fn stats(ops: &[Op]) -> TraceStats {
+    let mut s = TraceStats {
+        ops: ops.len() as u64,
+        loads: 0,
+        stores: 0,
+        computes: 0,
+        compute_cycles: 0,
+        footprint_lines: 0,
+        stride_score: 0.0,
+        mean_burst: 0.0,
+        est_mlp: 1,
+    };
+    let mut lines: HashSet<u64> = HashSet::new();
+    let mut trackers: Vec<Tracker> =
+        (0..NUM_TRACKERS).map(|_| Tracker { last_line: 0, delta: 1, valid: false }).collect();
+    let mut victim = 0usize;
+    let mut stride_points = 0.0f64;
+    let mut mem_ops = 0u64;
+    let mut bursts = 0u64;
+    let mut burst_len = 0u64;
+    let mut burst_total = 0u64;
+
+    for op in ops {
+        let addr = match *op {
+            Op::Compute { cycles } => {
+                s.computes += 1;
+                s.compute_cycles += cycles as u64;
+                if burst_len > 0 {
+                    bursts += 1;
+                    burst_total += burst_len;
+                    burst_len = 0;
+                }
+                continue;
+            }
+            Op::Load { addr, .. } => {
+                s.loads += 1;
+                addr
+            }
+            Op::Store { addr, .. } => {
+                s.stores += 1;
+                addr
+            }
+        };
+        mem_ops += 1;
+        burst_len += 1;
+        let line = addr >> LINE_SHIFT;
+        lines.insert(line);
+
+        // Stride table: exact next-line-by-delta is a full hit; a nearby
+        // line retrains the tracker's delta at half credit; otherwise the
+        // access claims a tracker round-robin.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, t) in trackers.iter().enumerate() {
+            if !t.valid {
+                continue;
+            }
+            if line == t.last_line.wrapping_add(t.delta as u64) {
+                best = Some((i, 1.0));
+                break;
+            }
+            if line.abs_diff(t.last_line) <= NEAR_LINES && best.is_none() {
+                best = Some((i, 0.5));
+            }
+        }
+        match best {
+            Some((i, score)) => {
+                let t = &mut trackers[i];
+                if score < 1.0 {
+                    t.delta = line.wrapping_sub(t.last_line) as i64;
+                }
+                t.last_line = line;
+                stride_points += score;
+            }
+            None => {
+                trackers[victim] = Tracker { last_line: line, delta: 1, valid: true };
+                victim = (victim + 1) % NUM_TRACKERS;
+            }
+        }
+    }
+    if burst_len > 0 {
+        bursts += 1;
+        burst_total += burst_len;
+    }
+
+    s.footprint_lines = lines.len() as u64;
+    if mem_ops > 0 {
+        s.stride_score = stride_points / mem_ops as f64;
+    }
+    if bursts > 0 {
+        s.mean_burst = burst_total as f64 / bursts as f64;
+    }
+    let burst_score = ((s.mean_burst - 1.0) / 7.0).clamp(0.0, 1.0);
+    let score = s.stride_score.max(burst_score);
+    s.est_mlp = ((1.0 + 7.0 * score).round() as u32).clamp(1, 8);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_is_neutral() {
+        let s = stats(&[]);
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.footprint_lines, 0);
+        assert_eq!(s.est_mlp, 1);
+    }
+
+    #[test]
+    fn sequential_stream_estimates_high_mlp() {
+        let ops: Vec<Op> = (0..4096u64).map(|i| Op::Load { addr: i * 64, pc: 0x400 }).collect();
+        let s = stats(&ops);
+        assert!(s.stride_score > 0.9, "stride score {}", s.stride_score);
+        assert!(s.est_mlp >= 6, "est_mlp {}", s.est_mlp);
+        assert_eq!(s.footprint_lines, 4096);
+    }
+
+    #[test]
+    fn pointer_chase_estimates_low_mlp() {
+        // Large pseudo-random jumps with a compute bubble between each
+        // access: no stride locality, burst length 1.
+        let mut addr = 0x1234u64;
+        let mut ops = Vec::new();
+        for _ in 0..2048 {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ops.push(Op::Load { addr: addr & 0xfff_ffff_ffc0, pc: 0x400 });
+            ops.push(Op::Compute { cycles: 4 });
+        }
+        let s = stats(&ops);
+        assert!(s.est_mlp <= 2, "est_mlp {} (stride {})", s.est_mlp, s.stride_score);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_lines_only() {
+        let ops = vec![
+            Op::Load { addr: 0, pc: 0 },
+            Op::Load { addr: 63, pc: 0 },
+            Op::Store { addr: 64, pc: 0 },
+            Op::Load { addr: 0, pc: 0 },
+        ];
+        let s = stats(&ops);
+        assert_eq!(s.footprint_lines, 2);
+        assert_eq!(s.footprint_bytes(), 128);
+        assert_eq!(s.loads, 3);
+        assert_eq!(s.stores, 1);
+    }
+
+    #[test]
+    fn burst_length_alone_can_raise_the_estimate() {
+        // Random addresses (no stride) but issued in long back-to-back
+        // bursts — overlappable in a demand window, so MLP should rise.
+        let mut addr = 0x9999u64;
+        let mut ops = Vec::new();
+        for _ in 0..256 {
+            for _ in 0..8 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(99);
+                ops.push(Op::Load { addr: addr & 0xfff_ffff_ffc0, pc: 0x400 });
+            }
+            ops.push(Op::Compute { cycles: 8 });
+        }
+        let s = stats(&ops);
+        assert!(s.mean_burst > 7.0);
+        assert!(s.est_mlp >= 6, "est_mlp {}", s.est_mlp);
+    }
+}

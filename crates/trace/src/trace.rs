@@ -1,0 +1,370 @@
+//! In-memory traces, the shared text parser, recording, and looping replay.
+
+use std::sync::Arc;
+
+use crate::binary;
+use crate::stats::{stats, TraceStats};
+use crate::{Op, TraceError, Workload};
+
+/// A recorded operation sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// A trace over an existing op sequence.
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        Trace { ops }
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends one operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Summary statistics of the recorded stream (one O(n) scan).
+    pub fn stats(&self) -> TraceStats {
+        stats(&self.ops)
+    }
+
+    /// Serialises to the text form: one op per line,
+    /// `C <cycles>` / `L <addr> <pc>` / `S <addr> <pc>` (hex addresses).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.ops.len() * 16);
+        for op in &self.ops {
+            match *op {
+                Op::Compute { cycles } => out.push_str(&format!("C {cycles}\n")),
+                Op::Load { addr, pc } => out.push_str(&format!("L {addr:x} {pc:x}\n")),
+                Op::Store { addr, pc } => out.push_str(&format!("S {addr:x} {pc:x}\n")),
+            }
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`Trace::to_text`]. Blank lines and
+    /// `#` comments are ignored. This is the workspace's only trace text
+    /// parser; `cmm_sim::trace` re-exports it.
+    pub fn from_text(text: &str) -> Result<Trace, TraceError> {
+        let mut ops = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = || TraceError::Parse { line: lineno + 1 };
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().ok_or_else(err)?;
+            let op = match kind {
+                "C" => {
+                    let cycles = parts.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+                    Op::Compute { cycles }
+                }
+                "L" | "S" => {
+                    let addr = parts
+                        .next()
+                        .and_then(|v| u64::from_str_radix(v, 16).ok())
+                        .ok_or_else(err)?;
+                    let pc = parts
+                        .next()
+                        .and_then(|v| u64::from_str_radix(v, 16).ok())
+                        .ok_or_else(err)?;
+                    if kind == "L" {
+                        Op::Load { addr, pc }
+                    } else {
+                        Op::Store { addr, pc }
+                    }
+                }
+                _ => return Err(err()),
+            };
+            if parts.next().is_some() {
+                return Err(err());
+            }
+            ops.push(op);
+        }
+        Ok(Trace { ops })
+    }
+
+    /// Encodes as a `cmm-trace/1` binary file image.
+    pub fn to_binary(&self) -> Vec<u8> {
+        binary::to_binary(&self.ops)
+    }
+
+    /// Decodes a `cmm-trace/1` binary file image (header, checksum, and
+    /// truncation all enforced).
+    pub fn from_binary(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let reader = crate::TraceReader::new(bytes)?;
+        Ok(Trace { ops: reader.collect_ops()? })
+    }
+
+    /// Decodes either format, sniffing by magic rather than extension.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        if binary::is_binary(bytes) {
+            Trace::from_binary(bytes)
+        } else {
+            Trace::from_text(&String::from_utf8_lossy(bytes))
+        }
+    }
+}
+
+/// Wraps a workload, recording every operation it emits.
+pub struct Recorder<W> {
+    inner: W,
+    trace: Trace,
+    limit: usize,
+}
+
+impl<W: Workload> Recorder<W> {
+    /// Records up to `limit` operations (the stream is infinite).
+    pub fn new(inner: W, limit: usize) -> Self {
+        Recorder { inner, trace: Trace::new(), limit }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Stops recording and returns the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl<W: Workload> Workload for Recorder<W> {
+    fn next(&mut self) -> Op {
+        let op = self.inner.next();
+        if self.trace.len() < self.limit {
+            self.trace.push(op);
+        }
+        op
+    }
+
+    fn mlp(&self) -> u32 {
+        self.inner.mlp()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Replays a [`Trace`] in an endless loop (restart-on-finish, as the
+/// paper's methodology restarts completed benchmarks).
+///
+/// The trace is held behind an [`Arc`] so one loaded file can drive many
+/// replayers (baseline and managed runs, multiple window placements)
+/// without cloning the op vector.
+pub struct TraceWorkload {
+    name: String,
+    trace: Arc<Trace>,
+    pos: usize,
+    mlp: u32,
+    footprint_bytes: u64,
+    base: u64,
+    mask: u64,
+}
+
+impl TraceWorkload {
+    /// Builds a replayer whose `mlp()` and footprint are derived from the
+    /// recorded stream (see [`crate::stats`]), so trace-driven cores
+    /// classify in the M-1..M-7 cascade without hand-set constants.
+    ///
+    /// # Panics
+    /// If the trace is empty.
+    pub fn new(name: impl Into<String>, trace: impl Into<Arc<Trace>>) -> Self {
+        let trace = trace.into();
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        let s = trace.stats();
+        TraceWorkload {
+            name: name.into(),
+            trace,
+            pos: 0,
+            mlp: s.est_mlp,
+            footprint_bytes: s.footprint_bytes(),
+            base: 0,
+            mask: u64::MAX,
+        }
+    }
+
+    /// Builds a replayer with an explicit MLP override, for callers that
+    /// know the recorded program's true parallelism.
+    ///
+    /// # Panics
+    /// If the trace is empty.
+    pub fn with_mlp(name: impl Into<String>, trace: impl Into<Arc<Trace>>, mlp: u32) -> Self {
+        let mut w = TraceWorkload::new(name, trace);
+        w.mlp = mlp;
+        w
+    }
+
+    /// Rebase replayed addresses into a private window: every memory op's
+    /// address becomes `base | (addr & mask)`. Used for multiprogrammed
+    /// replay so per-core traces recorded at overlapping addresses do not
+    /// alias in the shared cache. PCs are not rebased.
+    pub fn with_window(mut self, base: u64, mask: u64) -> Self {
+        self.base = base;
+        self.mask = mask;
+        self
+    }
+
+    /// Bytes of distinct cache lines the recording touches.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_bytes
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn next(&mut self) -> Op {
+        let op = self.trace.ops[self.pos];
+        self.pos = (self.pos + 1) % self.trace.len();
+        match op {
+            Op::Compute { .. } => op,
+            Op::Load { addr, pc } => Op::Load { addr: self.base | (addr & self.mask), pc },
+            Op::Store { addr, pc } => Op::Store { addr: self.base | (addr & self.mask), pc },
+        }
+    }
+
+    fn mlp(&self) -> u32 {
+        self.mlp
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Idle;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(Op::Load { addr: 0x1000, pc: 0x400 });
+        t.push(Op::Compute { cycles: 3 });
+        t.push(Op::Store { addr: 0x2040, pc: 0x404 });
+        t
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample_trace();
+        let parsed = Trace::from_text(&t.to_text()).unwrap();
+        assert_eq!(t, parsed);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample_trace();
+        let decoded = Trace::from_binary(&t.to_binary()).unwrap();
+        assert_eq!(t, decoded);
+        let sniffed = Trace::from_bytes(&t.to_binary()).unwrap();
+        assert_eq!(t, sniffed);
+        let sniffed_text = Trace::from_bytes(t.to_text().as_bytes()).unwrap();
+        assert_eq!(t, sniffed_text);
+    }
+
+    #[test]
+    fn parser_accepts_comments_and_blanks() {
+        let t = Trace::from_text("# header\n\nL 10 4\nC 2\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.ops()[0], Op::Load { addr: 0x10, pc: 0x4 });
+    }
+
+    #[test]
+    fn parser_rejects_garbage_with_line_numbers() {
+        assert_eq!(Trace::from_text("X 1 2").unwrap_err().line(), Some(1));
+        assert_eq!(Trace::from_text("L 10 4\nL zz 4").unwrap_err().line(), Some(2));
+        assert_eq!(Trace::from_text("C").unwrap_err().line(), Some(1));
+        assert_eq!(Trace::from_text("L 10 4 extra").unwrap_err().line(), Some(1));
+    }
+
+    #[test]
+    fn recorder_captures_up_to_limit() {
+        let mut r = Recorder::new(Idle, 5);
+        for _ in 0..10 {
+            r.next();
+        }
+        assert_eq!(r.trace().len(), 5);
+        assert_eq!(r.name(), "idle");
+    }
+
+    #[test]
+    fn replay_loops_and_resets() {
+        let mut w = TraceWorkload::with_mlp("replay", sample_trace(), 4);
+        let first: Vec<Op> = (0..3).map(|_| w.next()).collect();
+        let second: Vec<Op> = (0..3).map(|_| w.next()).collect();
+        assert_eq!(first, second, "replay must loop");
+        w.next();
+        w.reset();
+        assert_eq!(w.next(), first[0]);
+        assert_eq!(w.mlp(), 4);
+    }
+
+    #[test]
+    fn derived_mlp_tracks_stream_shape() {
+        let mut streaming = Trace::new();
+        for i in 0..4096u64 {
+            streaming.push(Op::Load { addr: i * 64, pc: 0x400 });
+        }
+        let w = TraceWorkload::new("stream", streaming);
+        assert!(w.mlp() >= 6, "streaming trace mlp {}", w.mlp());
+        assert_eq!(w.footprint_bytes(), 4096 * 64);
+
+        let mut chase = Trace::new();
+        let mut addr = 1u64;
+        for _ in 0..2048 {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+            chase.push(Op::Load { addr: addr & 0xfff_ffff_ffc0, pc: 0x400 });
+            chase.push(Op::Compute { cycles: 4 });
+        }
+        let w = TraceWorkload::new("chase", chase);
+        assert!(w.mlp() <= 2, "chase trace mlp {}", w.mlp());
+    }
+
+    #[test]
+    fn window_rebases_memory_ops_only() {
+        let mut t = Trace::new();
+        t.push(Op::Load { addr: 0x1_0000_1000, pc: 0x400 });
+        t.push(Op::Compute { cycles: 2 });
+        let mask = (1u64 << 16) - 1;
+        let mut w = TraceWorkload::new("win", t).with_window(0x7000_0000, mask);
+        assert_eq!(w.next(), Op::Load { addr: 0x7000_1000, pc: 0x400 });
+        assert_eq!(w.next(), Op::Compute { cycles: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        TraceWorkload::new("x", Trace::new());
+    }
+}

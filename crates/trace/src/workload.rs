@@ -1,0 +1,101 @@
+//! The operation vocabulary shared by every workload in the workspace.
+//!
+//! One simulated instruction per [`Op`]: either a compute bubble of a fixed
+//! number of cycles or a memory access carrying a byte address and the PC
+//! of the instruction that issued it (the PC feeds stride detection in the
+//! prefetcher model).
+
+/// A single dynamic instruction as seen by a core's issue stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Execute for `cycles` cycles without touching memory.
+    Compute { cycles: u32 },
+    /// Load from byte address `addr`, issued by the instruction at `pc`.
+    Load { addr: u64, pc: u64 },
+    /// Store to byte address `addr`, issued by the instruction at `pc`.
+    Store { addr: u64, pc: u64 },
+}
+
+/// An instruction stream a core can execute.
+///
+/// Implementations must be deterministic: two freshly-constructed (or
+/// freshly [`reset`](Workload::reset)) instances with identical parameters
+/// must emit identical streams, since the evaluation harness relies on
+/// byte-identical replays across runs and job counts.
+pub trait Workload {
+    /// Produces the next instruction. Workloads are infinite streams;
+    /// finite recordings loop.
+    fn next(&mut self) -> Op;
+
+    /// The workload's intrinsic memory-level parallelism: how many of its
+    /// memory accesses are overlappable. Sized to the core's demand
+    /// window; clamped by the machine config.
+    fn mlp(&self) -> u32 {
+        1
+    }
+
+    /// Rewinds the stream to its initial state.
+    fn reset(&mut self);
+
+    /// A short human-readable label for reports.
+    fn name(&self) -> &str;
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn next(&mut self) -> Op {
+        (**self).next()
+    }
+
+    fn mlp(&self) -> u32 {
+        (**self).mlp()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A workload that never touches memory: an endless compute bubble.
+/// Useful as a placeholder core and in tests.
+#[derive(Debug, Default, Clone)]
+pub struct Idle;
+
+impl Workload for Idle {
+    fn next(&mut self) -> Op {
+        Op::Compute { cycles: 64 }
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &str {
+        "idle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_only_computes() {
+        let mut w = Idle;
+        for _ in 0..8 {
+            assert!(matches!(w.next(), Op::Compute { cycles: 64 }));
+        }
+        assert_eq!(w.mlp(), 1);
+        assert_eq!(w.name(), "idle");
+    }
+
+    #[test]
+    fn boxed_workloads_forward() {
+        let mut w: Box<dyn Workload> = Box::new(Idle);
+        assert!(matches!(w.next(), Op::Compute { .. }));
+        assert_eq!(w.mlp(), 1);
+        assert_eq!(w.name(), "idle");
+        w.reset();
+    }
+}

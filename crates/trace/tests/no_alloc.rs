@@ -1,0 +1,78 @@
+//! Verifies the acceptance criterion that the binary reader allocates
+//! nothing per access on the replay hot path: all heap allocation happens
+//! in `TraceReader::new` (the 64 KiB block buffer), after which draining
+//! any number of ops performs zero allocations.
+//!
+//! Uses a counting wrapper around the system allocator; the whole file is
+//! a single `#[test]` so no parallel test can perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Cursor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cmm_trace::{Op, Trace, TraceReader};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+#[test]
+fn reader_hot_path_does_not_allocate() {
+    // A trace larger than the 64 KiB block buffer, so draining it forces
+    // multiple buffer refills — refills must also be allocation-free.
+    let mut t = Trace::new();
+    for i in 0..200_000u64 {
+        match i % 3 {
+            0 => t.push(Op::Load { addr: i * 64, pc: 0x400 + (i % 7) }),
+            1 => t.push(Op::Store { addr: i * 128, pc: 0x500 }),
+            _ => t.push(Op::Compute { cycles: (i % 50) as u32 + 1 }),
+        }
+    }
+    let bin = t.to_binary();
+    assert!(bin.len() > 128 * 1024, "trace must span multiple buffer refills");
+
+    let mut reader = TraceReader::new(Cursor::new(&bin[..])).unwrap();
+    // Pull one op first so any lazy setup has happened.
+    let first = reader.next().unwrap().expect("trace is non-empty");
+    assert_eq!(first, Op::Load { addr: 0, pc: 0x400 });
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut decoded = 1u64;
+    let mut line_sum = 0u64;
+    while let Some(op) = reader.next().unwrap() {
+        decoded += 1;
+        if let Op::Load { addr, .. } | Op::Store { addr, .. } = op {
+            line_sum = line_sum.wrapping_add(addr >> 6);
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(decoded, 200_000);
+    assert_ne!(line_sum, 0);
+    assert_eq!(
+        after - before,
+        0,
+        "replay hot path allocated {} times over {} ops",
+        after - before,
+        decoded - 1
+    );
+}

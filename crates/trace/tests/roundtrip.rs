@@ -1,0 +1,118 @@
+//! Round-trip and corruption-rejection properties of the trace formats.
+//!
+//! The binary reader applies the same all-or-nothing discipline the
+//! checkpoint salvager applies per-record: any prefix truncation or
+//! single-byte corruption of a `cmm-trace/1` file must be rejected, never
+//! silently decoded into a different op stream.
+
+use cmm_trace::binary::HEADER_LEN;
+use cmm_trace::{Op, Trace, TraceError, TraceWorkload, Workload};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..10_000).prop_map(|cycles| Op::Compute { cycles }),
+        (any::<u64>(), any::<u64>()).prop_map(|(addr, pc)| Op::Load { addr, pc }),
+        (any::<u64>(), any::<u64>()).prop_map(|(addr, pc)| Op::Store { addr, pc }),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(arb_op(), 1..200).prop_map(Trace::from_ops)
+}
+
+fn small_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(arb_op(), 1..48).prop_map(Trace::from_ops)
+}
+
+proptest! {
+    /// text → parse is the identity on every representable trace.
+    #[test]
+    fn text_roundtrip_is_identity(t in arb_trace()) {
+        let parsed = Trace::from_text(&t.to_text()).unwrap();
+        prop_assert_eq!(t, parsed);
+    }
+
+    /// binary → decode is the identity, including extreme addr/pc deltas.
+    #[test]
+    fn binary_roundtrip_is_identity(t in arb_trace()) {
+        let decoded = Trace::from_binary(&t.to_binary()).unwrap();
+        prop_assert_eq!(t, decoded);
+    }
+
+    /// A text→binary→replay chain emits exactly the recorded ops: the two
+    /// interchange formats and the looping replayer agree byte-for-byte.
+    #[test]
+    fn formats_and_replay_agree(t in arb_trace()) {
+        let via_text = Trace::from_text(&t.to_text()).unwrap();
+        let via_binary = Trace::from_binary(&via_text.to_binary()).unwrap();
+        let mut w = TraceWorkload::new("prop", via_binary);
+        for lap in 0..2 {
+            for (i, &op) in t.ops().iter().enumerate() {
+                let got = w.next();
+                prop_assert_eq!(got, op, "lap {} op {}", lap, i);
+            }
+        }
+    }
+
+}
+
+proptest! {
+    // Exhaustive per-byte corruption sweeps: fewer, smaller cases — each
+    // case already decodes the file once per byte position.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every strict prefix of a binary trace is rejected as truncated
+    /// (header prefixes may also be rejected as BadMagic-before-Truncated
+    /// only when the magic itself is cut — both are hard errors).
+    #[test]
+    fn every_truncation_is_rejected(t in small_trace()) {
+        let bin = t.to_binary();
+        for cut in 0..bin.len() {
+            let r = Trace::from_binary(&bin[..cut]);
+            prop_assert!(r.is_err(), "prefix of {} bytes accepted", cut);
+            if cut >= HEADER_LEN {
+                prop_assert!(
+                    matches!(r, Err(TraceError::Truncated)),
+                    "payload cut at {} gave {:?}", cut, r
+                );
+            }
+        }
+    }
+
+    /// Every single-byte flip anywhere in the file is detected.
+    #[test]
+    fn every_byte_flip_is_rejected(t in small_trace(), bit in 0u8..8) {
+        let bin = t.to_binary();
+        for i in 0..bin.len() {
+            let mut corrupt = bin.clone();
+            corrupt[i] ^= 1 << bit;
+            let r = Trace::from_binary(&corrupt);
+            prop_assert!(r.is_err(), "flip of byte {} bit {} accepted", i, bit);
+        }
+    }
+}
+
+#[test]
+fn header_corruption_reports_specific_errors() {
+    let bin = Trace::from_ops(vec![Op::Compute { cycles: 5 }]).to_binary();
+
+    let mut bad_magic = bin.clone();
+    bad_magic[1] = b'Z';
+    assert!(matches!(Trace::from_binary(&bad_magic), Err(TraceError::BadMagic)));
+
+    let mut bad_version = bin.clone();
+    bad_version[4] = 2;
+    assert!(matches!(Trace::from_binary(&bad_version), Err(TraceError::BadVersion(2))));
+
+    let mut bad_checksum = bin.clone();
+    bad_checksum[16] ^= 0xff;
+    assert!(matches!(Trace::from_binary(&bad_checksum), Err(TraceError::BadChecksum { .. })));
+
+    let mut overcount = bin.clone();
+    overcount[8] = 2; // claims 2 ops, payload holds 1
+    assert!(matches!(Trace::from_binary(&overcount), Err(TraceError::Truncated)));
+
+    assert!(matches!(Trace::from_binary(&[]), Err(TraceError::Truncated)));
+    assert!(matches!(Trace::from_binary(b"JUNKJUNK"), Err(TraceError::BadMagic)));
+}

@@ -17,15 +17,19 @@
 //! [`spec`] declares a named roster with each benchmark's intended class
 //! (verified against measurement by the Fig. 1–3 harness and the
 //! integration tests); [`mix`] builds the paper's four 10-workload
-//! categories (Pref Fri / Pref Agg / Pref Unfri / Pref No Agg).
+//! categories (Pref Fri / Pref Agg / Pref Unfri / Pref No Agg);
+//! [`tracemix`] loads recorded-trace directories into the same [`Mix`]
+//! shape so captured streams run the identical evaluation pipeline.
 
 pub mod mix;
 pub mod pattern;
 pub mod phased;
 pub mod rng;
 pub mod spec;
+pub mod tracemix;
 
-pub use mix::{build_mixes, Category, Mix};
+pub use mix::{build_mixes, Category, Mix, Slot};
 pub use pattern::{AccessPattern, Synthetic, SyntheticConfig};
 pub use phased::Phased;
 pub use spec::{roster, Benchmark, Class};
+pub use tracemix::{TraceFile, TraceSet};

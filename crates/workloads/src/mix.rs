@@ -10,12 +10,26 @@
 //! Per the paper, the non-aggressive picks always include at least two
 //! LLC-sensitive benchmarks. Benchmarks are drawn randomly (seeded) from
 //! their class, and core placement is shuffled.
+//!
+//! A mix's per-core slots are usually synthetic [`Benchmark`]s, but can
+//! also be recorded traces (see [`Slot::Trace`] and
+//! [`crate::tracemix::TraceSet`]) so captured access streams run through
+//! the identical evaluation pipeline.
+
+use std::sync::Arc;
 
 use crate::rng::SplitMix64;
 use crate::spec::{self, Benchmark};
 use cmm_sim::workload::Workload;
+use cmm_trace::{Trace, TraceWorkload};
 
-/// The four workload categories of the evaluation.
+/// Address-window geometry shared by synthetic and trace-driven cores:
+/// core `i` owns the 64 GiB window based at `(i + 1) << 36`.
+pub const WINDOW_SHIFT: u32 = 36;
+
+/// The workload categories of the evaluation: the paper's four synthetic
+/// classes plus [`Category::Trace`] for recorded-stream mixes. `all()`
+/// stays the four synthetic categories so figure grids are unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// 4 prefetch-friendly + 4 non-aggressive.
@@ -26,10 +40,14 @@ pub enum Category {
     PrefUnfri,
     /// 8 non-aggressive.
     PrefNoAgg,
+    /// Recorded traces loaded from files (`--trace-dir`).
+    Trace,
 }
 
 impl Category {
-    /// All four, in the order the paper's figures plot them.
+    /// The four synthetic categories, in the order the paper's figures
+    /// plot them ([`Category::Trace`] is deliberately excluded: it only
+    /// appears when trace mixes are supplied).
     pub fn all() -> [Category; 4] {
         [Category::PrefFri, Category::PrefAgg, Category::PrefUnfri, Category::PrefNoAgg]
     }
@@ -41,6 +59,7 @@ impl Category {
             Category::PrefAgg => "Pref Agg",
             Category::PrefUnfri => "Pref Unfri",
             Category::PrefNoAgg => "Pref No Agg",
+            Category::Trace => "Trace",
         }
     }
 }
@@ -51,7 +70,65 @@ impl std::fmt::Display for Category {
     }
 }
 
-/// One 8-benchmark multiprogrammed workload.
+/// One core's occupant in a mix: a synthetic benchmark spec or a recorded
+/// trace to replay.
+#[derive(Clone)]
+pub enum Slot {
+    /// A synthetic generator from the roster.
+    Bench(&'static Benchmark),
+    /// A recorded trace replayed in a loop, rebased into the core's
+    /// address window.
+    Trace {
+        /// Label used in journals and alone-IPC caching (typically the
+        /// trace file stem).
+        name: String,
+        /// The shared recording.
+        trace: Arc<Trace>,
+    },
+}
+
+impl Slot {
+    /// The slot's report/journal label.
+    pub fn name(&self) -> &str {
+        match self {
+            Slot::Bench(b) => b.name,
+            Slot::Trace { name, .. } => name,
+        }
+    }
+
+    /// The underlying synthetic benchmark, when there is one.
+    pub fn bench(&self) -> Option<&'static Benchmark> {
+        match self {
+            Slot::Bench(b) => Some(b),
+            Slot::Trace { .. } => None,
+        }
+    }
+
+    /// Builds the runnable workload for core placement `(base, seed)`.
+    /// Trace slots ignore `llc_bytes` and `seed` (replay is exact) and
+    /// rebase addresses into the 64 GiB window at `base`.
+    pub fn instantiate(&self, llc_bytes: u64, base: u64, seed: u64) -> Box<dyn Workload + Send> {
+        match self {
+            Slot::Bench(b) => Box::new(b.instantiate(llc_bytes, base, seed)),
+            Slot::Trace { name, trace } => {
+                let mask = (1u64 << WINDOW_SHIFT) - 1;
+                Box::new(TraceWorkload::new(name.clone(), trace.clone()).with_window(base, mask))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Slot::Bench(b) => write!(f, "Bench({})", b.name),
+            Slot::Trace { name, trace } => write!(f, "Trace({name}, {} ops)", trace.len()),
+        }
+    }
+}
+
+/// One multiprogrammed workload (8 synthetic benchmarks, or one slot per
+/// trace file for trace-driven mixes).
 #[derive(Debug, Clone)]
 pub struct Mix {
     /// e.g. `"PrefAgg-03"`.
@@ -59,27 +136,32 @@ pub struct Mix {
     /// The category it was built for.
     pub category: Category,
     /// One entry per core, in placement order.
-    pub benchmarks: Vec<&'static Benchmark>,
-    /// Seed used for per-instance perturbation.
+    pub slots: Vec<Slot>,
+    /// Seed used for per-instance perturbation (unused by trace slots).
     pub seed: u64,
 }
 
 impl Mix {
     /// Number of cores this mix occupies.
     pub fn num_cores(&self) -> usize {
-        self.benchmarks.len()
+        self.slots.len()
+    }
+
+    /// The synthetic benchmarks in placement order (trace slots omitted)
+    /// — the classification tests' view of the mix.
+    pub fn benchmarks(&self) -> Vec<&'static Benchmark> {
+        self.slots.iter().filter_map(|s| s.bench()).collect()
     }
 
     /// Builds the runnable workloads, one per core, each in a disjoint
     /// 64 GiB address window.
     pub fn instantiate(&self, llc_bytes: u64) -> Vec<Box<dyn Workload + Send>> {
-        self.benchmarks
+        self.slots
             .iter()
             .enumerate()
-            .map(|(i, b)| {
-                let base = (i as u64 + 1) << 36;
-                let w = b.instantiate(llc_bytes, base, self.seed ^ (i as u64).wrapping_mul(0x9E37));
-                Box::new(w) as Box<dyn Workload + Send>
+            .map(|(i, s)| {
+                let base = (i as u64 + 1) << WINDOW_SHIFT;
+                s.instantiate(llc_bytes, base, self.seed ^ (i as u64).wrapping_mul(0x9E37))
             })
             .collect()
     }
@@ -107,6 +189,10 @@ fn draw(pool: &[&'static Benchmark], k: usize, rng: &mut SplitMix64) -> Vec<&'st
 }
 
 /// Builds one mix of the given category.
+///
+/// # Panics
+/// If `category` is [`Category::Trace`]; trace mixes come from
+/// [`crate::tracemix::TraceSet::build_mixes`], not the synthetic roster.
 pub fn build_mix(category: Category, index: usize, rng: &mut SplitMix64) -> Mix {
     let friendly = spec::friendly();
     let unfriendly = spec::unfriendly();
@@ -140,6 +226,7 @@ pub fn build_mix(category: Category, index: usize, rng: &mut SplitMix64) -> Mix 
             v
         }
         Category::PrefNoAgg => pick_non_agg(8, rng),
+        Category::Trace => panic!("trace mixes are built from trace files, not the roster"),
     };
 
     // Shuffle core placement.
@@ -153,8 +240,14 @@ pub fn build_mix(category: Category, index: usize, rng: &mut SplitMix64) -> Mix 
         Category::PrefAgg => "PrefAgg",
         Category::PrefUnfri => "PrefUnfri",
         Category::PrefNoAgg => "PrefNoAgg",
+        Category::Trace => unreachable!("rejected above"),
     };
-    Mix { name: format!("{label}-{index:02}"), category, benchmarks, seed: rng.next_u64() }
+    Mix {
+        name: format!("{label}-{index:02}"),
+        category,
+        slots: benchmarks.into_iter().map(Slot::Bench).collect(),
+        seed: rng.next_u64(),
+    }
 }
 
 /// Builds the evaluation's full workload set: `per_category` mixes for each
@@ -176,7 +269,7 @@ mod tests {
     use super::*;
 
     fn count_class(m: &Mix, f: impl Fn(&Benchmark) -> bool) -> usize {
-        m.benchmarks.iter().filter(|b| f(b)).count()
+        m.benchmarks().iter().filter(|b| f(b)).count()
     }
 
     #[test]
@@ -202,6 +295,7 @@ mod tests {
                 Category::PrefNoAgg => {
                     assert_eq!((fri, unf, non), (0, 0, 8), "{}", m.name);
                 }
+                Category::Trace => unreachable!("build_mixes never yields trace mixes"),
             }
             assert!(sens >= 2, "{}: needs ≥2 LLC-sensitive, got {sens}", m.name);
         }
@@ -222,8 +316,8 @@ mod tests {
         let b = build_mixes(99, 2);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.name, y.name);
-            let xn: Vec<&str> = x.benchmarks.iter().map(|b| b.name).collect();
-            let yn: Vec<&str> = y.benchmarks.iter().map(|b| b.name).collect();
+            let xn: Vec<&str> = x.slots.iter().map(|s| s.name()).collect();
+            let yn: Vec<&str> = y.slots.iter().map(|s| s.name()).collect();
             assert_eq!(xn, yn);
         }
     }
@@ -236,8 +330,8 @@ mod tests {
             .iter()
             .zip(&b)
             .filter(|(x, y)| {
-                x.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
-                    == y.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
+                x.slots.iter().map(|s| s.name()).collect::<Vec<_>>()
+                    == y.slots.iter().map(|s| s.name()).collect::<Vec<_>>()
             })
             .count();
         assert!(same < a.len(), "seeds must shuffle mixes");
@@ -249,8 +343,30 @@ mod tests {
         let ws = m.instantiate(2560 << 10);
         assert_eq!(ws.len(), 8);
         let names: Vec<&str> = ws.iter().map(|w| w.name()).collect();
-        for (i, b) in m.benchmarks.iter().enumerate() {
-            assert_eq!(names[i], b.name);
+        for (i, s) in m.slots.iter().enumerate() {
+            assert_eq!(names[i], s.name());
+        }
+    }
+
+    #[test]
+    fn trace_slots_replay_inside_their_window() {
+        use cmm_trace::{Op, Trace};
+        let mut t = Trace::new();
+        for i in 0..16u64 {
+            t.push(Op::Load { addr: i * 64, pc: 0x400 });
+        }
+        let slot = Slot::Trace { name: "t0".into(), trace: Arc::new(t) };
+        assert_eq!(slot.name(), "t0");
+        assert!(slot.bench().is_none());
+        let base = 2u64 << WINDOW_SHIFT;
+        let mut w = slot.instantiate(2560 << 10, base, 99);
+        for _ in 0..16 {
+            match w.next() {
+                Op::Load { addr, .. } => {
+                    assert_eq!(addr >> WINDOW_SHIFT, 2, "{addr:#x} outside window");
+                }
+                other => panic!("unexpected op {other:?}"),
+            }
         }
     }
 

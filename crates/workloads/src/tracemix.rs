@@ -1,0 +1,191 @@
+//! Loading directories of trace files into evaluation mixes.
+//!
+//! `--trace-dir` hands the harness a directory of `.trc`/`.trace`/`.txt`
+//! files (binary or text, sniffed by magic). [`TraceSet::load_dir`] loads
+//! and validates them all up front — a corrupt trace fails the run before
+//! any simulation — and [`TraceSet::build_mixes`] packs them into
+//! fixed-width mixes with round-robin wrapping, so any file count maps
+//! onto the evaluation's core count. [`TraceSet::digest`] summarises the
+//! raw file bytes for the checkpoint config digest: resuming against a
+//! different trace set must be refused, exactly like a changed seed.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cmm_trace::binary::fnv1a64;
+use cmm_trace::Trace;
+
+use crate::mix::{Category, Mix, Slot};
+
+/// One loaded trace file.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    /// The file stem, used as the slot/journal label.
+    pub name: String,
+    /// Where it was loaded from.
+    pub path: PathBuf,
+    /// FNV-1a-64 over the raw file bytes (format-sensitive on purpose:
+    /// converting text→binary is a different input artifact).
+    pub checksum: u64,
+    /// The decoded recording.
+    pub trace: Arc<Trace>,
+}
+
+/// All traces from one `--trace-dir`, in sorted-path order.
+#[derive(Debug, Clone)]
+pub struct TraceSet {
+    /// The loaded files, sorted by file name for load-order independence.
+    pub files: Vec<TraceFile>,
+}
+
+/// File extensions recognised as traces.
+const EXTENSIONS: [&str; 3] = ["trc", "trace", "txt"];
+
+impl TraceSet {
+    /// Loads every recognised trace file in `dir`. Errors are strings
+    /// ready for CLI reporting; any unreadable, corrupt, or empty trace
+    /// fails the whole load.
+    pub fn load_dir(dir: &Path) -> Result<TraceSet, String> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read trace dir {}: {e}", dir.display()))?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.is_file()
+                    && p.extension()
+                        .and_then(|x| x.to_str())
+                        .is_some_and(|x| EXTENSIONS.contains(&x))
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!("no trace files (*.trc, *.trace, *.txt) in {}", dir.display()));
+        }
+        let mut files = Vec::with_capacity(paths.len());
+        let mut seen = std::collections::HashSet::new();
+        for path in paths {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(str::to_string)
+                .unwrap_or_else(|| path.display().to_string());
+            if !seen.insert(name.clone()) {
+                return Err(format!("duplicate trace stem {name:?} in {}", dir.display()));
+            }
+            let bytes =
+                std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let trace =
+                Trace::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+            if trace.is_empty() {
+                return Err(format!("{}: trace is empty", path.display()));
+            }
+            files.push(TraceFile { name, path, checksum: fnv1a64(&bytes), trace: Arc::new(trace) });
+        }
+        Ok(TraceSet { files })
+    }
+
+    /// Stable `name:checksum` summary of the whole set, folded into the
+    /// checkpoint config digest so `--resume` refuses a changed trace set.
+    pub fn digest(&self) -> String {
+        let parts: Vec<String> =
+            self.files.iter().map(|f| format!("{}:{:016x}", f.name, f.checksum)).collect();
+        parts.join(",")
+    }
+
+    /// Packs the set into `cores`-wide mixes named `Trace-00`, `Trace-01`,
+    /// …: `ceil(n / cores)` mixes, wrapping round-robin so every group is
+    /// full width and every file appears at least once.
+    pub fn build_mixes(&self, cores: usize) -> Vec<Mix> {
+        assert!(cores > 0, "mixes need at least one core");
+        let n = self.files.len();
+        let groups = n.div_ceil(cores);
+        (0..groups)
+            .map(|g| {
+                let slots: Vec<Slot> = (0..cores)
+                    .map(|i| {
+                        let f = &self.files[(g * cores + i) % n];
+                        Slot::Trace { name: f.name.clone(), trace: f.trace.clone() }
+                    })
+                    .collect();
+                Mix { name: format!("Trace-{g:02}"), category: Category::Trace, slots, seed: 0 }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_trace::Op;
+
+    fn sample_trace(salt: u64) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..32u64 {
+            t.push(Op::Load { addr: (salt + i) * 64, pc: 0x400 });
+        }
+        t
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cmm_tracemix_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn loads_text_and_binary_and_orders_by_name() {
+        let dir = tmp_dir("load");
+        std::fs::write(dir.join("b.trc"), sample_trace(100).to_binary()).unwrap();
+        std::fs::write(dir.join("a.txt"), sample_trace(1).to_text()).unwrap();
+        std::fs::write(dir.join("ignored.json"), "{}").unwrap();
+        let set = TraceSet::load_dir(&dir).unwrap();
+        let names: Vec<&str> = set.files.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(set.files[0].trace.len(), 32);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_empty_and_missing() {
+        let dir = tmp_dir("reject");
+        assert!(TraceSet::load_dir(&dir).unwrap_err().contains("no trace files"));
+        std::fs::write(dir.join("bad.trc"), b"CMMTgarbage").unwrap();
+        assert!(TraceSet::load_dir(&dir).is_err());
+        std::fs::remove_file(dir.join("bad.trc")).unwrap();
+        std::fs::write(dir.join("empty.txt"), "# nothing\n").unwrap();
+        assert!(TraceSet::load_dir(&dir).unwrap_err().contains("empty"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn digest_tracks_file_bytes() {
+        let dir = tmp_dir("digest");
+        std::fs::write(dir.join("a.trc"), sample_trace(1).to_binary()).unwrap();
+        let d1 = TraceSet::load_dir(&dir).unwrap().digest();
+        let d1_again = TraceSet::load_dir(&dir).unwrap().digest();
+        assert_eq!(d1, d1_again, "digest must be stable");
+        std::fs::write(dir.join("a.trc"), sample_trace(2).to_binary()).unwrap();
+        let d2 = TraceSet::load_dir(&dir).unwrap().digest();
+        assert_ne!(d1, d2, "changed trace bytes must change the digest");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_mixes_wraps_round_robin() {
+        let dir = tmp_dir("mixes");
+        for i in 0..3 {
+            std::fs::write(dir.join(format!("t{i}.trc")), sample_trace(i).to_binary()).unwrap();
+        }
+        let set = TraceSet::load_dir(&dir).unwrap();
+        let mixes = set.build_mixes(2);
+        assert_eq!(mixes.len(), 2);
+        assert_eq!(mixes[0].name, "Trace-00");
+        assert_eq!(mixes[0].category, Category::Trace);
+        let names: Vec<&str> =
+            mixes.iter().flat_map(|m| m.slots.iter().map(|s| s.name())).collect();
+        assert_eq!(names, ["t0", "t1", "t2", "t0"], "wrap fills the last mix");
+        assert!(mixes.iter().all(|m| m.num_cores() == 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -92,12 +92,12 @@ proptest! {
     fn mixes_valid_for_any_seed(seed in any::<u64>()) {
         for mix in build_mixes(seed, 2) {
             prop_assert_eq!(mix.num_cores(), 8);
-            let sensitive = mix.benchmarks.iter().filter(|b| b.class.llc_sensitive).count();
+            let sensitive = mix.benchmarks().iter().filter(|b| b.class.llc_sensitive).count();
             prop_assert!(sensitive >= 2, "{}: {sensitive}", mix.name);
             // Instantiation must not panic and must preserve names.
             let ws = mix.instantiate(2560 << 10);
-            for (w, b) in ws.iter().zip(&mix.benchmarks) {
-                prop_assert_eq!(w.name(), b.name);
+            for (w, s) in ws.iter().zip(&mix.slots) {
+                prop_assert_eq!(w.name(), s.name());
             }
         }
     }

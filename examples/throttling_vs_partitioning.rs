@@ -24,7 +24,7 @@ fn main() {
     println!(
         "workload {}: {:?}\n",
         mix.name,
-        mix.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
+        mix.slots.iter().map(|s| s.name()).collect::<Vec<_>>()
     );
 
     let cfg = ExperimentConfig::default();

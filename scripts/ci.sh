@@ -172,6 +172,50 @@ smoke_kill_resume() {
 }
 step "repro kill-and-resume smoke (byte-identical convergence)" smoke_kill_resume
 
+smoke_trace() {
+    # Trace pipeline gate: record -> convert (binary -> text -> binary,
+    # byte-identical) -> trace-driven eval whose stdout AND journal are
+    # byte-identical across job counts -> resume refusal on a different
+    # trace set.
+    ./target/release/repro trace record "$tmp/traces" --ops 20000 --seed 42 \
+        > "$tmp/trace-record.txt"
+    grep -q 'Recorded PrefAgg-00' "$tmp/trace-record.txt"
+    [ "$(ls "$tmp/traces"/*.trc | wc -l)" -eq 8 ]
+    first="$(ls "$tmp/traces"/*.trc | head -1)"
+    ./target/release/repro trace convert "$first" "$tmp/roundtrip.txt" 2> /dev/null
+    ./target/release/repro trace convert "$tmp/roundtrip.txt" "$tmp/roundtrip.trc" 2> /dev/null
+    cmp "$first" "$tmp/roundtrip.trc"
+    ./target/release/repro trace stat "$tmp/traces"/*.trc > "$tmp/trace-stat.txt"
+    grep -q 'est MLP' "$tmp/trace-stat.txt"
+    # Trace-driven evaluation: the determinism contract holds for traces.
+    ./target/release/repro fig7 --quick --trace-dir "$tmp/traces" \
+        --jobs "$SMOKE_JOBS" --bench-json "$tmp/BENCH_trace.json" \
+        --journal "$tmp/trace.jobsN.jsonl" > "$tmp/trace.jobsN.txt"
+    ./target/release/repro fig7 --quick --trace-dir "$tmp/traces" \
+        --jobs 1 --bench-json "$tmp/BENCH_trace.1.json" \
+        --journal "$tmp/trace.jobs1.jsonl" > "$tmp/trace.jobs1.txt"
+    cmp "$tmp/trace.jobs1.txt" "$tmp/trace.jobsN.txt"
+    cmp "$tmp/trace.jobs1.jsonl" "$tmp/trace.jobsN.jsonl"
+    grep -q '"run":"Trace-00' "$tmp/trace.jobs1.jsonl"
+    # The trace set is part of the run identity: resuming against a
+    # different set must be refused (exit 2), not silently spliced.
+    ./target/release/repro fig7 --quick --trace-dir "$tmp/traces" \
+        --jobs "$SMOKE_JOBS" --resume "$tmp/trace.ckpt" \
+        --bench-json "$tmp/BENCH_trace_a.json" --journal "$tmp/trace_a.jsonl" \
+        > /dev/null 2>&1
+    ./target/release/repro trace record "$tmp/traces2" --ops 20000 --seed 99 \
+        > /dev/null
+    if ./target/release/repro fig7 --quick --trace-dir "$tmp/traces2" \
+        --jobs "$SMOKE_JOBS" --resume "$tmp/trace.ckpt" \
+        --bench-json "$tmp/BENCH_trace_b.json" --journal "$tmp/trace_b.jsonl" \
+        > /dev/null 2> "$tmp/trace-refuse.err"; then
+        echo "resume accepted a checkpoint from a different trace set" >&2
+        return 1
+    fi
+    grep -q -- '--resume:' "$tmp/trace-refuse.err"
+}
+step "repro trace smoke (record/convert/stat, trace-dir determinism, resume refusal)" smoke_trace
+
 step "repro soak (chaos: panic retry, failure isolation, kill + resume)" \
     ./target/release/repro soak --jobs "$SMOKE_JOBS"
 
