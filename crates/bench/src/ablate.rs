@@ -9,7 +9,7 @@
 //! Each ablation runs one Pref Agg and one Pref Unfri mix under CMM-a and
 //! reports HS normalized to that configuration's own baseline.
 
-use cmm_core::experiment::{run_alone_ipcs, run_mix, ExperimentConfig};
+use cmm_core::experiment::{run_alone_ipcs, run_mix_pooled, ExperimentConfig, WarmupPool};
 use cmm_core::policy::Mechanism;
 use cmm_metrics::harmonic_speedup;
 use cmm_workloads::{build_mixes, Category, Mix};
@@ -25,14 +25,25 @@ pub struct AblationPoint {
     pub mix: String,
     /// CMM-a HS normalized to the same-configuration baseline.
     pub norm_hs: f64,
+    /// Controller decision telemetry of the CMM-a run (feeds the
+    /// `--journal` run journal).
+    pub epochs: Vec<cmm_core::telemetry::EpochRecord>,
 }
 
 fn eval_point(setting: &str, mix: &Mix, cfg: &ExperimentConfig) -> AblationPoint {
+    // Baseline and CMM-a share one warm-up via the pool (the pool is local
+    // to this point because every sweep point runs a different config).
+    let pool = WarmupPool::new();
     let alone = run_alone_ipcs(mix, cfg);
-    let base = run_mix(mix, Mechanism::Baseline, cfg);
-    let cmm = run_mix(mix, Mechanism::CmmA, cfg);
+    let base = run_mix_pooled(&pool, mix, Mechanism::Baseline, cfg);
+    let cmm = run_mix_pooled(&pool, mix, Mechanism::CmmA, cfg);
     let norm_hs = harmonic_speedup(&alone, &cmm.ipcs) / harmonic_speedup(&alone, &base.ipcs);
-    AblationPoint { setting: setting.to_string(), mix: mix.name.clone(), norm_hs }
+    AblationPoint {
+        setting: setting.to_string(),
+        mix: mix.name.clone(),
+        norm_hs,
+        epochs: cmm.epochs,
+    }
 }
 
 /// The default ablation workloads: one Pref Agg and one Pref Unfri mix.

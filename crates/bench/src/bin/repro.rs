@@ -36,7 +36,7 @@
 //! different trace set.
 //!
 //! CI subcommands (no simulation):
-//!   bench-compare <baseline.json> <current.json> [--noise F]
+//!   bench-compare <baseline.json> <current.json> [--noise F] [--scps-floor N]
 //!            diff two BENCH_sim.json perf logs; exit 1 on regression
 //!   journal-summary <journal.jsonl> [--csv PATH]
 //!            pretty-print a cmm-journal/1 or /2 run journal; --csv also
@@ -112,6 +112,9 @@ struct Args {
     bench_json: std::path::PathBuf,
     journal: std::path::PathBuf,
     noise: f64,
+    /// `bench-compare`: hard floor on each current target's
+    /// `sim_cycles_per_s` (the CI `smoke_perf` gate).
+    scps_floor: Option<f64>,
     resume: Option<std::path::PathBuf>,
     attempts: u32,
     trace_dir: Option<std::path::PathBuf>,
@@ -135,6 +138,7 @@ fn parse_args() -> Args {
     let mut bench_json = std::path::PathBuf::from("BENCH_sim.json");
     let mut journal = std::path::PathBuf::from("JOURNAL_sim.jsonl");
     let mut noise = compare::DEFAULT_NOISE;
+    let mut scps_floor = None;
     let mut resume = None;
     let mut attempts = DEFAULT_ATTEMPTS;
     let mut trace_dir = None;
@@ -158,6 +162,13 @@ fn parse_args() -> Args {
             }
             "--noise" => {
                 noise = it.next().and_then(|v| v.parse().ok()).expect("--noise needs a fraction")
+            }
+            "--scps-floor" => {
+                scps_floor = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scps-floor needs sim-cycles/s"),
+                )
             }
             "--mixes" => {
                 mixes =
@@ -232,7 +243,8 @@ fn parse_args() -> Args {
                      repro trace convert <in> <out>\n       \
                      repro trace stat <file>...\n       \
                      repro soak [--jobs N]\n       \
-                     repro bench-compare <baseline.json> <current.json> [--noise F]\n       \
+                     repro bench-compare <baseline.json> <current.json> [--noise F] \
+                     [--scps-floor N]\n       \
                      repro journal-summary <journal.jsonl> [--csv PATH]\n       \
                      repro journal-diff <a.jsonl> <b.jsonl>\n\n\
                      crash safety: --resume CKPT keeps a cmm-ckpt/1 sidecar of completed\n\
@@ -267,6 +279,7 @@ fn parse_args() -> Args {
         bench_json,
         journal,
         noise,
+        scps_floor,
         resume,
         attempts,
         trace_dir,
@@ -284,7 +297,10 @@ fn run_bench_compare(args: &Args) -> i32 {
     let [base_path, cur_path] = match args.operands.as_slice() {
         [b, c] => [b, c],
         _ => {
-            eprintln!("usage: repro bench-compare <baseline.json> <current.json> [--noise F]");
+            eprintln!(
+                "usage: repro bench-compare <baseline.json> <current.json> \
+                 [--noise F] [--scps-floor N]"
+            );
             return 2;
         }
     };
@@ -304,12 +320,24 @@ fn run_bench_compare(args: &Args) -> i32 {
     }
     let deltas = compare::compare(&base, &cur, args.noise);
     print!("{}", compare::render(&deltas, args.noise));
+    let mut failed = false;
     if compare::any_regression(&deltas) {
         eprintln!("bench-compare: REGRESSION over {base_path}");
-        1
-    } else {
-        0
+        failed = true;
     }
+    // --scps-floor: absolute throughput gate on the *current* log, the CI
+    // smoke_perf hard floor (the relative sim-cyc/s column stays advisory).
+    if let Some(floor) = args.scps_floor {
+        for (name, scps) in compare::below_scps_floor(&cur, floor) {
+            eprintln!(
+                "bench-compare: {name}: {:.1}M sim-cycles/s below the {:.1}M floor",
+                scps / 1e6,
+                floor / 1e6
+            );
+            failed = true;
+        }
+    }
+    i32::from(failed)
 }
 
 /// `repro journal-summary <journal.jsonl> [--csv PATH]`: exit 0 on
@@ -684,7 +712,7 @@ fn print_eval_target(target: &str, eval: &Evaluation, csv: &Option<std::path::Pa
     }
 }
 
-fn run_ablations(args: &Args, trace_set: Option<&TraceSet>, log: &Progress) {
+fn run_ablations(args: &Args, trace_set: Option<&TraceSet>, log: &Progress) -> Vec<JournalCell> {
     let mut cfg = if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
     if args.quick {
         cfg.total_cycles = 1_000_000;
@@ -693,32 +721,42 @@ fn run_ablations(args: &Args, trace_set: Option<&TraceSet>, log: &Progress) {
         Some(set) => set.build_mixes(8),
         None => ablate::default_mixes(),
     };
-    let dump = |title: &str, pts: &[ablate::AblationPoint]| {
+    let mut cells: Vec<JournalCell> = Vec::new();
+    let mut dump = |title: &str, sweep: &str, pts: Vec<ablate::AblationPoint>| {
         let rows: Vec<Vec<String>> = pts
             .iter()
             .map(|p| vec![p.setting.clone(), p.mix.clone(), format!("{:.3}", p.norm_hs)])
             .collect();
         print!("{}", report::table(title, &["setting", "workload", "CMM-a norm. HS"], &rows));
+        // The journal records the CMM-a decision telemetry of every grid
+        // point, labelled by sweep and setting.
+        for p in pts {
+            cells.push((format!("{sweep}[{}] {}: CMM-a", p.setting, p.mix), p.epochs));
+        }
     };
     log.note("ablation: partition scale");
     dump(
         "Ablation — partition sizing factor (paper: 1.5×)",
-        &ablate::ablate_partition_scale(&cfg, &mixes, args.jobs),
+        "partition-scale",
+        ablate::ablate_partition_scale(&cfg, &mixes, args.jobs),
     );
     log.note("ablation: epoch ratio");
     dump(
         "Ablation — execution-epoch : sampling-interval ratio (paper: 50:1)",
-        &ablate::ablate_epoch_ratio(&cfg, &mixes, args.jobs),
+        "epoch-ratio",
+        ablate::ablate_epoch_ratio(&cfg, &mixes, args.jobs),
     );
     log.note("ablation: QBS");
     dump(
         "Ablation — inclusive-LLC QBS victim selection",
-        &ablate::ablate_qbs(&cfg, &mixes, args.jobs),
+        "qbs",
+        ablate::ablate_qbs(&cfg, &mixes, args.jobs),
     );
+    cells
 }
 
-fn run_extension(args: &Args, log: &Progress) {
-    use cmm_core::experiment::{run_alone_ipcs, run_mix};
+fn run_extension(args: &Args, log: &Progress) -> Vec<JournalCell> {
+    use cmm_core::experiment::{run_alone_ipcs, run_mix_pooled, WarmupPool};
     let cfg = if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
     let mixes: Vec<Mix> = build_mixes(args.seed, 2)
         .into_iter()
@@ -729,22 +767,33 @@ fn run_extension(args: &Args, log: &Progress) {
             )
         })
         .collect();
-    let rows: Vec<Vec<String>> = parallel_map(&mixes, args.jobs, |_, mix| {
-        log.cell(&format!("extension: {}", mix.name), || {
-            let alone = run_alone_ipcs(mix, &cfg);
-            let base = run_mix(mix, Mechanism::Baseline, &cfg);
-            let hs_base = cmm_metrics::harmonic_speedup(&alone, &base.ipcs);
-            let mut row = vec![mix.name.clone()];
-            for mech in [Mechanism::Pt, Mechanism::PtFine] {
-                let r = run_mix(mix, mech, &cfg);
-                let hs = cmm_metrics::harmonic_speedup(&alone, &r.ipcs) / hs_base;
-                let wc = cmm_metrics::worst_case_speedup(&r.ipcs, &base.ipcs);
-                row.push(format!("{hs:.3}"));
-                row.push(format!("{wc:.3}"));
-            }
-            row
-        })
-    });
+    let results: Vec<(Vec<String>, Vec<JournalCell>)> =
+        parallel_map(&mixes, args.jobs, |_, mix| {
+            log.cell(&format!("extension: {}", mix.name), || {
+                let pool = WarmupPool::new();
+                let alone = run_alone_ipcs(mix, &cfg);
+                let base = run_mix_pooled(&pool, mix, Mechanism::Baseline, &cfg);
+                let hs_base = cmm_metrics::harmonic_speedup(&alone, &base.ipcs);
+                let mut row = vec![mix.name.clone()];
+                let mut cells =
+                    vec![(format!("{}: {}", mix.name, Mechanism::Baseline.label()), base.epochs)];
+                for mech in [Mechanism::Pt, Mechanism::PtFine] {
+                    let r = run_mix_pooled(&pool, mix, mech, &cfg);
+                    let hs = cmm_metrics::harmonic_speedup(&alone, &r.ipcs) / hs_base;
+                    let wc = cmm_metrics::worst_case_speedup(&r.ipcs, &base.ipcs);
+                    row.push(format!("{hs:.3}"));
+                    row.push(format!("{wc:.3}"));
+                    cells.push((format!("{}: {}", mix.name, mech.label()), r.epochs));
+                }
+                (row, cells)
+            })
+        });
+    let mut rows = Vec::with_capacity(results.len());
+    let mut cells = Vec::new();
+    for (row, mix_cells) in results {
+        rows.push(row);
+        cells.extend(mix_cells);
+    }
     print!(
         "{}",
         report::table(
@@ -753,6 +802,7 @@ fn run_extension(args: &Args, log: &Progress) {
             &rows,
         )
     );
+    cells
 }
 
 /// Reports cells that exhausted their attempt budget; the run continues to
@@ -893,7 +943,7 @@ fn main() {
                 if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
             let per_point =
                 8 * (e.warmup_cycles + e.alone_cycles) + 2 * (e.warmup_cycles + e.total_cycles) * 8;
-            bench.measure("ablate", 18 * 10, 18 * per_point, || {
+            cells = bench.measure("ablate", 18 * 10, 18 * per_point, || {
                 run_ablations(&args, trace_set.as_ref(), &log)
             });
         }
@@ -902,7 +952,7 @@ fn main() {
                 if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
             let per_mix =
                 8 * (e.warmup_cycles + e.alone_cycles) + 3 * (e.warmup_cycles + e.total_cycles) * 8;
-            bench.measure("extension", 4 * 11, 4 * per_mix, || run_extension(&args, &log));
+            cells = bench.measure("extension", 4 * 11, 4 * per_mix, || run_extension(&args, &log));
         }
         "faults" => {
             let e =

@@ -26,6 +26,12 @@ pub const BENCH_SCHEMA: &str = "cmm-bench-sim/1";
 /// Default relative noise threshold (±10 %).
 pub const DEFAULT_NOISE: f64 = 0.10;
 
+/// Advisory noise threshold for per-target `sim_cycles_per_s` deltas.
+/// Throughput drops beyond this are called out in the delta table but do
+/// not trip [`any_regression`] — wall-clock is the binding gate; the hard
+/// throughput floor lives in the CI `smoke_perf` step.
+pub const SCPS_NOISE: f64 = 0.10;
+
 /// One target's numbers from a perf log.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchTarget {
@@ -35,6 +41,9 @@ pub struct BenchTarget {
     pub wall_s: f64,
     /// Evaluation cells per second (throughput; informational).
     pub cells_per_s: f64,
+    /// Simulated core-cycles per second (simulator hot-loop throughput;
+    /// gated advisorily, see [`SCPS_NOISE`]).
+    pub sim_cycles_per_s: f64,
 }
 
 /// A parsed `BENCH_sim.json` document.
@@ -66,7 +75,8 @@ pub fn parse_doc(text: &str) -> Result<BenchDoc, String> {
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("target {name} without wall_s"))?;
         let cells_per_s = t.get("cells_per_s").and_then(Json::as_f64).unwrap_or(0.0);
-        targets.push(BenchTarget { name, wall_s, cells_per_s });
+        let sim_cycles_per_s = t.get("sim_cycles_per_s").and_then(Json::as_f64).unwrap_or(0.0);
+        targets.push(BenchTarget { name, wall_s, cells_per_s, sim_cycles_per_s });
     }
     Ok(BenchDoc { quick, targets })
 }
@@ -120,6 +130,12 @@ pub struct Delta {
     pub ratio: Option<f64>,
     /// The verdict under the configured noise threshold.
     pub verdict: Verdict,
+    /// `cur/base` simulated-cycles-per-second ratio, when both sides
+    /// report one.
+    pub scps_ratio: Option<f64>,
+    /// Advisory verdict on the throughput ratio under [`SCPS_NOISE`];
+    /// never feeds [`any_regression`].
+    pub scps_verdict: Option<Verdict>,
 }
 
 /// Compares `cur` against `base` under a relative `noise` threshold.
@@ -135,6 +151,8 @@ pub fn compare(base: &BenchDoc, cur: &BenchDoc, noise: f64) -> Vec<Delta> {
                 cur_wall: None,
                 ratio: None,
                 verdict: Verdict::Missing,
+                scps_ratio: None,
+                scps_verdict: None,
             },
             Some(c) if b.wall_s > 0.0 => {
                 let ratio = c.wall_s / b.wall_s;
@@ -145,12 +163,15 @@ pub fn compare(base: &BenchDoc, cur: &BenchDoc, noise: f64) -> Vec<Delta> {
                 } else {
                     Verdict::Within
                 };
+                let (scps_ratio, scps_verdict) = scps_delta(b, c);
                 Delta {
                     name: b.name.clone(),
                     base_wall: Some(b.wall_s),
                     cur_wall: Some(c.wall_s),
                     ratio: Some(ratio),
                     verdict,
+                    scps_ratio,
+                    scps_verdict,
                 }
             }
             // Degenerate baseline (0s wall): nothing meaningful to gate on.
@@ -160,6 +181,8 @@ pub fn compare(base: &BenchDoc, cur: &BenchDoc, noise: f64) -> Vec<Delta> {
                 cur_wall: Some(c.wall_s),
                 ratio: None,
                 verdict: Verdict::Within,
+                scps_ratio: None,
+                scps_verdict: None,
             },
         };
         deltas.push(row);
@@ -172,15 +195,55 @@ pub fn compare(base: &BenchDoc, cur: &BenchDoc, noise: f64) -> Vec<Delta> {
                 cur_wall: Some(c.wall_s),
                 ratio: None,
                 verdict: Verdict::New,
+                scps_ratio: None,
+                scps_verdict: None,
             });
         }
     }
     deltas
 }
 
+/// Simulator-throughput delta of one matched target pair: the
+/// `cur/base` `sim_cycles_per_s` ratio and its advisory verdict under
+/// [`SCPS_NOISE`]. Absent when either side predates the field (logs
+/// written before throughput tracking report 0).
+fn scps_delta(b: &BenchTarget, c: &BenchTarget) -> (Option<f64>, Option<Verdict>) {
+    if b.sim_cycles_per_s <= 0.0 || c.sim_cycles_per_s <= 0.0 {
+        return (None, None);
+    }
+    let ratio = c.sim_cycles_per_s / b.sim_cycles_per_s;
+    // Throughput: higher is better, so the verdict thresholds invert
+    // relative to wall-clock.
+    let verdict = if ratio < 1.0 - SCPS_NOISE {
+        Verdict::Regressed
+    } else if ratio > 1.0 + SCPS_NOISE {
+        Verdict::Improved
+    } else {
+        Verdict::Within
+    };
+    (Some(ratio), Some(verdict))
+}
+
 /// True when any row fails the gate (regressed or missing).
 pub fn any_regression(deltas: &[Delta]) -> bool {
     deltas.iter().any(|d| matches!(d.verdict, Verdict::Regressed | Verdict::Missing))
+}
+
+/// Targets in `doc` whose `sim_cycles_per_s` sits below `floor` — the
+/// hard throughput gate behind `bench-compare --scps-floor` and the CI
+/// `smoke_perf` step. Unlike the relative advisory ([`SCPS_NOISE`]), the
+/// floor is absolute and conservative, so it survives noisy runners while
+/// still catching order-of-magnitude hot-loop regressions.
+///
+/// A target reporting no throughput at all (0, i.e. a log written before
+/// the field existed) also fails: the gate is only ever pointed at fresh
+/// logs, so a missing field means the instrumentation itself regressed.
+pub fn below_scps_floor(doc: &BenchDoc, floor: f64) -> Vec<(String, f64)> {
+    doc.targets
+        .iter()
+        .filter(|t| t.sim_cycles_per_s < floor)
+        .map(|t| (t.name.clone(), t.sim_cycles_per_s))
+        .collect()
 }
 
 /// Renders the human-readable delta table.
@@ -197,12 +260,20 @@ pub fn render(deltas: &[Delta], noise: f64) -> String {
                     .map(|r| format!("{:+.1}%", (r - 1.0) * 100.0))
                     .unwrap_or_else(|| "-".into()),
                 d.verdict.label().to_string(),
+                d.scps_ratio
+                    .map(|r| format!("{:+.1}%", (r - 1.0) * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+                d.scps_verdict.map(|v| v.label().to_string()).unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();
     crate::report::table(
-        &format!("bench-compare — wall-clock vs baseline (noise ±{:.0}%)", noise * 100.0),
-        &["target", "baseline", "current", "delta", "verdict"],
+        &format!(
+            "bench-compare — wall-clock vs baseline (noise ±{:.0}%; sim-cyc/s advisory ±{:.0}%)",
+            noise * 100.0,
+            SCPS_NOISE * 100.0
+        ),
+        &["target", "baseline", "current", "delta", "verdict", "sim-cyc/s", "advisory"],
         &rows,
     )
 }
@@ -220,6 +291,7 @@ mod tests {
                     name: name.into(),
                     wall_s,
                     cells_per_s: 1.0 / wall_s.max(1e-9),
+                    sim_cycles_per_s: 1e6 / wall_s.max(1e-9),
                 })
                 .collect(),
         }
@@ -244,6 +316,51 @@ mod tests {
         // One ulp above the threshold regresses.
         let cur2 = doc(&[("t", 11.000001)]);
         assert_eq!(compare(&base, &cur2, 0.10)[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn throughput_drop_is_advisory_only() {
+        let base = doc(&[("t", 10.0)]);
+        let mut cur = doc(&[("t", 10.0)]);
+        cur.targets[0].sim_cycles_per_s = base.targets[0].sim_cycles_per_s * 0.5;
+        let deltas = compare(&base, &cur, DEFAULT_NOISE);
+        assert_eq!(deltas[0].verdict, Verdict::Within);
+        assert_eq!(deltas[0].scps_verdict, Some(Verdict::Regressed));
+        assert!(!any_regression(&deltas), "throughput advisory must not trip the gate");
+    }
+
+    #[test]
+    fn throughput_gain_reported_as_improved() {
+        let base = doc(&[("t", 10.0)]);
+        let mut cur = doc(&[("t", 10.0)]);
+        cur.targets[0].sim_cycles_per_s = base.targets[0].sim_cycles_per_s * 3.0;
+        let deltas = compare(&base, &cur, DEFAULT_NOISE);
+        assert_eq!(deltas[0].scps_verdict, Some(Verdict::Improved));
+        assert!((deltas[0].scps_ratio.unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_throughput_field_degrades_gracefully() {
+        // Perf logs written before throughput tracking parse as 0.
+        let base = doc(&[("t", 10.0)]);
+        let mut cur = doc(&[("t", 10.0)]);
+        cur.targets[0].sim_cycles_per_s = 0.0;
+        let deltas = compare(&base, &cur, DEFAULT_NOISE);
+        assert_eq!(deltas[0].scps_verdict, None);
+        assert_eq!(deltas[0].scps_ratio, None);
+        assert!(!any_regression(&deltas));
+    }
+
+    #[test]
+    fn scps_floor_flags_slow_and_unreported_targets() {
+        let d = doc(&[("t", 10.0), ("u", 1.0)]); // 1e5 and 1e6 cyc/s
+        assert!(below_scps_floor(&d, 1e4).is_empty());
+        let below = below_scps_floor(&d, 5e5);
+        assert_eq!(below, vec![("t".to_string(), 1e5)]);
+        // A fresh log that stopped reporting throughput fails the floor.
+        let mut stale = doc(&[("t", 10.0)]);
+        stale.targets[0].sim_cycles_per_s = 0.0;
+        assert_eq!(below_scps_floor(&stale, 5e5).len(), 1);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 
-use cmm_core::experiment::{run_alone_ipc, run_mix, ExperimentConfig, MixResult};
+use cmm_core::experiment::{
+    run_alone_ipc, run_mix_pooled, ExperimentConfig, MixResult, WarmupPool,
+};
 use cmm_core::policy::Mechanism;
 use cmm_metrics as met;
 use cmm_workloads::{build_mixes, Category, Mix, Slot};
@@ -210,6 +212,10 @@ pub fn evaluate_resumable(
             cells.push((mi, m));
         }
     }
+    // One warm-up pool for the whole matrix: warm-up is uncontrolled, so
+    // the baseline and every mechanism trial of a mix restore from one
+    // shared snapshot instead of each re-simulating the warm-up.
+    let pool = WarmupPool::new();
     let matrix_run = run_cells(
         &cells,
         cfg.jobs,
@@ -223,7 +229,9 @@ pub fn evaluate_resumable(
         },
         |_, &(mi, m)| {
             let mix = &mixes[mi];
-            log.cell(&format!("{}: {}", mix.name, m.label()), || run_mix(mix, m, &cfg.exp))
+            log.cell(&format!("{}: {}", mix.name, m.label()), || {
+                run_mix_pooled(&pool, mix, m, &cfg.exp)
+            })
         },
     );
     if matrix_run.resumed + alone_resumed > 0 {

@@ -108,17 +108,30 @@ fn build_system(mix: &Mix, cfg: &ExperimentConfig) -> System {
 /// transiently corrupted boundary snapshot on a faulty substrate degrades
 /// to a re-read instead of poisoning the whole run's IPCs.
 pub fn run_mix_on<S: Substrate>(
+    mut sys: S,
+    mix: &Mix,
+    mechanism: Mechanism,
+    cfg: &ExperimentConfig,
+) -> MixResult {
+    // Warm-up outside the measurement window, uncontrolled. The driver is
+    // constructed afterwards but has no machine side effects, so warming
+    // before or after wrapping is indistinguishable.
+    if cfg.warmup_cycles > 0 {
+        sys.run(cfg.warmup_cycles);
+    }
+    run_mix_on_warmed(sys, mix, mechanism, cfg)
+}
+
+/// [`run_mix_on`] for a substrate that has already been warmed up (or that
+/// deliberately starts cold): runs only the measurement window. This is
+/// the restore path of warm-up sharing — see [`WarmupPool`].
+pub fn run_mix_on_warmed<S: Substrate>(
     sys: S,
     mix: &Mix,
     mechanism: Mechanism,
     cfg: &ExperimentConfig,
 ) -> MixResult {
     let mut driver = Driver::new(sys, mechanism, cfg.ctrl.clone());
-
-    // Warm-up outside the measurement window, uncontrolled.
-    if cfg.warmup_cycles > 0 {
-        driver.system_mut().run(cfg.warmup_cycles);
-    }
     let mut window_log = Vec::new();
     let before = crate::backend::pmu_read_stable(driver.system_mut(), &mut window_log);
     let traffic_before: u64 =
@@ -148,6 +161,91 @@ pub fn run_mix_on<S: Substrate>(
 /// the measurement-window statistics.
 pub fn run_mix(mix: &Mix, mechanism: Mechanism, cfg: &ExperimentConfig) -> MixResult {
     run_mix_on(build_system(mix, cfg), mix, mechanism, cfg)
+}
+
+/// Shares warm-up simulation across the mechanism trials of each mix.
+///
+/// Warm-up runs uncontrolled — no mechanism programs an MSR before the
+/// measurement window — so the post-warm-up machine state depends only on
+/// the mix and the [`ExperimentConfig`]. The pool simulates that warm-up
+/// once per mix, captures it with [`System::snapshot`], and hands every
+/// subsequent trial of the same mix a restored copy: a `(mix, N
+/// mechanisms)` evaluation pays for one warm-up instead of `N`, with
+/// byte-identical results (a restored machine *is* the warmed machine).
+///
+/// One pool serves one `ExperimentConfig`; snapshots are keyed by mix name
+/// only, so callers sweeping configs must use one pool per sweep point.
+/// Mixes whose workloads cannot be cloned (no
+/// [`cmm_sim::Workload::try_clone_box`] support) fall back to a fresh
+/// warm-up per trial, transparently.
+#[derive(Default)]
+pub struct WarmupPool {
+    // Snapshots are only ever touched under the lock (restore() is a
+    // memcpy, negligible next to a trial), which keeps the pool `Sync`
+    // without demanding `Sync` workloads.
+    snaps: std::sync::Mutex<std::collections::HashMap<String, WarmupEntry>>,
+}
+
+enum WarmupEntry {
+    /// Warm-up captured; every trial restores from here. Boxed so the
+    /// common `Uncloneable` probe doesn't pay the snapshot's footprint.
+    Shared(Box<cmm_sim::SystemSnapshot>),
+    /// Workloads not cloneable: each trial re-warms from scratch.
+    Uncloneable,
+}
+
+impl WarmupPool {
+    /// An empty pool for one evaluation's `ExperimentConfig`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, std::collections::HashMap<String, WarmupEntry>> {
+        // A panicking trial must not wedge every later trial of the run on
+        // a poisoned lock; the map is always in a consistent state.
+        self.snaps.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A machine for `mix` with warm-up already applied: restored from the
+    /// pooled snapshot when available, freshly built and warmed otherwise.
+    fn warmed_system(&self, mix: &Mix, cfg: &ExperimentConfig) -> System {
+        match self.lock().get(&mix.name) {
+            Some(WarmupEntry::Shared(snap)) => return snap.restore(),
+            Some(WarmupEntry::Uncloneable) | None => {}
+        }
+        // Warm up with the lock released (it is the expensive part). Two
+        // trials of one mix may race here; the first insert wins and the
+        // states are identical either way (warm-up is deterministic).
+        let mut sys = build_system(mix, cfg);
+        if cfg.warmup_cycles > 0 {
+            sys.run(cfg.warmup_cycles);
+        }
+        let mut guard = self.lock();
+        if let std::collections::hash_map::Entry::Vacant(v) = guard.entry(mix.name.clone()) {
+            v.insert(match sys.snapshot() {
+                Some(snap) => WarmupEntry::Shared(Box::new(snap)),
+                None => WarmupEntry::Uncloneable,
+            });
+        }
+        sys
+    }
+
+    /// Drops the pooled warm-up state of `mix` (frees its snapshot once
+    /// all the mix's trials have completed).
+    pub fn evict(&self, mix_name: &str) {
+        self.lock().remove(mix_name);
+    }
+}
+
+/// [`run_mix`] with warm-up shared through `pool`: identical results, one
+/// warm-up simulation per mix instead of one per (mix, mechanism).
+pub fn run_mix_pooled(
+    pool: &WarmupPool,
+    mix: &Mix,
+    mechanism: Mechanism,
+    cfg: &ExperimentConfig,
+) -> MixResult {
+    run_mix_on_warmed(pool.warmed_system(mix, cfg), mix, mechanism, cfg)
 }
 
 /// Like [`run_mix`], but over a [`FaultySubstrate`] injecting the given

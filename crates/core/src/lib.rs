@@ -46,7 +46,9 @@ pub mod telemetry;
 pub mod prelude {
     pub use crate::backend::{partition_ways, PartitionPlan};
     pub use crate::driver::Driver;
-    pub use crate::experiment::{run_alone_ipc, run_mix, ExperimentConfig, MixResult};
+    pub use crate::experiment::{
+        run_alone_ipc, run_mix, run_mix_pooled, ExperimentConfig, MixResult, WarmupPool,
+    };
     pub use crate::fault::{FaultConfig, FaultySubstrate};
     pub use crate::frontend::{detect_agg, metrics, DetectorConfig, Metrics};
     pub use crate::policy::{ControllerConfig, Mechanism};

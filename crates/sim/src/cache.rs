@@ -56,6 +56,7 @@ pub struct CacheStats {
 }
 
 /// A set-associative, write-back, LRU cache.
+#[derive(Clone)]
 pub struct Cache {
     sets: u64,
     ways: usize,
@@ -211,11 +212,15 @@ impl Cache {
         let usable = alloc_mask & Self::low_ways_mask(self.ways);
         debug_assert!(usable != 0, "allocation mask selects no way");
 
-        // Single packed pass over the set: detect a hit on `line` and note
-        // the first usable invalid way at the same time, instead of one
-        // `find` pass followed by a victim-selection pass.
+        // Single packed pass over the set: detect a hit on `line`, note the
+        // first usable invalid way, and track the LRU (min-stamp) usable
+        // way all in one sweep over the contiguous tag/stamp rows, instead
+        // of a `find` pass followed by a victim-selection pass.
         let mut invalid_way: Option<usize> = None;
+        let mut lru_way = usize::MAX;
+        let mut lru_stamp = u64::MAX;
         let tags = &self.tags[base..base + self.ways];
+        let stamps = &self.stamps[base..base + self.ways];
         for (w, &t) in tags.iter().enumerate() {
             if t == line {
                 // Already present (e.g. demand fill racing a prefetch
@@ -228,8 +233,15 @@ impl Cache {
                 }
                 return None;
             }
-            if t == INVALID_TAG && invalid_way.is_none() && usable & (1 << w) != 0 {
-                invalid_way = Some(w);
+            if usable & (1 << w) != 0 {
+                if t == INVALID_TAG && invalid_way.is_none() {
+                    invalid_way = Some(w);
+                }
+                let s = stamps[w];
+                if s < lru_stamp {
+                    lru_stamp = s;
+                    lru_way = w;
+                }
             }
         }
 
@@ -241,31 +253,35 @@ impl Cache {
         let idx = if let Some(w) = invalid_way {
             base + w
         } else {
-            let mut tried: u64 = 0;
-            let mut fallback: Option<usize> = None;
-            let victim = loop {
-                let mut best: Option<usize> = None;
-                let mut best_stamp = u64::MAX;
-                for w in 0..self.ways {
-                    if usable & (1 << w) == 0 || tried & (1 << w) != 0 {
-                        continue;
+            assert!(lru_way != usize::MAX, "allocation mask selects no way");
+            if !protected(self.tags[base + lru_way]) {
+                base + lru_way
+            } else {
+                // Rare: the LRU victim is held by a private cache. Probe the
+                // remaining candidates in LRU order; if every usable way is
+                // protected, fall back to the plain LRU way.
+                let mut tried: u64 = 1 << lru_way;
+                let victim = loop {
+                    let mut best: Option<usize> = None;
+                    let mut best_stamp = u64::MAX;
+                    for w in 0..self.ways {
+                        if usable & (1 << w) == 0 || tried & (1 << w) != 0 {
+                            continue;
+                        }
+                        let s = self.stamps[base + w];
+                        if s < best_stamp {
+                            best_stamp = s;
+                            best = Some(w);
+                        }
                     }
-                    let s = self.stamps[base + w];
-                    if s < best_stamp {
-                        best_stamp = s;
-                        best = Some(w);
+                    match best {
+                        None => break lru_way,
+                        Some(w) if !protected(self.tags[base + w]) => break w,
+                        Some(w) => tried |= 1 << w,
                     }
-                }
-                match best {
-                    None => break fallback.expect("non-empty allocation mask"),
-                    Some(w) if !protected(self.tags[base + w]) => break w,
-                    Some(w) => {
-                        fallback.get_or_insert(w);
-                        tried |= 1 << w;
-                    }
-                }
-            };
-            base + victim
+                };
+                base + victim
+            }
         };
 
         let evicted = if self.tags[idx] != INVALID_TAG {

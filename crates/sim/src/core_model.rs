@@ -29,10 +29,12 @@ use crate::prefetch::{Battery, PrefetchRequest, PrefetcherKind};
 use crate::presence::Presence;
 use crate::workload::{Op, Workload};
 
-/// An in-flight prefetch fill.
+/// Metadata of an in-flight prefetch fill. The target line numbers live in
+/// a parallel `Vec<u64>` (`Core::mshr_lines`) so the per-access merge and
+/// duplicate scans sweep a contiguous `u64` slice instead of striding
+/// through these records.
 #[derive(Debug, Clone, Copy)]
 struct PendingFill {
-    line: u64,
     complete: u64,
     /// Install into L1 as well as L2 (true for L1-prefetcher fills).
     to_l1: bool,
@@ -47,6 +49,11 @@ struct PendingFill {
     /// once it lands in L1 (otherwise its writeback would be lost).
     dirty: bool,
 }
+
+/// How many ops the core pulls from its workload per ring refill. Two
+/// tiny-config quanta's worth, so idle cores refill at most every other
+/// quantum.
+const OP_BATCH: usize = 64;
 
 /// One simulated physical core.
 pub struct Core {
@@ -64,7 +71,16 @@ pub struct Core {
     pub pmu: Pmu,
     /// The running benchmark.
     pub workload: Box<dyn Workload + Send>,
+    /// Ring of upcoming ops pulled from `workload` one batch at a time.
+    ops_buf: Vec<Op>,
+    ops_pos: usize,
+    /// Lines of in-flight prefetch fills (SoA: scans touch only this).
+    mshr_lines: Vec<u64>,
+    /// Fill metadata parallel to `mshr_lines`.
     mshr: Vec<PendingFill>,
+    /// Earliest `complete` among MSHR entries (`u64::MAX` when empty), so
+    /// the per-access drain is one comparison in the common case.
+    mshr_min_complete: u64,
     mshr_capacity: usize,
     /// (completion, beyond_l2, line) of in-flight demand loads. One entry
     /// per line: further loads to a line already in the window coalesce
@@ -93,7 +109,11 @@ impl Core {
             time: 0,
             pmu: Pmu::default(),
             workload,
+            ops_buf: Vec::with_capacity(OP_BATCH),
+            ops_pos: 0,
+            mshr_lines: Vec::with_capacity(cfg.core.mshr_entries),
             mshr: Vec::with_capacity(cfg.core.mshr_entries),
+            mshr_min_complete: u64::MAX,
             mshr_capacity: cfg.core.mshr_entries,
             window: VecDeque::with_capacity(window_capacity),
             window_capacity,
@@ -103,6 +123,38 @@ impl Core {
             merged_prefetches: 0,
             qbs: cfg.qbs,
         }
+    }
+
+    /// Deep-copies the core's entire microarchitectural state — caches,
+    /// prefetcher training, MSHRs, op ring, PMU image, local clock.
+    /// Returns `None` when the workload does not support
+    /// [`Workload::try_clone_box`]; cloneable workloads share their cold
+    /// state (e.g. a trace recording behind an `Arc`), so the copy costs a
+    /// few memcpys of tag arrays rather than a re-simulation.
+    pub fn try_clone(&self) -> Option<Core> {
+        let workload = self.workload.try_clone_box()?;
+        Some(Core {
+            id: self.id,
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+            battery: self.battery.clone(),
+            time: self.time,
+            pmu: self.pmu,
+            workload,
+            ops_buf: self.ops_buf.clone(),
+            ops_pos: self.ops_pos,
+            mshr_lines: self.mshr_lines.clone(),
+            mshr: self.mshr.clone(),
+            mshr_min_complete: self.mshr_min_complete,
+            mshr_capacity: self.mshr_capacity,
+            window: self.window.clone(),
+            window_capacity: self.window_capacity,
+            pf_buf: self.pf_buf.clone(),
+            l2_hit_latency: self.l2_hit_latency,
+            llc_hit_latency: self.llc_hit_latency,
+            merged_prefetches: self.merged_prefetches,
+            qbs: self.qbs,
+        })
     }
 
     /// Executes operations until the local clock reaches `qend`.
@@ -117,11 +169,26 @@ impl Core {
         inval: &mut Vec<u64>,
     ) {
         while self.time < qend {
-            match self.workload.next() {
+            match self.next_op() {
                 Op::Compute { cycles } => {
                     let c = cycles.max(1) as u64;
                     self.time += c;
                     self.pmu.instructions += c;
+                    // Coalesce buffered compute runs. Each pop happens only
+                    // while `time < qend`, mirroring the loop condition, so
+                    // this is cycle-exact with the one-op-per-iteration
+                    // path — including where the quantum boundary lands.
+                    while self.time < qend {
+                        match self.ops_buf.get(self.ops_pos) {
+                            Some(&Op::Compute { cycles }) => {
+                                self.ops_pos += 1;
+                                let c = cycles.max(1) as u64;
+                                self.time += c;
+                                self.pmu.instructions += c;
+                            }
+                            _ => break,
+                        }
+                    }
                 }
                 Op::Load { addr, pc } => {
                     self.demand_access(addr, pc, true, llc, cat, mem, presence, inval);
@@ -136,6 +203,23 @@ impl Core {
             }
         }
         self.sync_pmu();
+    }
+
+    /// Pops the next op from the ring, refilling a batch from the workload
+    /// when the ring runs dry. Refilling ahead of consumption is safe:
+    /// workloads are pure deterministic streams, so the op sequence is
+    /// independent of *when* it is generated.
+    #[inline]
+    fn next_op(&mut self) -> Op {
+        if self.ops_pos == self.ops_buf.len() {
+            self.ops_buf.clear();
+            self.ops_pos = 0;
+            self.workload.fill(&mut self.ops_buf, OP_BATCH);
+            debug_assert!(!self.ops_buf.is_empty(), "workload streams are infinite");
+        }
+        let op = self.ops_buf[self.ops_pos];
+        self.ops_pos += 1;
+        op
     }
 
     /// Publishes clock and ground-truth prefetch counters into the PMU
@@ -200,20 +284,21 @@ impl Core {
         self.pmu.l1d_misses += 1;
 
         // Merge with an in-flight prefetch: pay only the remaining latency.
-        let (completion, beyond_l2) = if let Some(p) = self.mshr.iter_mut().find(|p| p.line == line)
-        {
-            if p.prefetched {
-                p.prefetched = false;
-                self.merged_prefetches += 1;
-            }
-            p.to_l1 = true;
-            if !is_load {
-                p.dirty = true;
-            }
-            (p.complete, p.beyond_l2)
-        } else {
-            self.fetch_for_demand(line, addr, pc, is_load, llc, cat, mem, presence, inval)
-        };
+        let (completion, beyond_l2) =
+            if let Some(j) = self.mshr_lines.iter().position(|&l| l == line) {
+                let p = &mut self.mshr[j];
+                if p.prefetched {
+                    p.prefetched = false;
+                    self.merged_prefetches += 1;
+                }
+                p.to_l1 = true;
+                if !is_load {
+                    p.dirty = true;
+                }
+                (p.complete, p.beyond_l2)
+            } else {
+                self.fetch_for_demand(line, addr, pc, is_load, llc, cat, mem, presence, inval)
+            };
 
         if !is_load {
             self.l1.mark_dirty(line);
@@ -324,8 +409,9 @@ impl Core {
         self.pf_buf = buf;
     }
 
+    #[inline]
     fn mshr_has(&self, line: u64) -> bool {
-        self.mshr.iter().any(|p| p.line == line)
+        self.mshr_lines.contains(&line)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -348,40 +434,46 @@ impl Core {
         let l2_hit = self.l2.probe_for_prefetch(line);
         self.battery.l2_access(0, crate::addr::addr_of_line(line), l2_hit, buf);
         if l2_hit {
-            self.push_fill(PendingFill {
+            self.push_fill(
                 line,
-                complete: self.time + self.l2_hit_latency,
-                to_l1: true,
-                to_llc: false,
-                prefetched: true,
-                beyond_l2: false,
-                dirty: false,
-            });
+                PendingFill {
+                    complete: self.time + self.l2_hit_latency,
+                    to_l1: true,
+                    to_llc: false,
+                    prefetched: true,
+                    beyond_l2: false,
+                    dirty: false,
+                },
+            );
             return;
         }
         if llc.probe_for_prefetch(line) {
-            self.push_fill(PendingFill {
+            self.push_fill(
                 line,
-                complete: self.time + self.llc_hit_latency,
-                to_l1: true,
-                to_llc: false,
-                prefetched: true,
-                beyond_l2: true,
-                dirty: false,
-            });
+                PendingFill {
+                    complete: self.time + self.llc_hit_latency,
+                    to_l1: true,
+                    to_llc: false,
+                    prefetched: true,
+                    beyond_l2: true,
+                    dirty: false,
+                },
+            );
             return;
         }
         if let Some(complete) = mem.prefetch_fill(self.time, self.id, line) {
             self.pmu.mem_prefetch_bytes += 64;
-            self.push_fill(PendingFill {
+            self.push_fill(
                 line,
-                complete,
-                to_l1: true,
-                to_llc: true,
-                prefetched: true,
-                beyond_l2: true,
-                dirty: false,
-            });
+                PendingFill {
+                    complete,
+                    to_l1: true,
+                    to_llc: true,
+                    prefetched: true,
+                    beyond_l2: true,
+                    dirty: false,
+                },
+            );
         }
         let _ = cat; // CAT applies at fill time (drain_mshr).
     }
@@ -402,39 +494,50 @@ impl Core {
         // `L2 pref miss` event.
         self.pmu.l2_pf_miss += 1;
         if llc.probe_for_prefetch(line) {
-            self.push_fill(PendingFill {
+            self.push_fill(
                 line,
-                complete: self.time + self.llc_hit_latency,
-                to_l1: false,
-                to_llc: false,
-                prefetched: true,
-                beyond_l2: true,
-                dirty: false,
-            });
+                PendingFill {
+                    complete: self.time + self.llc_hit_latency,
+                    to_l1: false,
+                    to_llc: false,
+                    prefetched: true,
+                    beyond_l2: true,
+                    dirty: false,
+                },
+            );
             return;
         }
         self.pmu.llc_pf_to_mem += 1;
         if let Some(complete) = mem.prefetch_fill(self.time, self.id, line) {
             self.pmu.mem_prefetch_bytes += 64;
-            self.push_fill(PendingFill {
+            self.push_fill(
                 line,
-                complete,
-                to_l1: false,
-                to_llc: true,
-                prefetched: true,
-                beyond_l2: true,
-                dirty: false,
-            });
+                PendingFill {
+                    complete,
+                    to_l1: false,
+                    to_llc: true,
+                    prefetched: true,
+                    beyond_l2: true,
+                    dirty: false,
+                },
+            );
         }
         let _ = cat;
     }
 
-    fn push_fill(&mut self, fill: PendingFill) {
+    fn push_fill(&mut self, line: u64, fill: PendingFill) {
         debug_assert!(self.mshr.len() < self.mshr_capacity);
+        self.mshr_min_complete = self.mshr_min_complete.min(fill.complete);
+        self.mshr_lines.push(line);
         self.mshr.push(fill);
     }
 
-    /// Applies all fills whose data has arrived.
+    /// Applies all fills whose data has arrived. The cached
+    /// `mshr_min_complete` makes the common no-fill-ready case a single
+    /// comparison; the walk below preserves the historical apply order
+    /// (ascending scan with swap-remove) so fill side effects — LRU
+    /// updates, evictions, back-invalidations — land byte-identically.
+    #[inline]
     fn drain_mshr(
         &mut self,
         llc: &mut Cache,
@@ -443,28 +546,32 @@ impl Core {
         presence: &mut Presence,
         inval: &mut Vec<u64>,
     ) {
-        if self.mshr.is_empty() {
+        if self.mshr_min_complete > self.time {
             return;
         }
         let now = self.time;
+        let mut min_left = u64::MAX;
         let mut j = 0;
         while j < self.mshr.len() {
             if self.mshr[j].complete <= now {
+                let line = self.mshr_lines.swap_remove(j);
                 let fill = self.mshr.swap_remove(j);
                 if fill.to_llc {
-                    self.fill_llc(fill.line, fill.prefetched, llc, cat, mem, presence, inval);
+                    self.fill_llc(line, fill.prefetched, llc, cat, mem, presence, inval);
                 }
-                self.fill_l2(fill.line, fill.prefetched, llc, presence);
+                self.fill_l2(line, fill.prefetched, llc, presence);
                 if fill.to_l1 {
-                    self.fill_l1(fill.line, fill.prefetched);
+                    self.fill_l1(line, fill.prefetched);
                     if fill.dirty {
-                        self.l1.mark_dirty(fill.line);
+                        self.l1.mark_dirty(line);
                     }
                 }
             } else {
+                min_left = min_left.min(self.mshr[j].complete);
                 j += 1;
             }
         }
+        self.mshr_min_complete = min_left;
     }
 
     fn fill_l1(&mut self, line: u64, prefetched: bool) {

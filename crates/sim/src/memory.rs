@@ -46,7 +46,7 @@ const LINE_BYTES: u64 = 64;
 const ROW_BYTES: u64 = 2048;
 
 /// The shared memory controller.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemoryController {
     cfg: MemoryConfig,
     /// Cycle (scaled by `SCALE`) at which the channel next becomes free.

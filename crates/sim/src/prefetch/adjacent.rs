@@ -9,7 +9,7 @@ use super::{PrefetchRequest, Prefetcher, PrefetcherKind};
 use crate::addr::{line_of, pair_line};
 
 /// See module docs.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct AdjacentLine {
     last_pair: Option<u64>,
 }

@@ -25,7 +25,7 @@ struct Entry {
 }
 
 /// See module docs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IpStride {
     table: Box<[Entry; TABLE_SIZE]>,
 }

@@ -88,6 +88,7 @@ pub trait Prefetcher {
 
 /// The per-core battery of all four prefetchers plus the MSR 0x1A4 disable
 /// bits that gate them.
+#[derive(Clone)]
 pub struct Battery {
     streamer: Streamer,
     adjacent: AdjacentLine,

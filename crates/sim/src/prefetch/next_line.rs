@@ -10,7 +10,7 @@ use super::{PrefetchRequest, Prefetcher, PrefetcherKind};
 use crate::addr::line_of;
 
 /// See module docs.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct NextLine {
     last_line: Option<u64>,
     last_issued: Option<u64>,

@@ -18,53 +18,69 @@ const CONFIRM: u8 = 2;
 /// lines ahead of the request stream).
 const MAX_DEGREE: u64 = 16;
 
+/// `pages` slot value marking an unallocated stream (no real 4 KiB page
+/// number can reach it: pages are `line >> 6` of 64-bit byte addresses).
+const NO_PAGE: u64 = u64::MAX;
+
+/// Per-stream training state packed to four bytes; the whole table's
+/// training state is one cache line.
 #[derive(Debug, Clone, Copy, Default)]
-struct StreamEntry {
-    page: u64,
-    last_offset: u64,
+struct StreamState {
+    last_offset: u8,
     /// +1 ascending, -1 descending, 0 untrained.
     direction: i8,
     confidence: u8,
     /// Furthest in-page line offset already requested (exclusive cursor),
-    /// so a stable stream does not re-issue the same lines.
-    cursor: i64,
-    lru: u64,
-    valid: bool,
+    /// so a stable stream does not re-issue the same lines. In `[-1, 63]`.
+    cursor: i8,
 }
 
 /// See module docs.
-#[derive(Debug)]
+///
+/// The table is laid out as parallel arrays (structure-of-arrays): the
+/// per-access page match scans one contiguous row of `u64` pages, the LRU
+/// victim scan one row of stamps, and the 4-byte training records sit in a
+/// single cache line — instead of striding through 48-byte entry structs.
+#[derive(Debug, Clone)]
 pub struct Streamer {
-    table: [StreamEntry; TABLE_SIZE],
+    pages: [u64; TABLE_SIZE],
+    lru: [u64; TABLE_SIZE],
+    state: [StreamState; TABLE_SIZE],
     tick: u64,
 }
 
 impl Default for Streamer {
     fn default() -> Self {
-        Streamer { table: [StreamEntry::default(); TABLE_SIZE], tick: 0 }
+        Streamer {
+            pages: [NO_PAGE; TABLE_SIZE],
+            lru: [0; TABLE_SIZE],
+            state: [StreamState::default(); TABLE_SIZE],
+            tick: 0,
+        }
     }
 }
 
 impl Streamer {
-    fn find_or_allocate(&mut self, page: u64) -> &mut StreamEntry {
+    /// Returns the table slot tracking `page`, allocating (and resetting)
+    /// the least-recently-used slot when the page is untracked.
+    fn find_or_allocate(&mut self, page: u64) -> usize {
         self.tick += 1;
-        let tick = self.tick;
         let mut victim = 0;
         let mut victim_lru = u64::MAX;
-        for (i, e) in self.table.iter().enumerate() {
-            if e.valid && e.page == page {
-                let e = &mut self.table[i];
-                e.lru = tick;
-                return e;
+        for i in 0..TABLE_SIZE {
+            if self.pages[i] == page {
+                self.lru[i] = self.tick;
+                return i;
             }
-            if e.lru < victim_lru {
-                victim_lru = e.lru;
+            if self.lru[i] < victim_lru {
+                victim_lru = self.lru[i];
                 victim = i;
             }
         }
-        self.table[victim] =
-            StreamEntry { page, lru: tick, cursor: -1, valid: true, ..StreamEntry::default() };
-        &mut self.table[victim]
+        self.pages[victim] = page;
+        self.lru[victim] = self.tick;
+        self.state[victim] = StreamState { cursor: -1, ..StreamState::default() };
+        victim
     }
 
     /// Degree ramp: freshly confirmed streams fetch 2 ahead; each further
@@ -83,7 +99,8 @@ impl Prefetcher for Streamer {
         let line = line_of(addr);
         let page = page_of_line(line);
         let offset = line_offset_in_page(line);
-        let e = self.find_or_allocate(page);
+        let i = self.find_or_allocate(page);
+        let e = &mut self.state[i];
 
         if e.direction == 0
             && e.confidence == 0
@@ -92,13 +109,13 @@ impl Prefetcher for Streamer {
             && offset != 0
         {
             // Fresh entry: record the first touch.
-            e.last_offset = offset;
-            e.cursor = offset as i64;
+            e.last_offset = offset as u8;
+            e.cursor = offset as i8;
             return;
         }
 
         let step = offset as i64 - e.last_offset as i64;
-        e.last_offset = offset;
+        e.last_offset = offset as u8;
         if step == 0 {
             return;
         }
@@ -108,7 +125,7 @@ impl Prefetcher for Streamer {
         } else {
             e.direction = dir;
             e.confidence = 1;
-            e.cursor = offset as i64;
+            e.cursor = offset as i8;
         }
         if e.confidence < CONFIRM {
             return;
@@ -117,7 +134,7 @@ impl Prefetcher for Streamer {
         let degree = Self::degree(e.confidence);
         let page_base = page * LINES_PER_PAGE;
         if dir > 0 {
-            let start = (offset as i64 + 1).max(e.cursor + 1);
+            let start = (offset as i64 + 1).max(e.cursor as i64 + 1);
             let end = (offset + degree).min(LINES_PER_PAGE - 1) as i64;
             for o in start..=end {
                 out.push(PrefetchRequest {
@@ -125,9 +142,9 @@ impl Prefetcher for Streamer {
                     source: PrefetcherKind::L2Streamer,
                 });
             }
-            e.cursor = e.cursor.max(end);
+            e.cursor = e.cursor.max(end as i8);
         } else {
-            let start = (offset as i64 - 1).min(e.cursor - 1);
+            let start = (offset as i64 - 1).min(e.cursor as i64 - 1);
             let end = offset.saturating_sub(degree) as i64;
             for o in (end..=start).rev() {
                 if o < 0 {
@@ -138,12 +155,14 @@ impl Prefetcher for Streamer {
                     source: PrefetcherKind::L2Streamer,
                 });
             }
-            e.cursor = e.cursor.min(end);
+            e.cursor = e.cursor.min(end as i8);
         }
     }
 
     fn reset(&mut self) {
-        self.table = [StreamEntry::default(); TABLE_SIZE];
+        self.pages = [NO_PAGE; TABLE_SIZE];
+        self.lru = [0; TABLE_SIZE];
+        self.state = [StreamState::default(); TABLE_SIZE];
         self.tick = 0;
     }
 }

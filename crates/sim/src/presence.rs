@@ -33,7 +33,7 @@
 const EMPTY: u64 = u64::MAX;
 
 /// Per-line bitmask of private L2 caches holding the line.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Presence {
     /// Slot keys (line numbers), `EMPTY` when vacant.
     keys: Vec<u64>,

@@ -140,6 +140,44 @@ impl System {
         }
     }
 
+    /// Captures the machine's complete state — every core's caches,
+    /// prefetcher training, MSHRs and clock, the LLC, CAT programming,
+    /// memory-controller and presence state — as an immutable snapshot
+    /// that [`SystemSnapshot::restore`] can later rehydrate any number of
+    /// times.
+    ///
+    /// Returns `None` when any core's workload does not implement
+    /// [`Workload::try_clone_box`] (externally-streamed workloads cannot
+    /// be rewound). The built-in synthetic and trace workloads all can;
+    /// trace recordings are shared behind an `Arc`, so a snapshot costs a
+    /// few memcpys of tag arrays, not a copy of the trace.
+    ///
+    /// The intended use is warm-up sharing: simulate the (uncontrolled,
+    /// mechanism-independent) cache warm-up once, snapshot, and restore
+    /// per mechanism trial — instead of re-simulating the warm-up for
+    /// every trial. A restored machine is byte-for-byte the machine that
+    /// was snapshotted, so results are identical to the re-simulated path.
+    pub fn snapshot(&self) -> Option<SystemSnapshot> {
+        self.try_clone().map(|sys| SystemSnapshot { sys })
+    }
+
+    fn try_clone(&self) -> Option<System> {
+        let mut cores = Vec::with_capacity(self.cores.len());
+        for c in &self.cores {
+            cores.push(c.try_clone()?);
+        }
+        Some(System {
+            cfg: self.cfg.clone(),
+            cores,
+            llc: self.llc.clone(),
+            cat: self.cat.clone(),
+            mem: self.mem.clone(),
+            presence: self.presence.clone(),
+            now: self.now,
+            inval: self.inval.clone(),
+        })
+    }
+
     // ----- cache-state introspection (tests, debugging) -----------------
 
     /// True if core `i`'s L1 holds `line` (testing/debug introspection).
@@ -282,6 +320,28 @@ impl System {
                 msr_1a4: self.cores[c].battery.read_msr(),
             })
             .collect()
+    }
+}
+
+/// A frozen copy of a [`System`]'s complete state (see
+/// [`System::snapshot`]). Immutable; each [`SystemSnapshot::restore`]
+/// produces an independent live machine resuming from the captured
+/// instant.
+pub struct SystemSnapshot {
+    sys: System,
+}
+
+impl SystemSnapshot {
+    /// Rehydrates a live machine from the snapshot. May be called any
+    /// number of times; restored machines are independent of each other
+    /// and of the snapshot.
+    pub fn restore(&self) -> System {
+        self.sys.try_clone().expect("snapshotted workloads are cloneable by construction")
+    }
+
+    /// Global cycle count at the captured instant.
+    pub fn now(&self) -> u64 {
+        self.sys.now()
     }
 }
 

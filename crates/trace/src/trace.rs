@@ -179,6 +179,7 @@ impl<W: Workload> Workload for Recorder<W> {
 /// The trace is held behind an [`Arc`] so one loaded file can drive many
 /// replayers (baseline and managed runs, multiple window placements)
 /// without cloning the op vector.
+#[derive(Clone)]
 pub struct TraceWorkload {
     name: String,
     trace: Arc<Trace>,
@@ -249,6 +250,26 @@ impl Workload for TraceWorkload {
         }
     }
 
+    fn fill(&mut self, out: &mut Vec<Op>, n: usize) {
+        // Copy whole slices of the looped recording, rebasing in place:
+        // no per-op virtual dispatch and no per-op modulo.
+        out.reserve(n);
+        let (base, mask) = (self.base, self.mask);
+        let mut left = n;
+        while left > 0 {
+            let chunk = left.min(self.trace.len() - self.pos);
+            for &op in &self.trace.ops[self.pos..self.pos + chunk] {
+                out.push(match op {
+                    Op::Compute { .. } => op,
+                    Op::Load { addr, pc } => Op::Load { addr: base | (addr & mask), pc },
+                    Op::Store { addr, pc } => Op::Store { addr: base | (addr & mask), pc },
+                });
+            }
+            self.pos = (self.pos + chunk) % self.trace.len();
+            left -= chunk;
+        }
+    }
+
     fn mlp(&self) -> u32 {
         self.mlp
     }
@@ -259,6 +280,10 @@ impl Workload for TraceWorkload {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Workload + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 

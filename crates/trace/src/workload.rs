@@ -27,6 +27,17 @@ pub trait Workload {
     /// finite recordings loop.
     fn next(&mut self) -> Op;
 
+    /// Appends the next `n` instructions of the stream to `out`. Exactly
+    /// equivalent to `n` calls of [`next`](Workload::next); generators
+    /// override this so the simulator's op ring refills with one virtual
+    /// call per batch instead of one per instruction.
+    fn fill(&mut self, out: &mut Vec<Op>, n: usize) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next());
+        }
+    }
+
     /// The workload's intrinsic memory-level parallelism: how many of its
     /// memory accesses are overlappable. Sized to the core's demand
     /// window; clamped by the machine config.
@@ -39,11 +50,23 @@ pub trait Workload {
 
     /// A short human-readable label for reports.
     fn name(&self) -> &str;
+
+    /// Clones the workload *mid-stream* (current position included), for
+    /// copy-on-write simulator snapshots. Returns `None` when the workload
+    /// cannot be duplicated; such cores make the owning `System`
+    /// unsnapshottable but simulate normally.
+    fn try_clone_box(&self) -> Option<Box<dyn Workload + Send>> {
+        None
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for Box<W> {
     fn next(&mut self) -> Op {
         (**self).next()
+    }
+
+    fn fill(&mut self, out: &mut Vec<Op>, n: usize) {
+        (**self).fill(out, n)
     }
 
     fn mlp(&self) -> u32 {
@@ -56,6 +79,10 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Workload + Send>> {
+        (**self).try_clone_box()
     }
 }
 
@@ -73,6 +100,10 @@ impl Workload for Idle {
 
     fn name(&self) -> &str {
         "idle"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Workload + Send>> {
+        Some(Box::new(Idle))
     }
 }
 

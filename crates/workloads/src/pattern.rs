@@ -83,6 +83,7 @@ impl SyntheticConfig {
 }
 
 /// A running instance of a [`SyntheticConfig`].
+#[derive(Clone)]
 pub struct Synthetic {
     cfg: SyntheticConfig,
     lines: u64,
@@ -227,6 +228,15 @@ impl Workload for Synthetic {
         }
     }
 
+    fn fill(&mut self, out: &mut Vec<Op>, n: usize) {
+        // Same stream as `n` trait-object calls of `next`, but the inner
+        // calls dispatch statically so the generator loop stays inlined.
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(Synthetic::next(self));
+        }
+    }
+
     fn mlp(&self) -> u32 {
         self.cfg.mlp
     }
@@ -237,6 +247,10 @@ impl Workload for Synthetic {
 
     fn name(&self) -> &str {
         &self.cfg.name
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Workload + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -77,6 +77,29 @@ smoke_journal_summary() {
 }
 step "repro journal-summary smoke" smoke_journal_summary
 
+# Hard absolute floor on simulator hot-loop throughput, in simulated
+# core-cycles per second. The committed value is deliberately far below a
+# healthy run (~55M on a 1-CPU dev box, ~45M pre-event-core) so shared-
+# runner noise cannot trip it, while an accidental O(n^2) scan, debug-path
+# fallback, or similar order-of-magnitude hot-loop regression still fails
+# CI. Raise it when the simulator gets faster; never chase noise with it.
+SCPS_FLOOR=20000000
+
+smoke_perf() {
+    # The jobs-1 table1 log from smoke_repro is the stable measurement.
+    ./target/release/repro bench-compare \
+        benchmarks/BENCH_sim.baseline.json "$tmp/BENCH_sim.1.json" \
+        --noise 1.0 --scps-floor "$SCPS_FLOOR" > /dev/null
+    # And the floor really gates: an unreachable floor must fail.
+    if ./target/release/repro bench-compare \
+        benchmarks/BENCH_sim.baseline.json "$tmp/BENCH_sim.1.json" \
+        --noise 1.0 --scps-floor 10000000000 > /dev/null 2>&1; then
+        echo "--scps-floor failed to flag sub-floor throughput" >&2
+        return 1
+    fi
+}
+step "repro smoke_perf (sim-throughput floor at $SCPS_FLOOR cyc/s)" smoke_perf
+
 smoke_bench_compare() {
     # Identical inputs: clean pass.
     ./target/release/repro bench-compare \
