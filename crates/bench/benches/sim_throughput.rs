@@ -18,7 +18,7 @@ fn sim_throughput(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut cfg = SystemConfig::scaled(cores);
-                    cfg.num_cores = cores;
+                    cfg.set_num_cores(cores);
                     let ws = mix
                         .instantiate(cfg.llc.size_bytes)
                         .into_iter()

@@ -4,6 +4,7 @@
 //! repro <target> [--quick] [--mixes N] [--seed S] [--jobs N] [--csv DIR]
 //!       [--bench-json PATH] [--journal PATH] [--fault-seed S]
 //!       [--resume PATH] [--attempts N] [--trace-dir DIR]
+//!       [--topology SxM[@shared|@CYCLES]]
 //!
 //! targets:
 //!   table1   Table I metrics for every benchmark (run alone)
@@ -18,7 +19,9 @@
 //!   extension  PT vs PT-fine (per-engine throttling beyond the paper)
 //!   faults   fault-injection resilience sweep (hm_ipc vs fault rate;
 //!            exit 1 if degradation cliffs below the smoothness floor)
-//!   all      everything above (except ablate/extension/faults)
+//!   scale    topology sweep 1x8 -> 2x16 -> 4x32 (or one --topology):
+//!            per-CAT-domain hm_ipc, one BENCH target per leg (scale_SxM)
+//!   all      everything above (except ablate/extension/faults/scale)
 //!
 //! Trace subcommands (see DESIGN.md "Trace subsystem"):
 //!   trace record <dir> [mix-name] [--ops N] [--seed S]
@@ -39,11 +42,13 @@
 //!   bench-compare <baseline.json> <current.json> [--noise F] [--scps-floor N]
 //!            diff two BENCH_sim.json perf logs; exit 1 on regression
 //!   journal-summary <journal.jsonl> [--csv PATH]
-//!            pretty-print a cmm-journal/1 or /2 run journal; --csv also
+//!            pretty-print a cmm-journal/1../3 run journal (multi-socket
+//!            runs keyed per CAT domain: "mix: mech [d0]"); --csv also
 //!            exports the per-epoch telemetry as a plottable CSV
 //!   journal-diff <a.jsonl> <b.jsonl>
 //!            compare two journals' per-epoch decision sequences;
-//!            exit 1 on divergence, 2 on read/parse errors
+//!            exit 1 on divergence, 2 on read/parse errors or when the
+//!            two journals were recorded on different topologies
 //!   soak     kill-and-resume chaos gate: clean run, transient-chaos run,
 //!            persistent-chaos failure + resume, hard-kill + resume; exit 1
 //!            unless every converged output is byte-identical
@@ -71,13 +76,22 @@
 //! Table/figure output — and the run journal — is bit-identical for
 //! every N.
 //!
+//! `--topology SxM` runs any target on an S-socket × M-core machine:
+//! per-socket LLC + CAT domain, per-socket memory controllers by default
+//! (`@shared` / `@CYCLES` select one controller homed on socket 0 with a
+//! cross-socket fill penalty), one CMM controller instance per CAT
+//! domain, and mixes tiled onto the larger machine by round-robin slot
+//! replication. `--topology 1x8` is a complete no-op: digest, stdout and
+//! journal stay byte-identical to the flagless run.
+//!
 //! Every run writes a machine-readable perf log (wall-clock, cells/sec,
 //! sim-cycles/sec per target) to `BENCH_sim.json` (see `--bench-json`)
 //! and a `cmm-journal/2` JSONL decision journal (per profiling epoch:
 //! metric cascade, Agg set, trialed configs with hm_ipc, applied winner,
 //! observed substrate faults and degradations) to `JOURNAL_sim.jsonl`
-//! (see `--journal`). `--fault-seed` seeds the `faults` target's injected
-//! fault schedule.
+//! (see `--journal`); multi-socket runs upgrade it to `cmm-journal/3`
+//! (manifest `topology` key, per-epoch CAT `domain`). `--fault-seed`
+//! seeds the `faults` target's injected fault schedule.
 
 use cmm_bench::ablate;
 use cmm_bench::chaos::{self, ChaosMode};
@@ -90,11 +104,12 @@ use cmm_bench::perf::BenchLog;
 use cmm_bench::runner::{default_jobs, parallel_map, CellFailure, Progress, DEFAULT_ATTEMPTS};
 use cmm_bench::{compare, diff, faults, journal, report, soak};
 use cmm_core::backend;
-use cmm_core::experiment::ExperimentConfig;
+use cmm_core::experiment::{run_mix_pooled, ExperimentConfig, WarmupPool};
 use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
 use cmm_core::policy::{ControllerConfig, Mechanism};
 use cmm_core::telemetry::EpochRecord;
-use cmm_sim::config::SystemConfig;
+use cmm_metrics as met;
+use cmm_sim::config::{SystemConfig, Topology};
 use cmm_sim::System;
 use cmm_workloads::spec::{self, thresholds, Benchmark};
 use cmm_workloads::{build_mixes, Mix, TraceSet};
@@ -124,6 +139,10 @@ struct Args {
     chaos_rate: f64,
     chaos_mode: ChaosMode,
     chaos_kill: Option<u64>,
+    /// `--topology SxM[@shared|@cycles]`: sockets × cores/socket. `None`
+    /// and single-socket values leave every output byte-identical to the
+    /// historical single-socket runs.
+    topology: Option<Topology>,
 }
 
 fn parse_args() -> Args {
@@ -147,6 +166,7 @@ fn parse_args() -> Args {
     let mut chaos_rate = 0.0;
     let mut chaos_mode = ChaosMode::Transient;
     let mut chaos_kill = None;
+    let mut topology = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -233,11 +253,24 @@ fn parse_args() -> Args {
                     it.next().and_then(|v| v.parse().ok()).expect("--chaos-kill needs a number"),
                 )
             }
+            "--topology" => {
+                let spec = it.next().unwrap_or_default();
+                topology = match spec.parse::<Topology>() {
+                    Ok(t) => Some(t),
+                    Err(e) => {
+                        eprintln!("--topology: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|faults|all> \
                      [--quick] [--mixes N] [--seed S] [--fault-seed S] [--jobs N] [--csv DIR] \
-                     [--bench-json PATH] [--journal PATH] [--resume CKPT] [--attempts N]\n       \
+                     [--bench-json PATH] [--journal PATH] [--resume CKPT] [--attempts N] \
+                     [--topology SxM]\n       \
+                     repro scale [--quick] [--topology SxM] — topology sweep \
+                     (default 1x8, 2x16, 4x32) with per-domain hm_ipc\n       \
                      repro <fig7..fig15|fairness|overhead|ablate|all> --trace-dir DIR …\n       \
                      repro trace record <dir> [mix-name] [--ops N] [--seed S]\n       \
                      repro trace convert <in> <out>\n       \
@@ -288,6 +321,7 @@ fn parse_args() -> Args {
         chaos_rate,
         chaos_mode,
         chaos_kill,
+        topology,
     }
 }
 
@@ -405,6 +439,18 @@ fn run_journal_diff(args: &Args) -> i32 {
             return 2;
         }
     };
+    // Different machine shapes produce per-domain decision sequences that
+    // cannot line up; refuse rather than report spurious divergences.
+    if a.topology != b.topology {
+        let show = |t: &Option<String>| t.clone().unwrap_or_else(|| "single-socket".into());
+        eprintln!(
+            "journal-diff: topology mismatch: {a_path} is {} but {b_path} is {}; \
+             re-run both journals on the same --topology to compare decisions",
+            show(&a.topology),
+            show(&b.topology)
+        );
+        return 2;
+    }
     let rep = diff::diff(&a, &b);
     print!("{}", rep.render(a_path, b_path));
     if rep.identical() {
@@ -439,12 +485,95 @@ fn eval_cfg(args: &Args) -> EvalConfig {
     cfg.seed = args.seed;
     cfg.jobs = args.jobs;
     cfg.attempts = args.attempts;
+    // Multi-socket runs keep the per-socket geometry and replicate it;
+    // mixes are tiled to the machine inside `evaluate_resumable`. A
+    // single-socket --topology is a no-op, keeping output byte-identical.
+    if let Some(t) = args.topology.filter(|t| !t.is_single()) {
+        cfg.exp.sys.set_topology(t);
+    }
     cfg
 }
 
 /// Simulated core-cycles of one characterisation run.
 fn char_cycles(cfg: &CharacterizeConfig) -> u64 {
     cfg.warmup + cfg.measure
+}
+
+/// Topologies swept by `repro scale` when `--topology` doesn't narrow it
+/// to one leg (the CI matrix does).
+const SCALE_SWEEP: [&str; 3] = ["1x8", "2x16", "4x32"];
+
+/// Per-cell durations for `repro scale`: the `--quick` eval durations are
+/// sized for 8 cores, so the many-core legs (4x32 simulates 128 cores per
+/// cell) get a further cut to stay inside the CI smoke budget.
+fn scale_exp(quick: bool) -> ExperimentConfig {
+    let mut cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    if quick {
+        cfg.warmup_cycles = 300_000;
+        cfg.total_cycles = 600_000;
+    }
+    cfg
+}
+
+/// `repro scale`: Baseline and CMM-a on tiled mixes across the topology
+/// sweep, reporting per-CAT-domain hm_ipc. Each leg is its own
+/// `scale_<label>` perf-log target, so `bench-compare` gates many-core
+/// throughput (wall, sim-cycles/s) separately from the 8-core targets.
+fn run_scale(args: &Args, bench: &mut BenchLog, log: &Progress) -> Vec<JournalCell> {
+    let topos: Vec<Topology> = match args.topology {
+        Some(t) => vec![t],
+        None => SCALE_SWEEP.iter().map(|s| s.parse().expect("sweep labels parse")).collect(),
+    };
+    let mechs = [Mechanism::Baseline, Mechanism::CmmA];
+    let mut cells: Vec<JournalCell> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for topo in topos {
+        let mut cfg = scale_exp(args.quick);
+        cfg.sys.set_topology(topo);
+        let pairs: Vec<(Mix, Mechanism)> = build_mixes(args.seed, 1)
+            .into_iter()
+            .take(2)
+            .map(|m| m.tiled(topo.total_cores()))
+            .flat_map(|m| mechs.into_iter().map(move |mech| (m.clone(), mech)))
+            .collect();
+        let per_cell = (cfg.warmup_cycles + cfg.total_cycles) * topo.total_cores() as u64;
+        let name = format!("scale_{}", topo.label());
+        let results =
+            bench.measure(&name, pairs.len() as u64, pairs.len() as u64 * per_cell, || {
+                let pool = WarmupPool::new();
+                parallel_map(&pairs, args.jobs, |_, (mix, mech)| {
+                    log.cell(
+                        &format!("scale {}: {} {}", topo.label(), mix.name, mech.label()),
+                        || run_mix_pooled(&pool, mix, *mech, &cfg),
+                    )
+                })
+            });
+        let len = topo.cores_per_socket;
+        for r in results {
+            for d in 0..topo.sockets {
+                rows.push(vec![
+                    topo.label(),
+                    r.mix_name.clone(),
+                    r.mechanism.label().to_string(),
+                    d.to_string(),
+                    format!("{:.4}", met::hm_ipc(&r.ipcs[d * len..(d + 1) * len])),
+                ]);
+            }
+            cells.push((
+                format!("scale {}: {} {}", topo.label(), r.mix_name, r.mechanism.label()),
+                r.epochs,
+            ));
+        }
+    }
+    print!(
+        "{}",
+        report::table(
+            "Scale sweep — per-CAT-domain harmonic-mean IPC",
+            &["topology", "mix", "mechanism", "domain", "hm_ipc"],
+            &rows,
+        )
+    );
+    cells
 }
 
 /// Work volume (cells, simulated core-cycles) of one full evaluation.
@@ -461,7 +590,7 @@ fn eval_volume(cfg: &EvalConfig, mechanisms: &[Mechanism]) -> (u64, u64) {
             }
         }
     }
-    let per_mix = (cfg.exp.warmup_cycles + cfg.exp.total_cycles) * 8;
+    let per_mix = (cfg.exp.warmup_cycles + cfg.exp.total_cycles) * cfg.exp.sys.num_cores as u64;
     let per_alone = cfg.exp.warmup_cycles + cfg.exp.alone_cycles;
     let mix_cells = (mixes.len() * (1 + mechanisms.len())) as u64;
     let cells = mix_cells + distinct.len() as u64;
@@ -618,7 +747,7 @@ fn fig5(quick: bool) {
     // Demonstrates the detector cascade on one Pref Agg mix.
     let mix: Mix = build_mixes(42, 1)[1].clone();
     let mut sys_cfg = SystemConfig::scaled(8);
-    sys_cfg.num_cores = mix.num_cores();
+    sys_cfg.set_num_cores(mix.num_cores());
     let workloads = mix.instantiate(sys_cfg.llc.size_bytes);
     let mut sys = System::new(sys_cfg, workloads);
     sys.run(if quick { 300_000 } else { 600_000 });
@@ -892,11 +1021,25 @@ fn main() {
     if let Some(set) = &trace_set {
         config_debug.push_str(&format!(";traces={}", set.digest()));
     }
+    // Topology joins the digest only when it changes the run: multi-socket
+    // anywhere, or any explicit --topology on the `scale` sweep (which it
+    // restricts to one leg). Plain single-socket runs keep their
+    // historical digests and cmm-journal/2 manifests.
+    let topo_label = match args.topology {
+        Some(t) if args.target == "scale" || !t.is_single() => Some(t.label()),
+        _ => None,
+    };
+    if let Some(label) = &topo_label {
+        config_debug.push_str(&format!(";topology={label}"));
+    }
+    let manifest_topology =
+        topo_label.or_else(|| (args.target == "scale").then(|| SCALE_SWEEP.join("+")));
     let meta = journal::JournalMeta {
         target: args.target.clone(),
         quick: args.quick,
         seed: args.seed,
         config_debug,
+        topology: manifest_topology,
     };
     let digest = cmm_core::telemetry::config_digest(&meta.config_debug);
     let ckpt: Option<Checkpoint> = match &args.resume {
@@ -995,6 +1138,9 @@ fn main() {
                     exit_code = 1;
                 }
             }
+        }
+        "scale" => {
+            cells = run_scale(&args, &mut bench, &log);
         }
         "table1" => {
             cells = bench

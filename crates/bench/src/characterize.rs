@@ -64,7 +64,7 @@ impl AloneRun {
 
 fn one_core_system(bench: &Benchmark, sys_cfg: &SystemConfig, seed: u64) -> System {
     let mut cfg = sys_cfg.clone();
-    cfg.num_cores = 1;
+    cfg.set_num_cores(1);
     let w = bench.instantiate(cfg.llc.size_bytes, 1 << 36, seed);
     System::new(cfg, vec![Box::new(w) as Box<dyn Workload + Send>])
 }

@@ -439,6 +439,7 @@ pub fn decode_epoch(j: &Json) -> Result<EpochRecord, String> {
         mechanism: intern(
             j.get("mechanism").and_then(Json::as_str).ok_or("epoch missing 'mechanism'")?,
         ),
+        domain: j.get("domain").and_then(Json::as_u64).map(|d| d as usize),
         cores,
         agg: usizes(j.get("agg"), "agg")?,
         friendly: usizes(j.get("friendly"), "friendly")?,
@@ -515,6 +516,7 @@ mod tests {
             epoch: 2,
             cycle: 200_000,
             mechanism: "CMM-a",
+            domain: None,
             cores: vec![CoreSample {
                 ipc: 1.2345678901234,
                 metrics: Metrics {

@@ -37,7 +37,12 @@ pub struct Decisions {
     /// Manifest `config_digest` (used for a mismatch *note*, not a
     /// divergence: comparing different configs is legitimate).
     pub config_digest: String,
-    /// Per-run decision sequences, in first-appearance order.
+    /// Manifest `topology` (`/3` journals). Comparing journals from
+    /// different machine shapes is meaningless — per-domain decision
+    /// sequences don't line up — so callers refuse the diff outright.
+    pub topology: Option<String>,
+    /// Per-run decision sequences, in first-appearance order. Multi-socket
+    /// epochs key as `"<run> [d<domain>]"`, one sequence per CAT domain.
     pub runs: Vec<(String, Vec<Decision>)>,
 }
 
@@ -63,6 +68,7 @@ pub fn parse_decisions(text: &str) -> Result<Decisions, String> {
     }
     let config_digest =
         manifest.get("config_digest").and_then(Json::as_str).unwrap_or("").to_string();
+    let topology = manifest.get("topology").and_then(Json::as_str).map(str::to_string);
 
     let mut runs: Vec<(String, Vec<Decision>)> = Vec::new();
     for (i, line) in lines.enumerate() {
@@ -70,7 +76,10 @@ pub fn parse_decisions(text: &str) -> Result<Decisions, String> {
         if rec.get("kind").and_then(Json::as_str) != Some("epoch") {
             continue;
         }
-        let run = rec.get("run").and_then(Json::as_str).unwrap_or("?").to_string();
+        let mut run = rec.get("run").and_then(Json::as_str).unwrap_or("?").to_string();
+        if let Some(d) = rec.get("domain").and_then(Json::as_u64) {
+            run.push_str(&format!(" [d{d}]"));
+        }
         let applied = rec.get("applied");
         let d = Decision {
             epoch: rec.get("epoch").and_then(Json::as_u64).unwrap_or(0),
@@ -85,7 +94,7 @@ pub fn parse_decisions(text: &str) -> Result<Decisions, String> {
             None => runs.push((run, vec![d])),
         }
     }
-    Ok(Decisions { config_digest, runs })
+    Ok(Decisions { config_digest, topology, runs })
 }
 
 /// Outcome of comparing two journals' decision sequences.
@@ -266,6 +275,28 @@ mod tests {
         let b = parse_decisions(&full).unwrap();
         let rep = diff(&a, &b);
         assert!(rep.render("torn", "full").contains("1 epochs vs 2"));
+    }
+
+    #[test]
+    fn multi_socket_domains_key_separately_and_topology_parses() {
+        let m3 = MANIFEST
+            .replace("cmm-journal/2", "cmm-journal/3")
+            .replace("\"seed\":42", "\"seed\":42,\"topology\":\"2x2\"");
+        let line = |d: u64| {
+            epoch_line("A: CMM-a", 1, "0", 3).replace(
+                "\"mechanism\":\"CMM-a\"",
+                &format!("\"mechanism\":\"CMM-a\",\"domain\":{d}"),
+            )
+        };
+        let j = format!("{m3}\n{}\n{}\n", line(0), line(1));
+        let d = parse_decisions(&j).unwrap();
+        assert_eq!(d.topology.as_deref(), Some("2x2"));
+        let names: Vec<&str> = d.runs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["A: CMM-a [d0]", "A: CMM-a [d1]"]);
+        // Single-socket journals stay topology-less (the refusal gate in
+        // `repro journal-diff` keys off this being `None`).
+        let plain = parse_decisions(&journal(&[epoch_line("A: CMM-a", 1, "0", 3)])).unwrap();
+        assert_eq!(plain.topology, None);
     }
 
     #[test]

@@ -167,10 +167,18 @@ pub fn evaluate_resumable(
     progress: bool,
     ckpt: Option<&Checkpoint>,
 ) -> Result<Evaluation, Vec<CellFailure>> {
-    let mixes = match &cfg.trace_mixes {
+    let mut mixes = match &cfg.trace_mixes {
         Some(m) => m.clone(),
         None => build_mixes(cfg.seed, cfg.mixes_per_category),
     };
+    // Multi-socket machines run the same mixes tiled round-robin across
+    // every socket (the alone-IPC stage is untouched: duplicated slots
+    // share one alone run). Single-socket configs are left alone so
+    // historical runs stay byte-identical.
+    let topo = cfg.exp.sys.topology;
+    if !topo.is_single() {
+        mixes = mixes.into_iter().map(|m| m.tiled(topo.total_cores())).collect();
+    }
     let log = Progress::new(progress);
 
     // Stage 1: run-alone IPCs of the distinct slots (each is one

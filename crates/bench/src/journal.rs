@@ -1,6 +1,8 @@
-//! Assembles the `cmm-journal/2` run journal (see [`cmm_core::telemetry`])
-//! and pretty-prints it back (`repro journal-summary`). The summary reader
-//! accepts both `cmm-journal/1` and `/2` journals — `/2` only adds keys.
+//! Assembles the `cmm-journal/2` (single-socket) / `cmm-journal/3`
+//! (multi-socket) run journal (see [`cmm_core::telemetry`]) and
+//! pretty-prints it back (`repro journal-summary`). The summary reader
+//! accepts `cmm-journal/1` through `/3` — each schema only adds keys
+//! (`/3`: a manifest `topology` and per-record `domain`).
 //!
 //! The journal is JSONL: one manifest line (schema, target, seed, git SHA,
 //! host, config digest) followed by one line per controller profiling
@@ -28,6 +30,9 @@ pub struct JournalMeta {
     /// Canonical (Debug) rendering of the run's configuration; only its
     /// digest lands in the journal.
     pub config_debug: String,
+    /// Topology label (`"2x16"`) on multi-socket runs; `None` keeps the
+    /// journal at schema `/2`, byte-identical to pre-topology output.
+    pub topology: Option<String>,
 }
 
 /// Builds the manifest line's data from the meta plus the environment.
@@ -41,6 +46,7 @@ pub fn manifest(meta: &JournalMeta) -> Manifest {
         host_arch: std::env::consts::ARCH.to_string(),
         host_cpus: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         config_digest: config_digest(&meta.config_debug),
+        topology: meta.topology.clone(),
     }
 }
 
@@ -130,8 +136,8 @@ pub fn load(text: &str) -> Result<JournalDoc, String> {
     let first = lines.next().ok_or("empty journal")?;
     let manifest = parse(first).map_err(|e| format!("line 1: {e}"))?;
     let schema = manifest.get("schema").and_then(Json::as_str).unwrap_or("");
-    if !matches!(schema, "cmm-journal/1" | "cmm-journal/2") {
-        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1 or /2)"));
+    if !matches!(schema, "cmm-journal/1" | "cmm-journal/2" | "cmm-journal/3") {
+        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1, /2 or /3)"));
     }
     let mut epochs = Vec::new();
     for (i, line) in lines.enumerate() {
@@ -161,9 +167,12 @@ pub fn eval_cells(eval: &Evaluation) -> Vec<(String, Vec<EpochRecord>)> {
     cells
 }
 
-/// Per-run accumulator for [`summarize`].
+/// Per-run accumulator for [`summarize`]. On `/3` journals each CAT
+/// domain of a run gets its own row (`domain` is the grouping key's second
+/// half); on `/1`–`/2` journals `domain` is always `None`.
 struct RunStats {
     run: String,
+    domain: Option<u64>,
     mechanism: String,
     epochs: u64,
     agg_epochs: u64,
@@ -185,11 +194,13 @@ pub fn summarize(text: &str) -> Result<String, String> {
     let mut runs: Vec<RunStats> = Vec::new();
     for rec in &doc.epochs {
         let run = rec.get("run").and_then(Json::as_str).unwrap_or("?").to_string();
-        let stats = match runs.iter_mut().find(|r| r.run == run) {
+        let domain = rec.get("domain").and_then(Json::as_u64);
+        let stats = match runs.iter_mut().find(|r| r.run == run && r.domain == domain) {
             Some(s) => s,
             None => {
                 runs.push(RunStats {
                     run: run.clone(),
+                    domain,
                     mechanism: rec
                         .get("mechanism")
                         .and_then(Json::as_str)
@@ -253,8 +264,13 @@ pub fn summarize(text: &str) -> Result<String, String> {
     let quick = man.get("quick").and_then(Json::as_bool).unwrap_or(false);
     let seed = man.get("seed").and_then(Json::as_u64).unwrap_or(0);
     let host = man.get("host");
+    let topology = man
+        .get("topology")
+        .and_then(Json::as_str)
+        .map(|t| format!(" topology={t}"))
+        .unwrap_or_default();
     out.push_str(&format!(
-        "journal: target={target} quick={quick} seed={seed} git={} host={}/{} cpus={} {}\n",
+        "journal: target={target} quick={quick} seed={seed}{topology} git={} host={}/{} cpus={} {}\n",
         field("git_sha"),
         host.and_then(|h| h.get("os")).and_then(Json::as_str).unwrap_or("?"),
         host.and_then(|h| h.get("arch")).and_then(Json::as_str).unwrap_or("?"),
@@ -277,7 +293,10 @@ pub fn summarize(text: &str) -> Result<String, String> {
                 "-".into()
             };
             vec![
-                r.run.clone(),
+                match r.domain {
+                    Some(d) => format!("{} [d{d}]", r.run),
+                    None => r.run.clone(),
+                },
                 r.mechanism.clone(),
                 r.epochs.to_string(),
                 format!("{}/{}", r.agg_epochs, r.epochs),
@@ -320,7 +339,14 @@ pub fn summarize(text: &str) -> Result<String, String> {
 /// first execution epoch completes).
 pub fn epochs_csv(text: &str) -> Result<String, String> {
     let doc = load(text)?;
-    let mut out = String::from("run,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded\n");
+    // The domain column only appears on multi-socket (/3) journals, so
+    // single-socket CSV output stays byte-identical to the /2 reader's.
+    let with_domain = doc.epochs.iter().any(|r| r.get("domain").is_some());
+    let mut out = if with_domain {
+        String::from("run,domain,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded\n")
+    } else {
+        String::from("run,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded\n")
+    };
     for rec in &doc.epochs {
         let run = rec.get("run").and_then(Json::as_str).unwrap_or("?");
         let epoch = rec.get("epoch").and_then(Json::as_u64).unwrap_or(0);
@@ -337,8 +363,16 @@ pub fn epochs_csv(text: &str) -> Result<String, String> {
             .unwrap_or_default();
         let faults = rec.get("faults").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0);
         let degraded = rec.get("degraded").and_then(Json::as_str).unwrap_or("");
+        let domain = if with_domain {
+            format!(
+                "{},",
+                rec.get("domain").and_then(Json::as_u64).map(|d| d.to_string()).unwrap_or_default()
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{}\n",
+            "{},{domain}{},{},{},{},{},{}\n",
             csv_field(run),
             epoch,
             csv_field(mech),
@@ -372,6 +406,7 @@ mod tests {
             epoch,
             cycle: epoch * 100_000,
             mechanism: "CMM-a",
+            domain: None,
             cores: vec![CoreSample {
                 ipc: 1.0,
                 metrics: Metrics {
@@ -403,7 +438,38 @@ mod tests {
     }
 
     fn meta() -> JournalMeta {
-        JournalMeta { target: "test".into(), quick: true, seed: 3, config_debug: "cfg".into() }
+        JournalMeta {
+            target: "test".into(),
+            quick: true,
+            seed: 3,
+            config_debug: "cfg".into(),
+            topology: None,
+        }
+    }
+
+    #[test]
+    fn multi_socket_journal_groups_by_domain() {
+        let man = manifest(&JournalMeta { topology: Some("2x2".into()), ..meta() });
+        let mut d0 = record(1, 1);
+        d0.domain = Some(0);
+        let mut d1 = record(1, 2);
+        d1.domain = Some(1);
+        let text = render(&man, &[("Mix-00: CMM-a".to_string(), vec![d0, d1])]);
+        assert!(text.starts_with("{\"schema\":\"cmm-journal/3\""), "{text}");
+        let summary = summarize(&text).expect("summary");
+        // One row per domain, plus the topology in the header.
+        assert!(summary.contains("topology=2x2"), "{summary}");
+        assert!(summary.contains("Mix-00: CMM-a [d0]"), "{summary}");
+        assert!(summary.contains("Mix-00: CMM-a [d1]"), "{summary}");
+        assert!(summary.contains("2 runs, 2 epochs"), "{summary}");
+        let csv = epochs_csv(&text).expect("csv");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "run,domain,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded"
+        );
+        assert!(lines[1].starts_with("Mix-00: CMM-a,0,1,"), "{csv}");
+        assert!(lines[2].starts_with("Mix-00: CMM-a,1,1,"), "{csv}");
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn surface(eval: &figures::Evaluation) -> String {
         quick: true,
         seed: 42,
         config_debug: "crash-safety-test".into(),
+        topology: None,
     });
     format!(
         "{}{}{}",

@@ -21,6 +21,7 @@ fn journal_text(jobs: usize) -> String {
         quick: true,
         seed: 42,
         config_debug: "determinism-test".into(),
+        topology: None,
     };
     journal::render(&journal::manifest(&meta), &journal::eval_cells(&eval))
 }

@@ -43,6 +43,7 @@ fn journal_text(set: &TraceSet, jobs: usize) -> String {
         quick: true,
         seed: 42,
         config_debug: format!("trace-determinism-test;traces={}", set.digest()),
+        topology: None,
     };
     journal::render(&journal::manifest(&meta), &journal::eval_cells(&eval))
 }

@@ -136,6 +136,17 @@ impl PartitionPlan {
         }
     }
 
+    /// Shifts every core assignment by `base` — turns a plan built against
+    /// socket-local core ids (what the per-domain allocators produce) into
+    /// one addressing the machine's global ids. Masks are untouched: CLOS
+    /// ids are already socket-local on the target domain.
+    pub fn offset(mut self, base: usize) -> Self {
+        for (core, _) in self.assignments.iter_mut() {
+            *core += base;
+        }
+        self
+    }
+
     /// Programs the plan into the machine, retrying transient rejections.
     ///
     /// Fails fast on the first unrecoverable write: CAT state is then
@@ -147,8 +158,27 @@ impl PartitionPlan {
         sys: &mut S,
         log: &mut Vec<FaultRecord>,
     ) -> Result<(), MsrError> {
+        self.apply_at(sys, 0, log)
+    }
+
+    /// [`PartitionPlan::apply`] with the CLOS mask writes issued via
+    /// `anchor` instead of core 0. CAT mask MSRs are socket-scoped, so the
+    /// anchor core selects which socket's CAT domain the masks land on;
+    /// pass the domain's base core when applying a per-domain plan.
+    pub fn apply_at<S: Substrate>(
+        &self,
+        sys: &mut S,
+        anchor: usize,
+        log: &mut Vec<FaultRecord>,
+    ) -> Result<(), MsrError> {
         for &(clos, mask) in &self.masks {
-            write_msr_logged(sys, 0, cmm_sim::msr::IA32_L3_QOS_MASK_BASE + clos as u32, mask, log)?;
+            write_msr_logged(
+                sys,
+                anchor,
+                cmm_sim::msr::IA32_L3_QOS_MASK_BASE + clos as u32,
+                mask,
+                log,
+            )?;
         }
         for &(core, clos) in &self.assignments {
             write_msr_logged(sys, core, cmm_sim::msr::IA32_PQR_ASSOC, clos as u64, log)?;
@@ -239,9 +269,22 @@ pub fn apply_prefetch_logged<S: Substrate>(
     enabled: &[bool],
     log: &mut Vec<FaultRecord>,
 ) {
-    for (core, &on) in enabled.iter().enumerate() {
+    apply_prefetch_range_logged(sys, 0, enabled, log)
+}
+
+/// [`apply_prefetch_logged`] for the core range starting at `base`:
+/// `enabled[i]` programs core `base + i`. Cores outside the range are left
+/// untouched — this is how per-domain controllers throttle their own
+/// socket without clobbering a concurrent search on another one.
+pub fn apply_prefetch_range_logged<S: Substrate>(
+    sys: &mut S,
+    base: usize,
+    enabled: &[bool],
+    log: &mut Vec<FaultRecord>,
+) {
+    for (i, &on) in enabled.iter().enumerate() {
         let value = if on { 0x0 } else { 0xF };
-        let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, value, log);
+        let _ = write_msr_logged(sys, base + i, MSR_MISC_FEATURE_CONTROL, value, log);
     }
 }
 
@@ -280,40 +323,81 @@ pub fn detect_logged<S: Substrate>(
     det: &crate::frontend::DetectorConfig,
     log: &mut Vec<FaultRecord>,
 ) -> Detection {
+    detect_domains_logged(sys, ctrl, det, log, 1).pop().expect("one domain")
+}
+
+/// [`detect_logged`] generalised to `domains` equal slices of the machine
+/// (one per CAT domain / socket). The sampling intervals are *shared*: one
+/// all-on interval for everybody, then — if any domain found aggressors —
+/// one interval with every domain's `Agg` prefetchers off simultaneously.
+/// That keeps wall-clock profiling cost independent of the socket count,
+/// which is what lets the per-domain controllers run "concurrently".
+///
+/// Each returned [`Detection`] is **domain-local**: `interval1` holds just
+/// that domain's core deltas and the `agg`/`friendly`/`unfriendly` indices
+/// are offsets into the domain (add `d * len` for global core ids).
+pub fn detect_domains_logged<S: Substrate>(
+    sys: &mut S,
+    ctrl: &crate::policy::ControllerConfig,
+    det: &crate::frontend::DetectorConfig,
+    log: &mut Vec<FaultRecord>,
+    domains: usize,
+) -> Vec<Detection> {
     let n = sys.num_cores();
+    assert!(domains > 0 && n.is_multiple_of(domains), "domains must evenly split the cores");
+    let len = n / domains;
     apply_prefetch_logged(sys, &vec![true; n], log);
     let interval1 = sample_logged(sys, ctrl.sampling_interval, log);
-    let agg = crate::frontend::detect_agg(&interval1, det);
-    if agg.is_empty() {
-        return Detection {
-            interval1,
-            agg,
-            friendly: Vec::new(),
-            unfriendly: Vec::new(),
-            profiling_cycles: ctrl.sampling_interval,
-        };
+    let aggs: Vec<Vec<usize>> = (0..domains)
+        .map(|d| crate::frontend::detect_agg(&interval1[d * len..(d + 1) * len], det))
+        .collect();
+    if aggs.iter().all(|a| a.is_empty()) {
+        return (0..domains)
+            .map(|d| Detection {
+                interval1: interval1[d * len..(d + 1) * len].to_vec(),
+                agg: Vec::new(),
+                friendly: Vec::new(),
+                unfriendly: Vec::new(),
+                profiling_cycles: ctrl.sampling_interval,
+            })
+            .collect();
     }
 
     let mut enabled = vec![true; n];
-    for &c in &agg {
-        enabled[c] = false;
+    for (d, agg) in aggs.iter().enumerate() {
+        for &c in agg {
+            enabled[d * len + c] = false;
+        }
     }
     apply_prefetch_logged(sys, &enabled, log);
     let interval2 = sample_logged(sys, ctrl.sampling_interval, log);
     apply_prefetch_logged(sys, &vec![true; n], log);
 
-    let mut friendly = Vec::new();
-    let mut unfriendly = Vec::new();
-    for &c in &agg {
-        let with_pf = interval1[c].ipc();
-        let without = interval2[c].ipc();
-        if without > 0.0 && with_pf / without > 1.0 + ctrl.friendly_speedup {
-            friendly.push(c);
-        } else {
-            unfriendly.push(c);
-        }
-    }
-    Detection { interval1, agg, friendly, unfriendly, profiling_cycles: 2 * ctrl.sampling_interval }
+    aggs.into_iter()
+        .enumerate()
+        .map(|(d, agg)| {
+            let i1 = &interval1[d * len..(d + 1) * len];
+            let i2 = &interval2[d * len..(d + 1) * len];
+            let mut friendly = Vec::new();
+            let mut unfriendly = Vec::new();
+            for &c in &agg {
+                let with_pf = i1[c].ipc();
+                let without = i2[c].ipc();
+                if without > 0.0 && with_pf / without > 1.0 + ctrl.friendly_speedup {
+                    friendly.push(c);
+                } else {
+                    unfriendly.push(c);
+                }
+            }
+            Detection {
+                interval1: i1.to_vec(),
+                agg,
+                friendly,
+                unfriendly,
+                profiling_cycles: 2 * ctrl.sampling_interval,
+            }
+        })
+        .collect()
 }
 
 /// [`detect_logged`] without a fault log — the convenience examples use.
@@ -356,9 +440,28 @@ pub fn search_throttle<S: Substrate>(
     log: &mut Vec<FaultRecord>,
 ) -> ThrottleSearch {
     let n = sys.num_cores();
-    let all_on = vec![true; n];
+    search_throttle_in(sys, groups, sampling_interval, log, 0, n)
+}
+
+/// [`search_throttle`] scoped to the `len` cores starting at `base` (one
+/// CAT domain): `groups` hold **global** core ids within that range, the
+/// trial `hm_ipc` is computed over the domain's cores only (another
+/// domain's phase change must not steer this domain's search), and the
+/// returned enable vector / trial images are domain-local (`len` entries,
+/// index = global id − `base`). The whole machine still advances during
+/// each trial interval — cores outside the domain just keep whatever
+/// prefetch setting they have.
+pub fn search_throttle_in<S: Substrate>(
+    sys: &mut S,
+    groups: &[Vec<usize>],
+    sampling_interval: u64,
+    log: &mut Vec<FaultRecord>,
+    base: usize,
+    len: usize,
+) -> ThrottleSearch {
+    let all_on = vec![true; len];
     if groups.is_empty() {
-        apply_prefetch_logged(sys, &all_on, log);
+        apply_prefetch_range_logged(sys, base, &all_on, log);
         return ThrottleSearch { best: all_on, cycles: 0, trials: Vec::new(), winner: None };
     }
     let mut best = all_on.clone();
@@ -371,14 +474,14 @@ pub fn search_throttle<S: Substrate>(
         for (g, cores) in groups.iter().enumerate() {
             if combo & (1 << g) == 0 {
                 for &c in cores {
-                    enabled[c] = false;
+                    enabled[c - base] = false;
                 }
             }
         }
-        apply_prefetch_logged(sys, &enabled, log);
+        apply_prefetch_range_logged(sys, base, &enabled, log);
         let deltas = sample_logged(sys, sampling_interval, log);
         spent += sampling_interval;
-        let hm = sample_hm_ipc(&deltas);
+        let hm = sample_hm_ipc(&deltas[base..base + len]);
         trials.push(crate::telemetry::Trial {
             msr_1a4: enabled.iter().map(|&on| if on { 0x0 } else { 0xF }).collect(),
             hm_ipc: hm,
@@ -390,12 +493,12 @@ pub fn search_throttle<S: Substrate>(
         }
     }
     let before = log.len();
-    apply_prefetch_logged(sys, &best, log);
+    apply_prefetch_range_logged(sys, base, &best, log);
     if log.iter().skip(before).any(|f| f.action == "gave_up") {
         // The winner could not be fully programmed: revert to the all-on
         // entry state (best effort — prefetch-on is also the power-on
         // default) rather than run an unknown mixture.
-        apply_prefetch_logged(sys, &all_on, log);
+        apply_prefetch_range_logged(sys, base, &all_on, log);
         log.push(FaultRecord {
             cycle: sys.now(),
             kind: "degraded",
@@ -434,11 +537,27 @@ pub fn search_throttle_levels<S: Substrate>(
     log: &mut Vec<FaultRecord>,
 ) -> LevelSearch {
     let n = sys.num_cores();
-    let all_on = vec![0u64; n];
+    search_throttle_levels_in(sys, groups, levels, sampling_interval, log, 0, n)
+}
+
+/// [`search_throttle_levels`] scoped to the `len` cores starting at `base`
+/// — the level-granular analogue of [`search_throttle_in`], with the same
+/// domain-local conventions (global group ids, domain-sliced `hm_ipc`,
+/// `len`-sized MSR images).
+pub fn search_throttle_levels_in<S: Substrate>(
+    sys: &mut S,
+    groups: &[Vec<usize>],
+    levels: &[u64],
+    sampling_interval: u64,
+    log: &mut Vec<FaultRecord>,
+    base: usize,
+    len: usize,
+) -> LevelSearch {
+    let all_on = vec![0u64; len];
     assert!(!levels.is_empty());
     if groups.is_empty() {
-        for core in 0..n {
-            let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, 0, log);
+        for i in 0..len {
+            let _ = write_msr_logged(sys, base + i, MSR_MISC_FEATURE_CONTROL, 0, log);
         }
         return LevelSearch { best: all_on, cycles: 0, trials: Vec::new(), winner: None };
     }
@@ -455,15 +574,15 @@ pub fn search_throttle_levels<S: Substrate>(
             let level = levels[c % levels.len()];
             c /= levels.len();
             for &core in cores {
-                image[core] = level;
+                image[core - base] = level;
             }
         }
-        for (core, &msr) in image.iter().enumerate() {
-            let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, msr, log);
+        for (i, &msr) in image.iter().enumerate() {
+            let _ = write_msr_logged(sys, base + i, MSR_MISC_FEATURE_CONTROL, msr, log);
         }
         let deltas = sample_logged(sys, sampling_interval, log);
         spent += sampling_interval;
-        let hm = sample_hm_ipc(&deltas);
+        let hm = sample_hm_ipc(&deltas[base..base + len]);
         trials.push(crate::telemetry::Trial { msr_1a4: image.clone(), hm_ipc: hm });
         if hm > best_hm {
             best_hm = hm;
@@ -472,14 +591,14 @@ pub fn search_throttle_levels<S: Substrate>(
         }
     }
     let before = log.len();
-    for (core, &msr) in best.iter().enumerate() {
-        let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, msr, log);
+    for (i, &msr) in best.iter().enumerate() {
+        let _ = write_msr_logged(sys, base + i, MSR_MISC_FEATURE_CONTROL, msr, log);
     }
     if log.iter().skip(before).any(|f| f.action == "gave_up") {
         // Same last-known-good retreat as the binary search: all-engines-on
         // is the state every trial started from.
-        for core in 0..n {
-            let _ = write_msr_logged(sys, core, MSR_MISC_FEATURE_CONTROL, 0, log);
+        for i in 0..len {
+            let _ = write_msr_logged(sys, base + i, MSR_MISC_FEATURE_CONTROL, 0, log);
         }
         log.push(FaultRecord {
             cycle: sys.now(),

@@ -44,6 +44,9 @@ pub struct Driver<S: Substrate = System> {
     exec_anchor: Option<(u64, Vec<Pmu>)>,
     /// `exec_hm_ipc` of the previous epoch's record, for the delta.
     prev_exec_hm: Option<f64>,
+    /// Multi-socket analogue of `prev_exec_hm`: one entry per CAT domain,
+    /// sized lazily on the first multi-socket epoch.
+    prev_exec_hm_dom: Vec<Option<f64>>,
 }
 
 impl<S: Substrate> Driver<S> {
@@ -66,6 +69,7 @@ impl<S: Substrate> Driver<S> {
             records: Vec::new(),
             exec_anchor: None,
             prev_exec_hm: None,
+            prev_exec_hm_dom: Vec::new(),
         }
     }
 
@@ -136,7 +140,21 @@ impl<S: Substrate> Driver<S> {
     /// Never panics on substrate faults: unrecoverable CAT failures make
     /// the epoch retreat CMM → Dunn → no-op (flat CAT via `reset_cat`),
     /// recording the chosen degradation in the epoch's telemetry.
+    ///
+    /// On a single-socket machine the epoch runs the original whole-machine
+    /// controller and appends one record (`domain: None`). On a multi-socket
+    /// machine it runs one controller instance per CAT domain (see
+    /// [`Driver::epoch_multi`]) and appends one record per domain.
     pub fn epoch(&mut self) {
+        if self.sys.config().topology.is_single() {
+            self.epoch_single()
+        } else {
+            self.epoch_multi()
+        }
+    }
+
+    /// The original whole-machine profiling epoch (single CAT domain).
+    fn epoch_single(&mut self) {
         self.epochs += 1;
         let epoch_start = self.sys.now();
         let mut log: Vec<FaultRecord> = Vec::new();
@@ -308,6 +326,7 @@ impl<S: Substrate> Driver<S> {
             epoch: self.epochs,
             cycle: epoch_start,
             mechanism: self.mechanism.label(),
+            domain: None,
             cores,
             agg,
             friendly,
@@ -321,6 +340,312 @@ impl<S: Substrate> Driver<S> {
             applied: self.sys.control_state(),
         });
     }
+
+    /// One profiling epoch on a multi-socket machine: one controller
+    /// instance per CAT domain, run "concurrently" — the detection
+    /// intervals are shared across domains (two machine-wide samples total,
+    /// see [`backend::detect_domains_logged`]), then each domain makes and
+    /// applies its own decision against its socket's CAT state and cores.
+    /// Throttle-search trial intervals do run per domain in sequence (each
+    /// trial must measure its own domain undisturbed), which is also how
+    /// independent per-socket daemons would interleave in wall-clock time.
+    ///
+    /// Appends one [`EpochRecord`] per domain, all stamped with this
+    /// epoch's index and start cycle. Faults are attributed to the domain
+    /// whose controller section observed them; machine-wide faults with a
+    /// core id are routed to that core's domain, core-less ones to domain 0.
+    fn epoch_multi(&mut self) {
+        self.epochs += 1;
+        let epoch_start = self.sys.now();
+        let topo = self.sys.config().topology;
+        let domains = topo.sockets;
+        let len = topo.cores_per_socket;
+        let mut log: Vec<FaultRecord> = Vec::new();
+        let mut dom_logs: Vec<Vec<FaultRecord>> = vec![Vec::new(); domains];
+        // How did the execution epoch each domain just finished perform?
+        let exec_hms: Vec<Option<f64>> = match self.exec_anchor.take() {
+            Some((anchor_cycle, anchor)) if self.sys.now() > anchor_cycle => {
+                let current = backend::pmu_read_stable(&mut self.sys, &mut log);
+                let deltas: Vec<PmuDelta> =
+                    current.iter().zip(anchor).map(|(&c, a)| c - a).collect();
+                (0..domains)
+                    .map(|d| Some(backend::sample_hm_ipc(&deltas[d * len..(d + 1) * len])))
+                    .collect()
+            }
+            _ => vec![None; domains],
+        };
+        if self.prev_exec_hm_dom.len() != domains {
+            self.prev_exec_hm_dom = vec![None; domains];
+        }
+        let exec_deltas: Vec<Option<f64>> = (0..domains)
+            .map(|d| match (exec_hms[d], self.prev_exec_hm_dom[d]) {
+                (Some(cur), Some(prev)) => Some(cur - prev),
+                _ => None,
+            })
+            .collect();
+        for (prev, cur) in self.prev_exec_hm_dom.iter_mut().zip(&exec_hms) {
+            if cur.is_some() {
+                *prev = *cur;
+            }
+        }
+        if self.mechanism != Mechanism::Baseline {
+            // One controller instance per domain does its own bookkeeping.
+            self.overhead_cycles += self.ctrl.overhead_cycles * domains as u64;
+        }
+        let n = self.sys.num_cores();
+        let ways = self.sys.llc_ways();
+        let min_pc = backend::min_ways_per_core(self.sys.config());
+        // Per-domain decision data, folded into one record per domain.
+        #[derive(Default)]
+        struct DomainDecision {
+            cores: Vec<CoreSample>,
+            agg: Vec<usize>,
+            friendly: Vec<usize>,
+            unfriendly: Vec<usize>,
+            trials: Vec<Trial>,
+            winner: Option<usize>,
+            degraded: Option<&'static str>,
+        }
+        let mut outs: Vec<DomainDecision> =
+            (0..domains).map(|_| DomainDecision::default()).collect();
+        match self.mechanism {
+            Mechanism::Baseline => {
+                backend::apply_prefetch_logged(&mut self.sys, &vec![true; n], &mut log);
+                self.sys.reset_cat();
+            }
+            Mechanism::Pt | Mechanism::PtFine => {
+                let dets = backend::detect_domains_logged(
+                    &mut self.sys,
+                    &self.ctrl,
+                    &self.det_cfg,
+                    &mut log,
+                    domains,
+                );
+                self.agg_history.push(dets.iter().map(|det| det.agg.len()).sum());
+                route_faults(&mut log, &mut dom_logs, len);
+                for (d, det) in dets.into_iter().enumerate() {
+                    let base = d * len;
+                    let dlog = &mut dom_logs[d];
+                    // PT throttles the whole Agg set (friendly included).
+                    let groups = globalize(
+                        backend::throttle_groups(
+                            &det.agg,
+                            &det.interval1,
+                            self.ctrl.exhaustive_limit,
+                            self.ctrl.throttle_groups,
+                        ),
+                        base,
+                    );
+                    let (trials, winner) = if self.mechanism == Mechanism::Pt {
+                        let s = backend::search_throttle_in(
+                            &mut self.sys,
+                            &groups,
+                            self.ctrl.sampling_interval,
+                            dlog,
+                            base,
+                            len,
+                        );
+                        (s.trials, s.winner)
+                    } else {
+                        let s = backend::search_throttle_levels_in(
+                            &mut self.sys,
+                            &groups,
+                            &pt::FINE_LEVELS,
+                            self.ctrl.sampling_interval,
+                            dlog,
+                            base,
+                            len,
+                        );
+                        (s.trials, s.winner)
+                    };
+                    outs[d].cores = samples_of(&det.interval1);
+                    outs[d].agg = det.agg;
+                    outs[d].friendly = det.friendly;
+                    outs[d].unfriendly = det.unfriendly;
+                    outs[d].trials = trials;
+                    outs[d].winner = winner;
+                }
+            }
+            Mechanism::Dunn => {
+                backend::apply_prefetch_logged(&mut self.sys, &vec![true; n], &mut log);
+                for (d, dlog) in dom_logs.iter_mut().enumerate() {
+                    let base = d * len;
+                    let flat = PartitionPlan::flat(len, ways).offset(base);
+                    if flat.apply_at(&mut self.sys, base, dlog).is_err() {
+                        self.sys.reset_cat_domain(d);
+                    }
+                }
+                let d1 =
+                    backend::sample_logged(&mut self.sys, self.ctrl.sampling_interval, &mut log);
+                self.agg_history.push(0);
+                route_faults(&mut log, &mut dom_logs, len);
+                for d in 0..domains {
+                    let base = d * len;
+                    let local = &d1[base..base + len];
+                    let plan = dunn::dunn_plan(local, ways, self.ctrl.dunn_clusters).offset(base);
+                    if plan.apply_at(&mut self.sys, base, &mut dom_logs[d]).is_err() {
+                        self.sys.reset_cat_domain(d);
+                        outs[d].degraded =
+                            Some(degrade(&mut dom_logs[d], self.sys.now(), "fallback_noop"));
+                    }
+                    outs[d].cores = samples_of(local);
+                }
+            }
+            Mechanism::PrefCp | Mechanism::PrefCp2 => {
+                for (d, dlog) in dom_logs.iter_mut().enumerate() {
+                    let base = d * len;
+                    let flat = PartitionPlan::flat(len, ways).offset(base);
+                    if flat.apply_at(&mut self.sys, base, dlog).is_err() {
+                        self.sys.reset_cat_domain(d);
+                    }
+                }
+                let dets = backend::detect_domains_logged(
+                    &mut self.sys,
+                    &self.ctrl,
+                    &self.det_cfg,
+                    &mut log,
+                    domains,
+                );
+                self.agg_history.push(dets.iter().map(|det| det.agg.len()).sum());
+                route_faults(&mut log, &mut dom_logs, len);
+                for (d, det) in dets.into_iter().enumerate() {
+                    let base = d * len;
+                    let plan = if self.mechanism == Mechanism::PrefCp {
+                        cp::pref_cp_plan(&det, len, ways, self.ctrl.partition_scale, min_pc)
+                    } else {
+                        cp::pref_cp2_plan(&det, len, ways, self.ctrl.partition_scale, min_pc)
+                    };
+                    if plan.offset(base).apply_at(&mut self.sys, base, &mut dom_logs[d]).is_err() {
+                        self.sys.reset_cat_domain(d);
+                        outs[d].degraded =
+                            Some(degrade(&mut dom_logs[d], self.sys.now(), "fallback_noop"));
+                    }
+                    outs[d].cores = samples_of(&det.interval1);
+                    outs[d].agg = det.agg;
+                    outs[d].friendly = det.friendly;
+                    outs[d].unfriendly = det.unfriendly;
+                }
+            }
+            Mechanism::CmmA | Mechanism::CmmB | Mechanism::CmmC => {
+                let variant = match self.mechanism {
+                    Mechanism::CmmA => cmm::Variant::A,
+                    Mechanism::CmmB => cmm::Variant::B,
+                    _ => cmm::Variant::C,
+                };
+                for (d, dlog) in dom_logs.iter_mut().enumerate() {
+                    let base = d * len;
+                    let flat = PartitionPlan::flat(len, ways).offset(base);
+                    if flat.apply_at(&mut self.sys, base, dlog).is_err() {
+                        self.sys.reset_cat_domain(d);
+                    }
+                }
+                let dets = backend::detect_domains_logged(
+                    &mut self.sys,
+                    &self.ctrl,
+                    &self.det_cfg,
+                    &mut log,
+                    domains,
+                );
+                self.agg_history.push(dets.iter().map(|det| det.agg.len()).sum());
+                route_faults(&mut log, &mut dom_logs, len);
+                for (d, det) in dets.into_iter().enumerate() {
+                    let base = d * len;
+                    outs[d].cores = samples_of(&det.interval1);
+                    match cmm::cmm_plan(variant, &det, len, ways, self.ctrl.partition_scale, min_pc)
+                    {
+                        Some(plan) => {
+                            if plan
+                                .offset(base)
+                                .apply_at(&mut self.sys, base, &mut dom_logs[d])
+                                .is_ok()
+                            {
+                                let groups = globalize(
+                                    backend::throttle_groups(
+                                        &det.unfriendly,
+                                        &det.interval1,
+                                        self.ctrl.exhaustive_limit,
+                                        self.ctrl.throttle_groups,
+                                    ),
+                                    base,
+                                );
+                                let search = backend::search_throttle_in(
+                                    &mut self.sys,
+                                    &groups,
+                                    self.ctrl.sampling_interval,
+                                    &mut dom_logs[d],
+                                    base,
+                                    len,
+                                );
+                                outs[d].trials = search.trials;
+                                outs[d].winner = search.winner;
+                            } else {
+                                // Same retreat chain as the single-socket
+                                // path, scoped to this domain's CAT state.
+                                self.sys.reset_cat_domain(d);
+                                outs[d].degraded = Some(degrade(
+                                    &mut dom_logs[d],
+                                    self.sys.now(),
+                                    "fallback_dunn",
+                                ));
+                                let plan =
+                                    dunn::dunn_plan(&det.interval1, ways, self.ctrl.dunn_clusters)
+                                        .offset(base);
+                                if plan.apply_at(&mut self.sys, base, &mut dom_logs[d]).is_err() {
+                                    self.sys.reset_cat_domain(d);
+                                    outs[d].degraded = Some(degrade(
+                                        &mut dom_logs[d],
+                                        self.sys.now(),
+                                        "fallback_noop",
+                                    ));
+                                }
+                            }
+                        }
+                        None => {
+                            let plan =
+                                dunn::dunn_plan(&det.interval1, ways, self.ctrl.dunn_clusters)
+                                    .offset(base);
+                            if plan.apply_at(&mut self.sys, base, &mut dom_logs[d]).is_err() {
+                                self.sys.reset_cat_domain(d);
+                                outs[d].degraded = Some(degrade(
+                                    &mut dom_logs[d],
+                                    self.sys.now(),
+                                    "fallback_noop",
+                                ));
+                            }
+                        }
+                    }
+                    outs[d].agg = det.agg;
+                    outs[d].friendly = det.friendly;
+                    outs[d].unfriendly = det.unfriendly;
+                }
+            }
+        }
+        // Anchor for the next epoch's execution-IPC measurement.
+        let anchor = backend::pmu_read_stable(&mut self.sys, &mut log);
+        self.exec_anchor = Some((self.sys.now(), anchor));
+        route_faults(&mut log, &mut dom_logs, len);
+        let applied = self.sys.control_state();
+        for (d, out) in outs.into_iter().enumerate() {
+            let base = d * len;
+            self.records.push(EpochRecord {
+                epoch: self.epochs,
+                cycle: epoch_start,
+                mechanism: self.mechanism.label(),
+                domain: Some(d),
+                cores: out.cores,
+                agg: out.agg,
+                friendly: out.friendly,
+                unfriendly: out.unfriendly,
+                trials: out.trials,
+                winner: out.winner,
+                exec_hm_ipc: exec_hms[d],
+                exec_ipc_delta: exec_deltas[d],
+                faults: std::mem::take(&mut dom_logs[d]),
+                degraded: out.degraded,
+                applied: applied[base..base + len].to_vec(),
+            });
+        }
+    }
 }
 
 /// Records an epoch-level degradation decision and returns its label for
@@ -331,6 +656,20 @@ fn degrade(log: &mut Vec<FaultRecord>, cycle: u64, action: &'static str) -> &'st
         "fallback_dunn" => "Dunn",
         _ => "no-op",
     }
+}
+
+/// Moves faults from a machine-wide phase into the per-domain logs: faults
+/// naming a core go to that core's domain, core-less ones to domain 0.
+fn route_faults(log: &mut Vec<FaultRecord>, dom_logs: &mut [Vec<FaultRecord>], len: usize) {
+    for f in log.drain(..) {
+        let d = f.core.map_or(0, |c| (c / len).min(dom_logs.len() - 1));
+        dom_logs[d].push(f);
+    }
+}
+
+/// Lifts socket-local throttle groups to global core ids (`+ base`).
+fn globalize(groups: Vec<Vec<usize>>, base: usize) -> Vec<Vec<usize>> {
+    groups.into_iter().map(|g| g.into_iter().map(|c| c + base).collect()).collect()
 }
 
 /// Per-core [`CoreSample`]s (IPC + metric cascade) of one interval.

@@ -94,7 +94,7 @@ impl MixResult {
 
 fn build_system(mix: &Mix, cfg: &ExperimentConfig) -> System {
     let mut sys_cfg = cfg.sys.clone();
-    sys_cfg.num_cores = mix.num_cores();
+    sys_cfg.set_num_cores(mix.num_cores());
     let workloads = mix.instantiate(sys_cfg.llc.size_bytes);
     System::new(sys_cfg, workloads)
 }
@@ -267,7 +267,7 @@ pub fn run_mix_with_faults(
 /// same machine as synthetic ones.
 pub fn run_alone_ipc(slot: &Slot, cfg: &ExperimentConfig) -> f64 {
     let mut sys_cfg = cfg.sys.clone();
-    sys_cfg.num_cores = 1;
+    sys_cfg.set_num_cores(1);
     let w = slot.instantiate(sys_cfg.llc.size_bytes, 1 << 36, 7);
     let mut sys = System::new(sys_cfg, vec![w]);
     sys.run(cfg.warmup_cycles.max(1));

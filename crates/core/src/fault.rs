@@ -244,6 +244,12 @@ impl<S: Substrate> Substrate for FaultySubstrate<S> {
         self.inner.reset_cat()
     }
 
+    fn reset_cat_domain(&mut self, socket: usize) {
+        // Same reasoning as reset_cat: the per-domain safe state is always
+        // reachable, so the fault layer never interposes here.
+        self.inner.reset_cat_domain(socket)
+    }
+
     fn control_state(&self) -> Vec<CoreControl> {
         self.inner.control_state()
     }

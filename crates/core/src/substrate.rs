@@ -66,6 +66,15 @@ pub trait Substrate {
     /// fall back to, exactly as unloading the kernel module would.
     fn reset_cat(&mut self);
 
+    /// Restores power-on CAT state on one socket's CAT domain only — the
+    /// per-domain escape hatch the multi-socket controller uses so one
+    /// domain's degradation does not tear down another's partitions.
+    /// Substrates without socket-scoped CAT fall back to a full reset.
+    fn reset_cat_domain(&mut self, socket: usize) {
+        let _ = socket;
+        self.reset_cat();
+    }
+
     /// Read-back of the control state in force per core (CLOS, effective
     /// way mask, raw prefetcher MSR image) — the telemetry journal's
     /// "what was actually programmed" half.
@@ -149,6 +158,10 @@ impl Substrate for System {
 
     fn reset_cat(&mut self) {
         System::reset_cat(self)
+    }
+
+    fn reset_cat_domain(&mut self, socket: usize) {
+        System::reset_cat_domain(self, socket)
     }
 
     fn control_state(&self) -> Vec<CoreControl> {

@@ -110,6 +110,12 @@ pub struct EpochRecord {
     pub cycle: u64,
     /// Mechanism label (`"PT"`, `"CMM-a"`, …).
     pub mechanism: &'static str,
+    /// CAT domain (socket) this record describes on a multi-socket
+    /// machine; `None` on single-socket runs. When set, `cores`, the
+    /// detected sets, trials, and `applied` all describe that domain's
+    /// cores in socket-local order, and each profiling epoch emits one
+    /// record per domain (schema `cmm-journal/3`).
+    pub domain: Option<usize>,
     /// Per-core cascade samples from the detection interval. Empty when
     /// the mechanism does not profile (the baseline).
     pub cores: Vec<CoreSample>,
@@ -153,6 +159,11 @@ impl EpochRecord {
         s.push_str("{\"kind\":\"epoch\"");
         s.push_str(&format!(",\"run\":\"{}\"", escape(run)));
         s.push_str(&format!(",\"mechanism\":\"{}\"", escape(self.mechanism)));
+        // Only multi-socket journals (schema /3) carry the domain key;
+        // single-socket output must stay byte-identical to /2.
+        if let Some(d) = self.domain {
+            s.push_str(&format!(",\"domain\":{d}"));
+        }
         s.push_str(&format!(",\"epoch\":{}", self.epoch));
         s.push_str(&format!(",\"cycle\":{}", self.cycle));
         s.push_str(",\"cores\":[");
@@ -246,21 +257,32 @@ pub struct Manifest {
     pub host_cpus: usize,
     /// FNV-1a digest of the run's configuration (see [`config_digest`]).
     pub config_digest: String,
+    /// Machine topology label (`"2x16"`) on multi-socket runs; `None` on
+    /// single-socket runs, which keep the `/2` manifest byte-identical.
+    pub topology: Option<String>,
 }
 
 impl Manifest {
     /// Renders the manifest as the journal's first JSONL line (no trailing
     /// newline). Deliberately excludes `--jobs` and wall-clock time: the
     /// journal must be byte-identical across thread counts and runs.
+    /// Multi-socket runs declare schema `cmm-journal/3` and add the
+    /// `topology` key; single-socket output is unchanged `/2`.
     pub fn to_json_line(&self) -> String {
+        let (schema, topology) = match &self.topology {
+            Some(t) => ("cmm-journal/3", format!(",\"topology\":\"{}\"", escape(t))),
+            None => ("cmm-journal/2", String::new()),
+        };
         format!(
-            "{{\"schema\":\"cmm-journal/2\",\"kind\":\"manifest\",\"target\":\"{}\",\
-             \"quick\":{},\"seed\":{},\"git_sha\":\"{}\",\
+            "{{\"schema\":\"{}\",\"kind\":\"manifest\",\"target\":\"{}\",\
+             \"quick\":{},\"seed\":{}{},\"git_sha\":\"{}\",\
              \"host\":{{\"os\":\"{}\",\"arch\":\"{}\",\"cpus\":{}}},\
              \"config_digest\":\"{}\"}}",
+            schema,
             escape(&self.target),
             self.quick,
             self.seed,
+            topology,
             escape(&self.git_sha),
             escape(&self.host_os),
             escape(&self.host_arch),
@@ -335,6 +357,7 @@ mod tests {
             epoch: 3,
             cycle: 1_200_000,
             mechanism: "CMM-a",
+            domain: None,
             cores: vec![CoreSample {
                 ipc: 1.25,
                 metrics: Metrics {
@@ -443,14 +466,45 @@ mod tests {
             host_arch: "x86_64".into(),
             host_cpus: 8,
             config_digest: config_digest("cfg"),
+            topology: None,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/2\",\"kind\":\"manifest\""));
         assert!(line.contains("\"target\":\"table1\""));
         assert!(line.contains("\"cpus\":8"));
         assert!(line.contains("\"config_digest\":\"fnv1a:"));
+        // Single-socket manifests carry no topology key at all.
+        assert!(!line.contains("topology"));
         // No --jobs and no wall-clock: journals must not depend on either.
         assert!(!line.contains("jobs"));
+    }
+
+    #[test]
+    fn multi_socket_manifest_declares_schema_3() {
+        let m = Manifest {
+            target: "scale".into(),
+            quick: true,
+            seed: 42,
+            git_sha: "abc123".into(),
+            host_os: "linux".into(),
+            host_arch: "x86_64".into(),
+            host_cpus: 8,
+            config_digest: config_digest("cfg"),
+            topology: Some("2x16".into()),
+        };
+        let line = m.to_json_line();
+        assert!(line.starts_with("{\"schema\":\"cmm-journal/3\",\"kind\":\"manifest\""));
+        assert!(line.contains("\"topology\":\"2x16\""));
+    }
+
+    #[test]
+    fn domain_key_only_on_multi_socket_records() {
+        let single = sample_record().to_json_line("x");
+        assert!(!single.contains("\"domain\""));
+        let mut r = sample_record();
+        r.domain = Some(1);
+        let multi = r.to_json_line("x");
+        assert!(multi.contains("\"mechanism\":\"CMM-a\",\"domain\":1,\"epoch\":3"));
     }
 
     #[test]

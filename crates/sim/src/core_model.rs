@@ -57,8 +57,15 @@ const OP_BATCH: usize = 64;
 
 /// One simulated physical core.
 pub struct Core {
-    /// Core id (also its memory-controller port and default CAT lookup key).
+    /// Global core id (its memory-controller traffic port).
     pub id: usize,
+    /// Socket-local index (`id % cores_per_socket`): the key into the
+    /// owning socket's CAT state and presence tracker.
+    pub slot: usize,
+    /// Fixed extra cycles on every memory fill (demand or prefetch) this
+    /// core sources from a *remote* controller — zero on single-socket and
+    /// per-socket-controller topologies.
+    mem_penalty: u64,
     /// Private L1 data cache.
     pub l1: Cache,
     /// Private unified L2.
@@ -101,8 +108,19 @@ impl Core {
     /// Builds a core with cold caches running `workload`.
     pub fn new(id: usize, cfg: &SystemConfig, workload: Box<dyn Workload + Send>) -> Self {
         let window_capacity = workload.mlp().clamp(1, cfg.core.max_mlp) as usize;
+        let topo = cfg.topology;
+        // The shared controller sits on socket 0; cores elsewhere pay the
+        // cross-socket penalty on every fill. Per-socket controllers are
+        // always local.
+        let mem_penalty = if !topo.mem_per_socket && topo.socket_of(id) != 0 {
+            topo.cross_socket_penalty
+        } else {
+            0
+        };
         Core {
             id,
+            slot: topo.local_id(id),
+            mem_penalty,
             l1: Cache::new(cfg.l1),
             l2: Cache::new(cfg.l2),
             battery: Battery::new(),
@@ -135,6 +153,8 @@ impl Core {
         let workload = self.workload.try_clone_box()?;
         Some(Core {
             id: self.id,
+            slot: self.slot,
+            mem_penalty: self.mem_penalty,
             l1: self.l1.clone(),
             l2: self.l2.clone(),
             battery: self.battery.clone(),
@@ -244,7 +264,7 @@ impl Core {
             dirty |= ev.dirty;
         }
         if let Some(ev) = self.l2.invalidate_line(line) {
-            presence.dec(line, self.id);
+            presence.dec(line, self.slot);
             dirty |= ev.dirty;
         }
         if dirty {
@@ -370,7 +390,7 @@ impl Core {
             self.pmu.l3_load_miss += 1;
         }
 
-        let completion = mem.demand_fill(self.time, self.id, line);
+        let completion = mem.demand_fill(self.time, self.id, line) + self.mem_penalty;
         self.pmu.mem_demand_bytes += 64;
         self.fill_llc(line, false, llc, cat, mem, presence, inval);
         self.fill_l2(line, false, llc, presence);
@@ -466,7 +486,7 @@ impl Core {
             self.push_fill(
                 line,
                 PendingFill {
-                    complete,
+                    complete: complete + self.mem_penalty,
                     to_l1: true,
                     to_llc: true,
                     prefetched: true,
@@ -513,7 +533,7 @@ impl Core {
             self.push_fill(
                 line,
                 PendingFill {
-                    complete,
+                    complete: complete + self.mem_penalty,
                     to_l1: false,
                     to_llc: true,
                     prefetched: true,
@@ -588,9 +608,9 @@ impl Core {
             self.l2.insert(line, prefetched, u64::MAX);
             return;
         }
-        presence.inc(line, self.id);
+        presence.inc(line, self.slot);
         if let Some(ev) = self.l2.insert(line, prefetched, u64::MAX) {
-            presence.dec(ev.line, self.id);
+            presence.dec(ev.line, self.slot);
             // L1 must not outlive L2 if we keep the hierarchy inclusive.
             self.l1.invalidate_line(ev.line);
             if ev.dirty {
@@ -610,7 +630,7 @@ impl Core {
         presence: &mut Presence,
         inval: &mut Vec<u64>,
     ) {
-        let mask = cat.mask_for_core(self.id);
+        let mask = cat.mask_for_core(self.slot);
         // Query-Based Selection: avoid victimising lines resident in any
         // core's private caches (Broadwell's inclusion-victim mitigation).
         let ev = if self.qbs {
@@ -627,7 +647,7 @@ impl Core {
             // Our own copies go now; other cores' at the quantum boundary.
             self.l1.invalidate_line(ev.line);
             if self.l2.invalidate_line(ev.line).is_some() {
-                presence.dec(ev.line, self.id);
+                presence.dec(ev.line, self.slot);
             }
             inval.push(ev.line);
         }
@@ -637,15 +657,15 @@ impl Core {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SystemConfig;
+    use crate::config::{SystemConfig, Topology};
     use crate::workload::Idle;
 
     fn rig() -> (Core, Cache, CatState, MemoryController, Presence, Vec<u64>) {
         let cfg = SystemConfig::tiny(1);
         let core = Core::new(0, &cfg, Box::new(Idle));
         let llc = Cache::new(cfg.llc);
-        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, 1);
-        let mem = MemoryController::new(cfg.memory, 1);
+        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, &Topology::single(1));
+        let mem = MemoryController::new(cfg.memory, &Topology::single(1));
         (core, llc, cat, mem, Presence::new(), Vec::new())
     }
 
@@ -685,8 +705,8 @@ mod tests {
         let cfg = SystemConfig::tiny(1);
         let mut core = Core::new(0, &cfg, Box::new(Seq { pos: 0, span: 1 << 20 }));
         let mut llc = Cache::new(cfg.llc);
-        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, 1);
-        let mut mem = MemoryController::new(cfg.memory, 1);
+        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, &Topology::single(1));
+        let mut mem = MemoryController::new(cfg.memory, &Topology::single(1));
         let mut presence = Presence::new();
         let mut inval = Vec::new();
         core.run_until(50_000, &mut llc, &cat, &mut mem, &mut presence, &mut inval);
@@ -705,8 +725,8 @@ mod tests {
             let mut core = Core::new(0, &cfg, Box::new(Seq { pos: 0, span: 1 << 22 }));
             core.battery.write_msr(msr);
             let mut llc = Cache::new(cfg.llc);
-            let cat = CatState::new(cfg.num_clos, cfg.llc.ways, 1);
-            let mut mem = MemoryController::new(cfg.memory, 1);
+            let cat = CatState::new(cfg.num_clos, cfg.llc.ways, &Topology::single(1));
+            let mut mem = MemoryController::new(cfg.memory, &Topology::single(1));
             let mut presence = Presence::new();
             let mut inval = Vec::new();
             core.run_until(300_000, &mut llc, &cat, &mut mem, &mut presence, &mut inval);
@@ -726,8 +746,8 @@ mod tests {
         let mut core = Core::new(0, &cfg, Box::new(Seq { pos: 0, span: 1 << 22 }));
         core.battery.write_msr(0xF); // no prefetch: every line from memory
         let mut llc = Cache::new(cfg.llc);
-        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, 1);
-        let mut mem = MemoryController::new(cfg.memory, 1);
+        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, &Topology::single(1));
+        let mut mem = MemoryController::new(cfg.memory, &Topology::single(1));
         let mut presence = Presence::new();
         let mut inval = Vec::new();
         core.run_until(100_000, &mut llc, &cat, &mut mem, &mut presence, &mut inval);
@@ -756,8 +776,8 @@ mod tests {
         let mut core = Core::new(0, &cfg, Box::new(StoreStream { pos: 0 }));
         core.battery.write_msr(0xF);
         let mut llc = Cache::new(cfg.llc);
-        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, 1);
-        let mut mem = MemoryController::new(cfg.memory, 1);
+        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, &Topology::single(1));
+        let mut mem = MemoryController::new(cfg.memory, &Topology::single(1));
         let mut presence = Presence::new();
         let mut inval = Vec::new();
         core.run_until(20_000, &mut llc, &cat, &mut mem, &mut presence, &mut inval);

@@ -69,8 +69,16 @@ pub struct MemoryController {
 }
 
 impl MemoryController {
-    /// Creates a controller serving `num_cores` cores.
-    pub fn new(cfg: MemoryConfig, num_cores: usize) -> Self {
+    /// Creates a controller serving the machine described by `topo`.
+    ///
+    /// Traffic is always accounted by *global* core id
+    /// ([`Topology::total_cores`](crate::config::Topology::total_cores)
+    /// slots), whether the instance is the machine-wide shared channel or
+    /// one socket's private channel — per-socket instances simply leave
+    /// remote cores' counters at zero. Taking the topology instead of a
+    /// bare core count makes a socket/core-count swap a type error.
+    pub fn new(cfg: MemoryConfig, topo: &crate::config::Topology) -> Self {
+        let num_cores = topo.total_cores();
         assert!(cfg.bytes_per_cycle > 0.0);
         assert!(cfg.banks.is_power_of_two(), "bank count must be a power of two");
         let hit_service_scaled =
@@ -190,7 +198,7 @@ mod tests {
     }
 
     fn ctl(bpc: f64, drop: usize) -> MemoryController {
-        MemoryController::new(cfg(bpc, drop), 2)
+        MemoryController::new(cfg(bpc, drop), &crate::config::Topology::single(2))
     }
 
     /// Lines in distinct rows of the same bank (row = 32 lines apart ×
@@ -311,6 +319,6 @@ mod tests {
     fn bank_count_validated() {
         let mut c = cfg(32.0, 64);
         c.banks = 3;
-        MemoryController::new(c, 1);
+        MemoryController::new(c, &crate::config::Topology::single(1));
     }
 }

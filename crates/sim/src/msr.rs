@@ -79,10 +79,14 @@ pub struct CatState {
 }
 
 impl CatState {
-    /// Power-on state: every CLOS owns all ways, every core is in CLOS 0.
-    pub fn new(num_clos: usize, llc_ways: u32, num_cores: usize) -> Self {
+    /// Power-on state for **one socket's** CAT domain: every CLOS owns all
+    /// ways, every core is in CLOS 0. Core indices into this state are
+    /// socket-*local* (`0..topo.cores_per_socket`); taking the
+    /// [`Topology`](crate::config::Topology) instead of a bare core count
+    /// makes a socket/core-count swap a type error at the call site.
+    pub fn new(num_clos: usize, llc_ways: u32, topo: &crate::config::Topology) -> Self {
         let full = crate::cache::Cache::low_ways_mask(llc_ways as usize);
-        CatState { llc_ways, masks: vec![full; num_clos], assoc: vec![0; num_cores] }
+        CatState { llc_ways, masks: vec![full; num_clos], assoc: vec![0; topo.cores_per_socket] }
     }
 
     /// Number of classes of service.
@@ -170,14 +174,14 @@ mod tests {
 
     #[test]
     fn power_on_state_is_full_and_clos0() {
-        let cat = CatState::new(4, 20, 8);
+        let cat = CatState::new(4, 20, &crate::config::Topology::single(8));
         assert_eq!(cat.mask_for_core(7), (1 << 20) - 1);
         assert_eq!(cat.assoc(3), 0);
     }
 
     #[test]
     fn invalid_masks_rejected() {
-        let mut cat = CatState::new(4, 20, 8);
+        let mut cat = CatState::new(4, 20, &crate::config::Topology::single(8));
         assert_eq!(cat.set_mask(0, 0), Err(CatError::EmptyMask));
         assert_eq!(cat.set_mask(0, 0b101), Err(CatError::NonContiguousMask(0b101)));
         assert_eq!(cat.set_mask(0, 1 << 20), Err(CatError::MaskTooWide(1 << 20)));
@@ -186,7 +190,7 @@ mod tests {
 
     #[test]
     fn overlapping_masks_allowed() {
-        let mut cat = CatState::new(4, 20, 8);
+        let mut cat = CatState::new(4, 20, &crate::config::Topology::single(8));
         cat.set_mask(0, contiguous_mask(0, 20)).unwrap();
         cat.set_mask(1, contiguous_mask(0, 3)).unwrap();
         cat.set_assoc(5, 1).unwrap();
@@ -196,14 +200,14 @@ mod tests {
 
     #[test]
     fn assoc_validation() {
-        let mut cat = CatState::new(4, 20, 8);
+        let mut cat = CatState::new(4, 20, &crate::config::Topology::single(8));
         assert_eq!(cat.set_assoc(8, 0), Err(CatError::BadCore(8)));
         assert_eq!(cat.set_assoc(0, 4), Err(CatError::BadClos(4)));
     }
 
     #[test]
     fn reset_restores_power_on() {
-        let mut cat = CatState::new(4, 20, 8);
+        let mut cat = CatState::new(4, 20, &crate::config::Topology::single(8));
         cat.set_mask(1, 0b11).unwrap();
         cat.set_assoc(2, 1).unwrap();
         cat.reset();

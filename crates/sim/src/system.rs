@@ -54,16 +54,54 @@ impl From<CatError> for MsrError {
     }
 }
 
-/// The simulated machine.
+/// One socket's shared state: its LLC, CAT domain, L2-presence tracker,
+/// deferred back-invalidation queue, and (when the topology gives each
+/// socket a private channel) its memory controller. CAT and presence are
+/// indexed by socket-*local* core ids.
+#[derive(Clone)]
+struct SocketState {
+    llc: Cache,
+    cat: CatState,
+    presence: Presence,
+    inval: Vec<u64>,
+    /// `Some` iff [`Topology::mem_per_socket`](crate::config::Topology);
+    /// otherwise the machine-wide [`System::shared_mem`] serves this
+    /// socket (with the cross-socket penalty for non-zero sockets).
+    mem: Option<MemoryController>,
+}
+
+/// The simulated machine: `topology.sockets` instances of
+/// [`SocketState`] over one socket-major array of cores.
 pub struct System {
     cfg: SystemConfig,
     cores: Vec<Core>,
-    llc: Cache,
-    cat: CatState,
-    mem: MemoryController,
-    presence: Presence,
+    sockets: Vec<SocketState>,
+    /// The machine-wide memory controller when the topology shares one
+    /// channel group across sockets (always the case for single-socket).
+    shared_mem: Option<MemoryController>,
     now: u64,
-    inval: Vec<u64>,
+}
+
+/// Inclusive back-invalidation of one socket's queued LLC victims,
+/// targeted at the cores whose private caches actually hold a copy (the
+/// presence holder mask) instead of broadcasting to every core. The
+/// evicting core already dropped its own copy at fill time, so most
+/// victims have an empty mask and cost one lookup. `cores` is the
+/// socket's slice, indexed by socket-local id.
+fn drain_invalidations(
+    cores: &mut [Core],
+    mem: &mut MemoryController,
+    presence: &mut Presence,
+    inval: &mut Vec<u64>,
+) {
+    for line in inval.drain(..) {
+        let mut mask = presence.holders(line);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            cores[i].back_invalidate(line, mem, presence);
+        }
+    }
 }
 
 impl System {
@@ -78,12 +116,20 @@ impl System {
             cfg.num_cores,
             workloads.len()
         );
+        let topo = cfg.topology;
         let cores: Vec<Core> =
             workloads.into_iter().enumerate().map(|(i, w)| Core::new(i, &cfg, w)).collect();
-        let llc = Cache::new(cfg.llc);
-        let cat = CatState::new(cfg.num_clos, cfg.llc.ways, cfg.num_cores);
-        let mem = MemoryController::new(cfg.memory, cfg.num_cores);
-        System { cfg, cores, llc, cat, mem, presence: Presence::new(), now: 0, inval: Vec::new() }
+        let sockets: Vec<SocketState> = (0..topo.sockets)
+            .map(|_| SocketState {
+                llc: Cache::new(cfg.llc),
+                cat: CatState::new(cfg.num_clos, cfg.llc.ways, &topo),
+                presence: Presence::new(),
+                inval: Vec::new(),
+                mem: topo.mem_per_socket.then(|| MemoryController::new(cfg.memory, &topo)),
+            })
+            .collect();
+        let shared_mem = (!topo.mem_per_socket).then(|| MemoryController::new(cfg.memory, &topo));
+        System { cfg, cores, sockets, shared_mem, now: 0 }
     }
 
     /// Number of cores.
@@ -91,7 +137,12 @@ impl System {
         self.cores.len()
     }
 
-    /// LLC associativity (CAT mask width).
+    /// Number of sockets (CAT domains).
+    pub fn num_sockets(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// LLC associativity (CAT mask width) — identical on every socket.
     pub fn llc_ways(&self) -> u32 {
         self.cfg.llc.ways
     }
@@ -106,37 +157,44 @@ impl System {
         self.now
     }
 
+    /// The memory controller serving `socket`.
+    fn mem_for(&self, socket: usize) -> &MemoryController {
+        self.sockets[socket].mem.as_ref().or(self.shared_mem.as_ref()).expect("a controller")
+    }
+
     /// Advances the whole machine by `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
         let target = self.now + cycles;
+        let cps = self.cfg.topology.cores_per_socket;
         while self.now < target {
             let qend = (self.now + self.cfg.quantum).min(target);
-            let System { cores, llc, cat, mem, presence, inval, .. } = self;
-            for core in cores.iter_mut() {
-                core.run_until(qend, llc, cat, mem, presence, inval);
+            {
+                let System { cores, sockets, shared_mem, .. } = self;
+                for (s, sock) in sockets.iter_mut().enumerate() {
+                    let SocketState { llc, cat, presence, inval, mem } = sock;
+                    let mem = mem.as_mut().or(shared_mem.as_mut()).expect("a controller");
+                    for core in &mut cores[s * cps..(s + 1) * cps] {
+                        core.run_until(qend, llc, cat, mem, presence, inval);
+                    }
+                }
             }
             self.apply_back_invalidations();
             self.now = qend;
         }
     }
 
-    /// Inclusive back-invalidation of the quantum's LLC victims, targeted
-    /// at the cores whose private caches actually hold a copy (the
-    /// presence holder mask) instead of broadcasting to every core. The
-    /// evicting core already dropped its own copy at fill time, so most
-    /// victims have an empty mask and cost one lookup.
+    /// Drains every socket's deferred back-invalidation queue (see
+    /// [`drain_invalidations`]); called at quantum boundaries.
     fn apply_back_invalidations(&mut self) {
-        if self.inval.is_empty() {
-            return;
-        }
-        let System { cores, mem, presence, inval, .. } = self;
-        for line in inval.drain(..) {
-            let mut mask = presence.holders(line);
-            while mask != 0 {
-                let i = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                cores[i].back_invalidate(line, mem, presence);
+        let cps = self.cfg.topology.cores_per_socket;
+        let System { cores, sockets, shared_mem, .. } = self;
+        for (s, sock) in sockets.iter_mut().enumerate() {
+            if sock.inval.is_empty() {
+                continue;
             }
+            let SocketState { presence, inval, mem, .. } = sock;
+            let mem = mem.as_mut().or(shared_mem.as_mut()).expect("a controller");
+            drain_invalidations(&mut cores[s * cps..(s + 1) * cps], mem, presence, inval);
         }
     }
 
@@ -169,12 +227,9 @@ impl System {
         Some(System {
             cfg: self.cfg.clone(),
             cores,
-            llc: self.llc.clone(),
-            cat: self.cat.clone(),
-            mem: self.mem.clone(),
-            presence: self.presence.clone(),
+            sockets: self.sockets.clone(),
+            shared_mem: self.shared_mem.clone(),
             now: self.now,
-            inval: self.inval.clone(),
         })
     }
 
@@ -190,15 +245,23 @@ impl System {
         self.cores[core].l2.contains(line)
     }
 
-    /// True if the shared LLC holds `line` (testing/debug introspection).
+    /// True if any socket's LLC holds `line` (testing/debug
+    /// introspection). On single-socket machines this is the one LLC.
     pub fn llc_contains(&self, line: u64) -> bool {
-        self.llc.contains(line)
+        self.sockets.iter().any(|s| s.llc.contains(line))
     }
 
-    /// Bitmask of cores whose L2 the presence map records as holding
-    /// `line` (testing/debug introspection).
+    /// Bitmask of socket-0 cores whose L2 the presence map records as
+    /// holding `line` (testing/debug introspection); see
+    /// [`System::presence_holders_in`] for other sockets.
     pub fn presence_holders(&self, line: u64) -> u64 {
-        self.presence.holders(line)
+        self.presence_holders_in(0, line)
+    }
+
+    /// Socket-local holder bitmask for `line` on `socket` — bit *i* is
+    /// the core with global id `socket * cores_per_socket + i`.
+    pub fn presence_holders_in(&self, socket: usize, line: u64) -> u64 {
+        self.sockets[socket].presence.holders(line)
     }
 
     /// Reads core `i`'s PMU snapshot (valid as of the last quantum
@@ -213,14 +276,19 @@ impl System {
         self.cores.iter().map(|c| c.pmu).collect()
     }
 
-    /// Per-core memory traffic counters.
+    /// Per-core memory traffic counters (global core id; reads the
+    /// controller serving that core's socket).
     pub fn traffic(&self, core: usize) -> CoreMemTraffic {
-        self.mem.traffic(core)
+        self.mem_for(self.cfg.topology.socket_of(core)).traffic(core)
     }
 
-    /// Total prefetch requests the memory controller dropped.
+    /// Total prefetch requests dropped across every memory controller.
     pub fn prefetches_dropped(&self) -> u64 {
-        self.mem.prefetches_dropped
+        self.shared_mem
+            .iter()
+            .chain(self.sockets.iter().filter_map(|s| s.mem.as_ref()))
+            .map(|m| m.prefetches_dropped)
+            .sum()
     }
 
     /// Name of the benchmark on core `i`.
@@ -231,42 +299,49 @@ impl System {
     /// WRMSR emulation. Supported MSRs: `MSR_MISC_FEATURE_CONTROL`
     /// (per-core prefetcher disable bits), `IA32_PQR_ASSOC` (CLOS
     /// association; low bits = CLOS id) and `IA32_L3_QOS_MASK_BASE + n`
-    /// (way mask of CLOS *n*).
+    /// (way mask of CLOS *n*). CAT MSRs are socket-scoped, exactly as on
+    /// hardware: a PQR or mask write issued from `core` programs the CAT
+    /// domain of *that core's socket* and no other.
     pub fn write_msr(&mut self, core: usize, msr: u32, value: u64) -> Result<(), MsrError> {
         if core >= self.cores.len() {
             return Err(MsrError::BadCore(core));
         }
+        let topo = self.cfg.topology;
+        let sock = topo.socket_of(core);
         match msr {
             MSR_MISC_FEATURE_CONTROL => {
                 self.cores[core].battery.write_msr(value);
                 Ok(())
             }
             IA32_PQR_ASSOC => {
-                self.cat.set_assoc(core, value as usize)?;
+                self.sockets[sock].cat.set_assoc(topo.local_id(core), value as usize)?;
                 Ok(())
             }
             m if m >= IA32_L3_QOS_MASK_BASE
-                && m < IA32_L3_QOS_MASK_BASE + self.cat.num_clos() as u32 =>
+                && m < IA32_L3_QOS_MASK_BASE + self.cfg.num_clos as u32 =>
             {
-                self.cat.set_mask((m - IA32_L3_QOS_MASK_BASE) as usize, value)?;
+                self.sockets[sock].cat.set_mask((m - IA32_L3_QOS_MASK_BASE) as usize, value)?;
                 Ok(())
             }
             other => Err(MsrError::UnknownMsr(other)),
         }
     }
 
-    /// RDMSR emulation; see [`System::write_msr`] for the supported set.
+    /// RDMSR emulation; see [`System::write_msr`] for the supported set
+    /// and socket scoping.
     pub fn read_msr(&self, core: usize, msr: u32) -> Result<u64, MsrError> {
         if core >= self.cores.len() {
             return Err(MsrError::BadCore(core));
         }
+        let topo = self.cfg.topology;
+        let sock = topo.socket_of(core);
         match msr {
             MSR_MISC_FEATURE_CONTROL => Ok(self.cores[core].battery.read_msr()),
-            IA32_PQR_ASSOC => Ok(self.cat.assoc(core) as u64),
+            IA32_PQR_ASSOC => Ok(self.sockets[sock].cat.assoc(topo.local_id(core)) as u64),
             m if m >= IA32_L3_QOS_MASK_BASE
-                && m < IA32_L3_QOS_MASK_BASE + self.cat.num_clos() as u32 =>
+                && m < IA32_L3_QOS_MASK_BASE + self.cfg.num_clos as u32 =>
             {
-                Ok(self.cat.mask((m - IA32_L3_QOS_MASK_BASE) as usize)?)
+                Ok(self.sockets[sock].cat.mask((m - IA32_L3_QOS_MASK_BASE) as usize)?)
             }
             other => Err(MsrError::UnknownMsr(other)),
         }
@@ -285,26 +360,41 @@ impl System {
         self.cores[core].battery.read_msr() != 0xF
     }
 
-    /// Programs the way mask of a CLOS.
+    /// Programs the way mask of a CLOS on **every** socket (machine-wide
+    /// convenience; domain-scoped programming goes through
+    /// [`System::write_msr`] with a core of the target socket).
     pub fn set_clos_mask(&mut self, clos: usize, mask: u64) -> Result<(), MsrError> {
-        self.cat.set_mask(clos, mask)?;
+        for sock in &mut self.sockets {
+            sock.cat.set_mask(clos, mask)?;
+        }
         Ok(())
     }
 
-    /// Moves a core into a CLOS.
+    /// Moves a core into a CLOS (of its own socket's CAT domain).
     pub fn assign_clos(&mut self, core: usize, clos: usize) -> Result<(), MsrError> {
-        self.cat.set_assoc(core, clos)?;
+        let topo = self.cfg.topology;
+        self.sockets[topo.socket_of(core)].cat.set_assoc(topo.local_id(core), clos)?;
         Ok(())
     }
 
-    /// Restores power-on CAT state (all cores share the whole LLC).
+    /// Restores power-on CAT state on every socket (all cores share their
+    /// socket's whole LLC).
     pub fn reset_cat(&mut self) {
-        self.cat.reset();
+        for sock in &mut self.sockets {
+            sock.cat.reset();
+        }
+    }
+
+    /// Restores power-on CAT state on one socket only, leaving the other
+    /// domains' programming intact.
+    pub fn reset_cat_domain(&mut self, socket: usize) {
+        self.sockets[socket].cat.reset();
     }
 
     /// Current allocation mask in force for a core.
     pub fn effective_mask(&self, core: usize) -> u64 {
-        self.cat.mask_for_core(core)
+        let topo = self.cfg.topology;
+        self.sockets[topo.socket_of(core)].cat.mask_for_core(topo.local_id(core))
     }
 
     /// Snapshot of the control state applied to every core — the
@@ -313,11 +403,16 @@ impl System {
     /// telemetry journal; the PMU snapshots ([`System::pmu_all`]) are the
     /// "what did the machine do" half.
     pub fn control_state(&self) -> Vec<CoreControl> {
+        let topo = self.cfg.topology;
         (0..self.cores.len())
-            .map(|c| CoreControl {
-                clos: self.cat.assoc(c),
-                way_mask: self.cat.mask_for_core(c),
-                msr_1a4: self.cores[c].battery.read_msr(),
+            .map(|c| {
+                let cat = &self.sockets[topo.socket_of(c)].cat;
+                let local = topo.local_id(c);
+                CoreControl {
+                    clos: cat.assoc(local),
+                    way_mask: cat.mask_for_core(local),
+                    msr_1a4: self.cores[c].battery.read_msr(),
+                }
             })
             .collect()
     }
@@ -539,7 +634,7 @@ mod tests {
             System::new(SystemConfig::tiny(2), vec![seq_at(0, 1 << 13), seq_at(1 << 24, 1 << 13)]);
         sys.run(30_000);
         let victim = (0u64..(1 << 13) / 64)
-            .find(|&l| sys.presence.holders(l) == 0b01 && sys.cores[0].l2.contains(l))
+            .find(|&l| sys.sockets[0].presence.holders(l) == 0b01 && sys.cores[0].l2.contains(l))
             .expect("core 0 must have cached part of its working set");
         assert!(
             !sys.cores[1].l1.contains(victim) && !sys.cores[1].l2.contains(victim),
@@ -553,12 +648,12 @@ mod tests {
 
         // Apply an inclusive back-invalidation for the victim, as
         // System::run does for LLC victims at quantum boundaries.
-        sys.inval.push(victim);
+        sys.sockets[0].inval.push(victim);
         sys.apply_back_invalidations();
 
         assert!(!sys.cores[0].l1.contains(victim), "victim must leave the holder's L1");
         assert!(!sys.cores[0].l2.contains(victim), "victim must leave the holder's L2");
-        assert_eq!(sys.presence.holders(victim), 0, "presence must drop the holder bit");
+        assert_eq!(sys.presence_holders(victim), 0, "presence must drop the holder bit");
         for &l in &core1_lines {
             assert!(
                 sys.cores[1].l2.contains(l),
@@ -574,15 +669,15 @@ mod tests {
             System::new(SystemConfig::tiny(2), vec![seq_at(0, 1 << 13), seq_at(0, 1 << 13)]);
         sys.run(30_000);
         let shared = (0u64..(1 << 13) / 64)
-            .find(|&l| sys.presence.holders(l) == 0b11)
+            .find(|&l| sys.presence_holders(l) == 0b11)
             .expect("some line must be resident in both private caches");
-        sys.inval.push(shared);
+        sys.sockets[0].inval.push(shared);
         sys.apply_back_invalidations();
         for c in 0..2 {
             assert!(!sys.cores[c].l1.contains(shared));
             assert!(!sys.cores[c].l2.contains(shared));
         }
-        assert_eq!(sys.presence.holders(shared), 0);
+        assert_eq!(sys.presence_holders(shared), 0);
     }
 
     #[test]
@@ -614,13 +709,13 @@ mod tests {
                 );
             }
             assert_eq!(
-                sys.presence.holders(l),
+                sys.presence_holders(l),
                 mask,
                 "presence map out of sync with L2 contents at line {l:#x}"
             );
             if mask != 0 {
                 resident += 1;
-                if !sys.llc.contains(l) {
+                if !sys.llc_contains(l) {
                     inclusion_violations += 1;
                 }
             }

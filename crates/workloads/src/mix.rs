@@ -153,6 +153,31 @@ impl Mix {
         self.slots.iter().filter_map(|s| s.bench()).collect()
     }
 
+    /// Replicates the slots round-robin onto a larger machine: core `i`
+    /// of the tiled mix runs slot `i % self.num_cores()`. Per-core address
+    /// windows and perturbation seeds still come from the *tiled* index,
+    /// so the copies occupy disjoint memory and decorrelate. A no-op
+    /// (same name) when the mix already spans `total_cores`.
+    ///
+    /// # Panics
+    /// If `total_cores` is smaller than the mix.
+    pub fn tiled(&self, total_cores: usize) -> Mix {
+        assert!(
+            total_cores >= self.num_cores(),
+            "cannot tile a {}-core mix down to {total_cores} cores",
+            self.num_cores()
+        );
+        if total_cores == self.num_cores() {
+            return self.clone();
+        }
+        Mix {
+            name: format!("{}@{}c", self.name, total_cores),
+            category: self.category,
+            slots: (0..total_cores).map(|i| self.slots[i % self.slots.len()].clone()).collect(),
+            seed: self.seed,
+        }
+    }
+
     /// Builds the runnable workloads, one per core, each in a disjoint
     /// 64 GiB address window.
     pub fn instantiate(&self, llc_bytes: u64) -> Vec<Box<dyn Workload + Send>> {

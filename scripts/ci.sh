@@ -164,6 +164,43 @@ smoke_journal_csv() {
 }
 step "repro journal-summary --csv smoke" smoke_journal_csv
 
+smoke_scale() {
+    # --topology 1x8 must be the identity: stdout AND journal
+    # byte-identical to the flagless single-socket run (the golden-diff
+    # gate for the multi-socket refactor).
+    ./target/release/repro table1 --quick --jobs 1 --topology 1x8 \
+        --bench-json "$tmp/BENCH_t1x8.json" \
+        --journal "$tmp/journal.t1x8.jsonl" > "$tmp/table1.t1x8.txt"
+    cmp "$tmp/table1.jobs1.txt" "$tmp/table1.t1x8.txt"
+    cmp "$tmp/journal.jobs1.jsonl" "$tmp/journal.t1x8.jsonl"
+    # A multi-socket leg holds the determinism contract across --jobs and
+    # journals per-CAT-domain records under the /3 schema.
+    ./target/release/repro scale --quick --topology 2x16 --jobs "$SMOKE_JOBS" \
+        --bench-json "$tmp/BENCH_scale.json" \
+        --journal "$tmp/scale.jobsN.jsonl" > "$tmp/scale.jobsN.txt"
+    ./target/release/repro scale --quick --topology 2x16 --jobs 1 \
+        --bench-json "$tmp/BENCH_scale.1.json" \
+        --journal "$tmp/scale.jobs1.jsonl" > "$tmp/scale.jobs1.txt"
+    cmp "$tmp/scale.jobs1.txt" "$tmp/scale.jobsN.txt"
+    cmp "$tmp/scale.jobs1.jsonl" "$tmp/scale.jobsN.jsonl"
+    head -1 "$tmp/scale.jobs1.jsonl" | grep -q '"schema":"cmm-journal/3"'
+    head -1 "$tmp/scale.jobs1.jsonl" | grep -q '"topology":"2x16"'
+    grep -q '"domain":' "$tmp/scale.jobs1.jsonl"
+    grep -q '"name": "scale_2x16"' "$tmp/BENCH_scale.1.json"
+    # journal-summary groups the domains; journals from different machine
+    # shapes are refused (exit 2), not mis-diffed.
+    ./target/release/repro journal-summary "$tmp/scale.jobs1.jsonl" \
+        | grep -q '\[d1\]'
+    if ./target/release/repro journal-diff \
+        "$tmp/journal.jobs1.jsonl" "$tmp/scale.jobs1.jsonl" \
+        > /dev/null 2> "$tmp/scale-diff.err"; then
+        echo "journal-diff compared journals from different topologies" >&2
+        return 1
+    fi
+    grep -q 'topology mismatch' "$tmp/scale-diff.err"
+}
+step "repro smoke_scale (1x8 golden diff, 2x16 determinism, /3 journal)" smoke_scale
+
 smoke_kill_resume() {
     # Crash-safety gate: a run hard-killed mid-sweep must resume from its
     # cmm-ckpt/1 sidecar and converge to byte-identical stdout + journal.
