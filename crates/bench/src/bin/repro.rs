@@ -18,7 +18,10 @@
 //!   ablate   partition-scale / epoch-ratio / QBS sensitivity studies
 //!   extension  PT vs PT-fine (per-engine throttling beyond the paper)
 //!   faults   fault-injection resilience sweep (hm_ipc vs fault rate;
-//!            exit 1 if degradation cliffs below the smoothness floor)
+//!            exit 1 if degradation cliffs below the smoothness floor);
+//!            includes an MBA-register fault leg driving CBP -> CMM-a
+//!   bandwidth  three-resource comparison: CMM-a vs bandwidth-only MBA vs
+//!            CBP (prefetch × CAT × MBA), per-mix hm_ipc and fairness
 //!   scale    topology sweep 1x8 -> 2x16 -> 4x32 (or one --topology):
 //!            per-CAT-domain hm_ipc, one BENCH target per leg (scale_SxM)
 //!   all      everything above (except ablate/extension/faults/scale)
@@ -42,13 +45,14 @@
 //!   bench-compare <baseline.json> <current.json> [--noise F] [--scps-floor N]
 //!            diff two BENCH_sim.json perf logs; exit 1 on regression
 //!   journal-summary <journal.jsonl> [--csv PATH]
-//!            pretty-print a cmm-journal/1../3 run journal (multi-socket
+//!            pretty-print a cmm-journal/1../4 run journal (multi-socket
 //!            runs keyed per CAT domain: "mix: mech [d0]"); --csv also
 //!            exports the per-epoch telemetry as a plottable CSV
 //!   journal-diff <a.jsonl> <b.jsonl>
 //!            compare two journals' per-epoch decision sequences;
 //!            exit 1 on divergence, 2 on read/parse errors or when the
-//!            two journals were recorded on different topologies
+//!            two journals were recorded on different topologies or
+//!            under different journal schemas
 //!   soak     kill-and-resume chaos gate: clean run, transient-chaos run,
 //!            persistent-chaos failure + resume, hard-kill + resume; exit 1
 //!            unless every converged output is byte-identical
@@ -90,8 +94,10 @@
 //! metric cascade, Agg set, trialed configs with hm_ipc, applied winner,
 //! observed substrate faults and degradations) to `JOURNAL_sim.jsonl`
 //! (see `--journal`); multi-socket runs upgrade it to `cmm-journal/3`
-//! (manifest `topology` key, per-epoch CAT `domain`). `--fault-seed`
-//! seeds the `faults` target's injected fault schedule.
+//! (manifest `topology` key, per-epoch CAT `domain`) and MBA-capable
+//! targets (`bandwidth`, `faults`) to `cmm-journal/4` (per-epoch MBA
+//! trial/applied delay levels). `--fault-seed` seeds the `faults`
+//! target's injected fault schedule.
 
 use cmm_bench::ablate;
 use cmm_bench::chaos::{self, ChaosMode};
@@ -265,10 +271,13 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|faults|all> \
+                    "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|faults|\
+                     bandwidth|all> \
                      [--quick] [--mixes N] [--seed S] [--fault-seed S] [--jobs N] [--csv DIR] \
                      [--bench-json PATH] [--journal PATH] [--resume CKPT] [--attempts N] \
                      [--topology SxM]\n       \
+                     repro bandwidth … — three-resource comparison (CMM-a, MBA, CBP): \
+                     per-mix hm_ipc and fairness, cmm-journal/4\n       \
                      repro scale [--quick] [--topology SxM] — topology sweep \
                      (default 1x8, 2x16, 4x32) with per-domain hm_ipc\n       \
                      repro <fig7..fig15|fairness|overhead|ablate|all> --trace-dir DIR …\n       \
@@ -448,6 +457,19 @@ fn run_journal_diff(args: &Args) -> i32 {
              re-run both journals on the same --topology to compare decisions",
             show(&a.topology),
             show(&b.topology)
+        );
+        return 2;
+    }
+    // A /4 journal records a third resource (MBA delay levels) that
+    // earlier schemas cannot express; a same-schema journal with different
+    // decisions is a real divergence, but a cross-schema pair would only
+    // report the schema gap dressed up as decision drift. Refuse outright,
+    // like the topology gate above.
+    if a.schema != b.schema {
+        eprintln!(
+            "journal-diff: schema mismatch: {a_path} is {} but {b_path} is {}; \
+             re-record both journals under the same schema to compare decisions",
+            a.schema, b.schema
         );
         return 2;
     }
@@ -1040,6 +1062,9 @@ fn main() {
         seed: args.seed,
         config_debug,
         topology: manifest_topology,
+        // MBA-capable targets journal per-epoch delay levels (/4). Every
+        // other target keeps its historical schema byte-for-byte.
+        mba: matches!(args.target.as_str(), "bandwidth" | "faults"),
     };
     let digest = cmm_core::telemetry::config_digest(&meta.config_debug);
     let ckpt: Option<Checkpoint> = match &args.resume {
@@ -1138,9 +1163,74 @@ fn main() {
                     exit_code = 1;
                 }
             }
+            // The MBA-register leg: CBP under faults confined to the MBA
+            // throttle MSR, exercising the CBP -> CMM-a degradation rung.
+            let mba_sweep = bench.measure("faults_mba", n, n * per_rate, || {
+                faults::sweep_mba_resumable(
+                    args.quick,
+                    args.seed,
+                    args.fault_seed,
+                    args.jobs,
+                    args.attempts,
+                    &log,
+                    ckpt.as_ref(),
+                )
+            });
+            match mba_sweep {
+                Ok(sweep) => {
+                    print!(
+                        "{}",
+                        report::table(
+                            &format!(
+                                "MBA-fault sweep — CBP, hm_ipc vs MBA-register fault rate \
+                                 (floor {:.2}× fault-free)",
+                                faults::SMOOTHNESS_FLOOR
+                            ),
+                            &["rate", "hm_ipc", "rel", "faults", "degraded epochs", "verdict"],
+                            &faults::rows(&sweep),
+                        )
+                    );
+                    if !faults::passes(&sweep) {
+                        eprintln!("[repro] faults: MBA leg cliffed below the smoothness floor");
+                        exit_code = 1;
+                    }
+                    cells.extend(faults::mba_journal_cells(sweep));
+                }
+                Err(failures) => {
+                    report_cell_failures("faults (mba leg)", &failures);
+                    exit_code = 1;
+                }
+            }
         }
         "scale" => {
             cells = run_scale(&args, &mut bench, &log);
+        }
+        "bandwidth" => {
+            // Three-resource comparison: the paper's best two-resource
+            // mechanism (CMM-a), the bandwidth-only MBA ablation, and the
+            // CBP coordination of all three knobs, over the standard mixes
+            // (tiled when --topology is multi-socket).
+            let mut cfg = eval_cfg(&args);
+            if let Some(set) = &trace_set {
+                cfg.trace_mixes = Some(set.build_mixes(8));
+            }
+            let mechs = figures::BANDWIDTH_MECHS.to_vec();
+            let (n_cells, cycles) = eval_volume(&cfg, &mechs);
+            let eval = bench.measure("bandwidth", n_cells, cycles, || {
+                figures::evaluate_resumable(&mechs, &cfg, true, ckpt.as_ref())
+            });
+            match eval {
+                Ok(eval) => {
+                    let (hm, fair) = figures::bandwidth(&eval);
+                    emit(&hm, &args.csv);
+                    emit(&fair, &args.csv);
+                    cells = journal::eval_cells(&eval);
+                }
+                Err(failures) => {
+                    report_cell_failures("bandwidth", &failures);
+                    exit_code = 1;
+                }
+            }
         }
         "table1" => {
             cells = bench

@@ -338,6 +338,8 @@ fn intern(s: &str) -> &'static str {
         "CMM-b",
         "CMM-c",
         "PT-fine",
+        "MBA",
+        "CBP",
         // Degradation fallbacks.
         "no-op",
         // Fault kinds.
@@ -351,6 +353,7 @@ fn intern(s: &str) -> &'static str {
         "gave_up",
         "reread",
         "zeroed_sample",
+        "fallback_cmm_a",
         "fallback_dunn",
         "fallback_noop",
         "kept_last_good",
@@ -409,6 +412,11 @@ pub fn decode_epoch(j: &Json) -> Result<EpochRecord, String> {
         .map(|t| {
             Ok::<Trial, String>(Trial {
                 msr_1a4: u64s(t.get("msr_1a4"), "trial msr_1a4")?,
+                // The mba key joined in /4; absent on older journals.
+                mba: match t.get("mba") {
+                    Some(_) => u64s(t.get("mba"), "trial mba")?,
+                    None => Vec::new(),
+                },
                 hm_ipc: t.get("hm_ipc").and_then(Json::as_f64).ok_or("trial missing 'hm_ipc'")?,
             })
         })
@@ -424,14 +432,25 @@ pub fn decode_epoch(j: &Json) -> Result<EpochRecord, String> {
     let clos = usizes(applied.get("clos"), "applied clos")?;
     let way_mask = u64s(applied.get("way_mask"), "applied way_mask")?;
     let msr_1a4 = u64s(applied.get("msr_1a4"), "applied msr_1a4")?;
-    if clos.len() != way_mask.len() || clos.len() != msr_1a4.len() {
+    // The mba key joined in /4 and is elided when every level is 0.
+    let mba = match applied.get("mba") {
+        Some(_) => u64s(applied.get("mba"), "applied mba")?,
+        None => vec![0; clos.len()],
+    };
+    if clos.len() != way_mask.len() || clos.len() != msr_1a4.len() || clos.len() != mba.len() {
         return Err("applied arrays disagree on core count".into());
     }
     let applied = clos
         .into_iter()
         .zip(way_mask)
         .zip(msr_1a4)
-        .map(|((clos, way_mask), msr_1a4)| CoreControl { clos, way_mask, msr_1a4 })
+        .zip(mba)
+        .map(|(((clos, way_mask), msr_1a4), mba_level)| CoreControl {
+            clos,
+            way_mask,
+            msr_1a4,
+            mba_level,
+        })
         .collect();
     Ok(EpochRecord {
         epoch: j.get("epoch").and_then(Json::as_u64).ok_or("epoch missing 'epoch'")?,
@@ -532,7 +551,10 @@ mod tests {
             agg: vec![0, 3],
             friendly: vec![0],
             unfriendly: vec![3],
-            trials: vec![Trial { msr_1a4: vec![0xF, 0x0], hm_ipc: 1.5 }],
+            trials: vec![
+                Trial { msr_1a4: vec![0xF, 0x0], mba: vec![], hm_ipc: 1.5 },
+                Trial { msr_1a4: vec![0xF, 0x0], mba: vec![0, 40], hm_ipc: 1.75 },
+            ],
             winner: Some(0),
             exec_hm_ipc: Some(1.25),
             exec_ipc_delta: Some(-0.125),
@@ -545,8 +567,8 @@ mod tests {
             }],
             degraded: Some("Dunn"),
             applied: vec![
-                CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF },
-                CoreControl { clos: 0, way_mask: 0xFFFFF, msr_1a4: 0x0 },
+                CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF, mba_level: 90 },
+                CoreControl { clos: 0, way_mask: 0xFFFFF, msr_1a4: 0x0, mba_level: 0 },
             ],
         }
     }
@@ -600,6 +622,23 @@ mod tests {
         let e = sample_epoch();
         let line = e.to_json_line("run");
         let decoded = decode_epoch(&parse(&line).unwrap()).unwrap();
+        assert_eq!(decoded.to_json_line("run"), line);
+    }
+
+    #[test]
+    fn epochs_without_mba_keys_decode_to_unthrottled_state() {
+        // Pre-/4 journals have no mba keys anywhere; decoding must fill in
+        // the power-on defaults (empty trial vec, level 0 per core).
+        let mut e = sample_epoch();
+        e.trials.truncate(1);
+        for c in &mut e.applied {
+            c.mba_level = 0;
+        }
+        let line = e.to_json_line("run");
+        assert!(!line.contains("\"mba\""), "all-zero MBA state must elide the key");
+        let decoded = decode_epoch(&parse(&line).unwrap()).unwrap();
+        assert!(decoded.trials[0].mba.is_empty());
+        assert!(decoded.applied.iter().all(|c| c.mba_level == 0));
         assert_eq!(decoded.to_json_line("run"), line);
     }
 

@@ -27,6 +27,9 @@ pub struct Decision {
     pub way_mask: Vec<u64>,
     /// Per-core applied prefetch-throttle MSR images.
     pub msr_1a4: Vec<u64>,
+    /// Per-core applied MBA delay levels (`/4` journals; empty when the
+    /// epoch left every core unthrottled — the key is elided then).
+    pub mba: Vec<u64>,
     /// Fallback mechanism the epoch degraded to, if any (`/2` journals).
     pub degraded: Option<String>,
 }
@@ -34,6 +37,11 @@ pub struct Decision {
 /// One journal reduced to its decision sequences.
 #[derive(Debug, Clone)]
 pub struct Decisions {
+    /// Manifest `schema` line (`cmm-journal/1`..`/4`). A `/4` journal
+    /// records a third resource (MBA levels) that earlier schemas cannot
+    /// express, so callers refuse cross-schema diffs the same way they
+    /// refuse cross-topology ones.
+    pub schema: String,
     /// Manifest `config_digest` (used for a mismatch *note*, not a
     /// divergence: comparing different configs is legitimate).
     pub config_digest: String,
@@ -62,7 +70,7 @@ pub fn parse_decisions(text: &str) -> Result<Decisions, String> {
     let manifest =
         json::parse(lines.next().ok_or_else(|| "empty journal (no manifest)".to_string())?)
             .map_err(|e| format!("manifest: {e}"))?;
-    let schema = manifest.get("schema").and_then(Json::as_str).unwrap_or("");
+    let schema = manifest.get("schema").and_then(Json::as_str).unwrap_or("").to_string();
     if !schema.starts_with("cmm-journal/") {
         return Err(format!("not a cmm journal (schema '{schema}')"));
     }
@@ -87,6 +95,7 @@ pub fn parse_decisions(text: &str) -> Result<Decisions, String> {
             winner: rec.get("winner").and_then(Json::as_u64),
             way_mask: u64s(applied.and_then(|a| a.get("way_mask"))),
             msr_1a4: u64s(applied.and_then(|a| a.get("msr_1a4"))),
+            mba: u64s(applied.and_then(|a| a.get("mba"))),
             degraded: rec.get("degraded").and_then(Json::as_str).map(str::to_string),
         };
         match runs.iter_mut().find(|(name, _)| *name == run) {
@@ -94,7 +103,7 @@ pub fn parse_decisions(text: &str) -> Result<Decisions, String> {
             None => runs.push((run, vec![d])),
         }
     }
-    Ok(Decisions { config_digest, topology, runs })
+    Ok(Decisions { schema, config_digest, topology, runs })
 }
 
 /// Outcome of comparing two journals' decision sequences.
@@ -136,8 +145,8 @@ impl DiffReport {
 
 fn describe(d: &Decision) -> String {
     format!(
-        "agg={:?} winner={:?} way_mask={:?} msr_1a4={:?} degraded={:?}",
-        d.agg, d.winner, d.way_mask, d.msr_1a4, d.degraded
+        "agg={:?} winner={:?} way_mask={:?} msr_1a4={:?} mba={:?} degraded={:?}",
+        d.agg, d.winner, d.way_mask, d.msr_1a4, d.mba, d.degraded
     )
 }
 
@@ -297,6 +306,23 @@ mod tests {
         // `repro journal-diff` keys off this being `None`).
         let plain = parse_decisions(&journal(&[epoch_line("A: CMM-a", 1, "0", 3)])).unwrap();
         assert_eq!(plain.topology, None);
+    }
+
+    #[test]
+    fn schema_is_captured_and_applied_mba_counts_as_a_decision() {
+        let plain = parse_decisions(&journal(&[epoch_line("A: CMM-a", 1, "0", 3)])).unwrap();
+        assert_eq!(plain.schema, "cmm-journal/2");
+        let m4 = MANIFEST.replace("cmm-journal/2", "cmm-journal/4");
+        let throttled = epoch_line("A: CBP", 1, "0", 3)
+            .replace("\"prefetch\":[true]", "\"prefetch\":[true],\"mba\":[40]");
+        let a = parse_decisions(&format!("{m4}\n{throttled}\n")).unwrap();
+        assert_eq!(a.schema, "cmm-journal/4");
+        assert_eq!(a.runs[0].1[0].mba, vec![40]);
+        // Same epoch without the throttle: a real divergence, not cosmetic.
+        let b = parse_decisions(&format!("{m4}\n{}\n", epoch_line("A: CBP", 1, "0", 3))).unwrap();
+        let rep = diff(&a, &b);
+        assert_eq!(rep.divergences.len(), 1);
+        assert!(rep.divergences[0].contains("mba=[40]"), "{}", rep.divergences[0]);
     }
 
     #[test]

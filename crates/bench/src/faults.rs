@@ -7,6 +7,12 @@
 //! that panics, wedges on a rejected WRMSR, or trusts a garbage PMU
 //! snapshot shows up here as a collapse relative to the fault-free run.
 //!
+//! A second leg ([`sweep_mba_resumable`]) runs the same mix under CBP
+//! while only the MBA throttle register misbehaves (transient rejections
+//! plus stuck writes): CBP must shed its third resource and keep the
+//! CMM-a plan — the CBP → CMM-a rung of the degradation chain — rather
+//! than cliffing or wedging on the dead register.
+//!
 //! The sweep is deterministic — fault schedules come from a seeded
 //! splitmix64 stream — so the journal cells it emits are byte-identical
 //! across `--jobs`, and CI runs it twice to prove exactly that.
@@ -155,6 +161,70 @@ pub fn sweep_resumable(
     run.into_results()
 }
 
+/// The MBA-fault leg: the same mix under CBP with faults confined to the
+/// MBA throttle register ([`FaultConfig::mba_only`]). Cell keys and
+/// journal labels use the `faults mba rate=…: CBP` prefix so the two legs
+/// never collide in a shared checkpoint. At rate 1.0 the register is gone
+/// and every epoch degrades CBP → CMM-a; the smoothness gate then asserts
+/// losing the third resource costs bounded throughput.
+pub fn sweep_mba_resumable(
+    quick: bool,
+    seed: u64,
+    fault_seed: u64,
+    jobs: usize,
+    attempts: u32,
+    log: &Progress,
+    ckpt: Option<&Checkpoint>,
+) -> Result<Vec<FaultCell>, Vec<CellFailure>> {
+    let mix = build_mixes(seed, 1).remove(1); // the same PrefAgg mix
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let run = run_cells(
+        &RATES,
+        jobs,
+        attempts,
+        |_, &rate| format!("faults mba rate={rate:.2}: CBP"),
+        |k| {
+            let payload = ckpt?.cached(k)?;
+            match decode_cell(&payload) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!(
+                        "[repro] checkpoint entry '{k}' is undecodable ({e}); re-running cell"
+                    );
+                    None
+                }
+            }
+        },
+        |k, c: &FaultCell| {
+            if let Some(ck) = ckpt {
+                ck.record(k, &encode_cell(c));
+            }
+        },
+        |_, &rate| {
+            log.cell(&format!("faults mba: rate {rate:.2}"), || {
+                let r = run_mix_with_faults(
+                    &mix,
+                    Mechanism::Cbp,
+                    &cfg,
+                    &FaultConfig::mba_only(fault_seed, rate),
+                );
+                FaultCell {
+                    rate,
+                    hm_ipc: cmm_metrics::hm_ipc(&r.ipcs),
+                    faults: r.epochs.iter().map(|e| e.faults.len() as u64).sum(),
+                    degraded_epochs: r.epochs.iter().filter(|e| e.degraded.is_some()).count()
+                        as u64,
+                    epochs: r.epochs,
+                }
+            })
+        },
+    );
+    if run.resumed > 0 {
+        log.note(&format!("resume: spliced {} cached cell(s) from the checkpoint", run.resumed));
+    }
+    run.into_results()
+}
+
 /// [`sweep_resumable`] without checkpointing, panicking on cell failure —
 /// the convenience entry point for tests.
 pub fn sweep(
@@ -199,6 +269,11 @@ pub fn passes(cells: &[FaultCell]) -> bool {
 /// Journal cells for the sweep, one per rate, in sweep order.
 pub fn journal_cells(cells: Vec<FaultCell>) -> Vec<(String, Vec<EpochRecord>)> {
     cells.into_iter().map(|c| (format!("faults rate={:.2}: CMM-a", c.rate), c.epochs)).collect()
+}
+
+/// Journal cells for the MBA-fault leg, matching its cell keys.
+pub fn mba_journal_cells(cells: Vec<FaultCell>) -> Vec<(String, Vec<EpochRecord>)> {
+    cells.into_iter().map(|c| (format!("faults mba rate={:.2}: CBP", c.rate), c.epochs)).collect()
 }
 
 #[cfg(test)]
@@ -250,5 +325,30 @@ mod tests {
         let cells = vec![cell(0.0, 1.0), cell(0.05, 0.9)];
         let labels: Vec<String> = journal_cells(cells).into_iter().map(|(l, _)| l).collect();
         assert_eq!(labels, vec!["faults rate=0.00: CMM-a", "faults rate=0.05: CMM-a"]);
+        let cells = vec![cell(0.0, 1.0), cell(0.25, 0.9)];
+        let labels: Vec<String> = mba_journal_cells(cells).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["faults mba rate=0.00: CBP", "faults mba rate=0.25: CBP"]);
+    }
+
+    #[test]
+    fn mba_leg_degrades_cbp_instead_of_cliffing() {
+        let log = Progress::new(false);
+        let cells = sweep_mba_resumable(true, 42, 7, 1, 1, &log, None).unwrap();
+        assert_eq!(cells.len(), RATES.len());
+        assert!(passes(&cells), "MBA faults must degrade smoothly, not cliff");
+        // With the register fully gone, every CBP epoch must take the
+        // CBP -> CMM-a rung of the degradation chain — losing the third
+        // resource is bounded, not a wedge or collapse.
+        let r = cmm_core::experiment::run_mix_with_faults(
+            &build_mixes(42, 1).remove(1),
+            Mechanism::Cbp,
+            &ExperimentConfig::quick(),
+            &FaultConfig::mba_only(7, 1.0),
+        );
+        assert!(!r.epochs.is_empty());
+        assert!(
+            r.epochs.iter().all(|e| e.degraded == Some("CMM-a")),
+            "a dead MBA register must degrade every CBP epoch to CMM-a"
+        );
     }
 }

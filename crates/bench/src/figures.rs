@@ -432,6 +432,32 @@ pub fn fairness(eval: &Evaluation) -> FigureSeries {
     }
 }
 
+/// The `repro bandwidth` mechanism roster: the paper's best two-resource
+/// mechanism, the bandwidth-only ablation, and the three-resource CBP
+/// coordination, side by side.
+pub const BANDWIDTH_MECHS: [Mechanism; 3] = [Mechanism::CmmA, Mechanism::Mba, Mechanism::Cbp];
+
+/// The three-resource comparison for `repro bandwidth`: per-mechanism
+/// harmonic-mean IPC and Gabor fairness per mix. Raw hm_ipc (not
+/// baseline-normalized HS) so the CBP-vs-CMM-a ordering on
+/// bandwidth-contended mixes reads straight off the table.
+pub fn bandwidth(eval: &Evaluation) -> (FigureSeries, FigureSeries) {
+    (
+        series(
+            eval,
+            "Bandwidth partitioning — harmonic-mean IPC per mechanism",
+            &BANDWIDTH_MECHS,
+            |w, m| met::hm_ipc(&w.managed[&m].ipcs),
+        ),
+        series(
+            eval,
+            "Bandwidth partitioning — Gabor fairness (min/max slowdown)",
+            &BANDWIDTH_MECHS,
+            |w, m| met::gabor_fairness(&w.alone, &w.managed[&m].ipcs),
+        ),
+    )
+}
+
 /// Fig. 15: normalized summed `STALLS_L2_PENDING`.
 pub fn fig15(eval: &Evaluation) -> FigureSeries {
     series(
@@ -482,6 +508,18 @@ mod tests {
             assert!(wc > 0.0 && wc <= 2.0, "wc {wc}");
             assert!(w.norm_bw(Mechanism::Pt) > 0.0);
             assert!(w.norm_stalls(Mechanism::Pt) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_tables_cover_the_three_resource_roster() {
+        let eval = tiny_eval(&BANDWIDTH_MECHS);
+        let (hm, fair) = bandwidth(&eval);
+        assert_eq!(hm.columns, vec!["CMM-a", "MBA", "CBP"]);
+        assert_eq!(fair.columns, hm.columns);
+        assert_eq!(hm.rows.len(), 4);
+        for (_, vals) in hm.rows.iter().chain(&fair.rows) {
+            assert!(vals.iter().all(|v| *v > 0.0), "{vals:?}");
         }
     }
 

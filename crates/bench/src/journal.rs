@@ -1,8 +1,9 @@
 //! Assembles the `cmm-journal/2` (single-socket) / `cmm-journal/3`
-//! (multi-socket) run journal (see [`cmm_core::telemetry`]) and
-//! pretty-prints it back (`repro journal-summary`). The summary reader
-//! accepts `cmm-journal/1` through `/3` — each schema only adds keys
-//! (`/3`: a manifest `topology` and per-record `domain`).
+//! (multi-socket) / `cmm-journal/4` (MBA-capable) run journal (see
+//! [`cmm_core::telemetry`]) and pretty-prints it back
+//! (`repro journal-summary`). The summary reader accepts `cmm-journal/1`
+//! through `/4` — each schema only adds keys (`/3`: a manifest `topology`
+//! and per-record `domain`; `/4`: per-trial and applied `mba` levels).
 //!
 //! The journal is JSONL: one manifest line (schema, target, seed, git SHA,
 //! host, config digest) followed by one line per controller profiling
@@ -33,6 +34,10 @@ pub struct JournalMeta {
     /// Topology label (`"2x16"`) on multi-socket runs; `None` keeps the
     /// journal at schema `/2`, byte-identical to pre-topology output.
     pub topology: Option<String>,
+    /// Whether the run's mechanisms may program the MBA bandwidth knob;
+    /// `true` declares schema `/4`. Legacy targets pass `false` and keep
+    /// their /2 (or /3) journals byte-identical.
+    pub mba: bool,
 }
 
 /// Builds the manifest line's data from the meta plus the environment.
@@ -47,6 +52,7 @@ pub fn manifest(meta: &JournalMeta) -> Manifest {
         host_cpus: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         config_digest: config_digest(&meta.config_debug),
         topology: meta.topology.clone(),
+        mba: meta.mba,
     }
 }
 
@@ -136,8 +142,8 @@ pub fn load(text: &str) -> Result<JournalDoc, String> {
     let first = lines.next().ok_or("empty journal")?;
     let manifest = parse(first).map_err(|e| format!("line 1: {e}"))?;
     let schema = manifest.get("schema").and_then(Json::as_str).unwrap_or("");
-    if !matches!(schema, "cmm-journal/1" | "cmm-journal/2" | "cmm-journal/3") {
-        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1, /2 or /3)"));
+    if !matches!(schema, "cmm-journal/1" | "cmm-journal/2" | "cmm-journal/3" | "cmm-journal/4") {
+        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1 through /4)"));
     }
     let mut epochs = Vec::new();
     for (i, line) in lines.enumerate() {
@@ -423,7 +429,11 @@ mod tests {
             friendly: vec![],
             unfriendly: vec![0],
             trials: (0..trials)
-                .map(|i| Trial { msr_1a4: vec![0xF * (i as u64 % 2)], hm_ipc: 1.0 + i as f64 })
+                .map(|i| Trial {
+                    msr_1a4: vec![0xF * (i as u64 % 2)],
+                    mba: vec![],
+                    hm_ipc: 1.0 + i as f64,
+                })
                 .collect(),
             winner: if trials > 0 { Some(trials - 1) } else { None },
             exec_hm_ipc: if epoch > 1 { Some(1.0) } else { None },
@@ -431,8 +441,8 @@ mod tests {
             faults: Vec::new(),
             degraded: None,
             applied: vec![
-                CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF },
-                CoreControl { clos: 0, way_mask: 0xFFFFF, msr_1a4: 0x0 },
+                CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF, mba_level: 0 },
+                CoreControl { clos: 0, way_mask: 0xFFFFF, msr_1a4: 0x0, mba_level: 0 },
             ],
         }
     }
@@ -444,7 +454,22 @@ mod tests {
             seed: 3,
             config_debug: "cfg".into(),
             topology: None,
+            mba: false,
         }
+    }
+
+    #[test]
+    fn mba_journal_declares_schema_4_and_summarizes() {
+        let man = manifest(&JournalMeta { mba: true, ..meta() });
+        let mut r = record(1, 1);
+        r.mechanism = "CBP";
+        r.trials[0].mba = vec![40, 0];
+        r.applied[0].mba_level = 40;
+        let text = render(&man, &[("Mix-00: CBP".to_string(), vec![r])]);
+        assert!(text.starts_with("{\"schema\":\"cmm-journal/4\""), "{text}");
+        assert!(text.contains("\"mba\":[40,0]"), "{text}");
+        let summary = summarize(&text).expect("summary");
+        assert!(summary.contains("Mix-00: CBP"), "{summary}");
     }
 
     #[test]

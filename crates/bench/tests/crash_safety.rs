@@ -39,6 +39,7 @@ fn surface(eval: &figures::Evaluation) -> String {
         seed: 42,
         config_debug: "crash-safety-test".into(),
         topology: None,
+        mba: false,
     });
     format!(
         "{}{}{}",

@@ -22,6 +22,7 @@ fn journal_text(jobs: usize) -> String {
         seed: 42,
         config_debug: "determinism-test".into(),
         topology: None,
+        mba: false,
     };
     journal::render(&journal::manifest(&meta), &journal::eval_cells(&eval))
 }

@@ -44,6 +44,7 @@ fn journal_text(set: &TraceSet, jobs: usize) -> String {
         seed: 42,
         config_debug: format!("trace-determinism-test;traces={}", set.digest()),
         topology: None,
+        mba: false,
     };
     journal::render(&journal::manifest(&meta), &journal::eval_cells(&eval))
 }

@@ -18,6 +18,7 @@
 //! [`crate::telemetry::FaultRecord`] to the caller's log so the journal
 //! can show what the hardware did and how the controller degraded.
 
+pub mod cbp;
 pub mod cmm;
 pub mod cp;
 pub mod dunn;
@@ -484,6 +485,7 @@ pub fn search_throttle_in<S: Substrate>(
         let hm = sample_hm_ipc(&deltas[base..base + len]);
         trials.push(crate::telemetry::Trial {
             msr_1a4: enabled.iter().map(|&on| if on { 0x0 } else { 0xF }).collect(),
+            mba: Vec::new(),
             hm_ipc: hm,
         });
         if hm > best_hm {
@@ -583,7 +585,11 @@ pub fn search_throttle_levels_in<S: Substrate>(
         let deltas = sample_logged(sys, sampling_interval, log);
         spent += sampling_interval;
         let hm = sample_hm_ipc(&deltas[base..base + len]);
-        trials.push(crate::telemetry::Trial { msr_1a4: image.clone(), hm_ipc: hm });
+        trials.push(crate::telemetry::Trial {
+            msr_1a4: image.clone(),
+            mba: Vec::new(),
+            hm_ipc: hm,
+        });
         if hm > best_hm {
             best_hm = hm;
             winner = trials.len() - 1;

@@ -19,7 +19,7 @@
 //! and every observed fault plus the chosen degradation lands in the
 //! epoch's [`EpochRecord::faults`] / [`EpochRecord::degraded`] telemetry.
 
-use crate::backend::{self, cmm, cp, dunn, pt, PartitionPlan};
+use crate::backend::{self, cbp, cmm, cp, dunn, pt, PartitionPlan};
 use crate::frontend::DetectorConfig;
 use crate::policy::{ControllerConfig, Mechanism};
 use crate::substrate::Substrate;
@@ -253,11 +253,52 @@ impl<S: Substrate> Driver<S> {
                 friendly = det.friendly;
                 unfriendly = det.unfriendly;
             }
-            Mechanism::CmmA | Mechanism::CmmB | Mechanism::CmmC => {
+            Mechanism::Mba => {
+                // Bandwidth-only ablation: prefetchers on, flat CAT, MBA
+                // delay-level search over the aggressor throttle groups.
+                if PartitionPlan::flat(n, ways).apply(&mut self.sys, &mut log).is_err() {
+                    self.sys.reset_cat();
+                }
+                let det =
+                    backend::detect_logged(&mut self.sys, &self.ctrl, &self.det_cfg, &mut log);
+                self.agg_history.push(det.agg.len());
+                cores = samples_of(&det.interval1);
+                if cbp::mba_available(&mut self.sys, 0, &mut log) {
+                    let groups = backend::throttle_groups(
+                        &det.agg,
+                        &det.interval1,
+                        self.ctrl.exhaustive_limit,
+                        self.ctrl.throttle_groups,
+                    );
+                    // detect_logged leaves every prefetcher on.
+                    let search = cbp::search_mba_levels_in(
+                        &mut self.sys,
+                        &groups,
+                        &cbp::MBA_LEVELS,
+                        &vec![0u64; n],
+                        self.ctrl.sampling_interval,
+                        &mut log,
+                        0,
+                        n,
+                    );
+                    trials = search.trials;
+                    winner = search.winner;
+                } else {
+                    // No bandwidth knob: nothing left for the bandwidth-only
+                    // mechanism to do.
+                    degraded = Some(degrade(&mut log, self.sys.now(), "fallback_noop"));
+                }
+                agg = det.agg;
+                friendly = det.friendly;
+                unfriendly = det.unfriendly;
+            }
+            Mechanism::CmmA | Mechanism::CmmB | Mechanism::CmmC | Mechanism::Cbp => {
                 let variant = match self.mechanism {
-                    Mechanism::CmmA => cmm::Variant::A,
                     Mechanism::CmmB => cmm::Variant::B,
-                    _ => cmm::Variant::C,
+                    Mechanism::CmmC => cmm::Variant::C,
+                    // CMM-a and CBP share the paper's plan (a); CBP layers
+                    // the MBA search on top of it below.
+                    _ => cmm::Variant::A,
                 };
                 if PartitionPlan::flat(n, ways).apply(&mut self.sys, &mut log).is_err() {
                     self.sys.reset_cat();
@@ -286,6 +327,43 @@ impl<S: Substrate> Driver<S> {
                             );
                             trials = search.trials;
                             winner = search.winner;
+                            if self.mechanism == Mechanism::Cbp {
+                                // The hierarchical third stage: with the
+                                // prefetch winner and partition in force,
+                                // search MBA delay levels for the whole
+                                // Agg set. Without the knob, CBP is
+                                // exactly CMM-a.
+                                if cbp::mba_available(&mut self.sys, 0, &mut log) {
+                                    let pf_image: Vec<u64> = search
+                                        .best
+                                        .iter()
+                                        .map(|&on| if on { 0x0 } else { 0xF })
+                                        .collect();
+                                    let mba_groups = backend::throttle_groups(
+                                        &det.agg,
+                                        &det.interval1,
+                                        self.ctrl.exhaustive_limit,
+                                        self.ctrl.throttle_groups,
+                                    );
+                                    let msearch = cbp::search_mba_levels_in(
+                                        &mut self.sys,
+                                        &mba_groups,
+                                        &cbp::MBA_LEVELS,
+                                        &pf_image,
+                                        self.ctrl.sampling_interval,
+                                        &mut log,
+                                        0,
+                                        n,
+                                    );
+                                    if let Some(w) = msearch.winner {
+                                        winner = Some(trials.len() + w);
+                                    }
+                                    trials.extend(msearch.trials);
+                                } else {
+                                    degraded =
+                                        Some(degrade(&mut log, self.sys.now(), "fallback_cmm_a"));
+                                }
+                            }
                         } else {
                             // The coordinated plan could not be programmed
                             // (e.g. CLOS exhaustion). Back out to the safe
@@ -526,11 +604,66 @@ impl<S: Substrate> Driver<S> {
                     outs[d].unfriendly = det.unfriendly;
                 }
             }
-            Mechanism::CmmA | Mechanism::CmmB | Mechanism::CmmC => {
+            Mechanism::Mba => {
+                // Bandwidth-only ablation per domain: flat CAT, prefetchers
+                // on, MBA search over each domain's aggressor groups.
+                for (d, dlog) in dom_logs.iter_mut().enumerate() {
+                    let base = d * len;
+                    let flat = PartitionPlan::flat(len, ways).offset(base);
+                    if flat.apply_at(&mut self.sys, base, dlog).is_err() {
+                        self.sys.reset_cat_domain(d);
+                    }
+                }
+                let dets = backend::detect_domains_logged(
+                    &mut self.sys,
+                    &self.ctrl,
+                    &self.det_cfg,
+                    &mut log,
+                    domains,
+                );
+                self.agg_history.push(dets.iter().map(|det| det.agg.len()).sum());
+                route_faults(&mut log, &mut dom_logs, len);
+                for (d, det) in dets.into_iter().enumerate() {
+                    let base = d * len;
+                    if cbp::mba_available(&mut self.sys, base, &mut dom_logs[d]) {
+                        let groups = globalize(
+                            backend::throttle_groups(
+                                &det.agg,
+                                &det.interval1,
+                                self.ctrl.exhaustive_limit,
+                                self.ctrl.throttle_groups,
+                            ),
+                            base,
+                        );
+                        let search = cbp::search_mba_levels_in(
+                            &mut self.sys,
+                            &groups,
+                            &cbp::MBA_LEVELS,
+                            &vec![0u64; len],
+                            self.ctrl.sampling_interval,
+                            &mut dom_logs[d],
+                            base,
+                            len,
+                        );
+                        outs[d].trials = search.trials;
+                        outs[d].winner = search.winner;
+                    } else {
+                        outs[d].degraded =
+                            Some(degrade(&mut dom_logs[d], self.sys.now(), "fallback_noop"));
+                    }
+                    outs[d].cores = samples_of(&det.interval1);
+                    outs[d].agg = det.agg;
+                    outs[d].friendly = det.friendly;
+                    outs[d].unfriendly = det.unfriendly;
+                }
+            }
+            Mechanism::CmmA | Mechanism::CmmB | Mechanism::CmmC | Mechanism::Cbp => {
                 let variant = match self.mechanism {
-                    Mechanism::CmmA => cmm::Variant::A,
                     Mechanism::CmmB => cmm::Variant::B,
-                    _ => cmm::Variant::C,
+                    Mechanism::CmmC => cmm::Variant::C,
+                    // CMM-a and CBP share plan (a); CBP layers the MBA
+                    // search per domain below.
+                    _ => cmm::Variant::A,
                 };
                 for (d, dlog) in dom_logs.iter_mut().enumerate() {
                     let base = d * len;
@@ -578,6 +711,44 @@ impl<S: Substrate> Driver<S> {
                                 );
                                 outs[d].trials = search.trials;
                                 outs[d].winner = search.winner;
+                                if self.mechanism == Mechanism::Cbp {
+                                    if cbp::mba_available(&mut self.sys, base, &mut dom_logs[d]) {
+                                        let pf_image: Vec<u64> = search
+                                            .best
+                                            .iter()
+                                            .map(|&on| if on { 0x0 } else { 0xF })
+                                            .collect();
+                                        let mba_groups = globalize(
+                                            backend::throttle_groups(
+                                                &det.agg,
+                                                &det.interval1,
+                                                self.ctrl.exhaustive_limit,
+                                                self.ctrl.throttle_groups,
+                                            ),
+                                            base,
+                                        );
+                                        let msearch = cbp::search_mba_levels_in(
+                                            &mut self.sys,
+                                            &mba_groups,
+                                            &cbp::MBA_LEVELS,
+                                            &pf_image,
+                                            self.ctrl.sampling_interval,
+                                            &mut dom_logs[d],
+                                            base,
+                                            len,
+                                        );
+                                        if let Some(w) = msearch.winner {
+                                            outs[d].winner = Some(outs[d].trials.len() + w);
+                                        }
+                                        outs[d].trials.extend(msearch.trials);
+                                    } else {
+                                        outs[d].degraded = Some(degrade(
+                                            &mut dom_logs[d],
+                                            self.sys.now(),
+                                            "fallback_cmm_a",
+                                        ));
+                                    }
+                                }
                             } else {
                                 // Same retreat chain as the single-socket
                                 // path, scoped to this domain's CAT state.
@@ -653,6 +824,7 @@ impl<S: Substrate> Driver<S> {
 fn degrade(log: &mut Vec<FaultRecord>, cycle: u64, action: &'static str) -> &'static str {
     log.push(FaultRecord { cycle, kind: "degraded", core: None, msr: None, action });
     match action {
+        "fallback_cmm_a" => "CMM-a",
         "fallback_dunn" => "Dunn",
         _ => "no-op",
     }
@@ -876,6 +1048,75 @@ mod tests {
         // No throttle search ran without the partition.
         assert!(rec.trials.is_empty());
         assert_eq!(rec.winner, None);
+    }
+
+    #[test]
+    fn cbp_layers_mba_trials_on_the_cmm_plan() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::Cbp, ControllerConfig::quick());
+        drv.run_total(1_200_000);
+        let recs = drv.records();
+        // Some epoch ran the full three-stage search: prefetch trials
+        // (no mba image) followed by MBA trials (mba image present).
+        let layered = recs
+            .iter()
+            .find(|r| r.trials.iter().any(|t| !t.mba.is_empty()))
+            .expect("no MBA trials recorded");
+        assert_eq!(layered.mechanism, "CBP");
+        // Search order is hierarchical: any prefetch trials precede every
+        // MBA trial.
+        let first_mba = layered.trials.iter().position(|t| !t.mba.is_empty()).unwrap();
+        assert!(layered.trials[first_mba..].iter().all(|t| !t.mba.is_empty()));
+        assert_eq!(layered.degraded, None);
+        // MBA trials never program an invalid level.
+        for t in &layered.trials {
+            assert!(t.mba.iter().all(|&l| cmm_sim::msr::mba_level_valid(l)), "{:?}", t.mba);
+        }
+        // The winner indexes the combined trial list.
+        let w = layered.winner.expect("search must pick a winner");
+        assert!(w < layered.trials.len());
+        // The applied read-back includes the MBA level in force.
+        for (c, a) in recs.last().unwrap().applied.iter().enumerate() {
+            assert_eq!(a.mba_level, Substrate::mba_throttle(drv.system(), c));
+        }
+    }
+
+    #[test]
+    fn cbp_without_the_mba_knob_degrades_to_cmm_a() {
+        use crate::fault::{FaultConfig, FaultySubstrate};
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        // Every MBA write fails permanently after retries; everything else
+        // is healthy — CBP must retreat to exact CMM-a behavior.
+        let faulty = FaultySubstrate::new(sys, FaultConfig::mba_only(7, 1.0));
+        let mut drv = Driver::new(faulty, Mechanism::Cbp, ControllerConfig::quick());
+        drv.system_mut().run(600_000); // past the cold phase → nonempty Agg
+        drv.epoch();
+        let rec = drv.records().last().unwrap();
+        assert!(!rec.agg.is_empty(), "mix must trigger the plan: {rec:?}");
+        assert_eq!(rec.degraded, Some("CMM-a"));
+        assert!(rec.faults.iter().any(|f| f.action == "fallback_cmm_a"), "{:?}", rec.faults);
+        // The prefetch search still ran; no MBA trial exists and no MBA
+        // level is in force.
+        assert!(!rec.trials.is_empty());
+        assert!(rec.trials.iter().all(|t| t.mba.is_empty()));
+        assert!(rec.applied.iter().all(|a| a.mba_level == 0));
+    }
+
+    #[test]
+    fn mba_only_mechanism_never_partitions_or_throttles_prefetchers() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::Mba, ControllerConfig::quick());
+        drv.run_total(1_200_000);
+        let sys = drv.system();
+        let full = (1u64 << sys.llc_ways()) - 1;
+        for c in 0..4 {
+            assert!(sys.prefetching_enabled(c));
+            assert_eq!(sys.effective_mask(c), full);
+        }
+        // Some epoch searched MBA levels for the aggressors.
+        let searched =
+            drv.records().iter().find(|r| !r.trials.is_empty()).expect("no MBA search recorded");
+        assert!(searched.trials.iter().all(|t| !t.mba.is_empty()));
     }
 
     #[test]

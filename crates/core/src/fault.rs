@@ -24,7 +24,7 @@
 use crate::substrate::Substrate;
 use cmm_sim::config::SystemConfig;
 use cmm_sim::memory::CoreMemTraffic;
-use cmm_sim::msr::{CatError, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC};
+use cmm_sim::msr::{CatError, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MBA_THROTTLE};
 use cmm_sim::pmu::Pmu;
 use cmm_sim::system::{CoreControl, MsrError};
 
@@ -46,6 +46,15 @@ pub struct FaultConfig {
     pub pmu_overflow_rate: f64,
     /// Probability that one core's PMU snapshot is transient garbage.
     pub pmu_garbage_rate: f64,
+    /// Probability that a write to the MBA throttle register is
+    /// transiently rejected (distinct from `msr_reject_rate` so bandwidth
+    /// faults can be dialed independently of prefetch/CAT faults).
+    pub mba_reject_rate: f64,
+    /// Probability that a write to the MBA throttle register is silently
+    /// dropped: the WRMSR reports success but the register keeps its old
+    /// level — the "stuck delay value" failure mode. Read-back (and hence
+    /// the journal's `applied` block) exposes the stuck level.
+    pub mba_stuck_rate: f64,
 }
 
 impl FaultConfig {
@@ -57,6 +66,8 @@ impl FaultConfig {
             clos_limit: None,
             pmu_overflow_rate: 0.0,
             pmu_garbage_rate: 0.0,
+            mba_reject_rate: 0.0,
+            mba_stuck_rate: 0.0,
         }
     }
 
@@ -70,7 +81,22 @@ impl FaultConfig {
             clos_limit: None,
             pmu_overflow_rate: rate,
             pmu_garbage_rate: rate / 2.0,
+            mba_reject_rate: 0.0,
+            mba_stuck_rate: 0.0,
         }
+    }
+
+    /// A schedule that faults only the MBA throttle register: transient
+    /// rejections at `rate`, stuck writes at half of it. Every other fault
+    /// class stays at zero, so the rest of the entropy stream is untouched.
+    pub fn mba_only(seed: u64, rate: f64) -> Self {
+        FaultConfig { mba_reject_rate: rate, mba_stuck_rate: rate / 2.0, ..FaultConfig::none() }
+            .with_seed(seed)
+    }
+
+    fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -86,12 +112,21 @@ pub struct InjectedFaults {
     pub pmu_overflows: u64,
     /// PMU snapshots with a garbage core.
     pub pmu_garbage: u64,
+    /// Transient MBA throttle-write rejections injected.
+    pub mba_rejections: u64,
+    /// MBA throttle writes silently dropped (stuck delay value).
+    pub mba_stuck: u64,
 }
 
 impl InjectedFaults {
     /// Total injections across all classes.
     pub fn total(&self) -> u64 {
-        self.msr_rejections + self.clos_rejections + self.pmu_overflows + self.pmu_garbage
+        self.msr_rejections
+            + self.clos_rejections
+            + self.pmu_overflows
+            + self.pmu_garbage
+            + self.mba_rejections
+            + self.mba_stuck
     }
 }
 
@@ -226,6 +261,21 @@ impl<S: Substrate> Substrate for FaultySubstrate<S> {
             self.injected.clos_rejections += 1;
             return Err(MsrError::Cat(CatError::BadClos(clos)));
         }
+        if msr == MSR_MBA_THROTTLE {
+            // Bandwidth-specific schedule, checked before the generic MSR
+            // one. Legacy runs never write this register, so zero-rate
+            // configurations leave every existing entropy stream intact.
+            if self.rng.chance(self.cfg.mba_reject_rate) {
+                self.injected.mba_rejections += 1;
+                return Err(MsrError::Rejected(msr));
+            }
+            if self.rng.chance(self.cfg.mba_stuck_rate) {
+                // Stuck delay value: WRMSR "succeeds" but the register
+                // keeps its old level. Read-back tells the truth.
+                self.injected.mba_stuck += 1;
+                return Ok(());
+            }
+        }
         if self.rng.chance(self.cfg.msr_reject_rate) {
             self.injected.msr_rejections += 1;
             return Err(MsrError::Rejected(msr));
@@ -318,6 +368,48 @@ mod tests {
         // The safe-state escape hatch still works.
         s.reset_cat();
         assert_eq!(Substrate::effective_mask(&s, 0), 0b1111);
+    }
+
+    #[test]
+    fn mba_rejections_are_transient_and_counted() {
+        let mut cfg = FaultConfig::none();
+        cfg.seed = 5;
+        cfg.mba_reject_rate = 0.5;
+        let mut s = FaultySubstrate::new(machine(1), cfg);
+        // Dense retries must eventually land a write.
+        let ok = (0..16).any(|_| Substrate::set_mba_throttle(&mut s, 0, 40).is_ok());
+        assert!(ok);
+        assert_eq!(Substrate::mba_throttle(&s, 0), 40);
+        assert!(s.injected().mba_rejections > 0);
+        // The MBA schedule leaves other register classes alone.
+        assert_eq!(s.write_msr(0, MSR_MISC_FEATURE_CONTROL, 0xF), Ok(()));
+        assert_eq!(s.injected().msr_rejections, 0);
+    }
+
+    #[test]
+    fn stuck_mba_writes_report_success_but_keep_the_old_level() {
+        let mut cfg = FaultConfig::none();
+        cfg.mba_stuck_rate = 1.0;
+        let mut s = FaultySubstrate::new(machine(1), cfg);
+        assert_eq!(Substrate::set_mba_throttle(&mut s, 0, 80), Ok(()));
+        // The write "succeeded" but the register is stuck at power-on 0 —
+        // only read-back (what the journal's applied block records) shows it.
+        assert_eq!(Substrate::mba_throttle(&s, 0), 0);
+        assert_eq!(s.injected().mba_stuck, 1);
+    }
+
+    #[test]
+    fn zero_mba_rates_draw_no_entropy() {
+        // With both MBA rates at zero an MBA write draws exactly the one
+        // generic reject chance every other write draws — so a stream of
+        // MBA writes and a stream of prefetch writes under the same seed
+        // fault at the same call indices.
+        let drive = |msr: u32, value: u64| {
+            let mut s = FaultySubstrate::new(machine(2), FaultConfig::uniform(11, 0.3));
+            let outcomes: Vec<bool> = (0..32).map(|_| s.write_msr(0, msr, value).is_ok()).collect();
+            (outcomes, s.injected().msr_rejections)
+        };
+        assert_eq!(drive(MSR_MBA_THROTTLE, 40), drive(MSR_MISC_FEATURE_CONTROL, 0));
     }
 
     #[test]

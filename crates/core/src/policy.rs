@@ -33,6 +33,20 @@ pub enum Mechanism {
     /// setting that keeps the cheap L1 engines while silencing the
     /// LLC/memory-flooding L2 streamer and adjacent-line engines.
     PtFine,
+    /// **Extension beyond the paper**: memory-bandwidth partitioning only
+    /// (Intel MBA-style per-core delay levels), the bandwidth-axis
+    /// ablation. Detects the `Agg` set like CMM, then searches MBA delay
+    /// levels for the aggressor throttle groups with prefetchers untouched
+    /// and the cache unpartitioned.
+    Mba,
+    /// **Extension beyond the paper**: CBP-style three-resource
+    /// coordination (after Nejat et al.). Runs the full CMM-a plan
+    /// (prefetch throttle search + Agg partition), then layers an MBA
+    /// delay-level search for the aggressor groups on top of the winning
+    /// prefetch configuration — the hierarchical (prefetch × CAT × MBA)
+    /// search. Degrades CBP → CMM-a when the bandwidth knob is
+    /// unavailable.
+    Cbp,
 }
 
 impl Mechanism {
@@ -61,6 +75,8 @@ impl Mechanism {
             Mechanism::CmmB => "CMM-b",
             Mechanism::CmmC => "CMM-c",
             Mechanism::PtFine => "PT-fine",
+            Mechanism::Mba => "MBA",
+            Mechanism::Cbp => "CBP",
         }
     }
 
@@ -77,6 +93,8 @@ impl Mechanism {
             Mechanism::CmmB,
             Mechanism::CmmC,
             Mechanism::PtFine,
+            Mechanism::Mba,
+            Mechanism::Cbp,
         ];
         all.into_iter().find(|m| m.label() == label)
     }
@@ -184,6 +202,10 @@ mod tests {
         let all = Mechanism::all_managed();
         assert_eq!(all.len(), 7);
         assert!(!all.contains(&Mechanism::Baseline));
+        // The bandwidth extensions stay out of the paper's Fig. 13 set so
+        // every legacy target keeps its exact mechanism roster.
+        assert!(!all.contains(&Mechanism::Mba));
+        assert!(!all.contains(&Mechanism::Cbp));
     }
 
     #[test]
@@ -199,6 +221,8 @@ mod tests {
         }
         assert_eq!(Mechanism::from_label("Baseline"), Some(Mechanism::Baseline));
         assert_eq!(Mechanism::from_label("PT-fine"), Some(Mechanism::PtFine));
+        assert_eq!(Mechanism::from_label("MBA"), Some(Mechanism::Mba));
+        assert_eq!(Mechanism::from_label("CBP"), Some(Mechanism::Cbp));
         assert_eq!(Mechanism::from_label("bogus"), None);
     }
 

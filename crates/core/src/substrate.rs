@@ -19,7 +19,9 @@
 
 use cmm_sim::config::SystemConfig;
 use cmm_sim::memory::CoreMemTraffic;
-use cmm_sim::msr::{IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL};
+use cmm_sim::msr::{
+    IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MBA_THROTTLE, MSR_MISC_FEATURE_CONTROL,
+};
 use cmm_sim::pmu::Pmu;
 use cmm_sim::system::{CoreControl, MsrError};
 use cmm_sim::System;
@@ -102,6 +104,19 @@ pub trait Substrate {
     /// Moves a core into a CLOS.
     fn assign_clos(&mut self, core: usize, clos: usize) -> Result<(), MsrError> {
         self.write_msr(core, IA32_PQR_ASSOC, clos as u64)
+    }
+
+    /// Programs the MBA delay level of a core (`0` unthrottled through
+    /// `90`, step 10). Routed through `write_msr` so fault-injecting and
+    /// logging decorators intercept bandwidth programming for free.
+    fn set_mba_throttle(&mut self, core: usize, level: u64) -> Result<(), MsrError> {
+        self.write_msr(core, MSR_MBA_THROTTLE, level)
+    }
+
+    /// The MBA delay level in force for a core. Unreadable registers
+    /// report `0` (the power-on, unthrottled state).
+    fn mba_throttle(&self, core: usize) -> u64 {
+        self.read_msr(core, MSR_MBA_THROTTLE).unwrap_or(0)
     }
 
     /// Current allocation mask in force for a core; the full mask when the
@@ -190,6 +205,10 @@ mod tests {
         sys.reset_cat();
         assert_eq!(sys.effective_mask(1), (1 << sys.llc_ways()) - 1);
         sys.set_prefetching(0, true).unwrap();
+        sys.set_mba_throttle(1, 40).unwrap();
+        assert_eq!(sys.mba_throttle(1), 40);
+        assert_eq!(sys.mba_throttle(0), 0);
+        sys.set_mba_throttle(1, 0).unwrap();
     }
 
     #[test]
@@ -215,5 +234,18 @@ mod tests {
         // Core index out of range: the convenience must not panic.
         let sys = machine(1);
         assert_eq!(Substrate::effective_mask(&sys, 7), (1 << sys.llc_ways()) - 1);
+    }
+
+    #[test]
+    fn mba_throttle_degrades_to_unthrottled_on_unreadable_msr() {
+        let sys = machine(1);
+        assert_eq!(Substrate::mba_throttle(&sys, 7), 0);
+    }
+
+    #[test]
+    fn mba_throttle_rejects_invalid_levels() {
+        let mut sys = machine(1);
+        assert!(Substrate::set_mba_throttle(&mut sys, 0, 37).is_err());
+        assert_eq!(Substrate::mba_throttle(&sys, 0), 0);
     }
 }

@@ -23,7 +23,10 @@
 //! (harmonic-mean IPC over the preceding execution epoch and its change
 //! versus the one before — "did the applied winner actually help?").
 //! Readers that accept `/1` journals can read `/2` journals by ignoring
-//! the new keys; nothing was removed or reordered.
+//! the new keys; nothing was removed or reordered. Schema `/3` adds the
+//! multi-socket story (`topology` in the manifest, `domain` per epoch) and
+//! `/4` the bandwidth knob (`mba` levels in trials and the `applied`
+//! block) — both purely additive in the same way.
 //!
 //! One JSON object per line; the first line is the run manifest (git SHA,
 //! host info, config digest), every further line one epoch. The rendering
@@ -87,6 +90,10 @@ impl FaultRecord {
 pub struct Trial {
     /// Per-core prefetcher MSR image during the trial interval.
     pub msr_1a4: Vec<u64>,
+    /// Per-core MBA throttle levels during the trial interval. Empty for
+    /// mechanisms that never program the bandwidth knob — and serialized
+    /// only when non-empty, so /1–/3 journals stay byte-identical.
+    pub mba: Vec<u64>,
     /// Harmonic-mean IPC observed over the trial interval (the paper's
     /// ranking criterion).
     pub hm_ipc: f64,
@@ -194,9 +201,15 @@ impl EpochRecord {
             if i > 0 {
                 s.push(',');
             }
+            let mba = if t.mba.is_empty() {
+                String::new()
+            } else {
+                format!(",\"mba\":{}", u64_list(&t.mba))
+            };
             s.push_str(&format!(
-                "{{\"msr_1a4\":{},\"hm_ipc\":{}}}",
+                "{{\"msr_1a4\":{}{},\"hm_ipc\":{}}}",
                 u64_list(&t.msr_1a4),
+                mba,
                 num(t.hm_ipc)
             ));
         }
@@ -233,7 +246,16 @@ impl EpochRecord {
         push_joined(&mut s, self.applied.iter().map(|a| a.msr_1a4.to_string()));
         s.push_str("],\"prefetch\":[");
         push_joined(&mut s, self.applied.iter().map(|a| a.prefetching().to_string()));
-        s.push_str("]}}");
+        s.push(']');
+        // The bandwidth knob joined in schema /4; epochs that never engage
+        // it (every level still 0) omit the key so /1–/3 journals are
+        // byte-identical to the pre-MBA renderer.
+        if self.applied.iter().any(|a| a.mba_level != 0) {
+            s.push_str(",\"mba\":[");
+            push_joined(&mut s, self.applied.iter().map(|a| a.mba_level.to_string()));
+            s.push(']');
+        }
+        s.push_str("}}");
         s
     }
 }
@@ -260,6 +282,10 @@ pub struct Manifest {
     /// Machine topology label (`"2x16"`) on multi-socket runs; `None` on
     /// single-socket runs, which keep the `/2` manifest byte-identical.
     pub topology: Option<String>,
+    /// Whether the run's mechanisms may program the MBA bandwidth knob.
+    /// `true` bumps the declared schema to `cmm-journal/4`; legacy targets
+    /// keep emitting /2 (or /3 with a topology) unchanged.
+    pub mba: bool,
 }
 
 impl Manifest {
@@ -267,11 +293,20 @@ impl Manifest {
     /// newline). Deliberately excludes `--jobs` and wall-clock time: the
     /// journal must be byte-identical across thread counts and runs.
     /// Multi-socket runs declare schema `cmm-journal/3` and add the
-    /// `topology` key; single-socket output is unchanged `/2`.
+    /// `topology` key; single-socket output is unchanged `/2`. Runs whose
+    /// mechanisms may program the MBA knob declare `cmm-journal/4`
+    /// (keeping the `topology` key when multi-socket).
     pub fn to_json_line(&self) -> String {
-        let (schema, topology) = match &self.topology {
-            Some(t) => ("cmm-journal/3", format!(",\"topology\":\"{}\"", escape(t))),
-            None => ("cmm-journal/2", String::new()),
+        let topology = match &self.topology {
+            Some(t) => format!(",\"topology\":\"{}\"", escape(t)),
+            None => String::new(),
+        };
+        let schema = if self.mba {
+            "cmm-journal/4"
+        } else if self.topology.is_some() {
+            "cmm-journal/3"
+        } else {
+            "cmm-journal/2"
         };
         format!(
             "{{\"schema\":\"{}\",\"kind\":\"manifest\",\"target\":\"{}\",\
@@ -374,8 +409,8 @@ mod tests {
             friendly: vec![0],
             unfriendly: vec![],
             trials: vec![
-                Trial { msr_1a4: vec![0x0], hm_ipc: 1.2 },
-                Trial { msr_1a4: vec![0xF], hm_ipc: 0.9 },
+                Trial { msr_1a4: vec![0x0], mba: vec![], hm_ipc: 1.2 },
+                Trial { msr_1a4: vec![0xF], mba: vec![], hm_ipc: 0.9 },
             ],
             winner: Some(0),
             exec_hm_ipc: Some(1.1),
@@ -388,7 +423,7 @@ mod tests {
                 action: "retry_ok",
             }],
             degraded: None,
-            applied: vec![CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0x0 }],
+            applied: vec![CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0x0, mba_level: 0 }],
         }
     }
 
@@ -467,6 +502,7 @@ mod tests {
             host_cpus: 8,
             config_digest: config_digest("cfg"),
             topology: None,
+            mba: false,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/2\",\"kind\":\"manifest\""));
@@ -491,10 +527,49 @@ mod tests {
             host_cpus: 8,
             config_digest: config_digest("cfg"),
             topology: Some("2x16".into()),
+            mba: false,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/3\",\"kind\":\"manifest\""));
         assert!(line.contains("\"topology\":\"2x16\""));
+    }
+
+    #[test]
+    fn mba_manifest_declares_schema_4() {
+        let mut m = Manifest {
+            target: "bandwidth".into(),
+            quick: true,
+            seed: 42,
+            git_sha: "abc123".into(),
+            host_os: "linux".into(),
+            host_arch: "x86_64".into(),
+            host_cpus: 8,
+            config_digest: config_digest("cfg"),
+            topology: None,
+            mba: true,
+        };
+        let line = m.to_json_line();
+        assert!(line.starts_with("{\"schema\":\"cmm-journal/4\",\"kind\":\"manifest\""));
+        assert!(!line.contains("topology"));
+        // Multi-socket MBA runs keep the topology key under the /4 schema.
+        m.topology = Some("2x16".into());
+        let line = m.to_json_line();
+        assert!(line.starts_with("{\"schema\":\"cmm-journal/4\",\"kind\":\"manifest\""));
+        assert!(line.contains("\"topology\":\"2x16\""));
+    }
+
+    #[test]
+    fn mba_keys_emitted_only_when_engaged() {
+        // A record that never touches the bandwidth knob renders exactly as
+        // it did before the knob existed.
+        let quiet = sample_record().to_json_line("x");
+        assert!(!quiet.contains("\"mba\""));
+        let mut r = sample_record();
+        r.trials[0].mba = vec![0, 40];
+        r.applied[0].mba_level = 80;
+        let line = r.to_json_line("x");
+        assert!(line.contains("{\"msr_1a4\":[0],\"mba\":[0,40],\"hm_ipc\":1.200000}"));
+        assert!(line.contains("\"prefetch\":[true],\"mba\":[80]}"));
     }
 
     #[test]

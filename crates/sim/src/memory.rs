@@ -60,6 +60,17 @@ pub struct MemoryController {
     bank_mask: u64,
     /// Per-core traffic counters.
     traffic: Vec<CoreMemTraffic>,
+    /// Per-core MBA throttle level (percent, 0/10/…/90), programmed via
+    /// `MSR_MBA_THROTTLE`. Indexed by global core id like `traffic`.
+    mba_level: Vec<u64>,
+    /// Per-core earliest next admission (scaled cycles) under the MBA
+    /// rate limiter. Only consulted/advanced while the core's level is
+    /// non-zero, so all-zero programming leaves the channel model — and
+    /// every existing byte surface — untouched.
+    mba_next_ok_scaled: Vec<u64>,
+    /// Requests the MBA limiter held back past their issue cycle
+    /// (diagnostics; the PMU-visible effect is the added fill latency).
+    pub mba_deferrals: u64,
     /// Total prefetch requests dropped due to queue pressure.
     pub prefetches_dropped: u64,
     /// Row-buffer hits and misses (diagnostics).
@@ -91,6 +102,9 @@ impl MemoryController {
             open_rows: vec![u64::MAX; cfg.banks],
             bank_mask: cfg.banks as u64 - 1,
             traffic: vec![CoreMemTraffic::default(); num_cores],
+            mba_level: vec![0; num_cores],
+            mba_next_ok_scaled: vec![0; num_cores],
+            mba_deferrals: 0,
             prefetches_dropped: 0,
             row_hits: 0,
             row_misses: 0,
@@ -109,7 +123,39 @@ impl MemoryController {
         }
     }
 
-    fn occupy_channel(&mut self, now: u64, line: u64) -> u64 {
+    /// MBA admission gate: the earliest (scaled) cycle at which a request
+    /// from `core` issued at `now` may *complete* under the rate limiter.
+    /// At level 0 this is `now` itself and **no state is touched** — the
+    /// unthrottled path is bit-identical to the pre-MBA controller. At
+    /// level *t* the limiter enforces a minimum inter-request spacing of
+    /// `hit_service / (1 - t/100)` — i.e. the core's admissible request
+    /// rate is `(100 - t) %` of the peak row-hit rate, matching Intel
+    /// MBA's "delay value ≈ bandwidth share" calibration.
+    ///
+    /// The gate delays only the *requester's* completion, never the
+    /// channel booking: the physical transfer still runs at the channel's
+    /// earliest convenience, so a throttled core cannot head-of-line-block
+    /// its siblings with future reservations. Its sustained request rate
+    /// drops all the same — each in-flight slot is held `spacing` cycles,
+    /// so with finite MLP the core's issue rate converges to the
+    /// programmed share, and the bandwidth it stops consuming is freed for
+    /// the other cores through ordinary queueing.
+    fn mba_gate_scaled(&mut self, now: u64, core: usize) -> u64 {
+        let level = self.mba_level[core];
+        let now_scaled = now * SCALE;
+        if level == 0 {
+            return now_scaled;
+        }
+        let spacing = self.hit_service_scaled * 100 / (100 - level);
+        let earliest = now_scaled.max(self.mba_next_ok_scaled[core]);
+        if earliest > now_scaled {
+            self.mba_deferrals += 1;
+        }
+        self.mba_next_ok_scaled[core] = earliest + spacing;
+        earliest
+    }
+
+    fn occupy_channel(&mut self, now_scaled: u64, line: u64) -> u64 {
         let row = (line * LINE_BYTES) / ROW_BYTES;
         let bank = (row & self.bank_mask) as usize;
         let service = if self.open_rows[bank] == row {
@@ -120,7 +166,7 @@ impl MemoryController {
             self.open_rows[bank] = row;
             self.miss_service_scaled
         };
-        let start = self.next_free_scaled.max(now * SCALE);
+        let start = self.next_free_scaled.max(now_scaled);
         self.next_free_scaled = start + service;
         start
     }
@@ -128,7 +174,8 @@ impl MemoryController {
     /// Issues a demand line fill at cycle `now` for `core`.
     /// Returns the completion cycle.
     pub fn demand_fill(&mut self, now: u64, core: usize, line: u64) -> u64 {
-        let start = self.occupy_channel(now, line);
+        let earliest = self.mba_gate_scaled(now, core);
+        let start = self.occupy_channel(now * SCALE, line).max(earliest);
         self.traffic[core].demand_bytes += LINE_BYTES;
         start / SCALE + self.cfg.base_latency
     }
@@ -140,16 +187,37 @@ impl MemoryController {
             self.prefetches_dropped += 1;
             return None;
         }
-        let start = self.occupy_channel(now, line);
+        let earliest = self.mba_gate_scaled(now, core);
+        let start = self.occupy_channel(now * SCALE, line).max(earliest);
         self.traffic[core].prefetch_bytes += LINE_BYTES;
         Some(start / SCALE + self.cfg.base_latency)
     }
 
     /// Issues a dirty writeback at cycle `now` for `core`. Writebacks
-    /// consume bandwidth but nothing waits for them.
+    /// consume bandwidth but nothing waits for them; they still spend one
+    /// of the core's MBA admission slots — throttling meters the core's
+    /// whole uncore request stream, as Intel MBA does at the L2 edge.
     pub fn writeback(&mut self, now: u64, core: usize, line: u64) {
-        self.occupy_channel(now, line);
+        // Writebacks spend one of the core's admission slots (advancing
+        // the limiter clock) but nothing waits for their completion.
+        let _ = self.mba_gate_scaled(now, core);
+        self.occupy_channel(now * SCALE, line);
         self.traffic[core].writeback_bytes += LINE_BYTES;
+    }
+
+    /// Programs `core`'s MBA throttle level (percent; validated at the
+    /// MSR layer). Level 0 restores the unthrottled fast path and clears
+    /// the core's admission clock so a later re-throttle starts fresh.
+    pub fn set_mba_level(&mut self, core: usize, level: u64) {
+        self.mba_level[core] = level;
+        if level == 0 {
+            self.mba_next_ok_scaled[core] = 0;
+        }
+    }
+
+    /// The MBA throttle level in force for `core`.
+    pub fn mba_level(&self, core: usize) -> u64 {
+        self.mba_level[core]
     }
 
     /// Traffic counters for one core.
@@ -173,6 +241,7 @@ impl MemoryController {
     pub fn reset_traffic(&mut self) {
         self.traffic.fill(CoreMemTraffic::default());
         self.prefetches_dropped = 0;
+        self.mba_deferrals = 0;
         self.row_hits = 0;
         self.row_misses = 0;
     }
@@ -312,6 +381,92 @@ mod tests {
         m.reset_traffic();
         assert_eq!(m.total_traffic().total_bytes(), 0);
         assert_eq!(m.row_misses, 0);
+    }
+
+    #[test]
+    fn mba_level_zero_is_the_identity() {
+        // The same request sequence through a throttled-then-unthrottled
+        // controller and a never-touched one must complete identically:
+        // level 0 may not leave residue in the channel model.
+        let mut a = ctl(32.0, 64);
+        let mut b = ctl(32.0, 64);
+        b.set_mba_level(0, 90);
+        b.set_mba_level(0, 0);
+        for i in 0..32 {
+            assert_eq!(a.demand_fill(i, 0, i), b.demand_fill(i, 0, i));
+        }
+        assert_eq!(a.mba_deferrals, 0);
+        assert_eq!(b.mba_deferrals, 0);
+    }
+
+    #[test]
+    fn mba_throttle_defers_back_to_back_fills() {
+        let mut m = ctl(32.0, 64);
+        m.set_mba_level(0, 80);
+        // hit_service = 2 cycles; at 80 % throttle the spacing is 10.
+        let c1 = m.demand_fill(0, 0, 0);
+        let c2 = m.demand_fill(0, 0, 1);
+        assert_eq!(c1, 100);
+        assert_eq!(c2, 110, "second fill must wait out the MBA spacing");
+        assert_eq!(m.mba_deferrals, 1);
+    }
+
+    #[test]
+    fn mba_completion_latency_is_monotone_in_level() {
+        let mut last = 0;
+        for level in [0u64, 10, 40, 80, 90] {
+            let mut m = ctl(32.0, 64);
+            m.set_mba_level(0, level);
+            let mut done = 0;
+            for i in 0..64 {
+                done = m.demand_fill(0, 0, i);
+            }
+            assert!(done >= last, "completion at level {level} ({done}) regressed below {last}");
+            last = done;
+        }
+    }
+
+    #[test]
+    fn mba_throttles_only_the_programmed_core() {
+        let mut m = ctl(32.0, 64);
+        m.set_mba_level(1, 90);
+        // Core 0 (unthrottled) at a quiet controller still sees base
+        // latency even while core 1 is being metered.
+        m.demand_fill(0, 1, conflict_line(0));
+        assert_eq!(m.demand_fill(1000, 0, 0), 1000 + 100);
+        assert_eq!(m.mba_level(0), 0);
+        assert_eq!(m.mba_level(1), 90);
+    }
+
+    #[test]
+    fn deferred_booking_does_not_head_of_line_block_siblings() {
+        // Core 1's throttled fill completes far in the future, but the
+        // limiter only stalls the requester — it never reserves channel
+        // time ahead, so core 0's fill must complete exactly as on an
+        // un-throttled controller.
+        let mut gated = ctl(32.0, 64);
+        gated.set_mba_level(1, 90);
+        let mut free = ctl(32.0, 64);
+        for m in [&mut gated, &mut free] {
+            m.demand_fill(0, 1, conflict_line(0));
+            m.demand_fill(8, 1, conflict_line(1)); // gated: deferred to ~20
+        }
+        assert_eq!(gated.mba_deferrals, 1);
+        let g = gated.demand_fill(9, 0, conflict_line(2));
+        let f = free.demand_fill(9, 0, conflict_line(2));
+        assert!(g <= f, "backfilled fill ({g}) must not trail the free channel ({f})");
+    }
+
+    #[test]
+    fn reset_traffic_keeps_mba_programming() {
+        let mut m = ctl(32.0, 64);
+        m.set_mba_level(0, 40);
+        m.demand_fill(0, 0, 0);
+        m.demand_fill(0, 0, 1);
+        assert!(m.mba_deferrals > 0);
+        m.reset_traffic();
+        assert_eq!(m.mba_deferrals, 0, "deferral counter is a traffic counter");
+        assert_eq!(m.mba_level(0), 40, "throttle programming is control state");
     }
 
     #[test]

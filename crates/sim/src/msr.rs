@@ -22,6 +22,21 @@ pub const IA32_PQR_ASSOC: u32 = 0xC8F;
 /// Base MSR address of the CAT way masks; CLOS *n* lives at base + *n*.
 pub const IA32_L3_QOS_MASK_BASE: u32 = 0xC90;
 
+/// MSR address of the per-core memory-bandwidth throttle (modelled after
+/// Intel MBA's `IA32_L2_QoS_Ext_BW_Thrtl_n` delay registers). The value is
+/// the throttle percentage: `0` (unthrottled, the power-on state) through
+/// `90` (≈10 % of peak request rate), in steps of 10 — the granularity
+/// real MBA parts expose.
+pub const MSR_MBA_THROTTLE: u32 = 0xD50;
+
+/// True if `value` is a programmable MBA delay level (0..=90, step 10).
+/// Invalid values raise [`crate::system::MsrError::BadMbaLevel`], the
+/// moral equivalent of the #GP(0) a real part raises on a reserved
+/// delay-register encoding.
+pub fn mba_level_valid(value: u64) -> bool {
+    value <= 90 && value.is_multiple_of(10)
+}
+
 /// Errors raised by invalid CAT programming, mirroring the #GP(0) a real
 /// part raises on an invalid WRMSR.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +228,16 @@ mod tests {
         cat.reset();
         assert_eq!(cat.mask_for_core(2), (1 << 20) - 1);
         assert_eq!(cat.assoc(2), 0);
+    }
+
+    #[test]
+    fn mba_levels_are_deciles_up_to_ninety() {
+        for ok in [0, 10, 50, 90] {
+            assert!(mba_level_valid(ok), "{ok}");
+        }
+        for bad in [5, 15, 91, 100, u64::MAX] {
+            assert!(!mba_level_valid(bad), "{bad}");
+        }
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::config::SystemConfig;
 use crate::core_model::Core;
 use crate::memory::{CoreMemTraffic, MemoryController};
 use crate::msr::{
-    CatError, CatState, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MISC_FEATURE_CONTROL,
+    mba_level_valid, CatError, CatState, IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MSR_MBA_THROTTLE,
+    MSR_MISC_FEATURE_CONTROL,
 };
 use crate::pmu::Pmu;
 use crate::presence::Presence;
@@ -33,6 +34,9 @@ pub enum MsrError {
     /// and the controller's bounded-retry path depends on distinguishing
     /// it from the permanent errors above.
     Rejected(u32),
+    /// An MBA delay value outside the programmable 0/10/…/90 set (would
+    /// be #GP(0) on a reserved delay-register encoding).
+    BadMbaLevel(u64),
 }
 
 impl std::fmt::Display for MsrError {
@@ -42,6 +46,9 @@ impl std::fmt::Display for MsrError {
             MsrError::Cat(e) => write!(f, "CAT error: {e}"),
             MsrError::BadCore(c) => write!(f, "core {c} out of range"),
             MsrError::Rejected(a) => write!(f, "WRMSR {a:#x} transiently rejected"),
+            MsrError::BadMbaLevel(v) => {
+                write!(f, "MBA throttle level {v} is not a multiple of 10 in 0..=90")
+            }
         }
     }
 }
@@ -160,6 +167,11 @@ impl System {
     /// The memory controller serving `socket`.
     fn mem_for(&self, socket: usize) -> &MemoryController {
         self.sockets[socket].mem.as_ref().or(self.shared_mem.as_ref()).expect("a controller")
+    }
+
+    /// Mutable access to the controller serving `socket`.
+    fn mem_for_mut(&mut self, socket: usize) -> &mut MemoryController {
+        self.sockets[socket].mem.as_mut().or(self.shared_mem.as_mut()).expect("a controller")
     }
 
     /// Advances the whole machine by `cycles` cycles.
@@ -313,6 +325,16 @@ impl System {
                 self.cores[core].battery.write_msr(value);
                 Ok(())
             }
+            MSR_MBA_THROTTLE => {
+                if !mba_level_valid(value) {
+                    return Err(MsrError::BadMbaLevel(value));
+                }
+                // The throttle is enforced by whichever controller serves
+                // this core's socket; the per-core slot is global-id
+                // indexed, so shared and per-socket layouts program alike.
+                self.mem_for_mut(sock).set_mba_level(core, value);
+                Ok(())
+            }
             IA32_PQR_ASSOC => {
                 self.sockets[sock].cat.set_assoc(topo.local_id(core), value as usize)?;
                 Ok(())
@@ -337,6 +359,7 @@ impl System {
         let sock = topo.socket_of(core);
         match msr {
             MSR_MISC_FEATURE_CONTROL => Ok(self.cores[core].battery.read_msr()),
+            MSR_MBA_THROTTLE => Ok(self.mem_for(sock).mba_level(core)),
             IA32_PQR_ASSOC => Ok(self.sockets[sock].cat.assoc(topo.local_id(core)) as u64),
             m if m >= IA32_L3_QOS_MASK_BASE
                 && m < IA32_L3_QOS_MASK_BASE + self.cfg.num_clos as u32 =>
@@ -412,6 +435,7 @@ impl System {
                     clos: cat.assoc(local),
                     way_mask: cat.mask_for_core(local),
                     msr_1a4: self.cores[c].battery.read_msr(),
+                    mba_level: self.mem_for(topo.socket_of(c)).mba_level(c),
                 }
             })
             .collect()
@@ -449,6 +473,8 @@ pub struct CoreControl {
     pub way_mask: u64,
     /// Raw `MSR_MISC_FEATURE_CONTROL` image (bit set = engine disabled).
     pub msr_1a4: u64,
+    /// MBA bandwidth-throttle level in force (percent, 0 = unthrottled).
+    pub mba_level: u64,
 }
 
 impl CoreControl {
@@ -525,6 +551,39 @@ mod tests {
         assert_eq!(sys.effective_mask(0), 0b11);
         sys.reset_cat();
         assert_eq!(sys.effective_mask(0), 0b1111); // tiny() LLC has 4 ways
+    }
+
+    #[test]
+    fn msr_mba_roundtrip_and_validation() {
+        let mut sys = System::new(SystemConfig::tiny(2), vec![Box::new(Idle), Box::new(Idle)]);
+        assert_eq!(sys.read_msr(0, MSR_MBA_THROTTLE).unwrap(), 0);
+        sys.write_msr(1, MSR_MBA_THROTTLE, 40).unwrap();
+        assert_eq!(sys.read_msr(1, MSR_MBA_THROTTLE).unwrap(), 40);
+        assert_eq!(sys.read_msr(0, MSR_MBA_THROTTLE).unwrap(), 0, "per-core scope");
+        assert!(matches!(sys.write_msr(0, MSR_MBA_THROTTLE, 45), Err(MsrError::BadMbaLevel(45))));
+        assert!(matches!(sys.write_msr(0, MSR_MBA_THROTTLE, 100), Err(MsrError::BadMbaLevel(100))));
+        assert_eq!(sys.control_state()[1].mba_level, 40);
+        assert_eq!(sys.control_state()[0].mba_level, 0);
+    }
+
+    #[test]
+    fn mba_throttle_costs_a_stream_ipc() {
+        let run = |level: u64| {
+            let mut sys = System::new(SystemConfig::tiny(1), vec![seq(1 << 22)]);
+            sys.write_msr(0, MSR_MBA_THROTTLE, level).unwrap();
+            sys.run(200_000);
+            (sys.pmu(0).ipc(), sys.traffic(0).total_bytes())
+        };
+        let (ipc_free, bytes_free) = run(0);
+        let (ipc_throttled, bytes_throttled) = run(90);
+        assert!(
+            ipc_throttled < ipc_free,
+            "90 % throttle must cost IPC: {ipc_throttled:.3} vs {ipc_free:.3}"
+        );
+        assert!(
+            bytes_throttled < bytes_free,
+            "90 % throttle must cut traffic: {bytes_throttled} vs {bytes_free}"
+        );
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! MBA bandwidth-throttle invariants: level 0 is the identity, higher
+//! delay levels monotonically reduce memory traffic, the throttle and the
+//! cross-socket fill penalty compose without double-counting, and
+//! snapshot/restore carries the MBA state exactly.
+
+use cmm_sim::config::{SystemConfig, Topology};
+use cmm_sim::msr::MSR_MBA_THROTTLE;
+use cmm_sim::workload::{Idle, Op, Workload};
+use cmm_sim::System;
+
+/// A streaming scan with deep MLP: every load is a fresh line far beyond
+/// any cache, eight misses in flight, so throughput is limited by channel
+/// bandwidth (not latency) — the regime where MBA throttling bites.
+#[derive(Clone)]
+struct Chase {
+    line: u64,
+    base: u64,
+}
+
+impl Workload for Chase {
+    fn next(&mut self) -> Op {
+        self.line = self.line.wrapping_add(97);
+        Op::Load { addr: self.base + (self.line % (1 << 30)) * 64, pc: 0x400 }
+    }
+    fn mlp(&self) -> u32 {
+        8
+    }
+    fn reset(&mut self) {
+        self.line = 0;
+    }
+    fn name(&self) -> &str {
+        "chase"
+    }
+    fn try_clone_box(&self) -> Option<Box<dyn Workload + Send>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+fn chase_machine(cores: usize) -> System {
+    let wl: Vec<Box<dyn Workload + Send>> = (0..cores)
+        .map(|i| Box::new(Chase { line: i as u64 * 13, base: (i as u64 + 1) << 36 }) as _)
+        .collect();
+    System::new(SystemConfig::tiny(cores), wl)
+}
+
+#[test]
+fn level_zero_is_byte_identical_to_an_untouched_machine() {
+    // Explicitly programming the power-on level 0 on every core must not
+    // perturb a single counter: the throttle gate's fast path leaves the
+    // machine's schedule untouched, so pre-MBA behaviour is preserved
+    // exactly whenever the knob is left (or set) at 0.
+    let mut plain = chase_machine(2);
+    let mut zeroed = chase_machine(2);
+    for c in 0..2 {
+        zeroed.write_msr(c, MSR_MBA_THROTTLE, 0).unwrap();
+    }
+    plain.run(100_000);
+    zeroed.run(100_000);
+    assert_eq!(plain.pmu_all(), zeroed.pmu_all());
+    assert_eq!(plain.now(), zeroed.now());
+    assert!(plain.pmu(0).mem_demand_bytes > 0, "the chase actually hit memory");
+}
+
+#[test]
+fn higher_delay_levels_monotonically_reduce_bandwidth() {
+    // Sweep the whole valid level range on a bandwidth-bound core: bytes
+    // moved from memory must be non-increasing in the delay level, and the
+    // heaviest throttle must show a real reduction against unthrottled.
+    let window = 200_000;
+    let mut bytes = Vec::new();
+    for level in (0..=90).step_by(10) {
+        let mut sys = chase_machine(1);
+        sys.write_msr(0, MSR_MBA_THROTTLE, level).unwrap();
+        sys.run(window);
+        bytes.push(sys.pmu(0).mem_total_bytes());
+    }
+    for w in bytes.windows(2) {
+        assert!(w[1] <= w[0], "bandwidth rose under a higher delay level: {bytes:?}");
+    }
+    assert!(
+        *bytes.last().unwrap() < bytes[0] / 2,
+        "level 90 must cut a bandwidth-bound core's traffic hard: {bytes:?}"
+    );
+}
+
+#[test]
+fn throttle_only_slows_the_throttled_core() {
+    // Two identical chases on separate address windows: throttling core 1
+    // must not steal throughput from core 0 (it can only free bandwidth
+    // up, never reduce the sibling).
+    let window = 200_000;
+    let mut free = chase_machine(2);
+    free.run(window);
+    let mut gated = chase_machine(2);
+    gated.write_msr(1, MSR_MBA_THROTTLE, 90).unwrap();
+    gated.run(window);
+    assert!(
+        gated.pmu(1).instructions < free.pmu(1).instructions,
+        "the throttled core must slow down"
+    );
+    assert!(
+        gated.pmu(0).instructions >= free.pmu(0).instructions,
+        "the unthrottled sibling must not get slower: free c0={} c1={} gated c0={} c1={}",
+        free.pmu(0).instructions,
+        free.pmu(1).instructions,
+        gated.pmu(0).instructions,
+        gated.pmu(1).instructions,
+    );
+}
+
+/// 2 sockets × 1 core over one shared controller homed on socket 0, the
+/// remote core running a chase under `level`; `extra_latency` pads the
+/// controller's unloaded round trip. Returns the remote core's PMU.
+fn remote_throttled_pmu(
+    penalty: u64,
+    extra_latency: u64,
+    level: u64,
+    window: u64,
+) -> cmm_sim::pmu::Pmu {
+    let mut topo = Topology::grid(2, 1);
+    topo.mem_per_socket = false;
+    topo.cross_socket_penalty = penalty;
+    let mut cfg = SystemConfig::tiny(2);
+    cfg.set_topology(topo);
+    cfg.memory.base_latency += extra_latency;
+    let wl: Vec<Box<dyn Workload + Send>> =
+        vec![Box::new(Idle), Box::new(Chase { line: 0, base: 1 << 36 })];
+    let mut sys = System::new(cfg, wl);
+    sys.write_msr(1, MSR_MBA_THROTTLE, level).unwrap();
+    sys.run(window);
+    sys.pmu(1)
+}
+
+#[test]
+fn throttle_and_cross_socket_penalty_compose_exactly_once() {
+    const WINDOW: u64 = 200_000;
+    // Under any MBA level, a remote core paying penalty P must remain
+    // indistinguishable from one whose memory is P cycles further away:
+    // the penalty still lands exactly once per fill, and the throttle
+    // gate never double-applies it (a gated fill re-entering the
+    // controller must not pay the penalty again).
+    for level in [0u64, 40, 90] {
+        for p in [100u64, 250] {
+            let penalized = remote_throttled_pmu(p, 0, level, WINDOW);
+            assert_eq!(
+                penalized,
+                remote_throttled_pmu(0, p, level, WINDOW),
+                "level {level}: penalty {p} == +{p} latency"
+            );
+            assert_ne!(
+                penalized,
+                remote_throttled_pmu(0, 2 * p, level, WINDOW),
+                "level {level}: penalty {p} applied twice"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_restore_carries_mba_state_exactly() {
+    let mut sys = chase_machine(2);
+    sys.write_msr(0, MSR_MBA_THROTTLE, 40).unwrap();
+    sys.write_msr(1, MSR_MBA_THROTTLE, 90).unwrap();
+    sys.run(50_000);
+    let snap = sys.snapshot().expect("chase workloads are cloneable");
+    sys.run(50_000);
+    let mut twin = snap.restore();
+    // The restored machine must read back the programmed levels...
+    assert_eq!(twin.read_msr(0, MSR_MBA_THROTTLE).unwrap(), 40);
+    assert_eq!(twin.read_msr(1, MSR_MBA_THROTTLE).unwrap(), 90);
+    // ...and replay the original's gated schedule cycle-exactly,
+    // including mid-window limiter state (deferral clocks).
+    twin.run(50_000);
+    assert_eq!(sys.now(), twin.now());
+    assert_eq!(sys.pmu_all(), twin.pmu_all(), "restored run must replay exactly");
+}

@@ -128,9 +128,12 @@ smoke_faults() {
         --journal "$tmp/faults.jobs1.jsonl" > "$tmp/faults.jobs1.txt"
     cmp "$tmp/faults.jobs1.txt" "$tmp/faults.jobsN.txt"
     cmp "$tmp/faults.jobs1.jsonl" "$tmp/faults.jobsN.jsonl"
-    head -1 "$tmp/faults.jobs1.jsonl" | grep -q '"schema":"cmm-journal/2"'
-    # Nonzero rates really injected and journaled faults.
+    # faults journals MBA trial levels now, so it carries the /4 schema.
+    head -1 "$tmp/faults.jobs1.jsonl" | grep -q '"schema":"cmm-journal/4"'
+    # Nonzero rates really injected and journaled faults, on both the
+    # legacy CAT/prefetch leg and the MBA-register leg.
     grep -q '"faults":\[{' "$tmp/faults.jobs1.jsonl"
+    grep -q '"mba":\[' "$tmp/faults.jobs1.jsonl"
 }
 step "repro faults smoke (determinism + journaled faults)" smoke_faults
 
@@ -138,14 +141,40 @@ smoke_journal_diff() {
     # Identical decision sequences: exit 0.
     ./target/release/repro journal-diff \
         "$tmp/faults.jobs1.jsonl" "$tmp/faults.jobsN.jsonl" > /dev/null
-    # Different targets (table1 vs faults): runs differ, must exit 1.
+    # Different schemas (table1 is /2, faults is /4): the diff must refuse
+    # the comparison (exit 2) rather than mis-diff across schemas.
     if ./target/release/repro journal-diff \
-        "$tmp/journal.jobs1.jsonl" "$tmp/faults.jobs1.jsonl" > /dev/null; then
-        echo "journal-diff failed to flag divergent journals" >&2
+        "$tmp/journal.jobs1.jsonl" "$tmp/faults.jobs1.jsonl" \
+        > /dev/null 2> "$tmp/schema-diff.err"; then
+        echo "journal-diff compared journals with different schemas" >&2
         return 1
     fi
+    grep -q 'schema mismatch' "$tmp/schema-diff.err"
 }
-step "repro journal-diff smoke (identical pass + divergence fails)" smoke_journal_diff
+step "repro journal-diff smoke (identical pass + schema refusal)" smoke_journal_diff
+
+smoke_bandwidth() {
+    # Three-resource comparison (CMM-a vs MBA vs CBP): the determinism
+    # contract holds across job counts, the journal carries the /4 schema
+    # with per-epoch MBA delay levels, and the wall clock gates against
+    # the committed baseline at the same >2x bar as the other targets.
+    ./target/release/repro bandwidth --quick --jobs "$SMOKE_JOBS" \
+        --bench-json "$tmp/BENCH_bw.json" \
+        --journal "$tmp/bw.jobsN.jsonl" > "$tmp/bw.jobsN.txt"
+    ./target/release/repro bandwidth --quick --jobs 1 \
+        --bench-json "$tmp/BENCH_bw.1.json" \
+        --journal "$tmp/bw.jobs1.jsonl" > "$tmp/bw.jobs1.txt"
+    cmp "$tmp/bw.jobs1.txt" "$tmp/bw.jobsN.txt"
+    cmp "$tmp/bw.jobs1.jsonl" "$tmp/bw.jobsN.jsonl"
+    head -1 "$tmp/bw.jobs1.jsonl" | grep -q '"schema":"cmm-journal/4"'
+    grep -q '"mba":\[' "$tmp/bw.jobs1.jsonl"
+    grep -q '"mechanism":"CBP"' "$tmp/bw.jobs1.jsonl"
+    grep -q '"name": "bandwidth"' "$tmp/BENCH_bw.1.json"
+    ./target/release/repro bench-compare \
+        benchmarks/BENCH_bandwidth.baseline.json "$tmp/BENCH_bw.1.json" \
+        --noise 1.0 --scps-floor "$SCPS_FLOOR" > /dev/null
+}
+step "repro bandwidth smoke (determinism, /4 journal, bench gate)" smoke_bandwidth
 
 smoke_journal_csv() {
     # --csv exports one row per journal epoch, with the summary untouched.
