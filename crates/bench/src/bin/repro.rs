@@ -20,6 +20,10 @@
 //!   faults   fault-injection resilience sweep (hm_ipc vs fault rate;
 //!            exit 1 if degradation cliffs below the smoothness floor);
 //!            includes an MBA-register fault leg driving CBP -> CMM-a
+//!   governor safety-governor dominance sweep: CBP bare vs CBP with the
+//!            runtime governor (rollback, quarantine, circuit breakers)
+//!            at increasing fault rates; exit 1 unless the governed run
+//!            keeps at least the bare run's hm_ipc at every nonzero rate
 //!   bandwidth  three-resource comparison: CMM-a vs bandwidth-only MBA vs
 //!            CBP (prefetch × CAT × MBA), per-mix hm_ipc and fairness
 //!   scale    topology sweep 1x8 -> 2x16 -> 4x32 (or one --topology):
@@ -45,7 +49,7 @@
 //!   bench-compare <baseline.json> <current.json> [--noise F] [--scps-floor N]
 //!            diff two BENCH_sim.json perf logs; exit 1 on regression
 //!   journal-summary <journal.jsonl> [--csv PATH]
-//!            pretty-print a cmm-journal/1../4 run journal (multi-socket
+//!            pretty-print a cmm-journal/1../5 run journal (multi-socket
 //!            runs keyed per CAT domain: "mix: mech [d0]"); --csv also
 //!            exports the per-epoch telemetry as a plottable CSV
 //!   journal-diff <a.jsonl> <b.jsonl>
@@ -94,10 +98,12 @@
 //! metric cascade, Agg set, trialed configs with hm_ipc, applied winner,
 //! observed substrate faults and degradations) to `JOURNAL_sim.jsonl`
 //! (see `--journal`); multi-socket runs upgrade it to `cmm-journal/3`
-//! (manifest `topology` key, per-epoch CAT `domain`) and MBA-capable
+//! (manifest `topology` key, per-epoch CAT `domain`), MBA-capable
 //! targets (`bandwidth`, `faults`) to `cmm-journal/4` (per-epoch MBA
-//! trial/applied delay levels). `--fault-seed` seeds the `faults`
-//! target's injected fault schedule.
+//! trial/applied delay levels), and the governed `governor` target to
+//! `cmm-journal/5` (manifest `governor` flag, per-epoch governor events).
+//! `--fault-seed` seeds the `faults`/`governor` targets' injected fault
+//! schedule (and the governor's jitter stream).
 
 use cmm_bench::ablate;
 use cmm_bench::chaos::{self, ChaosMode};
@@ -108,7 +114,7 @@ use cmm_bench::checkpoint::Checkpoint;
 use cmm_bench::figures::{self, EvalConfig, Evaluation};
 use cmm_bench::perf::BenchLog;
 use cmm_bench::runner::{default_jobs, parallel_map, CellFailure, Progress, DEFAULT_ATTEMPTS};
-use cmm_bench::{compare, diff, faults, journal, report, soak};
+use cmm_bench::{compare, diff, faults, governor, journal, report, soak};
 use cmm_core::backend;
 use cmm_core::experiment::{run_mix_pooled, ExperimentConfig, WarmupPool};
 use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
@@ -248,8 +254,11 @@ fn parse_args() -> Args {
                 chaos_mode = match it.next().as_deref() {
                     Some("transient") => ChaosMode::Transient,
                     Some("persistent") => ChaosMode::Persistent,
+                    Some("hang") => ChaosMode::Hang,
                     other => {
-                        eprintln!("--chaos-mode needs 'transient' or 'persistent' (got {other:?})");
+                        eprintln!(
+                            "--chaos-mode needs 'transient', 'persistent' or 'hang' (got {other:?})"
+                        );
                         std::process::exit(2);
                     }
                 }
@@ -272,12 +281,14 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|faults|\
-                     bandwidth|all> \
+                     governor|bandwidth|all> \
                      [--quick] [--mixes N] [--seed S] [--fault-seed S] [--jobs N] [--csv DIR] \
                      [--bench-json PATH] [--journal PATH] [--resume CKPT] [--attempts N] \
                      [--topology SxM]\n       \
                      repro bandwidth … — three-resource comparison (CMM-a, MBA, CBP): \
                      per-mix hm_ipc and fairness, cmm-journal/4\n       \
+                     repro governor [--quick] [--fault-seed S] … — CBP bare vs governed \
+                     under injected faults (dominance gate), cmm-journal/5\n       \
                      repro scale [--quick] [--topology SxM] — topology sweep \
                      (default 1x8, 2x16, 4x32) with per-domain hm_ipc\n       \
                      repro <fig7..fig15|fairness|overhead|ablate|all> --trace-dir DIR …\n       \
@@ -957,14 +968,19 @@ fn run_extension(args: &Args, log: &Progress) -> Vec<JournalCell> {
 }
 
 /// Reports cells that exhausted their attempt budget; the run continues to
-/// write its perf log and (manifest-only) journal before exiting 1.
-fn report_cell_failures(target: &str, failures: &[CellFailure]) {
+/// write its perf log and (manifest-only) journal before exiting 1. With a
+/// checkpoint, each failure is also recorded in the sidecar so a later
+/// `--resume` can list what went wrong post-mortem.
+fn report_cell_failures(target: &str, failures: &[CellFailure], ckpt: Option<&Checkpoint>) {
     eprintln!("[repro] {target}: {} cell(s) exhausted the retry budget:", failures.len());
     for f in failures {
         eprintln!(
             "[repro]   cell '{}' failed after {} attempt(s): {}",
             f.key, f.attempts, f.panic_msg
         );
+        if let Some(ck) = ckpt {
+            ck.record_failure(&f.key, f.attempts, &f.panic_msg);
+        }
     }
     eprintln!(
         "[repro] every sibling cell completed; re-run with --resume to retry only the \
@@ -1064,7 +1080,9 @@ fn main() {
         topology: manifest_topology,
         // MBA-capable targets journal per-epoch delay levels (/4). Every
         // other target keeps its historical schema byte-for-byte.
-        mba: matches!(args.target.as_str(), "bandwidth" | "faults"),
+        mba: matches!(args.target.as_str(), "bandwidth" | "faults" | "governor"),
+        // The governed target journals per-epoch governor events (/5).
+        governor: args.target == "governor",
     };
     let digest = cmm_core::telemetry::config_digest(&meta.config_debug);
     let ckpt: Option<Checkpoint> = match &args.resume {
@@ -1083,6 +1101,15 @@ fn main() {
                         } else {
                             String::new()
                         }
+                    );
+                }
+                // Post-mortem: failures a previous run recorded for cells
+                // that still have no result (satisfied or superseded
+                // failures are filtered out by the checkpoint reader).
+                for f in ck.prior_failures() {
+                    eprintln!(
+                        "[repro] prior failure: cell '{}' exhausted {} attempt(s): {}",
+                        f.key, f.attempts, f.panic_msg
                     );
                 }
                 Some(ck)
@@ -1159,7 +1186,7 @@ fn main() {
                     cells = faults::journal_cells(sweep);
                 }
                 Err(failures) => {
-                    report_cell_failures("faults", &failures);
+                    report_cell_failures("faults", &failures, ckpt.as_ref());
                     exit_code = 1;
                 }
             }
@@ -1197,7 +1224,60 @@ fn main() {
                     cells.extend(faults::mba_journal_cells(sweep));
                 }
                 Err(failures) => {
-                    report_cell_failures("faults (mba leg)", &failures);
+                    report_cell_failures("faults (mba leg)", &failures, ckpt.as_ref());
+                    exit_code = 1;
+                }
+            }
+        }
+        "governor" => {
+            let e =
+                if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+            // Two legs (bare, governed) per swept rate.
+            let n = 2 * governor::RATES.len() as u64;
+            let per_cell = (e.warmup_cycles + e.total_cycles) * 8;
+            let sweep = bench.measure("governor", n, n * per_cell, || {
+                governor::sweep_resumable(
+                    args.quick,
+                    args.seed,
+                    args.fault_seed,
+                    args.jobs,
+                    args.attempts,
+                    &log,
+                    ckpt.as_ref(),
+                )
+            });
+            match sweep {
+                Ok(sweep) => {
+                    print!(
+                        "{}",
+                        report::table(
+                            "Safety-governor sweep — CBP bare vs governed, hm_ipc vs fault \
+                             rate (gate: governed >= bare at every nonzero rate)",
+                            &[
+                                "rate",
+                                "hm bare",
+                                "hm gov",
+                                "delta",
+                                "faults",
+                                "rollbacks",
+                                "quarantines",
+                                "breaker trips",
+                                "verdict"
+                            ],
+                            &governor::rows(&sweep),
+                        )
+                    );
+                    if !governor::passes(&sweep) {
+                        eprintln!(
+                            "[repro] governor: governed CBP lost to bare CBP at a nonzero \
+                             fault rate"
+                        );
+                        exit_code = 1;
+                    }
+                    cells = governor::journal_cells(sweep);
+                }
+                Err(failures) => {
+                    report_cell_failures("governor", &failures, ckpt.as_ref());
                     exit_code = 1;
                 }
             }
@@ -1227,7 +1307,7 @@ fn main() {
                     cells = journal::eval_cells(&eval);
                 }
                 Err(failures) => {
-                    report_cell_failures("bandwidth", &failures);
+                    report_cell_failures("bandwidth", &failures, ckpt.as_ref());
                     exit_code = 1;
                 }
             }
@@ -1272,7 +1352,7 @@ fn main() {
                     cells = journal::eval_cells(&eval);
                 }
                 Err(failures) => {
-                    report_cell_failures(t, &failures);
+                    report_cell_failures(t, &failures, ckpt.as_ref());
                     exit_code = 1;
                 }
             }
@@ -1309,7 +1389,7 @@ fn main() {
                     cells.extend(journal::eval_cells(&eval));
                 }
                 Err(failures) => {
-                    report_cell_failures("all", &failures);
+                    report_cell_failures("all", &failures, ckpt.as_ref());
                     exit_code = 1;
                 }
             }

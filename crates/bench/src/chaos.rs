@@ -10,6 +10,9 @@
 //!   schedule. `Transient` panics fail only the first attempt (the retry
 //!   budget must heal them); `Persistent` panics fail every attempt (the
 //!   run must complete with an explicit per-cell failure report).
+//! * **Injected hangs** — [`maybe_hang`] stalls a selected cell's first
+//!   attempt past the runner's watchdog deadline (`Hang` mode), proving
+//!   the hang watchdog converts a stuck cell into a retryable failure.
 //! * **Process kills** — [`on_cell_complete`] hard-exits the process after
 //!   N cells have completed, emulating a mid-run `kill -9` with a valid
 //!   checkpoint tail behind it.
@@ -29,6 +32,9 @@ pub enum ChaosMode {
     Transient,
     /// Fail every attempt; the cell exhausts its retry budget.
     Persistent,
+    /// Stall a cell's first attempt past the watchdog deadline; the
+    /// watchdog must convert the hang into a retryable failure.
+    Hang,
 }
 
 /// An armed chaos schedule.
@@ -71,6 +77,12 @@ fn cell_hash(seed: u64, key: &str) -> u64 {
     z ^ (z >> 31)
 }
 
+/// True when the armed schedule is in `Hang` mode — the cell runner
+/// shortens its watchdog deadline so injected stalls trip the alarm.
+pub fn hang_mode() -> bool {
+    CHAOS.get().is_some_and(|cfg| cfg.mode == ChaosMode::Hang)
+}
+
 /// True when the armed schedule selects `key` to panic.
 pub fn selects(key: &str) -> bool {
     let Some(cfg) = CHAOS.get() else { return false };
@@ -78,15 +90,31 @@ pub fn selects(key: &str) -> bool {
 }
 
 /// Panics iff the armed schedule selects this cell for this attempt.
-/// Called by the cell runner *inside* its `catch_unwind` scope.
+/// Called by the cell runner *inside* its `catch_unwind` scope. Inert
+/// under `Hang` mode — stalls are injected by [`maybe_hang`] instead.
 pub fn maybe_panic(key: &str, attempt: u32) {
     let Some(cfg) = CHAOS.get() else { return };
-    if !selects(key) {
+    if cfg.mode == ChaosMode::Hang || !selects(key) {
         return;
     }
     if cfg.mode == ChaosMode::Persistent || attempt == 1 {
         panic!("chaos: injected panic in '{key}' (attempt {attempt})");
     }
+}
+
+/// Stalls past `deadline_ms` iff the armed schedule is in `Hang` mode and
+/// selects this cell's first attempt, then panics on the watchdog's
+/// behalf. Called by the cell runner *inside* its `catch_unwind` scope
+/// alongside its own deadline check, so even a hang the runner cannot
+/// preempt is converted into a retryable cell failure.
+pub fn maybe_hang(key: &str, attempt: u32, deadline_ms: u64) {
+    let Some(cfg) = CHAOS.get() else { return };
+    if cfg.mode != ChaosMode::Hang || attempt != 1 || !selects(key) {
+        return;
+    }
+    eprintln!("[chaos] injected hang in '{key}' (deadline {deadline_ms} ms)");
+    std::thread::sleep(std::time::Duration::from_millis(deadline_ms.saturating_mul(2)));
+    panic!("chaos: watchdog deadline ({deadline_ms} ms) exceeded in '{key}' (attempt {attempt})");
 }
 
 /// Records one completed (and checkpointed) cell; hard-exits the process
@@ -113,6 +141,7 @@ mod tests {
     fn unarmed_chaos_is_inert() {
         assert!(!selects("anything"));
         maybe_panic("anything", 1);
+        maybe_hang("anything", 1, 1);
         on_cell_complete();
     }
 

@@ -30,7 +30,7 @@ use std::path::Path;
 
 use cmm_core::experiment::MixResult;
 use cmm_core::policy::Mechanism;
-use cmm_core::telemetry::{CoreSample, EpochRecord, FaultRecord, Trial};
+use cmm_core::telemetry::{CoreSample, EpochRecord, FaultRecord, GovernorEvent, Trial};
 use cmm_sim::pmu::Pmu;
 use cmm_sim::system::CoreControl;
 
@@ -51,11 +51,24 @@ pub struct ResumeInfo {
     pub fresh: bool,
 }
 
+/// A cell failure recorded by a previous attempt (post-mortem context for
+/// `--resume`; failure records are never spliced as results).
+#[derive(Debug, Clone)]
+pub struct PriorFailure {
+    /// The failed cell's stable key.
+    pub key: String,
+    /// Attempts the previous run burned on it.
+    pub attempts: u64,
+    /// The final panic message, stringified.
+    pub panic_msg: String,
+}
+
 /// An open checkpoint: cached cells from a previous attempt plus an
 /// append handle for the cells this attempt completes.
 #[derive(Debug)]
 pub struct Checkpoint {
     cached: HashMap<String, Json>,
+    failures: Vec<PriorFailure>,
     appender: JsonlAppender,
 }
 
@@ -70,6 +83,7 @@ impl Checkpoint {
     ) -> Result<(Checkpoint, ResumeInfo), String> {
         let mut info = ResumeInfo::default();
         let mut cached = HashMap::new();
+        let mut failures: Vec<PriorFailure> = Vec::new();
         let manifest_line = format!(
             "{{\"schema\":\"{SCHEMA}\",\"kind\":\"manifest\",\"target\":\"{}\",\
              \"config_digest\":\"{}\"}}",
@@ -107,6 +121,23 @@ impl Checkpoint {
                 for (i, line) in salvage.lines.iter().enumerate().skip(1) {
                     let rec = parse(line)
                         .map_err(|e| format!("{}: line {}: {e}", path.display(), i + 1))?;
+                    if rec.get("kind").and_then(Json::as_str) == Some("failure") {
+                        if let Some(key) = rec.get("key").and_then(Json::as_str) {
+                            // Latest record per key wins: a cell can fail
+                            // on several runs before finally completing.
+                            failures.retain(|f| f.key != key);
+                            failures.push(PriorFailure {
+                                key: key.to_string(),
+                                attempts: rec.get("attempts").and_then(Json::as_u64).unwrap_or(0),
+                                panic_msg: rec
+                                    .get("panic_msg")
+                                    .and_then(Json::as_str)
+                                    .unwrap_or("")
+                                    .to_string(),
+                            });
+                        }
+                        continue;
+                    }
                     if rec.get("kind").and_then(Json::as_str) != Some("cell") {
                         continue;
                     }
@@ -142,7 +173,9 @@ impl Checkpoint {
         }
         let appender =
             JsonlAppender::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
-        Ok((Checkpoint { cached, appender }, info))
+        // A failure superseded by a completed cell is history, not news.
+        failures.retain(|f| !cached.contains_key(&f.key));
+        Ok((Checkpoint { cached, failures, appender }, info))
     }
 
     /// The cached payload for `key`, if a previous attempt completed it.
@@ -163,6 +196,27 @@ impl Checkpoint {
         if let Err(e) = self.appender.append(&line) {
             eprintln!("[repro] checkpoint append failed ({}): {e}", self.appender.path().display());
         }
+    }
+
+    /// Durably appends one exhausted cell failure, so a later `--resume`
+    /// can report what went wrong before this process exited. The readers
+    /// skip non-`cell` kinds, so pre-existing tooling is unaffected.
+    pub fn record_failure(&self, key: &str, attempts: u32, panic_msg: &str) {
+        let line = format!(
+            "{{\"kind\":\"failure\",\"key\":\"{}\",\"attempts\":{attempts},\"panic_msg\":\"{}\"}}",
+            escape(key),
+            escape(panic_msg)
+        );
+        if let Err(e) = self.appender.append(&line) {
+            eprintln!("[repro] checkpoint append failed ({}): {e}", self.appender.path().display());
+        }
+    }
+
+    /// Failures recorded by previous attempts whose cells have still not
+    /// completed (latest record per key), for post-mortem reporting on
+    /// `--resume`.
+    pub fn prior_failures(&self) -> &[PriorFailure] {
+        &self.failures
     }
 }
 
@@ -342,6 +396,7 @@ fn intern(s: &str) -> &'static str {
         "CBP",
         // Degradation fallbacks.
         "no-op",
+        "throttle-only",
         // Fault kinds.
         "msr_rejected",
         "clos_exhausted",
@@ -356,7 +411,17 @@ fn intern(s: &str) -> &'static str {
         "fallback_cmm_a",
         "fallback_dunn",
         "fallback_noop",
+        "fallback_throttle",
         "kept_last_good",
+        // Governor actions (journal /5).
+        "rollback",
+        "quarantine",
+        "breaker_open",
+        "breaker_close",
+        // Governor register classes.
+        "prefetch",
+        "cat",
+        "mba",
     ];
     KNOWN
         .iter()
@@ -372,6 +437,17 @@ fn decode_fault(j: &Json) -> Result<FaultRecord, String> {
         core: j.get("core").and_then(Json::as_u64).map(|c| c as usize),
         msr: j.get("msr").and_then(Json::as_u64).map(|m| m as u32),
         action: intern(j.get("action").and_then(Json::as_str).ok_or("fault missing 'action'")?),
+    })
+}
+
+fn decode_governor_event(j: &Json) -> Result<GovernorEvent, String> {
+    Ok(GovernorEvent {
+        cycle: j.get("cycle").and_then(Json::as_u64).ok_or("governor event missing 'cycle'")?,
+        action: intern(
+            j.get("action").and_then(Json::as_str).ok_or("governor event missing 'action'")?,
+        ),
+        core: j.get("core").and_then(Json::as_u64).map(|c| c as usize),
+        class: j.get("class").and_then(Json::as_str).map(intern),
     })
 }
 
@@ -428,6 +504,14 @@ pub fn decode_epoch(j: &Json) -> Result<EpochRecord, String> {
         .iter()
         .map(decode_fault)
         .collect::<Result<Vec<_>, _>>()?;
+    // The governor key joined in /5 and is elided when no events fired.
+    let governor = j
+        .get("governor")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(decode_governor_event)
+        .collect::<Result<Vec<_>, _>>()?;
     let applied = j.get("applied").ok_or("epoch missing 'applied'")?;
     let clos = usizes(applied.get("clos"), "applied clos")?;
     let way_mask = u64s(applied.get("way_mask"), "applied way_mask")?;
@@ -469,6 +553,7 @@ pub fn decode_epoch(j: &Json) -> Result<EpochRecord, String> {
         exec_ipc_delta: j.get("exec_ipc_delta").and_then(Json::as_f64),
         faults,
         degraded: j.get("degraded").and_then(Json::as_str).map(intern),
+        governor,
         applied,
     })
 }
@@ -566,6 +651,16 @@ mod tests {
                 action: "retry_ok",
             }],
             degraded: Some("Dunn"),
+            governor: vec![
+                GovernorEvent { cycle: 200_000, action: "rollback", core: None, class: None },
+                GovernorEvent {
+                    cycle: 200_000,
+                    action: "breaker_open",
+                    core: None,
+                    class: Some("cat"),
+                },
+                GovernorEvent { cycle: 200_000, action: "quarantine", core: Some(1), class: None },
+            ],
             applied: vec![
                 CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF, mba_level: 90 },
                 CoreControl { clos: 0, way_mask: 0xFFFFF, msr_1a4: 0x0, mba_level: 0 },
@@ -699,6 +794,52 @@ mod tests {
         let (ck, info) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
         assert_eq!((info.cached, info.dropped), (2, 0));
         assert!(ck.cached("b").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn governed_epochs_round_trip_and_ungoverned_lines_elide_the_key() {
+        let e = sample_epoch();
+        let line = e.to_json_line("run");
+        assert!(line.contains("\"governor\":["), "{line}");
+        let decoded = decode_epoch(&parse(&line).unwrap()).unwrap();
+        assert_eq!(decoded.governor, e.governor);
+        assert_eq!(decoded.to_json_line("run"), line);
+
+        let mut quiet = sample_epoch();
+        quiet.governor.clear();
+        let line = quiet.to_json_line("run");
+        assert!(!line.contains("\"governor\""), "event-free epochs must elide the key");
+        assert!(decode_epoch(&parse(&line).unwrap()).unwrap().governor.is_empty());
+    }
+
+    #[test]
+    fn failure_records_survive_resume_until_the_cell_completes() {
+        let dir = std::env::temp_dir().join("cmm_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("fail-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let (ck, _) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
+        ck.record("ok-cell", &encode_alone(1.0));
+        ck.record_failure("bad-cell", 3, "chaos: injected panic in 'bad-cell' (attempt 3)");
+        drop(ck);
+
+        // Resume: the unresolved failure is reported, the completed cell
+        // is not.
+        let (ck, info) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
+        assert_eq!(info.cached, 1);
+        let prior = ck.prior_failures();
+        assert_eq!(prior.len(), 1);
+        assert_eq!(prior[0].key, "bad-cell");
+        assert_eq!(prior[0].attempts, 3);
+        assert!(prior[0].panic_msg.contains("injected panic"), "{}", prior[0].panic_msg);
+        // The cell completes this time: the failure is history.
+        ck.record("bad-cell", &encode_alone(2.0));
+        drop(ck);
+        let (ck, info) = Checkpoint::open(&path, "fig7", "fnv1a:abc").unwrap();
+        assert_eq!(info.cached, 2);
+        assert!(ck.prior_failures().is_empty());
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,9 +1,11 @@
 //! Assembles the `cmm-journal/2` (single-socket) / `cmm-journal/3`
-//! (multi-socket) / `cmm-journal/4` (MBA-capable) run journal (see
-//! [`cmm_core::telemetry`]) and pretty-prints it back
-//! (`repro journal-summary`). The summary reader accepts `cmm-journal/1`
-//! through `/4` — each schema only adds keys (`/3`: a manifest `topology`
-//! and per-record `domain`; `/4`: per-trial and applied `mba` levels).
+//! (multi-socket) / `cmm-journal/4` (MBA-capable) / `cmm-journal/5`
+//! (governed) run journal (see [`cmm_core::telemetry`]) and pretty-prints
+//! it back (`repro journal-summary`). The summary reader accepts
+//! `cmm-journal/1` through `/5` — each schema only adds keys (`/3`: a
+//! manifest `topology` and per-record `domain`; `/4`: per-trial and
+//! applied `mba` levels; `/5`: a manifest `governor` flag and per-record
+//! `governor` event arrays).
 //!
 //! The journal is JSONL: one manifest line (schema, target, seed, git SHA,
 //! host, config digest) followed by one line per controller profiling
@@ -38,6 +40,10 @@ pub struct JournalMeta {
     /// `true` declares schema `/4`. Legacy targets pass `false` and keep
     /// their /2 (or /3) journals byte-identical.
     pub mba: bool,
+    /// Whether the run's driver carries the safety governor; `true`
+    /// declares schema `/5`. Ungoverned targets pass `false` and keep
+    /// their journals byte-identical.
+    pub governor: bool,
 }
 
 /// Builds the manifest line's data from the meta plus the environment.
@@ -53,6 +59,7 @@ pub fn manifest(meta: &JournalMeta) -> Manifest {
         config_digest: config_digest(&meta.config_debug),
         topology: meta.topology.clone(),
         mba: meta.mba,
+        governor: meta.governor,
     }
 }
 
@@ -142,8 +149,11 @@ pub fn load(text: &str) -> Result<JournalDoc, String> {
     let first = lines.next().ok_or("empty journal")?;
     let manifest = parse(first).map_err(|e| format!("line 1: {e}"))?;
     let schema = manifest.get("schema").and_then(Json::as_str).unwrap_or("");
-    if !matches!(schema, "cmm-journal/1" | "cmm-journal/2" | "cmm-journal/3" | "cmm-journal/4") {
-        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1 through /4)"));
+    if !matches!(
+        schema,
+        "cmm-journal/1" | "cmm-journal/2" | "cmm-journal/3" | "cmm-journal/4" | "cmm-journal/5"
+    ) {
+        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1 through /5)"));
     }
     let mut epochs = Vec::new();
     for (i, line) in lines.enumerate() {
@@ -187,6 +197,9 @@ struct RunStats {
     winners: u64,
     faults: u64,
     degraded_epochs: u64,
+    rollbacks: u64,
+    quarantines: u64,
+    breaker_trips: u64,
     last_throttled: usize,
     last_partitioned: usize,
 }
@@ -219,6 +232,9 @@ pub fn summarize(text: &str) -> Result<String, String> {
                     winners: 0,
                     faults: 0,
                     degraded_epochs: 0,
+                    rollbacks: 0,
+                    quarantines: 0,
+                    breaker_trips: 0,
                     last_throttled: 0,
                     last_partitioned: 0,
                 });
@@ -241,6 +257,17 @@ pub fn summarize(text: &str) -> Result<String, String> {
             rec.get("faults").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0) as u64;
         if rec.get("degraded").and_then(Json::as_str).is_some() {
             stats.degraded_epochs += 1;
+        }
+        // /5-only key; absent on ungoverned journals.
+        if let Some(events) = rec.get("governor").and_then(Json::as_array) {
+            for ev in events {
+                match ev.get("action").and_then(Json::as_str) {
+                    Some("rollback") => stats.rollbacks += 1,
+                    Some("quarantine") => stats.quarantines += 1,
+                    Some("breaker_open") => stats.breaker_trips += 1,
+                    _ => {}
+                }
+            }
         }
         if let Some(applied) = rec.get("applied") {
             stats.last_throttled = applied
@@ -335,6 +362,41 @@ pub fn summarize(text: &str) -> Result<String, String> {
         ],
         &rows,
     ));
+    // Resilience footer: only on runs where the harness actually absorbed
+    // something, so clean-run summaries stay byte-identical.
+    let eventful: Vec<&RunStats> = runs
+        .iter()
+        .filter(|r| {
+            r.faults + r.degraded_epochs + r.rollbacks + r.quarantines + r.breaker_trips > 0
+        })
+        .collect();
+    if !eventful.is_empty() {
+        let sum = |f: fn(&RunStats) -> u64| eventful.iter().map(|r| f(r)).sum::<u64>();
+        out.push_str(&format!(
+            "resilience: faults={} degraded-epochs={} rollbacks={} quarantines={} \
+             breaker-trips={}\n",
+            sum(|r| r.faults),
+            sum(|r| r.degraded_epochs),
+            sum(|r| r.rollbacks),
+            sum(|r| r.quarantines),
+            sum(|r| r.breaker_trips),
+        ));
+        for r in eventful {
+            out.push_str(&format!(
+                "  {}: faults={} degraded-epochs={} rollbacks={} quarantines={} \
+                 breaker-trips={}\n",
+                match r.domain {
+                    Some(d) => format!("{} [d{d}]", r.run),
+                    None => r.run.clone(),
+                },
+                r.faults,
+                r.degraded_epochs,
+                r.rollbacks,
+                r.quarantines,
+                r.breaker_trips,
+            ));
+        }
+    }
     Ok(out)
 }
 
@@ -440,6 +502,7 @@ mod tests {
             exec_ipc_delta: None,
             faults: Vec::new(),
             degraded: None,
+            governor: Vec::new(),
             applied: vec![
                 CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF, mba_level: 0 },
                 CoreControl { clos: 0, way_mask: 0xFFFFF, msr_1a4: 0x0, mba_level: 0 },
@@ -455,6 +518,7 @@ mod tests {
             config_debug: "cfg".into(),
             topology: None,
             mba: false,
+            governor: false,
         }
     }
 
@@ -470,6 +534,57 @@ mod tests {
         assert!(text.contains("\"mba\":[40,0]"), "{text}");
         let summary = summarize(&text).expect("summary");
         assert!(summary.contains("Mix-00: CBP"), "{summary}");
+    }
+
+    #[test]
+    fn governed_journal_declares_schema_5_and_reports_resilience() {
+        use cmm_core::telemetry::GovernorEvent;
+        let man = manifest(&JournalMeta { mba: true, governor: true, ..meta() });
+        let mut r = record(2, 1);
+        r.mechanism = "CBP+gov";
+        r.governor = vec![
+            GovernorEvent { cycle: 200_000, action: "rollback", core: None, class: None },
+            GovernorEvent { cycle: 200_000, action: "quarantine", core: Some(3), class: None },
+            GovernorEvent {
+                cycle: 200_000,
+                action: "breaker_open",
+                core: None,
+                class: Some("mba"),
+            },
+            GovernorEvent {
+                cycle: 200_000,
+                action: "breaker_close",
+                core: None,
+                class: Some("mba"),
+            },
+        ];
+        let text = render(&man, &[("Mix-00: CBP+gov".to_string(), vec![r])]);
+        assert!(text.starts_with("{\"schema\":\"cmm-journal/5\""), "{text}");
+        assert!(text.contains("\"governor\":true"), "{text}");
+        assert!(text.contains("\"action\":\"rollback\""), "{text}");
+        let summary = summarize(&text).expect("summary");
+        assert!(
+            summary.contains(
+                "resilience: faults=0 degraded-epochs=0 rollbacks=1 quarantines=1 \
+                 breaker-trips=1"
+            ),
+            "{summary}"
+        );
+        assert!(summary.contains("  Mix-00: CBP+gov: faults=0"), "{summary}");
+        // The CSV header is pinned: governor events must not widen it.
+        let csv = epochs_csv(&text).expect("csv");
+        assert!(
+            csv.starts_with("run,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded\n"),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn clean_summaries_have_no_resilience_footer() {
+        let man = manifest(&meta());
+        let text = render(&man, &[("Mix-00: CMM-a".to_string(), vec![record(1, 1)])]);
+        let summary = summarize(&text).expect("summary");
+        assert!(!summary.contains("resilience:"), "{summary}");
     }
 
     #[test]

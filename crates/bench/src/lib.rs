@@ -16,6 +16,8 @@
 //!   epoch:sampling ratio and the substrate's QBS policy.
 //! * [`faults`] — the fault-injection resilience sweep behind
 //!   `repro faults` (hm_ipc vs injected substrate fault rate).
+//! * [`governor`] — the safety-governor dominance sweep behind
+//!   `repro governor` (bare vs governed CBP under injected faults).
 //! * [`journal`] — assembles the `cmm-journal/2` JSONL run journal from
 //!   the controller's per-epoch telemetry, and summarizes it back.
 //! * [`tracecmd`] — the `repro trace record/convert/stat` subcommands over
@@ -55,6 +57,7 @@ pub mod diff;
 pub mod export;
 pub mod faults;
 pub mod figures;
+pub mod governor;
 pub mod journal;
 pub mod json;
 pub mod perf;

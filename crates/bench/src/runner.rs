@@ -18,6 +18,12 @@
 //! key is found in a resume sidecar are answered from cache without
 //! running (or re-panicking) at all.
 //!
+//! Each attempt also runs under a **hang watchdog**: a monitor thread
+//! raises a `[runner] watchdog:` alarm when a cell exceeds its deadline
+//! ([`HANG_DEADLINE_MS`] under `--chaos-mode hang`, a generous stall
+//! threshold otherwise), so a wedged cell is flagged instead of silently
+//! stalling the whole run.
+//!
 //! [`Progress`] is the matching thread-safe `[repro]` logger: each cell
 //! emits exactly one timestamped line (elapsed since start, plus the
 //! cell's own wall-clock) built as a single `String` and written with one
@@ -26,13 +32,22 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::chaos;
 
 /// Default per-cell attempt budget: one run plus two retries.
 pub const DEFAULT_ATTEMPTS: u32 = 3;
+
+/// Watchdog deadline for a cell attempt under `--chaos-mode hang`: the
+/// injected stall sleeps past this, so the watchdog observably fires in
+/// the soak's hang leg before the stall converts into a retryable panic.
+pub const HANG_DEADLINE_MS: u64 = 750;
+
+/// Watchdog deadline outside hang-chaos runs: generous enough that no
+/// legitimate cell trips it, so a warning really means a stuck cell.
+const STALL_WARN_MS: u64 = 300_000;
 
 /// Degree of parallelism to use when the user does not pass `--jobs`:
 /// every available host core.
@@ -100,6 +115,45 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Runs `work` under `catch_unwind` with a watchdog thread alongside: if
+/// the attempt is still running when `deadline_ms` elapses, the watchdog
+/// raises one `[runner] watchdog:` alarm on stderr. Cancellation is
+/// cooperative — the watchdog cannot preempt arbitrary Rust code, so the
+/// alarm flags the hang and the chaos stall's own deadline panic (or the
+/// operator) converts it into a failed attempt.
+fn run_attempt_watched<R>(
+    key: &str,
+    attempt: u32,
+    deadline_ms: u64,
+    work: impl FnOnce() -> R,
+) -> Result<R, Box<dyn std::any::Any + Send>> {
+    let done = Mutex::new(false);
+    let cv = Condvar::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut flag = done.lock().expect("watchdog flag poisoned");
+            let mut alarmed = false;
+            while !*flag {
+                let (f, timeout) = cv
+                    .wait_timeout(flag, Duration::from_millis(deadline_ms))
+                    .expect("watchdog flag poisoned");
+                flag = f;
+                if timeout.timed_out() && !*flag && !alarmed {
+                    alarmed = true;
+                    eprintln!(
+                        "[runner] watchdog: cell '{key}' still running after \
+                         {deadline_ms} ms (attempt {attempt})"
+                    );
+                }
+            }
+        });
+        let r = catch_unwind(AssertUnwindSafe(work));
+        *done.lock().expect("watchdog flag poisoned") = true;
+        cv.notify_all();
+        r
+    })
+}
+
 /// Runs one cell under the attempt budget, consulting the chaos schedule
 /// inside the unwind scope so injected panics exercise the real path.
 fn run_one<T, R>(
@@ -110,12 +164,14 @@ fn run_one<T, R>(
     f: &(impl Fn(usize, &T) -> R + Sync),
 ) -> CellOutcome<R> {
     let budget = attempts.max(1);
+    let deadline_ms = if chaos::hang_mode() { HANG_DEADLINE_MS } else { STALL_WARN_MS };
     let mut last_msg = String::new();
     for attempt in 1..=budget {
-        match catch_unwind(AssertUnwindSafe(|| {
+        match run_attempt_watched(key, attempt, deadline_ms, || {
             chaos::maybe_panic(key, attempt);
+            chaos::maybe_hang(key, attempt, HANG_DEADLINE_MS);
             f(index, item)
-        })) {
+        }) {
             Ok(r) => return CellOutcome::Ok(r),
             Err(payload) => {
                 last_msg = panic_message(payload);
@@ -438,6 +494,23 @@ mod tests {
             rec.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
             ["k0", "k1", "k3", "k5"]
         );
+    }
+
+    #[test]
+    fn watchdog_alarm_does_not_kill_a_slow_cell() {
+        // The watchdog is warn-only: a cell that outlives the deadline
+        // still completes and returns its result.
+        let r = run_attempt_watched("slow", 1, 20, || {
+            std::thread::sleep(Duration::from_millis(80));
+            7u32
+        });
+        assert_eq!(r.unwrap(), 7);
+    }
+
+    #[test]
+    fn watchdog_propagates_attempt_panics() {
+        let r = run_attempt_watched("bad", 1, 1_000, || -> u32 { panic!("inner failure") });
+        assert!(panic_message(r.unwrap_err()).contains("inner failure"));
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!    bytes.
 //! 5. **Kill + resume** — a run that hard-exits after N checkpointed
 //!    cells (emulating `kill -9`), then a resume, must also converge.
+//! 6. **Hang chaos** — selected cells wedge on their first attempt: the
+//!    runner's watchdog flags the stall, the chaos layer kills the
+//!    attempt on the watchdog's behalf, and the retry heals it with
+//!    identical bytes; a `kill -9` mid-hang-run followed by a resume
+//!    must converge too.
 //!
 //! Stdout and the journal are the identity surface; stderr (progress,
 //! retry noise) and the wall-clock fields of `BENCH_sim.json` are
@@ -93,7 +98,8 @@ pub fn run(jobs: usize) -> i32 {
         Ok(dir) => {
             let _ = std::fs::remove_dir_all(&dir);
             println!("soak: PASS — transient chaos healed, persistent chaos isolated,");
-            println!("soak: kill-and-resume converged; stdout and journal byte-identical.");
+            println!("soak: hangs watchdogged + retried, kill-and-resume converged;");
+            println!("soak: stdout and journal byte-identical.");
             0
         }
         Err(e) => {
@@ -144,7 +150,7 @@ fn run_inner(jobs: usize) -> Result<PathBuf, String> {
     };
 
     // 1. Clean reference run.
-    eprintln!("soak: [1/5] clean reference run");
+    eprintln!("soak: [1/6] clean reference run");
     let clean = Step { name: "clean", args: base("clean.jsonl", "clean.json") };
     let out = run_step(&exe, &clean)?;
     expect_code("clean", &out, 0)?;
@@ -153,7 +159,7 @@ fn run_inner(jobs: usize) -> Result<PathBuf, String> {
 
     // 2. Transient chaos: every injected panic must heal within the retry
     //    budget, in one invocation, with identical output.
-    eprintln!("soak: [2/5] transient chaos (panics heal via retry)");
+    eprintln!("soak: [2/6] transient chaos (panics heal via retry)");
     let mut args = base("transient.jsonl", "transient.json");
     args.extend(chaos("transient"));
     let out = run_step(&exe, &Step { name: "transient", args })?;
@@ -174,7 +180,7 @@ fn run_inner(jobs: usize) -> Result<PathBuf, String> {
 
     // 3. Persistent chaos: selected cells exhaust the budget; the run must
     //    fail loudly while sibling cells complete into the checkpoint.
-    eprintln!("soak: [3/5] persistent chaos (failure report, siblings survive)");
+    eprintln!("soak: [3/6] persistent chaos (failure report, siblings survive)");
     let mut args = base("persist.jsonl", "persist.json");
     args.extend(chaos("persistent"));
     args.extend(resume("persist.ckpt"));
@@ -188,7 +194,7 @@ fn run_inner(jobs: usize) -> Result<PathBuf, String> {
     }
 
     // 4. Resume over the partial checkpoint with chaos disarmed.
-    eprintln!("soak: [4/5] resume after failure");
+    eprintln!("soak: [4/6] resume after failure");
     let mut args = base("persist.jsonl", "persist.json");
     args.extend(resume("persist.ckpt"));
     let out = run_step(&exe, &Step { name: "resume-after-failure", args })?;
@@ -197,7 +203,7 @@ fn run_inner(jobs: usize) -> Result<PathBuf, String> {
     expect_identical("resumed journal", &ref_journal, &read(&dir.join("persist.jsonl"))?)?;
 
     // 5. Hard kill after 2 checkpointed cells, then resume.
-    eprintln!("soak: [5/5] kill -9 after 2 cells, then resume");
+    eprintln!("soak: [5/6] kill -9 after 2 cells, then resume");
     let mut args = base("kill.jsonl", "kill.json");
     args.extend(resume("kill.ckpt"));
     args.extend(["--chaos-kill".to_string(), "2".to_string()]);
@@ -209,6 +215,42 @@ fn run_inner(jobs: usize) -> Result<PathBuf, String> {
     expect_code("resume-after-kill", &out, 0)?;
     expect_identical("post-kill stdout", &ref_stdout, &String::from_utf8_lossy(&out.stdout))?;
     expect_identical("post-kill journal", &ref_journal, &read(&dir.join("kill.jsonl"))?)?;
+
+    // 6. Injected hangs: the selected cells wedge on attempt 1, the
+    //    watchdog flags them, the chaos layer kills the wedged attempt on
+    //    the watchdog's behalf, and the retry heals the cell — then a
+    //    hard kill mid-hang-run plus a resume must still converge.
+    eprintln!("soak: [6/6] hang chaos (watchdog kill + retry), then kill -9 + resume");
+    let mut args = base("hang.jsonl", "hang.json");
+    args.extend(chaos("hang"));
+    let out = run_step(&exe, &Step { name: "hang", args })?;
+    expect_code("hang", &out, 0)?;
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    if !stderr.contains("[chaos] injected hang") {
+        return Err(format!(
+            "soak: hang run injected no hangs — chaos schedule selected zero cells \
+             (seed {SOAK_CHAOS_SEED}, rate {SOAK_CHAOS_RATE}); the gate proved nothing"
+        ));
+    }
+    if !stderr.contains("watchdog: cell") {
+        return Err("soak: hang run never tripped the runner's watchdog — the injected hang \
+                    outlived no deadline"
+            .to_string());
+    }
+    expect_identical("hang-chaos stdout", &ref_stdout, &String::from_utf8_lossy(&out.stdout))?;
+    expect_identical("hang-chaos journal", &ref_journal, &read(&dir.join("hang.jsonl"))?)?;
+    let mut args = base("hang_kill.jsonl", "hang_kill.json");
+    args.extend(chaos("hang"));
+    args.extend(resume("hang_kill.ckpt"));
+    args.extend(["--chaos-kill".to_string(), "2".to_string()]);
+    let out = run_step(&exe, &Step { name: "hang-kill", args })?;
+    expect_code("hang-kill", &out, crate::chaos::KILL_EXIT_CODE)?;
+    let mut args = base("hang_kill.jsonl", "hang_kill.json");
+    args.extend(resume("hang_kill.ckpt"));
+    let out = run_step(&exe, &Step { name: "resume-after-hang-kill", args })?;
+    expect_code("resume-after-hang-kill", &out, 0)?;
+    expect_identical("post-hang-kill stdout", &ref_stdout, &String::from_utf8_lossy(&out.stdout))?;
+    expect_identical("post-hang-kill journal", &ref_journal, &read(&dir.join("hang_kill.jsonl"))?)?;
 
     Ok(dir)
 }

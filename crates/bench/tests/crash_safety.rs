@@ -40,6 +40,7 @@ fn surface(eval: &figures::Evaluation) -> String {
         config_debug: "crash-safety-test".into(),
         topology: None,
         mba: false,
+        governor: false,
     });
     format!(
         "{}{}{}",

@@ -23,6 +23,7 @@ fn journal_text(jobs: usize) -> String {
         config_debug: "determinism-test".into(),
         topology: None,
         mba: false,
+        governor: false,
     };
     journal::render(&journal::manifest(&meta), &journal::eval_cells(&eval))
 }

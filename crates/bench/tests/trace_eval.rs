@@ -45,6 +45,7 @@ fn journal_text(set: &TraceSet, jobs: usize) -> String {
         config_debug: format!("trace-determinism-test;traces={}", set.digest()),
         topology: None,
         mba: false,
+        governor: false,
     };
     journal::render(&journal::manifest(&meta), &journal::eval_cells(&eval))
 }

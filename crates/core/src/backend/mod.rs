@@ -117,6 +117,62 @@ pub fn pmu_read_stable<S: Substrate>(
     prev
 }
 
+/// How many [`pmu_read_stable`] rounds [`pmu_read_checked`] takes chasing
+/// a snapshot that also passes the plausibility window. Corrupted reads
+/// are transient, so each round is an independent chance at a clean pair;
+/// 16 rounds make survival of a corrupt snapshot astronomically unlikely
+/// even at the fault sweep's highest rates.
+pub const PMU_CHECKED_RETRIES: usize = 16;
+
+/// How far past the machine clock a clean core clock may legitimately
+/// read: a core finishes its quantum on the first op boundary at or after
+/// the quantum end, so its published cycle counter can overshoot `now` by
+/// at most one op's latency. Anything beyond this is corruption.
+pub const PMU_OVERSHOOT_SLACK: u64 = 1 << 20;
+
+/// True when every core's snapshot could have come from a healthy machine
+/// whose global clock reads `now`: cores never halt and sync at quantum
+/// boundaries, so a clean core clock sits in `[now, now + one op]`. A
+/// wrapped counter reads far *below* `now`; garbage reads far above it.
+fn pmu_snapshot_plausible(snap: &[cmm_sim::pmu::Pmu], now: u64) -> bool {
+    snap.iter().all(|p| p.cycles >= now && p.cycles - now <= PMU_OVERSHOOT_SLACK)
+}
+
+/// [`pmu_read_stable`] hardened for measurement-window boundaries: the
+/// snapshot is additionally validated against the clean-machine clock
+/// window (see [`pmu_snapshot_plausible`]) and re-read while it fails.
+///
+/// The profiling path can afford to *discard* a sample that survives the
+/// stability check corrupted ([`sample_logged`]'s zeroing backstop — the
+/// trial just ranks last); a window boundary cannot, because the window
+/// delta IS the run's result: one wrapped boundary core would report the
+/// whole run's harmonic-mean IPC as zero. Re-reading is always safe here —
+/// reads do not advance the machine — and terminates in practice because
+/// corruption is per-read transient. On a clean substrate the first
+/// snapshot passes and this is exactly [`pmu_read_stable`], record for
+/// record.
+pub fn pmu_read_checked<S: Substrate>(
+    sys: &mut S,
+    log: &mut Vec<FaultRecord>,
+) -> Vec<cmm_sim::pmu::Pmu> {
+    let now = sys.now();
+    let mut snap = pmu_read_stable(sys, log);
+    for _ in 0..PMU_CHECKED_RETRIES {
+        if pmu_snapshot_plausible(&snap, now) {
+            return snap;
+        }
+        log.push(FaultRecord {
+            cycle: now,
+            kind: "pmu_anomaly",
+            core: None,
+            msr: None,
+            action: "reread",
+        });
+        snap = pmu_read_stable(sys, log);
+    }
+    snap
+}
+
 /// A complete CAT programming: which mask each CLOS holds and which CLOS
 /// each core belongs to. CLOS 0 is conventionally the full-LLC "neutral"
 /// class.

@@ -21,6 +21,7 @@
 
 use crate::backend::{self, cbp, cmm, cp, dunn, pt, PartitionPlan};
 use crate::frontend::DetectorConfig;
+use crate::governor::{self, Governor, GovernorConfig, RegClass};
 use crate::policy::{ControllerConfig, Mechanism};
 use crate::substrate::Substrate;
 use crate::telemetry::{CoreSample, EpochRecord, FaultRecord, Trial};
@@ -47,6 +48,9 @@ pub struct Driver<S: Substrate = System> {
     /// Multi-socket analogue of `prev_exec_hm`: one entry per CAT domain,
     /// sized lazily on the first multi-socket epoch.
     prev_exec_hm_dom: Vec<Option<f64>>,
+    /// The safety governor, when attached ([`Driver::with_governor`]).
+    /// `None` leaves every epoch byte-identical to the ungoverned driver.
+    governor: Option<Governor>,
 }
 
 impl<S: Substrate> Driver<S> {
@@ -70,7 +74,26 @@ impl<S: Substrate> Driver<S> {
             exec_anchor: None,
             prev_exec_hm: None,
             prev_exec_hm_dom: Vec::new(),
+            governor: None,
         }
+    }
+
+    /// Attaches a safety governor (see [`crate::governor`]): every
+    /// subsequent epoch verifies the applied plan against the last-known-
+    /// good hm_ipc (rolling back on regression under faults), drops
+    /// quarantined cores from classification, and consults the circuit
+    /// breakers before touching a register class. At fault rate zero none
+    /// of the defenses ever fire and the run stays byte-identical to an
+    /// ungoverned one.
+    pub fn with_governor(mut self, cfg: GovernorConfig) -> Self {
+        let cores = self.sys.num_cores();
+        self.governor = Some(Governor::new(cfg, cores));
+        self
+    }
+
+    /// The attached governor, if any (tests and run summaries).
+    pub fn governor(&self) -> Option<&Governor> {
+        self.governor.as_ref()
     }
 
     /// The managed machine.
@@ -175,6 +198,38 @@ impl<S: Substrate> Driver<S> {
         if exec_hm_ipc.is_some() {
             self.prev_exec_hm = exec_hm_ipc;
         }
+        // Governor defense 1 (apply-then-verify): the execution epoch that
+        // just ran is the verification window of the previously applied
+        // plan. A regression past the bound — only ever while substrate
+        // faults are active — restores the pre-plan snapshot and skips
+        // this epoch's profiling, letting the last-known-good state run
+        // one more execution epoch instead of re-planning from
+        // fault-tainted telemetry.
+        let mut rolled_back = false;
+        if let Some(g) = self.governor.as_mut() {
+            g.begin_epoch(epoch_start);
+            if let Some(hm) = exec_hm_ipc {
+                if g.should_roll_back(hm) {
+                    if let Some(snap) = g.snapshot() {
+                        governor::restore(&mut self.sys, snap);
+                    }
+                    g.log_rollback(epoch_start);
+                    log.push(FaultRecord {
+                        cycle: epoch_start,
+                        kind: "degraded",
+                        core: None,
+                        msr: None,
+                        action: "kept_last_good",
+                    });
+                    rolled_back = true;
+                } else {
+                    g.accept(hm);
+                    g.note_snapshot(self.sys.control_state());
+                }
+            } else {
+                g.note_snapshot(self.sys.control_state());
+            }
+        }
         if self.mechanism != Mechanism::Baseline {
             self.overhead_cycles += self.ctrl.overhead_cycles;
         }
@@ -190,6 +245,9 @@ impl<S: Substrate> Driver<S> {
         let mut winner: Option<usize> = None;
         let mut degraded: Option<&'static str> = None;
         match self.mechanism {
+            // A rollback epoch runs the restored last-good state for one
+            // more execution epoch: no profiling, no re-plan.
+            _ if rolled_back => {}
             Mechanism::Baseline => {
                 // No control: prefetchers on, flat CAT — enforced once so a
                 // baseline run after a managed run is truly uncontrolled.
@@ -303,16 +361,37 @@ impl<S: Substrate> Driver<S> {
                 if PartitionPlan::flat(n, ways).apply(&mut self.sys, &mut log).is_err() {
                     self.sys.reset_cat();
                 }
-                let det =
+                let det_log_start = log.len();
+                let mut det =
                     backend::detect_logged(&mut self.sys, &self.ctrl, &self.det_cfg, &mut log);
+                // Governor defense 2: a core whose detection sample was
+                // flagged implausible is quarantined on the spot and keeps
+                // its last trusted classification, so one lying counter
+                // cannot steer this epoch's plan or the searches.
+                if let Some(g) = self.governor.as_mut() {
+                    g.observe_detection(&log[det_log_start..], self.sys.now());
+                    g.filter_detection(&mut det);
+                }
                 self.agg_history.push(det.agg.len());
                 cores = samples_of(&det.interval1);
+                // Governor defense 3: consult the breakers before paying a
+                // known-dead register class's per-epoch retry tax.
+                let allow_pf = self.governor.as_ref().is_none_or(|g| g.allow(RegClass::Prefetch));
+                let allow_cat = self.governor.as_ref().is_none_or(|g| g.allow(RegClass::Cat));
+                let allow_mba = self.governor.as_ref().is_none_or(|g| g.allow(RegClass::Mba));
                 match cmm::cmm_plan(variant, &det, n, ways, self.ctrl.partition_scale, min_pc) {
-                    Some(plan) => {
-                        // Coordinated order per the paper: partition first,
-                        // then search throttle settings for the unfriendly
-                        // cores inside the partitioned machine.
-                        if plan.apply(&mut self.sys, &mut log).is_ok() {
+                    _ if !allow_cat => {
+                        // CAT's breaker is open: every partition plan is
+                        // doomed, so stop paying its per-epoch retry tax —
+                        // but the prefetch and MBA register classes may
+                        // well be alive, and for a prefetch-aggressive mix
+                        // they carry most of the mechanism's value. Pin a
+                        // throttle-only degradation over the flat (reset)
+                        // cache until the breaker closes.
+                        self.sys.reset_cat();
+                        degraded = Some(degrade(&mut log, self.sys.now(), "fallback_throttle"));
+                        let mut pf_image = vec![0u64; n];
+                        if allow_pf {
                             let groups = backend::throttle_groups(
                                 &det.unfriendly,
                                 &det.interval1,
@@ -325,20 +404,74 @@ impl<S: Substrate> Driver<S> {
                                 self.ctrl.sampling_interval,
                                 &mut log,
                             );
+                            pf_image =
+                                search.best.iter().map(|&on| if on { 0x0 } else { 0xF }).collect();
                             trials = search.trials;
                             winner = search.winner;
+                        }
+                        if self.mechanism == Mechanism::Cbp
+                            && allow_mba
+                            && cbp::mba_available(&mut self.sys, 0, &mut log)
+                        {
+                            let mba_groups = backend::throttle_groups(
+                                &det.agg,
+                                &det.interval1,
+                                self.ctrl.exhaustive_limit,
+                                self.ctrl.throttle_groups,
+                            );
+                            let msearch = cbp::search_mba_levels_in(
+                                &mut self.sys,
+                                &mba_groups,
+                                &cbp::MBA_LEVELS,
+                                &pf_image,
+                                self.ctrl.sampling_interval,
+                                &mut log,
+                                0,
+                                n,
+                            );
+                            if let Some(w) = msearch.winner {
+                                winner = Some(trials.len() + w);
+                            }
+                            trials.extend(msearch.trials);
+                        }
+                    }
+                    Some(plan) => {
+                        // Coordinated order per the paper: partition first,
+                        // then search throttle settings for the unfriendly
+                        // cores inside the partitioned machine.
+                        if plan.apply(&mut self.sys, &mut log).is_ok() {
+                            // detect_logged leaves every prefetcher on; if
+                            // the prefetch breaker is open the search is
+                            // skipped and that all-on image stands.
+                            let mut pf_image = vec![0u64; n];
+                            if allow_pf {
+                                let groups = backend::throttle_groups(
+                                    &det.unfriendly,
+                                    &det.interval1,
+                                    self.ctrl.exhaustive_limit,
+                                    self.ctrl.throttle_groups,
+                                );
+                                let search = backend::search_throttle(
+                                    &mut self.sys,
+                                    &groups,
+                                    self.ctrl.sampling_interval,
+                                    &mut log,
+                                );
+                                pf_image = search
+                                    .best
+                                    .iter()
+                                    .map(|&on| if on { 0x0 } else { 0xF })
+                                    .collect();
+                                trials = search.trials;
+                                winner = search.winner;
+                            }
                             if self.mechanism == Mechanism::Cbp {
                                 // The hierarchical third stage: with the
                                 // prefetch winner and partition in force,
                                 // search MBA delay levels for the whole
                                 // Agg set. Without the knob, CBP is
                                 // exactly CMM-a.
-                                if cbp::mba_available(&mut self.sys, 0, &mut log) {
-                                    let pf_image: Vec<u64> = search
-                                        .best
-                                        .iter()
-                                        .map(|&on| if on { 0x0 } else { 0xF })
-                                        .collect();
+                                if allow_mba && cbp::mba_available(&mut self.sys, 0, &mut log) {
                                     let mba_groups = backend::throttle_groups(
                                         &det.agg,
                                         &det.interval1,
@@ -400,6 +533,15 @@ impl<S: Substrate> Driver<S> {
         // Anchor for the next epoch's execution-IPC measurement.
         let anchor = backend::pmu_read_stable(&mut self.sys, &mut log);
         self.exec_anchor = Some((self.sys.now(), anchor));
+        // Feed the epoch's fault stream through the breaker/quarantine
+        // state machines and collect the interventions for the journal.
+        let gov_events = match self.governor.as_mut() {
+            Some(g) => {
+                g.observe_faults(&log, self.sys.now());
+                g.take_events()
+            }
+            None => Vec::new(),
+        };
         self.records.push(EpochRecord {
             epoch: self.epochs,
             cycle: epoch_start,
@@ -415,6 +557,7 @@ impl<S: Substrate> Driver<S> {
             exec_ipc_delta,
             faults: log,
             degraded,
+            governor: gov_events,
             applied: self.sys.control_state(),
         });
     }
@@ -813,6 +956,9 @@ impl<S: Substrate> Driver<S> {
                 exec_ipc_delta: exec_deltas[d],
                 faults: std::mem::take(&mut dom_logs[d]),
                 degraded: out.degraded,
+                // The governor is single-socket scoped for now; a
+                // per-domain governor is future work.
+                governor: Vec::new(),
                 applied: applied[base..base + len].to_vec(),
             });
         }
@@ -826,6 +972,7 @@ fn degrade(log: &mut Vec<FaultRecord>, cycle: u64, action: &'static str) -> &'st
     match action {
         "fallback_cmm_a" => "CMM-a",
         "fallback_dunn" => "Dunn",
+        "fallback_throttle" => "throttle-only",
         _ => "no-op",
     }
 }
@@ -1117,6 +1264,127 @@ mod tests {
         let searched =
             drv.records().iter().find(|r| !r.trials.is_empty()).expect("no MBA search recorded");
         assert!(searched.trials.iter().all(|t| !t.mba.is_empty()));
+    }
+
+    #[test]
+    fn governed_clean_run_matches_ungoverned_byte_for_byte() {
+        // The zero-fault invisibility contract: attaching a governor to a
+        // healthy machine changes nothing — not timing, not decisions,
+        // not the rendered journal.
+        let mk = || system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut plain = Driver::new(mk(), Mechanism::Cbp, ControllerConfig::quick());
+        let mut gov = Driver::new(mk(), Mechanism::Cbp, ControllerConfig::quick())
+            .with_governor(GovernorConfig::new(9));
+        plain.run_total(1_200_000);
+        gov.run_total(1_200_000);
+        let (ra, rb) = (plain.take_records(), gov.take_records());
+        assert_eq!(ra.len(), rb.len());
+        assert!(!ra.is_empty());
+        for (a, b) in ra.iter().zip(&rb) {
+            assert_eq!(a.to_json_line("cell"), b.to_json_line("cell"));
+            assert!(b.governor.is_empty());
+        }
+    }
+
+    #[test]
+    fn governor_rollback_restores_last_good_and_skips_replanning() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::CmmA, ControllerConfig::quick())
+            .with_governor(GovernorConfig::new(1));
+        drv.run_total(900_000); // several epochs: snapshot + last-good exist
+        let before = drv.records().len();
+        // Arm the governor by hand: a fault was observed and the
+        // last-known-good hm_ipc is implausibly high, so the next
+        // measurement reads as a regression past the bound.
+        let g = drv.governor.as_mut().unwrap();
+        g.accept(1e6);
+        g.observe_faults(
+            &[FaultRecord {
+                cycle: 0,
+                kind: "msr_rejected",
+                core: Some(0),
+                msr: Some(0x1A4),
+                action: "retry_ok",
+            }],
+            0,
+        );
+        let snapshot = drv.governor.as_ref().unwrap().snapshot().unwrap().to_vec();
+        drv.system_mut().run(100_000);
+        drv.epoch();
+        let rec = &drv.records()[before..].last().unwrap();
+        assert!(rec.governor.iter().any(|e| e.action == "rollback"), "{:?}", rec.governor);
+        assert!(rec.faults.iter().any(|f| f.action == "kept_last_good"), "{:?}", rec.faults);
+        assert_eq!(drv.governor().unwrap().rollbacks(), 1);
+        // The rollback epoch re-runs the restored state: no profiling, no
+        // re-plan, and the applied read-back equals the snapshot.
+        assert!(rec.cores.is_empty() && rec.trials.is_empty());
+        assert_eq!(rec.winner, None);
+        assert_eq!(rec.applied, snapshot);
+    }
+
+    #[test]
+    fn quarantined_cores_are_dropped_from_classification() {
+        let mk = || system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        // Reference: which cores does a healthy epoch classify as Agg?
+        let mut reference = Driver::new(mk(), Mechanism::CmmA, ControllerConfig::quick());
+        reference.system_mut().run(600_000);
+        reference.epoch();
+        let full_agg = reference.records().last().unwrap().agg.clone();
+        assert!(!full_agg.is_empty(), "mix must produce aggressors");
+        // Same machine, same point in time, but core agg[0]'s PMU stream
+        // is quarantined: it must vanish from every detected set.
+        let bad = full_agg[0];
+        let mut drv = Driver::new(mk(), Mechanism::CmmA, ControllerConfig::quick())
+            .with_governor(GovernorConfig::new(1));
+        drv.system_mut().run(600_000);
+        drv.governor.as_mut().unwrap().observe_faults(
+            &[FaultRecord {
+                cycle: 0,
+                kind: "pmu_anomaly",
+                core: Some(bad),
+                msr: None,
+                action: "zeroed_sample",
+            }],
+            0,
+        );
+        drv.epoch();
+        let rec = drv.records().last().unwrap();
+        assert!(!rec.agg.contains(&bad), "{:?}", rec.agg);
+        assert!(!rec.friendly.contains(&bad));
+        assert!(!rec.unfriendly.contains(&bad));
+        assert!(rec.governor.iter().any(|e| e.action == "quarantine" && e.core == Some(bad)));
+    }
+
+    #[test]
+    fn dead_mba_register_opens_the_breaker_and_pins_cmm_a() {
+        use crate::fault::{FaultConfig, FaultySubstrate};
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let faulty = FaultySubstrate::new(sys, FaultConfig::mba_only(7, 1.0));
+        let mut drv = Driver::new(faulty, Mechanism::Cbp, ControllerConfig::quick())
+            .with_governor(GovernorConfig::new(3));
+        drv.system_mut().run(600_000);
+        for _ in 0..4 {
+            drv.epoch();
+            drv.system_mut().run(200_000);
+        }
+        let recs = drv.records();
+        let open = recs
+            .iter()
+            .position(|r| r.governor.iter().any(|e| e.action == "breaker_open"))
+            .expect("two consecutive hard MBA failures must open the breaker");
+        assert_eq!(
+            recs[open].governor.iter().find(|e| e.action == "breaker_open").unwrap().class,
+            Some("mba")
+        );
+        // While the breaker is open the driver stops probing the dead
+        // register (no MBA faults) but still degrades CBP to CMM-a.
+        let after = &recs[open + 1];
+        assert_eq!(after.degraded, Some("CMM-a"));
+        assert!(
+            after.faults.iter().all(|f| f.msr != Some(cmm_sim::msr::MSR_MBA_THROTTLE)),
+            "{:?}",
+            after.faults
+        );
     }
 
     #[test]

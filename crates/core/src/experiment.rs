@@ -10,6 +10,7 @@
 
 use crate::driver::Driver;
 use crate::fault::{FaultConfig, FaultySubstrate};
+use crate::governor::GovernorConfig;
 use crate::policy::{ControllerConfig, Mechanism};
 use crate::substrate::Substrate;
 use cmm_sim::config::SystemConfig;
@@ -104,9 +105,10 @@ fn build_system(mix: &Mix, cfg: &ExperimentConfig) -> System {
 /// workloads (see [`run_mix`] / [`run_mix_with_faults`] for the usual
 /// entry points).
 ///
-/// Measurement-window PMU reads go through the stable-read path, so a
-/// transiently corrupted boundary snapshot on a faulty substrate degrades
-/// to a re-read instead of poisoning the whole run's IPCs.
+/// Measurement-window PMU reads go through the checked-read path
+/// ([`crate::backend::pmu_read_checked`]), so a corrupted boundary
+/// snapshot on a faulty substrate degrades to a re-read instead of
+/// poisoning the whole run's IPCs.
 pub fn run_mix_on<S: Substrate>(
     mut sys: S,
     mix: &Mix,
@@ -131,15 +133,26 @@ pub fn run_mix_on_warmed<S: Substrate>(
     mechanism: Mechanism,
     cfg: &ExperimentConfig,
 ) -> MixResult {
-    let mut driver = Driver::new(sys, mechanism, cfg.ctrl.clone());
+    run_mix_driver(Driver::new(sys, mechanism, cfg.ctrl.clone()), mix, mechanism, cfg)
+}
+
+/// Runs the measurement window of an already-constructed driver (warmed
+/// substrate). The seam [`run_mix_governed`] uses to attach a governor
+/// without duplicating the window bookkeeping.
+fn run_mix_driver<S: Substrate>(
+    mut driver: Driver<S>,
+    mix: &Mix,
+    mechanism: Mechanism,
+    cfg: &ExperimentConfig,
+) -> MixResult {
     let mut window_log = Vec::new();
-    let before = crate::backend::pmu_read_stable(driver.system_mut(), &mut window_log);
+    let before = crate::backend::pmu_read_checked(driver.system_mut(), &mut window_log);
     let traffic_before: u64 =
         (0..mix.num_cores()).map(|c| driver.system().traffic(c).total_bytes()).sum();
 
     driver.run_total(cfg.total_cycles);
 
-    let after = crate::backend::pmu_read_stable(driver.system_mut(), &mut window_log);
+    let after = crate::backend::pmu_read_checked(driver.system_mut(), &mut window_log);
     let deltas: Vec<Pmu> = after.iter().zip(before).map(|(&a, b)| a - b).collect();
     let traffic_after: u64 =
         (0..mix.num_cores()).map(|c| driver.system().traffic(c).total_bytes()).sum();
@@ -259,6 +272,26 @@ pub fn run_mix_with_faults(
 ) -> MixResult {
     let sys = FaultySubstrate::new(build_system(mix, cfg), faults.clone());
     run_mix_on(sys, mix, mechanism, cfg)
+}
+
+/// [`run_mix_with_faults`] with the safety governor attached to the
+/// driver: apply-then-verify rollback, PMU quarantine and circuit
+/// breakers all armed. At a zero fault rate the governor never
+/// intervenes and the result is byte-identical to
+/// [`run_mix_with_faults`].
+pub fn run_mix_governed(
+    mix: &Mix,
+    mechanism: Mechanism,
+    cfg: &ExperimentConfig,
+    faults: &FaultConfig,
+    gov: GovernorConfig,
+) -> MixResult {
+    let mut sys = FaultySubstrate::new(build_system(mix, cfg), faults.clone());
+    if cfg.warmup_cycles > 0 {
+        sys.run(cfg.warmup_cycles);
+    }
+    let driver = Driver::new(sys, mechanism, cfg.ctrl.clone()).with_governor(gov);
+    run_mix_driver(driver, mix, mechanism, cfg)
 }
 
 /// Measures a workload's run-alone IPC: a single-core machine with the

@@ -22,6 +22,9 @@
 //! * [`experiment`] — harness utilities that run a workload mix under a
 //!   [`policy::Mechanism`] and produce the per-core IPC / bandwidth /
 //!   stall numbers behind every figure of the evaluation.
+//! * [`governor`] — the runtime safety governor: apply-then-verify with
+//!   rollback, PMU anomaly quarantine, and per-register-class circuit
+//!   breakers wrapping any mechanism the driver runs.
 //!
 //! The controller talks to the machine exclusively through the
 //! [`substrate::Substrate`] trait — PMU reads, MSR 0x1A4 throttle writes,
@@ -37,6 +40,7 @@ pub mod driver;
 pub mod experiment;
 pub mod fault;
 pub mod frontend;
+pub mod governor;
 pub mod policy;
 pub mod resctrl;
 pub mod substrate;
@@ -47,11 +51,15 @@ pub mod prelude {
     pub use crate::backend::{partition_ways, PartitionPlan};
     pub use crate::driver::Driver;
     pub use crate::experiment::{
-        run_alone_ipc, run_mix, run_mix_pooled, ExperimentConfig, MixResult, WarmupPool,
+        run_alone_ipc, run_mix, run_mix_governed, run_mix_pooled, ExperimentConfig, MixResult,
+        WarmupPool,
     };
     pub use crate::fault::{FaultConfig, FaultySubstrate};
     pub use crate::frontend::{detect_agg, metrics, DetectorConfig, Metrics};
+    pub use crate::governor::{Governor, GovernorConfig, RegClass};
     pub use crate::policy::{ControllerConfig, Mechanism};
     pub use crate::substrate::Substrate;
-    pub use crate::telemetry::{CoreSample, EpochRecord, FaultRecord, Manifest, Trial};
+    pub use crate::telemetry::{
+        CoreSample, EpochRecord, FaultRecord, GovernorEvent, Manifest, Trial,
+    };
 }

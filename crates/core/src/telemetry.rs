@@ -49,7 +49,7 @@ use cmm_sim::system::CoreControl;
 /// | `clos_exhausted` | CAT write to a CLOS the part doesn't have | `gave_up`                   |
 /// | `msr_error`      | any other WRMSR failure                   | `retry_ok`, `gave_up`       |
 /// | `pmu_anomaly`    | unstable / implausible PMU snapshot       | `reread`, `zeroed_sample`   |
-/// | `degraded`       | epoch-level fallback decision             | `fallback_dunn`, `fallback_noop`, `kept_last_good` |
+/// | `degraded`       | epoch-level fallback decision             | `fallback_dunn`, `fallback_noop`, `fallback_throttle`, `kept_last_good` |
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultRecord {
     /// Machine clock when the fault was observed.
@@ -77,6 +77,48 @@ impl FaultRecord {
             None => s.push_str(",\"msr\":null"),
         }
         s.push_str(&format!(",\"action\":\"{}\"}}", escape(self.action)));
+        s
+    }
+}
+
+/// One safety-governor intervention (schema `cmm-journal/5`).
+///
+/// `action` names what the governor did:
+///
+/// | action          | meaning                                              |
+/// |-----------------|------------------------------------------------------|
+/// | `rollback`      | exec hm_ipc regressed past the bound; previous state restored |
+/// | `quarantine`    | a core's PMU stream went implausible; core excluded for a cooldown |
+/// | `breaker_open`  | K consecutive hard MSR failures on `class`; retries suspended |
+/// | `breaker_close` | the breaker's cooldown expired; the class is probed again |
+///
+/// `core` is set for core-scoped actions (`quarantine`), `class` for
+/// register-class-scoped ones (`breaker_open`/`breaker_close`:
+/// `"prefetch"`, `"cat"` or `"mba"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorEvent {
+    /// Machine clock when the governor intervened.
+    pub cycle: u64,
+    /// What the governor did (see table above).
+    pub action: &'static str,
+    /// Core the action targeted, for core-scoped actions.
+    pub core: Option<usize>,
+    /// Register class the action targeted, for breaker actions.
+    pub class: Option<&'static str>,
+}
+
+impl GovernorEvent {
+    fn to_json(&self) -> String {
+        let mut s = String::with_capacity(80);
+        s.push_str(&format!("{{\"cycle\":{},\"action\":\"{}\"", self.cycle, escape(self.action)));
+        match self.core {
+            Some(c) => s.push_str(&format!(",\"core\":{c}")),
+            None => s.push_str(",\"core\":null"),
+        }
+        match self.class {
+            Some(c) => s.push_str(&format!(",\"class\":\"{}\"}}", escape(c))),
+            None => s.push_str(",\"class\":null}"),
+        }
         s
     }
 }
@@ -150,9 +192,13 @@ pub struct EpochRecord {
     /// controller's response, in observation order.
     pub faults: Vec<FaultRecord>,
     /// Fallback mechanism this epoch retreated to when its own allocator
-    /// could not be applied (`"Dunn"` or `"no-op"`); `None` when the
-    /// epoch's own decision was applied.
+    /// could not be applied (`"Dunn"`, `"no-op"` or `"throttle-only"`);
+    /// `None` when the epoch's own decision was applied.
     pub degraded: Option<&'static str>,
+    /// Safety-governor interventions during this epoch, in order (schema
+    /// `cmm-journal/5`). Empty — and unserialized — for ungoverned runs,
+    /// so /1–/4 journals stay byte-identical.
+    pub governor: Vec<GovernorEvent>,
     /// CAT/throttle state in force after the epoch's decision was applied,
     /// read back from the machine.
     pub applied: Vec<CoreControl>,
@@ -238,6 +284,18 @@ impl EpochRecord {
             Some(d) => s.push_str(&format!(",\"degraded\":\"{}\"", escape(d))),
             None => s.push_str(",\"degraded\":null"),
         }
+        // The governor key joined in schema /5; epochs the governor never
+        // touched omit it so ungoverned journals stay byte-identical.
+        if !self.governor.is_empty() {
+            s.push_str(",\"governor\":[");
+            for (i, g) in self.governor.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&g.to_json());
+            }
+            s.push(']');
+        }
         s.push_str(",\"applied\":{\"clos\":[");
         push_joined(&mut s, self.applied.iter().map(|a| a.clos.to_string()));
         s.push_str("],\"way_mask\":[");
@@ -286,6 +344,10 @@ pub struct Manifest {
     /// `true` bumps the declared schema to `cmm-journal/4`; legacy targets
     /// keep emitting /2 (or /3 with a topology) unchanged.
     pub mba: bool,
+    /// Whether the run wraps the controller in the safety governor.
+    /// `true` bumps the declared schema to `cmm-journal/5` and adds a
+    /// `governor` manifest key; ungoverned targets are unchanged.
+    pub governor: bool,
 }
 
 impl Manifest {
@@ -297,11 +359,16 @@ impl Manifest {
     /// mechanisms may program the MBA knob declare `cmm-journal/4`
     /// (keeping the `topology` key when multi-socket).
     pub fn to_json_line(&self) -> String {
-        let topology = match &self.topology {
+        let mut topology = match &self.topology {
             Some(t) => format!(",\"topology\":\"{}\"", escape(t)),
             None => String::new(),
         };
-        let schema = if self.mba {
+        if self.governor {
+            topology.push_str(",\"governor\":true");
+        }
+        let schema = if self.governor {
+            "cmm-journal/5"
+        } else if self.mba {
             "cmm-journal/4"
         } else if self.topology.is_some() {
             "cmm-journal/3"
@@ -423,6 +490,7 @@ mod tests {
                 action: "retry_ok",
             }],
             degraded: None,
+            governor: vec![],
             applied: vec![CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0x0, mba_level: 0 }],
         }
     }
@@ -503,6 +571,7 @@ mod tests {
             config_digest: config_digest("cfg"),
             topology: None,
             mba: false,
+            governor: false,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/2\",\"kind\":\"manifest\""));
@@ -528,6 +597,7 @@ mod tests {
             config_digest: config_digest("cfg"),
             topology: Some("2x16".into()),
             mba: false,
+            governor: false,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/3\",\"kind\":\"manifest\""));
@@ -547,6 +617,7 @@ mod tests {
             config_digest: config_digest("cfg"),
             topology: None,
             mba: true,
+            governor: false,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/4\",\"kind\":\"manifest\""));
@@ -570,6 +641,53 @@ mod tests {
         let line = r.to_json_line("x");
         assert!(line.contains("{\"msr_1a4\":[0],\"mba\":[0,40],\"hm_ipc\":1.200000}"));
         assert!(line.contains("\"prefetch\":[true],\"mba\":[80]}"));
+    }
+
+    #[test]
+    fn governor_manifest_declares_schema_5() {
+        let mut m = Manifest {
+            target: "governor".into(),
+            quick: true,
+            seed: 42,
+            git_sha: "abc123".into(),
+            host_os: "linux".into(),
+            host_arch: "x86_64".into(),
+            host_cpus: 8,
+            config_digest: config_digest("cfg"),
+            topology: None,
+            mba: true,
+            governor: true,
+        };
+        let line = m.to_json_line();
+        assert!(line.starts_with("{\"schema\":\"cmm-journal/5\",\"kind\":\"manifest\""));
+        assert!(line.contains("\"governor\":true"));
+        // The governor flag outranks mba and topology in schema selection.
+        m.topology = Some("2x16".into());
+        let line = m.to_json_line();
+        assert!(line.starts_with("{\"schema\":\"cmm-journal/5\""));
+        assert!(line.contains("\"topology\":\"2x16\",\"governor\":true"));
+    }
+
+    #[test]
+    fn governor_key_emitted_only_when_events_exist() {
+        // An epoch the governor never touched renders exactly as before
+        // the governor existed.
+        let quiet = sample_record().to_json_line("x");
+        assert!(!quiet.contains("\"governor\""));
+        let mut r = sample_record();
+        r.governor = vec![
+            GovernorEvent { cycle: 7, action: "rollback", core: None, class: None },
+            GovernorEvent { cycle: 9, action: "quarantine", core: Some(2), class: None },
+            GovernorEvent { cycle: 11, action: "breaker_open", core: None, class: Some("mba") },
+        ];
+        let line = r.to_json_line("x");
+        assert!(line.contains(
+            "\"degraded\":null,\"governor\":[\
+             {\"cycle\":7,\"action\":\"rollback\",\"core\":null,\"class\":null},\
+             {\"cycle\":9,\"action\":\"quarantine\",\"core\":2,\"class\":null},\
+             {\"cycle\":11,\"action\":\"breaker_open\",\"core\":null,\"class\":\"mba\"}],\
+             \"applied\":"
+        ));
     }
 
     #[test]

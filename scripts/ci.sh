@@ -176,6 +176,31 @@ smoke_bandwidth() {
 }
 step "repro bandwidth smoke (determinism, /4 journal, bench gate)" smoke_bandwidth
 
+smoke_governor() {
+    # Safety-governor gate: the fault sweep must pass its dominance gate
+    # (governed CBP >= bare CBP at every nonzero rate — the run exits 1
+    # otherwise), hold the determinism contract across job counts, journal
+    # governor events under the /5 schema, and gate wall clock against the
+    # committed baseline.
+    ./target/release/repro governor --quick --jobs "$SMOKE_JOBS" \
+        --bench-json "$tmp/BENCH_gov.json" \
+        --journal "$tmp/gov.jobsN.jsonl" > "$tmp/gov.jobsN.txt"
+    ./target/release/repro governor --quick --jobs 1 \
+        --bench-json "$tmp/BENCH_gov.1.json" \
+        --journal "$tmp/gov.jobs1.jsonl" > "$tmp/gov.jobs1.txt"
+    cmp "$tmp/gov.jobs1.txt" "$tmp/gov.jobsN.txt"
+    cmp "$tmp/gov.jobs1.jsonl" "$tmp/gov.jobsN.jsonl"
+    head -1 "$tmp/gov.jobs1.jsonl" | grep -q '"schema":"cmm-journal/5"'
+    # Hard-regime legs really exercised the defenses and journaled them.
+    grep -q '"governor":\[' "$tmp/gov.jobs1.jsonl"
+    grep -q '"action":"breaker_open"' "$tmp/gov.jobs1.jsonl"
+    grep -q '"name": "governor"' "$tmp/BENCH_gov.1.json"
+    ./target/release/repro bench-compare \
+        benchmarks/BENCH_governor.baseline.json "$tmp/BENCH_gov.1.json" \
+        --noise 1.0 --scps-floor "$SCPS_FLOOR" > /dev/null
+}
+step "repro governor smoke (dominance gate, determinism, /5 journal)" smoke_governor
+
 smoke_journal_csv() {
     # --csv exports one row per journal epoch, with the summary untouched.
     ./target/release/repro journal-summary "$tmp/journal.jobs1.jsonl" \
