@@ -1,0 +1,62 @@
+//! Cost of one ML-Sel inference step (feature extraction + classifier
+//! predict for all 8 cores) against the work it replaces: a CMM-a
+//! profiling trial runs the whole machine for `sample_cycles`, while the
+//! classifier is a fixed-size dot product per core. EXPERIMENTS.md quotes
+//! the resulting ratio (inference is orders of magnitude below one trial).
+
+use cmm_core::learned;
+use cmm_learn::{Model, N_FEATURES};
+use cmm_sim::pmu::PmuDelta;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+/// A fitted-looking 3-class model with non-trivial weights (the committed
+/// fixture's shape) — the predict cost depends only on dimensions.
+fn model() -> Model {
+    let weights = (0..3)
+        .map(|c| (0..=N_FEATURES).map(|j| 0.05 * (c as f64 + 1.0) - 0.01 * j as f64).collect())
+        .collect();
+    Model { labels: vec![0x0, 0x3, 0xf], weights }
+}
+
+/// A busy-core PMU delta, so feature extraction exercises every ratio.
+fn delta() -> PmuDelta {
+    PmuDelta {
+        cycles: 1_200_000,
+        instructions: 900_000,
+        l2_dm_req: 40_000,
+        l2_dm_miss: 9_000,
+        l2_pf_req: 22_000,
+        l2_pf_miss: 6_000,
+        l3_load_miss: 4_000,
+        stall_cycles: 300_000,
+        mem_demand_bytes: 1_280_000,
+        mem_prefetch_bytes: 1_024_000,
+        mem_writeback_bytes: 256_000,
+        pf_used: 15_000,
+        pf_wasted: 4_000,
+        ..PmuDelta::default()
+    }
+}
+
+fn learn_inference(c: &mut Criterion) {
+    let m = model();
+    let d = delta();
+    let mut g = c.benchmark_group("learn_inference");
+    // One controller epoch's worth of inference: 8 cores, each a feature
+    // extraction plus a classifier predict.
+    g.throughput(Throughput::Elements(8));
+    g.bench_function("mlsel_epoch_8cores", |b| {
+        b.iter(|| {
+            let mut last = None;
+            for _ in 0..8 {
+                let f = learned::core_features(std::hint::black_box(&d));
+                last = Some(m.predict(&f));
+            }
+            std::hint::black_box(last)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, learn_inference);
+criterion_main!(benches);

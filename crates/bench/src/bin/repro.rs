@@ -114,12 +114,13 @@ use cmm_bench::checkpoint::Checkpoint;
 use cmm_bench::figures::{self, EvalConfig, Evaluation};
 use cmm_bench::perf::BenchLog;
 use cmm_bench::runner::{default_jobs, parallel_map, CellFailure, Progress, DEFAULT_ATTEMPTS};
-use cmm_bench::{compare, diff, faults, governor, journal, report, soak};
+use cmm_bench::{compare, diff, faults, governor, journal, learn, report, soak};
 use cmm_core::backend;
 use cmm_core::experiment::{run_mix_pooled, ExperimentConfig, WarmupPool};
 use cmm_core::frontend::{detect_agg, metrics, DetectorConfig};
 use cmm_core::policy::{ControllerConfig, Mechanism};
 use cmm_core::telemetry::EpochRecord;
+use cmm_learn::{fnv1a, Model};
 use cmm_metrics as met;
 use cmm_sim::config::{SystemConfig, Topology};
 use cmm_sim::System;
@@ -155,6 +156,11 @@ struct Args {
     /// and single-socket values leave every output byte-identical to the
     /// historical single-socket runs.
     topology: Option<Topology>,
+    /// `repro learn --model PATH`: load a `cmm-model/1` classifier instead
+    /// of training one in-process (exit 2 on any format error).
+    model: Option<std::path::PathBuf>,
+    /// `repro learn train --out PATH`: where the fitted model is written.
+    out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -179,6 +185,8 @@ fn parse_args() -> Args {
     let mut chaos_mode = ChaosMode::Transient;
     let mut chaos_kill = None;
     let mut topology = None;
+    let mut model = None;
+    let mut out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -268,6 +276,12 @@ fn parse_args() -> Args {
                     it.next().and_then(|v| v.parse().ok()).expect("--chaos-kill needs a number"),
                 )
             }
+            "--model" => {
+                model = Some(std::path::PathBuf::from(
+                    it.next().expect("--model needs a cmm-model/1 path"),
+                ))
+            }
+            "--out" => out = Some(std::path::PathBuf::from(it.next().expect("--out needs a path"))),
             "--topology" => {
                 let spec = it.next().unwrap_or_default();
                 topology = match spec.parse::<Topology>() {
@@ -281,7 +295,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro <table1|fig1|fig2|fig3|fig5|fig7..fig15|overhead|faults|\
-                     governor|bandwidth|all> \
+                     governor|bandwidth|learn|all> \
                      [--quick] [--mixes N] [--seed S] [--fault-seed S] [--jobs N] [--csv DIR] \
                      [--bench-json PATH] [--journal PATH] [--resume CKPT] [--attempts N] \
                      [--topology SxM]\n       \
@@ -289,6 +303,11 @@ fn parse_args() -> Args {
                      per-mix hm_ipc and fairness, cmm-journal/4\n       \
                      repro governor [--quick] [--fault-seed S] … — CBP bare vs governed \
                      under injected faults (dominance gate), cmm-journal/5\n       \
+                     repro learn [--quick] [--model PATH] … — learned controllers \
+                     (ML-Sel, RL-CBP) vs CMM-a/CBP (floor + convergence gates), \
+                     cmm-journal/6; trains in-process unless --model is given\n       \
+                     repro learn train [--quick] [--out PATH] — fit the phase \
+                     classifier and write it as cmm-model/1 (default mlsel.model)\n       \
                      repro scale [--quick] [--topology SxM] — topology sweep \
                      (default 1x8, 2x16, 4x32) with per-domain hm_ipc\n       \
                      repro <fig7..fig15|fairness|overhead|ablate|all> --trace-dir DIR …\n       \
@@ -342,6 +361,87 @@ fn parse_args() -> Args {
         chaos_mode,
         chaos_kill,
         topology,
+        model,
+        out,
+    }
+}
+
+/// `repro learn train`: fit the phase classifier from the roster corpus
+/// and write it out as a `cmm-model/1` document. Exit 0 on success, 2 on
+/// an unwritable output path.
+fn run_learn_train(args: &Args) -> i32 {
+    let out = args.out.clone().unwrap_or_else(|| std::path::PathBuf::from("mlsel.model"));
+    let t = learn::train_model(args.quick);
+    print!(
+        "{}",
+        report::table(
+            "Phase-classifier training corpus — run-alone IPC per 0x1A4 image",
+            &learn::TRAIN_HEADERS,
+            &t.rows,
+        )
+    );
+    println!(
+        "trained cmm-model/1: {} samples, {} classes, training accuracy {:.3}",
+        t.samples,
+        t.model.labels.len(),
+        t.accuracy
+    );
+    let text = t.model.to_text();
+    if let Err(e) = cmm_bench::atomic::write_atomic(&out, text.as_bytes()) {
+        eprintln!("[repro] learn train: cannot write {}: {e}", out.display());
+        return 2;
+    }
+    println!("wrote {} ({} bytes, digest {})", out.display(), text.len(), fnv1a(text.as_bytes()));
+    0
+}
+
+/// Resolves the `repro learn` classifier: loads `--model` (exit 2 on any
+/// `cmm-model/1` format error) or trains one in-process, printing the
+/// training table. Returns the model plus its content digest (folded into
+/// the run's config digest so `--resume` refuses a different model).
+fn resolve_learn_model(args: &Args, log: &Progress) -> (Model, String) {
+    match &args.model {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("[repro] --model {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            match Model::from_text(&text) {
+                Ok(m) => {
+                    log.note(&format!(
+                        "loaded cmm-model/1 from {} ({} classes, digest {})",
+                        path.display(),
+                        m.labels.len(),
+                        fnv1a(text.as_bytes())
+                    ));
+                    (m, fnv1a(text.as_bytes()))
+                }
+                Err(e) => {
+                    eprintln!("[repro] --model {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            let t = learn::train_model(args.quick);
+            print!(
+                "{}",
+                report::table(
+                    "Phase-classifier training corpus — run-alone IPC per 0x1A4 image",
+                    &learn::TRAIN_HEADERS,
+                    &t.rows,
+                )
+            );
+            log.note(&format!(
+                "trained phase classifier in-process: {} samples, accuracy {:.3}",
+                t.samples, t.accuracy
+            ));
+            let digest = fnv1a(t.model.to_text().as_bytes());
+            (t.model, digest)
+        }
     }
 }
 
@@ -1000,6 +1100,9 @@ fn main() {
         "trace" => {
             std::process::exit(cmm_bench::tracecmd::run(&args.operands, args.seed, args.ops))
         }
+        "learn" if args.operands.first().map(String::as_str) == Some("train") => {
+            std::process::exit(run_learn_train(&args))
+        }
         "soak" => std::process::exit(soak::run(args.jobs)),
         _ => {}
     }
@@ -1070,6 +1173,15 @@ fn main() {
     if let Some(label) = &topo_label {
         config_debug.push_str(&format!(";topology={label}"));
     }
+    // The learned target resolves its classifier up front (load --model or
+    // train in-process) and folds the model digest into the run identity,
+    // so `--resume` refuses to splice cells evaluated under a different
+    // model. Legacy targets keep their historical digests untouched.
+    let learn_model: Option<Model> = (args.target == "learn").then(|| {
+        let (model, digest) = resolve_learn_model(&args, &log);
+        config_debug.push_str(&format!(";model={digest}"));
+        model
+    });
     let manifest_topology =
         topo_label.or_else(|| (args.target == "scale").then(|| SCALE_SWEEP.join("+")));
     let meta = journal::JournalMeta {
@@ -1080,9 +1192,11 @@ fn main() {
         topology: manifest_topology,
         // MBA-capable targets journal per-epoch delay levels (/4). Every
         // other target keeps its historical schema byte-for-byte.
-        mba: matches!(args.target.as_str(), "bandwidth" | "faults" | "governor"),
+        mba: matches!(args.target.as_str(), "bandwidth" | "faults" | "governor" | "learn"),
         // The governed target journals per-epoch governor events (/5).
         governor: args.target == "governor",
+        // The learned target journals per-epoch features and actions (/6).
+        learn: args.target == "learn",
     };
     let digest = cmm_core::telemetry::config_digest(&meta.config_debug);
     let ckpt: Option<Checkpoint> = match &args.resume {
@@ -1278,6 +1392,83 @@ fn main() {
                 }
                 Err(failures) => {
                     report_cell_failures("governor", &failures, ckpt.as_ref());
+                    exit_code = 1;
+                }
+            }
+        }
+        "learn" => {
+            let e =
+                if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+            let model = learn_model.as_ref().expect("learn target resolved a model above");
+            // 4 standard mixes × 5 mechanisms (baseline, CMM-a, CBP and
+            // the two learned controllers).
+            let n = 4 * learn::MECHS.len() as u64;
+            let per_cell = (e.warmup_cycles + e.total_cycles) * 8;
+            let eval = bench.measure("learn", n, n * per_cell, || {
+                learn::evaluate_resumable(
+                    args.quick,
+                    args.seed,
+                    args.jobs,
+                    args.attempts,
+                    &log,
+                    ckpt.as_ref(),
+                    model,
+                )
+            });
+            match eval {
+                Ok(results) => {
+                    print!(
+                        "{}",
+                        report::table(
+                            "Learned controllers — per-mix hm_ipc, fairness and decision \
+                             churn vs CMM-a/CBP",
+                            &learn::EVAL_HEADERS,
+                            &learn::rows(&results),
+                        )
+                    );
+                    print!(
+                        "{}",
+                        report::table(
+                            "ML-Sel vs CMM-a decision diff — per-epoch 0x1A4 agreement",
+                            &learn::AGREEMENT_HEADERS,
+                            &learn::agreement_rows(&results),
+                        )
+                    );
+                    let vrows: Vec<Vec<String>> = learn::verdicts(&results)
+                        .iter()
+                        .map(|v| {
+                            vec![
+                                v.mix.clone(),
+                                format!("{:.3}", v.mlsel_ratio),
+                                format!("{:.3}", v.rl_tail_ratio),
+                                format!("{:.3}", v.rl_run_ratio),
+                                if v.ok() { "ok" } else { "MISS" }.into(),
+                            ]
+                        })
+                        .collect();
+                    print!(
+                        "{}",
+                        report::table(
+                            &format!(
+                                "Gate — ML-Sel >= {floor:.2}x CMM-a on every mix; RL-CBP \
+                                 converges to >= CMM-a (tail or whole-run)",
+                                floor = learn::MLSEL_FLOOR_RATIO
+                            ),
+                            &["mix", "mlsel/cmm", "rl tail/cmm", "rl run/cmm", "verdict"],
+                            &vrows,
+                        )
+                    );
+                    if !learn::passes(&results) {
+                        eprintln!(
+                            "[repro] learn: a learned controller missed its gate (ML-Sel \
+                             floor or RL-CBP convergence)"
+                        );
+                        exit_code = 1;
+                    }
+                    cells = learn::journal_cells(results);
+                }
+                Err(failures) => {
+                    report_cell_failures("learn", &failures, ckpt.as_ref());
                     exit_code = 1;
                 }
             }

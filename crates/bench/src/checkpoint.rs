@@ -394,6 +394,8 @@ fn intern(s: &str) -> &'static str {
         "PT-fine",
         "MBA",
         "CBP",
+        "ML-Sel",
+        "RL-CBP",
         // Degradation fallbacks.
         "no-op",
         "throttle-only",
@@ -554,6 +556,13 @@ pub fn decode_epoch(j: &Json) -> Result<EpochRecord, String> {
         faults,
         degraded: j.get("degraded").and_then(Json::as_str).map(intern),
         governor,
+        // The features/action keys joined in /6 and are elided when a
+        // mechanism records neither.
+        features: match j.get("features") {
+            Some(_) => f64s(j.get("features"), "features")?,
+            None => Vec::new(),
+        },
+        action: j.get("action").and_then(Json::as_str).map(str::to_string),
         applied,
     })
 }
@@ -651,6 +660,8 @@ mod tests {
                 action: "retry_ok",
             }],
             degraded: Some("Dunn"),
+            features: vec![],
+            action: None,
             governor: vec![
                 GovernorEvent { cycle: 200_000, action: "rollback", core: None, class: None },
                 GovernorEvent {
@@ -811,6 +822,31 @@ mod tests {
         let line = quiet.to_json_line("run");
         assert!(!line.contains("\"governor\""), "event-free epochs must elide the key");
         assert!(decode_epoch(&parse(&line).unwrap()).unwrap().governor.is_empty());
+    }
+
+    #[test]
+    fn learned_epochs_round_trip_and_quiet_lines_elide_the_keys() {
+        // A /6 epoch carries the feature vector and the learned-action
+        // label; both must survive the checkpoint round trip byte-for-byte.
+        let mut e = sample_epoch();
+        e.features = vec![1.25, 0.5, 0.0, 0.015625, 2.0, 0.875, 0.25, 0.03125];
+        e.action = Some("pf=0xf,cat=cmm,mba=0,stretch=1".into());
+        let line = e.to_json_line("run");
+        assert!(line.contains("\"features\":[1.250000,"), "{line}");
+        assert!(line.contains("\"action\":\"pf=0xf,cat=cmm,mba=0,stretch=1\""), "{line}");
+        let decoded = decode_epoch(&parse(&line).unwrap()).unwrap();
+        assert_eq!(decoded.action, e.action);
+        assert_eq!(decoded.features, e.features);
+        assert_eq!(decoded.to_json_line("run"), line);
+
+        // Pre-/6 epochs have neither key; decoding fills the defaults.
+        let quiet = sample_epoch();
+        let line = quiet.to_json_line("run");
+        assert!(!line.contains("\"features\""), "{line}");
+        let decoded = decode_epoch(&parse(&line).unwrap()).unwrap();
+        assert!(decoded.features.is_empty());
+        assert_eq!(decoded.action, None);
+        assert_eq!(decoded.to_json_line("run"), line);
     }
 
     #[test]

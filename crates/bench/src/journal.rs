@@ -1,11 +1,13 @@
 //! Assembles the `cmm-journal/2` (single-socket) / `cmm-journal/3`
 //! (multi-socket) / `cmm-journal/4` (MBA-capable) / `cmm-journal/5`
-//! (governed) run journal (see [`cmm_core::telemetry`]) and pretty-prints
-//! it back (`repro journal-summary`). The summary reader accepts
-//! `cmm-journal/1` through `/5` — each schema only adds keys (`/3`: a
+//! (governed) / `cmm-journal/6` (learned) run journal (see
+//! [`cmm_core::telemetry`]) and pretty-prints it back
+//! (`repro journal-summary`). The summary reader accepts
+//! `cmm-journal/1` through `/6` — each schema only adds keys (`/3`: a
 //! manifest `topology` and per-record `domain`; `/4`: per-trial and
 //! applied `mba` levels; `/5`: a manifest `governor` flag and per-record
-//! `governor` event arrays).
+//! `governor` event arrays; `/6`: a manifest `learn` flag and per-record
+//! `features` vectors and `action` labels).
 //!
 //! The journal is JSONL: one manifest line (schema, target, seed, git SHA,
 //! host, config digest) followed by one line per controller profiling
@@ -44,6 +46,10 @@ pub struct JournalMeta {
     /// declares schema `/5`. Ungoverned targets pass `false` and keep
     /// their journals byte-identical.
     pub governor: bool,
+    /// Whether the run's driver carries a learned controller; `true`
+    /// declares schema `/6`. Unlearned targets pass `false` and keep
+    /// their journals byte-identical.
+    pub learn: bool,
 }
 
 /// Builds the manifest line's data from the meta plus the environment.
@@ -60,6 +66,7 @@ pub fn manifest(meta: &JournalMeta) -> Manifest {
         topology: meta.topology.clone(),
         mba: meta.mba,
         governor: meta.governor,
+        learn: meta.learn,
     }
 }
 
@@ -151,9 +158,14 @@ pub fn load(text: &str) -> Result<JournalDoc, String> {
     let schema = manifest.get("schema").and_then(Json::as_str).unwrap_or("");
     if !matches!(
         schema,
-        "cmm-journal/1" | "cmm-journal/2" | "cmm-journal/3" | "cmm-journal/4" | "cmm-journal/5"
+        "cmm-journal/1"
+            | "cmm-journal/2"
+            | "cmm-journal/3"
+            | "cmm-journal/4"
+            | "cmm-journal/5"
+            | "cmm-journal/6"
     ) {
-        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1 through /5)"));
+        return Err(format!("unsupported schema '{schema}' (want cmm-journal/1 through /6)"));
     }
     let mut epochs = Vec::new();
     for (i, line) in lines.enumerate() {
@@ -197,6 +209,8 @@ struct RunStats {
     winners: u64,
     faults: u64,
     degraded_epochs: u64,
+    churn: u64,
+    applied_sig: Option<String>,
     rollbacks: u64,
     quarantines: u64,
     breaker_trips: u64,
@@ -232,6 +246,8 @@ pub fn summarize(text: &str) -> Result<String, String> {
                     winners: 0,
                     faults: 0,
                     degraded_epochs: 0,
+                    churn: 0,
+                    applied_sig: None,
                     rollbacks: 0,
                     quarantines: 0,
                     breaker_trips: 0,
@@ -288,6 +304,32 @@ pub fn summarize(text: &str) -> Result<String, String> {
                     }
                 })
                 .unwrap_or(0);
+            // Decision churn: an epoch churns when its applied machine
+            // state (CLOS/mask/prefetch/MBA images) differs from the run's
+            // previous epoch. The msr_1a4 image subsumes the boolean
+            // prefetch view; the elided-when-all-zero mba key renders as a
+            // stable empty segment.
+            let sig = ["clos", "way_mask", "msr_1a4", "mba"]
+                .iter()
+                .map(|k| {
+                    applied
+                        .get(k)
+                        .and_then(Json::as_array)
+                        .map(|v| {
+                            v.iter()
+                                .filter_map(Json::as_u64)
+                                .map(|x| x.to_string())
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        })
+                        .unwrap_or_default()
+                })
+                .collect::<Vec<_>>()
+                .join(";");
+            if stats.applied_sig.as_deref().is_some_and(|prev| prev != sig) {
+                stats.churn += 1;
+            }
+            stats.applied_sig = Some(sig);
         }
     }
 
@@ -338,6 +380,7 @@ pub fn summarize(text: &str) -> Result<String, String> {
                 r.winners.to_string(),
                 r.faults.to_string(),
                 r.degraded_epochs.to_string(),
+                r.churn.to_string(),
                 r.last_throttled.to_string(),
                 if r.last_partitioned > 0 { "yes".into() } else { "no".into() },
             ]
@@ -357,6 +400,7 @@ pub fn summarize(text: &str) -> Result<String, String> {
             "winners",
             "faults",
             "degraded",
+            "churn",
             "throttled",
             "partitioned",
         ],
@@ -502,6 +546,8 @@ mod tests {
             exec_ipc_delta: None,
             faults: Vec::new(),
             degraded: None,
+            features: Vec::new(),
+            action: None,
             governor: Vec::new(),
             applied: vec![
                 CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0xF, mba_level: 0 },
@@ -519,6 +565,7 @@ mod tests {
             topology: None,
             mba: false,
             governor: false,
+            learn: false,
         }
     }
 
@@ -572,6 +619,37 @@ mod tests {
         );
         assert!(summary.contains("  Mix-00: CBP+gov: faults=0"), "{summary}");
         // The CSV header is pinned: governor events must not widen it.
+        let csv = epochs_csv(&text).expect("csv");
+        assert!(
+            csv.starts_with("run,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded\n"),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn learned_journal_declares_schema_6_and_counts_churn() {
+        let man = manifest(&JournalMeta { mba: true, learn: true, ..meta() });
+        let mut r1 = record(1, 0);
+        r1.features = vec![1.25, 0.5];
+        r1.action = Some("pf=0xf,cat=cmm,mba=0,stretch=1".into());
+        let mut r2 = record(2, 0);
+        r2.applied[0].way_mask = 0b1100; // re-planned differently: churn
+        let mut r3 = record(3, 0);
+        r3.applied[0].way_mask = 0b1100; // held steady: no churn
+        for r in [&mut r1, &mut r2, &mut r3] {
+            r.mechanism = "RL-CBP";
+        }
+        let text = render(&man, &[("Mix-00: RL-CBP".to_string(), vec![r1, r2, r3])]);
+        assert!(text.starts_with("{\"schema\":\"cmm-journal/6\""), "{text}");
+        assert!(text.contains("\"learn\":true"), "{text}");
+        assert!(text.contains("\"features\":[1.250000,0.500000]"), "{text}");
+        assert!(text.contains("\"action\":\"pf=0xf,cat=cmm,mba=0,stretch=1\""), "{text}");
+        let summary = summarize(&text).expect("summary");
+        let row = summary.lines().find(|l| l.contains("Mix-00: RL-CBP")).expect("run row");
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        // Trailing columns: …, degraded, churn, throttled, partitioned.
+        assert_eq!(cols[cols.len() - 3], "1", "one applied-state change in three epochs: {row}");
+        // The CSV header is pinned: /6 keys must not widen it.
         let csv = epochs_csv(&text).expect("csv");
         assert!(
             csv.starts_with("run,epoch,mechanism,exec_hm_ipc,exec_ipc_delta,faults,degraded\n"),

@@ -60,6 +60,7 @@ pub mod figures;
 pub mod governor;
 pub mod journal;
 pub mod json;
+pub mod learn;
 pub mod perf;
 pub mod report;
 pub mod runner;

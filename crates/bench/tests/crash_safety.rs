@@ -41,6 +41,7 @@ fn surface(eval: &figures::Evaluation) -> String {
         topology: None,
         mba: false,
         governor: false,
+        learn: false,
     });
     format!(
         "{}{}{}",

@@ -24,6 +24,7 @@ fn journal_text(jobs: usize) -> String {
         topology: None,
         mba: false,
         governor: false,
+        learn: false,
     };
     journal::render(&journal::manifest(&meta), &journal::eval_cells(&eval))
 }

@@ -1,0 +1,86 @@
+//! Format-stability gate for `cmm-model/1`: the committed fixture
+//! `benchmarks/fixtures/mlsel.model` must keep decoding, and re-encoding
+//! it must reproduce the committed bytes exactly. A failure here means the
+//! model format (or the float formatting it relies on) changed — which
+//! requires a version bump, not a silent re-train.
+//!
+//! The CLI contract rides along: `repro learn --model` must exit 2 — the
+//! usage-error code, distinct from the gate-failure exit 1 — on any
+//! magic/version/checksum rejection.
+
+use cmm_learn::{Model, ModelError, MODEL_MAGIC, N_FEATURES};
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks/fixtures/mlsel.model")
+}
+
+fn fixture_text() -> String {
+    std::fs::read_to_string(fixture_path())
+        .expect("fixture benchmarks/fixtures/mlsel.model must exist")
+}
+
+#[test]
+fn fixture_decodes_and_reencodes_byte_identically() {
+    let text = fixture_text();
+    let m = Model::from_text(&text).expect("committed fixture must decode");
+    assert_eq!(m.labels, vec![0x0, 0x3, 0xf], "fixture classifies the three 0x1A4 images");
+    assert_eq!(m.weights.len(), 3);
+    assert!(m.weights.iter().all(|w| w.len() == N_FEATURES + 1));
+    assert_eq!(m.to_text(), text, "re-encoding must reproduce the committed bytes");
+}
+
+#[test]
+fn fixture_predictions_are_usable() {
+    let m = Model::from_text(&fixture_text()).unwrap();
+    // Any feature vector must yield a proper posterior over the 3 classes.
+    let p = m.predict(&[1.2, 0.4, 0.1, 0.02, 1.8, 0.7, 0.3, 0.05]);
+    assert!(p.class < m.labels.len());
+    assert!(p.confidence > 1.0 / 3.0 && p.confidence <= 1.0);
+}
+
+#[test]
+fn wrong_magic_version_and_checksum_are_distinct_rejections() {
+    let text = fixture_text();
+    assert!(matches!(
+        Model::from_text(&text.replacen(MODEL_MAGIC, "not-a-model/1", 1)),
+        Err(ModelError::BadMagic)
+    ));
+    assert!(matches!(
+        Model::from_text(&text.replacen("cmm-model/1", "cmm-model/9", 1)),
+        Err(ModelError::BadVersion(_))
+    ));
+    // Flip one weight digit: the checksum no longer matches the body.
+    let corrupt = text.replacen("w 0 ", "w 0 9", 1);
+    assert!(matches!(Model::from_text(&corrupt), Err(ModelError::BadChecksum { .. })));
+    // Drop the checksum line entirely: a parse error, not a silent accept.
+    let headless: String =
+        text.lines().filter(|l| !l.starts_with("checksum")).map(|l| format!("{l}\n")).collect();
+    assert!(matches!(Model::from_text(&headless), Err(ModelError::Parse(_))));
+}
+
+/// Runs the real binary: `repro learn --model <path>` must exit 2 on a
+/// corrupt model without running any simulation.
+#[test]
+fn cli_rejects_a_corrupt_model_with_exit_2() {
+    let dir = std::env::temp_dir().join(format!("cmm-learn-fixture-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("corrupt.model");
+    std::fs::write(&bad, fixture_text().replacen("w 0 ", "w 0 9", 1)).unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["learn", "--quick", "--model"])
+        .arg(&bad)
+        .current_dir(&dir)
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "corrupt model must be a usage error (exit 2)");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checksum"), "stderr names the rejection: {stderr}");
+    // Missing file: same exit class.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["learn", "--quick", "--model", "does-not-exist.model"])
+        .current_dir(&dir)
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}

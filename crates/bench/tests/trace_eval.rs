@@ -46,6 +46,7 @@ fn journal_text(set: &TraceSet, jobs: usize) -> String {
         topology: None,
         mba: false,
         governor: false,
+        learn: false,
     };
     journal::render(&journal::manifest(&meta), &journal::eval_cells(&eval))
 }

@@ -22,11 +22,27 @@
 use crate::backend::{self, cbp, cmm, cp, dunn, pt, PartitionPlan};
 use crate::frontend::DetectorConfig;
 use crate::governor::{self, Governor, GovernorConfig, RegClass};
+use crate::learned::{self, Learner};
 use crate::policy::{ControllerConfig, Mechanism};
 use crate::substrate::Substrate;
 use crate::telemetry::{CoreSample, EpochRecord, FaultRecord, Trial};
+use cmm_sim::msr;
 use cmm_sim::pmu::{Pmu, PmuDelta};
 use cmm_sim::System;
+
+/// The register images of an RL-CBP action held in force across stretched
+/// execution epochs (the learned epoch-length knob), per CAT domain.
+struct RlHold {
+    /// Execution epochs the action still has to run before re-planning.
+    skip: u64,
+    /// Domain-local MSR 0x1A4 image to re-assert after a shared detection
+    /// interval turned every prefetcher back on.
+    pf_image: Vec<u64>,
+    /// Domain-local MBA levels to re-assert.
+    mba_image: Vec<u64>,
+    /// The held action's journal label.
+    label: String,
+}
 
 /// Drives one [`Substrate`] under one [`Mechanism`].
 pub struct Driver<S: Substrate = System> {
@@ -51,6 +67,13 @@ pub struct Driver<S: Substrate = System> {
     /// The safety governor, when attached ([`Driver::with_governor`]).
     /// `None` leaves every epoch byte-identical to the ungoverned driver.
     governor: Option<Governor>,
+    /// The learned controller, when attached ([`Driver::with_learner`]).
+    /// Without one, ML-Sel and RL-CBP degrade every epoch to the CMM-a
+    /// search.
+    learner: Option<Learner>,
+    /// Per-domain stretched-action state for RL-CBP (index 0 on a
+    /// single-socket machine), sized lazily on the first RL epoch.
+    rl_hold: Vec<Option<RlHold>>,
 }
 
 impl<S: Substrate> Driver<S> {
@@ -75,6 +98,8 @@ impl<S: Substrate> Driver<S> {
             prev_exec_hm: None,
             prev_exec_hm_dom: Vec::new(),
             governor: None,
+            learner: None,
+            rl_hold: Vec::new(),
         }
     }
 
@@ -94,6 +119,20 @@ impl<S: Substrate> Driver<S> {
     /// The attached governor, if any (tests and run summaries).
     pub fn governor(&self) -> Option<&Governor> {
         self.governor.as_ref()
+    }
+
+    /// Attaches a learned controller (see [`crate::learned`]): ML-Sel
+    /// consults it as its phase classifier, RL-CBP as its bandit policy.
+    /// Without a learner both mechanisms degrade every epoch to the CMM-a
+    /// search, journaled as `fallback_cmm_a`.
+    pub fn with_learner(mut self, learner: Learner) -> Self {
+        self.learner = Some(learner);
+        self
+    }
+
+    /// The attached learner, if any (tests and run summaries).
+    pub fn learner(&self) -> Option<&Learner> {
+        self.learner.as_ref()
     }
 
     /// The managed machine.
@@ -244,6 +283,8 @@ impl<S: Substrate> Driver<S> {
         let mut trials: Vec<Trial> = Vec::new();
         let mut winner: Option<usize> = None;
         let mut degraded: Option<&'static str> = None;
+        let mut features_vec: Vec<f64> = Vec::new();
+        let mut action_lbl: Option<String> = None;
         match self.mechanism {
             // A rollback epoch runs the restored last-good state for one
             // more execution epoch: no profiling, no re-plan.
@@ -529,6 +570,255 @@ impl<S: Substrate> Driver<S> {
                 friendly = det.friendly;
                 unfriendly = det.unfriendly;
             }
+            Mechanism::MlSel => {
+                if PartitionPlan::flat(n, ways).apply(&mut self.sys, &mut log).is_err() {
+                    self.sys.reset_cat();
+                }
+                let det_log_start = log.len();
+                let mut det =
+                    backend::detect_logged(&mut self.sys, &self.ctrl, &self.det_cfg, &mut log);
+                if let Some(g) = self.governor.as_mut() {
+                    g.observe_detection(&log[det_log_start..], self.sys.now());
+                    g.filter_detection(&mut det);
+                }
+                self.agg_history.push(det.agg.len());
+                cores = samples_of(&det.interval1);
+                features_vec = learned::mean_features(&det.interval1);
+                let allow_pf = self.governor.as_ref().is_none_or(|g| g.allow(RegClass::Prefetch));
+                let allow_cat = self.governor.as_ref().is_none_or(|g| g.allow(RegClass::Cat));
+                // Classify every core; the epoch trusts the model only if
+                // its *least* confident per-core posterior clears the floor.
+                let image: Option<Vec<u64>> = match &self.learner {
+                    Some(Learner::Ml { model, floor }) => {
+                        let preds: Vec<_> = det
+                            .interval1
+                            .iter()
+                            .map(|d| model.predict(&learned::core_features(d)))
+                            .collect();
+                        let min_conf =
+                            preds.iter().map(|p| p.confidence).fold(f64::INFINITY, f64::min);
+                        (min_conf >= *floor)
+                            .then(|| preds.iter().map(|p| model.labels[p.class]).collect())
+                    }
+                    _ => None,
+                };
+                match image {
+                    Some(image) => {
+                        // The zero-trial epoch: CMM-a's partition plan plus
+                        // the classifier's per-core prefetch image — no
+                        // profiling search at all.
+                        if allow_cat {
+                            match cmm::cmm_plan(
+                                cmm::Variant::A,
+                                &det,
+                                n,
+                                ways,
+                                self.ctrl.partition_scale,
+                                min_pc,
+                            ) {
+                                Some(plan) => {
+                                    if plan.apply(&mut self.sys, &mut log).is_err() {
+                                        self.sys.reset_cat();
+                                        degraded = Some(degrade(
+                                            &mut log,
+                                            self.sys.now(),
+                                            "fallback_noop",
+                                        ));
+                                    }
+                                }
+                                None => {
+                                    // Empty Agg set ⇒ Dunn, as in CMM.
+                                    let plan = dunn::dunn_plan(
+                                        &det.interval1,
+                                        ways,
+                                        self.ctrl.dunn_clusters,
+                                    );
+                                    if plan.apply(&mut self.sys, &mut log).is_err() {
+                                        self.sys.reset_cat();
+                                        degraded = Some(degrade(
+                                            &mut log,
+                                            self.sys.now(),
+                                            "fallback_noop",
+                                        ));
+                                    }
+                                }
+                            }
+                        } else {
+                            self.sys.reset_cat();
+                            degraded = Some(degrade(&mut log, self.sys.now(), "fallback_throttle"));
+                        }
+                        if allow_pf {
+                            for (c, &img) in image.iter().enumerate() {
+                                let _ = backend::write_msr_logged(
+                                    &mut self.sys,
+                                    c,
+                                    msr::MSR_MISC_FEATURE_CONTROL,
+                                    img,
+                                    &mut log,
+                                );
+                            }
+                        }
+                        action_lbl = Some(pf_label(&image));
+                    }
+                    None => {
+                        // Below the confidence floor (or no model loaded):
+                        // this epoch runs the full CMM-a search instead.
+                        degraded = Some(degrade(&mut log, self.sys.now(), "fallback_cmm_a"));
+                        action_lbl = Some("fallback_cmm_a".into());
+                        let (t, w, d) = self.cmm_a_leg(&det, &mut log, allow_pf, allow_cat);
+                        trials = t;
+                        winner = w;
+                        if d.is_some() {
+                            degraded = d;
+                        }
+                    }
+                }
+                agg = det.agg;
+                friendly = det.friendly;
+                unfriendly = det.unfriendly;
+            }
+            Mechanism::RlCbp => {
+                if self.rl_hold.is_empty() {
+                    self.rl_hold.push(None);
+                }
+                // Credit the action in force with the execution epoch's
+                // hm_ipc delta before picking the next one.
+                if let Some(Learner::Rl(rl)) = self.learner.as_mut() {
+                    if let Some(delta) = exec_ipc_delta {
+                        rl.bandit_mut(0).observe(delta);
+                    }
+                }
+                let holding = matches!(&self.rl_hold[0], Some(h) if h.skip > 0);
+                if holding {
+                    // A stretched action stays in force: no profiling, no
+                    // re-plan — the learned epoch-length knob.
+                    let h = self.rl_hold[0].as_mut().unwrap();
+                    h.skip -= 1;
+                    action_lbl = Some(format!("hold:{}", h.label));
+                } else {
+                    if PartitionPlan::flat(n, ways).apply(&mut self.sys, &mut log).is_err() {
+                        self.sys.reset_cat();
+                    }
+                    let det_log_start = log.len();
+                    let mut det =
+                        backend::detect_logged(&mut self.sys, &self.ctrl, &self.det_cfg, &mut log);
+                    if let Some(g) = self.governor.as_mut() {
+                        g.observe_detection(&log[det_log_start..], self.sys.now());
+                        g.filter_detection(&mut det);
+                    }
+                    self.agg_history.push(det.agg.len());
+                    cores = samples_of(&det.interval1);
+                    features_vec = learned::mean_features(&det.interval1);
+                    let allow_pf =
+                        self.governor.as_ref().is_none_or(|g| g.allow(RegClass::Prefetch));
+                    let allow_cat = self.governor.as_ref().is_none_or(|g| g.allow(RegClass::Cat));
+                    let allow_mba = self.governor.as_ref().is_none_or(|g| g.allow(RegClass::Mba));
+                    let chosen = match self.learner.as_mut() {
+                        Some(Learner::Rl(rl)) => {
+                            let b = rl.bandit_mut(0);
+                            // A quiet machine gives the bandit nothing to
+                            // throttle and no usable reward — exploit the
+                            // incumbent instead of burning an exploration
+                            // step it can never evaluate.
+                            Some(if det.agg.is_empty() {
+                                b.exploit(learned::state_of(&det))
+                            } else {
+                                b.select(learned::state_of(&det))
+                            })
+                        }
+                        _ => None,
+                    };
+                    match chosen {
+                        Some(a) => {
+                            let act = learned::decode_action(a);
+                            if act.cat_cmm {
+                                if allow_cat {
+                                    let plan = cmm::cmm_plan(
+                                        cmm::Variant::A,
+                                        &det,
+                                        n,
+                                        ways,
+                                        self.ctrl.partition_scale,
+                                        min_pc,
+                                    )
+                                    .unwrap_or_else(|| {
+                                        // Fig. 6 (d), same as a CMM-a
+                                        // epoch: empty Agg set ⇒ Dunn.
+                                        dunn::dunn_plan(
+                                            &det.interval1,
+                                            ways,
+                                            self.ctrl.dunn_clusters,
+                                        )
+                                    });
+                                    if plan.apply(&mut self.sys, &mut log).is_err() {
+                                        self.sys.reset_cat();
+                                        degraded = Some(degrade(
+                                            &mut log,
+                                            self.sys.now(),
+                                            "fallback_noop",
+                                        ));
+                                    }
+                                } else {
+                                    self.sys.reset_cat();
+                                    degraded = Some(degrade(
+                                        &mut log,
+                                        self.sys.now(),
+                                        "fallback_throttle",
+                                    ));
+                                }
+                            }
+                            let mut pf_image = vec![0u64; n];
+                            for &c in &det.unfriendly {
+                                pf_image[c] = act.pf;
+                            }
+                            if allow_pf {
+                                for (c, &img) in pf_image.iter().enumerate() {
+                                    let _ = backend::write_msr_logged(
+                                        &mut self.sys,
+                                        c,
+                                        msr::MSR_MISC_FEATURE_CONTROL,
+                                        img,
+                                        &mut log,
+                                    );
+                                }
+                            }
+                            let mut mba_image = vec![0u64; n];
+                            for &c in &det.agg {
+                                mba_image[c] = act.mba;
+                            }
+                            if allow_mba && cbp::mba_available(&mut self.sys, 0, &mut log) {
+                                for (c, &lvl) in mba_image.iter().enumerate() {
+                                    let _ = backend::write_msr_logged(
+                                        &mut self.sys,
+                                        c,
+                                        msr::MSR_MBA_THROTTLE,
+                                        lvl,
+                                        &mut log,
+                                    );
+                                }
+                            }
+                            let label = learned::action_label(&act);
+                            action_lbl = Some(label.clone());
+                            self.rl_hold[0] =
+                                Some(RlHold { skip: act.stretch - 1, pf_image, mba_image, label });
+                        }
+                        None => {
+                            // No policy attached: the full CMM-a epoch.
+                            degraded = Some(degrade(&mut log, self.sys.now(), "fallback_cmm_a"));
+                            action_lbl = Some("fallback_cmm_a".into());
+                            let (t, w, d) = self.cmm_a_leg(&det, &mut log, allow_pf, allow_cat);
+                            trials = t;
+                            winner = w;
+                            if d.is_some() {
+                                degraded = d;
+                            }
+                        }
+                    }
+                    agg = det.agg;
+                    friendly = det.friendly;
+                    unfriendly = det.unfriendly;
+                }
+            }
         }
         // Anchor for the next epoch's execution-IPC measurement.
         let anchor = backend::pmu_read_stable(&mut self.sys, &mut log);
@@ -558,8 +848,128 @@ impl<S: Substrate> Driver<S> {
             faults: log,
             degraded,
             governor: gov_events,
+            features: features_vec,
+            action: action_lbl,
             applied: self.sys.control_state(),
         });
+    }
+
+    /// The CMM-a plan + throttle search the learned mechanisms retreat to
+    /// (ML-Sel below its confidence floor, RL-CBP without a policy). A
+    /// deliberate duplicate of the `CmmA` arm's plan path, kept separate so
+    /// the legacy arm's journal output stays byte-identical.
+    fn cmm_a_leg(
+        &mut self,
+        det: &backend::Detection,
+        log: &mut Vec<FaultRecord>,
+        allow_pf: bool,
+        allow_cat: bool,
+    ) -> (Vec<Trial>, Option<usize>, Option<&'static str>) {
+        let n = self.sys.num_cores();
+        let ways = self.sys.llc_ways();
+        let min_pc = backend::min_ways_per_core(self.sys.config());
+        let mut degraded = None;
+        if !allow_cat {
+            self.sys.reset_cat();
+            degraded = Some(degrade(log, self.sys.now(), "fallback_throttle"));
+        } else {
+            match cmm::cmm_plan(cmm::Variant::A, det, n, ways, self.ctrl.partition_scale, min_pc) {
+                Some(plan) => {
+                    if plan.apply(&mut self.sys, log).is_err() {
+                        // Same retreat chain as CMM-a: Dunn, then no-op —
+                        // and no throttle search without the partition.
+                        self.sys.reset_cat();
+                        degraded = Some(degrade(log, self.sys.now(), "fallback_dunn"));
+                        let plan = dunn::dunn_plan(&det.interval1, ways, self.ctrl.dunn_clusters);
+                        if plan.apply(&mut self.sys, log).is_err() {
+                            self.sys.reset_cat();
+                            degraded = Some(degrade(log, self.sys.now(), "fallback_noop"));
+                        }
+                        return (Vec::new(), None, degraded);
+                    }
+                }
+                None => {
+                    // Empty Agg set ⇒ Dunn partitioning, nothing to search.
+                    let plan = dunn::dunn_plan(&det.interval1, ways, self.ctrl.dunn_clusters);
+                    if plan.apply(&mut self.sys, log).is_err() {
+                        self.sys.reset_cat();
+                        degraded = Some(degrade(log, self.sys.now(), "fallback_noop"));
+                    }
+                    return (Vec::new(), None, degraded);
+                }
+            }
+        }
+        if allow_pf {
+            let groups = backend::throttle_groups(
+                &det.unfriendly,
+                &det.interval1,
+                self.ctrl.exhaustive_limit,
+                self.ctrl.throttle_groups,
+            );
+            let search =
+                backend::search_throttle(&mut self.sys, &groups, self.ctrl.sampling_interval, log);
+            (search.trials, search.winner, degraded)
+        } else {
+            (Vec::new(), None, degraded)
+        }
+    }
+
+    /// [`Driver::cmm_a_leg`] scoped to one CAT domain (the multi-socket
+    /// learned fallback). The governor is single-socket scoped, so there
+    /// are no breaker gates here — matching the legacy multi-socket arms.
+    fn cmm_a_leg_at(
+        &mut self,
+        det: &backend::Detection,
+        d: usize,
+        base: usize,
+        len: usize,
+        ways: u32,
+        dlog: &mut Vec<FaultRecord>,
+    ) -> (Vec<Trial>, Option<usize>, Option<&'static str>) {
+        let min_pc = backend::min_ways_per_core(self.sys.config());
+        let mut degraded = None;
+        match cmm::cmm_plan(cmm::Variant::A, det, len, ways, self.ctrl.partition_scale, min_pc) {
+            Some(plan) => {
+                if plan.offset(base).apply_at(&mut self.sys, base, dlog).is_err() {
+                    self.sys.reset_cat_domain(d);
+                    degraded = Some(degrade(dlog, self.sys.now(), "fallback_dunn"));
+                    let plan =
+                        dunn::dunn_plan(&det.interval1, ways, self.ctrl.dunn_clusters).offset(base);
+                    if plan.apply_at(&mut self.sys, base, dlog).is_err() {
+                        self.sys.reset_cat_domain(d);
+                        degraded = Some(degrade(dlog, self.sys.now(), "fallback_noop"));
+                    }
+                    return (Vec::new(), None, degraded);
+                }
+            }
+            None => {
+                let plan =
+                    dunn::dunn_plan(&det.interval1, ways, self.ctrl.dunn_clusters).offset(base);
+                if plan.apply_at(&mut self.sys, base, dlog).is_err() {
+                    self.sys.reset_cat_domain(d);
+                    degraded = Some(degrade(dlog, self.sys.now(), "fallback_noop"));
+                }
+                return (Vec::new(), None, degraded);
+            }
+        }
+        let groups = globalize(
+            backend::throttle_groups(
+                &det.unfriendly,
+                &det.interval1,
+                self.ctrl.exhaustive_limit,
+                self.ctrl.throttle_groups,
+            ),
+            base,
+        );
+        let search = backend::search_throttle_in(
+            &mut self.sys,
+            &groups,
+            self.ctrl.sampling_interval,
+            dlog,
+            base,
+            len,
+        );
+        (search.trials, search.winner, degraded)
     }
 
     /// One profiling epoch on a multi-socket machine: one controller
@@ -626,6 +1036,8 @@ impl<S: Substrate> Driver<S> {
             trials: Vec<Trial>,
             winner: Option<usize>,
             degraded: Option<&'static str>,
+            features: Vec<f64>,
+            action: Option<String>,
         }
         let mut outs: Vec<DomainDecision> =
             (0..domains).map(|_| DomainDecision::default()).collect();
@@ -933,6 +1345,299 @@ impl<S: Substrate> Driver<S> {
                     outs[d].unfriendly = det.unfriendly;
                 }
             }
+            Mechanism::MlSel => {
+                for (d, dlog) in dom_logs.iter_mut().enumerate() {
+                    let base = d * len;
+                    let flat = PartitionPlan::flat(len, ways).offset(base);
+                    if flat.apply_at(&mut self.sys, base, dlog).is_err() {
+                        self.sys.reset_cat_domain(d);
+                    }
+                }
+                let dets = backend::detect_domains_logged(
+                    &mut self.sys,
+                    &self.ctrl,
+                    &self.det_cfg,
+                    &mut log,
+                    domains,
+                );
+                self.agg_history.push(dets.iter().map(|det| det.agg.len()).sum());
+                route_faults(&mut log, &mut dom_logs, len);
+                for (d, det) in dets.into_iter().enumerate() {
+                    let base = d * len;
+                    outs[d].cores = samples_of(&det.interval1);
+                    outs[d].features = learned::mean_features(&det.interval1);
+                    let image: Option<Vec<u64>> = match &self.learner {
+                        Some(Learner::Ml { model, floor }) => {
+                            let preds: Vec<_> = det
+                                .interval1
+                                .iter()
+                                .map(|delta| model.predict(&learned::core_features(delta)))
+                                .collect();
+                            let min_conf =
+                                preds.iter().map(|p| p.confidence).fold(f64::INFINITY, f64::min);
+                            (min_conf >= *floor)
+                                .then(|| preds.iter().map(|p| model.labels[p.class]).collect())
+                        }
+                        _ => None,
+                    };
+                    match image {
+                        Some(image) => {
+                            match cmm::cmm_plan(
+                                cmm::Variant::A,
+                                &det,
+                                len,
+                                ways,
+                                self.ctrl.partition_scale,
+                                min_pc,
+                            ) {
+                                Some(plan) => {
+                                    if plan
+                                        .offset(base)
+                                        .apply_at(&mut self.sys, base, &mut dom_logs[d])
+                                        .is_err()
+                                    {
+                                        self.sys.reset_cat_domain(d);
+                                        outs[d].degraded = Some(degrade(
+                                            &mut dom_logs[d],
+                                            self.sys.now(),
+                                            "fallback_noop",
+                                        ));
+                                    }
+                                }
+                                None => {
+                                    let plan = dunn::dunn_plan(
+                                        &det.interval1,
+                                        ways,
+                                        self.ctrl.dunn_clusters,
+                                    )
+                                    .offset(base);
+                                    if plan.apply_at(&mut self.sys, base, &mut dom_logs[d]).is_err()
+                                    {
+                                        self.sys.reset_cat_domain(d);
+                                        outs[d].degraded = Some(degrade(
+                                            &mut dom_logs[d],
+                                            self.sys.now(),
+                                            "fallback_noop",
+                                        ));
+                                    }
+                                }
+                            }
+                            for (c, &img) in image.iter().enumerate() {
+                                let _ = backend::write_msr_logged(
+                                    &mut self.sys,
+                                    base + c,
+                                    msr::MSR_MISC_FEATURE_CONTROL,
+                                    img,
+                                    &mut dom_logs[d],
+                                );
+                            }
+                            outs[d].action = Some(pf_label(&image));
+                        }
+                        None => {
+                            outs[d].degraded =
+                                Some(degrade(&mut dom_logs[d], self.sys.now(), "fallback_cmm_a"));
+                            outs[d].action = Some("fallback_cmm_a".into());
+                            let (t, w, dg) =
+                                self.cmm_a_leg_at(&det, d, base, len, ways, &mut dom_logs[d]);
+                            outs[d].trials = t;
+                            outs[d].winner = w;
+                            if dg.is_some() {
+                                outs[d].degraded = dg;
+                            }
+                        }
+                    }
+                    outs[d].agg = det.agg;
+                    outs[d].friendly = det.friendly;
+                    outs[d].unfriendly = det.unfriendly;
+                }
+            }
+            Mechanism::RlCbp => {
+                if self.rl_hold.len() != domains {
+                    self.rl_hold = (0..domains).map(|_| None).collect();
+                }
+                // Credit each domain's action in force with its execution
+                // epoch's hm_ipc delta.
+                if let Some(Learner::Rl(rl)) = self.learner.as_mut() {
+                    for (d, delta) in exec_deltas.iter().enumerate() {
+                        if let Some(delta) = delta {
+                            rl.bandit_mut(d).observe(*delta);
+                        }
+                    }
+                }
+                let all_hold =
+                    (0..domains).all(|d| matches!(&self.rl_hold[d], Some(h) if h.skip > 0));
+                if all_hold {
+                    // Every domain's action is stretched: no profiling at
+                    // all this epoch.
+                    for (d, out) in outs.iter_mut().enumerate() {
+                        let h = self.rl_hold[d].as_mut().unwrap();
+                        h.skip -= 1;
+                        out.action = Some(format!("hold:{}", h.label));
+                    }
+                } else {
+                    for (d, dlog) in dom_logs.iter_mut().enumerate() {
+                        // Held partitions persist; only re-planning domains
+                        // reset to flat.
+                        if !matches!(&self.rl_hold[d], Some(h) if h.skip > 0) {
+                            let base = d * len;
+                            let flat = PartitionPlan::flat(len, ways).offset(base);
+                            if flat.apply_at(&mut self.sys, base, dlog).is_err() {
+                                self.sys.reset_cat_domain(d);
+                            }
+                        }
+                    }
+                    let dets = backend::detect_domains_logged(
+                        &mut self.sys,
+                        &self.ctrl,
+                        &self.det_cfg,
+                        &mut log,
+                        domains,
+                    );
+                    self.agg_history.push(dets.iter().map(|det| det.agg.len()).sum());
+                    route_faults(&mut log, &mut dom_logs, len);
+                    for (d, det) in dets.into_iter().enumerate() {
+                        let base = d * len;
+                        if matches!(&self.rl_hold[d], Some(h) if h.skip > 0) {
+                            // The shared detection interval turned every
+                            // prefetcher back on: re-assert the held
+                            // action's register images and keep holding.
+                            let mut h = self.rl_hold[d].take().unwrap();
+                            for (c, &img) in h.pf_image.iter().enumerate() {
+                                let _ = backend::write_msr_logged(
+                                    &mut self.sys,
+                                    base + c,
+                                    msr::MSR_MISC_FEATURE_CONTROL,
+                                    img,
+                                    &mut dom_logs[d],
+                                );
+                            }
+                            if h.mba_image.iter().any(|&l| l != 0)
+                                && cbp::mba_available(&mut self.sys, base, &mut dom_logs[d])
+                            {
+                                for (c, &lvl) in h.mba_image.iter().enumerate() {
+                                    let _ = backend::write_msr_logged(
+                                        &mut self.sys,
+                                        base + c,
+                                        msr::MSR_MBA_THROTTLE,
+                                        lvl,
+                                        &mut dom_logs[d],
+                                    );
+                                }
+                            }
+                            h.skip -= 1;
+                            outs[d].action = Some(format!("hold:{}", h.label));
+                            self.rl_hold[d] = Some(h);
+                            continue;
+                        }
+                        outs[d].cores = samples_of(&det.interval1);
+                        outs[d].features = learned::mean_features(&det.interval1);
+                        let chosen = match self.learner.as_mut() {
+                            Some(Learner::Rl(rl)) => {
+                                let b = rl.bandit_mut(d);
+                                // Quiet domain: exploit, don't explore
+                                // (same rationale as the single-socket
+                                // arm above).
+                                Some(if det.agg.is_empty() {
+                                    b.exploit(learned::state_of(&det))
+                                } else {
+                                    b.select(learned::state_of(&det))
+                                })
+                            }
+                            _ => None,
+                        };
+                        match chosen {
+                            Some(a) => {
+                                let act = learned::decode_action(a);
+                                if act.cat_cmm {
+                                    let plan = cmm::cmm_plan(
+                                        cmm::Variant::A,
+                                        &det,
+                                        len,
+                                        ways,
+                                        self.ctrl.partition_scale,
+                                        min_pc,
+                                    )
+                                    .unwrap_or_else(|| {
+                                        // Fig. 6 (d), same as a CMM-a
+                                        // epoch: empty Agg set ⇒ Dunn.
+                                        dunn::dunn_plan(
+                                            &det.interval1,
+                                            ways,
+                                            self.ctrl.dunn_clusters,
+                                        )
+                                    });
+                                    if plan
+                                        .offset(base)
+                                        .apply_at(&mut self.sys, base, &mut dom_logs[d])
+                                        .is_err()
+                                    {
+                                        self.sys.reset_cat_domain(d);
+                                        outs[d].degraded = Some(degrade(
+                                            &mut dom_logs[d],
+                                            self.sys.now(),
+                                            "fallback_noop",
+                                        ));
+                                    }
+                                }
+                                let mut pf_image = vec![0u64; len];
+                                for &c in &det.unfriendly {
+                                    pf_image[c] = act.pf;
+                                }
+                                for (c, &img) in pf_image.iter().enumerate() {
+                                    let _ = backend::write_msr_logged(
+                                        &mut self.sys,
+                                        base + c,
+                                        msr::MSR_MISC_FEATURE_CONTROL,
+                                        img,
+                                        &mut dom_logs[d],
+                                    );
+                                }
+                                let mut mba_image = vec![0u64; len];
+                                for &c in &det.agg {
+                                    mba_image[c] = act.mba;
+                                }
+                                if cbp::mba_available(&mut self.sys, base, &mut dom_logs[d]) {
+                                    for (c, &lvl) in mba_image.iter().enumerate() {
+                                        let _ = backend::write_msr_logged(
+                                            &mut self.sys,
+                                            base + c,
+                                            msr::MSR_MBA_THROTTLE,
+                                            lvl,
+                                            &mut dom_logs[d],
+                                        );
+                                    }
+                                }
+                                let label = learned::action_label(&act);
+                                outs[d].action = Some(label.clone());
+                                self.rl_hold[d] = Some(RlHold {
+                                    skip: act.stretch - 1,
+                                    pf_image,
+                                    mba_image,
+                                    label,
+                                });
+                            }
+                            None => {
+                                outs[d].degraded = Some(degrade(
+                                    &mut dom_logs[d],
+                                    self.sys.now(),
+                                    "fallback_cmm_a",
+                                ));
+                                outs[d].action = Some("fallback_cmm_a".into());
+                                let (t, w, dg) =
+                                    self.cmm_a_leg_at(&det, d, base, len, ways, &mut dom_logs[d]);
+                                outs[d].trials = t;
+                                outs[d].winner = w;
+                                if dg.is_some() {
+                                    outs[d].degraded = dg;
+                                }
+                            }
+                        }
+                        outs[d].agg = det.agg;
+                        outs[d].friendly = det.friendly;
+                        outs[d].unfriendly = det.unfriendly;
+                    }
+                }
+            }
         }
         // Anchor for the next epoch's execution-IPC measurement.
         let anchor = backend::pmu_read_stable(&mut self.sys, &mut log);
@@ -959,10 +1664,18 @@ impl<S: Substrate> Driver<S> {
                 // The governor is single-socket scoped for now; a
                 // per-domain governor is future work.
                 governor: Vec::new(),
+                features: out.features,
+                action: out.action,
                 applied: applied[base..base + len].to_vec(),
             });
         }
     }
+}
+
+/// The journal's `action` label for an ML-Sel per-core prefetch image.
+fn pf_label(image: &[u64]) -> String {
+    let imgs: Vec<String> = image.iter().map(|v| format!("{v:#x}")).collect();
+    format!("pf=[{}]", imgs.join(","))
 }
 
 /// Records an epoch-level degradation decision and returns its label for
@@ -1385,6 +2098,124 @@ mod tests {
             "{:?}",
             after.faults
         );
+    }
+
+    #[test]
+    fn mlsel_without_a_model_journals_the_cmm_a_fallback() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::MlSel, ControllerConfig::quick());
+        drv.system_mut().run(600_000);
+        drv.epoch();
+        let rec = drv.records().last().unwrap();
+        // No learner attached: every epoch degrades to the CMM-a search,
+        // and the degradation is journaled under the /6 keys.
+        assert_eq!(rec.degraded, Some("CMM-a"));
+        assert_eq!(rec.action.as_deref(), Some("fallback_cmm_a"));
+        assert!(rec.faults.iter().any(|f| f.action == "fallback_cmm_a"));
+        assert!(!rec.trials.is_empty(), "the fallback runs the full search");
+        assert_eq!(rec.features.len(), cmm_learn::N_FEATURES);
+        assert!(rec.features[0] > 0.0, "mean IPC feature must be positive");
+    }
+
+    #[test]
+    fn mlsel_with_a_confident_model_plans_without_trials() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        // A degenerate single-class model is maximally confident (p = 1)
+        // and always picks "all prefetchers on".
+        let model = cmm_learn::Model {
+            labels: vec![0x0],
+            weights: vec![vec![0.0; cmm_learn::N_FEATURES + 1]],
+        };
+        let mut drv = Driver::new(sys, Mechanism::MlSel, ControllerConfig::quick())
+            .with_learner(Learner::Ml { model, floor: 0.5 });
+        drv.system_mut().run(600_000);
+        drv.epoch();
+        let rec = drv.records().last().unwrap();
+        // Zero profiling trials, yet the CMM-a partition was applied.
+        assert!(rec.trials.is_empty());
+        assert_eq!(rec.winner, None);
+        assert_eq!(rec.degraded, None);
+        assert_eq!(rec.action.as_deref(), Some("pf=[0x0,0x0,0x0,0x0]"));
+        assert!(!rec.agg.is_empty(), "mix must trigger the plan");
+        let sys = drv.system();
+        assert!(sys.effective_mask(rec.agg[0]).count_ones() < 20, "aggressor partitioned");
+        assert!((0..4).all(|c| sys.prefetching_enabled(c)), "classifier chose all-on");
+    }
+
+    #[test]
+    fn mlsel_below_the_confidence_floor_falls_back() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        // Two identical classes: every posterior is 0.5, below any floor
+        // above one half — the fallback leg must run and be journaled.
+        let model = cmm_learn::Model {
+            labels: vec![0x0, 0xF],
+            weights: vec![vec![0.0; cmm_learn::N_FEATURES + 1]; 2],
+        };
+        let mut drv = Driver::new(sys, Mechanism::MlSel, ControllerConfig::quick())
+            .with_learner(Learner::Ml { model, floor: 0.9 });
+        drv.system_mut().run(600_000);
+        drv.epoch();
+        let rec = drv.records().last().unwrap();
+        assert_eq!(rec.degraded, Some("CMM-a"));
+        assert_eq!(rec.action.as_deref(), Some("fallback_cmm_a"));
+        assert!(!rec.trials.is_empty());
+    }
+
+    #[test]
+    fn rlcbp_zero_epsilon_applies_the_cmm_prior_deterministically() {
+        let mk = || system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let run = |seed: u64| {
+            let mut drv = Driver::new(mk(), Mechanism::RlCbp, ControllerConfig::quick())
+                .with_learner(Learner::Rl(crate::learned::RlPolicy::new(seed, 0.0)));
+            drv.run_total(1_200_000);
+            drv.take_records().iter().map(|r| r.to_json_line("cell")).collect::<Vec<_>>()
+        };
+        // With epsilon 0 the bandit draws no entropy: the seed must not
+        // matter and the greedy policy starts at the CMM-like prior.
+        let a = run(1);
+        let b = run(999);
+        assert_eq!(a, b);
+        assert!(
+            a.iter().any(|l| l.contains("\"action\":\"pf=0xf,cat=cmm,mba=0,stretch=1\"")),
+            "greedy start must be the CMM prior"
+        );
+        // Zero-trial epochs: the bandit replaces the exhaustive search.
+        assert!(a.iter().all(|l| l.contains("\"trials\":[]")));
+    }
+
+    #[test]
+    fn rlcbp_stretch_holds_the_action_without_profiling() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::RlCbp, ControllerConfig::quick())
+            .with_learner(Learner::Rl(crate::learned::RlPolicy::new(5, 0.0)));
+        drv.system_mut().run(600_000);
+        drv.epoch();
+        // Force a stretch by hand: the held action must skip the next
+        // epoch's profiling entirely.
+        drv.rl_hold[0].as_mut().unwrap().skip = 1;
+        drv.system_mut().run(200_000);
+        drv.epoch();
+        let rec = drv.records().last().unwrap();
+        assert!(rec.action.as_deref().unwrap().starts_with("hold:"), "{:?}", rec.action);
+        assert!(rec.cores.is_empty() && rec.trials.is_empty());
+        assert!(rec.features.is_empty());
+        // The epoch after the hold re-plans normally.
+        drv.system_mut().run(200_000);
+        drv.epoch();
+        let rec = drv.records().last().unwrap();
+        assert!(!rec.cores.is_empty());
+    }
+
+    #[test]
+    fn rlcbp_without_a_policy_falls_back_to_cmm_a() {
+        let sys = system_with(&["bwaves3d", "rand_access", "mcf_refine", "povray_rt"]);
+        let mut drv = Driver::new(sys, Mechanism::RlCbp, ControllerConfig::quick());
+        drv.system_mut().run(600_000);
+        drv.epoch();
+        let rec = drv.records().last().unwrap();
+        assert_eq!(rec.degraded, Some("CMM-a"));
+        assert_eq!(rec.action.as_deref(), Some("fallback_cmm_a"));
+        assert!(!rec.trials.is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::driver::Driver;
 use crate::fault::{FaultConfig, FaultySubstrate};
 use crate::governor::GovernorConfig;
+use crate::learned::Learner;
 use crate::policy::{ControllerConfig, Mechanism};
 use crate::substrate::Substrate;
 use cmm_sim::config::SystemConfig;
@@ -291,6 +292,29 @@ pub fn run_mix_governed(
         sys.run(cfg.warmup_cycles);
     }
     let driver = Driver::new(sys, mechanism, cfg.ctrl.clone()).with_governor(gov);
+    run_mix_driver(driver, mix, mechanism, cfg)
+}
+
+/// [`run_mix`] with a learned controller attached to the driver: the
+/// `ML-Sel` classifier or the `RL-CBP` bandit policy drives the epoch
+/// decisions instead of (or alongside) the profiling search. With no
+/// learner the learned mechanisms degrade to the CMM-a search every
+/// epoch, so passing `None` is well-defined but journals a fallback per
+/// epoch.
+pub fn run_mix_learned(
+    mix: &Mix,
+    mechanism: Mechanism,
+    cfg: &ExperimentConfig,
+    learner: Option<Learner>,
+) -> MixResult {
+    let mut sys = build_system(mix, cfg);
+    if cfg.warmup_cycles > 0 {
+        sys.run(cfg.warmup_cycles);
+    }
+    let mut driver = Driver::new(sys, mechanism, cfg.ctrl.clone());
+    if let Some(l) = learner {
+        driver = driver.with_learner(l);
+    }
     run_mix_driver(driver, mix, mechanism, cfg)
 }
 

@@ -41,6 +41,7 @@ pub mod experiment;
 pub mod fault;
 pub mod frontend;
 pub mod governor;
+pub mod learned;
 pub mod policy;
 pub mod resctrl;
 pub mod substrate;
@@ -51,12 +52,13 @@ pub mod prelude {
     pub use crate::backend::{partition_ways, PartitionPlan};
     pub use crate::driver::Driver;
     pub use crate::experiment::{
-        run_alone_ipc, run_mix, run_mix_governed, run_mix_pooled, ExperimentConfig, MixResult,
-        WarmupPool,
+        run_alone_ipc, run_mix, run_mix_governed, run_mix_learned, run_mix_pooled,
+        ExperimentConfig, MixResult, WarmupPool,
     };
     pub use crate::fault::{FaultConfig, FaultySubstrate};
     pub use crate::frontend::{detect_agg, metrics, DetectorConfig, Metrics};
     pub use crate::governor::{Governor, GovernorConfig, RegClass};
+    pub use crate::learned::{Learner, RlPolicy};
     pub use crate::policy::{ControllerConfig, Mechanism};
     pub use crate::substrate::Substrate;
     pub use crate::telemetry::{

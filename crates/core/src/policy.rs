@@ -47,6 +47,20 @@ pub enum Mechanism {
     /// search. Degrades CBP → CMM-a when the bandwidth knob is
     /// unavailable.
     Cbp,
+    /// **Extension beyond the paper**: learned phase selection. An
+    /// offline-trained multinomial-logistic phase classifier (`cmm-learn`,
+    /// `cmm-model/1` format) maps each core's PMU feature vector straight
+    /// to a prefetcher configuration every epoch — zero profiling trials.
+    /// Partitioning follows the CMM-a plan. Below the classifier's
+    /// confidence floor (or with no model loaded) the epoch degrades to
+    /// the full CMM-a search, journaled as `fallback_cmm_a`.
+    MlSel,
+    /// **Extension beyond the paper**: online reinforcement learning over
+    /// the discretized (prefetch × CAT-plan × MBA-level × epoch-stretch)
+    /// action space. A seeded epsilon-greedy contextual bandit replaces
+    /// the exhaustive per-epoch search; reward is the epoch-over-epoch
+    /// `hm_ipc` delta, and epoch-length stretching is a learned knob.
+    RlCbp,
 }
 
 impl Mechanism {
@@ -77,6 +91,8 @@ impl Mechanism {
             Mechanism::PtFine => "PT-fine",
             Mechanism::Mba => "MBA",
             Mechanism::Cbp => "CBP",
+            Mechanism::MlSel => "ML-Sel",
+            Mechanism::RlCbp => "RL-CBP",
         }
     }
 
@@ -95,6 +111,8 @@ impl Mechanism {
             Mechanism::PtFine,
             Mechanism::Mba,
             Mechanism::Cbp,
+            Mechanism::MlSel,
+            Mechanism::RlCbp,
         ];
         all.into_iter().find(|m| m.label() == label)
     }
@@ -206,6 +224,8 @@ mod tests {
         // every legacy target keeps its exact mechanism roster.
         assert!(!all.contains(&Mechanism::Mba));
         assert!(!all.contains(&Mechanism::Cbp));
+        assert!(!all.contains(&Mechanism::MlSel));
+        assert!(!all.contains(&Mechanism::RlCbp));
     }
 
     #[test]
@@ -223,6 +243,8 @@ mod tests {
         assert_eq!(Mechanism::from_label("PT-fine"), Some(Mechanism::PtFine));
         assert_eq!(Mechanism::from_label("MBA"), Some(Mechanism::Mba));
         assert_eq!(Mechanism::from_label("CBP"), Some(Mechanism::Cbp));
+        assert_eq!(Mechanism::from_label("ML-Sel"), Some(Mechanism::MlSel));
+        assert_eq!(Mechanism::from_label("RL-CBP"), Some(Mechanism::RlCbp));
         assert_eq!(Mechanism::from_label("bogus"), None);
     }
 

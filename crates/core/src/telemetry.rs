@@ -199,6 +199,16 @@ pub struct EpochRecord {
     /// `cmm-journal/5`). Empty — and unserialized — for ungoverned runs,
     /// so /1–/4 journals stay byte-identical.
     pub governor: Vec<GovernorEvent>,
+    /// Mix-level mean feature vector the learned controller classified on
+    /// (schema `cmm-journal/6`, `cmm_learn::FEATURE_NAMES` order). Empty —
+    /// and unserialized — for unlearned mechanisms, so /1–/5 journals stay
+    /// byte-identical.
+    pub features: Vec<f64>,
+    /// The learned controller's chosen action label for this epoch (e.g.
+    /// `"pf=0xf,cat=cmm,mba=0,stretch=1"` for RL-CBP or `"pf=0x0"` for
+    /// ML-Sel). `None` — and unserialized — for unlearned mechanisms
+    /// (schema `cmm-journal/6`).
+    pub action: Option<String>,
     /// CAT/throttle state in force after the epoch's decision was applied,
     /// read back from the machine.
     pub applied: Vec<CoreControl>,
@@ -296,6 +306,17 @@ impl EpochRecord {
             }
             s.push(']');
         }
+        // The learned-controller keys joined in schema /6; epochs from
+        // unlearned mechanisms omit both so /1–/5 journals stay
+        // byte-identical.
+        if !self.features.is_empty() {
+            s.push_str(",\"features\":[");
+            push_joined(&mut s, self.features.iter().map(|&v| num(v)));
+            s.push(']');
+        }
+        if let Some(a) = &self.action {
+            s.push_str(&format!(",\"action\":\"{}\"", escape(a)));
+        }
         s.push_str(",\"applied\":{\"clos\":[");
         push_joined(&mut s, self.applied.iter().map(|a| a.clos.to_string()));
         s.push_str("],\"way_mask\":[");
@@ -348,6 +369,11 @@ pub struct Manifest {
     /// `true` bumps the declared schema to `cmm-journal/5` and adds a
     /// `governor` manifest key; ungoverned targets are unchanged.
     pub governor: bool,
+    /// Whether the run uses learned mechanisms (ML-Sel / RL-CBP) whose
+    /// epochs carry `features`/`action` keys. `true` bumps the declared
+    /// schema to `cmm-journal/6` and adds a `learn` manifest key; every
+    /// legacy target is unchanged.
+    pub learn: bool,
 }
 
 impl Manifest {
@@ -366,7 +392,12 @@ impl Manifest {
         if self.governor {
             topology.push_str(",\"governor\":true");
         }
-        let schema = if self.governor {
+        if self.learn {
+            topology.push_str(",\"learn\":true");
+        }
+        let schema = if self.learn {
+            "cmm-journal/6"
+        } else if self.governor {
             "cmm-journal/5"
         } else if self.mba {
             "cmm-journal/4"
@@ -491,6 +522,8 @@ mod tests {
             }],
             degraded: None,
             governor: vec![],
+            features: vec![],
+            action: None,
             applied: vec![CoreControl { clos: 1, way_mask: 0b11, msr_1a4: 0x0, mba_level: 0 }],
         }
     }
@@ -572,6 +605,7 @@ mod tests {
             topology: None,
             mba: false,
             governor: false,
+            learn: false,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/2\",\"kind\":\"manifest\""));
@@ -598,6 +632,7 @@ mod tests {
             topology: Some("2x16".into()),
             mba: false,
             governor: false,
+            learn: false,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/3\",\"kind\":\"manifest\""));
@@ -618,6 +653,7 @@ mod tests {
             topology: None,
             mba: true,
             governor: false,
+            learn: false,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/4\",\"kind\":\"manifest\""));
@@ -657,6 +693,7 @@ mod tests {
             topology: None,
             mba: true,
             governor: true,
+            learn: false,
         };
         let line = m.to_json_line();
         assert!(line.starts_with("{\"schema\":\"cmm-journal/5\",\"kind\":\"manifest\""));
@@ -687,6 +724,53 @@ mod tests {
              {\"cycle\":9,\"action\":\"quarantine\",\"core\":2,\"class\":null},\
              {\"cycle\":11,\"action\":\"breaker_open\",\"core\":null,\"class\":\"mba\"}],\
              \"applied\":"
+        ));
+    }
+
+    #[test]
+    fn learn_manifest_declares_schema_6() {
+        let mut m = Manifest {
+            target: "learn".into(),
+            quick: true,
+            seed: 42,
+            git_sha: "abc123".into(),
+            host_os: "linux".into(),
+            host_arch: "x86_64".into(),
+            host_cpus: 8,
+            config_digest: config_digest("cfg"),
+            topology: None,
+            mba: true,
+            governor: false,
+            learn: true,
+        };
+        let line = m.to_json_line();
+        assert!(line.starts_with("{\"schema\":\"cmm-journal/6\",\"kind\":\"manifest\""));
+        assert!(line.contains("\"learn\":true"));
+        // The learn flag outranks governor, mba and topology in schema
+        // selection, and the manifest keys stack in ladder order.
+        m.governor = true;
+        m.topology = Some("2x16".into());
+        let line = m.to_json_line();
+        assert!(line.starts_with("{\"schema\":\"cmm-journal/6\""));
+        assert!(line.contains("\"topology\":\"2x16\",\"governor\":true,\"learn\":true"));
+    }
+
+    #[test]
+    fn learn_keys_emitted_only_when_present() {
+        // An epoch from an unlearned mechanism renders exactly as before
+        // the learned controllers existed.
+        let quiet = sample_record().to_json_line("x");
+        assert!(!quiet.contains("\"features\""));
+        // Nothing between degraded and applied (fault records legitimately
+        // carry their own "action" key).
+        assert!(quiet.contains("\"degraded\":null,\"applied\":"));
+        let mut r = sample_record();
+        r.features = vec![1.25, 0.5, 0.0];
+        r.action = Some("pf=0xf,cat=cmm,mba=0,stretch=1".into());
+        let line = r.to_json_line("x");
+        assert!(line.contains(
+            "\"degraded\":null,\"features\":[1.250000,0.500000,0.000000],\
+             \"action\":\"pf=0xf,cat=cmm,mba=0,stretch=1\",\"applied\":"
         ));
     }
 

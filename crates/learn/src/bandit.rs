@@ -1,0 +1,273 @@
+//! A seeded epsilon-greedy contextual bandit over a discretized
+//! state × action space — the online policy behind `Mechanism::RlCbp`.
+//!
+//! Determinism contract: the action sequence is a pure function of
+//! `(seed, state/reward sequence)`. With `epsilon == 0` the bandit draws
+//! no entropy at all and is purely greedy, which is what the
+//! zero-exploration determinism tests pin.
+//!
+//! Greedy selection is **sticky**: the incumbent action (the one selected
+//! last time from the same state) wins ties against equal-valued rivals,
+//! so an optimistically seeded prior keeps steering the policy until some
+//! explored action demonstrates strictly higher reward. Without
+//! stickiness, a prior that decays toward 0 would hand control to
+//! whichever action happens to sort first.
+
+use crate::uniform01;
+
+/// Bandit construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BanditConfig {
+    /// Entropy seed for the exploration stream.
+    pub seed: u64,
+    /// Number of discretized states.
+    pub states: usize,
+    /// Number of actions per state.
+    pub actions: usize,
+    /// Initial exploration probability (0 disables exploration and the
+    /// entropy stream entirely).
+    pub epsilon: f64,
+    /// Per-selection multiplicative epsilon decay (e.g. 0.85).
+    pub epsilon_decay: f64,
+    /// Q-value learning rate for [`Bandit::observe`].
+    pub alpha: f64,
+}
+
+impl Default for BanditConfig {
+    fn default() -> Self {
+        BanditConfig {
+            seed: 0,
+            states: 1,
+            actions: 2,
+            epsilon: 0.2,
+            epsilon_decay: 0.85,
+            alpha: 0.5,
+        }
+    }
+}
+
+/// The bandit: a dense Q-table plus the seeded exploration stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bandit {
+    cfg: BanditConfig,
+    /// Q-values, `states × actions`, row-major.
+    q: Vec<f64>,
+    /// Selection counts per (state, action).
+    n: Vec<u64>,
+    /// Incumbent action per state (sticky tie-break).
+    incumbent: Vec<Option<usize>>,
+    /// Exploration RNG state.
+    rng: u64,
+    /// Selections made so far (drives the epsilon decay).
+    steps: u64,
+    /// The (state, action) to credit on the next [`Bandit::observe`].
+    last: Option<(usize, usize)>,
+}
+
+impl Bandit {
+    /// A fresh bandit with an all-zero Q-table.
+    pub fn new(cfg: BanditConfig) -> Self {
+        assert!(cfg.states >= 1 && cfg.actions >= 1);
+        assert!((0.0..=1.0).contains(&cfg.epsilon));
+        let (s, a) = (cfg.states, cfg.actions);
+        Bandit {
+            rng: cfg.seed,
+            q: vec![0.0; s * a],
+            n: vec![0; s * a],
+            incumbent: vec![None; s],
+            steps: 0,
+            last: None,
+            cfg,
+        }
+    }
+
+    /// Seeds an optimistic prior: sets `Q(state, action)` and makes the
+    /// action the state's incumbent. Used to start the policy at a
+    /// known-good configuration instead of uniform ignorance.
+    pub fn seed_action(&mut self, state: usize, action: usize, q0: f64) {
+        self.q[state * self.cfg.actions + action] = q0;
+        self.incumbent[state] = Some(action);
+    }
+
+    /// Q-value accessor (tests and reporting).
+    pub fn q(&self, state: usize, action: usize) -> f64 {
+        self.q[state * self.cfg.actions + action]
+    }
+
+    /// Times `action` was selected from `state`.
+    pub fn count(&self, state: usize, action: usize) -> u64 {
+        self.n[state * self.cfg.actions + action]
+    }
+
+    /// The current exploration probability.
+    pub fn epsilon_now(&self) -> f64 {
+        self.cfg.epsilon * self.cfg.epsilon_decay.powf(self.steps as f64)
+    }
+
+    /// The greedy action for `state` with sticky tie-breaking: the
+    /// incumbent wins unless a rival's Q is strictly higher.
+    pub fn greedy(&self, state: usize) -> usize {
+        let row = &self.q[state * self.cfg.actions..(state + 1) * self.cfg.actions];
+        let mut best = self.incumbent[state].unwrap_or(0);
+        for (a, &q) in row.iter().enumerate() {
+            if q > row[best] {
+                best = a;
+            }
+        }
+        best
+    }
+
+    /// Selects an action for `state` (epsilon-greedy) and remembers the
+    /// pair for the next [`Bandit::observe`]. With `epsilon == 0` this
+    /// draws no entropy.
+    pub fn select(&mut self, state: usize) -> usize {
+        let eps = self.epsilon_now();
+        let action = if eps > 0.0 && uniform01(&mut self.rng) < eps {
+            (crate::splitmix64(&mut self.rng) % self.cfg.actions as u64) as usize
+        } else {
+            self.greedy(state)
+        };
+        self.steps += 1;
+        self.n[state * self.cfg.actions + action] += 1;
+        self.incumbent[state] = Some(action);
+        self.last = Some((state, action));
+        action
+    }
+
+    /// Credits `reward` to the most recently selected (state, action):
+    /// `Q += alpha * (reward - Q)`. A no-op before the first selection.
+    /// Does not clear the pair — an action left in force across several
+    /// epochs (epoch stretching) absorbs each epoch's reward.
+    pub fn observe(&mut self, reward: f64) {
+        if let Some((s, a)) = self.last {
+            let q = &mut self.q[s * self.cfg.actions + a];
+            *q += self.cfg.alpha * (reward - *q);
+        }
+    }
+
+    /// Greedy selection with learning switched off: no entropy is drawn,
+    /// the epsilon schedule does not advance, and the next
+    /// [`Bandit::observe`] is a no-op (the pending credit is cleared).
+    /// For states where exploration cannot pay and the reward signal is
+    /// uninformative — e.g. a quiet machine with nothing to throttle —
+    /// so a short run is never spent probing arms it cannot evaluate.
+    pub fn exploit(&mut self, state: usize) -> usize {
+        let action = self.greedy(state);
+        self.n[state * self.cfg.actions + action] += 1;
+        self.incumbent[state] = Some(action);
+        self.last = None;
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64, epsilon: f64) -> BanditConfig {
+        BanditConfig { seed, states: 3, actions: 4, epsilon, ..BanditConfig::default() }
+    }
+
+    #[test]
+    fn zero_epsilon_is_pure_greedy_and_deterministic() {
+        let mut a = Bandit::new(cfg(1, 0.0));
+        let mut b = Bandit::new(cfg(999, 0.0)); // seed must not matter
+        a.seed_action(0, 2, 0.1);
+        b.seed_action(0, 2, 0.1);
+        for _ in 0..20 {
+            assert_eq!(a.select(0), 2);
+            assert_eq!(b.select(0), 2);
+            a.observe(0.0);
+            b.observe(0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Bandit::new(cfg(7, 0.5));
+        let mut b = Bandit::new(cfg(7, 0.5));
+        for i in 0..50 {
+            let s = i % 3;
+            assert_eq!(a.select(s), b.select(s));
+            a.observe(0.01);
+            b.observe(0.01);
+        }
+    }
+
+    #[test]
+    fn incumbent_survives_reward_decay_until_beaten() {
+        let mut b = Bandit::new(cfg(3, 0.0));
+        b.seed_action(1, 3, 0.05);
+        // Neutral rewards decay the prior toward 0 but never below the
+        // rivals, so the incumbent keeps winning ties.
+        for _ in 0..30 {
+            assert_eq!(b.select(1), 3);
+            b.observe(0.0);
+        }
+        // A rival demonstrating strictly higher value takes over.
+        b.seed_action(1, 0, 0.5);
+        b.incumbent[1] = Some(3); // seed_action moved incumbency; restore
+        assert_eq!(b.select(1), 0);
+    }
+
+    #[test]
+    fn rewards_move_q_toward_observations() {
+        let mut b = Bandit::new(cfg(5, 0.0));
+        b.select(0);
+        b.observe(1.0);
+        assert!(b.q(0, 0) > 0.0);
+        let q1 = b.q(0, 0);
+        b.observe(1.0);
+        assert!(b.q(0, 0) > q1, "repeated reward keeps approaching 1.0");
+        assert_eq!(b.count(0, 0), 1);
+    }
+
+    #[test]
+    fn exploit_draws_no_entropy_and_discards_the_next_reward() {
+        let mut a = Bandit::new(cfg(11, 1.0));
+        let mut b = Bandit::new(cfg(999, 1.0));
+        a.seed_action(2, 1, 0.1);
+        b.seed_action(2, 1, 0.1);
+        // Even at epsilon 1.0 and different seeds, exploit is the greedy
+        // arm, bit-identically.
+        for _ in 0..10 {
+            assert_eq!(a.exploit(2), 1);
+            assert_eq!(b.exploit(2), 1);
+            // A quiet epoch's reward must not perturb the Q-table.
+            a.observe(-5.0);
+            b.observe(-5.0);
+        }
+        assert_eq!(a.q(2, 1), 0.1);
+        // The RNG stream is untouched: the next real selections agree
+        // with a bandit that never exploited.
+        let mut fresh = Bandit::new(cfg(11, 1.0));
+        fresh.seed_action(2, 1, 0.1);
+        assert_eq!(a.select(0), fresh.select(0));
+        assert_eq!(a.select(1), fresh.select(1));
+    }
+
+    #[test]
+    fn epsilon_decays_per_selection() {
+        let mut b = Bandit::new(cfg(5, 0.4));
+        let e0 = b.epsilon_now();
+        b.select(0);
+        assert!(b.epsilon_now() < e0);
+    }
+
+    #[test]
+    fn exploration_eventually_tries_non_greedy_actions() {
+        let mut b = Bandit::new(BanditConfig {
+            seed: 11,
+            states: 1,
+            actions: 4,
+            epsilon: 1.0,
+            epsilon_decay: 1.0,
+            ..BanditConfig::default()
+        });
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[b.select(0)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

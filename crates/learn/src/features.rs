@@ -1,0 +1,140 @@
+//! Per-core feature extraction — the PMU-counter view the learned
+//! controllers classify on.
+//!
+//! The crate is dependency-free, so the counters arrive as a plain
+//! [`RawCounters`] struct; `cmm-core` maps its `PmuDelta` onto it. Every
+//! feature is a dimension-free rate in a roughly unit range, so the
+//! logistic classifier needs no input normalization pass.
+
+/// Number of features in a vector — fixed by the `cmm-model/1` format.
+pub const N_FEATURES: usize = 8;
+
+/// Feature names, in vector order (documentation and journal tooling).
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "ipc",     // instructions per cycle
+    "l1_mr",   // L1D miss rate
+    "l2_mr",   // L2 miss rate (demand + prefetch)
+    "llc_mpk", // LLC load misses per kilo-cycle
+    "mlp",     // fraction of cycles with an L2 miss pending (MLP proxy)
+    "pf_acc",  // prefetch accuracy (used / issued-to-memory)
+    "pf_cov",  // prefetch coverage (prefetch share of L2 traffic)
+    "mem_bpc", // memory bytes per cycle / 64 (bandwidth-deferral proxy)
+];
+
+/// One interval's raw counter deltas for one core. Field names follow the
+/// simulator's PMU surface; any counter the host lacks can be left 0 —
+/// every derived feature degrades to 0 on a zero denominator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RawCounters {
+    /// Core cycles in the interval.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 requests (demand + prefetch).
+    pub l2_requests: u64,
+    /// L2 misses (demand + prefetch).
+    pub l2_misses: u64,
+    /// L2 prefetch requests (coverage numerator).
+    pub l2_pf_requests: u64,
+    /// LLC load misses.
+    pub l3_load_misses: u64,
+    /// Cycles with at least one L2 miss outstanding.
+    pub stalls_l2_pending: u64,
+    /// Prefetched lines that were used before eviction.
+    pub pf_used: u64,
+    /// Prefetched lines evicted unused.
+    pub pf_wasted: u64,
+    /// Total memory traffic (demand + prefetch) in bytes — the proxy for
+    /// bandwidth-controller deferrals, which the PMU does not count
+    /// directly.
+    pub mem_bytes: u64,
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Derives the feature vector from one core's counter deltas.
+pub fn features(c: &RawCounters) -> [f64; N_FEATURES] {
+    [
+        ratio(c.instructions, c.cycles),
+        ratio(c.l1d_misses, c.l1d_accesses),
+        ratio(c.l2_misses, c.l2_requests),
+        1000.0 * ratio(c.l3_load_misses, c.cycles),
+        ratio(c.stalls_l2_pending, c.cycles),
+        ratio(c.pf_used, c.pf_used + c.pf_wasted),
+        ratio(c.l2_pf_requests, c.l2_requests),
+        ratio(c.mem_bytes, c.cycles) / 64.0,
+    ]
+}
+
+/// Element-wise mean of several feature vectors (the per-epoch journal
+/// vector); empty input yields the zero vector.
+pub fn mean(vectors: &[[f64; N_FEATURES]]) -> [f64; N_FEATURES] {
+    let mut out = [0.0; N_FEATURES];
+    if vectors.is_empty() {
+        return out;
+    }
+    for v in vectors {
+        for (o, x) in out.iter_mut().zip(v) {
+            *o += x;
+        }
+    }
+    for o in &mut out {
+        *o /= vectors.len() as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_counters_give_zero_features() {
+        assert_eq!(features(&RawCounters::default()), [0.0; N_FEATURES]);
+    }
+
+    #[test]
+    fn features_are_rates() {
+        let c = RawCounters {
+            cycles: 1000,
+            instructions: 1500,
+            l1d_accesses: 400,
+            l1d_misses: 100,
+            l2_requests: 120,
+            l2_misses: 60,
+            l2_pf_requests: 80,
+            l3_load_misses: 30,
+            stalls_l2_pending: 250,
+            pf_used: 30,
+            pf_wasted: 10,
+            mem_bytes: 6400,
+        };
+        let f = features(&c);
+        assert!((f[0] - 1.5).abs() < 1e-12);
+        assert!((f[1] - 0.25).abs() < 1e-12);
+        assert!((f[2] - 0.5).abs() < 1e-12);
+        assert!((f[3] - 30.0).abs() < 1e-12);
+        assert!((f[4] - 0.25).abs() < 1e-12);
+        assert!((f[5] - 0.75).abs() < 1e-12);
+        assert!((f[6] - (80.0 / 120.0)).abs() < 1e-12);
+        assert!((f[7] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_averages_elementwise() {
+        let a = [1.0; N_FEATURES];
+        let b = [3.0; N_FEATURES];
+        assert_eq!(mean(&[a, b]), [2.0; N_FEATURES]);
+        assert_eq!(mean(&[]), [0.0; N_FEATURES]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Learned controllers for the CMM stack — the model/bandit substrate
+//! behind `Mechanism::MlSel` and `Mechanism::RlCbp`.
+//!
+//! Like `cmm-trace`, this crate is dependency-free and fully seeded: every
+//! model is a pure function of its training set, every bandit a pure
+//! function of `(seed, observation sequence)`, which is what lets the
+//! learned mechanisms keep the workspace's byte-identity contract
+//! (journals identical at any `--jobs`, across `--resume`).
+//!
+//! Three pieces:
+//!
+//! * [`features`] — fixed-length per-core feature vectors derived from the
+//!   PMU counter surface (IPC, per-level miss rates, MLP, prefetch
+//!   accuracy/coverage, memory-bandwidth pressure — the stand-in for MBA
+//!   deferral counters the PMU does not expose directly).
+//! * [`model`] — a hand-rolled multinomial-logistic phase classifier with
+//!   the versioned, checksummed `cmm-model/1` text serialization.
+//! * [`bandit`] — a seeded epsilon-greedy contextual bandit over a
+//!   discretized state × action space, with sticky greedy tie-breaking so
+//!   an incumbent action is only dethroned by demonstrated reward.
+
+pub mod bandit;
+pub mod features;
+pub mod model;
+
+pub use bandit::{Bandit, BanditConfig};
+pub use features::{features, RawCounters, FEATURE_NAMES, N_FEATURES};
+pub use model::{Model, ModelError, Prediction, MODEL_MAGIC};
+
+/// The splitmix64 step — the workspace's standard seeded entropy stream
+/// (same generator the fault-injection layer uses). Advances `state` and
+/// returns the next 64-bit draw.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the splitmix64 stream.
+pub fn uniform01(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Index of the bucket `v` falls into given ascending `edges`:
+/// `v < edges[0]` → 0, `edges[0] <= v < edges[1]` → 1, …, past the last
+/// edge → `edges.len()`.
+pub fn bucket(v: f64, edges: &[f64]) -> usize {
+    edges.iter().take_while(|&&e| v >= e).count()
+}
+
+/// FNV-1a digest in the workspace's `fnv1a:{:016x}` rendering — the same
+/// digest the journal uses for configurations, reused here to checksum
+/// serialized models.
+pub fn fnv1a(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a:{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_seed_sensitive() {
+        let mut a = 7u64;
+        let mut b = 7u64;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        let mut c = 8u64;
+        assert_ne!(splitmix64(&mut a), splitmix64(&mut c));
+    }
+
+    #[test]
+    fn uniform01_stays_in_range() {
+        let mut s = 42u64;
+        for _ in 0..1000 {
+            let u = uniform01(&mut s);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bucket_edges_are_half_open() {
+        let edges = [1.0, 2.0];
+        assert_eq!(bucket(0.5, &edges), 0);
+        assert_eq!(bucket(1.0, &edges), 1);
+        assert_eq!(bucket(1.9, &edges), 1);
+        assert_eq!(bucket(2.0, &edges), 2);
+        assert_eq!(bucket(9.0, &edges), 2);
+    }
+
+    #[test]
+    fn fnv1a_matches_journal_rendering() {
+        assert_eq!(fnv1a(b""), "fnv1a:cbf29ce484222325");
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

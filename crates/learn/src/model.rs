@@ -1,0 +1,339 @@
+//! The `cmm-model/1` phase classifier: hand-rolled multinomial logistic
+//! regression with a versioned, checksummed text serialization.
+//!
+//! Training is plain batch gradient descent from a zero initialization —
+//! no randomness anywhere, so the fitted weights are a pure function of
+//! the training set and the committed model fixture is reproducible by
+//! re-running `repro learn train`.
+//!
+//! The on-disk format is line-oriented text (the build has no serde):
+//!
+//! ```text
+//! cmm-model/1
+//! kind multinomial-logistic
+//! features 8
+//! classes 3
+//! labels 0 3 15
+//! w 0 <features+1 floats, bias last>
+//! w 1 …
+//! w 2 …
+//! checksum fnv1a:0123456789abcdef
+//! ```
+//!
+//! Floats render in Rust's shortest round-trip form, so
+//! `from_text(to_text(m)) == m` bit for bit. The checksum is the
+//! workspace's FNV-1a digest over every byte before the checksum line;
+//! a reader rejects wrong magic, unsupported versions, and checksum
+//! mismatches with distinct errors (the CLI maps all three to exit 2).
+
+use crate::features::N_FEATURES;
+use crate::fnv1a;
+
+/// First line of every serialized model.
+pub const MODEL_MAGIC: &str = "cmm-model/1";
+
+/// Why a serialized model was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The first line is not a `cmm-model/…` header at all.
+    BadMagic,
+    /// A `cmm-model/…` header with a version this reader does not speak.
+    BadVersion(String),
+    /// The trailing checksum does not match the content.
+    BadChecksum { want: String, got: String },
+    /// Structurally invalid content (missing or malformed lines).
+    Parse(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::BadMagic => write!(f, "not a cmm-model file (bad magic)"),
+            ModelError::BadVersion(v) => {
+                write!(f, "unsupported model version '{v}' (want {MODEL_MAGIC})")
+            }
+            ModelError::BadChecksum { want, got } => {
+                write!(f, "model checksum mismatch: file says {got}, content is {want}")
+            }
+            ModelError::Parse(m) => write!(f, "malformed model: {m}"),
+        }
+    }
+}
+
+/// One classification: the winning class plus its softmax probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Index into [`Model::labels`].
+    pub class: usize,
+    /// Softmax probability of the winning class, in `(1/classes, 1]`.
+    pub confidence: f64,
+}
+
+/// A trained multinomial-logistic phase classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Per-class payload labels (for the prefetch classifier: the per-core
+    /// MSR 0x1A4 image the class stands for).
+    pub labels: Vec<u64>,
+    /// One weight row per class: `N_FEATURES` coefficients plus a trailing
+    /// bias term.
+    pub weights: Vec<Vec<f64>>,
+}
+
+impl Model {
+    /// Class scores before the softmax.
+    fn logits(&self, x: &[f64; N_FEATURES]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .map(|w| w[N_FEATURES] + w[..N_FEATURES].iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
+            .collect()
+    }
+
+    /// Softmax class probabilities (max-shifted for stability).
+    pub fn probabilities(&self, x: &[f64; N_FEATURES]) -> Vec<f64> {
+        let logits = self.logits(x);
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Classifies one feature vector. Ties break toward the lowest class
+    /// index, so prediction is deterministic.
+    pub fn predict(&self, x: &[f64; N_FEATURES]) -> Prediction {
+        let probs = self.probabilities(x);
+        let mut class = 0;
+        for (i, p) in probs.iter().enumerate() {
+            if *p > probs[class] {
+                class = i;
+            }
+        }
+        Prediction { class, confidence: probs[class] }
+    }
+
+    /// Fits a classifier on `(features, class-index)` samples by batch
+    /// gradient descent from zero weights: `iters` full-batch steps at
+    /// learning rate `lr` with L2 weight decay `decay`. Fully
+    /// deterministic.
+    pub fn train(
+        samples: &[([f64; N_FEATURES], usize)],
+        labels: Vec<u64>,
+        iters: usize,
+        lr: f64,
+        decay: f64,
+    ) -> Model {
+        let k = labels.len();
+        assert!(k >= 2, "need at least two classes");
+        assert!(samples.iter().all(|(_, c)| *c < k), "class index out of range");
+        let mut model = Model { labels, weights: vec![vec![0.0; N_FEATURES + 1]; k] };
+        if samples.is_empty() {
+            return model;
+        }
+        let inv_n = 1.0 / samples.len() as f64;
+        for _ in 0..iters {
+            let mut grad = vec![vec![0.0; N_FEATURES + 1]; k];
+            for (x, y) in samples {
+                let probs = model.probabilities(x);
+                for (c, g) in grad.iter_mut().enumerate() {
+                    let err = probs[c] - if c == *y { 1.0 } else { 0.0 };
+                    for (gi, xi) in g[..N_FEATURES].iter_mut().zip(x) {
+                        *gi += err * xi;
+                    }
+                    g[N_FEATURES] += err;
+                }
+            }
+            for (w, g) in model.weights.iter_mut().zip(&grad) {
+                for (wi, gi) in w.iter_mut().zip(g) {
+                    *wi -= lr * (gi * inv_n + decay * *wi);
+                }
+            }
+        }
+        model
+    }
+
+    /// Fraction of `samples` the model classifies correctly.
+    pub fn accuracy(&self, samples: &[([f64; N_FEATURES], usize)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let hits = samples.iter().filter(|(x, y)| self.predict(x).class == *y).count();
+        hits as f64 / samples.len() as f64
+    }
+
+    /// Serializes in the `cmm-model/1` format (trailing newline included).
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        body.push_str(MODEL_MAGIC);
+        body.push('\n');
+        body.push_str("kind multinomial-logistic\n");
+        body.push_str(&format!("features {N_FEATURES}\n"));
+        body.push_str(&format!("classes {}\n", self.labels.len()));
+        body.push_str("labels");
+        for l in &self.labels {
+            body.push_str(&format!(" {l}"));
+        }
+        body.push('\n');
+        for (c, w) in self.weights.iter().enumerate() {
+            body.push_str(&format!("w {c}"));
+            for v in w {
+                body.push_str(&format!(" {v}"));
+            }
+            body.push('\n');
+        }
+        let digest = fnv1a(body.as_bytes());
+        body.push_str(&format!("checksum {digest}\n"));
+        body
+    }
+
+    /// Parses the `cmm-model/1` format, verifying magic, version and
+    /// checksum.
+    pub fn from_text(text: &str) -> Result<Model, ModelError> {
+        let first = text.lines().next().unwrap_or("");
+        if first != MODEL_MAGIC {
+            return if first.starts_with("cmm-model/") {
+                Err(ModelError::BadVersion(first.to_string()))
+            } else {
+                Err(ModelError::BadMagic)
+            };
+        }
+        let checksum_at = text
+            .lines()
+            .position(|l| l.starts_with("checksum "))
+            .ok_or_else(|| ModelError::Parse("missing checksum line".into()))?;
+        let lines: Vec<&str> = text.lines().collect();
+        let body: String = lines[..checksum_at].iter().map(|l| format!("{l}\n")).collect();
+        let want = fnv1a(body.as_bytes());
+        let got = lines[checksum_at].trim_start_matches("checksum ").trim().to_string();
+        if want != got {
+            return Err(ModelError::BadChecksum { want, got });
+        }
+        let field = |prefix: &str| -> Result<&str, ModelError> {
+            lines
+                .iter()
+                .find_map(|l| l.strip_prefix(prefix))
+                .ok_or_else(|| ModelError::Parse(format!("missing '{}' line", prefix.trim())))
+        };
+        if field("kind ")? != "multinomial-logistic" {
+            return Err(ModelError::Parse(format!("unknown kind '{}'", field("kind ")?)));
+        }
+        let features: usize = field("features ")?
+            .parse()
+            .map_err(|_| ModelError::Parse("bad feature count".into()))?;
+        if features != N_FEATURES {
+            return Err(ModelError::Parse(format!(
+                "model has {features} features, this build expects {N_FEATURES}"
+            )));
+        }
+        let classes: usize =
+            field("classes ")?.parse().map_err(|_| ModelError::Parse("bad class count".into()))?;
+        let labels: Vec<u64> = field("labels ")?
+            .split_whitespace()
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| ModelError::Parse("bad labels line".into()))?;
+        if labels.len() != classes {
+            return Err(ModelError::Parse("labels count disagrees with classes".into()));
+        }
+        let mut weights = vec![Vec::new(); classes];
+        for l in &lines[..checksum_at] {
+            if let Some(rest) = l.strip_prefix("w ") {
+                let mut it = rest.split_whitespace();
+                let c: usize = it
+                    .next()
+                    .ok_or_else(|| ModelError::Parse("empty weight line".into()))?
+                    .parse()
+                    .map_err(|_| ModelError::Parse("bad weight class index".into()))?;
+                if c >= classes {
+                    return Err(ModelError::Parse(format!("weight row {c} out of range")));
+                }
+                let row: Vec<f64> = it
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ModelError::Parse("bad weight value".into()))?;
+                if row.len() != N_FEATURES + 1 {
+                    return Err(ModelError::Parse(format!(
+                        "weight row {c} has {} values, want {}",
+                        row.len(),
+                        N_FEATURES + 1
+                    )));
+                }
+                weights[c] = row;
+            }
+        }
+        if weights.iter().any(Vec::is_empty) {
+            return Err(ModelError::Parse("missing weight row".into()));
+        }
+        Ok(Model { labels, weights })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> Model {
+        Model {
+            labels: vec![0x0, 0x3, 0xF],
+            weights: vec![
+                vec![1.0, 0.0, 0.0, 0.0, 0.0, 2.0, 0.5, 0.0, 0.25],
+                vec![0.0, 1.0, 0.5, 0.0, 0.0, -1.0, 0.0, 0.0, -0.125],
+                vec![-1.0, 0.0, 0.0, 0.125, 1.0, -2.0, 0.0, 1.5, 0.0625],
+            ],
+        }
+    }
+
+    fn toy_samples() -> Vec<([f64; N_FEATURES], usize)> {
+        // Three linearly separable blobs along the pf-accuracy axis.
+        let mut s = Vec::new();
+        for i in 0..10 {
+            let j = i as f64 * 0.01;
+            s.push(([1.5, 0.1, 0.2, 1.0, 0.1, 0.9 - j, 0.6, 0.2], 0));
+            s.push(([0.8, 0.3, 0.5, 5.0, 0.4, 0.5 - j, 0.5, 0.6], 1));
+            s.push(([0.3, 0.6, 0.8, 20.0, 0.8, 0.1 + j, 0.4, 1.2], 2));
+        }
+        s
+    }
+
+    #[test]
+    fn text_round_trip_is_bit_exact() {
+        let m = toy_model();
+        let text = m.to_text();
+        let back = Model::from_text(&text).expect("round trip");
+        assert_eq!(back, m);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn wrong_magic_version_and_checksum_are_distinct_errors() {
+        let m = toy_model();
+        let text = m.to_text();
+        assert_eq!(Model::from_text("garbage\n"), Err(ModelError::BadMagic));
+        let v2 = text.replacen("cmm-model/1", "cmm-model/2", 1);
+        assert!(matches!(Model::from_text(&v2), Err(ModelError::BadVersion(_))));
+        let tampered = text.replacen("kind multinomial-logistic", "kind multinomial-logistiK", 1);
+        assert!(matches!(Model::from_text(&tampered), Err(ModelError::BadChecksum { .. })));
+        let truncated: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        assert!(matches!(Model::from_text(&truncated), Err(ModelError::Parse(_))));
+    }
+
+    #[test]
+    fn training_is_deterministic_and_separates_blobs() {
+        let samples = toy_samples();
+        let a = Model::train(&samples, vec![0x0, 0x3, 0xF], 300, 0.5, 1e-4);
+        let b = Model::train(&samples, vec![0x0, 0x3, 0xF], 300, 0.5, 1e-4);
+        assert_eq!(a, b, "training must be a pure function of the samples");
+        assert!(a.accuracy(&samples) >= 0.95, "accuracy {}", a.accuracy(&samples));
+        // Confidence on a clear sample is meaningfully above chance.
+        let p = a.predict(&samples[0].0);
+        assert_eq!(p.class, 0);
+        assert!(p.confidence > 0.5, "confidence {}", p.confidence);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let m = toy_model();
+        let p = m.probabilities(&[0.5; N_FEATURES]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x > 0.0));
+    }
+}

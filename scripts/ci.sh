@@ -201,6 +201,47 @@ smoke_governor() {
 }
 step "repro governor smoke (dominance gate, determinism, /5 journal)" smoke_governor
 
+smoke_learn() {
+    # Learned-controllers gate: `repro learn` must pass its own floors
+    # (ML-Sel >= 0.95x CMM-a on every mix, RL-CBP convergence — the run
+    # exits 1 otherwise), hold the determinism contract across job counts,
+    # journal per-epoch features/actions under the /6 schema, and gate
+    # wall clock against the committed baseline. The committed cmm-model/1
+    # fixture keeps the model (and thus the run identity) stable.
+    ./target/release/repro learn --quick --jobs "$SMOKE_JOBS" \
+        --model benchmarks/fixtures/mlsel.model \
+        --bench-json "$tmp/BENCH_learn.json" \
+        --journal "$tmp/learn.jobsN.jsonl" > "$tmp/learn.jobsN.txt"
+    ./target/release/repro learn --quick --jobs 1 \
+        --model benchmarks/fixtures/mlsel.model \
+        --bench-json "$tmp/BENCH_learn.1.json" \
+        --journal "$tmp/learn.jobs1.jsonl" > "$tmp/learn.jobs1.txt"
+    cmp "$tmp/learn.jobs1.txt" "$tmp/learn.jobsN.txt"
+    cmp "$tmp/learn.jobs1.jsonl" "$tmp/learn.jobsN.jsonl"
+    head -1 "$tmp/learn.jobs1.jsonl" | grep -q '"schema":"cmm-journal/6"'
+    head -1 "$tmp/learn.jobs1.jsonl" | grep -q '"learn":true'
+    # Learned epochs really journaled their feature vectors and actions.
+    grep -q '"features":\[' "$tmp/learn.jobs1.jsonl"
+    grep -q '"action":"pf=\[' "$tmp/learn.jobs1.jsonl"
+    grep -q '"mechanism":"RL-CBP"' "$tmp/learn.jobs1.jsonl"
+    # journal-summary reports per-run decision churn.
+    ./target/release/repro journal-summary "$tmp/learn.jobs1.jsonl" \
+        | grep -q 'churn'
+    # A corrupt model is a usage error (exit 2), before any simulation.
+    sed 's/^w 0 /w 0 9/' benchmarks/fixtures/mlsel.model > "$tmp/corrupt.model"
+    if ./target/release/repro learn --quick --model "$tmp/corrupt.model" \
+        > /dev/null 2> "$tmp/learn-model.err"; then
+        echo "repro learn accepted a corrupt model" >&2
+        return 1
+    fi
+    grep -q 'checksum' "$tmp/learn-model.err"
+    grep -q '"name": "learn"' "$tmp/BENCH_learn.1.json"
+    ./target/release/repro bench-compare \
+        benchmarks/BENCH_learn.baseline.json "$tmp/BENCH_learn.1.json" \
+        --noise 1.0 --scps-floor "$SCPS_FLOOR" > /dev/null
+}
+step "repro learn smoke (controller gates, determinism, /6 journal)" smoke_learn
+
 smoke_journal_csv() {
     # --csv exports one row per journal epoch, with the summary untouched.
     ./target/release/repro journal-summary "$tmp/journal.jobs1.jsonl" \
